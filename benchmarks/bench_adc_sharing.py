@@ -1,0 +1,41 @@
+"""Ablation A3 — ADC sharing (footnote 1 of Sec. IV).
+
+The paper's concept figures assume every column can be read out in parallel
+(a private ADC per column) and promise to revisit the assumption.  This bench
+sweeps how many columns share one ADC for TacitMap-ePCM and EinsteinBarrier
+and reports the latency cost of sharing.
+"""
+
+from __future__ import annotations
+
+from repro.eval.ablations import sweep_adc_sharing
+from repro.eval.reporting import format_table
+
+
+def test_adc_sharing_sweep(benchmark, workloads):
+    """Benchmark the columns-per-ADC sweep on CNN-M."""
+    shares = (1, 2, 4, 8, 16, 32)
+
+    def run():
+        return {
+            design: sweep_adc_sharing(
+                workloads["CNN-M"], columns_per_adc=shares, design=design
+            )
+            for design in ("tacitmap_epcm", "einsteinbarrier")
+        }
+
+    sweeps = benchmark(run)
+    rows = []
+    for design, points in sweeps.items():
+        for point in points:
+            rows.append([
+                design, int(point.parameter), point.latency * 1e6,
+                point.speedup_vs_baseline,
+            ])
+    print("\n=== Ablation A3: columns per ADC (CNN-M) ===")
+    print(format_table(
+        ["design", "columns/ADC", "latency[us]", "speedup vs baseline"], rows
+    ))
+    for design, points in sweeps.items():
+        latencies = [p.latency for p in points]
+        assert latencies == sorted(latencies), design

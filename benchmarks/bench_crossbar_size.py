@@ -1,0 +1,42 @@
+"""Ablation A2 — crossbar array size sweep.
+
+The evaluation fixes 256x256 arrays; this bench shows how the speedup over
+the equal-size baseline and the absolute latency move with the array size,
+for both proposed designs.
+"""
+
+from __future__ import annotations
+
+from repro.eval.ablations import sweep_crossbar_size
+from repro.eval.reporting import format_table
+
+
+def test_crossbar_size_sweep(benchmark, workloads):
+    """Benchmark the size sweep on MLP-L for both proposed designs."""
+    sizes = (64, 128, 256, 512)
+
+    def run():
+        return {
+            design: sweep_crossbar_size(
+                workloads["MLP-L"], sizes=sizes, design=design
+            )
+            for design in ("tacitmap_epcm", "einsteinbarrier")
+        }
+
+    sweeps = benchmark(run)
+    rows = []
+    for design, points in sweeps.items():
+        for point in points:
+            rows.append([
+                design, int(point.parameter), point.latency * 1e6,
+                point.speedup_vs_baseline, point.energy_ratio_vs_baseline,
+            ])
+    print("\n=== Ablation A2: crossbar size sweep (MLP-L) ===")
+    print(format_table(
+        ["design", "array size", "latency[us]", "speedup vs baseline",
+         "energy vs baseline"],
+        rows,
+    ))
+    for design, points in sweeps.items():
+        speedups = [p.speedup_vs_baseline for p in points]
+        assert speedups[-1] > speedups[0], design

@@ -1,0 +1,66 @@
+"""Fig. 7 — normalized latency improvements over all six networks.
+
+Regenerates the series of Fig. 7: per-network latency improvement of
+TacitMap-ePCM and EinsteinBarrier normalised to Baseline-ePCM, plus the
+Baseline-GPU reference, and the average/max ("up to") numbers quoted in the
+abstract.  Run with ``pytest benchmarks/bench_fig7_latency.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import headline_numbers, run_fig7
+from repro.eval.reporting import format_table
+
+
+def _fig7_rows(fig7):
+    rows = []
+    for result in fig7.per_network:
+        rows.append([
+            result.network,
+            result.latency["baseline_epcm"] * 1e6,
+            result.latency["tacitmap_epcm"] * 1e6,
+            result.latency["einsteinbarrier"] * 1e6,
+            result.latency["gpu"] * 1e6,
+            result.latency_improvement("tacitmap_epcm"),
+            result.latency_improvement("einsteinbarrier"),
+            result.latency["baseline_epcm"] / result.latency["gpu"],
+        ])
+    return rows
+
+
+def test_fig7_normalized_latency(benchmark, workloads):
+    """Benchmark the full Fig. 7 evaluation and print the regenerated series."""
+    fig7 = benchmark(lambda: run_fig7(workloads=workloads))
+    table = format_table(
+        [
+            "network", "Baseline-ePCM[us]", "TacitMap-ePCM[us]",
+            "EinsteinBarrier[us]", "GPU[us]",
+            "TacitMap speedup", "EinsteinBarrier speedup", "Baseline/GPU",
+        ],
+        _fig7_rows(fig7),
+    )
+    numbers = headline_numbers(fig7=fig7)
+    print("\n=== Fig. 7: normalized latency improvement over Baseline-ePCM ===")
+    print(table)
+    print(
+        "TacitMap-ePCM: avg ~{:.0f}x (paper ~78x), max ~{:.0f}x (paper ~154x)".format(
+            numbers["tacitmap_avg"], numbers["tacitmap_max"]
+        )
+    )
+    print(
+        "EinsteinBarrier: avg ~{:.0f}x (paper ~1205x), max ~{:.0f}x (paper ~3113x), "
+        "min ~{:.0f}x (paper ~22x)".format(
+            numbers["einsteinbarrier_avg"], numbers["einsteinbarrier_max"],
+            numbers["einsteinbarrier_min"],
+        )
+    )
+    print(
+        "EinsteinBarrier over TacitMap-ePCM: ~{:.1f}x (paper ~15x)".format(
+            numbers["einsteinbarrier_over_tacitmap"]
+        )
+    )
+    # structural assertions so the bench fails loudly if the shape regresses
+    assert all(x > 1 for x in fig7.improvements("tacitmap_epcm"))
+    assert all(x > 1 for x in fig7.improvements("einsteinbarrier"))
+    gpu_ratio = fig7.gpu_vs_baseline()
+    assert gpu_ratio["CNN-S"] < 1.0 < gpu_ratio["MLP-L"]

@@ -1,0 +1,45 @@
+"""Fig. 8 — normalized energy consumption over all six networks.
+
+Regenerates Fig. 8: per-network energy of TacitMap-ePCM and EinsteinBarrier
+normalised to Baseline-ePCM, and the averages quoted in the text (TacitMap
+~5.35x more, EinsteinBarrier ~1.56x less).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import run_fig8
+from repro.eval.reporting import format_table
+
+
+def test_fig8_normalized_energy(benchmark, workloads):
+    """Benchmark the full Fig. 8 evaluation and print the regenerated series."""
+    fig8 = benchmark(lambda: run_fig8(workloads=workloads))
+    rows = []
+    for result in fig8.per_network:
+        rows.append([
+            result.network,
+            result.energy["baseline_epcm"] * 1e6,
+            result.energy["tacitmap_epcm"] * 1e6,
+            result.energy["einsteinbarrier"] * 1e6,
+            result.energy_ratio("tacitmap_epcm"),
+            result.energy_ratio("einsteinbarrier"),
+        ])
+    print("\n=== Fig. 8: normalized energy consumption (lower is better) ===")
+    print(format_table(
+        [
+            "network", "Baseline-ePCM[uJ]", "TacitMap-ePCM[uJ]",
+            "EinsteinBarrier[uJ]", "TacitMap/Baseline", "EinsteinBarrier/Baseline",
+        ],
+        rows,
+    ))
+    print(
+        "average: TacitMap-ePCM {:.2f}x of baseline (paper ~5.35x), "
+        "EinsteinBarrier {:.2f}x of baseline (paper ~0.64x)".format(
+            fig8.average_ratio("tacitmap_epcm"),
+            fig8.average_ratio("einsteinbarrier"),
+        )
+    )
+    assert fig8.average_ratio("tacitmap_epcm") > 1.0
+    assert (
+        fig8.average_ratio("einsteinbarrier") < fig8.average_ratio("tacitmap_epcm")
+    )

@@ -1,0 +1,53 @@
+"""Fig. 3 / Sec. III claim — TacitMap needs 1 step where CustBinaryMap needs n.
+
+Regenerates the step-count comparison between the two mappings at the
+crossbar level: per-layer sequential crossbar steps under each mapping for
+every evaluation network, and the theoretical per-tile ratio (bounded by the
+number of weight vectors a tile holds).
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping_base import TileShape
+from repro.core.schedule import build_network_schedule
+from repro.eval.reporting import format_table
+
+
+def test_mapping_step_counts(benchmark, workloads):
+    """Benchmark schedule construction and print the per-network step counts."""
+    tile = TileShape(256, 256)
+
+    def build_all():
+        results = {}
+        for name, workload in workloads.items():
+            results[name] = (
+                build_network_schedule(workload, mapping="custbinarymap",
+                                       tile_shape=tile),
+                build_network_schedule(workload, mapping="tacitmap",
+                                       tile_shape=tile),
+                build_network_schedule(workload, mapping="tacitmap",
+                                       tile_shape=tile, wdm_capacity=16),
+            )
+        return results
+
+    results = benchmark(build_all)
+    rows = []
+    for name, (baseline, tacit, einstein) in results.items():
+        rows.append([
+            name,
+            baseline.total_sequential_steps,
+            tacit.total_sequential_steps,
+            einstein.total_sequential_steps,
+            baseline.total_sequential_steps / tacit.total_sequential_steps,
+            tacit.total_sequential_steps / einstein.total_sequential_steps,
+        ])
+    print("\n=== Sequential crossbar steps per inference (256x256 tiles) ===")
+    print(format_table(
+        ["network", "CustBinaryMap", "TacitMap", "TacitMap+WDM16",
+         "step ratio (Sec. III)", "WDM reduction"],
+        rows,
+    ))
+    for name, (baseline, tacit, _) in results.items():
+        ratio = baseline.total_sequential_steps / tacit.total_sequential_steps
+        # the per-tile bound of Sec. III: at most n (<= 256 columns) per tile
+        assert 1 < ratio <= 256, name

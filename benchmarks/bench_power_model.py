@@ -1,0 +1,71 @@
+"""Eq. 2 and Eq. 3 — the photonic power-overhead model.
+
+Sweeps the receiver power (Eq. 2, ``N x 2 mW``) over crossbar widths and the
+transmitter power (Eq. 3) over WDM capacity K and crossbar height M, and
+cross-checks the closed form against the structural transmitter model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.photonics.power import (
+    crossbar_receiver_power,
+    total_optical_overhead_power,
+    transmitter_power,
+)
+from repro.photonics.transmitter import Transmitter, TransmitterConfig
+from repro.eval.reporting import format_series
+
+
+def test_equation2_receiver_power_sweep(benchmark):
+    """Benchmark Eq. 2 over crossbar widths and print the series."""
+    widths = [64, 128, 256, 512, 1024]
+
+    def sweep():
+        return [crossbar_receiver_power(n) for n in widths]
+
+    powers = benchmark(sweep)
+    print("\n=== Eq. 2: receiver (TIA) power vs crossbar columns ===")
+    print(format_series("P_crossbar [W]", widths, powers,
+                        x_label="N columns", y_label="W"))
+    assert powers == [n * 2e-3 for n in widths]
+
+
+def test_equation3_transmitter_power_sweep(benchmark):
+    """Benchmark Eq. 3 over (K, M) and print the series."""
+    ks = [1, 2, 4, 8, 16]
+    m = 256
+
+    def sweep():
+        return [transmitter_power(k, m) for k in ks]
+
+    powers = benchmark(sweep)
+    print("\n=== Eq. 3: transmitter power vs WDM capacity (M = 256 rows) ===")
+    print(format_series("P_total [W]", ks, powers, x_label="K", y_label="W"))
+    rows = [64, 128, 256, 512, 1024]
+    row_powers = [transmitter_power(16, rows_m) for rows_m in rows]
+    print(format_series("P_total [W]", rows, row_powers,
+                        x_label="M rows (K=16)", y_label="W"))
+    assert all(b >= a for a, b in zip(row_powers, row_powers[1:]))
+
+
+def test_equation3_matches_structural_transmitter(benchmark):
+    """The closed form of Eq. 3 agrees with the component-level transmitter."""
+    rows = 256
+
+    def both():
+        structural = Transmitter(TransmitterConfig(num_rows=rows)).electrical_power()
+        closed = transmitter_power(16, rows)
+        return structural, closed
+
+    structural, closed = benchmark(both)
+    print(f"\nstructural transmitter power: {structural:.4f} W, Eq. 3: {closed:.4f} W")
+    assert structural == pytest.approx(closed, rel=1e-9)
+
+
+def test_total_overhead_at_paper_configuration(benchmark):
+    """Total optical overhead of one 256x256 oPCM core at K = 16."""
+    total = benchmark(lambda: total_optical_overhead_power(16, 256, 256))
+    print(f"\ntotal optical overhead power (K=16, 256x256): {total:.3f} W")
+    assert total > crossbar_receiver_power(256)

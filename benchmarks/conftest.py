@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark harness (one bench per figure/equation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bnn.networks import build_network, list_networks
+from repro.bnn.workload import extract_workload
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """Workloads of all six evaluation networks, extracted once per session."""
+    return {name: extract_workload(build_network(name)) for name in list_networks()}

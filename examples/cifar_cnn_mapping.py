@@ -1,0 +1,82 @@
+"""Map a CIFAR-10 binary CNN onto EinsteinBarrier and inspect the result.
+
+Run with ``python examples/cifar_cnn_mapping.py``.
+
+The convolutional networks are where WDM pays off: every conv layer produces
+hundreds of activation vectors (sliding windows), and EinsteinBarrier folds
+up to K = 16 of them into one Matrix-Matrix Multiplication per crossbar
+activation (Fig. 5).  The script shows, for CNN-M:
+
+1. the per-layer tiling (how many VCores/crossbars each layer occupies and
+   how the whole network maps onto nodes);
+2. the VMM-to-MMM folding: crossbar steps with and without WDM;
+3. the latency/energy breakdown against the baseline designs.
+"""
+
+from __future__ import annotations
+
+from repro.arch import (
+    AcceleratorModel,
+    EinsteinBarrierSystem,
+    baseline_epcm_config,
+    einsteinbarrier_config,
+    tacitmap_epcm_config,
+)
+from repro.bnn import build_network, extract_workload
+from repro.core.schedule import build_network_schedule
+from repro.eval.reporting import format_table
+from repro.utils.units import format_energy, format_time
+
+
+def main() -> None:
+    network = build_network("CNN-M")
+    workload = extract_workload(network)
+    print(network.summary())
+    print()
+
+    print("=== Per-layer tiling on EinsteinBarrier (256x256 oPCM crossbars) ===")
+    config = einsteinbarrier_config()
+    system = EinsteinBarrierSystem(config)
+    allocation = system.allocate(workload)
+    rows = [[layer, tiles] for layer, tiles in allocation.per_layer_vcores.items()]
+    print(format_table(["binary layer", "VCores"], rows))
+    print(f"total VCores: {allocation.vcores_required} "
+          f"({allocation.nodes_required} node(s), "
+          f"{allocation.crossbar_area_mm2:.2f} mm^2 of crossbars)")
+    print()
+
+    print("=== WDM folding: crossbar steps with and without wavelengths ===")
+    plain = build_network_schedule(workload, mapping="tacitmap",
+                                   tile_shape=config.tile_shape)
+    wdm = build_network_schedule(workload, mapping="tacitmap",
+                                 tile_shape=config.tile_shape,
+                                 wdm_capacity=config.wdm_capacity)
+    rows = []
+    for before, after in zip(plain.layer_schedules, wdm.layer_schedules):
+        rows.append([
+            before.layer_name, before.sequential_steps, after.sequential_steps,
+            before.sequential_steps / after.sequential_steps,
+        ])
+    print(format_table(
+        ["binary layer", "VMM steps (K=1)", "MMM steps (K=16)", "fold"], rows
+    ))
+    print()
+
+    print("=== Design comparison for one CNN-M inference ===")
+    rows = []
+    for design in (baseline_epcm_config(), tacitmap_epcm_config(), config):
+        report = AcceleratorModel(design).run_inference(workload)
+        rows.append([
+            design.name,
+            format_time(report.latency.total),
+            format_time(report.latency.binary_compute),
+            format_time(report.latency.full_precision_compute),
+            format_energy(report.energy.total),
+        ])
+    print(format_table(
+        ["design", "total latency", "binary layers", "fp layers", "energy"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Train a BNN on (synthetic) MNIST and estimate its accelerated inference.
+
+Run with ``python examples/mnist_mlp_acceleration.py``.
+
+This is the end-to-end workflow a user of the library would follow:
+
+1. train a small binary MLP on the synthetic MNIST dataset with the
+   BinaryConnect/straight-through-estimator recipe (latent full-precision
+   weights, binary forward pass);
+2. check its test accuracy stays well above chance;
+3. extract its workload and compare per-inference latency and energy on
+   Baseline-ePCM, TacitMap-ePCM, EinsteinBarrier and the GPU baseline;
+4. print the per-layer latency breakdown of EinsteinBarrier to show which
+   layers the crossbars accelerate and which stay on the digital units.
+"""
+
+from __future__ import annotations
+
+from repro.arch import (
+    AcceleratorModel,
+    baseline_epcm_config,
+    einsteinbarrier_config,
+    tacitmap_epcm_config,
+)
+from repro.baselines import GPUModel
+from repro.bnn.datasets import synthetic_mnist
+from repro.bnn.layers import BatchNorm, BinaryLinear, Linear, SignActivation
+from repro.bnn.model import BNNModel
+from repro.bnn.training import train
+from repro.bnn.workload import extract_workload
+from repro.eval.reporting import format_table
+from repro.utils.units import format_energy, format_time
+
+
+def build_small_mlp() -> BNNModel:
+    """A reduced MLP (784-256-128-10) that trains in seconds on a laptop."""
+    return BNNModel(
+        [
+            Linear(784, 256, rng=1),
+            BatchNorm(256),
+            SignActivation(),
+            BinaryLinear(256, 128, rng=2),
+            BatchNorm(128),
+            SignActivation(),
+            Linear(128, 10, rng=3),
+        ],
+        name="MLP-mini",
+        input_shape=(784,),
+    )
+
+
+def main() -> None:
+    print("=== Training a binary MLP on synthetic MNIST ===")
+    dataset = synthetic_mnist(train_size=1024, test_size=256, seed=7)
+    model = build_small_mlp()
+    history = train(model, dataset, epochs=3, batch_size=64,
+                    learning_rate=5e-3, seed=0)
+    print(f"test accuracy after training: {history.final_test_accuracy:.3f} "
+          f"(chance = 0.100)")
+    print()
+
+    print("=== Per-inference latency and energy across designs ===")
+    workload = extract_workload(model)
+    rows = []
+    for config in (baseline_epcm_config(), tacitmap_epcm_config(),
+                   einsteinbarrier_config()):
+        report = AcceleratorModel(config).run_inference(workload)
+        rows.append([
+            config.name,
+            format_time(report.latency.total),
+            format_energy(report.energy.total),
+            report.allocation.vcores_required,
+        ])
+    gpu = GPUModel()
+    gpu_report = gpu.run_inference(workload)
+    rows.append([gpu.name, format_time(gpu_report.latency),
+                 format_energy(gpu.energy(workload)), "-"])
+    print(format_table(["design", "latency", "energy", "crossbars"], rows))
+    print()
+
+    print("=== EinsteinBarrier per-layer latency breakdown ===")
+    report = AcceleratorModel(einsteinbarrier_config()).run_inference(workload)
+    layer_rows = [
+        [layer, format_time(seconds)]
+        for layer, seconds in report.latency.per_layer.items()
+    ]
+    print(format_table(["layer", "latency"], layer_rows))
+    print("\nThe first/last (full-precision) layers dominate the accelerated "
+          "designs — the Amdahl effect behind the network-dependent speedups "
+          "of Fig. 7.")
+
+
+if __name__ == "__main__":
+    main()

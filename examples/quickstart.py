@@ -1,0 +1,101 @@
+"""Quickstart: map a binary layer with TacitMap and compare the three designs.
+
+Run with ``python examples/quickstart.py``.
+
+The script walks through the paper's story in four steps:
+
+1. check Eq. 1 (the XNOR+Popcount identity) on random binary vectors;
+2. map a binary fully connected layer with TacitMap and with the baseline
+   CustBinaryMap, and verify both compute exactly the same popcounts —
+   including through the noisy analog crossbar model for TacitMap;
+3. compare the crossbar step counts of the two mappings (the Sec. III claim);
+4. estimate the latency and energy of one MLP-S inference on Baseline-ePCM,
+   TacitMap-ePCM and EinsteinBarrier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch import (
+    AcceleratorModel,
+    baseline_epcm_config,
+    einsteinbarrier_config,
+    tacitmap_epcm_config,
+)
+from repro.bnn import build_network, extract_workload
+from repro.bnn.xnor_ops import binary_dot, binary_dot_via_xnor
+from repro.core import CustBinaryMap, TacitMap, TileShape, verify_layer_equivalence
+from repro.core.schedule import build_layer_schedule
+from repro.utils.units import format_energy, format_time
+
+
+def step_1_equation_one(rng: np.random.Generator) -> None:
+    print("=== Step 1: Eq. 1, In (*) W = 2*popcount(In' XNOR W') - L ===")
+    in_vec = np.where(rng.random(16) > 0.5, 1, -1).astype(np.int8)
+    w_vec = np.where(rng.random(16) > 0.5, 1, -1).astype(np.int8)
+    direct = binary_dot(in_vec, w_vec)
+    via_xnor = binary_dot_via_xnor(in_vec, w_vec)
+    print(f"direct dot product  : {direct}")
+    print(f"via XNOR + popcount : {via_xnor}")
+    assert direct == via_xnor
+    print()
+
+
+def step_2_mapping_equivalence(rng: np.random.Generator) -> None:
+    print("=== Step 2: both mappings compute the same XNOR+Popcounts ===")
+    weights = np.where(rng.random((48, 120)) > 0.5, 1, -1).astype(np.int8)
+    inputs = np.where(rng.random((4, 120)) > 0.5, 1, -1).astype(np.int8)
+    tacit = verify_layer_equivalence(
+        TacitMap(TileShape(256, 256)), weights, inputs
+    )
+    tacit_analog = verify_layer_equivalence(
+        TacitMap(TileShape(256, 256)), weights, inputs, backend="analog", rng=1
+    )
+    baseline = verify_layer_equivalence(
+        CustBinaryMap(TileShape(256, 256)), weights, inputs
+    )
+    print(f"TacitMap (ideal tiles)      equivalent to Eq. 1: {tacit['equivalent']}")
+    print(f"TacitMap (analog crossbars) equivalent to Eq. 1: {tacit_analog['equivalent']}")
+    print(f"CustBinaryMap (baseline)    equivalent to Eq. 1: {baseline['equivalent']}")
+    print()
+
+
+def step_3_step_counts() -> None:
+    print("=== Step 3: crossbar steps per layer (Sec. III claim) ===")
+    workload = extract_workload(build_network("MLP-S"))
+    layer = workload.binary_layers[0]
+    baseline = build_layer_schedule(layer, mapping="custbinarymap")
+    tacit = build_layer_schedule(layer, mapping="tacitmap")
+    print(f"layer: {layer.name} ({layer.num_weight_vectors} weight vectors, "
+          f"length {layer.vector_length})")
+    print(f"CustBinaryMap sequential steps : {baseline.sequential_steps}")
+    print(f"TacitMap sequential steps      : {tacit.sequential_steps}")
+    print(f"step ratio                     : "
+          f"{baseline.sequential_steps / tacit.sequential_steps:.0f}x")
+    print()
+
+
+def step_4_design_comparison() -> None:
+    print("=== Step 4: one MLP-S inference on the three designs ===")
+    workload = extract_workload(build_network("MLP-S"))
+    for config in (baseline_epcm_config(), tacitmap_epcm_config(),
+                   einsteinbarrier_config()):
+        report = AcceleratorModel(config).run_inference(workload)
+        print(f"{config.name:16s} latency={format_time(report.latency.total):>10s} "
+              f"energy={format_energy(report.energy.total):>10s} "
+              f"crossbars={report.allocation.vcores_required}")
+    print()
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    step_1_equation_one(rng)
+    step_2_mapping_equivalence(rng)
+    step_3_step_counts()
+    step_4_design_comparison()
+    print("Quickstart finished.")
+
+
+if __name__ == "__main__":
+    main()

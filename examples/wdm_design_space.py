@@ -1,0 +1,62 @@
+"""Design-space exploration of the oPCM VCores (the paper's future work).
+
+Run with ``python examples/wdm_design_space.py``.
+
+Sec. VI-C notes that the paper evaluates EinsteinBarrier at a single fixed
+configuration (K = 16, 256x256 arrays, private ADCs) and leaves the design
+space exploration to future work.  This example runs the three ablation
+sweeps shipped with the reproduction — WDM capacity, crossbar size and ADC
+sharing — on a convolutional and a fully connected workload and prints the
+resulting latency/energy trends.
+"""
+
+from __future__ import annotations
+
+from repro.eval.ablations import (
+    sweep_adc_sharing,
+    sweep_crossbar_size,
+    sweep_wdm_capacity,
+)
+from repro.eval.reporting import format_table
+
+
+def print_sweep(title: str, parameter_name: str, points) -> None:
+    rows = [
+        [f"{point.parameter:g}", point.latency * 1e6, point.speedup_vs_baseline,
+         point.energy * 1e6, point.energy_ratio_vs_baseline]
+        for point in points
+    ]
+    print(f"=== {title} ===")
+    print(format_table(
+        [parameter_name, "latency[us]", "speedup vs baseline", "energy[uJ]",
+         "energy vs baseline"],
+        rows,
+    ))
+    print()
+
+
+def main() -> None:
+    print_sweep(
+        "WDM capacity sweep (EinsteinBarrier, CNN-L)", "K",
+        sweep_wdm_capacity("CNN-L", capacities=(1, 2, 4, 8, 16, 32)),
+    )
+    print_sweep(
+        "WDM capacity sweep (EinsteinBarrier, MLP-L: no folding available)", "K",
+        sweep_wdm_capacity("MLP-L", capacities=(1, 4, 16)),
+    )
+    print_sweep(
+        "Crossbar size sweep (EinsteinBarrier, CNN-L)", "array size",
+        sweep_crossbar_size("CNN-L", sizes=(64, 128, 256, 512, 1024)),
+    )
+    print_sweep(
+        "ADC sharing sweep (TacitMap-ePCM, CNN-M)", "columns/ADC",
+        sweep_adc_sharing("CNN-M", columns_per_adc=(1, 2, 4, 8, 16, 32)),
+    )
+    print("Take-away: WDM folding only helps layers with many activation "
+          "vectors (convolutions), larger arrays help both proposed designs, "
+          "and ADC sharing trades read-out latency for converter count "
+          "without changing energy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Area model of the evaluated designs.
+
+Section V-A of the paper synthesises the additional CMOS circuitry with
+Design Compiler and applies DeepScaleTool-style technology scaling to keep
+all components on the same node.  This module provides the equivalent
+analytical area accounting: crossbar cell area (1T1R vs 2T2R), read-out
+periphery (ADCs vs PCSAs), row drivers, the digital unit, and — for the
+photonic design — the transmitter/receiver footprint, so the three designs
+can be compared on area as well as latency and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.bnn.workload import NetworkWorkload
+from repro.core.schedule import build_network_schedule
+from repro.crossbar.cell import OneT1RCell, TwoT2RCell
+
+#: component area estimates in mm^2 (32 nm-class figures from the public
+#: accelerator literature: ISAAC / PUMA style ADC and periphery budgets)
+ADC_AREA_MM2 = 0.0012
+PCSA_AREA_MM2 = 0.000002
+DAC_AREA_MM2 = 0.00000017
+DIGITAL_UNIT_AREA_MM2 = 0.24
+TIA_AREA_MM2 = 0.00005
+MODULATOR_AREA_MM2 = 0.00025
+LASER_COMB_AREA_MM2 = 0.05
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area of one design provisioned for one network, in mm^2."""
+
+    design_name: str
+    network_name: str
+    crossbar: float
+    readout: float
+    drivers: float
+    digital: float
+    photonics: float
+
+    @property
+    def total(self) -> float:
+        """Total area in mm^2."""
+        return (
+            self.crossbar + self.readout + self.drivers + self.digital
+            + self.photonics
+        )
+
+
+def estimate_area(config: AcceleratorConfig,
+                  workload: NetworkWorkload) -> AreaBreakdown:
+    """Estimate the silicon/photonic area of ``config`` sized for ``workload``."""
+    schedule = build_network_schedule(
+        workload,
+        mapping=config.mapping,
+        tile_shape=config.tile_shape,
+        wdm_capacity=config.wdm_capacity,
+    )
+    num_tiles = schedule.total_tiles
+    cells_per_tile = config.tile.rows * config.tile.cols
+    cell = OneT1RCell() if config.mapping == "tacitmap" else TwoT2RCell()
+    crossbar_area = num_tiles * cells_per_tile * cell.area_um2 * 1e-6
+
+    if config.tile.readout == "adc":
+        readout_area = num_tiles * config.tile.num_adcs * ADC_AREA_MM2
+    else:
+        readout_area = num_tiles * config.tile.cols * PCSA_AREA_MM2
+    driver_area = num_tiles * config.tile.rows * DAC_AREA_MM2
+    digital_area = DIGITAL_UNIT_AREA_MM2
+
+    photonics_area = 0.0
+    if config.technology == "opcm":
+        transmitters = max(
+            1, -(-num_tiles // max(config.vcores_per_ecore, 1))
+        )
+        photonics_area = (
+            num_tiles * config.tile.cols * TIA_AREA_MM2
+            + transmitters * (
+                LASER_COMB_AREA_MM2
+                + config.wdm_capacity * config.tile.rows * MODULATOR_AREA_MM2
+            )
+        )
+    return AreaBreakdown(
+        design_name=config.name,
+        network_name=workload.name,
+        crossbar=crossbar_area,
+        readout=readout_area,
+        drivers=driver_area,
+        digital=digital_area,
+        photonics=photonics_area,
+    )

@@ -1,0 +1,170 @@
+"""Compiler: lowers a BNN workload onto an accelerator configuration.
+
+The compiler mirrors what the paper's extended PUMA compiler does for the
+evaluation: for every binary layer it derives the mapping schedule (tiling,
+crossbar activations, read-out and digital post-processing counts) and emits
+the corresponding crossbar/ALU/data-movement instructions; for every
+full-precision layer it emits digital MAC bursts; between layers it emits the
+activation transfers over the on-chip network.
+
+The output :class:`Program` is consumed by the timing and energy models and
+can also be inspected directly (instruction histograms per layer), which the
+tests use to check the compiler encodes the paper's structural claims —
+e.g. that EinsteinBarrier issues MMM instructions where TacitMap-ePCM issues
+``K`` times as many MVM instructions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.arch.config import AcceleratorConfig
+from repro.arch.isa import Instruction, LayerBlock, Opcode
+from repro.bnn.workload import LayerSpec, NetworkWorkload
+from repro.core.schedule import LayerSchedule, build_layer_schedule
+
+
+@dataclass(frozen=True)
+class Program:
+    """A compiled network: one instruction block per MAC layer."""
+
+    network_name: str
+    design_name: str
+    blocks: List[LayerBlock] = field(default_factory=list)
+    schedules: Dict[str, LayerSchedule] = field(default_factory=dict)
+
+    def count(self, opcode: Opcode) -> int:
+        """Total dynamic instances of ``opcode`` in the whole program."""
+        return sum(block.count(opcode) for block in self.blocks)
+
+    @property
+    def binary_blocks(self) -> List[LayerBlock]:
+        """Blocks of the crossbar-mapped (binary) layers."""
+        return [block for block in self.blocks if block.is_binary]
+
+    @property
+    def full_precision_blocks(self) -> List[LayerBlock]:
+        """Blocks of the digital (non-binary) layers."""
+        return [block for block in self.blocks if not block.is_binary]
+
+
+def _activation_bytes(spec: LayerSpec, bits: int) -> int:
+    """Bytes needed to move one layer's input activations."""
+    elements = spec.vector_length * spec.num_input_vectors
+    return math.ceil(elements * bits / 8)
+
+
+def _output_bytes(spec: LayerSpec, bits: int) -> int:
+    """Bytes needed to move one layer's output activations."""
+    elements = spec.num_weight_vectors * spec.num_input_vectors
+    return math.ceil(elements * bits / 8)
+
+
+def _compile_binary_layer(spec: LayerSpec, config: AcceleratorConfig) -> tuple[LayerBlock, LayerSchedule]:
+    schedule = build_layer_schedule(
+        spec,
+        mapping=config.mapping,
+        tile_shape=config.tile_shape,
+        wdm_capacity=config.wdm_capacity,
+    )
+    instructions: List[Instruction] = [
+        Instruction(
+            Opcode.LOAD,
+            count=1,
+            operands={"bytes": _activation_bytes(spec, config.activation_bits)},
+        ),
+        Instruction(
+            Opcode.WRITE_WEIGHTS,
+            count=1,
+            operands={"cells": schedule.cells_programmed},
+        ),
+    ]
+    active_rows = min(2 * spec.vector_length, config.tile.rows) \
+        if config.mapping == "tacitmap" else 1
+    read_columns = min(spec.num_weight_vectors, config.tile.cols) \
+        if config.mapping == "tacitmap" else min(spec.vector_length, config.tile.cols)
+
+    if config.mapping == "tacitmap":
+        wavelengths = min(config.wdm_capacity, max(spec.num_input_vectors, 1))
+        opcode = Opcode.MMM if wavelengths > 1 else Opcode.MVM
+        instructions.append(
+            Instruction(
+                opcode,
+                count=schedule.crossbar_activations,
+                operands={
+                    "active_rows": active_rows,
+                    "read_columns": read_columns,
+                    "wavelengths": wavelengths,
+                    "sequential_steps": schedule.sequential_steps,
+                },
+            )
+        )
+    else:
+        instructions.append(
+            Instruction(
+                Opcode.ROW_READ,
+                count=schedule.crossbar_activations,
+                operands={
+                    "read_columns": read_columns,
+                    "sequential_steps": schedule.sequential_steps,
+                    "popcount_tree_depth": schedule.popcount_tree_depth,
+                },
+            )
+        )
+    if schedule.digital_adds:
+        instructions.append(
+            Instruction(Opcode.ALU_ADD, count=schedule.digital_adds)
+        )
+    instructions.append(
+        Instruction(
+            Opcode.STORE,
+            count=1,
+            operands={"bytes": _output_bytes(spec, config.full_precision_bits)},
+        )
+    )
+    block = LayerBlock(
+        layer_name=spec.name, is_binary=True, instructions=instructions
+    )
+    return block, schedule
+
+
+def _compile_full_precision_layer(spec: LayerSpec,
+                                  config: AcceleratorConfig) -> LayerBlock:
+    instructions = [
+        Instruction(
+            Opcode.LOAD,
+            count=1,
+            operands={"bytes": _activation_bytes(spec, config.full_precision_bits)},
+        ),
+        Instruction(Opcode.ALU_MAC, count=spec.macs),
+        Instruction(
+            Opcode.STORE,
+            count=1,
+            operands={"bytes": _output_bytes(spec, config.full_precision_bits)},
+        ),
+    ]
+    return LayerBlock(
+        layer_name=spec.name, is_binary=False, instructions=instructions
+    )
+
+
+def compile_network(workload: NetworkWorkload,
+                    config: AcceleratorConfig) -> Program:
+    """Compile a network workload for one accelerator design."""
+    blocks: List[LayerBlock] = []
+    schedules: Dict[str, LayerSchedule] = {}
+    for spec in workload.layers:
+        if spec.is_binary:
+            block, schedule = _compile_binary_layer(spec, config)
+            schedules[spec.name] = schedule
+        else:
+            block = _compile_full_precision_layer(spec, config)
+        blocks.append(block)
+    return Program(
+        network_name=workload.name,
+        design_name=config.name,
+        blocks=blocks,
+        schedules=schedules,
+    )

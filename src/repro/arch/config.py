@@ -1,0 +1,199 @@
+"""Accelerator configurations for the three evaluated designs.
+
+Section V-B of the paper evaluates:
+
+* **Baseline-ePCM** — the SotA CIM accelerator for BNNs (Hirtzlin et al.):
+  CustBinaryMap on 2T2R ePCM crossbars, PCSA read-out, digital popcount.
+* **TacitMap-ePCM** — the proposed mapping on the *same* ePCM crossbars and
+  the same PCM configuration, but 1T1R cells read through column ADCs.
+* **EinsteinBarrier** — TacitMap on oPCM VCores with WDM (K = 16), photonic
+  transmitter/receiver, and the same digital periphery.
+
+The factory functions below build those three configurations with defaults
+drawn from the public literature the paper cites (PUMA-class digital units,
+MNEMOSENE-class ePCM timing, Feldmann-class photonic rates).  Every constant
+is a dataclass field so the ablation benchmarks can sweep it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+from repro.core.mapping_base import TileShape
+from repro.crossbar.adc import ADCConfig
+from repro.crossbar.tile import TileConfig
+from repro.devices.opcm import OPCMConfig
+from repro.devices.pcm import EPCMConfig
+from repro.utils.units import GHz, pJ
+from repro.utils.validation import check_positive
+
+Mapping = Literal["tacitmap", "custbinarymap"]
+Technology = Literal["epcm", "opcm"]
+
+
+@dataclass(frozen=True)
+class DigitalUnitConfig:
+    """Digital scalar/vector unit executing the non-binary layers.
+
+    The first and last layers of every evaluated BNN stay in higher precision
+    (Sec. II-B) and run on the ECore's functional units for *all three*
+    designs, so this block is shared and mostly cancels in the ratios — but
+    it creates the Amdahl floor that makes the speedups network-dependent.
+    """
+
+    clock_hz: float = 1.0 * GHz
+    macs_per_cycle: int = 1024
+    energy_per_mac: float = 1.0 * pJ
+    energy_per_add: float = 0.05 * pJ
+    add_latency_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("clock_hz", self.clock_hz)
+        if self.macs_per_cycle < 1:
+            raise ValueError("macs_per_cycle must be >= 1")
+        check_positive("energy_per_mac", self.energy_per_mac, allow_zero=True)
+        check_positive("energy_per_add", self.energy_per_add, allow_zero=True)
+        if self.add_latency_cycles < 0:
+            raise ValueError("add_latency_cycles must be non-negative")
+
+    @property
+    def macs_per_second(self) -> float:
+        """Peak MAC throughput of the digital unit."""
+        return self.clock_hz * self.macs_per_cycle
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """On-chip network moving activations between layers/cores."""
+
+    bandwidth_bytes_per_s: float = 128e9
+    energy_per_byte: float = 1.0 * pJ
+    hop_latency: float = 50e-9
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_bytes_per_s", self.bandwidth_bytes_per_s)
+        check_positive("energy_per_byte", self.energy_per_byte, allow_zero=True)
+        check_positive("hop_latency", self.hop_latency, allow_zero=True)
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Complete configuration of one evaluated accelerator design."""
+
+    name: str
+    mapping: Mapping
+    technology: Technology
+    tile: TileConfig
+    wdm_capacity: int = 1
+    digital: DigitalUnitConfig = field(default_factory=DigitalUnitConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    #: spatial hierarchy sizing (VCores per ECore, ECores per Tile, Tiles per Node)
+    vcores_per_ecore: int = 8
+    ecores_per_tile: int = 8
+    tiles_per_node: int = 8
+    #: activation bit width used for inter-layer data movement accounting
+    activation_bits: int = 1
+    #: bit width of the non-binary first/last layer activations
+    full_precision_bits: int = 8
+    #: laser electrical power of the photonic transmitter (W, oPCM only)
+    laser_power_w: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.mapping not in ("tacitmap", "custbinarymap"):
+            raise ValueError("mapping must be 'tacitmap' or 'custbinarymap'")
+        if self.technology not in ("epcm", "opcm"):
+            raise ValueError("technology must be 'epcm' or 'opcm'")
+        if self.wdm_capacity < 1:
+            raise ValueError("wdm_capacity must be >= 1")
+        if self.technology == "epcm" and self.wdm_capacity != 1:
+            raise ValueError("WDM requires oPCM technology")
+        if self.mapping == "custbinarymap" and self.wdm_capacity != 1:
+            raise ValueError("the baseline mapping does not support WDM")
+        for attribute in ("vcores_per_ecore", "ecores_per_tile", "tiles_per_node"):
+            if getattr(self, attribute) < 1:
+                raise ValueError(f"{attribute} must be >= 1")
+        if self.activation_bits < 1 or self.full_precision_bits < 1:
+            raise ValueError("bit widths must be >= 1")
+        check_positive("laser_power_w", self.laser_power_w, allow_zero=True)
+
+    @property
+    def tile_shape(self) -> TileShape:
+        """Logical tile shape used by the mapping/scheduling layer."""
+        return TileShape(rows=self.tile.rows, cols=self.tile.cols)
+
+    def with_overrides(self, **kwargs) -> "AcceleratorConfig":
+        """Return a copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+def baseline_epcm_config(*, crossbar_size: int = 256) -> AcceleratorConfig:
+    """The SotA baseline: CustBinaryMap on 2T2R ePCM crossbars with PCSAs."""
+    tile = TileConfig(
+        rows=crossbar_size,
+        cols=crossbar_size,
+        technology="epcm",
+        readout="pcsa",
+        columns_per_adc=1,
+        wdm_capacity=1,
+        device_config=EPCMConfig(),
+    )
+    return AcceleratorConfig(
+        name="Baseline-ePCM",
+        mapping="custbinarymap",
+        technology="epcm",
+        tile=tile,
+        wdm_capacity=1,
+    )
+
+
+def tacitmap_epcm_config(*, crossbar_size: int = 256,
+                         columns_per_adc: int = 8) -> AcceleratorConfig:
+    """TacitMap on electronic PCM crossbars (same PCM as the baseline)."""
+    tile = TileConfig(
+        rows=crossbar_size,
+        cols=crossbar_size,
+        technology="epcm",
+        readout="adc",
+        columns_per_adc=columns_per_adc,
+        wdm_capacity=1,
+        device_config=EPCMConfig(),
+        # fast 8-bit SAR sized for full-column popcount read-out; its energy
+        # is the "power-hungry ADC" the paper blames for TacitMap-ePCM's
+        # higher energy (Sec. VI-B)
+        adc_config=ADCConfig(resolution_bits=8, energy_per_conversion=16e-12),
+    )
+    return AcceleratorConfig(
+        name="TacitMap-ePCM",
+        mapping="tacitmap",
+        technology="epcm",
+        tile=tile,
+        wdm_capacity=1,
+    )
+
+
+def einsteinbarrier_config(*, crossbar_size: int = 256, wdm_capacity: int = 16,
+                           columns_per_adc: int = 1) -> AcceleratorConfig:
+    """EinsteinBarrier: TacitMap on oPCM VCores with WDM and TIAs."""
+    tile = TileConfig(
+        rows=crossbar_size,
+        cols=crossbar_size,
+        technology="opcm",
+        readout="adc",
+        columns_per_adc=columns_per_adc,
+        wdm_capacity=wdm_capacity,
+        device_config=OPCMConfig(),
+        adc_config=ADCConfig(resolution_bits=8, energy_per_conversion=16e-12),
+    )
+    return AcceleratorConfig(
+        name="EinsteinBarrier",
+        mapping="tacitmap",
+        technology="opcm",
+        tile=tile,
+        wdm_capacity=wdm_capacity,
+    )
+
+
+def all_design_configs() -> list[AcceleratorConfig]:
+    """The three designs of Sec. V-B, in the paper's reporting order."""
+    return [baseline_epcm_config(), tacitmap_epcm_config(), einsteinbarrier_config()]

@@ -1,0 +1,207 @@
+"""Per-inference energy model.
+
+Energy is accumulated per layer from the mapping schedule's operation counts
+and the component models:
+
+* **crossbar array** — per-cell read energy of every activation (the long
+  analog integration window for ADC-read VMMs, the short sensing window for
+  PCSA row reads — see :meth:`repro.crossbar.tile.CrossbarTile.pcsa_row_cost`);
+* **periphery** — ADC conversions (TacitMap / EinsteinBarrier), PCSA senses
+  (baseline) and row/bit-line driver conversions;
+* **digital** — popcount-tree additions (baseline) and partial-count merges
+  (TacitMap), plus the full-precision layers' MACs;
+* **data movement** — activation bytes over the on-chip network;
+* **optical overhead** (EinsteinBarrier only) — the transmitter and receiver
+  power of Eq. 2 / Eq. 3 integrated over the time the photonic core is busy,
+  which is how the extra parallelism "comes at the cost of power for the
+  additional components" (Sec. IV-B) while still winning on energy because
+  the busy time shrinks by a larger factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.arch.compiler import Program, compile_network
+from repro.arch.config import AcceleratorConfig
+from repro.arch.isa import Opcode
+from repro.arch.timing import LatencyModel
+from repro.bnn.workload import NetworkWorkload
+from repro.crossbar.tile import CrossbarTile
+from repro.photonics.power import crossbar_receiver_power, transmitter_power
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one inference, broken down by component class (joules)."""
+
+    design_name: str
+    network_name: str
+    per_layer: Dict[str, float] = field(default_factory=dict)
+    crossbar_array: float = 0.0
+    adc: float = 0.0
+    sense_amplifier: float = 0.0
+    driver: float = 0.0
+    digital: float = 0.0
+    data_movement: float = 0.0
+    optical_overhead: float = 0.0
+    full_precision: float = 0.0
+    weight_programming: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total inference energy (excludes one-time weight programming)."""
+        return (
+            self.crossbar_array
+            + self.adc
+            + self.sense_amplifier
+            + self.driver
+            + self.digital
+            + self.data_movement
+            + self.optical_overhead
+            + self.full_precision
+        )
+
+
+class EnergyModel:
+    """Estimates inference energy for one accelerator design."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self._tile = CrossbarTile(config.tile)
+        self._latency = LatencyModel(config)
+
+    # ------------------------------------------------------------------ #
+    # Whole-network estimation
+    # ------------------------------------------------------------------ #
+    def estimate(self, workload: NetworkWorkload,
+                 program: Program | None = None) -> EnergyBreakdown:
+        """Estimate the inference energy of ``workload`` on this design."""
+        if program is None:
+            program = compile_network(workload, self.config)
+
+        device = self.config.tile.resolved_device_config
+        adc_energy_per_conversion = self.config.tile.adc_config.energy_per_conversion
+        dac_energy = self.config.tile.dac_config.energy_per_conversion
+        sense_energy = self.config.tile.pcsa_config.energy_per_sense
+        add_energy = self.config.digital.energy_per_add
+        mac_energy = self.config.digital.energy_per_mac
+        byte_energy = self.config.interconnect.energy_per_byte
+
+        per_layer: Dict[str, float] = {}
+        totals = {
+            "crossbar_array": 0.0,
+            "adc": 0.0,
+            "sense_amplifier": 0.0,
+            "driver": 0.0,
+            "digital": 0.0,
+            "data_movement": 0.0,
+            "optical_overhead": 0.0,
+            "full_precision": 0.0,
+            "weight_programming": 0.0,
+        }
+
+        for block in program.blocks:
+            layer_energy = 0.0
+            schedule = program.schedules.get(block.layer_name)
+            for instruction in block.instructions:
+                if instruction.opcode in (Opcode.MVM, Opcode.MMM):
+                    active_rows = instruction.operand(
+                        "active_rows", self.config.tile.rows
+                    )
+                    read_columns = instruction.operand(
+                        "read_columns", self.config.tile.cols
+                    )
+                    array = (
+                        instruction.count * active_rows * read_columns
+                        * device.read_energy_per_cell
+                    )
+                    totals["crossbar_array"] += array
+                    layer_energy += array
+                    if schedule is not None:
+                        adc = schedule.adc_conversions * adc_energy_per_conversion
+                        driver = schedule.dac_drives * dac_energy
+                        totals["adc"] += adc
+                        totals["driver"] += driver
+                        layer_energy += adc + driver
+                    if self.config.technology == "opcm":
+                        optical = self._optical_overhead_energy(instruction)
+                        totals["optical_overhead"] += optical
+                        layer_energy += optical
+                elif instruction.opcode is Opcode.ROW_READ:
+                    read_columns = instruction.operand(
+                        "read_columns", self.config.tile.cols
+                    )
+                    step = self._tile.pcsa_row_cost(max(read_columns, 1))
+                    array = instruction.count * (
+                        step["energy"]
+                        - read_columns * sense_energy
+                        - read_columns * dac_energy
+                    )
+                    totals["crossbar_array"] += max(array, 0.0)
+                    layer_energy += max(array, 0.0)
+                    if schedule is not None:
+                        senses = schedule.pcsa_senses * sense_energy
+                        driver = schedule.dac_drives * dac_energy
+                        totals["sense_amplifier"] += senses
+                        totals["driver"] += driver
+                        layer_energy += senses + driver
+                elif instruction.opcode is Opcode.ALU_ADD:
+                    digital = instruction.count * add_energy
+                    totals["digital"] += digital
+                    layer_energy += digital
+                elif instruction.opcode is Opcode.ALU_MAC:
+                    macs = instruction.count * mac_energy
+                    totals["full_precision"] += macs
+                    layer_energy += macs
+                elif instruction.opcode in (Opcode.LOAD, Opcode.STORE):
+                    movement = instruction.operand("bytes") * byte_energy
+                    totals["data_movement"] += movement
+                    layer_energy += movement
+                elif instruction.opcode is Opcode.WRITE_WEIGHTS:
+                    totals["weight_programming"] += (
+                        instruction.operand("cells") * device.write_energy_per_cell
+                    )
+            # the baseline's popcount-tree additions travel with ROW_READ
+            # blocks as ALU_ADD instructions, already covered above
+            per_layer[block.layer_name] = layer_energy
+
+        return EnergyBreakdown(
+            design_name=self.config.name,
+            network_name=workload.name,
+            per_layer=per_layer,
+            crossbar_array=totals["crossbar_array"],
+            adc=totals["adc"],
+            sense_amplifier=totals["sense_amplifier"],
+            driver=totals["driver"],
+            digital=totals["digital"],
+            data_movement=totals["data_movement"],
+            optical_overhead=totals["optical_overhead"],
+            full_precision=totals["full_precision"],
+            weight_programming=totals["weight_programming"],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Optical overhead (Eq. 2 + Eq. 3 integrated over busy time)
+    # ------------------------------------------------------------------ #
+    def _optical_overhead_energy(self, instruction) -> float:
+        """Transmitter + receiver power during the layer's optical traversal.
+
+        The laser, comb tuning, modulators and TIAs (Eq. 2 + Eq. 3) only need
+        to illuminate the array while light traverses the crossbar; during
+        the subsequent ADC deserialisation the receiver works on the sampled
+        photocurrents, so the overhead power is integrated over
+        ``steps x optical_read_latency`` rather than the full step latency.
+        """
+        steps = instruction.operand("sequential_steps", instruction.count)
+        wavelengths = instruction.operand("wavelengths", 1)
+        active_rows = instruction.operand("active_rows", self.config.tile.rows)
+        read_columns = instruction.operand("read_columns", self.config.tile.cols)
+        optical_window = self.config.tile.resolved_device_config.read_latency
+        busy_time = steps * optical_window
+        power = transmitter_power(
+            max(wavelengths, 1), active_rows,
+            laser_power=self.config.laser_power_w,
+        ) + crossbar_receiver_power(read_columns)
+        return power * busy_time

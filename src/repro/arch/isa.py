@@ -1,0 +1,90 @@
+"""PUMA-style instruction set extended with MMM (Sec. IV).
+
+EinsteinBarrier "extends the ISA discussed in an earlier work [PUMA] to
+support multiple simultaneous VMMs, called Matrix-Matrix-Multiplication
+(MMM)".  The reproduction keeps the instruction set at the granularity the
+timing/energy models need: crossbar operations (MVM/MMM for the proposed
+mapping, row reads for the baseline), digital arithmetic (adds, popcounts,
+MACs for the full-precision layers), and data movement (load/store over the
+on-chip network).
+
+Each :class:`Instruction` carries a ``count`` so a compiled program stays
+compact (one instruction record per homogeneous burst rather than millions of
+identical entries) while still describing exactly how many dynamic operations
+execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List
+
+
+class Opcode(Enum):
+    """Operation classes recognised by the timing/energy models."""
+
+    #: analog VMM on one crossbar tile (TacitMap, one input vector)
+    MVM = "mvm"
+    #: analog MMM on one oPCM tile (TacitMap + WDM, up to K input vectors)
+    MMM = "mmm"
+    #: single word-line read sensed by PCSAs (CustBinaryMap step)
+    ROW_READ = "row_read"
+    #: digital two-input addition (partial-sum merge or popcount-tree node)
+    ALU_ADD = "alu_add"
+    #: digital multiply-accumulate (full-precision first/last layers)
+    ALU_MAC = "alu_mac"
+    #: move activation bytes across the on-chip network
+    LOAD = "load"
+    STORE = "store"
+    #: program weight bits into crossbar cells (one-time, excluded from
+    #: steady-state inference latency but reported for completeness)
+    WRITE_WEIGHTS = "write_weights"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One (possibly repeated) operation burst.
+
+    Attributes
+    ----------
+    opcode:
+        Operation class.
+    count:
+        Number of dynamic instances of the operation.
+    operands:
+        Free-form metadata the models consume, e.g. ``active_rows``,
+        ``read_columns``, ``wavelengths`` for crossbar opcodes or ``bytes``
+        for data movement.
+    """
+
+    opcode: Opcode
+    count: int = 1
+    operands: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+
+    def operand(self, key: str, default: int = 0) -> int:
+        """Fetch an operand with a default."""
+        return int(self.operands.get(key, default))
+
+
+@dataclass(frozen=True)
+class LayerBlock:
+    """All instructions belonging to one network layer."""
+
+    layer_name: str
+    is_binary: bool
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def count(self, opcode: Opcode) -> int:
+        """Total dynamic instances of ``opcode`` in this block."""
+        return sum(i.count for i in self.instructions if i.opcode is opcode)
+
+
+def total_count(blocks: Iterable[LayerBlock], opcode: Opcode) -> int:
+    """Total dynamic instances of ``opcode`` across blocks."""
+    return sum(block.count(opcode) for block in blocks)

@@ -1,0 +1,153 @@
+"""Per-inference latency model.
+
+The latency of one inference is the sum over layers (layers are strictly
+dependent, so they execute back-to-back) of:
+
+* **binary layers** — the critical-path crossbar steps of the layer's mapping
+  schedule (all tiles of a layer fire concurrently, exactly as both the
+  baseline and the proposed designs allow), each step costing one crossbar
+  activation of the appropriate kind (PCSA row read for CustBinaryMap, ADC
+  VMM/MMM for TacitMap/EinsteinBarrier) plus, for the baseline, the popcount
+  tree traversal, plus, for TacitMap, the digital merge of row-segment
+  partial counts;
+* **full-precision layers** — the MACs of the first/last layers executed on
+  the ECore digital unit at its peak MAC throughput;
+* **data movement** — activations moved over the on-chip network between
+  layers.
+
+One-time weight programming is reported separately and *not* included in the
+steady-state inference latency (inference-time accelerators programme the
+weights once), mirroring the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.arch.compiler import Program, compile_network
+from repro.arch.config import AcceleratorConfig
+from repro.arch.isa import Opcode
+from repro.bnn.workload import NetworkWorkload
+from repro.crossbar.tile import CrossbarTile
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Latency of one inference, broken down by contribution.
+
+    All values are in seconds.
+    """
+
+    design_name: str
+    network_name: str
+    per_layer: Dict[str, float] = field(default_factory=dict)
+    binary_compute: float = 0.0
+    full_precision_compute: float = 0.0
+    data_movement: float = 0.0
+    weight_programming: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """End-to-end inference latency (excludes one-time weight writes)."""
+        return self.binary_compute + self.full_precision_compute + self.data_movement
+
+
+class LatencyModel:
+    """Estimates inference latency for one accelerator design."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self._tile = CrossbarTile(config.tile)
+
+    # ------------------------------------------------------------------ #
+    # Per-step costs
+    # ------------------------------------------------------------------ #
+    def binary_step_latency(self, active_rows: int, read_columns: int,
+                            wavelengths: int, popcount_tree_depth: int) -> float:
+        """Latency of one crossbar step of the configured mapping."""
+        if self.config.mapping == "tacitmap":
+            cost = self._tile.vmm_cost(
+                max(active_rows, 1), max(read_columns, 1),
+                wavelengths=max(wavelengths, 1),
+            )
+            return cost["latency"]
+        cost = self._tile.pcsa_row_cost(max(read_columns, 1))
+        tree = (
+            popcount_tree_depth * self.config.digital.add_latency_cycles
+            / self.config.digital.clock_hz
+        )
+        return cost["latency"] + tree
+
+    def transfer_latency(self, num_bytes: int) -> float:
+        """Latency of moving ``num_bytes`` over the on-chip network."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return (
+            self.config.interconnect.hop_latency
+            + num_bytes / self.config.interconnect.bandwidth_bytes_per_s
+        )
+
+    # ------------------------------------------------------------------ #
+    # Whole-network estimation
+    # ------------------------------------------------------------------ #
+    def estimate(self, workload: NetworkWorkload,
+                 program: Program | None = None) -> LatencyBreakdown:
+        """Estimate the inference latency of ``workload`` on this design."""
+        if program is None:
+            program = compile_network(workload, self.config)
+        per_layer: Dict[str, float] = {}
+        binary_compute = 0.0
+        full_precision_compute = 0.0
+        data_movement = 0.0
+        weight_programming = 0.0
+
+        for block in program.blocks:
+            layer_time = 0.0
+            for instruction in block.instructions:
+                if instruction.opcode in (Opcode.MVM, Opcode.MMM, Opcode.ROW_READ):
+                    steps = instruction.operand("sequential_steps", instruction.count)
+                    step_latency = self.binary_step_latency(
+                        instruction.operand("active_rows", self.config.tile.rows),
+                        instruction.operand("read_columns", self.config.tile.cols),
+                        instruction.operand("wavelengths", 1),
+                        instruction.operand("popcount_tree_depth", 0),
+                    )
+                    duration = steps * step_latency
+                    binary_compute += duration
+                    layer_time += duration
+                elif instruction.opcode is Opcode.ALU_ADD:
+                    cycles = math.ceil(
+                        instruction.count / self.config.digital.macs_per_cycle
+                    ) * self.config.digital.add_latency_cycles
+                    duration = cycles / self.config.digital.clock_hz
+                    binary_compute += duration
+                    layer_time += duration
+                elif instruction.opcode is Opcode.ALU_MAC:
+                    duration = instruction.count / self.config.digital.macs_per_second
+                    full_precision_compute += duration
+                    layer_time += duration
+                elif instruction.opcode in (Opcode.LOAD, Opcode.STORE):
+                    duration = self.transfer_latency(instruction.operand("bytes"))
+                    data_movement += duration
+                    layer_time += duration
+                elif instruction.opcode is Opcode.WRITE_WEIGHTS:
+                    cells = instruction.operand("cells")
+                    rows = math.ceil(cells / max(self.config.tile.cols, 1))
+                    weight_programming += (
+                        rows * self.config.tile.resolved_device_config.write_latency
+                    )
+            per_layer[block.layer_name] = layer_time
+
+        return LatencyBreakdown(
+            design_name=self.config.name,
+            network_name=workload.name,
+            per_layer=per_layer,
+            binary_compute=binary_compute,
+            full_precision_compute=full_precision_compute,
+            data_movement=data_movement,
+            weight_programming=weight_programming,
+        )

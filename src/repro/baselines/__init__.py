@@ -1,0 +1,19 @@
+"""Comparison baselines used in the paper's evaluation (Sec. V-B).
+
+* :mod:`repro.baselines.baseline_epcm` — the SotA CIM accelerator for BNNs
+  (Hirtzlin et al.'s differential 2T2R design with CustBinaryMap), exposed as
+  a thin convenience wrapper over the generic accelerator model configured
+  with :func:`repro.arch.config.baseline_epcm_config`.
+* :mod:`repro.baselines.gpu` — an analytical roofline model of a GPU running
+  the same XNOR-popcount BNN inference (Baseline-GPU).
+"""
+
+from repro.baselines.baseline_epcm import BaselineEPCMAccelerator
+from repro.baselines.gpu import GPUConfig, GPUModel, GPUReport
+
+__all__ = [
+    "BaselineEPCMAccelerator",
+    "GPUConfig",
+    "GPUModel",
+    "GPUReport",
+]

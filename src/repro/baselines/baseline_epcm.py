@@ -1,0 +1,64 @@
+"""Baseline-ePCM: the state-of-the-art CIM accelerator for BNNs.
+
+The paper's primary comparison point is the design of Hirtzlin et al.
+("Digital biologically plausible implementation of binarized neural networks
+with differential hafnium oxide resistive memory arrays"), referred to as
+CustBinaryMap/Baseline-ePCM throughout.  Architecturally it is a crossbar
+accelerator like the others — what differs is the mapping (row-wise 2T2R with
+interleaved complements), the read-out (PCSA instead of ADC) and the digital
+popcount post-processing.  This module therefore wraps the generic
+:class:`~repro.arch.accelerator.AcceleratorModel` with the baseline
+configuration and adds the couple of queries the evaluation wants to ask the
+baseline specifically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.accelerator import AcceleratorModel, InferenceReport
+from repro.arch.config import AcceleratorConfig, baseline_epcm_config
+from repro.bnn.model import BNNModel
+from repro.bnn.workload import NetworkWorkload, extract_workload
+from repro.core.schedule import build_network_schedule
+
+
+class BaselineEPCMAccelerator:
+    """The SotA ePCM baseline (CustBinaryMap + PCSA + digital popcount)."""
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None) -> None:
+        self.config = config if config is not None else baseline_epcm_config()
+        if self.config.mapping != "custbinarymap":
+            raise ValueError(
+                "BaselineEPCMAccelerator requires the custbinarymap mapping"
+            )
+        self._model = AcceleratorModel(self.config)
+
+    @property
+    def name(self) -> str:
+        """Design name used in reports."""
+        return self.config.name
+
+    def run_inference(self, workload: NetworkWorkload | BNNModel) -> InferenceReport:
+        """Latency/energy/allocation report of one inference."""
+        return self._model.run_inference(workload)
+
+    def serialization_factor(self, workload: NetworkWorkload | BNNModel) -> float:
+        """Average number of sequential crossbar steps per activation vector.
+
+        This is the quantity the paper blames for the baseline losing to the
+        GPU on MLP-heavy workloads (Sec. VI-A, observation 4): the row-serial
+        read-out forces ``n`` steps per activation vector, so networks with
+        wide fully connected layers serialise badly.
+        """
+        if isinstance(workload, BNNModel):
+            workload = extract_workload(workload)
+        schedule = build_network_schedule(
+            workload, mapping="custbinarymap", tile_shape=self.config.tile_shape
+        )
+        total_vectors = sum(
+            spec.num_input_vectors for spec in workload.binary_layers
+        )
+        if total_vectors == 0:
+            return 0.0
+        return schedule.total_sequential_steps / total_vectors

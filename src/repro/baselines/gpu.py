@@ -1,0 +1,185 @@
+"""Baseline-GPU: analytical roofline model of GPU BNN inference.
+
+The paper compares the CIM designs against "a GPU implementation of the same
+network" (Sec. V-B).  Real GPU measurements are unavailable in this offline
+reproduction, so the GPU is modelled with the standard ingredients that
+determine small-batch BNN inference latency on a GPU (see PhoneBit and the
+FPGA/CPU/GPU comparison study the paper cites):
+
+* a **per-kernel launch/framework overhead** — the dominant term for small
+  networks at batch size 1.  Convolutions cost more kernels than fully
+  connected layers (im2col, GEMM, col2im, normalisation, binarisation);
+* a **memory-traffic term** — weights and activations streamed from DRAM at
+  the GPU's effective bandwidth (binary layers use packed 1-bit weights);
+* a **compute term** — XNOR-popcount (binary) or FMA (full-precision) ops at
+  the GPU's peak throughput, derated by a utilisation factor that grows with
+  the amount of exposed parallelism (tiny layers cannot fill the machine).
+
+The point the model must reproduce is the *crossover* of Fig. 7 (marker 4):
+Baseline-ePCM beats the GPU on the small CNN because the GPU drowns in
+per-kernel overheads, while the GPU beats Baseline-ePCM on the large MLPs
+because the baseline mapping serialises one row read per output neuron.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.bnn.model import BNNModel
+from repro.bnn.workload import LayerSpec, NetworkWorkload, extract_workload
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Analytical GPU parameters (defaults approximate a mid-range card)."""
+
+    name: str = "Baseline-GPU"
+    #: peak binary (XNOR-popcount) throughput in operations per second
+    peak_binary_ops_per_s: float = 50e12
+    #: peak full-precision MAC throughput in operations per second
+    peak_mac_ops_per_s: float = 10e12
+    #: effective DRAM bandwidth in bytes per second
+    memory_bandwidth_bytes_per_s: float = 500e9
+    #: fixed host-side overhead per launched kernel, in seconds
+    kernel_launch_overhead: float = 2e-6
+    #: kernels launched per convolutional MAC layer (im2col, GEMM, col2im,
+    #: batch-norm, binarise, pool)
+    kernels_per_conv_layer: int = 4
+    #: kernels launched per fully connected MAC layer (GEMV, batch-norm/sign)
+    kernels_per_fc_layer: int = 2
+    #: fixed lowering cost per convolutional layer: bit-packing + im2col for
+    #: binary tensors has no vendor-library fast path, so BNN GPU engines
+    #: (PhoneBit-class) pay a large fixed transform cost per conv layer at
+    #: batch size 1
+    conv_lowering_overhead: float = 250e-6
+    #: number of parallel scalar operations needed to reach full utilisation
+    full_utilisation_parallelism: float = 2e5
+    #: board power while running inference, in watts
+    board_power_w: float = 250.0
+    #: bytes per full-precision weight/activation element
+    full_precision_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("peak_binary_ops_per_s", self.peak_binary_ops_per_s)
+        check_positive("peak_mac_ops_per_s", self.peak_mac_ops_per_s)
+        check_positive("memory_bandwidth_bytes_per_s",
+                       self.memory_bandwidth_bytes_per_s)
+        check_positive("kernel_launch_overhead", self.kernel_launch_overhead,
+                       allow_zero=True)
+        check_positive("conv_lowering_overhead", self.conv_lowering_overhead,
+                       allow_zero=True)
+        if self.kernels_per_conv_layer < 1 or self.kernels_per_fc_layer < 1:
+            raise ValueError("kernel counts must be >= 1")
+        check_positive("full_utilisation_parallelism",
+                       self.full_utilisation_parallelism)
+        check_positive("board_power_w", self.board_power_w)
+        if self.full_precision_bytes < 1:
+            raise ValueError("full_precision_bytes must be >= 1")
+
+
+@dataclass(frozen=True)
+class GPUReport:
+    """Latency/energy estimate of one inference on the GPU baseline."""
+
+    design_name: str
+    network_name: str
+    per_layer: Dict[str, float] = field(default_factory=dict)
+    kernel_overhead: float = 0.0
+    memory_time: float = 0.0
+    compute_time: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        """End-to-end inference latency in seconds."""
+        return self.kernel_overhead + self.memory_time + self.compute_time
+
+    @property
+    def total(self) -> float:
+        """Alias for :attr:`latency` (keeps report interfaces uniform)."""
+        return self.latency
+
+
+class GPUModel:
+    """Roofline-style GPU latency/energy estimator."""
+
+    def __init__(self, config: GPUConfig | None = None) -> None:
+        self.config = config if config is not None else GPUConfig()
+
+    @property
+    def name(self) -> str:
+        """Design name used in reports."""
+        return self.config.name
+
+    # ------------------------------------------------------------------ #
+    # Per-layer terms
+    # ------------------------------------------------------------------ #
+    def _layer_kernels(self, spec: LayerSpec) -> int:
+        if spec.kind == "conv":
+            return self.config.kernels_per_conv_layer
+        return self.config.kernels_per_fc_layer
+
+    def _layer_fixed_overhead(self, spec: LayerSpec) -> float:
+        overhead = self._layer_kernels(spec) * self.config.kernel_launch_overhead
+        if spec.kind == "conv":
+            overhead += self.config.conv_lowering_overhead
+        return overhead
+
+    def _layer_bytes(self, spec: LayerSpec) -> float:
+        weight_elements = spec.vector_length * spec.num_weight_vectors
+        activation_elements = spec.vector_length * spec.num_input_vectors
+        output_elements = spec.num_weight_vectors * spec.num_input_vectors
+        if spec.is_binary:
+            weight_bytes = weight_elements / 8.0
+            activation_bytes = activation_elements / 8.0
+        else:
+            weight_bytes = weight_elements * self.config.full_precision_bytes
+            activation_bytes = activation_elements * self.config.full_precision_bytes
+        output_bytes = output_elements * self.config.full_precision_bytes
+        return weight_bytes + activation_bytes + output_bytes
+
+    def _layer_compute(self, spec: LayerSpec) -> float:
+        parallel_work = spec.num_weight_vectors * spec.num_input_vectors
+        utilisation = min(
+            1.0, parallel_work / self.config.full_utilisation_parallelism
+        )
+        utilisation = max(utilisation, 1e-3)
+        peak = (
+            self.config.peak_binary_ops_per_s if spec.is_binary
+            else self.config.peak_mac_ops_per_s
+        )
+        return spec.macs / (peak * utilisation)
+
+    # ------------------------------------------------------------------ #
+    # Whole-network estimation
+    # ------------------------------------------------------------------ #
+    def run_inference(self, workload: NetworkWorkload | BNNModel) -> GPUReport:
+        """Estimate one inference of ``workload`` on the GPU baseline."""
+        if isinstance(workload, BNNModel):
+            workload = extract_workload(workload)
+        per_layer: Dict[str, float] = {}
+        kernel_overhead = 0.0
+        memory_time = 0.0
+        compute_time = 0.0
+        for spec in workload.layers:
+            overhead = self._layer_fixed_overhead(spec)
+            memory = self._layer_bytes(spec) / self.config.memory_bandwidth_bytes_per_s
+            compute = self._layer_compute(spec)
+            kernel_overhead += overhead
+            memory_time += memory
+            compute_time += compute
+            per_layer[spec.name] = overhead + memory + compute
+        return GPUReport(
+            design_name=self.config.name,
+            network_name=workload.name,
+            per_layer=per_layer,
+            kernel_overhead=kernel_overhead,
+            memory_time=memory_time,
+            compute_time=compute_time,
+        )
+
+    def energy(self, workload: NetworkWorkload | BNNModel) -> float:
+        """Inference energy: board power integrated over the latency."""
+        return self.config.board_power_w * self.run_inference(workload).latency

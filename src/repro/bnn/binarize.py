@@ -1,0 +1,81 @@
+"""Binarisation utilities.
+
+BNNs in the paper operate on binary weights and activations encoded either as
+*bipolar* values ``{-1, +1}`` (the algebra used by Eq. 1's convolution) or as
+*unipolar* bits ``{0, 1}`` (the encoding actually stored in PCM cells and fed
+through the crossbar).  This module provides the sign binarisation used at
+inference time, the straight-through estimator (STE) used during training, and
+the lossless conversions between the two encodings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def binarize_sign(x: np.ndarray) -> np.ndarray:
+    """Binarise ``x`` to bipolar ``{-1, +1}`` using the sign function.
+
+    Zero is mapped to ``+1`` following the convention of BinaryConnect /
+    XNOR-Net, so the output never contains a third value.
+    """
+    x = np.asarray(x)
+    return np.where(x >= 0, 1, -1).astype(np.int8)
+
+
+def to_unipolar(bipolar: np.ndarray) -> np.ndarray:
+    """Convert bipolar ``{-1, +1}`` values to unipolar bits ``{0, 1}``.
+
+    The mapping is ``-1 -> 0`` and ``+1 -> 1``; it is the encoding written
+    into PCM devices (amorphous = 0, crystalline = 1).
+    """
+    bipolar = np.asarray(bipolar)
+    unique = np.unique(bipolar)
+    if not np.all(np.isin(unique, (-1, 1))):
+        raise ValueError(
+            f"expected bipolar -1/+1 input, found values {unique[:8]!r}"
+        )
+    return ((bipolar + 1) // 2).astype(np.int8)
+
+
+def to_bipolar(unipolar: np.ndarray) -> np.ndarray:
+    """Convert unipolar bits ``{0, 1}`` to bipolar values ``{-1, +1}``."""
+    unipolar = np.asarray(unipolar)
+    unique = np.unique(unipolar)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise ValueError(
+            f"expected unipolar 0/1 input, found values {unique[:8]!r}"
+        )
+    return (unipolar.astype(np.int8) * 2 - 1).astype(np.int8)
+
+
+def ste_backward(grad_output: np.ndarray, latent: np.ndarray,
+                 clip: float = 1.0) -> np.ndarray:
+    """Straight-through estimator gradient for the sign function.
+
+    During training the latent full-precision weights/activations are
+    binarised in the forward pass; the backward pass passes the gradient
+    straight through wherever the latent value lies inside ``[-clip, clip]``
+    and zeroes it elsewhere (the "hard tanh" STE of Courbariaux et al.).
+
+    Parameters
+    ----------
+    grad_output:
+        Gradient flowing back from the binarised value.
+    latent:
+        The latent full-precision tensor that was binarised.
+    clip:
+        Saturation bound outside which the gradient is cancelled.
+    """
+    latent = np.asarray(latent, dtype=np.float64)
+    mask = (np.abs(latent) <= clip).astype(np.float64)
+    return np.asarray(grad_output, dtype=np.float64) * mask
+
+
+def clip_latent(latent: np.ndarray, clip: float = 1.0) -> np.ndarray:
+    """Clip latent full-precision weights to ``[-clip, clip]``.
+
+    BinaryConnect keeps latent weights bounded so that the STE gradient mask
+    never permanently disables a weight.
+    """
+    return np.clip(np.asarray(latent, dtype=np.float64), -clip, clip)

@@ -1,0 +1,162 @@
+"""Synthetic MNIST / CIFAR-10-like datasets.
+
+The paper evaluates on MNIST and CIFAR-10.  This environment has no network
+access, so we synthesise datasets with the same tensor shapes, value ranges
+and number of classes, built from deterministic class-conditional prototypes
+plus noise.  The accelerator study does not depend on absolute accuracy (the
+paper states the mappings do not change accuracy at all); what matters is
+that real binary weight/activation tensors of the right shapes flow through
+the layers, which these datasets provide.  They are also separable enough
+that the included training loop visibly learns, which the training tests
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, make_rng
+
+MNIST_SHAPE = (1, 28, 28)
+CIFAR_SHAPE = (3, 32, 32)
+NUM_CLASSES = 10
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A supervised dataset split into train and test partitions.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"synthetic-mnist"`` or ``"synthetic-cifar10"``).
+    train_images, test_images:
+        Arrays of shape ``(n, C, H, W)`` with values in ``[-1, 1]``.
+    train_labels, test_labels:
+        Integer class labels in ``[0, num_classes)``.
+    num_classes:
+        Number of distinct classes.
+    """
+
+    name: str
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    num_classes: int
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """Per-sample ``(channels, height, width)`` shape."""
+        return tuple(self.train_images.shape[1:])  # type: ignore[return-value]
+
+    def flattened(self) -> "Dataset":
+        """Return a copy with images flattened to ``(n, C*H*W)`` (for MLPs)."""
+        return Dataset(
+            name=self.name + "-flat",
+            train_images=self.train_images.reshape(self.train_images.shape[0], -1),
+            train_labels=self.train_labels,
+            test_images=self.test_images.reshape(self.test_images.shape[0], -1),
+            test_labels=self.test_labels,
+            num_classes=self.num_classes,
+        )
+
+
+def _class_prototypes(shape: Tuple[int, int, int], num_classes: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Build smooth, well-separated class prototypes.
+
+    Each prototype is a mixture of a few low-frequency 2-D cosine patterns
+    whose phases/frequencies depend on the class index, loosely mimicking the
+    stroke/texture structure that distinguishes digit / object classes.
+    """
+    channels, height, width = shape
+    ys, xs = np.meshgrid(
+        np.linspace(0, np.pi, height), np.linspace(0, np.pi, width), indexing="ij"
+    )
+    prototypes = np.zeros((num_classes, channels, height, width))
+    for cls in range(num_classes):
+        for ch in range(channels):
+            freq_y = 1 + (cls % 4) + ch
+            freq_x = 1 + ((cls + 2) % 5)
+            phase = rng.uniform(0, np.pi)
+            pattern = (
+                np.cos(freq_y * ys + phase) * np.sin(freq_x * xs + 0.3 * cls)
+                + 0.5 * np.cos((cls + 1) * (ys + xs) / 2.0)
+            )
+            prototypes[cls, ch] = pattern
+    # normalise prototypes to [-1, 1]
+    max_abs = np.max(np.abs(prototypes), axis=(1, 2, 3), keepdims=True)
+    return prototypes / np.maximum(max_abs, 1e-12)
+
+
+def _synthesise(name: str, shape: Tuple[int, int, int], *, train_size: int,
+                test_size: int, noise_std: float, seed: RngLike) -> Dataset:
+    rng = make_rng(seed)
+    prototypes = _class_prototypes(shape, NUM_CLASSES, rng)
+
+    def _split(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, NUM_CLASSES, size=count)
+        images = prototypes[labels] + rng.normal(0.0, noise_std, size=(count, *shape))
+        return np.clip(images, -1.0, 1.0), labels.astype(np.int64)
+
+    train_images, train_labels = _split(train_size)
+    test_images, test_labels = _split(test_size)
+    return Dataset(
+        name=name,
+        train_images=train_images,
+        train_labels=train_labels,
+        test_images=test_images,
+        test_labels=test_labels,
+        num_classes=NUM_CLASSES,
+    )
+
+
+def synthetic_mnist(*, train_size: int = 2048, test_size: int = 512,
+                    noise_std: float = 0.35, seed: RngLike = 7) -> Dataset:
+    """Synthesise an MNIST-like dataset (1x28x28 images, 10 classes)."""
+    return _synthesise(
+        "synthetic-mnist", MNIST_SHAPE, train_size=train_size,
+        test_size=test_size, noise_std=noise_std, seed=seed,
+    )
+
+
+def synthetic_cifar10(*, train_size: int = 2048, test_size: int = 512,
+                      noise_std: float = 0.45, seed: RngLike = 11) -> Dataset:
+    """Synthesise a CIFAR-10-like dataset (3x32x32 images, 10 classes)."""
+    return _synthesise(
+        "synthetic-cifar10", CIFAR_SHAPE, train_size=train_size,
+        test_size=test_size, noise_std=noise_std, seed=seed,
+    )
+
+
+def load_dataset(name: str, **kwargs) -> Dataset:
+    """Load a dataset by name (``"mnist"`` or ``"cifar10"``)."""
+    normalised = name.lower().replace("-", "").replace("_", "")
+    if normalised in ("mnist", "syntheticmnist"):
+        return synthetic_mnist(**kwargs)
+    if normalised in ("cifar10", "cifar", "syntheticcifar10"):
+        return synthetic_cifar10(**kwargs)
+    raise ValueError(f"unknown dataset {name!r}; expected 'mnist' or 'cifar10'")
+
+
+def iterate_minibatches(images: np.ndarray, labels: np.ndarray, batch_size: int,
+                        *, shuffle: bool = True, seed: RngLike = None):
+    """Yield ``(images, labels)`` minibatches.
+
+    The last incomplete batch is kept (not dropped), matching common practice
+    for evaluation loops.
+    """
+    if len(images) != len(labels):
+        raise ValueError("images and labels must have the same length")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(len(images))
+    if shuffle:
+        make_rng(seed).shuffle(indices)
+    for start in range(0, len(indices), batch_size):
+        batch_idx = indices[start:start + batch_size]
+        yield images[batch_idx], labels[batch_idx]

@@ -1,0 +1,612 @@
+"""Neural-network layers used by the evaluation BNNs.
+
+The paper keeps the *first and last* layers of every network in higher
+precision and binarises only the hidden layers (Sec. II-B); the layer classes
+here therefore come in two flavours:
+
+* full-precision layers (:class:`Linear`, :class:`Conv2d`) that execute on the
+  digital scalar units of the accelerators, and
+* binary layers (:class:`BinaryLinear`, :class:`BinaryConv2d`) whose forward
+  pass uses the XNOR+Popcount identity of Eq. 1 and whose training pass uses
+  latent full-precision weights with a straight-through estimator.
+
+All layers implement a minimal ``forward`` / ``backward`` protocol operating
+on NumPy arrays so the whole stack runs without any deep-learning framework.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.bnn.binarize import binarize_sign, clip_latent, ste_backward
+from repro.bnn.xnor_ops import binary_conv2d, binary_matmul, im2col
+from repro.utils.rng import RngLike, make_rng
+
+
+class Layer:
+    """Base class for all layers.
+
+    Sub-classes implement :meth:`forward` and :meth:`backward` and expose
+    trainable parameters through :attr:`params` / :attr:`grads` dictionaries
+    keyed by parameter name.
+    """
+
+    #: whether the layer's MAC work is binary (runs on the crossbar) or not
+    is_binary: bool = False
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self.training: bool = False
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def train(self) -> None:
+        """Switch the layer to training mode."""
+        self.training = True
+
+    def eval(self) -> None:
+        """Switch the layer to inference mode."""
+        self.training = False
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape of the output for a single sample of ``input_shape``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def _kaiming_init(shape: Tuple[int, ...], fan_in: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    """He-style initialisation appropriate for sign activations."""
+    scale = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, scale, size=shape)
+
+
+class Linear(Layer):
+    """Full-precision fully connected layer ``y = x @ W.T + b``."""
+
+    is_binary = False
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 bias: bool = True, rng: RngLike = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.use_bias = bool(bias)
+        generator = make_rng(rng)
+        self.params["weight"] = _kaiming_init(
+            (out_features, in_features), in_features, generator
+        )
+        if bias:
+            self.params["bias"] = np.zeros(out_features)
+        self._cache_input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        self._cache_input = x if self.training else None
+        out = x @ self.params["weight"].T
+        if self.use_bias:
+            out = out + self.params["bias"]
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache_input is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        x = self._cache_input
+        self.grads["weight"] = grad.T @ x
+        if self.use_bias:
+            self.grads["bias"] = grad.sum(axis=0)
+        return grad @ self.params["weight"]
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.out_features,)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class BinaryLinear(Layer):
+    """Fully connected layer with binary weights (and binary inputs).
+
+    At inference the latent weights are binarised with ``sign`` and the output
+    is computed with :func:`repro.bnn.xnor_ops.binary_matmul`, i.e. through
+    exactly the XNOR+Popcount path that the crossbar mappings implement.
+    """
+
+    is_binary = True
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 rng: RngLike = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        generator = make_rng(rng)
+        self.params["weight"] = _kaiming_init(
+            (out_features, in_features), in_features, generator
+        )
+        self._cache_input: Optional[np.ndarray] = None
+
+    @property
+    def binary_weight(self) -> np.ndarray:
+        """Bipolar {-1,+1} weights actually used at inference."""
+        return binarize_sign(self.params["weight"])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        x_binary = binarize_sign(x)
+        weight_binary = self.binary_weight
+        if self.training:
+            self._cache_input = np.asarray(x, dtype=np.float64)
+        else:
+            self._cache_input = None
+        return binary_matmul(x_binary, weight_binary).astype(np.float64)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache_input is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        x_latent = self._cache_input
+        x_binary = binarize_sign(x_latent).astype(np.float64)
+        # Gradient w.r.t. binary weights, passed straight through to latents.
+        grad_weight = grad.T @ x_binary
+        self.grads["weight"] = ste_backward(grad_weight, self.params["weight"])
+        # Gradient w.r.t. binary inputs, then STE through the input sign().
+        grad_input_binary = grad @ binarize_sign(self.params["weight"]).astype(np.float64)
+        return ste_backward(grad_input_binary, x_latent)
+
+    def clip_latent_weights(self) -> None:
+        """Clip latent weights to [-1, 1] after an optimiser step."""
+        self.params["weight"] = clip_latent(self.params["weight"])
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.out_features,)
+
+    def __repr__(self) -> str:
+        return f"BinaryLinear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Layer):
+    """Full-precision 2-D convolution (used for non-binarised first layers)."""
+
+    is_binary = False
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, *,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: RngLike = None) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size) <= 0:
+            raise ValueError("channels and kernel_size must be positive")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.use_bias = bool(bias)
+        fan_in = in_channels * kernel_size * kernel_size
+        generator = make_rng(rng)
+        self.params["weight"] = _kaiming_init(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, generator
+        )
+        if bias:
+            self.params["bias"] = np.zeros(out_channels)
+        self._cache: Optional[Tuple[np.ndarray, int, int, Tuple[int, ...]]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        patches, out_h, out_w = im2col(
+            x, self.kernel_size, stride=self.stride, padding=self.padding,
+            pad_value=0.0,
+        )
+        flat_weight = self.params["weight"].reshape(self.out_channels, -1)
+        out = patches @ flat_weight.T
+        if self.use_bias:
+            out = out + self.params["bias"]
+        batch = x.shape[0]
+        if self.training:
+            self._cache = (patches, out_h, out_w, x.shape)
+        else:
+            self._cache = None
+        return out.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        patches, out_h, out_w, input_shape = self._cache
+        batch = input_shape[0]
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        flat_weight = self.params["weight"].reshape(self.out_channels, -1)
+        self.grads["weight"] = (grad_flat.T @ patches).reshape(
+            self.params["weight"].shape
+        )
+        if self.use_bias:
+            self.grads["bias"] = grad_flat.sum(axis=0)
+        grad_patches = grad_flat @ flat_weight
+        return _col2im(
+            grad_patches, input_shape, self.kernel_size, self.stride,
+            self.padding, out_h, out_w,
+        )
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        _, height, width = input_shape
+        out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return (self.out_channels, out_h, out_w)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class BinaryConv2d(Layer):
+    """2-D convolution with binary weights and binary activations.
+
+    The forward pass flattens each receptive field (im2col) and evaluates the
+    XNOR+Popcount identity, mirroring how TacitMap flattens kernels into
+    crossbar columns (Fig. 5, "Flattened Kernels").
+    """
+
+    is_binary = True
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, *,
+                 stride: int = 1, padding: int = 0, rng: RngLike = None) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size) <= 0:
+            raise ValueError("channels and kernel_size must be positive")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        fan_in = in_channels * kernel_size * kernel_size
+        generator = make_rng(rng)
+        self.params["weight"] = _kaiming_init(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, generator
+        )
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray, int, int, Tuple[int, ...]]] = None
+
+    @property
+    def binary_weight(self) -> np.ndarray:
+        """Bipolar {-1,+1} kernels actually used at inference."""
+        return binarize_sign(self.params["weight"])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        x_binary = binarize_sign(x)
+        out = binary_conv2d(
+            x_binary, self.binary_weight, stride=self.stride, padding=self.padding
+        ).astype(np.float64)
+        if self.training:
+            patches_latent, out_h, out_w = im2col(
+                np.asarray(x, dtype=np.float64), self.kernel_size,
+                stride=self.stride, padding=self.padding, pad_value=-1.0,
+            )
+            self._cache = (patches_latent, x_binary, out_h, out_w, x.shape)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        patches_latent, _, out_h, out_w, input_shape = self._cache
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        patches_binary = binarize_sign(patches_latent).astype(np.float64)
+        grad_weight_flat = grad_flat.T @ patches_binary
+        grad_weight = ste_backward(
+            grad_weight_flat.reshape(self.params["weight"].shape),
+            self.params["weight"],
+        )
+        self.grads["weight"] = grad_weight
+        flat_weight = binarize_sign(self.params["weight"]).reshape(
+            self.out_channels, -1
+        ).astype(np.float64)
+        grad_patches_binary = grad_flat @ flat_weight
+        grad_patches = ste_backward(grad_patches_binary, patches_latent)
+        return _col2im(
+            grad_patches, input_shape, self.kernel_size, self.stride,
+            self.padding, out_h, out_w,
+        )
+
+    def clip_latent_weights(self) -> None:
+        """Clip latent weights to [-1, 1] after an optimiser step."""
+        self.params["weight"] = clip_latent(self.params["weight"])
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        _, height, width = input_shape
+        out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return (self.out_channels, out_h, out_w)
+
+    def __repr__(self) -> str:
+        return (
+            f"BinaryConv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+def _col2im(grad_patches: np.ndarray, input_shape: Tuple[int, ...],
+            kernel_size: int, stride: int, padding: int,
+            out_h: int, out_w: int) -> np.ndarray:
+    """Scatter patch gradients back to image layout (inverse of im2col)."""
+    batch, channels, height, width = input_shape
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding)
+    )
+    grad_patches = grad_patches.reshape(
+        batch, out_h, out_w, channels, kernel_size, kernel_size
+    )
+    for row in range(out_h):
+        top = row * stride
+        for col in range(out_w):
+            left = col * stride
+            padded[:, :, top:top + kernel_size, left:left + kernel_size] += (
+                grad_patches[:, row, col]
+            )
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class BatchNorm(Layer):
+    """Batch normalisation over the channel/feature axis.
+
+    Works for both 2-D ``(batch, features)`` and 4-D ``(batch, channels, H, W)``
+    inputs.  BNNs rely on batch-norm before each sign activation to keep the
+    binarisation threshold centred.
+    """
+
+    is_binary = False
+
+    def __init__(self, num_features: int, *, momentum: float = 0.1,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.params["gamma"] = np.ones(num_features)
+        self.params["beta"] = np.zeros(num_features)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def _moments_axes(self, x: np.ndarray) -> Tuple[int, ...]:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 4:
+            return (0, 2, 3)
+        raise ValueError(f"BatchNorm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    def _broadcast(self, stat: np.ndarray, ndim: int) -> np.ndarray:
+        if ndim == 2:
+            return stat.reshape(1, -1)
+        return stat.reshape(1, -1, 1, 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        axes = self._moments_axes(x)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - self._broadcast(mean, x.ndim)) / self._broadcast(std, x.ndim)
+        out = (
+            self._broadcast(self.params["gamma"], x.ndim) * x_hat
+            + self._broadcast(self.params["beta"], x.ndim)
+        )
+        if self.training:
+            self._cache = (x_hat, std, x)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        x_hat, std, x = self._cache
+        axes = self._moments_axes(x)
+        count = x.size / self.num_features
+        self.grads["gamma"] = np.sum(grad * x_hat, axis=axes)
+        self.grads["beta"] = np.sum(grad, axis=axes)
+        gamma = self._broadcast(self.params["gamma"], x.ndim)
+        std_b = self._broadcast(std, x.ndim)
+        grad_xhat = grad * gamma
+        grad_input = (
+            grad_xhat
+            - self._broadcast(np.mean(grad_xhat, axis=axes), x.ndim)
+            - x_hat * self._broadcast(
+                np.sum(grad_xhat * x_hat, axis=axes) / count, x.ndim
+            )
+        ) / std_b
+        return grad_input
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+    def __repr__(self) -> str:
+        return f"BatchNorm({self.num_features})"
+
+
+class SignActivation(Layer):
+    """Sign activation producing bipolar {-1,+1} outputs (STE backward)."""
+
+    is_binary = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.training:
+            self._cache_input = x
+        else:
+            self._cache_input = None
+        return binarize_sign(x).astype(np.float64)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache_input is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        return ste_backward(grad, self._cache_input)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+
+class HardTanh(Layer):
+    """Hard tanh non-linearity (used before output layers in some BNNs)."""
+
+    is_binary = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.training:
+            self._cache_input = x
+        else:
+            self._cache_input = None
+        return np.clip(x, -1.0, 1.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache_input is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        mask = (np.abs(self._cache_input) <= 1.0).astype(np.float64)
+        return grad * mask
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+
+class MaxPool2d(Layer):
+    """Max pooling with a square window."""
+
+    is_binary = False
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise ValueError(f"MaxPool2d expects 4-D input, got shape {x.shape}")
+        batch, channels, height, width = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (height - k) // s + 1
+        out_w = (width - k) // s + 1
+        windows = np.empty((batch, channels, out_h, out_w, k * k))
+        for row in range(out_h):
+            for col in range(out_w):
+                patch = x[:, :, row * s:row * s + k, col * s:col * s + k]
+                windows[:, :, row, col, :] = patch.reshape(batch, channels, -1)
+        out = windows.max(axis=-1)
+        if self.training:
+            argmax = windows.argmax(axis=-1)
+            self._cache = (argmax, x.shape)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        argmax, input_shape = self._cache
+        batch, channels, height, width = input_shape
+        k, s = self.kernel_size, self.stride
+        out_h, out_w = grad.shape[2], grad.shape[3]
+        grad_input = np.zeros(input_shape)
+        for row in range(out_h):
+            for col in range(out_w):
+                flat_idx = argmax[:, :, row, col]
+                dr, dc = np.divmod(flat_idx, k)
+                for b in range(batch):
+                    for c in range(channels):
+                        grad_input[
+                            b, c, row * s + dr[b, c], col * s + dc[b, c]
+                        ] += grad[b, c, row, col]
+        return grad_input
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        channels, height, width = input_shape
+        out_h = (height - self.kernel_size) // self.stride + 1
+        out_w = (width - self.kernel_size) // self.stride + 1
+        return (channels, out_h, out_w)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions."""
+
+    is_binary = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad.reshape(self._input_shape)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)

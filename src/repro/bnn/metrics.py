@@ -1,0 +1,76 @@
+"""Classification metrics for BNN evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of predictions equal to labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """Confusion matrix with true classes on rows, predictions on columns."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if num_classes <= 0:
+        raise ValueError("num_classes must be positive")
+    if predictions.min(initial=0) < 0 or predictions.max(initial=0) >= num_classes:
+        raise ValueError("predictions contain out-of-range class indices")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ValueError("labels contain out-of-range class indices")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true class is within the top-k logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (batch, classes)")
+    if k <= 0 or k > logits.shape[1]:
+        raise ValueError("k must be in [1, num_classes]")
+    top_k = np.argsort(-logits, axis=1)[:, :k]
+    hits = np.any(top_k == labels[:, None], axis=1)
+    return float(np.mean(hits))
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=-1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy loss of integer ``labels`` under ``logits``."""
+    probabilities = softmax(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if probabilities.shape[0] != labels.shape[0]:
+        raise ValueError("batch size mismatch between logits and labels")
+    picked = probabilities[np.arange(labels.shape[0]), labels]
+    return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+
+
+def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. the logits."""
+    probabilities = softmax(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    grad = probabilities.copy()
+    grad[np.arange(labels.shape[0]), labels] -= 1.0
+    return grad / labels.shape[0]

@@ -1,0 +1,118 @@
+"""Sequential BNN model container.
+
+:class:`BNNModel` chains layers, provides forward/backward passes, exposes
+the binary layers (the ones the crossbar mappings accelerate), and produces a
+human-readable summary that matches the per-layer workload extraction used by
+the architecture simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bnn.layers import BinaryConv2d, BinaryLinear, Layer
+
+
+class BNNModel:
+    """A simple sequential container of :class:`~repro.bnn.layers.Layer`.
+
+    Parameters
+    ----------
+    layers:
+        Layers applied in order.
+    name:
+        Network name used in reports (e.g. ``"MLP-L"``).
+    input_shape:
+        Per-sample input shape, e.g. ``(784,)`` for MNIST MLPs or
+        ``(3, 32, 32)`` for CIFAR-10 CNNs.
+    """
+
+    def __init__(self, layers: Sequence[Layer], *, name: str,
+                 input_shape: Tuple[int, ...]) -> None:
+        if not layers:
+            raise ValueError("a model needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+        self.name = str(name)
+        self.input_shape = tuple(int(d) for d in input_shape)
+
+    # ------------------------------------------------------------------ #
+    # Inference / training passes
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the full forward pass on a batch."""
+        out = np.asarray(x)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad`` through every layer (training mode only)."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Return the arg-max class index for each sample in ``x``."""
+        logits = self.forward(x)
+        return np.argmax(logits, axis=1)
+
+    def train(self) -> None:
+        """Put every layer into training mode."""
+        for layer in self.layers:
+            layer.train()
+
+    def eval(self) -> None:
+        """Put every layer into inference mode."""
+        for layer in self.layers:
+            layer.eval()
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by the mappers and timing models
+    # ------------------------------------------------------------------ #
+    def binary_layers(self) -> List[Layer]:
+        """Layers whose MAC work is binary (candidates for the crossbar)."""
+        return [layer for layer in self.layers if layer.is_binary]
+
+    def iter_with_shapes(self) -> Iterator[Tuple[Layer, Tuple[int, ...], Tuple[int, ...]]]:
+        """Yield ``(layer, input_shape, output_shape)`` per layer."""
+        shape = self.input_shape
+        for layer in self.layers:
+            out_shape = layer.output_shape(shape)
+            yield layer, shape, out_shape
+            shape = out_shape
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(layer.num_parameters() for layer in self.layers)
+
+    def num_binary_parameters(self) -> int:
+        """Trainable scalar count inside binary layers only."""
+        return sum(layer.num_parameters() for layer in self.binary_layers())
+
+    def clip_latent_weights(self) -> None:
+        """Clip latent weights of all binary layers (post-optimiser step)."""
+        for layer in self.layers:
+            if isinstance(layer, (BinaryLinear, BinaryConv2d)):
+                layer.clip_latent_weights()
+
+    def summary(self) -> str:
+        """Return a layer-by-layer textual summary of the network."""
+        lines = [f"{self.name} (input {self.input_shape})"]
+        for index, (layer, in_shape, out_shape) in enumerate(self.iter_with_shapes()):
+            kind = "binary" if layer.is_binary else "full-precision"
+            lines.append(
+                f"  [{index:2d}] {layer!r:45s} {in_shape} -> {out_shape} "
+                f"({kind}, {layer.num_parameters()} params)"
+            )
+        lines.append(
+            f"  total parameters: {self.num_parameters()} "
+            f"({self.num_binary_parameters()} binary)"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BNNModel(name={self.name!r}, layers={len(self.layers)})"

@@ -1,0 +1,217 @@
+"""The six evaluation BNNs (MlBench-style MLPs and CNNs).
+
+The paper evaluates "6 BNNs (3 convolutional networks and 3 multilayer
+perceptrons) with various sizes from MlBench" (the benchmark suite introduced
+by PRIME) on MNIST and CIFAR-10.  The exact layer dimensions are not listed
+in the paper, so we follow the PRIME / MlBench network definitions the paper
+cites:
+
+* ``MLP-S``:  784 - 500 - 250 - 10              (MNIST)
+* ``MLP-M``:  784 - 1000 - 500 - 250 - 10       (MNIST)
+* ``MLP-L``:  784 - 2000 - 1500 - 1000 - 500 - 10 (MNIST)
+* ``CNN-S``:  LeNet-style conv6-pool-conv16-pool-fc120-fc10 (MNIST)
+* ``CNN-M``:  conv32-conv32-pool-conv64-conv64-pool-fc512-fc10 (CIFAR-10)
+* ``CNN-L``:  VGG-like conv128x2-pool-conv256x2-pool-conv512x2-pool-fc1024-fc10
+  (CIFAR-10)
+
+Following Sec. II-B of the paper the first and last layers stay in full
+precision; every hidden MAC layer is binary.  Each binary layer is preceded
+by batch-norm and followed by a sign activation, the standard BinaryNet
+recipe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.bnn.layers import (
+    BatchNorm,
+    BinaryConv2d,
+    BinaryLinear,
+    Conv2d,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    SignActivation,
+)
+from repro.bnn.model import BNNModel
+from repro.utils.rng import RngLike, spawn_rngs
+
+#: dataset associated with each network name
+NETWORK_DATASETS: Dict[str, str] = {
+    "MLP-S": "mnist",
+    "MLP-M": "mnist",
+    "MLP-L": "mnist",
+    "CNN-S": "mnist",
+    "CNN-M": "cifar10",
+    "CNN-L": "cifar10",
+}
+
+MNIST_INPUT = (784,)
+MNIST_IMAGE_INPUT = (1, 28, 28)
+CIFAR_IMAGE_INPUT = (3, 32, 32)
+NUM_CLASSES = 10
+
+
+def _mlp(name: str, hidden_sizes: List[int], *, seed: RngLike) -> BNNModel:
+    """Build an MLP with full-precision first/last layers and binary hidden layers."""
+    sizes = [MNIST_INPUT[0], *hidden_sizes, NUM_CLASSES]
+    rngs = spawn_rngs(seed, len(sizes))
+    layers: List[Layer] = []
+    for index in range(len(sizes) - 1):
+        in_features, out_features = sizes[index], sizes[index + 1]
+        first = index == 0
+        last = index == len(sizes) - 2
+        if first or last:
+            layers.append(Linear(in_features, out_features, rng=rngs[index]))
+        else:
+            layers.append(BinaryLinear(in_features, out_features, rng=rngs[index]))
+        if not last:
+            layers.append(BatchNorm(out_features))
+            layers.append(SignActivation())
+    return BNNModel(layers, name=name, input_shape=MNIST_INPUT)
+
+
+def build_mlp_s(seed: RngLike = 1) -> BNNModel:
+    """MLP-S: 784-500-250-10 on MNIST."""
+    return _mlp("MLP-S", [500, 250], seed=seed)
+
+
+def build_mlp_m(seed: RngLike = 2) -> BNNModel:
+    """MLP-M: 784-1000-500-250-10 on MNIST."""
+    return _mlp("MLP-M", [1000, 500, 250], seed=seed)
+
+
+def build_mlp_l(seed: RngLike = 3) -> BNNModel:
+    """MLP-L: 784-2000-1500-1000-500-10 on MNIST."""
+    return _mlp("MLP-L", [2000, 1500, 1000, 500], seed=seed)
+
+
+def build_cnn_s(seed: RngLike = 4) -> BNNModel:
+    """CNN-S: LeNet-style binary CNN on MNIST.
+
+    conv(1->6,k5) - pool - Bconv(6->16,k5) - pool - Bfc(400->120) - fc(120->10)
+    """
+    rngs = spawn_rngs(seed, 4)
+    layers: List[Layer] = [
+        Conv2d(1, 6, 5, padding=2, rng=rngs[0]),        # full precision first layer
+        BatchNorm(6),
+        SignActivation(),
+        MaxPool2d(2),
+        BinaryConv2d(6, 16, 5, rng=rngs[1]),
+        BatchNorm(16),
+        SignActivation(),
+        MaxPool2d(2),
+        Flatten(),
+        BinaryLinear(16 * 5 * 5, 120, rng=rngs[2]),
+        BatchNorm(120),
+        SignActivation(),
+        Linear(120, NUM_CLASSES, rng=rngs[3]),          # full precision last layer
+    ]
+    return BNNModel(layers, name="CNN-S", input_shape=MNIST_IMAGE_INPUT)
+
+
+def build_cnn_m(seed: RngLike = 5) -> BNNModel:
+    """CNN-M: mid-size binary CNN on CIFAR-10.
+
+    conv(3->32) - Bconv(32->32) - pool - Bconv(32->64) - Bconv(64->64) - pool -
+    Bfc(4096->512) - fc(512->10)
+    """
+    rngs = spawn_rngs(seed, 6)
+    layers: List[Layer] = [
+        Conv2d(3, 32, 3, padding=1, rng=rngs[0]),
+        BatchNorm(32),
+        SignActivation(),
+        BinaryConv2d(32, 32, 3, padding=1, rng=rngs[1]),
+        BatchNorm(32),
+        SignActivation(),
+        MaxPool2d(2),
+        BinaryConv2d(32, 64, 3, padding=1, rng=rngs[2]),
+        BatchNorm(64),
+        SignActivation(),
+        BinaryConv2d(64, 64, 3, padding=1, rng=rngs[3]),
+        BatchNorm(64),
+        SignActivation(),
+        MaxPool2d(2),
+        Flatten(),
+        BinaryLinear(64 * 8 * 8, 512, rng=rngs[4]),
+        BatchNorm(512),
+        SignActivation(),
+        Linear(512, NUM_CLASSES, rng=rngs[5]),
+    ]
+    return BNNModel(layers, name="CNN-M", input_shape=CIFAR_IMAGE_INPUT)
+
+
+def build_cnn_l(seed: RngLike = 6) -> BNNModel:
+    """CNN-L: VGG-like binary CNN on CIFAR-10.
+
+    conv(3->128) - Bconv(128->128) - pool - Bconv(128->256) - Bconv(256->256) -
+    pool - Bconv(256->512) - Bconv(512->512) - pool - Bfc(8192->1024) -
+    fc(1024->10)
+    """
+    rngs = spawn_rngs(seed, 8)
+    layers: List[Layer] = [
+        Conv2d(3, 128, 3, padding=1, rng=rngs[0]),
+        BatchNorm(128),
+        SignActivation(),
+        BinaryConv2d(128, 128, 3, padding=1, rng=rngs[1]),
+        BatchNorm(128),
+        SignActivation(),
+        MaxPool2d(2),
+        BinaryConv2d(128, 256, 3, padding=1, rng=rngs[2]),
+        BatchNorm(256),
+        SignActivation(),
+        BinaryConv2d(256, 256, 3, padding=1, rng=rngs[3]),
+        BatchNorm(256),
+        SignActivation(),
+        MaxPool2d(2),
+        BinaryConv2d(256, 512, 3, padding=1, rng=rngs[4]),
+        BatchNorm(512),
+        SignActivation(),
+        BinaryConv2d(512, 512, 3, padding=1, rng=rngs[5]),
+        BatchNorm(512),
+        SignActivation(),
+        MaxPool2d(2),
+        Flatten(),
+        BinaryLinear(512 * 4 * 4, 1024, rng=rngs[6]),
+        BatchNorm(1024),
+        SignActivation(),
+        Linear(1024, NUM_CLASSES, rng=rngs[7]),
+    ]
+    return BNNModel(layers, name="CNN-L", input_shape=CIFAR_IMAGE_INPUT)
+
+
+_BUILDERS: Dict[str, Callable[..., BNNModel]] = {
+    "MLP-S": build_mlp_s,
+    "MLP-M": build_mlp_m,
+    "MLP-L": build_mlp_l,
+    "CNN-S": build_cnn_s,
+    "CNN-M": build_cnn_m,
+    "CNN-L": build_cnn_l,
+}
+
+
+def list_networks() -> List[str]:
+    """Names of the six evaluation networks, in the paper's reporting order."""
+    return ["CNN-S", "CNN-M", "CNN-L", "MLP-S", "MLP-M", "MLP-L"]
+
+
+def build_network(name: str, *, seed: RngLike = None) -> BNNModel:
+    """Build one of the six evaluation networks by name."""
+    key = name.upper().replace("_", "-")
+    if key not in _BUILDERS:
+        raise ValueError(
+            f"unknown network {name!r}; available: {sorted(_BUILDERS)}"
+        )
+    if seed is None:
+        return _BUILDERS[key]()
+    return _BUILDERS[key](seed=seed)
+
+
+def dataset_for_network(name: str) -> str:
+    """Dataset name ('mnist' or 'cifar10') associated with a network."""
+    key = name.upper().replace("_", "-")
+    if key not in NETWORK_DATASETS:
+        raise ValueError(f"unknown network {name!r}")
+    return NETWORK_DATASETS[key]

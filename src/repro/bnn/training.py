@@ -1,0 +1,152 @@
+"""Training loop for BNNs with latent full-precision weights.
+
+Implements the BinaryConnect / BinaryNet training recipe the paper relies on
+(Sec. II-B): parameter updates are tracked in full precision (the "latent"
+weights), the forward pass binarises weights and activations, gradients flow
+through the sign functions with the straight-through estimator, and latent
+weights are clipped to ``[-1, 1]`` after every optimiser step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bnn.datasets import Dataset, iterate_minibatches
+from repro.bnn.metrics import accuracy, cross_entropy, cross_entropy_grad
+from repro.bnn.model import BNNModel
+from repro.utils.rng import RngLike
+
+
+class AdamOptimizer:
+    """Adam optimiser operating on the layers' ``params``/``grads`` dicts."""
+
+    def __init__(self, model: BNNModel, *, learning_rate: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 epsilon: float = 1e-8) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.model = model
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._step_count = 0
+        self._first_moment: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in model.layers
+        ]
+        self._second_moment: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in model.layers
+        ]
+
+    def step(self) -> None:
+        """Apply one Adam update using the gradients stored in each layer."""
+        self._step_count += 1
+        bias1 = 1 - self.beta1 ** self._step_count
+        bias2 = 1 - self.beta2 ** self._step_count
+        for layer, moment1, moment2 in zip(
+            self.model.layers, self._first_moment, self._second_moment
+        ):
+            for name, grad in layer.grads.items():
+                if name not in layer.params:
+                    continue
+                moment1[name] = self.beta1 * moment1[name] + (1 - self.beta1) * grad
+                moment2[name] = (
+                    self.beta2 * moment2[name] + (1 - self.beta2) * grad * grad
+                )
+                corrected1 = moment1[name] / bias1
+                corrected2 = moment2[name] / bias2
+                layer.params[name] -= (
+                    self.learning_rate * corrected1
+                    / (np.sqrt(corrected2) + self.epsilon)
+                )
+
+    def zero_grad(self) -> None:
+        """Clear the gradient buffers of every layer."""
+        for layer in self.model.layers:
+            layer.grads.clear()
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training statistics."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        """Test accuracy after the last epoch (0.0 if never evaluated)."""
+        return self.test_accuracy[-1] if self.test_accuracy else 0.0
+
+
+def evaluate(model: BNNModel, images: np.ndarray, labels: np.ndarray,
+             *, batch_size: int = 256) -> float:
+    """Inference-mode accuracy of ``model`` on a dataset split."""
+    model.eval()
+    predictions = []
+    for batch_images, _ in iterate_minibatches(
+        images, labels, batch_size, shuffle=False
+    ):
+        predictions.append(model.predict(batch_images))
+    return accuracy(np.concatenate(predictions), labels)
+
+
+def train(model: BNNModel, dataset: Dataset, *, epochs: int = 3,
+          batch_size: int = 64, learning_rate: float = 1e-3,
+          flatten_inputs: Optional[bool] = None, seed: RngLike = 0,
+          verbose: bool = False) -> TrainingHistory:
+    """Train ``model`` on ``dataset`` with the BinaryNet recipe.
+
+    Parameters
+    ----------
+    flatten_inputs:
+        Flatten images to vectors before feeding the model.  Defaults to
+        ``True`` when the model expects 1-D inputs (MLPs) and ``False``
+        otherwise.
+    """
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    if flatten_inputs is None:
+        flatten_inputs = len(model.input_shape) == 1
+    data = dataset.flattened() if flatten_inputs else dataset
+
+    optimizer = AdamOptimizer(model, learning_rate=learning_rate)
+    history = TrainingHistory()
+
+    for epoch in range(epochs):
+        model.train()
+        epoch_losses = []
+        epoch_correct = 0
+        epoch_total = 0
+        for batch_images, batch_labels in iterate_minibatches(
+            data.train_images, data.train_labels, batch_size,
+            shuffle=True, seed=seed + epoch if isinstance(seed, int) else seed,
+        ):
+            logits = model.forward(batch_images)
+            loss = cross_entropy(logits, batch_labels)
+            grad = cross_entropy_grad(logits, batch_labels)
+            optimizer.zero_grad()
+            model.backward(grad)
+            optimizer.step()
+            model.clip_latent_weights()
+            epoch_losses.append(loss)
+            epoch_correct += int(np.sum(np.argmax(logits, axis=1) == batch_labels))
+            epoch_total += len(batch_labels)
+        train_acc = epoch_correct / max(epoch_total, 1)
+        test_acc = evaluate(model, data.test_images, data.test_labels)
+        history.train_loss.append(float(np.mean(epoch_losses)))
+        history.train_accuracy.append(train_acc)
+        history.test_accuracy.append(test_acc)
+        if verbose:  # pragma: no cover - console output only
+            print(
+                f"epoch {epoch + 1}/{epochs}: "
+                f"loss={history.train_loss[-1]:.4f} "
+                f"train_acc={train_acc:.3f} test_acc={test_acc:.3f}"
+            )
+    return history

@@ -1,0 +1,190 @@
+"""XNOR + Popcount arithmetic (Equation 1 of the paper).
+
+The central identity the whole paper builds on is::
+
+    In (*) W = 2 * popcount(In' XNOR W') - L            (Eq. 1)
+
+where ``In`` and ``W`` are bipolar {-1,+1} vectors of length ``L``, ``(*)``
+is the dot product (the inner kernel of convolution), and ``In'``, ``W'`` are
+the unipolar {0,1} encodings of the same vectors.  This module provides the
+unipolar-domain primitives (``xnor``, ``popcount``) and the bipolar-domain
+reference operations (``binary_dot``, ``binary_matmul``, ``binary_conv2d``)
+used both by the BNN layers and by the mapping-equivalence tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bnn.binarize import to_unipolar
+from repro.utils.validation import check_binary
+
+
+def xnor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise XNOR of two unipolar {0,1} arrays."""
+    a = check_binary("a", a)
+    b = check_binary("b", b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return (a == b).astype(np.int8)
+
+
+def popcount(bits: np.ndarray, axis: int | None = None) -> np.ndarray:
+    """Population count (number of set bits) along ``axis``.
+
+    With ``axis=None`` the total count over all elements is returned.
+    """
+    bits = check_binary("bits", bits)
+    return np.sum(bits.astype(np.int64), axis=axis)
+
+
+def xnor_popcount(a: np.ndarray, b: np.ndarray, axis: int | None = None) -> np.ndarray:
+    """``popcount(a XNOR b)`` — the crossbar-friendly form of a binary dot."""
+    return popcount(xnor(a, b), axis=axis)
+
+
+def binary_dot(in_bipolar: np.ndarray, w_bipolar: np.ndarray) -> int:
+    """Reference bipolar dot product ``sum(in_i * w_i)`` of two {-1,+1} vectors."""
+    in_bipolar = np.asarray(in_bipolar, dtype=np.int64)
+    w_bipolar = np.asarray(w_bipolar, dtype=np.int64)
+    if in_bipolar.shape != w_bipolar.shape:
+        raise ValueError(
+            f"shape mismatch: {in_bipolar.shape} vs {w_bipolar.shape}"
+        )
+    return int(np.sum(in_bipolar * w_bipolar))
+
+
+def binary_dot_via_xnor(in_bipolar: np.ndarray, w_bipolar: np.ndarray) -> int:
+    """Evaluate the bipolar dot product through Eq. 1 (XNOR + popcount path)."""
+    in_bits = to_unipolar(in_bipolar)
+    w_bits = to_unipolar(w_bipolar)
+    length = in_bits.size
+    return int(2 * xnor_popcount(in_bits.ravel(), w_bits.ravel()) - length)
+
+
+def binary_matmul(inputs_bipolar: np.ndarray, weights_bipolar: np.ndarray) -> np.ndarray:
+    """Bipolar matrix product computed through the XNOR+Popcount identity.
+
+    Parameters
+    ----------
+    inputs_bipolar:
+        Array of shape ``(batch, length)`` with values in {-1, +1}.
+    weights_bipolar:
+        Array of shape ``(n_outputs, length)`` with values in {-1, +1}; each
+        row is one weight vector (one output neuron).
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(batch, n_outputs)`` equal to
+        ``inputs_bipolar @ weights_bipolar.T``.
+    """
+    in_bits = to_unipolar(inputs_bipolar)
+    w_bits = to_unipolar(weights_bipolar)
+    if in_bits.ndim != 2 or w_bits.ndim != 2:
+        raise ValueError("binary_matmul expects 2-D inputs and weights")
+    if in_bits.shape[1] != w_bits.shape[1]:
+        raise ValueError(
+            f"vector length mismatch: inputs {in_bits.shape[1]} vs "
+            f"weights {w_bits.shape[1]}"
+        )
+    length = in_bits.shape[1]
+    # XNOR(a, b) summed over the length axis == a.b + (1-a).(1-b) in 0/1 algebra.
+    matches = (
+        in_bits.astype(np.int64) @ w_bits.astype(np.int64).T
+        + (1 - in_bits.astype(np.int64)) @ (1 - w_bits.astype(np.int64)).T
+    )
+    return 2 * matches - length
+
+
+def im2col(images: np.ndarray, kernel_size: int, stride: int = 1,
+           padding: int = 0, pad_value: float = -1.0) -> tuple[np.ndarray, int, int]:
+    """Unfold image patches into rows so convolution becomes a matrix product.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(batch, channels, height, width)``.
+    kernel_size:
+        Square kernel extent.
+    stride:
+        Sliding-window stride.
+    padding:
+        Symmetric zero-...well, ``pad_value``-padding added to both spatial
+        sides.  BNNs pad with ``-1`` (the bipolar encoding of bit 0) so padded
+        positions stay binary.
+    pad_value:
+        Value used for padding.
+
+    Returns
+    -------
+    (patches, out_h, out_w):
+        ``patches`` has shape ``(batch * out_h * out_w,
+        channels * kernel_size * kernel_size)``; each row is one flattened
+        receptive field (one "activation vector" in the paper's terminology).
+    """
+    images = np.asarray(images)
+    if images.ndim != 4:
+        raise ValueError(f"images must be 4-D (N, C, H, W), got shape {images.shape}")
+    batch, channels, height, width = images.shape
+    if padding > 0:
+        images = np.pad(
+            images,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+            constant_values=pad_value,
+        )
+        height += 2 * padding
+        width += 2 * padding
+    out_h = (height - kernel_size) // stride + 1
+    out_w = (width - kernel_size) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kernel_size} with stride {stride} does not fit "
+            f"input of size {height}x{width}"
+        )
+    patches = np.empty(
+        (batch, out_h, out_w, channels, kernel_size, kernel_size),
+        dtype=images.dtype,
+    )
+    for row in range(out_h):
+        top = row * stride
+        for col in range(out_w):
+            left = col * stride
+            patches[:, row, col] = images[
+                :, :, top:top + kernel_size, left:left + kernel_size
+            ]
+    flat = patches.reshape(batch * out_h * out_w,
+                           channels * kernel_size * kernel_size)
+    return flat, out_h, out_w
+
+
+def binary_conv2d(images_bipolar: np.ndarray, kernels_bipolar: np.ndarray,
+                  stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Bipolar 2-D convolution evaluated through the XNOR+Popcount identity.
+
+    Parameters
+    ----------
+    images_bipolar:
+        Array ``(batch, in_channels, height, width)`` of {-1,+1} activations.
+    kernels_bipolar:
+        Array ``(out_channels, in_channels, k, k)`` of {-1,+1} weights.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array ``(batch, out_channels, out_h, out_w)``.
+    """
+    kernels_bipolar = np.asarray(kernels_bipolar)
+    if kernels_bipolar.ndim != 4:
+        raise ValueError("kernels must be 4-D (out_c, in_c, k, k)")
+    out_channels, in_channels, k_h, k_w = kernels_bipolar.shape
+    if k_h != k_w:
+        raise ValueError("only square kernels are supported")
+    patches, out_h, out_w = im2col(
+        images_bipolar, k_h, stride=stride, padding=padding, pad_value=-1
+    )
+    flat_kernels = kernels_bipolar.reshape(out_channels, in_channels * k_h * k_w)
+    result = binary_matmul(patches, flat_kernels)
+    batch = np.asarray(images_bipolar).shape[0]
+    return result.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)

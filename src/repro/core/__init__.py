@@ -1,0 +1,41 @@
+"""Core contribution of the paper: the data mappings for BNN XNOR+Popcount.
+
+* :mod:`repro.core.tacitmap` — **TacitMap**, the proposed mapping: weight
+  vectors and their complements stacked vertically in 1T1R crossbar columns,
+  read out as popcounts through the column ADCs in a single VMM step.
+* :mod:`repro.core.custbinarymap` — **CustBinaryMap**, the state-of-the-art
+  baseline mapping (Hirtzlin et al.): weight/complement bits interleaved
+  horizontally in 2T2R rows, read one weight vector at a time through PCSAs
+  followed by digital popcount circuitry.
+* :mod:`repro.core.mapping_base` — shared tiling/placement machinery.
+* :mod:`repro.core.schedule` — operation-count schedules (crossbar
+  activations, ADC conversions, sense operations, digital adds) per layer,
+  consumed by the architecture timing and energy models.
+* :mod:`repro.core.verify` — end-to-end functional equivalence checks of a
+  mapped layer against Eq. 1 evaluated in software.
+"""
+
+from repro.core.custbinarymap import CustBinaryMap
+from repro.core.mapping_base import (
+    DataMapping,
+    LayerMapping,
+    MappedTile,
+    TileShape,
+)
+from repro.core.schedule import LayerSchedule, NetworkSchedule, build_network_schedule
+from repro.core.tacitmap import TacitMap
+from repro.core.verify import execute_mapped_layer, verify_layer_equivalence
+
+__all__ = [
+    "CustBinaryMap",
+    "DataMapping",
+    "LayerMapping",
+    "MappedTile",
+    "TileShape",
+    "LayerSchedule",
+    "NetworkSchedule",
+    "build_network_schedule",
+    "TacitMap",
+    "execute_mapped_layer",
+    "verify_layer_equivalence",
+]

@@ -1,0 +1,147 @@
+"""CustBinaryMap: the state-of-the-art baseline mapping (Hirtzlin et al.).
+
+The baseline design stores each weight vector *horizontally* in one 2T2R
+memory row: cell ``(i, j)`` of the row holds bit ``w_i[j]`` in its first
+device and the complement ``~w_i[j]`` in its second device (Fig. 2-(a),
+Fig. 3-(a)).  The activation vector is likewise interleaved with its
+complement and driven on the bit lines.  One read step activates a *single*
+word line (one stored weight vector); the pre-charge sense amplifier of each
+column pair compares the true and complement branch currents and latches the
+XNOR of the input bit and the stored bit.  A digital popcount tree then
+reduces the ``m`` XNOR bits to the count.
+
+Consequences the evaluation leans on (Sec. III):
+
+* evaluating ``n`` weight vectors takes at least ``n`` sequential steps
+  (one row activation each), versus TacitMap's single VMM;
+* every step needs digital post-processing (local 5-bit column counters plus
+  a global popcount tree), which TacitMap avoids entirely;
+* on the flip side each step only fires cheap PCSAs instead of ADCs, which is
+  why the baseline wins on energy per activation (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.mapping_base import (
+    DataMapping,
+    LayerMapping,
+    MappedTile,
+    TileShape,
+    split_ranges,
+)
+from repro.utils.validation import check_binary
+
+#: width (in bits) of the per-column local popcount counters of the baseline
+LOCAL_COUNTER_BITS = 5
+
+
+class CustBinaryMap(DataMapping):
+    """The 2T2R row-wise interleaved mapping used by the SotA baseline."""
+
+    name = "custbinarymap"
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def map_layer(self, weight_bits: np.ndarray, *,
+                  layer_name: str = "layer") -> LayerMapping:
+        """Place unipolar weights ``(n, m)`` as interleaved 2T2R rows.
+
+        A tile column corresponds to one 2T2R cell (one weight bit plus its
+        complement), so a tile holds up to ``cols`` weight-bit positions and
+        ``rows`` weight vectors.  The stored pattern records the *true* bits;
+        the complement device content is implied by the cell structure.
+        """
+        weights = self._validate_weights(weight_bits)
+        num_vectors, length = weights.shape
+
+        output_groups = split_ranges(num_vectors, self.tile_shape.rows)
+        vector_segments = split_ranges(length, self.tile_shape.cols)
+
+        tiles: List[MappedTile] = []
+        for segment_index, (element_start, element_stop) in enumerate(vector_segments):
+            for group_index, (output_start, output_stop) in enumerate(output_groups):
+                block = weights[output_start:output_stop, element_start:element_stop]
+                tiles.append(
+                    MappedTile(
+                        layer_name=layer_name,
+                        grid_position=(segment_index, group_index),
+                        bits=block.astype(np.int8),
+                        vector_slice=(element_start, element_stop),
+                        output_slice=(output_start, output_stop),
+                    )
+                )
+        return LayerMapping(
+            layer_name=layer_name,
+            mapping_name=self.name,
+            tile_shape=self.tile_shape,
+            vector_length=length,
+            num_weight_vectors=num_vectors,
+            tiles=tiles,
+            num_vector_segments=len(vector_segments),
+            num_output_groups=len(output_groups),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Input encoding
+    # ------------------------------------------------------------------ #
+    def encode_input(self, input_bits: np.ndarray,
+                     vector_slice: Tuple[int, int]) -> np.ndarray:
+        """Bit-line drive for one tile: just the input slice.
+
+        The complement bit lines are implied by the 2T2R structure (the cell
+        compares against both), so the encoded input is the plain slice; the
+        interleaving is a wiring detail that does not change the bit content.
+        """
+        bits = check_binary("input_bits", input_bits)
+        start, stop = vector_slice
+        if not (0 <= start < stop <= bits.shape[-1]):
+            raise ValueError(
+                f"vector_slice {vector_slice} out of range for input of "
+                f"length {bits.shape[-1]}"
+            )
+        return bits[..., start:stop]
+
+    # ------------------------------------------------------------------ #
+    # Step counts
+    # ------------------------------------------------------------------ #
+    def steps_per_input_vector(self, num_weight_vectors: int) -> int:
+        """One row activation per stored weight vector (n sequential steps)."""
+        if num_weight_vectors <= 0:
+            raise ValueError("num_weight_vectors must be positive")
+        return num_weight_vectors
+
+    # ------------------------------------------------------------------ #
+    # Per-step functional evaluation (used by the verification layer)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def row_xnor_reference(stored_row_bits: np.ndarray,
+                           input_bits: np.ndarray) -> np.ndarray:
+        """Bits latched by the PCSAs for one activated row (ideal).
+
+        Each 2T2R column compares the input bit against the stored bit and
+        its complement; the latched value is their XNOR.
+        """
+        stored_row_bits = check_binary("stored_row_bits", stored_row_bits)
+        input_bits = check_binary("input_bits", input_bits)
+        if stored_row_bits.shape != input_bits.shape:
+            raise ValueError("stored row and input must have the same length")
+        return (stored_row_bits == input_bits).astype(np.int8)
+
+    @staticmethod
+    def popcount_tree_adds(num_bits: int) -> int:
+        """Number of two-input additions a popcount tree over ``num_bits`` needs."""
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        return num_bits - 1
+
+    @staticmethod
+    def popcount_tree_depth(num_bits: int) -> int:
+        """Depth (levels) of the popcount adder tree over ``num_bits`` inputs."""
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        return int(np.ceil(np.log2(num_bits))) if num_bits > 1 else 0

@@ -1,0 +1,182 @@
+"""Shared machinery for crossbar data mappings.
+
+A *data mapping* answers three questions for a binary layer with weight
+matrix ``W`` (``n`` weight vectors of length ``m``):
+
+1. **Placement** — which bits go into which cells of which physical crossbar
+   tile (:class:`MappedTile` / :class:`LayerMapping`)?
+2. **Input encoding** — how is an activation vector presented to the rows (or
+   bit lines) of each tile?
+3. **Operation schedule** — how many crossbar activations, analog-to-digital
+   conversions, sense operations and digital additions does one inference
+   need, and how many of them can overlap?
+
+TacitMap and CustBinaryMap implement the :class:`DataMapping` interface; the
+schedule module converts their placements into operation counts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_binary
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """Physical dimensions of one crossbar tile.
+
+    ``rows`` counts word lines and ``cols`` counts bit-line outputs (for a
+    2T2R tile a "column" is one differential pair read by one PCSA).
+    """
+
+    rows: int = 256
+    cols: int = 256
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("tile rows and cols must be positive")
+
+
+@dataclass(frozen=True)
+class MappedTile:
+    """One physical tile's worth of placed weight bits.
+
+    Attributes
+    ----------
+    layer_name:
+        Name of the layer this tile belongs to.
+    grid_position:
+        ``(segment_index, group_index)`` — which slice of the weight matrix
+        this tile holds.  For TacitMap, ``segment_index`` walks the vector
+        dimension (rows) and ``group_index`` the weight-vector dimension
+        (columns); for CustBinaryMap the roles are transposed.
+    bits:
+        The binary pattern programmed into the tile (rows x cols of the tile
+        actually used; may be smaller than the physical tile).
+    vector_slice:
+        ``(start, stop)`` range of the weight-vector *element* dimension
+        handled by this tile.
+    output_slice:
+        ``(start, stop)`` range of weight vectors (output neurons) handled by
+        this tile.
+    """
+
+    layer_name: str
+    grid_position: Tuple[int, int]
+    bits: np.ndarray
+    vector_slice: Tuple[int, int]
+    output_slice: Tuple[int, int]
+
+    @property
+    def used_rows(self) -> int:
+        """Number of physical rows this tile occupies."""
+        return int(self.bits.shape[0])
+
+    @property
+    def used_cols(self) -> int:
+        """Number of physical columns this tile occupies."""
+        return int(self.bits.shape[1])
+
+    @property
+    def num_outputs(self) -> int:
+        """Weight vectors (outputs) mapped to this tile."""
+        return self.output_slice[1] - self.output_slice[0]
+
+    @property
+    def vector_elements(self) -> int:
+        """Weight-vector elements mapped to this tile."""
+        return self.vector_slice[1] - self.vector_slice[0]
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """All tiles of one mapped binary layer plus bookkeeping totals."""
+
+    layer_name: str
+    mapping_name: str
+    tile_shape: TileShape
+    vector_length: int
+    num_weight_vectors: int
+    tiles: List[MappedTile] = field(default_factory=list)
+    num_vector_segments: int = 1
+    num_output_groups: int = 1
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of physical tiles the layer occupies."""
+        return len(self.tiles)
+
+    @property
+    def cells_used(self) -> int:
+        """Total crossbar cells programmed across all tiles."""
+        return int(sum(tile.bits.size for tile in self.tiles))
+
+    def tiles_by_grid(self) -> Dict[Tuple[int, int], MappedTile]:
+        """Index the tiles by their ``grid_position``."""
+        return {tile.grid_position: tile for tile in self.tiles}
+
+
+class DataMapping(ABC):
+    """Interface implemented by TacitMap and CustBinaryMap."""
+
+    #: short identifier used in schedules and reports
+    name: str = "abstract"
+
+    def __init__(self, tile_shape: TileShape | None = None) -> None:
+        self.tile_shape = tile_shape if tile_shape is not None else TileShape()
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def map_layer(self, weight_bits: np.ndarray, *,
+                  layer_name: str = "layer") -> LayerMapping:
+        """Place a layer's unipolar weight bits ``(n, m)`` onto tiles."""
+
+    # ------------------------------------------------------------------ #
+    # Input encoding
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def encode_input(self, input_bits: np.ndarray,
+                     vector_slice: Tuple[int, int]) -> np.ndarray:
+        """Encode the slice of an activation vector a given tile consumes."""
+
+    # ------------------------------------------------------------------ #
+    # First-order step counts (the headline claim of Sec. III)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def steps_per_input_vector(self, num_weight_vectors: int) -> int:
+        """Crossbar steps needed to evaluate one activation vector against
+        ``num_weight_vectors`` stored weight vectors on a single tile."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate_weights(weight_bits: np.ndarray) -> np.ndarray:
+        weights = check_binary("weight_bits", weight_bits)
+        if weights.ndim != 2:
+            raise ValueError(
+                f"weight_bits must be 2-D (n_vectors, length), got {weights.ndim}-D"
+            )
+        return weights
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(tile={self.tile_shape.rows}"
+            f"x{self.tile_shape.cols})"
+        )
+
+
+def split_ranges(total: int, chunk: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into consecutive ``(start, stop)`` chunks."""
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    return [(start, min(start + chunk, total)) for start in range(0, total, chunk)]

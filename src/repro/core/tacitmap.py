@@ -1,0 +1,142 @@
+"""TacitMap: the paper's proposed data mapping (Sec. III).
+
+For a binary layer with ``n`` weight vectors of length ``m`` (unipolar bits),
+TacitMap places weight vector ``w_j`` *vertically* in crossbar column ``j``:
+the top ``m`` rows hold ``w_j`` and the next ``m`` rows hold its bitwise
+complement ``~w_j`` (Fig. 2-(b), Fig. 3-(b)).  The activation vector ``x`` is
+presented to the rows as the concatenation ``[x, ~x]``.
+
+The column dot product then counts the rows where input and weight bits are
+both 1 *plus* the rows where both are 0::
+
+    [x, ~x] . [w, ~w] = x.w + (1-x).(1-w) = popcount(XNOR(x, w))
+
+so a single analog VMM yields the XNOR+Popcount of ``x`` against *every*
+stored weight vector simultaneously, read straight out of the column ADCs —
+the "1-step, column-wise, no extra digital circuitry" property the paper
+claims over CustBinaryMap.
+
+When ``2*m`` exceeds the tile's row count the vector is split over several
+row *segments* whose partial counts are added digitally; when ``n`` exceeds
+the tile's column count the weight vectors are split over several column
+*groups* (different tiles), which operate fully in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.mapping_base import (
+    DataMapping,
+    LayerMapping,
+    MappedTile,
+    TileShape,
+    split_ranges,
+)
+from repro.utils.validation import check_binary
+
+
+class TacitMap(DataMapping):
+    """The proposed vertical weight+complement mapping on 1T1R crossbars."""
+
+    name = "tacitmap"
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def map_layer(self, weight_bits: np.ndarray, *,
+                  layer_name: str = "layer") -> LayerMapping:
+        """Place unipolar weights ``(n, m)`` as ``[w; ~w]`` columns on tiles.
+
+        Returns a :class:`LayerMapping` whose tiles form a
+        ``num_vector_segments x num_output_groups`` grid: segment ``s`` holds
+        rows ``[2*seg_start, 2*seg_stop)`` of the stacked pattern, group
+        ``g`` holds weight vectors ``[col_start, col_stop)``.
+        """
+        weights = self._validate_weights(weight_bits)
+        num_vectors, length = weights.shape
+
+        # each element of the vector occupies 2 physical rows (bit + complement),
+        # so one tile fits floor(rows / 2) vector elements per segment
+        elements_per_segment = max(self.tile_shape.rows // 2, 1)
+        vector_segments = split_ranges(length, elements_per_segment)
+        output_groups = split_ranges(num_vectors, self.tile_shape.cols)
+
+        tiles: List[MappedTile] = []
+        for segment_index, (element_start, element_stop) in enumerate(vector_segments):
+            for group_index, (output_start, output_stop) in enumerate(output_groups):
+                block = weights[output_start:output_stop, element_start:element_stop]
+                # columns hold [w_segment; ~w_segment]
+                pattern = np.vstack([block.T, 1 - block.T]).astype(np.int8)
+                tiles.append(
+                    MappedTile(
+                        layer_name=layer_name,
+                        grid_position=(segment_index, group_index),
+                        bits=pattern,
+                        vector_slice=(element_start, element_stop),
+                        output_slice=(output_start, output_stop),
+                    )
+                )
+        return LayerMapping(
+            layer_name=layer_name,
+            mapping_name=self.name,
+            tile_shape=self.tile_shape,
+            vector_length=length,
+            num_weight_vectors=num_vectors,
+            tiles=tiles,
+            num_vector_segments=len(vector_segments),
+            num_output_groups=len(output_groups),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Input encoding
+    # ------------------------------------------------------------------ #
+    def encode_input(self, input_bits: np.ndarray,
+                     vector_slice: Tuple[int, int]) -> np.ndarray:
+        """Row drive for one tile: the input slice concatenated with its complement.
+
+        Accepts a single vector ``(m,)`` or a batch ``(k, m)`` (the K WDM
+        vectors of an MMM); the complement concatenation happens along the
+        last axis.
+        """
+        bits = check_binary("input_bits", input_bits)
+        start, stop = vector_slice
+        if not (0 <= start < stop <= bits.shape[-1]):
+            raise ValueError(
+                f"vector_slice {vector_slice} out of range for input of "
+                f"length {bits.shape[-1]}"
+            )
+        segment = bits[..., start:stop]
+        return np.concatenate([segment, 1 - segment], axis=-1)
+
+    # ------------------------------------------------------------------ #
+    # Step counts
+    # ------------------------------------------------------------------ #
+    def steps_per_input_vector(self, num_weight_vectors: int) -> int:
+        """TacitMap evaluates all weight vectors of a tile in a single step."""
+        if num_weight_vectors <= 0:
+            raise ValueError("num_weight_vectors must be positive")
+        return 1
+
+    # ------------------------------------------------------------------ #
+    # Per-tile functional evaluation (used by the verification layer)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def tile_counts_reference(tile_bits: np.ndarray,
+                              encoded_input: np.ndarray) -> np.ndarray:
+        """Ideal (noise-free) column counts of one tile activation.
+
+        ``tile_bits`` is the programmed pattern ``(2*seg, outputs)`` and
+        ``encoded_input`` the ``[x, ~x]`` row drive; the result is the
+        per-column partial popcount.
+        """
+        tile_bits = check_binary("tile_bits", tile_bits)
+        encoded_input = check_binary("encoded_input", encoded_input)
+        if encoded_input.shape[-1] != tile_bits.shape[0]:
+            raise ValueError(
+                f"encoded input length {encoded_input.shape[-1]} does not "
+                f"match tile rows {tile_bits.shape[0]}"
+            )
+        return encoded_input.astype(np.int64) @ tile_bits.astype(np.int64)

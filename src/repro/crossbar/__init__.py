@@ -1,0 +1,39 @@
+"""Electronic crossbar substrate: cells, periphery, and the analog VMM array.
+
+The crossbar (Fig. 1-(c) of the paper) is the compute primitive both
+mappings target: weights live as device states at the row/column
+intersections, an input vector is applied to the rows, and Kirchhoff
+summation on each column produces a Multiply-and-Accumulate in one step.
+
+The package models the crossbar at two levels:
+
+* a *functional/analog* level (:class:`~repro.crossbar.array.CrossbarArray`)
+  that actually multiplies voltages against noisy device conductances /
+  transmissions and quantises the result through ADC or PCSA read-out —
+  this is what the mapping-equivalence tests exercise, and
+* a *cost* level (:class:`~repro.crossbar.tile.CrossbarTile`) that adds DACs,
+  ADCs (possibly shared among columns), sense amplifiers and their per-access
+  latency/energy, which is what the architecture models consume.
+"""
+
+from repro.crossbar.adc import ADCConfig, SarADC
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.cell import CellType, OneT1RCell, TwoT2RCell
+from repro.crossbar.dac import DAC, DACConfig
+from repro.crossbar.sense_amplifier import PCSAConfig, PrechargeSenseAmplifier
+from repro.crossbar.tile import CrossbarTile, TileConfig
+
+__all__ = [
+    "ADCConfig",
+    "SarADC",
+    "CrossbarArray",
+    "CellType",
+    "OneT1RCell",
+    "TwoT2RCell",
+    "DAC",
+    "DACConfig",
+    "PCSAConfig",
+    "PrechargeSenseAmplifier",
+    "CrossbarTile",
+    "TileConfig",
+]

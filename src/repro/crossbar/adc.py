@@ -1,0 +1,105 @@
+"""Analog-to-digital converter (ADC) model.
+
+TacitMap reads each column's accumulated current with an ADC whose digital
+output *is* the popcount (Sec. III).  ADCs are the power-hungry periphery the
+energy analysis of Fig. 8 hinges on: TacitMap-ePCM spends ~5× more energy
+than the SA-based baseline precisely because of them, and EinsteinBarrier
+recovers that energy by amortising each conversion over K WDM vectors.
+
+The model is a successive-approximation (SAR) ADC: conversion latency scales
+linearly with resolution and conversion energy scales with ``4^bits``-class
+behaviour in real silicon, but we keep an explicit per-conversion energy knob
+(default 2 pJ, a mid-range 8-bit SAR figure) so the evaluation can sweep it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import NANO, PICO
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ADCConfig:
+    """SAR ADC parameters.
+
+    Attributes
+    ----------
+    resolution_bits:
+        Output resolution.  To read an exact popcount of a length-``m``
+        vector the resolution must satisfy ``2**bits > m``.
+    latency_per_bit:
+        SAR loop latency per resolved bit, in seconds.
+    energy_per_conversion:
+        Energy of one complete conversion, in joules.
+    """
+
+    resolution_bits: int = 8
+    latency_per_bit: float = 0.125 * NANO
+    energy_per_conversion: float = 2.0 * PICO
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1:
+            raise ValueError("resolution_bits must be >= 1")
+        check_positive("latency_per_bit", self.latency_per_bit)
+        check_positive("energy_per_conversion", self.energy_per_conversion,
+                       allow_zero=True)
+
+    @property
+    def levels(self) -> int:
+        """Number of output codes."""
+        return 2 ** self.resolution_bits
+
+    @property
+    def conversion_latency(self) -> float:
+        """Latency of one full conversion in seconds."""
+        return self.resolution_bits * self.latency_per_bit
+
+
+class SarADC:
+    """Quantises analog column outputs into digital codes."""
+
+    def __init__(self, config: ADCConfig | None = None) -> None:
+        self.config = config if config is not None else ADCConfig()
+
+    def quantize(self, analog: np.ndarray, full_scale: float) -> np.ndarray:
+        """Quantise analog values in ``[0, full_scale]`` to integer codes.
+
+        Values outside the range saturate at the rails, as in real converters.
+        """
+        if full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+        analog = np.asarray(analog, dtype=np.float64)
+        levels = self.config.levels
+        codes = np.round(analog / full_scale * (levels - 1))
+        return np.clip(codes, 0, levels - 1).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray, full_scale: float) -> np.ndarray:
+        """Map integer codes back to the analog value they represent."""
+        if full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+        codes = np.asarray(codes, dtype=np.float64)
+        return codes / (self.config.levels - 1) * full_scale
+
+    def conversion_cost(self, num_conversions: int) -> dict[str, float]:
+        """Latency/energy for ``num_conversions`` *sequential* conversions.
+
+        When several columns share one ADC the conversions serialise, so both
+        latency and energy scale with the count.
+        """
+        if num_conversions < 0:
+            raise ValueError("num_conversions must be non-negative")
+        return {
+            "latency": num_conversions * self.config.conversion_latency,
+            "energy": num_conversions * self.config.energy_per_conversion,
+        }
+
+
+def required_adc_bits(max_count: int) -> int:
+    """Smallest ADC resolution that can represent counts ``0..max_count``."""
+    if max_count < 1:
+        raise ValueError("max_count must be >= 1")
+    return int(np.ceil(np.log2(max_count + 1)))

@@ -1,0 +1,199 @@
+"""Functional analog crossbar array (electronic or photonic).
+
+This is the *value-level* crossbar: it stores a binary matrix in a device
+array (:class:`~repro.devices.pcm.EPCMDeviceArray` or
+:class:`~repro.devices.opcm.OPCMDeviceArray`), applies binary input vectors
+to the rows, accumulates along the columns exactly like Kirchhoff's law (or
+photocurrent summation), and recovers integer match counts through a
+calibrated ADC read-out.
+
+The mapping-equivalence tests program TacitMap layouts into this array and
+check that the recovered counts equal ``popcount(XNOR(in, w))`` — i.e. that
+the proposed data mapping really computes Eq. 1 in a single analog step.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.crossbar.adc import ADCConfig, SarADC, required_adc_bits
+from repro.crossbar.noise import CrossbarNoiseModel, NoiseConfig
+from repro.devices.opcm import OPCMConfig, OPCMDeviceArray
+from repro.devices.pcm import EPCMConfig, EPCMDeviceArray
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import check_binary
+
+Technology = Literal["epcm", "opcm"]
+
+
+class CrossbarArray:
+    """A programmable analog crossbar performing binary-input VMMs.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array dimensions.
+    technology:
+        ``"epcm"`` for an electronic PCM crossbar (currents/conductances) or
+        ``"opcm"`` for an optical PCM crossbar (powers/transmissions).
+    device_config:
+        Optional device configuration (an :class:`EPCMConfig` or
+        :class:`OPCMConfig` matching the technology).
+    noise:
+        Optional read-out noise configuration.
+    adc:
+        Optional ADC configuration; by default an ADC with just enough
+        resolution to represent ``rows`` distinct counts is used.
+    rng:
+        Seed or generator for all stochastic behaviour in this array.
+    """
+
+    def __init__(self, rows: int, cols: int, *, technology: Technology = "epcm",
+                 device_config: Optional[EPCMConfig | OPCMConfig] = None,
+                 noise: Optional[NoiseConfig] = None,
+                 adc: Optional[ADCConfig] = None,
+                 rng: RngLike = None) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        if technology not in ("epcm", "opcm"):
+            raise ValueError(f"technology must be 'epcm' or 'opcm', got {technology!r}")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.technology: Technology = technology
+        self._rng = make_rng(rng)
+        if technology == "epcm":
+            config = device_config if device_config is not None else EPCMConfig()
+            if not isinstance(config, EPCMConfig):
+                raise TypeError("device_config must be an EPCMConfig for 'epcm'")
+            self.devices = EPCMDeviceArray(rows, cols, config=config, rng=self._rng)
+        else:
+            config = device_config if device_config is not None else OPCMConfig()
+            if not isinstance(config, OPCMConfig):
+                raise TypeError("device_config must be an OPCMConfig for 'opcm'")
+            self.devices = OPCMDeviceArray(rows, cols, config=config, rng=self._rng)
+        self.noise_model = CrossbarNoiseModel(noise, rng=self._rng)
+        if adc is None:
+            # one extra bit of resolution keeps the quantisation error below
+            # half a count even at full array occupancy
+            adc = ADCConfig(resolution_bits=max(required_adc_bits(rows) + 1, 4))
+        self.adc = SarADC(adc)
+
+    # ------------------------------------------------------------------ #
+    # Programming
+    # ------------------------------------------------------------------ #
+    def program(self, bits: np.ndarray) -> dict[str, float]:
+        """Program a binary weight matrix into the array.
+
+        ``bits`` may be smaller than the array; the remaining cells are
+        padded with zeros (OFF devices), which contribute only the leakage
+        term that the calibrated read-out subtracts.
+        """
+        bits = check_binary("bits", bits)
+        if bits.ndim != 2:
+            raise ValueError("bits must be a 2-D matrix")
+        pad_rows = self.rows - bits.shape[0]
+        pad_cols = self.cols - bits.shape[1]
+        if pad_rows < 0 or pad_cols < 0:
+            raise ValueError(
+                f"pattern {bits.shape} does not fit array ({self.rows}, {self.cols})"
+            )
+        padded = np.pad(bits, ((0, pad_rows), (0, pad_cols)), constant_values=0)
+        self._used_cols = bits.shape[1]
+        self._used_rows = bits.shape[0]
+        return self.devices.program(padded)
+
+    # ------------------------------------------------------------------ #
+    # Analog evaluation
+    # ------------------------------------------------------------------ #
+    def _cell_states(self, ideal: bool) -> np.ndarray:
+        """Per-cell analog weights (conductance or transmission)."""
+        if self.technology == "epcm":
+            return self.devices.conductances(with_read_noise=not ideal)
+        return self.devices.transmissions(with_read_noise=not ideal)
+
+    def _state_levels(self) -> tuple[float, float]:
+        """(high, low) nominal analog levels of the two device states."""
+        config = self.devices.config
+        if self.technology == "epcm":
+            return config.g_on, config.g_off
+        return config.t_high, config.t_low
+
+    def analog_outputs(self, input_bits: np.ndarray, *,
+                       ideal: bool = False) -> np.ndarray:
+        """Raw analog column outputs for one or more binary input vectors.
+
+        Parameters
+        ----------
+        input_bits:
+            Binary array of shape ``(rows,)`` or ``(k, rows)``; each row of a
+            2-D input is an independent vector (e.g. one WDM wavelength).
+        ideal:
+            Disable device read noise and array noise when ``True``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(cols,)`` or ``(k, cols)`` with the accumulated
+            analog quantity per column (current for ePCM, optical power for
+            oPCM), normalised to a unit row drive.
+        """
+        input_bits = check_binary("input_bits", input_bits)
+        single = input_bits.ndim == 1
+        matrix = np.atleast_2d(input_bits).astype(np.float64)
+        if matrix.shape[1] != self.rows:
+            raise ValueError(
+                f"input length {matrix.shape[1]} does not match rows {self.rows}"
+            )
+        states = self._cell_states(ideal)
+        drive = matrix * self.noise_model.ir_drop_weights(self.rows)
+        outputs = drive @ states
+        if not ideal:
+            high, _ = self._state_levels()
+            full_scale = self.rows * high
+            outputs = self.noise_model.perturb(outputs, full_scale)
+        return outputs[0] if single else outputs
+
+    def match_counts(self, input_bits: np.ndarray, *, ideal: bool = False,
+                     quantize: bool = True) -> np.ndarray:
+        """Recover per-column match counts from an analog read.
+
+        For a column programmed with bits ``w`` and an input vector ``x``
+        with ``A`` active rows, the analog output is
+        ``high * matches + low * (A - matches)`` (plus noise), where
+        ``matches`` counts the active rows whose device is ON.  Solving for
+        ``matches`` and quantising through the ADC yields the integer count
+        the paper reads "directly from the ADC" (Sec. III).
+
+        When the input encodes ``[x, ~x]`` (TacitMap) the count equals
+        ``popcount(XNOR(x, w))``.
+        """
+        input_bits = check_binary("input_bits", input_bits)
+        single = input_bits.ndim == 1
+        matrix = np.atleast_2d(input_bits)
+        outputs = np.atleast_2d(
+            self.analog_outputs(input_bits, ideal=ideal)
+        ).astype(np.float64)
+        high, low = self._state_levels()
+        active = matrix.sum(axis=1, keepdims=True).astype(np.float64)
+        if quantize:
+            full_scale = float(self.rows * high)
+            codes = self.adc.quantize(outputs, full_scale)
+            outputs = self.adc.dequantize(codes, full_scale)
+        counts = (outputs - active * low) / (high - low)
+        counts = np.clip(np.round(counts), 0, active).astype(np.int64)
+        return counts[0] if single else counts
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def stored_bits(self) -> np.ndarray:
+        """The programmed bit pattern (full array, including padding)."""
+        return self.devices.stored_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CrossbarArray({self.rows}x{self.cols}, technology={self.technology!r})"
+        )

@@ -1,0 +1,84 @@
+"""Digital-to-analog converter (DAC) model.
+
+Each crossbar row is driven by a DAC that converts the digital input bit (or
+multi-bit value) into a row voltage.  For BNN inputs a 1-bit DAC suffices —
+the row is either driven at the read voltage or held at ground — which is
+exactly why the paper's designs get away with cheap input drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import NANO, PICO
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DACConfig:
+    """DAC parameters.
+
+    Attributes
+    ----------
+    resolution_bits:
+        Number of input bits the DAC resolves (1 for binary inputs).
+    v_max:
+        Full-scale output voltage in volts.
+    latency:
+        Conversion latency in seconds.
+    energy_per_conversion:
+        Energy per conversion in joules.
+    """
+
+    resolution_bits: int = 1
+    v_max: float = 0.2
+    latency: float = 0.5 * NANO
+    energy_per_conversion: float = 0.02 * PICO
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1:
+            raise ValueError("resolution_bits must be >= 1")
+        check_positive("v_max", self.v_max)
+        check_positive("latency", self.latency)
+        check_positive("energy_per_conversion", self.energy_per_conversion,
+                       allow_zero=True)
+
+    @property
+    def levels(self) -> int:
+        """Number of distinct output levels."""
+        return 2 ** self.resolution_bits
+
+
+class DAC:
+    """Converts digital input values into row voltages."""
+
+    def __init__(self, config: DACConfig | None = None) -> None:
+        self.config = config if config is not None else DACConfig()
+
+    def convert(self, digital: np.ndarray) -> np.ndarray:
+        """Convert digital codes in ``[0, levels-1]`` to analog voltages."""
+        digital = np.asarray(digital)
+        levels = self.config.levels
+        if np.any(digital < 0) or np.any(digital > levels - 1):
+            raise ValueError(
+                f"digital codes must be in [0, {levels - 1}] for a "
+                f"{self.config.resolution_bits}-bit DAC"
+            )
+        if levels == 2:
+            return digital.astype(np.float64) * self.config.v_max
+        return digital.astype(np.float64) / (levels - 1) * self.config.v_max
+
+    def conversion_cost(self, num_conversions: int) -> dict[str, float]:
+        """Latency/energy for ``num_conversions`` parallel conversions.
+
+        All row DACs convert simultaneously, so latency does not scale with
+        the count while energy does.
+        """
+        if num_conversions < 0:
+            raise ValueError("num_conversions must be non-negative")
+        return {
+            "latency": self.config.latency if num_conversions else 0.0,
+            "energy": num_conversions * self.config.energy_per_conversion,
+        }

@@ -1,0 +1,92 @@
+"""Noise models applied to analog crossbar read-out.
+
+The analog column current of a crossbar VMM is perturbed by several sources
+before it reaches the ADC/SA; the paper's motivation (Sec. I, citing Cardoso
+et al.) is precisely that at high read frequencies the noise level grows and
+multi-level read-out becomes unreliable, which is why binary PCM states are
+the robust choice.  The models here let the functional simulations inject
+controlled amounts of those non-idealities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Aggregate noise configuration for a crossbar read.
+
+    Attributes
+    ----------
+    thermal_sigma:
+        Std-dev of additive thermal (Johnson) noise, as a fraction of the
+        full-scale column output.
+    shot_factor:
+        Scale of signal-dependent shot noise: the per-column std-dev is
+        ``shot_factor * sqrt(signal / full_scale)`` of full scale.
+    ir_drop_alpha:
+        Strength of the deterministic IR-drop attenuation along the column:
+        the column seen by row ``i`` of ``n`` is attenuated by
+        ``1 - ir_drop_alpha * i / n``.
+    """
+
+    thermal_sigma: float = 0.0
+    shot_factor: float = 0.0
+    ir_drop_alpha: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("thermal_sigma", "shot_factor", "ir_drop_alpha"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.ir_drop_alpha >= 1.0:
+            raise ValueError("ir_drop_alpha must be < 1")
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when every noise term is disabled."""
+        return (
+            self.thermal_sigma == 0.0
+            and self.shot_factor == 0.0
+            and self.ir_drop_alpha == 0.0
+        )
+
+
+class CrossbarNoiseModel:
+    """Applies read-out noise to ideal column outputs."""
+
+    def __init__(self, config: NoiseConfig | None = None, *,
+                 rng: RngLike = None) -> None:
+        self.config = config if config is not None else NoiseConfig()
+        self._rng = make_rng(rng)
+
+    def ir_drop_weights(self, num_rows: int) -> np.ndarray:
+        """Per-row attenuation factors modelling wire resistance."""
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        if self.config.ir_drop_alpha == 0.0:
+            return np.ones(num_rows)
+        positions = np.arange(num_rows) / num_rows
+        return 1.0 - self.config.ir_drop_alpha * positions
+
+    def perturb(self, column_outputs: np.ndarray, full_scale: float) -> np.ndarray:
+        """Add thermal and shot noise to ideal column outputs."""
+        if full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+        outputs = np.asarray(column_outputs, dtype=np.float64)
+        if self.config.is_ideal:
+            return outputs
+        noisy = outputs.copy()
+        if self.config.thermal_sigma > 0:
+            noisy = noisy + self._rng.normal(
+                0.0, self.config.thermal_sigma * full_scale, size=outputs.shape
+            )
+        if self.config.shot_factor > 0:
+            relative = np.clip(np.abs(outputs) / full_scale, 0.0, None)
+            sigma = self.config.shot_factor * np.sqrt(relative) * full_scale
+            noisy = noisy + self._rng.normal(0.0, 1.0, size=outputs.shape) * sigma
+        return noisy

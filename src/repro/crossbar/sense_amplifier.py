@@ -1,0 +1,88 @@
+"""Pre-charge sense amplifier (PCSA) model.
+
+CustBinaryMap (the Baseline-ePCM mapping of Hirtzlin et al.) does not use
+ADCs at all: each 2T2R column pair is read by a *pre-charge sense amplifier*
+that compares the currents through the true and complement devices and
+outputs a single bit — the XNOR of the stored weight bit and the applied
+input bit.  The popcount must then be finished by digital counters.
+
+A PCSA is tiny and cheap (femtojoule-class) compared to an ADC, which is the
+root of the energy trade-off in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import FEMTO, NANO
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PCSAConfig:
+    """Pre-charge sense amplifier parameters.
+
+    Attributes
+    ----------
+    latency:
+        Sensing latency (pre-charge + discharge + latch), in seconds.
+    energy_per_sense:
+        Energy per sensing operation, in joules.
+    offset_sigma:
+        Input-referred offset expressed as a fraction of the ON/OFF current
+        difference; a mismatch larger than 0.5 flips the decision.
+    """
+
+    latency: float = 1.0 * NANO
+    energy_per_sense: float = 30.0 * FEMTO
+    offset_sigma: float = 0.02
+
+    def __post_init__(self) -> None:
+        check_positive("latency", self.latency)
+        check_positive("energy_per_sense", self.energy_per_sense, allow_zero=True)
+        if self.offset_sigma < 0:
+            raise ValueError("offset_sigma must be non-negative")
+
+
+class PrechargeSenseAmplifier:
+    """Differential sensing of a 2T2R cell pair, producing one XNOR bit."""
+
+    def __init__(self, config: PCSAConfig | None = None, *,
+                 rng: np.random.Generator | None = None) -> None:
+        self.config = config if config is not None else PCSAConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def sense(self, current_true: np.ndarray,
+              current_complement: np.ndarray) -> np.ndarray:
+        """Compare true/complement branch currents and latch a bit per column.
+
+        Returns 1 where the true branch conducts more than the complement
+        branch (i.e. input and weight agree under the CustBinaryMap layout).
+        """
+        current_true = np.asarray(current_true, dtype=np.float64)
+        current_complement = np.asarray(current_complement, dtype=np.float64)
+        if current_true.shape != current_complement.shape:
+            raise ValueError("true/complement current shapes must match")
+        difference = current_true - current_complement
+        if self.config.offset_sigma > 0:
+            scale = np.maximum(np.abs(difference).max(initial=0.0), 1e-30)
+            offset = self._rng.normal(
+                0.0, self.config.offset_sigma * scale, size=difference.shape
+            )
+            difference = difference + offset
+        return (difference > 0).astype(np.int8)
+
+    def sense_cost(self, num_senses: int) -> dict[str, float]:
+        """Latency/energy of ``num_senses`` parallel sensing operations.
+
+        All column PCSAs fire simultaneously, so latency is one sensing delay
+        while energy scales with the count.
+        """
+        if num_senses < 0:
+            raise ValueError("num_senses must be non-negative")
+        return {
+            "latency": self.config.latency if num_senses else 0.0,
+            "energy": num_senses * self.config.energy_per_sense,
+        }

@@ -1,0 +1,227 @@
+"""Crossbar tile: array + periphery cost model.
+
+A *tile* in the paper's sense (Sec. IV-A1) is one crossbar plus everything
+needed to read and write it: row DACs, column ADCs (possibly shared between
+several columns — footnote 1 of Sec. IV), or column PCSAs for the baseline
+mapping, and for the photonic VCore the transimpedance amplifiers feeding the
+ADCs.  The tile exposes *cost queries* — "what does one VMM with this many
+active rows and read columns cost in seconds and joules?" — which the
+architecture-level timing/energy models aggregate over a whole network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.crossbar.adc import ADCConfig, SarADC
+from repro.crossbar.dac import DAC, DACConfig
+from repro.crossbar.sense_amplifier import PCSAConfig, PrechargeSenseAmplifier
+from repro.devices.opcm import OPCMConfig
+from repro.devices.pcm import EPCMConfig
+from repro.utils.units import mW
+from repro.utils.validation import check_positive
+
+Technology = Literal["epcm", "opcm"]
+Readout = Literal["adc", "pcsa"]
+
+#: power of one transimpedance amplifier in the photonic receiver (Eq. 2)
+TIA_POWER_W = 2.0 * mW
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Static configuration of a crossbar tile.
+
+    Attributes
+    ----------
+    rows, cols:
+        Crossbar dimensions.
+    technology:
+        ``"epcm"`` or ``"opcm"`` — selects the device read/write costs.
+    readout:
+        ``"adc"`` (TacitMap-style column ADCs) or ``"pcsa"``
+        (CustBinaryMap-style differential sense amplifiers).
+    columns_per_adc:
+        How many columns share one ADC; 1 means a private ADC per column
+        (fully parallel read-out), larger values serialise conversions.
+    wdm_capacity:
+        Number of wavelengths the tile can process per activation (K in the
+        paper; only meaningful for ``technology="opcm"``, 1 otherwise).
+    device_config, adc_config, dac_config, pcsa_config:
+        Component configurations; defaults are created when omitted.
+    """
+
+    rows: int = 256
+    cols: int = 256
+    technology: Technology = "epcm"
+    readout: Readout = "adc"
+    columns_per_adc: int = 1
+    wdm_capacity: int = 1
+    device_config: Optional[EPCMConfig | OPCMConfig] = None
+    adc_config: ADCConfig = field(default_factory=ADCConfig)
+    dac_config: DACConfig = field(default_factory=DACConfig)
+    pcsa_config: PCSAConfig = field(default_factory=PCSAConfig)
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        if self.technology not in ("epcm", "opcm"):
+            raise ValueError("technology must be 'epcm' or 'opcm'")
+        if self.readout not in ("adc", "pcsa"):
+            raise ValueError("readout must be 'adc' or 'pcsa'")
+        if self.columns_per_adc < 1 or self.columns_per_adc > self.cols:
+            raise ValueError("columns_per_adc must be in [1, cols]")
+        if self.wdm_capacity < 1:
+            raise ValueError("wdm_capacity must be >= 1")
+        if self.technology == "epcm" and self.wdm_capacity != 1:
+            raise ValueError("WDM is only available on oPCM tiles")
+
+    @property
+    def resolved_device_config(self) -> EPCMConfig | OPCMConfig:
+        """The device configuration, defaulted by technology when omitted."""
+        if self.device_config is not None:
+            return self.device_config
+        return EPCMConfig() if self.technology == "epcm" else OPCMConfig()
+
+    @property
+    def num_adcs(self) -> int:
+        """Number of physical ADCs on the tile."""
+        if self.readout != "adc":
+            return 0
+        return int(np.ceil(self.cols / self.columns_per_adc))
+
+    @property
+    def num_tias(self) -> int:
+        """Number of transimpedance amplifiers (photonic receiver only)."""
+        return self.cols if self.technology == "opcm" else 0
+
+
+class CrossbarTile:
+    """Cost model of one crossbar tile (array + read/write periphery)."""
+
+    def __init__(self, config: TileConfig | None = None) -> None:
+        self.config = config if config is not None else TileConfig()
+        self._dac = DAC(self.config.dac_config)
+        self._adc = SarADC(self.config.adc_config)
+        self._pcsa = PrechargeSenseAmplifier(self.config.pcsa_config)
+        self._device = self.config.resolved_device_config
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def write_cost(self, rows_written: int, cols_written: int) -> dict[str, float]:
+        """Latency/energy of programming a ``rows x cols`` sub-block."""
+        if not (0 < rows_written <= self.config.rows):
+            raise ValueError("rows_written out of range")
+        if not (0 < cols_written <= self.config.cols):
+            raise ValueError("cols_written out of range")
+        cells = rows_written * cols_written
+        return {
+            "latency": rows_written * self._device.write_latency,
+            "energy": cells * self._device.write_energy_per_cell,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Read paths
+    # ------------------------------------------------------------------ #
+    def vmm_cost(self, active_rows: int, read_columns: int, *,
+                 wavelengths: int = 1) -> dict[str, float]:
+        """Cost of one ADC-read crossbar activation (TacitMap-style VMM/MMM).
+
+        Parameters
+        ----------
+        active_rows:
+            Rows driven by the input vector(s).
+        read_columns:
+            Columns whose result is converted.
+        wavelengths:
+            Number of WDM channels carried in this activation (1 for ePCM).
+            The crossbar read and the analog accumulation happen once for
+            all wavelengths; each wavelength then needs its own ADC
+            conversion per column, but those conversions proceed on the same
+            shared converters.
+
+        Returns
+        -------
+        dict with ``latency`` (s), ``energy`` (J) and ``adc_conversions``.
+        """
+        if self.config.readout != "adc":
+            raise RuntimeError("vmm_cost requires an ADC read-out tile")
+        self._check_extents(active_rows, read_columns)
+        if wavelengths < 1 or wavelengths > self.config.wdm_capacity:
+            raise ValueError(
+                f"wavelengths must be in [1, {self.config.wdm_capacity}]"
+            )
+        dac = self._dac.conversion_cost(active_rows)
+        array = self._array_read_cost(active_rows, read_columns)
+        conversions = read_columns * wavelengths
+        rounds = int(np.ceil(conversions / max(self.config.num_adcs, 1)))
+        adc_latency = rounds * self.config.adc_config.conversion_latency
+        adc_energy = conversions * self.config.adc_config.energy_per_conversion
+        tia_energy = 0.0
+        if self.config.technology == "opcm":
+            # Eq. 2: each column TIA burns 2 mW for the duration of the read.
+            read_duration = array["latency"] + adc_latency
+            tia_energy = read_columns * TIA_POWER_W * read_duration
+        return {
+            "latency": dac["latency"] + array["latency"] + adc_latency,
+            "energy": dac["energy"] + array["energy"] + adc_energy + tia_energy,
+            "adc_conversions": float(conversions),
+        }
+
+    def pcsa_row_cost(self, read_columns: int) -> dict[str, float]:
+        """Cost of one CustBinaryMap step: activate one row, sense all columns.
+
+        The baseline mapping activates a single word line (one stored weight
+        vector) and latches one XNOR bit per column pair through the PCSAs;
+        the popcount is *not* included here (it is digital post-processing,
+        accounted by the baseline architecture model).
+        """
+        if self.config.readout != "pcsa":
+            raise RuntimeError("pcsa_row_cost requires a PCSA read-out tile")
+        if not (0 < read_columns <= self.config.cols):
+            raise ValueError("read_columns out of range")
+        dac = self._dac.conversion_cost(read_columns)  # inputs drive bit lines
+        array = self._array_read_cost(1, read_columns)
+        # a PCSA read only conducts during the short pre-charge/discharge
+        # window, not for the full analog-integration read pulse, so the
+        # per-cell energy scales with the sensing window
+        window_ratio = min(
+            self.config.pcsa_config.latency / self._device.read_latency, 1.0
+        )
+        array["energy"] *= window_ratio
+        sense = self._pcsa.sense_cost(read_columns)
+        return {
+            "latency": dac["latency"] + array["latency"] + sense["latency"],
+            "energy": dac["energy"] + array["energy"] + sense["energy"],
+            "adc_conversions": 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Static power / area style queries
+    # ------------------------------------------------------------------ #
+    def receiver_static_power(self) -> float:
+        """Static receiver power in watts (Eq. 2: N TIAs at 2 mW each)."""
+        return self.config.num_tias * TIA_POWER_W
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _check_extents(self, active_rows: int, read_columns: int) -> None:
+        if not (0 < active_rows <= self.config.rows):
+            raise ValueError(
+                f"active_rows must be in [1, {self.config.rows}], got {active_rows}"
+            )
+        if not (0 < read_columns <= self.config.cols):
+            raise ValueError(
+                f"read_columns must be in [1, {self.config.cols}], got {read_columns}"
+            )
+
+    def _array_read_cost(self, active_rows: int, read_columns: int) -> dict[str, float]:
+        return {
+            "latency": self._device.read_latency,
+            "energy": active_rows * read_columns * self._device.read_energy_per_cell,
+        }

@@ -1,0 +1,25 @@
+"""Non-volatile memory device models.
+
+Two binary-state device families back the crossbars in this reproduction:
+
+* :mod:`repro.devices.pcm` — *electronic* phase-change memory (ePCM) cells
+  read as conductances through a 1T1R/2T2R crossbar (the technology behind
+  TacitMap-ePCM and the Baseline-ePCM design), and
+* :mod:`repro.devices.opcm` — *optical* phase-change memory (oPCM) cells,
+  i.e. GST patches on silicon waveguides read as optical transmissions
+  (the technology behind EinsteinBarrier's VCores).
+
+Both models expose binary programming (the paper deliberately uses PCM in a
+binary mode, Sec. II-C), stochastic programming variability, read noise, and
+per-operation latency/energy numbers consumed by the architecture models.
+"""
+
+from repro.devices.pcm import EPCMConfig, EPCMDeviceArray
+from repro.devices.opcm import OPCMConfig, OPCMDeviceArray
+
+__all__ = [
+    "EPCMConfig",
+    "EPCMDeviceArray",
+    "OPCMConfig",
+    "OPCMDeviceArray",
+]

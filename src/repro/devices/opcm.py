@@ -1,0 +1,167 @@
+"""Optical phase-change memory (oPCM) device model.
+
+EinsteinBarrier's VCores store one bit per GST (Ge2Sb2Te5) patch deposited on
+a silicon waveguide: the amorphous state is nearly transparent (high optical
+transmission) and the crystalline state absorbs most of the guided light (low
+transmission).  A weight bit therefore modulates how much of the incoming
+optical power reaches the column photodetector, and the accumulated
+photocurrent of a column realises the multiply-accumulate — the photonic
+analogue of Kirchhoff summation.
+
+Compared to the ePCM model, the oPCM model
+
+* has *no resistance drift and no Joule-heating constraints* (Sec. II-C lists
+  these as ePCM challenges that the optical device avoids),
+* reads at optical-link rates (GHz-class, i.e. ~1 ns per crossbar read
+  instead of ~100 ns),
+* spends almost no energy in the cell itself during a read (the light is
+  supplied by the transmitter's laser, accounted separately by
+  :mod:`repro.photonics.power`), and
+* still pays a slow, energetic write (the GST phase transition), which is
+  fine for inference where weights are written once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.units import NANO, PICO
+from repro.utils.validation import check_binary, check_probability
+
+
+@dataclass(frozen=True)
+class OPCMConfig:
+    """Parameters of a binary oPCM (GST-on-waveguide) cell.
+
+    Attributes
+    ----------
+    t_high:
+        Optical transmission of the amorphous (bit 1) state, in [0, 1].
+    t_low:
+        Optical transmission of the crystalline (bit 0) state, in [0, 1].
+    programming_sigma:
+        Relative spread of the programmed transmission.
+    read_noise_sigma:
+        Relative std-dev of per-read noise (laser RIN + detector noise
+        referred to the transmission domain).
+    read_latency:
+        Duration of one optical crossbar read, in seconds (photonic rates).
+    write_latency:
+        Duration of one program operation (GST phase switch), in seconds.
+    read_energy_per_cell:
+        Electrical energy dissipated per cell per read (essentially zero;
+        optical power is accounted in the transmitter model).
+    write_energy_per_cell:
+        Energy of one program pulse, in joules.
+    insertion_loss_db:
+        Passive insertion loss contributed by each cell, in dB.
+    """
+
+    t_high: float = 0.92
+    t_low: float = 0.10
+    programming_sigma: float = 0.02
+    read_noise_sigma: float = 0.01
+    read_latency: float = 1.0 * NANO
+    write_latency: float = 100 * NANO
+    read_energy_per_cell: float = 0.001 * PICO
+    write_energy_per_cell: float = 15.0 * PICO
+    insertion_loss_db: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_probability("t_high", self.t_high)
+        check_probability("t_low", self.t_low)
+        if self.t_high <= self.t_low:
+            raise ValueError(
+                f"t_high ({self.t_high}) must exceed t_low ({self.t_low})"
+            )
+        check_probability("programming_sigma", self.programming_sigma)
+        check_probability("read_noise_sigma", self.read_noise_sigma)
+        if self.read_latency <= 0 or self.write_latency <= 0:
+            raise ValueError("latencies must be positive")
+        if self.insertion_loss_db < 0:
+            raise ValueError("insertion_loss_db must be non-negative")
+
+    @property
+    def extinction_ratio_db(self) -> float:
+        """Extinction ratio between the two states, in dB."""
+        return 10.0 * np.log10(self.t_high / max(self.t_low, 1e-12))
+
+
+class OPCMDeviceArray:
+    """A 2-D array of binary oPCM cells exposing transmission snapshots."""
+
+    def __init__(self, rows: int, cols: int, *,
+                 config: Optional[OPCMConfig] = None,
+                 rng: RngLike = None) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.config = config if config is not None else OPCMConfig()
+        self._rng = make_rng(rng)
+        self._bits = np.zeros((rows, cols), dtype=np.int8)
+        self._programmed_t = np.full((rows, cols), self.config.t_low)
+        self._programmed = False
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols) of the device array."""
+        return (self.rows, self.cols)
+
+    @property
+    def stored_bits(self) -> np.ndarray:
+        """The last bit pattern programmed into the array (copy)."""
+        return self._bits.copy()
+
+    def program(self, bits: np.ndarray) -> dict[str, float]:
+        """Program the array with a binary pattern (1 = high transmission).
+
+        Returns the latency/energy of the programming operation.
+        """
+        bits = check_binary("bits", bits)
+        if bits.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"bits shape {bits.shape} does not match array {self.shape}"
+            )
+        self._bits = bits.astype(np.int8)
+        nominal = np.where(bits == 1, self.config.t_high, self.config.t_low)
+        if self.config.programming_sigma > 0:
+            spread = 1.0 + self._rng.normal(
+                0.0, self.config.programming_sigma, size=bits.shape
+            )
+        else:
+            spread = 1.0
+        self._programmed_t = np.clip(nominal * spread, 0.0, 1.0)
+        self._programmed = True
+        cells = self.rows * self.cols
+        return {
+            "latency": self.rows * self.config.write_latency,
+            "energy": cells * self.config.write_energy_per_cell,
+        }
+
+    def transmissions(self, *, with_read_noise: bool = True) -> np.ndarray:
+        """Return a transmission snapshot of the array (no drift in oPCM)."""
+        if not self._programmed:
+            raise RuntimeError("array must be programmed before reading")
+        transmission = self._programmed_t.copy()
+        if with_read_noise and self.config.read_noise_sigma > 0:
+            noise = self._rng.normal(
+                0.0, self.config.read_noise_sigma, size=transmission.shape
+            )
+            transmission = np.clip(transmission + noise, 0.0, 1.0)
+        return transmission
+
+    def read_cost(self, active_rows: int) -> dict[str, float]:
+        """Latency/energy of one optical crossbar read."""
+        if active_rows <= 0 or active_rows > self.rows:
+            raise ValueError(
+                f"active_rows must be in [1, {self.rows}], got {active_rows}"
+            )
+        return {
+            "latency": self.config.read_latency,
+            "energy": active_rows * self.cols * self.config.read_energy_per_cell,
+        }

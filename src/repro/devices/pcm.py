@@ -1,0 +1,207 @@
+"""Electronic phase-change memory (ePCM) device model.
+
+The paper's ePCM crossbars (Baseline-ePCM and TacitMap-ePCM) store one bit
+per cell: the crystalline state is a high conductance ``g_on`` and the
+amorphous state a low conductance ``g_off``.  The model captures the
+non-idealities that matter for a *binary* read-out:
+
+* programming (cycle-to-cycle) variability — each programmed conductance is
+  drawn from a log-normal distribution around its nominal state,
+* read noise — an additive Gaussian perturbation on every read,
+* resistance drift — amorphous-state conductance decays as
+  ``g(t) = g0 * (t / t0)^(-nu)``, the standard empirical drift law
+  (Sec. II-C lists drift as an ePCM challenge that oPCM avoids),
+* per-operation latency and energy for reads and writes, consumed by the
+  architecture-level timing/energy models.
+
+Defaults follow the public characterisation literature the paper builds on
+(MNEMOSENE-class mushroom cells, tens-of-µS ON conductance, ~100 ns read
+pulse, ~10 pJ-class write energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.units import NANO, PICO
+from repro.utils.validation import check_binary, check_probability
+
+
+@dataclass(frozen=True)
+class EPCMConfig:
+    """Parameters of a binary ePCM cell.
+
+    Attributes
+    ----------
+    g_on:
+        Crystalline (SET) conductance in siemens.
+    g_off:
+        Amorphous (RESET) conductance in siemens.
+    programming_sigma:
+        Relative log-normal spread of the programmed conductance
+        (cycle-to-cycle variability).
+    read_noise_sigma:
+        Relative std-dev of additive Gaussian read noise, expressed as a
+        fraction of ``g_on``.
+    drift_nu_amorphous:
+        Drift exponent of the amorphous state (crystalline drift is
+        negligible and modelled as 0).
+    drift_t0:
+        Reference time of the drift law in seconds.
+    read_voltage:
+        Read voltage applied to a row during a VMM, in volts.
+    read_latency:
+        Duration of one crossbar read pulse, in seconds.
+    write_latency:
+        Duration of one program (SET/RESET) operation, in seconds.
+    read_energy_per_cell:
+        Energy dissipated in one cell during one read, in joules.
+    write_energy_per_cell:
+        Energy of one program pulse, in joules.
+    """
+
+    g_on: float = 25e-6
+    g_off: float = 0.1e-6
+    programming_sigma: float = 0.02
+    read_noise_sigma: float = 0.005
+    drift_nu_amorphous: float = 0.05
+    drift_t0: float = 1.0
+    read_voltage: float = 0.2
+    read_latency: float = 100 * NANO
+    write_latency: float = 500 * NANO
+    read_energy_per_cell: float = 0.05 * PICO
+    write_energy_per_cell: float = 10.0 * PICO
+
+    def __post_init__(self) -> None:
+        if self.g_on <= self.g_off:
+            raise ValueError(
+                f"g_on ({self.g_on}) must exceed g_off ({self.g_off}) for a "
+                "binary-readable device"
+            )
+        if self.g_off < 0:
+            raise ValueError("g_off must be non-negative")
+        check_probability("programming_sigma", self.programming_sigma)
+        check_probability("read_noise_sigma", self.read_noise_sigma)
+        if self.read_latency <= 0 or self.write_latency <= 0:
+            raise ValueError("latencies must be positive")
+        if self.read_voltage <= 0:
+            raise ValueError("read_voltage must be positive")
+
+    @property
+    def on_off_ratio(self) -> float:
+        """Ratio of ON to OFF conductance (read-margin figure of merit)."""
+        return self.g_on / max(self.g_off, 1e-30)
+
+
+class EPCMDeviceArray:
+    """A 2-D array of binary ePCM cells.
+
+    The array stores nominal programmed conductances and exposes noisy,
+    drift-aware conductance snapshots for the analog crossbar model, plus the
+    latency/energy of the program operation.
+    """
+
+    def __init__(self, rows: int, cols: int, *,
+                 config: Optional[EPCMConfig] = None,
+                 rng: RngLike = None) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.config = config if config is not None else EPCMConfig()
+        self._rng = make_rng(rng)
+        self._bits = np.zeros((rows, cols), dtype=np.int8)
+        self._programmed_g = np.full((rows, cols), self.config.g_off)
+        self._programmed = False
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols) of the device array."""
+        return (self.rows, self.cols)
+
+    @property
+    def stored_bits(self) -> np.ndarray:
+        """The last bit pattern programmed into the array (copy)."""
+        return self._bits.copy()
+
+    def program(self, bits: np.ndarray) -> dict[str, float]:
+        """Program the array with a binary pattern.
+
+        Parameters
+        ----------
+        bits:
+            Binary matrix of shape ``(rows, cols)``; 1 programs the
+            crystalline (high-G) state, 0 the amorphous (low-G) state.
+
+        Returns
+        -------
+        dict
+            ``{"latency": seconds, "energy": joules}`` of the programming
+            operation (cells are written row-by-row, one pulse per cell).
+        """
+        bits = check_binary("bits", bits)
+        if bits.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"bits shape {bits.shape} does not match array {self.shape}"
+            )
+        self._bits = bits.astype(np.int8)
+        nominal = np.where(bits == 1, self.config.g_on, self.config.g_off)
+        if self.config.programming_sigma > 0:
+            spread = self._rng.lognormal(
+                mean=0.0, sigma=self.config.programming_sigma, size=bits.shape
+            )
+        else:
+            spread = 1.0
+        self._programmed_g = nominal * spread
+        self._programmed = True
+        cells = self.rows * self.cols
+        return {
+            "latency": self.rows * self.config.write_latency,
+            "energy": cells * self.config.write_energy_per_cell,
+        }
+
+    def conductances(self, *, time_since_program: float = 0.0,
+                     with_read_noise: bool = True) -> np.ndarray:
+        """Return a conductance snapshot of the array.
+
+        Parameters
+        ----------
+        time_since_program:
+            Seconds elapsed since programming; amorphous cells drift downward
+            following the power-law drift model.
+        with_read_noise:
+            Add per-read Gaussian noise when ``True``.
+        """
+        if not self._programmed:
+            raise RuntimeError("array must be programmed before reading")
+        if time_since_program < 0:
+            raise ValueError("time_since_program must be non-negative")
+        conductance = self._programmed_g.copy()
+        if time_since_program > 0 and self.config.drift_nu_amorphous > 0:
+            factor = (
+                (time_since_program + self.config.drift_t0) / self.config.drift_t0
+            ) ** (-self.config.drift_nu_amorphous)
+            amorphous = self._bits == 0
+            conductance[amorphous] *= factor
+        if with_read_noise and self.config.read_noise_sigma > 0:
+            noise = self._rng.normal(
+                0.0, self.config.read_noise_sigma * self.config.g_on,
+                size=conductance.shape,
+            )
+            conductance = np.clip(conductance + noise, 0.0, None)
+        return conductance
+
+    def read_cost(self, active_rows: int) -> dict[str, float]:
+        """Latency/energy of one crossbar read activating ``active_rows`` rows."""
+        if active_rows <= 0 or active_rows > self.rows:
+            raise ValueError(
+                f"active_rows must be in [1, {self.rows}], got {active_rows}"
+            )
+        return {
+            "latency": self.config.read_latency,
+            "energy": active_rows * self.cols * self.config.read_energy_per_cell,
+        }

@@ -1,0 +1,49 @@
+"""Evaluation harness regenerating the paper's figures and headline numbers.
+
+* :mod:`repro.eval.experiments` — Fig. 7 (normalized latency improvement) and
+  Fig. 8 (normalized energy) across the six evaluation BNNs, plus the
+  abstract's headline ratios.
+* :mod:`repro.eval.ablations` — design-space sweeps the paper fixes or leaves
+  to future work: WDM capacity, crossbar size, ADC sharing.
+* :mod:`repro.eval.reporting` — plain-text table/series formatting used by
+  the benchmarks and examples.
+"""
+
+from repro.eval.ablations import (
+    sweep_adc_sharing,
+    sweep_crossbar_size,
+    sweep_wdm_capacity,
+)
+from repro.eval.experiments import (
+    Fig7Result,
+    Fig8Result,
+    NetworkResult,
+    headline_numbers,
+    run_fig7,
+    run_fig8,
+)
+from repro.eval.reporting import format_series, format_table
+from repro.eval.robustness import (
+    RobustnessPoint,
+    level_error_rate,
+    noise_sweep,
+    popcount_error_rate,
+)
+
+__all__ = [
+    "RobustnessPoint",
+    "level_error_rate",
+    "noise_sweep",
+    "popcount_error_rate",
+    "sweep_adc_sharing",
+    "sweep_crossbar_size",
+    "sweep_wdm_capacity",
+    "Fig7Result",
+    "Fig8Result",
+    "NetworkResult",
+    "headline_numbers",
+    "run_fig7",
+    "run_fig8",
+    "format_series",
+    "format_table",
+]

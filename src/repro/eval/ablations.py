@@ -1,0 +1,135 @@
+"""Design-space ablations (Sec. VI-C: "Design Space Exploration of oPCM-based
+VCores ... is encouraged and left for future work").
+
+Three sweeps the paper fixes to single values but whose influence its
+arguments rely on:
+
+* **WDM capacity K** — the extra parallelism dimension of EinsteinBarrier
+  (fixed to 16 in the paper);
+* **crossbar size** — bounds both the per-tile parallelism of TacitMap and
+  the serialisation length of the baseline (fixed to the PUMA-style 256x256);
+* **ADC sharing** — how many columns share one converter (footnote 1 of
+  Sec. IV assumes fully parallel read-out and promises to revisit it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import (
+    baseline_epcm_config,
+    einsteinbarrier_config,
+    tacitmap_epcm_config,
+)
+from repro.bnn.networks import build_network
+from repro.bnn.workload import NetworkWorkload, extract_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of an ablation sweep."""
+
+    parameter: float
+    latency: float
+    energy: float
+    speedup_vs_baseline: float
+    energy_ratio_vs_baseline: float
+
+
+def _workload(network: str | NetworkWorkload) -> NetworkWorkload:
+    if isinstance(network, NetworkWorkload):
+        return network
+    return extract_workload(build_network(network))
+
+
+def sweep_wdm_capacity(network: str | NetworkWorkload = "CNN-L", *,
+                       capacities: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                       crossbar_size: int = 256) -> List[SweepPoint]:
+    """EinsteinBarrier latency/energy as a function of WDM capacity K."""
+    workload = _workload(network)
+    baseline = AcceleratorModel(
+        baseline_epcm_config(crossbar_size=crossbar_size)
+    ).run_inference(workload)
+    points: List[SweepPoint] = []
+    for capacity in capacities:
+        if capacity < 1:
+            raise ValueError("WDM capacity must be >= 1")
+        config = einsteinbarrier_config(
+            crossbar_size=crossbar_size, wdm_capacity=capacity
+        )
+        report = AcceleratorModel(config).run_inference(workload)
+        points.append(SweepPoint(
+            parameter=float(capacity),
+            latency=report.latency.total,
+            energy=report.energy.total,
+            speedup_vs_baseline=baseline.latency.total / report.latency.total,
+            energy_ratio_vs_baseline=report.energy.total / baseline.energy.total,
+        ))
+    return points
+
+
+def sweep_crossbar_size(network: str | NetworkWorkload = "CNN-L", *,
+                        sizes: Sequence[int] = (64, 128, 256, 512, 1024),
+                        design: str = "einsteinbarrier") -> List[SweepPoint]:
+    """Latency/energy of one design as a function of crossbar array size.
+
+    The baseline reference is re-evaluated at every size so the ratios always
+    compare equal-capacity arrays.
+    """
+    workload = _workload(network)
+    factories = {
+        "baseline_epcm": baseline_epcm_config,
+        "tacitmap_epcm": tacitmap_epcm_config,
+        "einsteinbarrier": einsteinbarrier_config,
+    }
+    if design not in factories:
+        raise ValueError(f"unknown design {design!r}; choose from {sorted(factories)}")
+    points: List[SweepPoint] = []
+    for size in sizes:
+        if size < 2:
+            raise ValueError("crossbar size must be >= 2")
+        baseline = AcceleratorModel(
+            baseline_epcm_config(crossbar_size=size)
+        ).run_inference(workload)
+        report = AcceleratorModel(
+            factories[design](crossbar_size=size)
+        ).run_inference(workload)
+        points.append(SweepPoint(
+            parameter=float(size),
+            latency=report.latency.total,
+            energy=report.energy.total,
+            speedup_vs_baseline=baseline.latency.total / report.latency.total,
+            energy_ratio_vs_baseline=report.energy.total / baseline.energy.total,
+        ))
+    return points
+
+
+def sweep_adc_sharing(network: str | NetworkWorkload = "CNN-L", *,
+                      columns_per_adc: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                      design: str = "tacitmap_epcm") -> List[SweepPoint]:
+    """Latency/energy as a function of how many columns share one ADC."""
+    workload = _workload(network)
+    baseline = AcceleratorModel(baseline_epcm_config()).run_inference(workload)
+    factories = {
+        "tacitmap_epcm": tacitmap_epcm_config,
+        "einsteinbarrier": einsteinbarrier_config,
+    }
+    if design not in factories:
+        raise ValueError(f"unknown design {design!r}; choose from {sorted(factories)}")
+    points: List[SweepPoint] = []
+    for share in columns_per_adc:
+        if share < 1:
+            raise ValueError("columns_per_adc must be >= 1")
+        report = AcceleratorModel(
+            factories[design](columns_per_adc=share)
+        ).run_inference(workload)
+        points.append(SweepPoint(
+            parameter=float(share),
+            latency=report.latency.total,
+            energy=report.energy.total,
+            speedup_vs_baseline=baseline.latency.total / report.latency.total,
+            energy_ratio_vs_baseline=report.energy.total / baseline.energy.total,
+        ))
+    return points

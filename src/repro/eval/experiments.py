@@ -1,0 +1,196 @@
+"""Regeneration of the paper's evaluation figures (Fig. 7 and Fig. 8).
+
+Fig. 7 reports, for each of the six BNNs, the latency *improvement* of
+TacitMap-ePCM and EinsteinBarrier normalised to Baseline-ePCM (log scale),
+plus the Baseline-GPU reference.  Fig. 8 reports the energy consumption of
+the same designs normalised to Baseline-ePCM.  The functions here compute the
+same series with the reproduction's analytical models and return structured
+results the benchmarks print and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import (
+    AcceleratorConfig,
+    baseline_epcm_config,
+    einsteinbarrier_config,
+    tacitmap_epcm_config,
+)
+from repro.baselines.gpu import GPUConfig, GPUModel
+from repro.bnn.networks import build_network, list_networks
+from repro.bnn.workload import NetworkWorkload, extract_workload
+
+#: design keys in the order the paper reports them
+DESIGN_KEYS = ("baseline_epcm", "tacitmap_epcm", "einsteinbarrier")
+
+
+def _geomean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """Per-network absolute metrics for every design (latency s, energy J)."""
+
+    network: str
+    latency: Dict[str, float]
+    energy: Dict[str, float]
+
+    def latency_improvement(self, design: str) -> float:
+        """Latency improvement of ``design`` normalised to Baseline-ePCM."""
+        return self.latency["baseline_epcm"] / self.latency[design]
+
+    def energy_ratio(self, design: str) -> float:
+        """Energy of ``design`` normalised to Baseline-ePCM (lower is better)."""
+        return self.energy[design] / self.energy["baseline_epcm"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """All series needed to regenerate Fig. 7."""
+
+    per_network: List[NetworkResult] = field(default_factory=list)
+
+    @property
+    def networks(self) -> List[str]:
+        """Network names in reporting order."""
+        return [result.network for result in self.per_network]
+
+    def improvements(self, design: str) -> List[float]:
+        """Normalized latency improvements of one design across networks."""
+        return [result.latency_improvement(design) for result in self.per_network]
+
+    def average_improvement(self, design: str) -> float:
+        """Geometric-mean improvement across the six networks."""
+        return _geomean(self.improvements(design))
+
+    def max_improvement(self, design: str) -> float:
+        """Largest per-network improvement (the "up to" numbers)."""
+        return max(self.improvements(design))
+
+    def min_improvement(self, design: str) -> float:
+        """Smallest per-network improvement."""
+        return min(self.improvements(design))
+
+    def gpu_vs_baseline(self) -> Dict[str, float]:
+        """Baseline-ePCM latency / GPU latency per network (> 1 = GPU wins)."""
+        return {
+            result.network: result.latency["baseline_epcm"] / result.latency["gpu"]
+            for result in self.per_network
+        }
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """All series needed to regenerate Fig. 8."""
+
+    per_network: List[NetworkResult] = field(default_factory=list)
+
+    @property
+    def networks(self) -> List[str]:
+        """Network names in reporting order."""
+        return [result.network for result in self.per_network]
+
+    def ratios(self, design: str) -> List[float]:
+        """Normalized energy of one design across networks (lower is better)."""
+        return [result.energy_ratio(design) for result in self.per_network]
+
+    def average_ratio(self, design: str) -> float:
+        """Geometric-mean normalized energy across networks."""
+        return _geomean(self.ratios(design))
+
+
+def _evaluate_networks(networks: Optional[Sequence[str]] = None,
+                       configs: Optional[Dict[str, AcceleratorConfig]] = None,
+                       gpu_config: Optional[GPUConfig] = None,
+                       workloads: Optional[Dict[str, NetworkWorkload]] = None,
+                       ) -> List[NetworkResult]:
+    names = list(networks) if networks is not None else list_networks()
+    if configs is None:
+        configs = {
+            "baseline_epcm": baseline_epcm_config(),
+            "tacitmap_epcm": tacitmap_epcm_config(),
+            "einsteinbarrier": einsteinbarrier_config(),
+        }
+    models = {key: AcceleratorModel(config) for key, config in configs.items()}
+    gpu = GPUModel(gpu_config)
+    results: List[NetworkResult] = []
+    for name in names:
+        if workloads is not None and name in workloads:
+            workload = workloads[name]
+        else:
+            workload = extract_workload(build_network(name))
+        latency: Dict[str, float] = {}
+        energy: Dict[str, float] = {}
+        for key, model in models.items():
+            report = model.run_inference(workload)
+            latency[key] = report.latency.total
+            energy[key] = report.energy.total
+        latency["gpu"] = gpu.run_inference(workload).latency
+        energy["gpu"] = gpu.energy(workload)
+        results.append(NetworkResult(network=name, latency=latency, energy=energy))
+    return results
+
+
+def run_fig7(networks: Optional[Sequence[str]] = None, *,
+             configs: Optional[Dict[str, AcceleratorConfig]] = None,
+             gpu_config: Optional[GPUConfig] = None,
+             workloads: Optional[Dict[str, NetworkWorkload]] = None) -> Fig7Result:
+    """Regenerate Fig. 7: normalized latency improvements over all networks."""
+    return Fig7Result(per_network=_evaluate_networks(
+        networks, configs, gpu_config, workloads
+    ))
+
+
+def run_fig8(networks: Optional[Sequence[str]] = None, *,
+             configs: Optional[Dict[str, AcceleratorConfig]] = None,
+             gpu_config: Optional[GPUConfig] = None,
+             workloads: Optional[Dict[str, NetworkWorkload]] = None) -> Fig8Result:
+    """Regenerate Fig. 8: normalized energy consumption over all networks."""
+    return Fig8Result(per_network=_evaluate_networks(
+        networks, configs, gpu_config, workloads
+    ))
+
+
+def headline_numbers(fig7: Optional[Fig7Result] = None,
+                     fig8: Optional[Fig8Result] = None) -> Dict[str, float]:
+    """The abstract/summary numbers of the paper, recomputed.
+
+    Returns a dictionary with the reproduction's values for:
+
+    * ``tacitmap_avg`` / ``tacitmap_max`` — TacitMap-ePCM latency improvement
+      (paper: ~78x average, up to ~154x),
+    * ``einsteinbarrier_avg`` / ``einsteinbarrier_max`` /
+      ``einsteinbarrier_min`` — EinsteinBarrier latency improvement
+      (paper: ~1205x average, ~22x to ~3113x),
+    * ``einsteinbarrier_over_tacitmap`` — EinsteinBarrier vs TacitMap-ePCM
+      (paper: ~15x),
+    * ``tacitmap_energy_ratio`` — TacitMap-ePCM energy vs baseline
+      (paper: ~5.35x more),
+    * ``einsteinbarrier_energy_ratio`` — EinsteinBarrier energy vs baseline
+      (paper: ~0.64x, i.e. ~1.56x better).
+    """
+    fig7 = fig7 if fig7 is not None else run_fig7()
+    fig8 = fig8 if fig8 is not None else run_fig8()
+    eb_over_tacit = [
+        result.latency["tacitmap_epcm"] / result.latency["einsteinbarrier"]
+        for result in fig7.per_network
+    ]
+    return {
+        "tacitmap_avg": fig7.average_improvement("tacitmap_epcm"),
+        "tacitmap_max": fig7.max_improvement("tacitmap_epcm"),
+        "einsteinbarrier_avg": fig7.average_improvement("einsteinbarrier"),
+        "einsteinbarrier_max": fig7.max_improvement("einsteinbarrier"),
+        "einsteinbarrier_min": fig7.min_improvement("einsteinbarrier"),
+        "einsteinbarrier_over_tacitmap": _geomean(eb_over_tacit),
+        "tacitmap_energy_ratio": fig8.average_ratio("tacitmap_epcm"),
+        "einsteinbarrier_energy_ratio": fig8.average_ratio("einsteinbarrier"),
+    }

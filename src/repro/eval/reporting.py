@@ -1,0 +1,50 @@
+"""Plain-text reporting helpers for the benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *,
+                 float_format: str = "{:.3g}") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    headers = [str(h) for h in headers]
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float], *,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure series as labelled (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    pairs = ", ".join(f"({x:g}, {y:.4g})" for x, y in zip(xs, ys))
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"
+
+
+def format_ratio_summary(label: str, values: Dict[str, float]) -> str:
+    """Render a {name: ratio} mapping as a one-line summary."""
+    body = ", ".join(f"{key}={value:.3g}x" for key, value in values.items())
+    return f"{label}: {body}"

@@ -1,0 +1,147 @@
+"""Noise-robustness study: why the paper insists on *binary* PCM states.
+
+Section II-C motivates both contributions with the observation (Cardoso et
+al., DATE 2023) that at realistic noise levels multi-level PCM read-out
+corrupts scalar multiplication, while binary states remain separable — "the
+binary usage of PCM provides the easiest solution for differentiating between
+the states", which is exactly what BNN vectors need.  The paper also defers
+"extending TacitMap on multi-bit cells" to future work (Sec. VI-C).
+
+This module quantifies both statements with the device/crossbar models of the
+reproduction:
+
+* :func:`level_error_rate` — probability of mis-reading one cell programmed
+  to one of ``num_levels`` equally spaced states under read noise (the
+  Cardoso-style scalar-multiplication robustness argument);
+* :func:`popcount_error_rate` — probability that a full TacitMap column
+  read (an Eq. 1 popcount) comes back wrong on the analog crossbar, as a
+  function of the read-noise level;
+* :func:`noise_sweep` — the series used by the robustness benchmark: popcount
+  error rate of binary cells vs the equivalent multi-level encoding across a
+  noise sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.bnn.xnor_ops import xnor_popcount
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.noise import NoiseConfig
+from repro.devices.pcm import EPCMConfig
+from repro.utils.rng import RngLike, make_rng
+
+
+def level_error_rate(num_levels: int, *, read_noise_sigma: float,
+                     trials: int = 2000, rng: RngLike = None) -> float:
+    """Probability of mis-reading a single multi-level PCM cell.
+
+    The cell is programmed to one of ``num_levels`` equally spaced
+    conductance states between ``g_off`` and ``g_on``; a read adds Gaussian
+    noise with standard deviation ``read_noise_sigma * g_on`` and the reader
+    picks the nearest nominal level.  With 2 levels this is the binary case
+    the paper relies on; with more levels the spacing shrinks and the error
+    rate climbs — the Cardoso et al. observation.
+    """
+    if num_levels < 2:
+        raise ValueError("num_levels must be >= 2")
+    if read_noise_sigma < 0:
+        raise ValueError("read_noise_sigma must be non-negative")
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    generator = make_rng(rng)
+    config = EPCMConfig()
+    levels = np.linspace(config.g_off, config.g_on, num_levels)
+    programmed_index = generator.integers(0, num_levels, size=trials)
+    programmed = levels[programmed_index]
+    noisy = programmed + generator.normal(
+        0.0, read_noise_sigma * config.g_on, size=trials
+    )
+    recovered = np.argmin(np.abs(noisy[:, None] - levels[None, :]), axis=1)
+    return float(np.mean(recovered != programmed_index))
+
+
+def popcount_error_rate(*, vector_length: int = 128, num_outputs: int = 32,
+                        thermal_sigma: float = 0.0,
+                        read_noise_sigma: float = 0.005,
+                        programming_sigma: float = 0.02,
+                        technology: str = "epcm",
+                        trials: int = 8, rng: RngLike = None) -> float:
+    """Fraction of TacitMap column popcounts read back incorrectly.
+
+    Programs ``num_outputs`` random weight vectors in the TacitMap layout,
+    applies ``trials`` random activation vectors through the analog crossbar
+    model with the given noise knobs, and compares the recovered counts to
+    the exact ``popcount(XNOR(x, w))``.
+    """
+    if vector_length < 1 or num_outputs < 1 or trials < 1:
+        raise ValueError("vector_length, num_outputs and trials must be >= 1")
+    generator = make_rng(rng)
+    weights = generator.integers(0, 2, size=(num_outputs, vector_length))
+    layout = np.vstack([weights.T, 1 - weights.T])
+    device = EPCMConfig(
+        programming_sigma=programming_sigma,
+        read_noise_sigma=read_noise_sigma,
+    ) if technology == "epcm" else None
+    array = CrossbarArray(
+        2 * vector_length, num_outputs, technology=technology,
+        device_config=device,
+        noise=NoiseConfig(thermal_sigma=thermal_sigma),
+        rng=generator,
+    )
+    array.program(layout)
+    wrong = 0
+    total = 0
+    for _ in range(trials):
+        x = generator.integers(0, 2, size=vector_length)
+        counts = array.match_counts(np.concatenate([x, 1 - x]))
+        expected = np.array([xnor_popcount(x, w) for w in weights])
+        wrong += int(np.sum(counts != expected))
+        total += num_outputs
+    return wrong / total
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """One point of the binary-vs-multi-level robustness sweep."""
+
+    read_noise_sigma: float
+    binary_cell_error: float
+    multilevel_cell_error: float
+    popcount_error: float
+
+
+def noise_sweep(noise_sigmas: Sequence[float] = (0.0, 0.01, 0.02, 0.05, 0.1),
+                *, multilevel_bits: int = 2, vector_length: int = 128,
+                rng: RngLike = 0) -> List[RobustnessPoint]:
+    """Binary vs multi-level robustness across a read-noise sweep.
+
+    ``multilevel_bits`` selects the density of the hypothetical multi-bit
+    cell (2 bits = 4 conductance levels), matching the multi-level PCM the
+    paper's discussion section defers to future work.
+    """
+    if multilevel_bits < 1:
+        raise ValueError("multilevel_bits must be >= 1")
+    generator = make_rng(rng)
+    points: List[RobustnessPoint] = []
+    for sigma in noise_sigmas:
+        if sigma < 0:
+            raise ValueError("noise sigmas must be non-negative")
+        binary = level_error_rate(2, read_noise_sigma=sigma, rng=generator)
+        multilevel = level_error_rate(
+            2 ** multilevel_bits, read_noise_sigma=sigma, rng=generator
+        )
+        popcount = popcount_error_rate(
+            vector_length=vector_length, read_noise_sigma=sigma,
+            rng=generator,
+        )
+        points.append(RobustnessPoint(
+            read_noise_sigma=float(sigma),
+            binary_cell_error=binary,
+            multilevel_cell_error=multilevel,
+            popcount_error=popcount,
+        ))
+    return points

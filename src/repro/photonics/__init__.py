@@ -1,0 +1,48 @@
+"""Photonic substrate for EinsteinBarrier's oPCM ECores.
+
+Models the optical components of Fig. 6 (laser, microresonator frequency
+comb, MUX/DMUX, variable optical attenuators), the wavelength-division
+multiplexing channel plan that gives EinsteinBarrier its extra parallelism
+dimension, the receiver chain (photodiode + transimpedance amplifier), the
+optical link power budget, and the closed-form power-overhead equations the
+paper uses (Eq. 2 and Eq. 3).
+"""
+
+from repro.photonics.components import (
+    Laser,
+    MicroResonatorComb,
+    Mux,
+    Demux,
+    Photodiode,
+    TransimpedanceAmplifier,
+    VariableOpticalAttenuator,
+    Waveguide,
+)
+from repro.photonics.link import LinkBudget, OpticalLink
+from repro.photonics.power import (
+    crossbar_receiver_power,
+    transmitter_power,
+    total_optical_overhead_power,
+)
+from repro.photonics.transmitter import Transmitter, TransmitterConfig
+from repro.photonics.wdm import WDMChannelPlan, WDMConfig
+
+__all__ = [
+    "Laser",
+    "MicroResonatorComb",
+    "Mux",
+    "Demux",
+    "Photodiode",
+    "TransimpedanceAmplifier",
+    "VariableOpticalAttenuator",
+    "Waveguide",
+    "LinkBudget",
+    "OpticalLink",
+    "crossbar_receiver_power",
+    "transmitter_power",
+    "total_optical_overhead_power",
+    "Transmitter",
+    "TransmitterConfig",
+    "WDMChannelPlan",
+    "WDMConfig",
+]

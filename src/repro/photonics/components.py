@@ -1,0 +1,252 @@
+"""Behavioural models of the photonic components in the transmitter/receiver.
+
+Fig. 6 of the paper lists the transmitter's four main components: (1) a
+continuous-wave laser, (2) a microresonator-based optical frequency comb that
+spawns the WDM wavelengths, (3) DMUX/MUX stages that route individual
+wavelengths to their modulators and recombine them, and (4) variable optical
+attenuators (VOAs) that amplitude-encode each input bit onto its wavelength.
+On the receive side each crossbar column terminates in a photodiode followed
+by a transimpedance amplifier (TIA) that feeds the column ADC (Sec. IV-A1).
+
+All components share a simple convention: optical signals are dictionaries of
+``{wavelength_nm: power_w}`` and each component transforms powers (insertion
+loss, attenuation, responsivity) while reporting its electrical power draw
+for the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from repro.utils.units import mW
+from repro.utils.validation import check_positive, check_probability
+
+OpticalSignal = Dict[float, float]
+
+
+def db_to_linear(loss_db: float) -> float:
+    """Convert a loss in dB to a linear transmission factor."""
+    return 10.0 ** (-loss_db / 10.0)
+
+
+def linear_to_db(transmission: float) -> float:
+    """Convert a linear transmission factor to a loss in dB."""
+    if transmission <= 0:
+        raise ValueError("transmission must be positive to express in dB")
+    return -10.0 * np.log10(transmission)
+
+
+@dataclass(frozen=True)
+class Laser:
+    """Continuous-wave pump laser.
+
+    Attributes
+    ----------
+    output_power:
+        Optical output power in watts.
+    wall_plug_efficiency:
+        Fraction of electrical power converted into light.
+    wavelength_nm:
+        Centre wavelength of the emitted carrier.
+    """
+
+    output_power: float = 10.0 * mW
+    wall_plug_efficiency: float = 0.2
+    wavelength_nm: float = 1550.0
+
+    def __post_init__(self) -> None:
+        check_positive("output_power", self.output_power)
+        check_probability("wall_plug_efficiency", self.wall_plug_efficiency)
+        if self.wall_plug_efficiency == 0:
+            raise ValueError("wall_plug_efficiency must be > 0")
+        check_positive("wavelength_nm", self.wavelength_nm)
+
+    @property
+    def electrical_power(self) -> float:
+        """Electrical power drawn by the laser in watts."""
+        return self.output_power / self.wall_plug_efficiency
+
+    def emit(self) -> OpticalSignal:
+        """Emit the single-wavelength continuous wave."""
+        return {self.wavelength_nm: self.output_power}
+
+
+@dataclass(frozen=True)
+class MicroResonatorComb:
+    """Kerr microresonator frequency comb.
+
+    Converts a single pump line into ``num_lines`` equally spaced comb lines
+    (the WDM carriers), with a conversion efficiency spread across lines.
+    """
+
+    num_lines: int = 16
+    line_spacing_nm: float = 0.8
+    conversion_efficiency: float = 0.30
+    tuning_power: float = 45.0 * mW
+
+    def __post_init__(self) -> None:
+        if self.num_lines < 1:
+            raise ValueError("num_lines must be >= 1")
+        check_positive("line_spacing_nm", self.line_spacing_nm)
+        check_probability("conversion_efficiency", self.conversion_efficiency)
+        if self.conversion_efficiency == 0:
+            raise ValueError("conversion_efficiency must be > 0")
+        check_positive("tuning_power", self.tuning_power, allow_zero=True)
+
+    def generate(self, pump: OpticalSignal) -> OpticalSignal:
+        """Split the pump into comb lines centred on the pump wavelength."""
+        if len(pump) != 1:
+            raise ValueError("the comb expects a single-wavelength pump")
+        (pump_wavelength, pump_power), = pump.items()
+        per_line = pump_power * self.conversion_efficiency / self.num_lines
+        offset = -(self.num_lines - 1) / 2.0
+        return {
+            round(pump_wavelength + (offset + i) * self.line_spacing_nm, 4): per_line
+            for i in range(self.num_lines)
+        }
+
+    @property
+    def electrical_power(self) -> float:
+        """Thermal tuning power keeping the resonator on resonance."""
+        return self.tuning_power
+
+
+@dataclass(frozen=True)
+class Demux:
+    """Wavelength demultiplexer: splits a WDM signal into per-channel paths."""
+
+    insertion_loss_db: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("insertion_loss_db", self.insertion_loss_db, allow_zero=True)
+
+    def split(self, signal: Mapping[float, float]) -> Dict[float, OpticalSignal]:
+        """Return one single-wavelength signal per input channel."""
+        factor = db_to_linear(self.insertion_loss_db)
+        return {
+            wavelength: {wavelength: power * factor}
+            for wavelength, power in signal.items()
+        }
+
+
+@dataclass(frozen=True)
+class Mux:
+    """Wavelength multiplexer: merges per-channel paths into one WDM signal."""
+
+    insertion_loss_db: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("insertion_loss_db", self.insertion_loss_db, allow_zero=True)
+
+    def combine(self, signals: Iterable[Mapping[float, float]]) -> OpticalSignal:
+        """Merge several signals; overlapping wavelengths are rejected."""
+        factor = db_to_linear(self.insertion_loss_db)
+        combined: OpticalSignal = {}
+        for signal in signals:
+            for wavelength, power in signal.items():
+                if wavelength in combined:
+                    raise ValueError(
+                        f"wavelength {wavelength} nm appears in more than one input"
+                    )
+                combined[wavelength] = power * factor
+        return combined
+
+
+@dataclass(frozen=True)
+class VariableOpticalAttenuator:
+    """Amplitude modulator encoding one input bit onto one wavelength.
+
+    A bit value of 1 lets the carrier through (minus insertion loss); a bit
+    value of 0 attenuates it by the extinction ratio.
+    """
+
+    insertion_loss_db: float = 0.5
+    extinction_ratio_db: float = 20.0
+    drive_power: float = 3.0 * mW
+
+    def __post_init__(self) -> None:
+        check_positive("insertion_loss_db", self.insertion_loss_db, allow_zero=True)
+        check_positive("extinction_ratio_db", self.extinction_ratio_db)
+        check_positive("drive_power", self.drive_power, allow_zero=True)
+
+    def modulate(self, signal: Mapping[float, float], bit: int) -> OpticalSignal:
+        """Encode ``bit`` onto the (single-wavelength) carrier."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        if len(signal) != 1:
+            raise ValueError("a VOA modulates exactly one wavelength")
+        loss = db_to_linear(self.insertion_loss_db)
+        if bit == 0:
+            loss *= db_to_linear(self.extinction_ratio_db)
+        return {
+            wavelength: power * loss for wavelength, power in signal.items()
+        }
+
+    @property
+    def electrical_power(self) -> float:
+        """Electrical drive/tuning power of the attenuator in watts."""
+        return self.drive_power
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """Passive silicon waveguide with propagation loss."""
+
+    length_mm: float = 1.0
+    loss_db_per_cm: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("length_mm", self.length_mm, allow_zero=True)
+        check_positive("loss_db_per_cm", self.loss_db_per_cm, allow_zero=True)
+
+    @property
+    def total_loss_db(self) -> float:
+        """End-to-end propagation loss in dB."""
+        return self.loss_db_per_cm * self.length_mm / 10.0
+
+    def propagate(self, signal: Mapping[float, float]) -> OpticalSignal:
+        """Attenuate every channel by the propagation loss."""
+        factor = db_to_linear(self.total_loss_db)
+        return {w: p * factor for w, p in signal.items()}
+
+
+@dataclass(frozen=True)
+class Photodiode:
+    """Photodetector converting optical power to photocurrent."""
+
+    responsivity_a_per_w: float = 1.0
+    dark_current_a: float = 10e-9
+
+    def __post_init__(self) -> None:
+        check_positive("responsivity_a_per_w", self.responsivity_a_per_w)
+        check_positive("dark_current_a", self.dark_current_a, allow_zero=True)
+
+    def detect(self, signal: Mapping[float, float]) -> float:
+        """Total photocurrent produced by all incident wavelengths, in amperes."""
+        total_power = sum(signal.values())
+        return self.responsivity_a_per_w * total_power + self.dark_current_a
+
+
+@dataclass(frozen=True)
+class TransimpedanceAmplifier:
+    """TIA converting the photocurrent into a voltage for the column ADC.
+
+    EinsteinBarrier adds one TIA per crossbar column output (Sec. IV-A1);
+    each consumes 2 mW (the constant of Eq. 2).
+    """
+
+    gain_ohm: float = 10e3
+    power: float = 2.0 * mW
+
+    def __post_init__(self) -> None:
+        check_positive("gain_ohm", self.gain_ohm)
+        check_positive("power", self.power)
+
+    def amplify(self, current_a: float) -> float:
+        """Output voltage for a given photocurrent."""
+        if current_a < 0:
+            raise ValueError("photocurrent must be non-negative")
+        return current_a * self.gain_ohm

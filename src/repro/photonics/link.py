@@ -1,0 +1,141 @@
+"""Optical link power budget for the oPCM crossbar read path.
+
+A crossbar read only works if enough optical power survives the path
+laser → comb → demux → VOA → mux → waveguide → oPCM cell → photodiode to be
+resolved by the TIA/ADC against noise.  The link budget collects the losses
+of that chain, divides the per-wavelength power across the crossbar rows and
+checks the detected power per column against a receiver sensitivity — the
+quantitative version of the paper's remark that WDM channels must "still be
+detectable later (with acceptable noise in TIA)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.opcm import OPCMConfig
+from repro.photonics.components import (
+    Demux,
+    Laser,
+    MicroResonatorComb,
+    Mux,
+    Photodiode,
+    VariableOpticalAttenuator,
+    Waveguide,
+    linear_to_db,
+)
+from repro.utils.units import uW
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class OpticalLink:
+    """Static description of one laser-to-photodiode optical path."""
+
+    laser: Laser = field(default_factory=Laser)
+    comb: MicroResonatorComb = field(default_factory=MicroResonatorComb)
+    demux: Demux = field(default_factory=Demux)
+    voa: VariableOpticalAttenuator = field(default_factory=VariableOpticalAttenuator)
+    mux: Mux = field(default_factory=Mux)
+    waveguide: Waveguide = field(default_factory=Waveguide)
+    device: OPCMConfig = field(default_factory=OPCMConfig)
+    photodiode: Photodiode = field(default_factory=Photodiode)
+    receiver_sensitivity_w: float = 0.05 * uW
+
+    def __post_init__(self) -> None:
+        check_positive("receiver_sensitivity_w", self.receiver_sensitivity_w)
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Resolved power budget of an optical link through the crossbar."""
+
+    per_wavelength_launch_w: float
+    path_loss_db: float
+    detected_power_w: float
+    receiver_sensitivity_w: float
+    margin_db: float
+
+    @property
+    def closes(self) -> bool:
+        """True when the detected power exceeds the receiver sensitivity."""
+        return self.margin_db >= 0.0
+
+
+def evaluate_link_budget(link: OpticalLink, *, num_rows: int,
+                         wdm_capacity: int) -> LinkBudget:
+    """Evaluate the worst-case link budget of one crossbar column.
+
+    The pessimistic path assumes the input bit and the stored weight bit are
+    both 1 on only a single row (minimum accumulated power that must still be
+    distinguishable from zero), the cell is in its transparent state, and the
+    signal crosses every passive element once.
+    """
+    if num_rows < 1:
+        raise ValueError("num_rows must be >= 1")
+    if wdm_capacity < 1:
+        raise ValueError("wdm_capacity must be >= 1")
+    comb = MicroResonatorComb(
+        num_lines=wdm_capacity,
+        line_spacing_nm=link.comb.line_spacing_nm,
+        conversion_efficiency=link.comb.conversion_efficiency,
+        tuning_power=link.comb.tuning_power,
+    )
+    lines = comb.generate(link.laser.emit())
+    per_wavelength = next(iter(lines.values()))
+    # the per-wavelength power is shared across the crossbar rows
+    per_row_launch = per_wavelength / num_rows
+
+    passive_loss_db = (
+        link.demux.insertion_loss_db
+        + link.voa.insertion_loss_db
+        + link.mux.insertion_loss_db
+        + link.waveguide.total_loss_db
+        + link.device.insertion_loss_db
+    )
+    transmission_loss_db = linear_to_db(link.device.t_high)
+    path_loss_db = passive_loss_db + transmission_loss_db
+
+    detected = per_row_launch * 10.0 ** (-path_loss_db / 10.0)
+    margin_db = 10.0 * np.log10(
+        max(detected, 1e-30) / link.receiver_sensitivity_w
+    )
+    return LinkBudget(
+        per_wavelength_launch_w=per_wavelength,
+        path_loss_db=path_loss_db,
+        detected_power_w=detected,
+        receiver_sensitivity_w=link.receiver_sensitivity_w,
+        margin_db=margin_db,
+    )
+
+
+def max_rows_for_closure(link: OpticalLink, *, wdm_capacity: int,
+                         max_rows: int = 4096) -> int:
+    """Largest crossbar row count whose link budget still closes.
+
+    Used by the design-space-exploration ablation to show how optical power
+    (not just electrical periphery) bounds the usable crossbar height.
+    """
+    best = 0
+    rows = 1
+    while rows <= max_rows:
+        if evaluate_link_budget(link, num_rows=rows, wdm_capacity=wdm_capacity).closes:
+            best = rows
+            rows *= 2
+        else:
+            break
+    if best == 0:
+        return 0
+    # refine between best and 2*best with a binary search
+    low, high = best, min(best * 2, max_rows)
+    while low < high:
+        middle = (low + high + 1) // 2
+        if evaluate_link_budget(
+            link, num_rows=middle, wdm_capacity=wdm_capacity
+        ).closes:
+            low = middle
+        else:
+            high = middle - 1
+    return low

@@ -1,0 +1,95 @@
+"""Closed-form power-overhead model of the oPCM ECore (Eq. 2 and Eq. 3).
+
+Section IV-B of the paper quantifies what the extra WDM parallelism costs:
+
+* **Eq. 2** — receiver overhead of one crossbar: ``P_crossbar = N × 2 mW``
+  where ``N`` is the number of columns (one TIA per column at 2 mW).
+
+* **Eq. 3** — transmitter overhead:
+  ``P_total = P_laser + 3·K·M [mW] + 3·(K·M + 1)/k × 45 [mW]``
+  where ``K`` is the WDM capacity, ``M`` the number of crossbar rows driven,
+  the 3 mW term is the per-modulator drive power, the 45 mW term is the
+  thermal tuning of a resonator group, and ``k`` is the number of modulators
+  sharing one tuning block (the paper reuses the symbol; we expose it as
+  ``tuning_group_size`` and default it to ``K``).
+
+These functions are used by the EinsteinBarrier energy model and are swept
+directly by ``benchmarks/bench_power_model.py``.
+"""
+
+from __future__ import annotations
+
+from repro.utils.units import mW
+
+#: per-TIA receiver power (Eq. 2)
+TIA_POWER_W = 2.0 * mW
+#: per-modulator (VOA) drive power (Eq. 3, "3 × KM mW" term)
+MODULATOR_POWER_W = 3.0 * mW
+#: per-tuning-block power (Eq. 3, "× 45 mW" term)
+TUNING_BLOCK_POWER_W = 45.0 * mW
+#: default laser electrical power used when none is specified
+DEFAULT_LASER_POWER_W = 50.0 * mW
+
+
+def crossbar_receiver_power(num_columns: int, *,
+                            tia_power: float = TIA_POWER_W) -> float:
+    """Receiver power overhead of one crossbar (Eq. 2), in watts.
+
+    Parameters
+    ----------
+    num_columns:
+        ``N`` — number of crossbar columns, each terminated by one TIA.
+    tia_power:
+        Power of a single TIA (2 mW by default, per the paper).
+    """
+    if num_columns < 0:
+        raise ValueError("num_columns must be non-negative")
+    if tia_power < 0:
+        raise ValueError("tia_power must be non-negative")
+    return num_columns * tia_power
+
+
+def transmitter_power(wdm_capacity: int, num_rows: int, *,
+                      laser_power: float = DEFAULT_LASER_POWER_W,
+                      tuning_group_size: int | None = None,
+                      modulator_power: float = MODULATOR_POWER_W,
+                      tuning_block_power: float = TUNING_BLOCK_POWER_W) -> float:
+    """Transmitter power overhead (Eq. 3), in watts.
+
+    Parameters
+    ----------
+    wdm_capacity:
+        ``K`` — number of wavelengths combined per activation.
+    num_rows:
+        ``M`` — number of crossbar rows driven by the transmitter.
+    laser_power:
+        ``P_laser`` — electrical power of the pump laser.
+    tuning_group_size:
+        ``k`` — modulators per shared tuning block; defaults to ``K``.
+    modulator_power, tuning_block_power:
+        The 3 mW and 45 mW constants of Eq. 3, exposed for sweeps.
+    """
+    if wdm_capacity < 1:
+        raise ValueError("wdm_capacity must be >= 1")
+    if num_rows < 1:
+        raise ValueError("num_rows must be >= 1")
+    if laser_power < 0:
+        raise ValueError("laser_power must be non-negative")
+    group = wdm_capacity if tuning_group_size is None else tuning_group_size
+    if group < 1:
+        raise ValueError("tuning_group_size must be >= 1")
+    km = wdm_capacity * num_rows
+    modulators = km * modulator_power
+    tuning = (km + 1) / group * tuning_block_power
+    return laser_power + modulators + tuning
+
+
+def total_optical_overhead_power(wdm_capacity: int, num_rows: int,
+                                 num_columns: int, *,
+                                 laser_power: float = DEFAULT_LASER_POWER_W,
+                                 tuning_group_size: int | None = None) -> float:
+    """Combined transmitter + receiver overhead of one oPCM core, in watts."""
+    return transmitter_power(
+        wdm_capacity, num_rows, laser_power=laser_power,
+        tuning_group_size=tuning_group_size,
+    ) + crossbar_receiver_power(num_columns)

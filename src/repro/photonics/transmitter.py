@@ -1,0 +1,163 @@
+"""Transmitter assembly (Fig. 6): laser → comb → DMUX → VOAs → MUX.
+
+The transmitter takes up to K binary activation vectors (each of length M,
+one bit per crossbar row) and produces, for every crossbar row, a WDM signal
+whose wavelength λ_k carries bit ``vectors[k][row]``.  Feeding those row
+signals into the oPCM crossbar realises the Matrix-Matrix Multiplication of
+Sec. IV-A2: every column accumulates, per wavelength, the product of that
+wavelength's input vector with the stored column — K VMMs in one activation.
+
+Besides the functional encoding, the transmitter reports its electrical
+power, which is what Eq. 3 summarises in closed form (laser + modulators +
+tuning); :func:`repro.photonics.power.transmitter_power` implements the
+closed form and the tests assert both agree on the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.photonics.components import (
+    Demux,
+    Laser,
+    MicroResonatorComb,
+    Mux,
+    OpticalSignal,
+    VariableOpticalAttenuator,
+)
+from repro.photonics.wdm import WDMChannelPlan, WDMConfig
+from repro.utils.validation import check_binary
+
+
+@dataclass(frozen=True)
+class TransmitterConfig:
+    """Static configuration of the WDM transmitter.
+
+    Attributes
+    ----------
+    num_rows:
+        Number of crossbar rows M the transmitter drives (one VOA per row per
+        wavelength).
+    wdm:
+        WDM channel plan configuration (capacity K, spacing, crosstalk).
+    laser, comb, demux, mux, voa:
+        Component models; defaults follow Fig. 6 and the power constants the
+        paper uses in Eq. 3 (3 mW per modulator, 45 mW tuning blocks).
+    """
+
+    num_rows: int = 256
+    wdm: WDMConfig = field(default_factory=WDMConfig)
+    laser: Laser = field(default_factory=Laser)
+    comb: MicroResonatorComb = field(default_factory=lambda: MicroResonatorComb())
+    demux: Demux = field(default_factory=Demux)
+    mux: Mux = field(default_factory=Mux)
+    voa: VariableOpticalAttenuator = field(default_factory=VariableOpticalAttenuator)
+
+    def __post_init__(self) -> None:
+        if self.num_rows < 1:
+            raise ValueError("num_rows must be >= 1")
+
+
+class Transmitter:
+    """Functional + power model of the EinsteinBarrier transmitter."""
+
+    def __init__(self, config: TransmitterConfig | None = None) -> None:
+        self.config = config if config is not None else TransmitterConfig()
+        # align the comb with the WDM plan so the wavelengths coincide
+        wdm = self.config.wdm
+        comb = MicroResonatorComb(
+            num_lines=wdm.capacity,
+            line_spacing_nm=wdm.channel_spacing_nm,
+            conversion_efficiency=self.config.comb.conversion_efficiency,
+            tuning_power=self.config.comb.tuning_power,
+        )
+        self._comb = comb
+        self._plan = WDMChannelPlan(wdm)
+
+    # ------------------------------------------------------------------ #
+    # Functional path
+    # ------------------------------------------------------------------ #
+    def carrier_lines(self) -> OpticalSignal:
+        """The comb lines available for modulation."""
+        return self._comb.generate(self.config.laser.emit())
+
+    def encode(self, vectors: Sequence[np.ndarray] | np.ndarray) -> List[OpticalSignal]:
+        """Encode up to K binary vectors into per-row WDM signals.
+
+        Parameters
+        ----------
+        vectors:
+            Array-like of shape ``(k, num_rows)`` with binary entries; vector
+            ``i`` is assigned to wavelength ``i``.
+
+        Returns
+        -------
+        list of OpticalSignal
+            One WDM signal per crossbar row; row ``r``'s signal carries, on
+            wavelength ``i``, power proportional to ``vectors[i][r]``.
+        """
+        matrix = check_binary("vectors", np.atleast_2d(np.asarray(vectors)))
+        num_vectors, num_rows = matrix.shape
+        capacity = self._plan.effective_capacity()
+        if num_vectors > capacity:
+            raise ValueError(
+                f"{num_vectors} vectors exceed the effective WDM capacity {capacity}"
+            )
+        if num_rows != self.config.num_rows:
+            raise ValueError(
+                f"vectors have length {num_rows}, transmitter drives "
+                f"{self.config.num_rows} rows"
+            )
+        lines = self.carrier_lines()
+        per_channel = self.config.demux.split(lines)
+        wavelengths = sorted(per_channel)[:num_vectors]
+        row_signals: List[OpticalSignal] = []
+        for row in range(num_rows):
+            modulated = []
+            for vector_index, wavelength in enumerate(wavelengths):
+                carrier = per_channel[wavelength]
+                modulated.append(
+                    self.config.voa.modulate(carrier, int(matrix[vector_index, row]))
+                )
+            row_signals.append(self.config.mux.combine(modulated))
+        return row_signals
+
+    def decode_reference(self, row_signals: Sequence[OpticalSignal],
+                         wavelength: float) -> np.ndarray:
+        """Recover the bit pattern carried on ``wavelength`` (test helper).
+
+        Uses a mid-scale threshold on the per-row power of the chosen
+        wavelength; mirrors what an ideal receiver-side demux would see.
+        """
+        powers = np.array([signal.get(wavelength, 0.0) for signal in row_signals])
+        if powers.size == 0:
+            raise ValueError("row_signals must not be empty")
+        threshold = powers.max() / 2.0 if powers.max() > 0 else 0.0
+        return (powers > threshold).astype(np.int8)
+
+    # ------------------------------------------------------------------ #
+    # Power accounting
+    # ------------------------------------------------------------------ #
+    def electrical_power(self, active_wavelengths: int | None = None) -> float:
+        """Total electrical power of the transmitter in watts.
+
+        Sums the laser wall-plug power, one VOA drive per (row, wavelength)
+        pair, and one comb/ring tuning block per wavelength group — the
+        structural counterpart of Eq. 3.
+        """
+        k = (
+            self._plan.effective_capacity()
+            if active_wavelengths is None
+            else active_wavelengths
+        )
+        if k < 1 or k > self.config.wdm.capacity:
+            raise ValueError(
+                f"active_wavelengths must be in [1, {self.config.wdm.capacity}]"
+            )
+        modulator_power = k * self.config.num_rows * self.config.voa.drive_power
+        tuning_blocks = (k * self.config.num_rows + 1) / max(k, 1)
+        tuning_power = tuning_blocks * self._comb.tuning_power
+        return self.config.laser.electrical_power + modulator_power + tuning_power

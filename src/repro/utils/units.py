@@ -1,0 +1,107 @@
+"""Physical unit constants used throughout the simulator.
+
+All internal quantities are kept in SI base units (seconds, joules, watts,
+hertz, metres).  The constants defined here are multipliers, so that
+``5 * ns`` reads as "five nanoseconds" and evaluates to ``5e-9`` seconds.
+Helper functions convert back to human-readable engineering units for
+reporting.
+"""
+
+from __future__ import annotations
+
+# SI prefixes -----------------------------------------------------------------
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+# Time ------------------------------------------------------------------------
+us = MICRO
+ns = NANO
+ps = PICO
+
+# Energy ----------------------------------------------------------------------
+nJ = NANO
+pJ = PICO
+fJ = FEMTO
+
+# Power -----------------------------------------------------------------------
+mW = MILLI
+uW = MICRO
+
+# Frequency -------------------------------------------------------------------
+GHz = GIGA
+MHz = MEGA
+
+
+def seconds_to_ns(value: float) -> float:
+    """Convert a time in seconds to nanoseconds."""
+    return value / ns
+
+
+def joules_to_pj(value: float) -> float:
+    """Convert an energy in joules to picojoules."""
+    return value / pJ
+
+
+def joules_to_nj(value: float) -> float:
+    """Convert an energy in joules to nanojoules."""
+    return value / nJ
+
+
+def watts_to_mw(value: float) -> float:
+    """Convert a power in watts to milliwatts."""
+    return value / mW
+
+
+def format_time(value: float) -> str:
+    """Format a time in seconds with an auto-selected engineering unit."""
+    if value == 0:
+        return "0 s"
+    abs_value = abs(value)
+    if abs_value >= 1.0:
+        return f"{value:.3g} s"
+    if abs_value >= MILLI:
+        return f"{value / MILLI:.3g} ms"
+    if abs_value >= MICRO:
+        return f"{value / MICRO:.3g} us"
+    if abs_value >= NANO:
+        return f"{value / NANO:.3g} ns"
+    return f"{value / PICO:.3g} ps"
+
+
+def format_energy(value: float) -> str:
+    """Format an energy in joules with an auto-selected engineering unit."""
+    if value == 0:
+        return "0 J"
+    abs_value = abs(value)
+    if abs_value >= 1.0:
+        return f"{value:.3g} J"
+    if abs_value >= MILLI:
+        return f"{value / MILLI:.3g} mJ"
+    if abs_value >= MICRO:
+        return f"{value / MICRO:.3g} uJ"
+    if abs_value >= NANO:
+        return f"{value / NANO:.3g} nJ"
+    if abs_value >= PICO:
+        return f"{value / PICO:.3g} pJ"
+    return f"{value / FEMTO:.3g} fJ"
+
+
+def format_power(value: float) -> str:
+    """Format a power in watts with an auto-selected engineering unit."""
+    if value == 0:
+        return "0 W"
+    abs_value = abs(value)
+    if abs_value >= 1.0:
+        return f"{value:.3g} W"
+    if abs_value >= MILLI:
+        return f"{value / MILLI:.3g} mW"
+    if abs_value >= MICRO:
+        return f"{value / MICRO:.3g} uW"
+    return f"{value / NANO:.3g} nW"

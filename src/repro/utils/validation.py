@@ -1,0 +1,92 @@
+"""Input validation helpers shared across the library.
+
+The simulator's public API accepts plain NumPy arrays and Python scalars; the
+helpers here turn malformed inputs into clear ``ValueError``/``TypeError``
+messages at the API boundary instead of cryptic broadcasting failures deep
+inside the analog models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Validate that a scalar parameter is positive (or non-negative)."""
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_binary(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that ``array`` contains only 0/1 values and return it as int8."""
+    arr = np.asarray(array)
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    unique = np.unique(arr)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise ValueError(
+            f"{name} must contain only 0/1 values, found values {unique[:8]!r}"
+        )
+    return arr.astype(np.int8)
+
+
+def check_bipolar(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that ``array`` contains only -1/+1 values and return it as int8."""
+    arr = np.asarray(array)
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    unique = np.unique(arr)
+    if not np.all(np.isin(unique, (-1, 1))):
+        raise ValueError(
+            f"{name} must contain only -1/+1 values, found values {unique[:8]!r}"
+        )
+    return arr.astype(np.int8)
+
+
+def check_shape(name: str, array: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Validate that ``array`` has exactly ``shape``.
+
+    A dimension given as ``-1`` matches any extent.
+    """
+    arr = np.asarray(array)
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got {arr.ndim} "
+            f"(shape {arr.shape})"
+        )
+    for axis, (actual, expected) in enumerate(zip(arr.shape, shape)):
+        if expected != -1 and actual != expected:
+            raise ValueError(
+                f"{name} has shape {arr.shape}, expected {shape} "
+                f"(mismatch on axis {axis})"
+            )
+    return arr
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Validate that ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return int(value)
+
+
+def check_in_choices(name: str, value: str, choices: Sequence[str]) -> str:
+    """Validate that a string option is one of the allowed choices."""
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {sorted(choices)!r}, got {value!r}")
+    return value

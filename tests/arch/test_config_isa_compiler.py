@@ -1,0 +1,176 @@
+"""Tests for accelerator configurations, the ISA, and the compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.compiler import compile_network
+from repro.arch.config import (
+    AcceleratorConfig,
+    DigitalUnitConfig,
+    InterconnectConfig,
+    all_design_configs,
+    baseline_epcm_config,
+    einsteinbarrier_config,
+    tacitmap_epcm_config,
+)
+from repro.arch.isa import Instruction, LayerBlock, Opcode, total_count
+from repro.bnn.networks import build_network
+from repro.bnn.workload import extract_workload
+
+
+class TestConfigs:
+    def test_three_designs_exist(self):
+        names = [config.name for config in all_design_configs()]
+        assert names == ["Baseline-ePCM", "TacitMap-ePCM", "EinsteinBarrier"]
+
+    def test_baseline_uses_custbinarymap_and_pcsa(self):
+        config = baseline_epcm_config()
+        assert config.mapping == "custbinarymap"
+        assert config.tile.readout == "pcsa"
+        assert config.wdm_capacity == 1
+
+    def test_tacitmap_epcm_uses_adc_readout(self):
+        config = tacitmap_epcm_config()
+        assert config.mapping == "tacitmap"
+        assert config.tile.readout == "adc"
+        assert config.technology == "epcm"
+
+    def test_einsteinbarrier_uses_opcm_and_wdm(self):
+        config = einsteinbarrier_config()
+        assert config.technology == "opcm"
+        assert config.wdm_capacity == 16
+        assert config.tile.wdm_capacity == 16
+
+    def test_same_pcm_for_baseline_and_tacitmap(self):
+        """Sec. V-B: the same PCM configuration backs both ePCM designs."""
+        baseline = baseline_epcm_config().tile.resolved_device_config
+        tacit = tacitmap_epcm_config().tile.resolved_device_config
+        assert baseline == tacit
+
+    def test_wdm_on_epcm_rejected(self):
+        with pytest.raises(ValueError):
+            tacitmap_epcm_config().with_overrides(wdm_capacity=16)
+
+    def test_wdm_on_baseline_mapping_rejected(self):
+        config = einsteinbarrier_config()
+        with pytest.raises(ValueError):
+            config.with_overrides(mapping="custbinarymap")
+
+    def test_with_overrides_creates_modified_copy(self):
+        base = einsteinbarrier_config()
+        modified = base.with_overrides(wdm_capacity=8, name="EB-K8")
+        assert modified.wdm_capacity == 8 and base.wdm_capacity == 16
+
+    def test_crossbar_size_parameter(self):
+        config = einsteinbarrier_config(crossbar_size=128)
+        assert config.tile.rows == 128 and config.tile.cols == 128
+
+    def test_digital_unit_validation(self):
+        with pytest.raises(ValueError):
+            DigitalUnitConfig(clock_hz=0)
+        with pytest.raises(ValueError):
+            DigitalUnitConfig(macs_per_cycle=0)
+
+    def test_interconnect_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(bandwidth_bytes_per_s=0)
+
+    def test_invalid_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(
+                name="x", mapping="magic", technology="epcm",
+                tile=baseline_epcm_config().tile,
+            )
+
+
+class TestISA:
+    def test_instruction_counts(self):
+        block = LayerBlock(
+            layer_name="l", is_binary=True,
+            instructions=[
+                Instruction(Opcode.MVM, count=10),
+                Instruction(Opcode.MVM, count=5),
+                Instruction(Opcode.ALU_ADD, count=3),
+            ],
+        )
+        assert block.count(Opcode.MVM) == 15
+        assert block.count(Opcode.ALU_ADD) == 3
+        assert block.count(Opcode.LOAD) == 0
+
+    def test_total_count_across_blocks(self):
+        blocks = [
+            LayerBlock("a", True, [Instruction(Opcode.MVM, count=2)]),
+            LayerBlock("b", True, [Instruction(Opcode.MVM, count=3)]),
+        ]
+        assert total_count(blocks, Opcode.MVM) == 5
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MVM, count=-1)
+
+    def test_operand_defaults(self):
+        instruction = Instruction(Opcode.LOAD, operands={"bytes": 128})
+        assert instruction.operand("bytes") == 128
+        assert instruction.operand("missing", 7) == 7
+
+
+class TestCompiler:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return extract_workload(build_network("CNN-S"))
+
+    def test_one_block_per_mac_layer(self, workload):
+        program = compile_network(workload, einsteinbarrier_config())
+        assert len(program.blocks) == len(workload.layers)
+
+    def test_binary_blocks_have_schedules(self, workload):
+        program = compile_network(workload, einsteinbarrier_config())
+        for block in program.binary_blocks:
+            assert block.layer_name in program.schedules
+
+    def test_full_precision_layers_become_macs(self, workload):
+        program = compile_network(workload, baseline_epcm_config())
+        assert program.count(Opcode.ALU_MAC) == workload.full_precision_macs
+
+    def test_baseline_emits_row_reads_not_vmm(self, workload):
+        program = compile_network(workload, baseline_epcm_config())
+        assert program.count(Opcode.ROW_READ) > 0
+        assert program.count(Opcode.MVM) == 0
+        assert program.count(Opcode.MMM) == 0
+
+    def test_tacitmap_epcm_emits_mvm(self, workload):
+        program = compile_network(workload, tacitmap_epcm_config())
+        assert program.count(Opcode.MVM) > 0
+        assert program.count(Opcode.MMM) == 0
+        assert program.count(Opcode.ROW_READ) == 0
+
+    def test_einsteinbarrier_emits_mmm_for_conv_layers(self, workload):
+        program = compile_network(workload, einsteinbarrier_config())
+        assert program.count(Opcode.MMM) > 0
+
+    def test_einsteinbarrier_mlp_layers_stay_mvm(self):
+        """MLP layers have a single activation vector, so there is nothing to
+        group into an MMM even with WDM available."""
+        workload = extract_workload(build_network("MLP-S"))
+        program = compile_network(workload, einsteinbarrier_config())
+        assert program.count(Opcode.MMM) == 0
+        assert program.count(Opcode.MVM) > 0
+
+    def test_wdm_reduces_crossbar_instruction_count(self, workload):
+        plain = compile_network(workload, tacitmap_epcm_config())
+        wdm = compile_network(workload, einsteinbarrier_config())
+        assert (
+            wdm.count(Opcode.MMM) + wdm.count(Opcode.MVM)
+            < plain.count(Opcode.MVM)
+        )
+
+    def test_every_block_moves_data(self, workload):
+        program = compile_network(workload, einsteinbarrier_config())
+        for block in program.blocks:
+            assert block.count(Opcode.LOAD) >= 1
+            assert block.count(Opcode.STORE) >= 1
+
+    def test_baseline_emits_popcount_adds(self, workload):
+        program = compile_network(workload, baseline_epcm_config())
+        assert program.count(Opcode.ALU_ADD) > 0

@@ -1,0 +1,200 @@
+"""Tests for the latency/energy models, the hierarchy, and the façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import (
+    baseline_epcm_config,
+    einsteinbarrier_config,
+    tacitmap_epcm_config,
+)
+from repro.arch.energy import EnergyModel
+from repro.arch.hierarchy import ECore, EinsteinBarrierSystem, Node, Tile, VCore
+from repro.arch.timing import LatencyModel
+from repro.bnn.networks import build_network, list_networks
+from repro.bnn.workload import extract_workload
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        name: extract_workload(build_network(name))
+        for name in ("CNN-S", "CNN-L", "MLP-S", "MLP-L")
+    }
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {
+        "baseline": AcceleratorModel(baseline_epcm_config()),
+        "tacitmap": AcceleratorModel(tacitmap_epcm_config()),
+        "einsteinbarrier": AcceleratorModel(einsteinbarrier_config()),
+    }
+
+
+class TestLatencyModel:
+    def test_breakdown_components_positive(self, workloads):
+        latency = LatencyModel(tacitmap_epcm_config()).estimate(workloads["CNN-S"])
+        assert latency.binary_compute > 0
+        assert latency.full_precision_compute > 0
+        assert latency.data_movement > 0
+        assert latency.total == pytest.approx(
+            latency.binary_compute + latency.full_precision_compute
+            + latency.data_movement
+        )
+
+    def test_per_layer_sums_to_total(self, workloads):
+        latency = LatencyModel(einsteinbarrier_config()).estimate(workloads["CNN-S"])
+        assert sum(latency.per_layer.values()) == pytest.approx(
+            latency.total, rel=1e-9
+        )
+
+    def test_weight_programming_excluded_from_total(self, workloads):
+        latency = LatencyModel(tacitmap_epcm_config()).estimate(workloads["MLP-S"])
+        assert latency.weight_programming > 0
+        assert latency.weight_programming not in (latency.total,)
+
+    def test_tacitmap_faster_than_baseline_everywhere(self, workloads, models):
+        for name, workload in workloads.items():
+            baseline = models["baseline"].run_inference(workload).latency.total
+            tacit = models["tacitmap"].run_inference(workload).latency.total
+            assert tacit < baseline, name
+
+    def test_einsteinbarrier_fastest(self, workloads, models):
+        for name, workload in workloads.items():
+            tacit = models["tacitmap"].run_inference(workload).latency.total
+            einstein = models["einsteinbarrier"].run_inference(workload).latency.total
+            assert einstein < tacit, name
+
+    def test_speedup_grows_with_network_size(self, workloads, models):
+        """Larger BNNs expose more parallel XNOR+Popcounts (Sec. VI-A)."""
+        def speedup(name):
+            base = models["baseline"].run_inference(workloads[name]).latency.total
+            einstein = models["einsteinbarrier"].run_inference(
+                workloads[name]
+            ).latency.total
+            return base / einstein
+
+        assert speedup("CNN-L") > speedup("CNN-S")
+        assert speedup("MLP-L") > speedup("MLP-S")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(baseline_epcm_config()).transfer_latency(-1)
+
+
+class TestEnergyModel:
+    def test_breakdown_totals_consistent(self, workloads):
+        energy = EnergyModel(einsteinbarrier_config()).estimate(workloads["CNN-S"])
+        component_sum = (
+            energy.crossbar_array + energy.adc + energy.sense_amplifier
+            + energy.driver + energy.digital + energy.data_movement
+            + energy.optical_overhead + energy.full_precision
+        )
+        assert energy.total == pytest.approx(component_sum)
+
+    def test_per_layer_sums_to_total(self, workloads):
+        energy = EnergyModel(baseline_epcm_config()).estimate(workloads["MLP-S"])
+        assert sum(energy.per_layer.values()) == pytest.approx(energy.total, rel=1e-9)
+
+    def test_baseline_spends_on_senses_not_adcs(self, workloads):
+        energy = EnergyModel(baseline_epcm_config()).estimate(workloads["MLP-L"])
+        assert energy.sense_amplifier > 0
+        assert energy.adc == 0.0
+        assert energy.optical_overhead == 0.0
+
+    def test_tacitmap_spends_on_adcs_not_senses(self, workloads):
+        energy = EnergyModel(tacitmap_epcm_config()).estimate(workloads["MLP-L"])
+        assert energy.adc > 0
+        assert energy.sense_amplifier == 0.0
+
+    def test_einsteinbarrier_pays_optical_overhead(self, workloads):
+        energy = EnergyModel(einsteinbarrier_config()).estimate(workloads["CNN-L"])
+        assert energy.optical_overhead > 0
+
+    def test_tacitmap_epcm_costs_more_energy_than_baseline(self, workloads, models):
+        """Fig. 8 observation 1: TacitMap-ePCM > Baseline-ePCM in energy."""
+        for name in ("CNN-S", "CNN-L", "MLP-L"):
+            baseline = models["baseline"].run_inference(workloads[name]).energy.total
+            tacit = models["tacitmap"].run_inference(workloads[name]).energy.total
+            assert tacit > baseline, name
+
+    def test_einsteinbarrier_beats_tacitmap_epcm_energy(self, workloads, models):
+        """Fig. 8 observation 2: EinsteinBarrier < TacitMap-ePCM in energy."""
+        for name in ("CNN-L", "MLP-L"):
+            tacit = models["tacitmap"].run_inference(workloads[name]).energy.total
+            einstein = models["einsteinbarrier"].run_inference(
+                workloads[name]
+            ).energy.total
+            assert einstein < tacit, name
+
+    def test_einsteinbarrier_beats_baseline_on_large_cnn(self, workloads, models):
+        baseline = models["baseline"].run_inference(workloads["CNN-L"]).energy.total
+        einstein = models["einsteinbarrier"].run_inference(
+            workloads["CNN-L"]
+        ).energy.total
+        assert einstein < baseline
+
+    def test_weight_programming_reported_separately(self, workloads):
+        energy = EnergyModel(tacitmap_epcm_config()).estimate(workloads["MLP-S"])
+        assert energy.weight_programming > 0
+
+
+class TestHierarchy:
+    def test_vcore_counts_multiply_up(self):
+        config = einsteinbarrier_config()
+        assert Node(0, config).num_vcores == (
+            config.tiles_per_node * config.ecores_per_tile * config.vcores_per_ecore
+        )
+        assert Tile(0, config).num_vcores == (
+            config.ecores_per_tile * config.vcores_per_ecore
+        )
+
+    def test_opcm_ecore_has_transmitter_power(self):
+        assert ECore(0, einsteinbarrier_config()).transmitter_power > 0
+        assert ECore(0, tacitmap_epcm_config()).transmitter_power == 0.0
+
+    def test_vcore_receiver_power_only_for_opcm(self):
+        assert VCore(0, einsteinbarrier_config()).receiver_static_power > 0
+        assert VCore(0, baseline_epcm_config()).receiver_static_power == 0.0
+
+    def test_allocation_counts_tiles(self, workloads):
+        system = EinsteinBarrierSystem(einsteinbarrier_config())
+        report = system.allocate(workloads["MLP-L"])
+        assert report.vcores_required > 0
+        assert report.nodes_required >= 1
+        assert set(report.per_layer_vcores) == {
+            layer.name for layer in workloads["MLP-L"].binary_layers
+        }
+
+    def test_small_network_fits_one_node(self, workloads):
+        system = EinsteinBarrierSystem(einsteinbarrier_config())
+        assert system.allocate(workloads["MLP-S"]).fits_single_node
+
+    def test_allocation_area_positive(self, workloads):
+        system = EinsteinBarrierSystem(baseline_epcm_config())
+        assert system.allocate(workloads["CNN-S"]).crossbar_area_mm2 > 0
+
+
+class TestAcceleratorFacade:
+    def test_report_fields(self, workloads, models):
+        report = models["einsteinbarrier"].run_inference(workloads["CNN-S"])
+        assert report.design_name == "EinsteinBarrier"
+        assert report.latency.total > 0
+        assert report.energy.total > 0
+        assert report.throughput_inferences_per_s > 0
+        assert report.energy_delay_product > 0
+
+    def test_accepts_model_instances(self, models):
+        report = models["baseline"].run_inference(build_network("MLP-S"))
+        assert report.network_name == "MLP-S"
+
+    def test_all_networks_run_on_all_designs(self, models):
+        for name in list_networks():
+            workload = extract_workload(build_network(name))
+            for model in models.values():
+                report = model.run_inference(workload)
+                assert report.latency.total > 0
+                assert report.energy.total > 0

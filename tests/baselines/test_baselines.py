@@ -1,0 +1,116 @@
+"""Tests for the Baseline-ePCM wrapper and the GPU roofline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import tacitmap_epcm_config
+from repro.baselines.baseline_epcm import BaselineEPCMAccelerator
+from repro.baselines.gpu import GPUConfig, GPUModel
+from repro.bnn.networks import build_network, list_networks
+from repro.bnn.workload import extract_workload
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        name: extract_workload(build_network(name))
+        for name in ("CNN-S", "CNN-L", "MLP-S", "MLP-L")
+    }
+
+
+class TestBaselineEPCM:
+    def test_default_uses_custbinarymap(self):
+        assert BaselineEPCMAccelerator().config.mapping == "custbinarymap"
+
+    def test_rejects_non_baseline_config(self):
+        with pytest.raises(ValueError):
+            BaselineEPCMAccelerator(tacitmap_epcm_config())
+
+    def test_inference_report(self, workloads):
+        report = BaselineEPCMAccelerator().run_inference(workloads["CNN-S"])
+        assert report.latency.total > 0
+        assert report.energy.total > 0
+
+    def test_serialization_factor_larger_for_mlps(self, workloads):
+        """MLP layers store many weight vectors per activation vector, so
+        the baseline's row-serial read-out hurts them most (Sec. VI-A)."""
+        baseline = BaselineEPCMAccelerator()
+        assert (
+            baseline.serialization_factor(workloads["MLP-L"])
+            > baseline.serialization_factor(workloads["CNN-S"])
+        )
+
+    def test_accepts_model_instance(self):
+        report = BaselineEPCMAccelerator().run_inference(build_network("MLP-S"))
+        assert report.network_name == "MLP-S"
+
+
+class TestGPUModel:
+    def test_report_terms_positive(self, workloads):
+        report = GPUModel().run_inference(workloads["CNN-S"])
+        assert report.kernel_overhead > 0
+        assert report.memory_time > 0
+        assert report.compute_time > 0
+        assert report.latency == pytest.approx(
+            report.kernel_overhead + report.memory_time + report.compute_time
+        )
+
+    def test_per_layer_sums_to_latency(self, workloads):
+        report = GPUModel().run_inference(workloads["MLP-L"])
+        assert sum(report.per_layer.values()) == pytest.approx(report.latency)
+
+    def test_larger_networks_take_longer(self, workloads):
+        gpu = GPUModel()
+        assert (
+            gpu.run_inference(workloads["CNN-L"]).latency
+            > gpu.run_inference(workloads["CNN-S"]).latency
+        )
+        assert (
+            gpu.run_inference(workloads["MLP-L"]).latency
+            > gpu.run_inference(workloads["MLP-S"]).latency
+        )
+
+    def test_energy_scales_with_latency(self, workloads):
+        gpu = GPUModel()
+        latency = gpu.run_inference(workloads["MLP-S"]).latency
+        assert gpu.energy(workloads["MLP-S"]) == pytest.approx(
+            latency * gpu.config.board_power_w
+        )
+
+    def test_conv_layers_carry_lowering_overhead(self, workloads):
+        cheap = GPUModel(GPUConfig(conv_lowering_overhead=0.0))
+        costly = GPUModel(GPUConfig(conv_lowering_overhead=500e-6))
+        assert (
+            costly.run_inference(workloads["CNN-S"]).latency
+            > cheap.run_inference(workloads["CNN-S"]).latency
+        )
+        # MLPs have no conv layers, so the knob must not change them
+        assert costly.run_inference(workloads["MLP-S"]).latency == pytest.approx(
+            cheap.run_inference(workloads["MLP-S"]).latency
+        )
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(peak_binary_ops_per_s=0)
+        with pytest.raises(ValueError):
+            GPUConfig(kernels_per_conv_layer=0)
+
+    def test_accepts_model_instance(self):
+        report = GPUModel().run_inference(build_network("MLP-S"))
+        assert report.network_name == "MLP-S"
+
+
+class TestFigSevenCrossover:
+    """The Fig. 7 marker-4 observation: the CIM baseline does not always beat
+    the GPU — it wins on the small CNN and loses on the large MLPs."""
+
+    def test_baseline_beats_gpu_on_small_cnn(self, workloads):
+        baseline = BaselineEPCMAccelerator().run_inference(workloads["CNN-S"])
+        gpu = GPUModel().run_inference(workloads["CNN-S"])
+        assert baseline.latency.total < gpu.latency
+
+    def test_gpu_beats_baseline_on_large_mlp(self, workloads):
+        baseline = BaselineEPCMAccelerator().run_inference(workloads["MLP-L"])
+        gpu = GPUModel().run_inference(workloads["MLP-L"])
+        assert gpu.latency < baseline.latency.total

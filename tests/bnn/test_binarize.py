@@ -1,0 +1,94 @@
+"""Tests for repro.bnn.binarize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bnn.binarize import (
+    binarize_sign,
+    clip_latent,
+    ste_backward,
+    to_bipolar,
+    to_unipolar,
+)
+
+
+class TestBinarizeSign:
+    def test_positive_maps_to_plus_one(self):
+        assert np.all(binarize_sign(np.array([0.1, 3.0, 100.0])) == 1)
+
+    def test_negative_maps_to_minus_one(self):
+        assert np.all(binarize_sign(np.array([-0.1, -3.0, -100.0])) == -1)
+
+    def test_zero_maps_to_plus_one(self):
+        assert binarize_sign(np.array([0.0]))[0] == 1
+
+    def test_output_dtype_is_int8(self):
+        assert binarize_sign(np.array([0.5, -0.5])).dtype == np.int8
+
+    def test_preserves_shape(self):
+        x = np.zeros((3, 4, 5))
+        assert binarize_sign(x).shape == (3, 4, 5)
+
+    @given(hnp.arrays(np.float64, hnp.array_shapes(max_dims=3, max_side=6),
+                      elements=st.floats(-10, 10)))
+    def test_output_is_always_bipolar(self, x):
+        out = binarize_sign(x)
+        assert set(np.unique(out)).issubset({-1, 1})
+
+
+class TestEncodingConversions:
+    def test_round_trip_bipolar(self):
+        bipolar = np.array([-1, 1, 1, -1, 1], dtype=np.int8)
+        assert np.array_equal(to_bipolar(to_unipolar(bipolar)), bipolar)
+
+    def test_round_trip_unipolar(self):
+        unipolar = np.array([0, 1, 1, 0, 1], dtype=np.int8)
+        assert np.array_equal(to_unipolar(to_bipolar(unipolar)), unipolar)
+
+    def test_to_unipolar_mapping(self):
+        assert np.array_equal(to_unipolar(np.array([-1, 1])), np.array([0, 1]))
+
+    def test_to_bipolar_mapping(self):
+        assert np.array_equal(to_bipolar(np.array([0, 1])), np.array([-1, 1]))
+
+    def test_to_unipolar_rejects_non_bipolar(self):
+        with pytest.raises(ValueError):
+            to_unipolar(np.array([0, 1, 2]))
+
+    def test_to_bipolar_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            to_bipolar(np.array([-1, 1]))
+
+    @given(hnp.arrays(np.int8, st.integers(1, 64),
+                      elements=st.sampled_from([-1, 1])))
+    def test_round_trip_property(self, bipolar):
+        assert np.array_equal(to_bipolar(to_unipolar(bipolar)), bipolar)
+
+
+class TestSTE:
+    def test_gradient_passes_inside_clip_region(self):
+        grad = np.array([1.0, -2.0, 3.0])
+        latent = np.array([0.5, -0.5, 0.0])
+        assert np.array_equal(ste_backward(grad, latent), grad)
+
+    def test_gradient_blocked_outside_clip_region(self):
+        grad = np.array([1.0, -2.0])
+        latent = np.array([1.5, -2.0])
+        assert np.array_equal(ste_backward(grad, latent), np.zeros(2))
+
+    def test_custom_clip_bound(self):
+        grad = np.ones(3)
+        latent = np.array([0.5, 1.5, 2.5])
+        out = ste_backward(grad, latent, clip=2.0)
+        assert np.array_equal(out, np.array([1.0, 1.0, 0.0]))
+
+    def test_clip_latent_bounds_values(self):
+        latent = np.array([-5.0, -0.5, 0.5, 5.0])
+        clipped = clip_latent(latent)
+        assert clipped.min() >= -1.0 and clipped.max() <= 1.0
+        assert np.array_equal(clipped, np.array([-1.0, -0.5, 0.5, 1.0]))

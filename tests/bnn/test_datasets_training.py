@@ -1,0 +1,221 @@
+"""Tests for synthetic datasets, metrics and the BNN training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bnn.datasets import (
+    iterate_minibatches,
+    load_dataset,
+    synthetic_cifar10,
+    synthetic_mnist,
+)
+from repro.bnn.layers import BatchNorm, BinaryLinear, Linear, SignActivation
+from repro.bnn.metrics import (
+    accuracy,
+    confusion_matrix,
+    cross_entropy,
+    cross_entropy_grad,
+    softmax,
+    top_k_accuracy,
+)
+from repro.bnn.model import BNNModel
+from repro.bnn.training import AdamOptimizer, evaluate, train
+
+
+class TestDatasets:
+    def test_mnist_shapes(self, small_mnist):
+        assert small_mnist.train_images.shape[1:] == (1, 28, 28)
+        assert small_mnist.image_shape == (1, 28, 28)
+        assert small_mnist.num_classes == 10
+
+    def test_cifar_shapes(self, small_cifar):
+        assert small_cifar.train_images.shape[1:] == (3, 32, 32)
+
+    def test_values_bounded(self, small_mnist):
+        assert small_mnist.train_images.min() >= -1.0
+        assert small_mnist.train_images.max() <= 1.0
+
+    def test_labels_in_range(self, small_mnist):
+        assert small_mnist.train_labels.min() >= 0
+        assert small_mnist.train_labels.max() < 10
+
+    def test_deterministic_given_seed(self):
+        a = synthetic_mnist(train_size=32, test_size=16, seed=9)
+        b = synthetic_mnist(train_size=32, test_size=16, seed=9)
+        assert np.array_equal(a.train_images, b.train_images)
+        assert np.array_equal(a.train_labels, b.train_labels)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_mnist(train_size=32, test_size=16, seed=9)
+        b = synthetic_mnist(train_size=32, test_size=16, seed=10)
+        assert not np.array_equal(a.train_images, b.train_images)
+
+    def test_flattened_view(self, small_mnist):
+        flat = small_mnist.flattened()
+        assert flat.train_images.shape == (small_mnist.train_images.shape[0], 784)
+
+    def test_load_dataset_by_name(self):
+        assert load_dataset("mnist", train_size=8, test_size=4).name.startswith(
+            "synthetic-mnist"
+        )
+        assert load_dataset("CIFAR10", train_size=8, test_size=4).name.startswith(
+            "synthetic-cifar10"
+        )
+        with pytest.raises(ValueError):
+            load_dataset("imagenet")
+
+    def test_classes_are_separable(self, small_mnist):
+        """Per-class means should differ — otherwise training is hopeless."""
+        means = [
+            small_mnist.train_images[small_mnist.train_labels == cls].mean()
+            for cls in range(3)
+        ]
+        assert len(set(np.round(means, 4))) > 1
+
+
+class TestMinibatches:
+    def test_covers_all_samples(self, small_mnist):
+        total = 0
+        for images, labels in iterate_minibatches(
+            small_mnist.train_images, small_mnist.train_labels, 50, shuffle=False
+        ):
+            total += len(labels)
+            assert len(images) == len(labels)
+        assert total == len(small_mnist.train_labels)
+
+    def test_batch_size_respected(self, small_mnist):
+        sizes = [
+            len(labels)
+            for _, labels in iterate_minibatches(
+                small_mnist.train_images, small_mnist.train_labels, 64, shuffle=False
+            )
+        ]
+        assert all(size <= 64 for size in sizes)
+        assert sizes[0] == 64
+
+    def test_mismatched_lengths_raise(self, small_mnist):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(
+                small_mnist.train_images, small_mnist.train_labels[:-1], 32
+            ))
+
+    def test_invalid_batch_size_raises(self, small_mnist):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(
+                small_mnist.train_images, small_mnist.train_labels, 0
+            ))
+
+
+class TestMetrics:
+    def test_accuracy_perfect(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_accuracy_half(self):
+        assert accuracy(np.array([1, 2, 3, 4]), np.array([1, 2, 0, 0])) == 0.5
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_confusion_matrix_diagonal(self):
+        matrix = confusion_matrix(np.array([0, 1, 2]), np.array([0, 1, 2]), 3)
+        assert np.array_equal(matrix, np.eye(3, dtype=np.int64))
+
+    def test_confusion_matrix_off_diagonal(self):
+        matrix = confusion_matrix(np.array([1, 1]), np.array([0, 0]), 2)
+        assert matrix[0, 1] == 2
+
+    def test_confusion_matrix_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 5]), np.array([0, 1]), 3)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(6, 10)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_stability_with_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, 0.5)
+
+    def test_cross_entropy_decreases_with_confidence(self):
+        labels = np.array([0])
+        confident = cross_entropy(np.array([[5.0, -5.0]]), labels)
+        unsure = cross_entropy(np.array([[0.1, 0.0]]), labels)
+        assert confident < unsure
+
+    def test_cross_entropy_grad_shape_and_sign(self):
+        logits = np.array([[2.0, -1.0, 0.5]])
+        grad = cross_entropy_grad(logits, np.array([0]))
+        assert grad.shape == logits.shape
+        assert grad[0, 0] < 0  # push true-class logit up
+
+    def test_top_k_accuracy(self):
+        logits = np.array([[0.1, 0.9, 0.5], [0.9, 0.1, 0.5]])
+        labels = np.array([2, 2])
+        assert top_k_accuracy(logits, labels, k=2) == 1.0
+        assert top_k_accuracy(logits, labels, k=1) == 0.0
+
+
+def _tiny_mlp(seed: int = 0) -> BNNModel:
+    return BNNModel(
+        [
+            Linear(784, 64, rng=seed),
+            BatchNorm(64),
+            SignActivation(),
+            BinaryLinear(64, 64, rng=seed + 1),
+            BatchNorm(64),
+            SignActivation(),
+            Linear(64, 10, rng=seed + 2),
+        ],
+        name="tiny-mlp",
+        input_shape=(784,),
+    )
+
+
+class TestTraining:
+    def test_adam_updates_parameters(self, small_mnist):
+        model = _tiny_mlp()
+        optimizer = AdamOptimizer(model, learning_rate=1e-2)
+        model.train()
+        flat = small_mnist.flattened()
+        before = model.layers[0].params["weight"].copy()
+        logits = model.forward(flat.train_images[:32])
+        model.backward(cross_entropy_grad(logits, flat.train_labels[:32]))
+        optimizer.step()
+        assert not np.allclose(before, model.layers[0].params["weight"])
+
+    def test_adam_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            AdamOptimizer(_tiny_mlp(), learning_rate=0.0)
+
+    def test_training_improves_over_chance(self, small_mnist):
+        model = _tiny_mlp(seed=3)
+        history = train(
+            model, small_mnist, epochs=3, batch_size=32, learning_rate=5e-3, seed=1
+        )
+        assert history.final_test_accuracy > 0.2  # 10 classes -> chance is 0.1
+
+    def test_training_loss_recorded_per_epoch(self, small_mnist):
+        model = _tiny_mlp(seed=4)
+        history = train(model, small_mnist, epochs=2, batch_size=64)
+        assert len(history.train_loss) == 2
+        assert len(history.test_accuracy) == 2
+
+    def test_latent_weights_stay_clipped(self, small_mnist):
+        model = _tiny_mlp(seed=5)
+        train(model, small_mnist, epochs=1, batch_size=64, learning_rate=5e-2)
+        binary_layer = model.binary_layers()[0]
+        assert np.all(np.abs(binary_layer.params["weight"]) <= 1.0)
+
+    def test_evaluate_runs_in_eval_mode(self, small_mnist):
+        model = _tiny_mlp(seed=6)
+        flat = small_mnist.flattened()
+        acc = evaluate(model, flat.test_images, flat.test_labels)
+        assert 0.0 <= acc <= 1.0
+        assert not model.layers[0].training
+
+    def test_invalid_epochs_raises(self, small_mnist):
+        with pytest.raises(ValueError):
+            train(_tiny_mlp(), small_mnist, epochs=0)

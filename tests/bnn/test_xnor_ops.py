@@ -1,0 +1,213 @@
+"""Tests for Equation 1 (XNOR + Popcount identity) and its vectorised forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bnn.binarize import to_unipolar
+from repro.bnn.xnor_ops import (
+    binary_conv2d,
+    binary_dot,
+    binary_dot_via_xnor,
+    binary_matmul,
+    im2col,
+    popcount,
+    xnor,
+    xnor_popcount,
+)
+
+bipolar_vectors = hnp.arrays(
+    np.int8, st.integers(1, 128), elements=st.sampled_from([-1, 1])
+)
+
+
+class TestXnorPopcount:
+    def test_xnor_truth_table(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert np.array_equal(xnor(a, b), np.array([1, 0, 0, 1]))
+
+    def test_xnor_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xnor(np.array([0, 1]), np.array([0, 1, 1]))
+
+    def test_xnor_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            xnor(np.array([0, 2]), np.array([0, 1]))
+
+    def test_popcount_total(self):
+        assert popcount(np.array([1, 0, 1, 1, 0])) == 3
+
+    def test_popcount_along_axis(self):
+        bits = np.array([[1, 1, 0], [0, 0, 1]])
+        assert np.array_equal(popcount(bits, axis=1), np.array([2, 1]))
+
+    def test_xnor_popcount_identical_vectors(self):
+        a = np.array([1, 0, 1, 0, 1])
+        assert xnor_popcount(a, a) == 5
+
+    def test_xnor_popcount_complementary_vectors(self):
+        a = np.array([1, 0, 1, 0])
+        assert xnor_popcount(a, 1 - a) == 0
+
+
+class TestEquationOne:
+    """In (*) W == 2 * popcount(In' XNOR W') - L  (Eq. 1 of the paper)."""
+
+    def test_small_example(self):
+        in_vec = np.array([1, -1, 1, 1], dtype=np.int8)
+        w_vec = np.array([1, 1, -1, 1], dtype=np.int8)
+        assert binary_dot(in_vec, w_vec) == binary_dot_via_xnor(in_vec, w_vec)
+
+    def test_all_agree(self):
+        vec = np.array([1, -1, -1, 1, 1], dtype=np.int8)
+        assert binary_dot_via_xnor(vec, vec) == 5
+
+    def test_all_disagree(self):
+        vec = np.array([1, -1, -1, 1, 1], dtype=np.int8)
+        assert binary_dot_via_xnor(vec, -vec) == -5
+
+    @given(bipolar_vectors, st.data())
+    @settings(max_examples=100)
+    def test_identity_holds_for_random_vectors(self, in_vec, data):
+        w_vec = data.draw(
+            hnp.arrays(np.int8, in_vec.shape, elements=st.sampled_from([-1, 1]))
+        )
+        assert binary_dot(in_vec, w_vec) == binary_dot_via_xnor(in_vec, w_vec)
+
+    @given(bipolar_vectors, st.data())
+    @settings(max_examples=50)
+    def test_result_parity_matches_vector_length(self, in_vec, data):
+        """2*popcount - L always has the same parity as L."""
+        w_vec = data.draw(
+            hnp.arrays(np.int8, in_vec.shape, elements=st.sampled_from([-1, 1]))
+        )
+        result = binary_dot_via_xnor(in_vec, w_vec)
+        assert (result - in_vec.size) % 2 == 0
+        assert -in_vec.size <= result <= in_vec.size
+
+
+class TestBinaryMatmul:
+    def test_matches_dense_matmul(self, rng):
+        inputs = np.where(rng.random((8, 32)) > 0.5, 1, -1).astype(np.int8)
+        weights = np.where(rng.random((16, 32)) > 0.5, 1, -1).astype(np.int8)
+        expected = inputs.astype(np.int64) @ weights.astype(np.int64).T
+        assert np.array_equal(binary_matmul(inputs, weights), expected)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            binary_matmul(np.ones((2, 4), dtype=np.int8),
+                          np.ones((3, 5), dtype=np.int8))
+
+    def test_requires_two_dimensional_inputs(self):
+        with pytest.raises(ValueError):
+            binary_matmul(np.ones(4, dtype=np.int8), np.ones((3, 4), dtype=np.int8))
+
+    def test_output_shape(self, rng):
+        inputs = np.where(rng.random((5, 12)) > 0.5, 1, -1)
+        weights = np.where(rng.random((7, 12)) > 0.5, 1, -1)
+        assert binary_matmul(inputs, weights).shape == (5, 7)
+
+    def test_output_bounds(self, rng):
+        """Every entry lies in [-L, L] and shares parity with L."""
+        length = 20
+        inputs = np.where(rng.random((6, length)) > 0.5, 1, -1)
+        weights = np.where(rng.random((9, length)) > 0.5, 1, -1)
+        out = binary_matmul(inputs, weights)
+        assert out.min() >= -length and out.max() <= length
+        assert np.all((out - length) % 2 == 0)
+
+
+class TestIm2col:
+    def test_output_spatial_dims(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        patches, out_h, out_w = im2col(images, kernel_size=3)
+        assert (out_h, out_w) == (6, 6)
+        assert patches.shape == (2 * 36, 3 * 9)
+
+    def test_padding_increases_windows(self, rng):
+        images = rng.normal(size=(1, 1, 8, 8))
+        _, out_h, out_w = im2col(images, kernel_size=3, padding=1)
+        assert (out_h, out_w) == (8, 8)
+
+    def test_stride_reduces_windows(self, rng):
+        images = rng.normal(size=(1, 1, 8, 8))
+        _, out_h, out_w = im2col(images, kernel_size=2, stride=2)
+        assert (out_h, out_w) == (4, 4)
+
+    def test_patch_content_is_correct(self):
+        image = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        patches, _, _ = im2col(image, kernel_size=2)
+        assert np.array_equal(patches[0], np.array([0, 1, 4, 5], dtype=float))
+
+    def test_kernel_too_large_raises(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(1, 1, 4, 4)), kernel_size=5)
+
+    def test_requires_4d_input(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(4, 4)), kernel_size=2)
+
+
+class TestBinaryConv2d:
+    def _reference_conv(self, images, kernels, stride=1, padding=0):
+        """Naive direct convolution for cross-checking."""
+        images = np.asarray(images, dtype=np.int64)
+        kernels = np.asarray(kernels, dtype=np.int64)
+        batch, in_c, height, width = images.shape
+        out_c, _, k, _ = kernels.shape
+        if padding:
+            images = np.pad(
+                images, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                constant_values=-1,
+            )
+            height += 2 * padding
+            width += 2 * padding
+        out_h = (height - k) // stride + 1
+        out_w = (width - k) // stride + 1
+        out = np.zeros((batch, out_c, out_h, out_w), dtype=np.int64)
+        for b in range(batch):
+            for o in range(out_c):
+                for i in range(out_h):
+                    for j in range(out_w):
+                        patch = images[b, :, i * stride:i * stride + k,
+                                       j * stride:j * stride + k]
+                        out[b, o, i, j] = np.sum(patch * kernels[o])
+        return out
+
+    def test_matches_direct_convolution(self, rng):
+        images = np.where(rng.random((2, 3, 6, 6)) > 0.5, 1, -1).astype(np.int8)
+        kernels = np.where(rng.random((4, 3, 3, 3)) > 0.5, 1, -1).astype(np.int8)
+        expected = self._reference_conv(images, kernels)
+        assert np.array_equal(binary_conv2d(images, kernels), expected)
+
+    def test_matches_direct_convolution_with_padding(self, rng):
+        images = np.where(rng.random((1, 2, 5, 5)) > 0.5, 1, -1).astype(np.int8)
+        kernels = np.where(rng.random((3, 2, 3, 3)) > 0.5, 1, -1).astype(np.int8)
+        expected = self._reference_conv(images, kernels, padding=1)
+        assert np.array_equal(
+            binary_conv2d(images, kernels, padding=1), expected
+        )
+
+    def test_matches_direct_convolution_with_stride(self, rng):
+        images = np.where(rng.random((1, 1, 8, 8)) > 0.5, 1, -1).astype(np.int8)
+        kernels = np.where(rng.random((2, 1, 2, 2)) > 0.5, 1, -1).astype(np.int8)
+        expected = self._reference_conv(images, kernels, stride=2)
+        assert np.array_equal(
+            binary_conv2d(images, kernels, stride=2), expected
+        )
+
+    def test_rejects_non_square_kernels(self, rng):
+        images = np.where(rng.random((1, 1, 8, 8)) > 0.5, 1, -1)
+        kernels = np.where(rng.random((2, 1, 2, 3)) > 0.5, 1, -1)
+        with pytest.raises(ValueError):
+            binary_conv2d(images, kernels)
+
+    def test_output_shape(self, rng):
+        images = np.where(rng.random((3, 2, 10, 10)) > 0.5, 1, -1)
+        kernels = np.where(rng.random((5, 2, 3, 3)) > 0.5, 1, -1)
+        assert binary_conv2d(images, kernels, padding=1).shape == (3, 5, 10, 10)

@@ -1,0 +1,26 @@
+"""Shared pytest fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bnn.datasets import synthetic_cifar10, synthetic_mnist
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_mnist():
+    """A small synthetic MNIST split shared across tests (cheap to build)."""
+    return synthetic_mnist(train_size=256, test_size=128, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_cifar():
+    """A small synthetic CIFAR-10 split shared across tests."""
+    return synthetic_cifar10(train_size=128, test_size=64, seed=5)

@@ -1,0 +1,188 @@
+"""Tests for TacitMap / CustBinaryMap placement and input encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.custbinarymap import CustBinaryMap
+from repro.core.mapping_base import TileShape, split_ranges
+from repro.core.tacitmap import TacitMap
+
+
+class TestTileShapeAndRanges:
+    def test_default_tile_is_256(self):
+        shape = TileShape()
+        assert shape.rows == 256 and shape.cols == 256
+
+    def test_invalid_tile_rejected(self):
+        with pytest.raises(ValueError):
+            TileShape(rows=0, cols=16)
+
+    def test_split_ranges_cover_everything(self):
+        ranges = split_ranges(10, 4)
+        assert ranges == [(0, 4), (4, 8), (8, 10)]
+
+    def test_split_ranges_exact_division(self):
+        assert split_ranges(8, 4) == [(0, 4), (4, 8)]
+
+    def test_split_ranges_invalid(self):
+        with pytest.raises(ValueError):
+            split_ranges(0, 4)
+        with pytest.raises(ValueError):
+            split_ranges(4, 0)
+
+
+class TestTacitMapPlacement:
+    def test_single_tile_layout(self, rng):
+        weights = rng.integers(0, 2, size=(8, 16))
+        mapping = TacitMap(TileShape(64, 16))
+        layer = mapping.map_layer(weights, layer_name="fc1")
+        assert layer.num_tiles == 1
+        tile = layer.tiles[0]
+        # top half holds the weights transposed, bottom half the complement
+        assert np.array_equal(tile.bits[:16], weights.T)
+        assert np.array_equal(tile.bits[16:], 1 - weights.T)
+
+    def test_each_weight_bit_occupies_two_cells(self, rng):
+        weights = rng.integers(0, 2, size=(4, 8))
+        mapping = TacitMap(TileShape(64, 8))
+        layer = mapping.map_layer(weights)
+        assert layer.cells_used == 2 * weights.size
+
+    def test_vector_longer_than_tile_splits_into_segments(self, rng):
+        weights = rng.integers(0, 2, size=(4, 100))
+        mapping = TacitMap(TileShape(64, 8))  # 32 elements per segment
+        layer = mapping.map_layer(weights)
+        assert layer.num_vector_segments == 4  # ceil(100 / 32)
+        assert layer.num_output_groups == 1
+        assert layer.num_tiles == 4
+
+    def test_many_outputs_split_into_groups(self, rng):
+        weights = rng.integers(0, 2, size=(40, 16))
+        mapping = TacitMap(TileShape(64, 16))
+        layer = mapping.map_layer(weights)
+        assert layer.num_output_groups == 3  # ceil(40 / 16)
+        assert layer.num_vector_segments == 1
+
+    def test_tile_grid_positions_unique(self, rng):
+        weights = rng.integers(0, 2, size=(40, 100))
+        mapping = TacitMap(TileShape(64, 16))
+        layer = mapping.map_layer(weights)
+        positions = [tile.grid_position for tile in layer.tiles]
+        assert len(positions) == len(set(positions))
+        assert layer.num_tiles == layer.num_vector_segments * layer.num_output_groups
+
+    def test_segment_slices_cover_vector(self, rng):
+        weights = rng.integers(0, 2, size=(4, 100))
+        mapping = TacitMap(TileShape(64, 8))
+        layer = mapping.map_layer(weights)
+        covered = sorted(
+            tile.vector_slice for tile in layer.tiles
+        )
+        assert covered[0][0] == 0
+        assert covered[-1][1] == 100
+
+    def test_encode_input_concatenates_complement(self):
+        mapping = TacitMap(TileShape(64, 8))
+        x = np.array([1, 0, 1, 1], dtype=np.int8)
+        encoded = mapping.encode_input(x, (0, 4))
+        assert np.array_equal(encoded, np.array([1, 0, 1, 1, 0, 1, 0, 0]))
+
+    def test_encode_input_slice(self):
+        mapping = TacitMap()
+        x = np.array([1, 0, 1, 1, 0, 0], dtype=np.int8)
+        encoded = mapping.encode_input(x, (2, 5))
+        assert np.array_equal(encoded, np.array([1, 1, 0, 0, 0, 1]))
+
+    def test_encode_input_batch(self, rng):
+        mapping = TacitMap()
+        xs = rng.integers(0, 2, size=(3, 10))
+        encoded = mapping.encode_input(xs, (0, 10))
+        assert encoded.shape == (3, 20)
+        assert np.array_equal(encoded[:, 10:], 1 - xs)
+
+    def test_encode_input_invalid_slice_rejected(self):
+        mapping = TacitMap()
+        with pytest.raises(ValueError):
+            mapping.encode_input(np.array([1, 0]), (0, 3))
+
+    def test_steps_per_input_vector_is_one(self):
+        assert TacitMap().steps_per_input_vector(1000) == 1
+
+    def test_rejects_non_binary_weights(self):
+        with pytest.raises(ValueError):
+            TacitMap().map_layer(np.array([[0, 2], [1, 0]]))
+
+    def test_rejects_one_dimensional_weights(self):
+        with pytest.raises(ValueError):
+            TacitMap().map_layer(np.array([0, 1, 1]))
+
+    def test_tile_counts_reference_matches_popcount(self, rng):
+        weights = rng.integers(0, 2, size=(6, 20))
+        mapping = TacitMap(TileShape(64, 8))
+        layer = mapping.map_layer(weights)
+        x = rng.integers(0, 2, size=20)
+        total = np.zeros(6, dtype=np.int64)
+        for tile in layer.tiles:
+            encoded = mapping.encode_input(x, tile.vector_slice)
+            partial = TacitMap.tile_counts_reference(tile.bits, encoded)
+            start, stop = tile.output_slice
+            total[start:stop] += partial
+        expected = np.array([(weights[j] == x).sum() for j in range(6)])
+        assert np.array_equal(total, expected)
+
+
+class TestCustBinaryMapPlacement:
+    def test_single_tile_layout_stores_rows(self, rng):
+        weights = rng.integers(0, 2, size=(8, 16))
+        mapping = CustBinaryMap(TileShape(16, 16))
+        layer = mapping.map_layer(weights)
+        assert layer.num_tiles == 1
+        assert np.array_equal(layer.tiles[0].bits, weights)
+
+    def test_more_outputs_than_rows_splits_groups(self, rng):
+        weights = rng.integers(0, 2, size=(40, 16))
+        mapping = CustBinaryMap(TileShape(16, 16))
+        layer = mapping.map_layer(weights)
+        assert layer.num_output_groups == 3
+
+    def test_long_vectors_split_over_columns(self, rng):
+        weights = rng.integers(0, 2, size=(8, 100))
+        mapping = CustBinaryMap(TileShape(16, 32))
+        layer = mapping.map_layer(weights)
+        assert layer.num_vector_segments == 4
+
+    def test_encode_input_is_plain_slice(self):
+        mapping = CustBinaryMap()
+        x = np.array([1, 0, 1, 1, 0], dtype=np.int8)
+        assert np.array_equal(mapping.encode_input(x, (1, 4)), np.array([0, 1, 1]))
+
+    def test_steps_scale_with_weight_vectors(self):
+        mapping = CustBinaryMap()
+        assert mapping.steps_per_input_vector(128) == 128
+        with pytest.raises(ValueError):
+            mapping.steps_per_input_vector(0)
+
+    def test_row_xnor_reference(self):
+        stored = np.array([1, 0, 1, 0], dtype=np.int8)
+        inputs = np.array([1, 1, 1, 0], dtype=np.int8)
+        assert np.array_equal(
+            CustBinaryMap.row_xnor_reference(stored, inputs),
+            np.array([1, 0, 1, 1]),
+        )
+
+    def test_popcount_tree_costs(self):
+        assert CustBinaryMap.popcount_tree_adds(64) == 63
+        assert CustBinaryMap.popcount_tree_depth(64) == 6
+        assert CustBinaryMap.popcount_tree_depth(1) == 0
+        with pytest.raises(ValueError):
+            CustBinaryMap.popcount_tree_adds(0)
+
+    def test_step_count_comparison_matches_paper_claim(self):
+        """Sec. III: TacitMap should be up to n x fewer steps per vector."""
+        n = 256
+        assert (
+            CustBinaryMap().steps_per_input_vector(n)
+            == n * TacitMap().steps_per_input_vector(n)
+        )

@@ -1,0 +1,262 @@
+"""Tests for functional layer equivalence and operation-count schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bnn.networks import build_network, list_networks
+from repro.bnn.workload import LayerSpec, extract_workload
+from repro.core.custbinarymap import CustBinaryMap
+from repro.core.mapping_base import TileShape
+from repro.core.schedule import (
+    build_layer_schedule,
+    build_network_schedule,
+)
+from repro.core.tacitmap import TacitMap
+from repro.core.verify import execute_mapped_layer, verify_layer_equivalence
+
+
+def _random_bipolar(rng, shape):
+    return np.where(rng.random(shape) > 0.5, 1, -1).astype(np.int8)
+
+
+class TestLayerEquivalence:
+    def test_tacitmap_reference_equivalence(self, rng):
+        weights = _random_bipolar(rng, (30, 80))
+        inputs = _random_bipolar(rng, (4, 80))
+        result = verify_layer_equivalence(
+            TacitMap(TileShape(64, 16)), weights, inputs
+        )
+        assert result["equivalent"]
+        assert result["num_tiles"] == 6  # 3 segments x 2 output groups
+
+    def test_tacitmap_analog_equivalence_epcm(self, rng):
+        weights = _random_bipolar(rng, (12, 48))
+        inputs = _random_bipolar(rng, (3, 48))
+        result = verify_layer_equivalence(
+            TacitMap(TileShape(128, 16)), weights, inputs,
+            backend="analog", technology="epcm", rng=7,
+        )
+        assert result["equivalent"]
+
+    def test_tacitmap_analog_equivalence_opcm(self, rng):
+        weights = _random_bipolar(rng, (12, 48))
+        inputs = _random_bipolar(rng, (3, 48))
+        result = verify_layer_equivalence(
+            TacitMap(TileShape(128, 16)), weights, inputs,
+            backend="analog", technology="opcm", rng=11,
+        )
+        assert result["equivalent"]
+
+    def test_custbinarymap_reference_equivalence(self, rng):
+        weights = _random_bipolar(rng, (20, 64))
+        inputs = _random_bipolar(rng, (2, 64))
+        result = verify_layer_equivalence(
+            CustBinaryMap(TileShape(16, 32)), weights, inputs
+        )
+        assert result["equivalent"]
+
+    def test_both_mappings_agree_with_each_other(self, rng):
+        weights = _random_bipolar(rng, (10, 40))
+        inputs = _random_bipolar(rng, (5, 40))
+        tacit = verify_layer_equivalence(TacitMap(), weights, inputs)
+        baseline = verify_layer_equivalence(CustBinaryMap(), weights, inputs)
+        assert np.array_equal(tacit["counts"], baseline["counts"])
+
+    def test_custbinarymap_analog_backend_rejected(self, rng):
+        weights = _random_bipolar(rng, (4, 8))
+        inputs = _random_bipolar(rng, (1, 8))
+        with pytest.raises(ValueError):
+            verify_layer_equivalence(
+                CustBinaryMap(), weights, inputs, backend="analog"
+            )
+
+    def test_counts_within_bounds(self, rng):
+        weights = _random_bipolar(rng, (6, 32))
+        inputs = _random_bipolar(rng, (2, 32))
+        result = verify_layer_equivalence(TacitMap(), weights, inputs)
+        assert result["counts"].min() >= 0
+        assert result["counts"].max() <= 32
+
+    @given(st.integers(1, 20), st.integers(2, 60), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_tacitmap_equivalence(self, outputs, length, seed):
+        rng = np.random.default_rng(seed)
+        weights = _random_bipolar(rng, (outputs, length))
+        inputs = _random_bipolar(rng, (2, length))
+        result = verify_layer_equivalence(
+            TacitMap(TileShape(64, 16)), weights, inputs
+        )
+        assert result["equivalent"]
+
+    @given(st.integers(1, 20), st.integers(2, 60), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_property_custbinarymap_equivalence(self, outputs, length, seed):
+        rng = np.random.default_rng(seed)
+        weights = _random_bipolar(rng, (outputs, length))
+        inputs = _random_bipolar(rng, (1, length))
+        result = verify_layer_equivalence(
+            CustBinaryMap(TileShape(16, 16)), weights, inputs
+        )
+        assert result["equivalent"]
+
+    def test_execute_mapped_layer_rejects_unknown_mapping(self, rng):
+        class FakeMapping:  # not a DataMapping subclass the executor knows
+            pass
+
+        weights = np.ones((2, 4), dtype=np.int8)
+        layer = TacitMap().map_layer(weights)
+        with pytest.raises(TypeError):
+            execute_mapped_layer(
+                FakeMapping(), layer, weights, np.ones((1, 4), dtype=np.int8)
+            )
+
+
+def _linear_spec(n, m, v=1, binary=True):
+    return LayerSpec(
+        name="test", kind="linear", is_binary=binary,
+        vector_length=m, num_weight_vectors=n, num_input_vectors=v,
+    )
+
+
+class TestLayerSchedules:
+    def test_tacitmap_single_tile_counts(self):
+        spec = _linear_spec(n=100, m=100)
+        schedule = build_layer_schedule(
+            spec, mapping="tacitmap", tile_shape=TileShape(256, 256)
+        )
+        assert schedule.num_tiles == 1
+        assert schedule.crossbar_activations == 1
+        assert schedule.sequential_steps == 1
+        assert schedule.adc_conversions == 100
+        assert schedule.pcsa_senses == 0
+        assert schedule.cells_programmed == 2 * 100 * 100
+
+    def test_custbinarymap_single_tile_counts(self):
+        spec = _linear_spec(n=100, m=100)
+        schedule = build_layer_schedule(
+            spec, mapping="custbinarymap", tile_shape=TileShape(256, 256)
+        )
+        assert schedule.num_tiles == 1
+        assert schedule.crossbar_activations == 100  # one per weight vector
+        assert schedule.sequential_steps == 100
+        assert schedule.pcsa_senses == 100 * 100
+        assert schedule.adc_conversions == 0
+        assert schedule.digital_adds == 99 * 100
+        assert schedule.cells_programmed == 100 * 100
+
+    def test_step_ratio_equals_weight_vector_count(self):
+        """Sec. III claim: TacitMap is up to n x fewer steps on one tile."""
+        spec = _linear_spec(n=200, m=128)
+        tacit = build_layer_schedule(spec, mapping="tacitmap")
+        baseline = build_layer_schedule(spec, mapping="custbinarymap")
+        assert baseline.sequential_steps == 200 * tacit.sequential_steps
+
+    def test_wdm_reduces_steps_for_conv_layers(self):
+        spec = LayerSpec(
+            name="conv", kind="conv", is_binary=True,
+            vector_length=288, num_weight_vectors=64, num_input_vectors=1024,
+        )
+        no_wdm = build_layer_schedule(spec, mapping="tacitmap", wdm_capacity=1)
+        wdm = build_layer_schedule(spec, mapping="tacitmap", wdm_capacity=16)
+        assert no_wdm.sequential_steps == 1024
+        assert wdm.sequential_steps == 64  # ceil(1024 / 16)
+        # the TIA/ADC chain runs once per activation window, so grouping K
+        # vectors also divides the conversion count by K (Sec. VI-B)
+        assert wdm.adc_conversions == no_wdm.adc_conversions // 16
+
+    def test_wdm_on_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            build_layer_schedule(
+                _linear_spec(8, 8), mapping="custbinarymap", wdm_capacity=16
+            )
+
+    def test_non_binary_layer_rejected(self):
+        with pytest.raises(ValueError):
+            build_layer_schedule(
+                _linear_spec(8, 8, binary=False), mapping="tacitmap"
+            )
+
+    def test_unknown_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            build_layer_schedule(_linear_spec(8, 8), mapping="magic")
+
+    def test_invalid_wdm_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            build_layer_schedule(_linear_spec(8, 8), mapping="tacitmap",
+                                 wdm_capacity=0)
+
+    def test_segmented_vector_adds_partial_sums(self):
+        spec = _linear_spec(n=10, m=1000)
+        schedule = build_layer_schedule(
+            spec, mapping="tacitmap", tile_shape=TileShape(256, 256)
+        )
+        assert schedule.num_tiles == 8  # ceil(1000/128) segments
+        assert schedule.digital_adds == 7 * 10  # (segments-1) * outputs
+
+    def test_large_fc_layer_tiling(self):
+        spec = _linear_spec(n=2000, m=784)
+        schedule = build_layer_schedule(
+            spec, mapping="tacitmap", tile_shape=TileShape(256, 256)
+        )
+        assert schedule.num_tiles == 7 * 8  # ceil(784/128) x ceil(2000/256)
+
+
+class TestNetworkSchedules:
+    @pytest.mark.parametrize("name", list_networks())
+    def test_all_networks_schedulable(self, name):
+        workload = extract_workload(build_network(name))
+        for mapping in ("tacitmap", "custbinarymap"):
+            schedule = build_network_schedule(workload, mapping=mapping)
+            assert schedule.total_sequential_steps > 0
+            assert schedule.total_tiles > 0
+            assert len(schedule.layer_schedules) == len(workload.binary_layers)
+
+    def test_tacitmap_always_fewer_steps_than_baseline(self):
+        for name in list_networks():
+            workload = extract_workload(build_network(name))
+            tacit = build_network_schedule(workload, mapping="tacitmap")
+            baseline = build_network_schedule(workload, mapping="custbinarymap")
+            assert (
+                tacit.total_sequential_steps < baseline.total_sequential_steps
+            ), name
+
+    def test_wdm_never_increases_steps(self):
+        for name in list_networks():
+            workload = extract_workload(build_network(name))
+            plain = build_network_schedule(workload, mapping="tacitmap")
+            wdm = build_network_schedule(
+                workload, mapping="tacitmap", wdm_capacity=16
+            )
+            assert wdm.total_sequential_steps <= plain.total_sequential_steps
+
+    def test_wdm_helps_convolutional_networks_most(self):
+        """CNNs have many activation vectors per layer, so the WDM step
+        reduction approaches K; MLPs (one vector per layer) gain nothing."""
+        cnn = extract_workload(build_network("CNN-L"))
+        mlp = extract_workload(build_network("MLP-L"))
+        cnn_ratio = (
+            build_network_schedule(cnn, mapping="tacitmap").total_sequential_steps
+            / build_network_schedule(
+                cnn, mapping="tacitmap", wdm_capacity=16
+            ).total_sequential_steps
+        )
+        mlp_ratio = (
+            build_network_schedule(mlp, mapping="tacitmap").total_sequential_steps
+            / build_network_schedule(
+                mlp, mapping="tacitmap", wdm_capacity=16
+            ).total_sequential_steps
+        )
+        assert cnn_ratio > 8
+        assert mlp_ratio == pytest.approx(1.0)
+
+    def test_baseline_energy_relevant_counts(self):
+        workload = extract_workload(build_network("MLP-S"))
+        baseline = build_network_schedule(workload, mapping="custbinarymap")
+        tacit = build_network_schedule(workload, mapping="tacitmap")
+        # baseline does popcounts digitally, TacitMap converts through ADCs
+        assert baseline.total_pcsa_senses > 0 and baseline.total_adc_conversions == 0
+        assert tacit.total_adc_conversions > 0 and tacit.total_pcsa_senses == 0

@@ -1,0 +1,236 @@
+"""Tests for the functional crossbar array and the tile cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bnn.xnor_ops import xnor_popcount
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.noise import CrossbarNoiseModel, NoiseConfig
+from repro.crossbar.tile import TIA_POWER_W, CrossbarTile, TileConfig
+from repro.devices.opcm import OPCMConfig
+from repro.devices.pcm import EPCMConfig
+
+
+class TestCrossbarArrayFunctional:
+    def _tacitmap_layout(self, weights: np.ndarray) -> np.ndarray:
+        """Columns hold [w; ~w] — the TacitMap vertical layout."""
+        return np.vstack([weights.T, 1 - weights.T])
+
+    def test_ideal_vmm_counts_match_popcount(self, rng):
+        length, outputs = 24, 6
+        weights = rng.integers(0, 2, size=(outputs, length))
+        array = CrossbarArray(2 * length, outputs, technology="epcm", rng=0)
+        array.program(self._tacitmap_layout(weights))
+        x = rng.integers(0, 2, size=length)
+        counts = array.match_counts(np.concatenate([x, 1 - x]), ideal=True)
+        expected = np.array([xnor_popcount(x, w) for w in weights])
+        assert np.array_equal(counts, expected)
+
+    def test_noisy_vmm_counts_match_popcount(self, rng):
+        """Default device noise levels must not corrupt binary read-out."""
+        length, outputs = 64, 16
+        weights = rng.integers(0, 2, size=(outputs, length))
+        array = CrossbarArray(2 * length, outputs, technology="epcm", rng=1)
+        array.program(self._tacitmap_layout(weights))
+        x = rng.integers(0, 2, size=length)
+        counts = array.match_counts(np.concatenate([x, 1 - x]))
+        expected = np.array([xnor_popcount(x, w) for w in weights])
+        assert np.array_equal(counts, expected)
+
+    def test_opcm_array_matches_popcount(self, rng):
+        length, outputs = 32, 8
+        weights = rng.integers(0, 2, size=(outputs, length))
+        array = CrossbarArray(2 * length, outputs, technology="opcm", rng=2)
+        array.program(self._tacitmap_layout(weights))
+        x = rng.integers(0, 2, size=length)
+        counts = array.match_counts(np.concatenate([x, 1 - x]))
+        expected = np.array([xnor_popcount(x, w) for w in weights])
+        assert np.array_equal(counts, expected)
+
+    def test_multi_vector_input_processes_independently(self, rng):
+        """A 2-D input (one row per WDM wavelength) gives one count row each."""
+        length, outputs, k = 16, 5, 4
+        weights = rng.integers(0, 2, size=(outputs, length))
+        array = CrossbarArray(2 * length, outputs, technology="opcm", rng=3)
+        array.program(self._tacitmap_layout(weights))
+        xs = rng.integers(0, 2, size=(k, length))
+        counts = array.match_counts(np.hstack([xs, 1 - xs]))
+        expected = np.array(
+            [[xnor_popcount(x, w) for w in weights] for x in xs]
+        )
+        assert counts.shape == (k, outputs)
+        assert np.array_equal(counts, expected)
+
+    @given(st.integers(4, 48), st.integers(1, 8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_counts_equal_popcount(self, length, outputs, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(0, 2, size=(outputs, length))
+        array = CrossbarArray(2 * length, outputs, technology="epcm", rng=seed)
+        array.program(np.vstack([weights.T, 1 - weights.T]))
+        x = rng.integers(0, 2, size=length)
+        counts = array.match_counts(np.concatenate([x, 1 - x]))
+        expected = np.array([xnor_popcount(x, w) for w in weights])
+        assert np.array_equal(counts, expected)
+
+    def test_program_pattern_padding(self, rng):
+        array = CrossbarArray(16, 16, rng=4)
+        pattern = rng.integers(0, 2, size=(8, 4))
+        array.program(pattern)
+        stored = array.stored_bits
+        assert np.array_equal(stored[:8, :4], pattern)
+        assert stored[8:, :].sum() == 0 and stored[:, 4:].sum() == 0
+
+    def test_program_too_large_rejected(self):
+        array = CrossbarArray(8, 8)
+        with pytest.raises(ValueError):
+            array.program(np.zeros((9, 8), dtype=np.int8))
+
+    def test_input_length_mismatch_rejected(self, rng):
+        array = CrossbarArray(8, 4)
+        array.program(rng.integers(0, 2, size=(8, 4)))
+        with pytest.raises(ValueError):
+            array.match_counts(np.zeros(7, dtype=np.int8))
+
+    def test_invalid_technology_rejected(self):
+        with pytest.raises(ValueError):
+            CrossbarArray(8, 8, technology="reram")
+
+    def test_mismatched_device_config_rejected(self):
+        with pytest.raises(TypeError):
+            CrossbarArray(8, 8, technology="epcm", device_config=OPCMConfig())
+
+    def test_strong_noise_can_corrupt_counts(self, rng):
+        """Sanity check that the noise path actually does something."""
+        length, outputs = 64, 8
+        weights = rng.integers(0, 2, size=(outputs, length))
+        noisy = CrossbarArray(
+            2 * length, outputs, technology="epcm",
+            noise=NoiseConfig(thermal_sigma=0.2), rng=5,
+        )
+        noisy.program(np.vstack([weights.T, 1 - weights.T]))
+        x = rng.integers(0, 2, size=length)
+        counts = noisy.match_counts(np.concatenate([x, 1 - x]))
+        expected = np.array([xnor_popcount(x, w) for w in weights])
+        assert not np.array_equal(counts, expected)
+
+
+class TestNoiseModel:
+    def test_ideal_config_passthrough(self, rng):
+        model = CrossbarNoiseModel(NoiseConfig())
+        outputs = rng.normal(size=10)
+        assert np.array_equal(model.perturb(outputs, 1.0), outputs)
+
+    def test_thermal_noise_perturbs(self, rng):
+        model = CrossbarNoiseModel(NoiseConfig(thermal_sigma=0.1), rng=0)
+        outputs = rng.normal(size=10)
+        assert not np.array_equal(model.perturb(outputs, 1.0), outputs)
+
+    def test_ir_drop_weights_monotone(self):
+        model = CrossbarNoiseModel(NoiseConfig(ir_drop_alpha=0.2))
+        weights = model.ir_drop_weights(10)
+        assert np.all(np.diff(weights) <= 0)
+        assert weights[0] == 1.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(thermal_sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseConfig(ir_drop_alpha=1.0)
+
+
+class TestTileCosts:
+    def test_adc_tile_vmm_cost_positive(self):
+        tile = CrossbarTile(TileConfig())
+        cost = tile.vmm_cost(256, 256)
+        assert cost["latency"] > 0 and cost["energy"] > 0
+        assert cost["adc_conversions"] == 256
+
+    def test_adc_sharing_increases_latency_not_energy(self):
+        private = CrossbarTile(TileConfig(columns_per_adc=1))
+        shared = CrossbarTile(TileConfig(columns_per_adc=8))
+        cost_private = private.vmm_cost(256, 256)
+        cost_shared = shared.vmm_cost(256, 256)
+        assert cost_shared["latency"] > cost_private["latency"]
+        assert cost_shared["energy"] == pytest.approx(cost_private["energy"])
+
+    def test_wdm_on_epcm_rejected(self):
+        with pytest.raises(ValueError):
+            TileConfig(technology="epcm", wdm_capacity=16)
+
+    def test_wdm_vmm_amortises_array_read(self):
+        """Processing K vectors in one activation costs less than K activations."""
+        tile = CrossbarTile(TileConfig(technology="opcm", wdm_capacity=16))
+        one = tile.vmm_cost(256, 256, wavelengths=1)
+        sixteen = tile.vmm_cost(256, 256, wavelengths=16)
+        assert sixteen["latency"] < 16 * one["latency"]
+        assert sixteen["energy"] < 16 * one["energy"]
+
+    def test_wavelengths_beyond_capacity_rejected(self):
+        tile = CrossbarTile(TileConfig(technology="opcm", wdm_capacity=4))
+        with pytest.raises(ValueError):
+            tile.vmm_cost(16, 16, wavelengths=8)
+
+    def test_pcsa_tile_row_cost(self):
+        tile = CrossbarTile(TileConfig(readout="pcsa"))
+        cost = tile.pcsa_row_cost(128)
+        assert cost["latency"] > 0 and cost["energy"] > 0
+        assert cost["adc_conversions"] == 0
+
+    def test_pcsa_cost_on_adc_tile_rejected(self):
+        tile = CrossbarTile(TileConfig(readout="adc"))
+        with pytest.raises(RuntimeError):
+            tile.pcsa_row_cost(16)
+
+    def test_vmm_cost_on_pcsa_tile_rejected(self):
+        tile = CrossbarTile(TileConfig(readout="pcsa"))
+        with pytest.raises(RuntimeError):
+            tile.vmm_cost(16, 16)
+
+    def test_pcsa_step_cheaper_than_adc_vmm_energy(self):
+        """One baseline step is much cheaper than one TacitMap VMM — the
+        baseline just needs n of them instead of 1."""
+        adc_tile = CrossbarTile(TileConfig(readout="adc"))
+        pcsa_tile = CrossbarTile(TileConfig(readout="pcsa"))
+        assert (
+            pcsa_tile.pcsa_row_cost(256)["energy"]
+            < adc_tile.vmm_cost(256, 256)["energy"]
+        )
+
+    def test_write_cost_scales_with_block(self):
+        tile = CrossbarTile(TileConfig())
+        small = tile.write_cost(16, 16)
+        large = tile.write_cost(32, 16)
+        assert large["latency"] > small["latency"]
+        assert large["energy"] > small["energy"]
+
+    def test_write_cost_validates_extents(self):
+        tile = CrossbarTile(TileConfig(rows=64, cols=64))
+        with pytest.raises(ValueError):
+            tile.write_cost(0, 16)
+        with pytest.raises(ValueError):
+            tile.write_cost(16, 65)
+
+    def test_receiver_static_power_equation_two(self):
+        """Eq. 2: P = N x 2 mW for the N column TIAs."""
+        tile = CrossbarTile(TileConfig(technology="opcm", cols=128))
+        assert tile.receiver_static_power() == pytest.approx(128 * TIA_POWER_W)
+
+    def test_epcm_tile_has_no_tias(self):
+        assert CrossbarTile(TileConfig(technology="epcm")).receiver_static_power() == 0
+
+    def test_num_adcs_with_sharing(self):
+        assert TileConfig(cols=256, columns_per_adc=8).num_adcs == 32
+        assert TileConfig(cols=256, columns_per_adc=1).num_adcs == 256
+
+    def test_optical_read_latency_below_electronic(self):
+        epcm = CrossbarTile(TileConfig(technology="epcm"))
+        opcm = CrossbarTile(TileConfig(technology="opcm"))
+        assert (
+            opcm.vmm_cost(256, 256)["latency"]
+            < epcm.vmm_cost(256, 256)["latency"]
+        )

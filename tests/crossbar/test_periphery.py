@@ -1,0 +1,159 @@
+"""Tests for DAC, ADC, PCSA and cell-structure models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crossbar.adc import ADCConfig, SarADC, required_adc_bits
+from repro.crossbar.cell import (
+    CellType,
+    OneT1RCell,
+    TwoT2RCell,
+    devices_for_bits,
+)
+from repro.crossbar.dac import DAC, DACConfig
+from repro.crossbar.sense_amplifier import PCSAConfig, PrechargeSenseAmplifier
+
+
+class TestDAC:
+    def test_binary_dac_levels(self):
+        dac = DAC(DACConfig(resolution_bits=1, v_max=0.2))
+        out = dac.convert(np.array([0, 1, 1, 0]))
+        assert np.allclose(out, np.array([0.0, 0.2, 0.2, 0.0]))
+
+    def test_multibit_dac_scaling(self):
+        dac = DAC(DACConfig(resolution_bits=2, v_max=0.3))
+        out = dac.convert(np.array([0, 1, 2, 3]))
+        assert np.allclose(out, np.array([0.0, 0.1, 0.2, 0.3]))
+
+    def test_out_of_range_code_rejected(self):
+        dac = DAC(DACConfig(resolution_bits=1))
+        with pytest.raises(ValueError):
+            dac.convert(np.array([0, 2]))
+
+    def test_conversion_cost_latency_is_parallel(self):
+        dac = DAC()
+        assert (
+            dac.conversion_cost(10)["latency"]
+            == dac.conversion_cost(100)["latency"]
+        )
+
+    def test_conversion_cost_energy_scales(self):
+        dac = DAC()
+        assert (
+            dac.conversion_cost(100)["energy"]
+            == pytest.approx(10 * dac.conversion_cost(10)["energy"])
+        )
+
+    def test_zero_conversions_cost_nothing(self):
+        cost = DAC().conversion_cost(0)
+        assert cost["latency"] == 0.0 and cost["energy"] == 0.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DACConfig(resolution_bits=0)
+
+
+class TestADC:
+    def test_quantize_round_trip_small_counts(self):
+        adc = SarADC(ADCConfig(resolution_bits=8))
+        full_scale = 255.0
+        values = np.arange(0, 256, dtype=float)
+        codes = adc.quantize(values, full_scale)
+        recovered = adc.dequantize(codes, full_scale)
+        assert np.allclose(recovered, values, atol=0.5)
+
+    def test_quantize_saturates(self):
+        adc = SarADC(ADCConfig(resolution_bits=4))
+        codes = adc.quantize(np.array([-1.0, 100.0]), full_scale=10.0)
+        assert codes[0] == 0 and codes[1] == 15
+
+    def test_conversion_latency_scales_with_bits(self):
+        fast = ADCConfig(resolution_bits=4)
+        slow = ADCConfig(resolution_bits=8)
+        assert slow.conversion_latency == pytest.approx(2 * fast.conversion_latency)
+
+    def test_conversion_cost_serialises(self):
+        adc = SarADC()
+        one = adc.conversion_cost(1)
+        ten = adc.conversion_cost(10)
+        assert ten["latency"] == pytest.approx(10 * one["latency"])
+        assert ten["energy"] == pytest.approx(10 * one["energy"])
+
+    def test_required_adc_bits(self):
+        assert required_adc_bits(1) == 1
+        assert required_adc_bits(255) == 8
+        assert required_adc_bits(256) == 9
+        with pytest.raises(ValueError):
+            required_adc_bits(0)
+
+    def test_invalid_full_scale_rejected(self):
+        adc = SarADC()
+        with pytest.raises(ValueError):
+            adc.quantize(np.array([1.0]), full_scale=0.0)
+
+
+class TestPCSA:
+    def test_sense_prefers_larger_current(self):
+        pcsa = PrechargeSenseAmplifier(PCSAConfig(offset_sigma=0.0))
+        bits = pcsa.sense(np.array([2.0, 0.5]), np.array([1.0, 1.0]))
+        assert np.array_equal(bits, np.array([1, 0]))
+
+    def test_sense_shape_mismatch_raises(self):
+        pcsa = PrechargeSenseAmplifier()
+        with pytest.raises(ValueError):
+            pcsa.sense(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_offset_can_flip_marginal_decisions(self):
+        pcsa = PrechargeSenseAmplifier(
+            PCSAConfig(offset_sigma=5.0), rng=np.random.default_rng(0)
+        )
+        true_current = np.full(200, 1.001)
+        complement_current = np.full(200, 1.0)
+        bits = pcsa.sense(true_current, complement_current)
+        assert 0 < bits.sum() < 200  # some flipped, some not
+
+    def test_sense_cost_parallel_latency(self):
+        pcsa = PrechargeSenseAmplifier()
+        assert (
+            pcsa.sense_cost(8)["latency"] == pcsa.sense_cost(128)["latency"]
+        )
+
+    def test_pcsa_energy_far_below_adc(self):
+        """The SA-vs-ADC energy gap drives the Fig. 8 result."""
+        assert (
+            PCSAConfig().energy_per_sense < ADCConfig().energy_per_conversion / 10
+        )
+
+
+class TestCells:
+    def test_device_counts_match_between_mappings(self):
+        """Sec. III: both mappings use the same total number of devices."""
+        bits = 4096
+        assert devices_for_bits(OneT1RCell(), bits) == devices_for_bits(
+            TwoT2RCell(), bits
+        )
+
+    def test_1t1r_needs_double_cells(self):
+        assert OneT1RCell().cells_for_bits(100) == 200
+        assert TwoT2RCell().cells_for_bits(100) == 100
+
+    def test_cell_types(self):
+        assert OneT1RCell().cell_type is CellType.ONE_T_ONE_R
+        assert TwoT2RCell().cell_type is CellType.TWO_T_TWO_R
+
+    def test_readout_pairing(self):
+        assert OneT1RCell().readout == "ADC"
+        assert TwoT2RCell().readout == "PCSA"
+
+    def test_2t2r_cell_larger_than_1t1r(self):
+        assert TwoT2RCell().area_um2 > OneT1RCell().area_um2
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            OneT1RCell().cells_for_bits(-1)
+
+    def test_invalid_feature_size_rejected(self):
+        with pytest.raises(ValueError):
+            OneT1RCell(feature_size_nm=0.0)

@@ -1,0 +1,75 @@
+"""Tests for the optical PCM device model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.opcm import OPCMConfig, OPCMDeviceArray
+from repro.devices.pcm import EPCMConfig
+
+
+class TestOPCMConfig:
+    def test_default_extinction_ratio_positive(self):
+        assert OPCMConfig().extinction_ratio_db > 3.0
+
+    def test_rejects_high_below_low(self):
+        with pytest.raises(ValueError):
+            OPCMConfig(t_high=0.1, t_low=0.5)
+
+    def test_rejects_transmission_above_one(self):
+        with pytest.raises(ValueError):
+            OPCMConfig(t_high=1.5)
+
+    def test_rejects_negative_insertion_loss(self):
+        with pytest.raises(ValueError):
+            OPCMConfig(insertion_loss_db=-0.1)
+
+    def test_optical_read_is_faster_than_electronic(self):
+        """The oPCM read latency must undercut the ePCM read latency —
+        this is one of the two levers behind EinsteinBarrier's gain."""
+        assert OPCMConfig().read_latency < EPCMConfig().read_latency
+
+
+class TestOPCMDeviceArray:
+    def test_program_and_read_back_bits(self, rng):
+        array = OPCMDeviceArray(8, 8, rng=1)
+        bits = rng.integers(0, 2, size=(8, 8))
+        array.program(bits)
+        assert np.array_equal(array.stored_bits, bits)
+
+    def test_transmissions_separate_states(self, rng):
+        config = OPCMConfig(programming_sigma=0.01, read_noise_sigma=0.0)
+        array = OPCMDeviceArray(16, 16, config=config, rng=2)
+        bits = rng.integers(0, 2, size=(16, 16))
+        array.program(bits)
+        transmission = array.transmissions(with_read_noise=False)
+        threshold = (config.t_high + config.t_low) / 2
+        assert np.array_equal((transmission > threshold).astype(np.int8), bits)
+
+    def test_transmissions_bounded_in_unit_interval(self, rng):
+        array = OPCMDeviceArray(8, 8, rng=3)
+        array.program(rng.integers(0, 2, size=(8, 8)))
+        transmission = array.transmissions()
+        assert transmission.min() >= 0.0 and transmission.max() <= 1.0
+
+    def test_read_before_program_raises(self):
+        with pytest.raises(RuntimeError):
+            OPCMDeviceArray(4, 4).transmissions()
+
+    def test_program_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            OPCMDeviceArray(4, 4).program(np.zeros((4, 5), dtype=np.int8))
+
+    def test_read_cost_validates_rows(self):
+        array = OPCMDeviceArray(4, 4)
+        array.program(np.zeros((4, 4), dtype=np.int8))
+        with pytest.raises(ValueError):
+            array.read_cost(10)
+        assert array.read_cost(2)["latency"] > 0
+
+    def test_read_energy_cheaper_than_epcm(self):
+        """Per-cell read energy of the optical device is far below ePCM."""
+        assert (
+            OPCMConfig().read_energy_per_cell < EPCMConfig().read_energy_per_cell
+        )

@@ -1,0 +1,110 @@
+"""Tests for the electronic PCM device model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.pcm import EPCMConfig, EPCMDeviceArray
+
+
+class TestEPCMConfig:
+    def test_default_on_off_ratio_large(self):
+        config = EPCMConfig()
+        assert config.on_off_ratio > 10
+
+    def test_rejects_on_below_off(self):
+        with pytest.raises(ValueError):
+            EPCMConfig(g_on=1e-6, g_off=2e-6)
+
+    def test_rejects_negative_g_off(self):
+        with pytest.raises(ValueError):
+            EPCMConfig(g_off=-1e-6)
+
+    def test_rejects_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            EPCMConfig(programming_sigma=1.5)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            EPCMConfig(read_latency=0.0)
+
+
+class TestEPCMDeviceArray:
+    def test_program_and_read_back_bits(self, rng):
+        array = EPCMDeviceArray(8, 8, rng=1)
+        bits = rng.integers(0, 2, size=(8, 8))
+        array.program(bits)
+        assert np.array_equal(array.stored_bits, bits)
+
+    def test_programmed_conductances_separate_states(self, rng):
+        config = EPCMConfig(programming_sigma=0.02, read_noise_sigma=0.0)
+        array = EPCMDeviceArray(16, 16, config=config, rng=2)
+        bits = rng.integers(0, 2, size=(16, 16))
+        array.program(bits)
+        conductance = array.conductances(with_read_noise=False)
+        threshold = (config.g_on + config.g_off) / 2
+        recovered = (conductance > threshold).astype(np.int8)
+        assert np.array_equal(recovered, bits)
+
+    def test_read_before_program_raises(self):
+        array = EPCMDeviceArray(4, 4)
+        with pytest.raises(RuntimeError):
+            array.conductances()
+
+    def test_program_shape_mismatch_raises(self):
+        array = EPCMDeviceArray(4, 4)
+        with pytest.raises(ValueError):
+            array.program(np.zeros((3, 4), dtype=np.int8) if True else None)
+
+    def test_program_rejects_non_binary(self):
+        array = EPCMDeviceArray(2, 2)
+        with pytest.raises(ValueError):
+            array.program(np.array([[0, 2], [1, 0]]))
+
+    def test_program_cost_scales_with_rows(self):
+        small = EPCMDeviceArray(4, 8).program(np.ones((4, 8), dtype=np.int8))
+        large = EPCMDeviceArray(8, 8).program(np.ones((8, 8), dtype=np.int8))
+        assert large["latency"] == pytest.approx(2 * small["latency"])
+        assert large["energy"] == pytest.approx(2 * small["energy"])
+
+    def test_drift_reduces_amorphous_conductance(self):
+        config = EPCMConfig(programming_sigma=0.0, read_noise_sigma=0.0,
+                            drift_nu_amorphous=0.1)
+        array = EPCMDeviceArray(2, 2, config=config, rng=3)
+        array.program(np.array([[0, 1], [0, 1]]))
+        fresh = array.conductances(with_read_noise=False)
+        aged = array.conductances(time_since_program=1e6, with_read_noise=False)
+        # amorphous (bit 0) cells decay, crystalline cells do not
+        assert np.all(aged[:, 0] < fresh[:, 0])
+        assert np.allclose(aged[:, 1], fresh[:, 1])
+
+    def test_negative_drift_time_rejected(self):
+        array = EPCMDeviceArray(2, 2)
+        array.program(np.zeros((2, 2), dtype=np.int8))
+        with pytest.raises(ValueError):
+            array.conductances(time_since_program=-1.0)
+
+    def test_read_noise_perturbs_but_preserves_sign(self):
+        config = EPCMConfig(programming_sigma=0.0, read_noise_sigma=0.02)
+        array = EPCMDeviceArray(8, 8, config=config, rng=4)
+        bits = np.ones((8, 8), dtype=np.int8)
+        array.program(bits)
+        noisy = array.conductances()
+        clean = array.conductances(with_read_noise=False)
+        assert not np.allclose(noisy, clean)
+        assert np.all(noisy >= 0.0)
+
+    def test_read_cost_validates_rows(self):
+        array = EPCMDeviceArray(4, 4)
+        array.program(np.zeros((4, 4), dtype=np.int8))
+        with pytest.raises(ValueError):
+            array.read_cost(0)
+        with pytest.raises(ValueError):
+            array.read_cost(5)
+        cost = array.read_cost(4)
+        assert cost["latency"] > 0 and cost["energy"] > 0
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            EPCMDeviceArray(0, 4)

@@ -1,0 +1,89 @@
+"""Tests for the ablation sweeps and the reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.ablations import (
+    sweep_adc_sharing,
+    sweep_crossbar_size,
+    sweep_wdm_capacity,
+)
+from repro.eval.reporting import format_ratio_summary, format_series, format_table
+
+
+class TestWDMSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_wdm_capacity("CNN-S", capacities=(1, 4, 16))
+
+    def test_one_point_per_capacity(self, sweep):
+        assert [point.parameter for point in sweep] == [1.0, 4.0, 16.0]
+
+    def test_latency_never_increases_with_k(self, sweep):
+        latencies = [point.latency for point in sweep]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_speedup_grows_with_k(self, sweep):
+        speedups = [point.speedup_vs_baseline for point in sweep]
+        assert speedups[-1] > speedups[0]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_wdm_capacity("MLP-S", capacities=(0,))
+
+
+class TestCrossbarSizeSweep:
+    def test_larger_arrays_help_the_proposed_designs(self):
+        sweep = sweep_crossbar_size("MLP-S", sizes=(64, 256), design="tacitmap_epcm")
+        assert sweep[-1].speedup_vs_baseline > sweep[0].speedup_vs_baseline
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_crossbar_size("MLP-S", design="tpu")
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_crossbar_size("MLP-S", sizes=(1,))
+
+
+class TestADCSharingSweep:
+    def test_more_sharing_means_more_latency(self):
+        sweep = sweep_adc_sharing("CNN-S", columns_per_adc=(1, 8, 32))
+        latencies = [point.latency for point in sweep]
+        assert latencies == sorted(latencies)
+
+    def test_energy_roughly_unchanged_by_sharing(self):
+        sweep = sweep_adc_sharing("MLP-S", columns_per_adc=(1, 32))
+        assert sweep[0].energy == pytest.approx(sweep[-1].energy, rel=0.05)
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_adc_sharing("MLP-S", design="baseline_epcm")
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_adc_sharing("MLP-S", columns_per_adc=(0,))
+
+
+class TestReporting:
+    def test_table_contains_headers_and_values(self):
+        table = format_table(["net", "x"], [["MLP-S", 1.5], ["CNN-L", 2.0]])
+        assert "net" in table and "MLP-S" in table and "1.5" in table
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_series_formatting(self):
+        line = format_series("speedup", [1, 2], [10.0, 20.0],
+                             x_label="K", y_label="x")
+        assert "speedup" in line and "(1, 10)" in line and "(2, 20)" in line
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1.0])
+
+    def test_ratio_summary(self):
+        line = format_ratio_summary("avg", {"tacitmap": 78.0})
+        assert "avg" in line and "tacitmap=78x" in line

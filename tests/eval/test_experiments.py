@@ -1,0 +1,152 @@
+"""Tests for the Fig. 7 / Fig. 8 experiment runners and headline numbers.
+
+These are the closest thing to "does the reproduction reproduce the paper":
+they assert the qualitative claims of the evaluation section (who wins,
+roughly by how much, where the crossovers fall) on the full six-network
+suite.  They are slower than unit tests but still run in a few seconds
+because the models are analytical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bnn.networks import list_networks
+from repro.bnn.workload import extract_workload
+from repro.bnn.networks import build_network
+from repro.eval.experiments import headline_numbers, run_fig7, run_fig8
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_fig7()
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_fig8()
+
+
+class TestFig7:
+    def test_covers_all_six_networks(self, fig7):
+        assert fig7.networks == list_networks()
+
+    def test_every_design_beats_baseline_everywhere(self, fig7):
+        """Fig. 7 observation 1: both proposed designs improve latency over
+        Baseline-ePCM irrespective of the underlying network."""
+        for design in ("tacitmap_epcm", "einsteinbarrier"):
+            for improvement in fig7.improvements(design):
+                assert improvement > 1.0
+
+    def test_einsteinbarrier_beats_tacitmap_everywhere(self, fig7):
+        for result in fig7.per_network:
+            assert (
+                result.latency["einsteinbarrier"] < result.latency["tacitmap_epcm"]
+            )
+
+    def test_improvement_is_network_dependent(self, fig7):
+        """Fig. 7 observation 2: the improvement varies strongly from BNN to
+        BNN (the paper reports a ~22x..~3113x spread for EinsteinBarrier)."""
+        improvements = fig7.improvements("einsteinbarrier")
+        assert max(improvements) / min(improvements) > 10
+
+    def test_tacitmap_improvement_magnitude(self, fig7):
+        """Paper: up to ~154x and ~78x on average.  The reproduction must land
+        in the same decade (tens to low hundreds)."""
+        assert 10 < fig7.average_improvement("tacitmap_epcm") < 400
+        assert 50 < fig7.max_improvement("tacitmap_epcm") < 1000
+
+    def test_einsteinbarrier_improvement_magnitude(self, fig7):
+        """Paper: ~1205x average, ~3113x max; reproduction must reach the
+        hundreds-to-thousands range with the max above the TacitMap max."""
+        assert fig7.average_improvement("einsteinbarrier") > 100
+        assert fig7.max_improvement("einsteinbarrier") > 1000
+        assert (
+            fig7.max_improvement("einsteinbarrier")
+            > fig7.max_improvement("tacitmap_epcm")
+        )
+
+    def test_gpu_crossover(self, fig7):
+        """Fig. 7 observation 4: Baseline-ePCM beats the GPU on the first CNN
+        but loses to it on the large MLP."""
+        ratios = fig7.gpu_vs_baseline()  # baseline latency / gpu latency
+        assert ratios["CNN-S"] < 1.0   # baseline faster than GPU
+        assert ratios["MLP-L"] > 1.0   # baseline slower than GPU
+
+    def test_larger_networks_gain_more(self, fig7):
+        """Fig. 7 observation 2: larger BNNs contain more parallel
+        XNOR+Popcount operations, hence larger improvements."""
+        by_network = dict(zip(fig7.networks, fig7.improvements("einsteinbarrier")))
+        assert by_network["CNN-L"] > by_network["CNN-S"]
+        assert by_network["MLP-L"] > by_network["MLP-S"]
+
+    def test_subset_of_networks_supported(self):
+        result = run_fig7(["MLP-S", "CNN-S"])
+        assert result.networks == ["MLP-S", "CNN-S"]
+
+    def test_precomputed_workloads_supported(self):
+        workloads = {"MLP-S": extract_workload(build_network("MLP-S"))}
+        result = run_fig7(["MLP-S"], workloads=workloads)
+        assert result.networks == ["MLP-S"]
+
+
+class TestFig8:
+    def test_covers_all_six_networks(self, fig8):
+        assert fig8.networks == list_networks()
+
+    def test_tacitmap_epcm_costs_more_energy_on_average(self, fig8):
+        """Fig. 8 observation 1: TacitMap-ePCM increases energy versus the
+        baseline because of its power-hungry ADCs."""
+        assert fig8.average_ratio("tacitmap_epcm") > 1.0
+
+    def test_einsteinbarrier_beats_tacitmap_on_energy(self, fig8):
+        """Fig. 8 observation 2: EinsteinBarrier consumes less energy than
+        TacitMap-ePCM because it amortises the same periphery over K
+        wavelengths.  In the reproduction this holds on average and on every
+        network except the smallest CNN, where the transmitter overhead
+        cannot amortise (documented in EXPERIMENTS.md)."""
+        assert (
+            fig8.average_ratio("einsteinbarrier")
+            < fig8.average_ratio("tacitmap_epcm")
+        )
+        by_network = dict(zip(fig8.networks, fig8.per_network))
+        for name in ("CNN-M", "CNN-L", "MLP-M", "MLP-L"):
+            result = by_network[name]
+            assert (
+                result.energy["einsteinbarrier"] < result.energy["tacitmap_epcm"]
+            ), name
+
+    def test_einsteinbarrier_close_to_or_below_baseline(self, fig8):
+        """Abstract: EinsteinBarrier keeps energy within ~60% of the CIM
+        baseline; the reproduction must keep the average ratio near or below
+        parity (and clearly below TacitMap-ePCM's)."""
+        eb = fig8.average_ratio("einsteinbarrier")
+        assert eb < 1.3
+        assert eb < fig8.average_ratio("tacitmap_epcm")
+
+    def test_large_cnn_shows_einsteinbarrier_energy_win(self, fig8):
+        by_network = dict(zip(fig8.networks, fig8.ratios("einsteinbarrier")))
+        assert by_network["CNN-L"] < 1.0
+
+
+class TestHeadlineNumbers:
+    def test_contains_all_keys(self, fig7, fig8):
+        numbers = headline_numbers(fig7, fig8)
+        assert set(numbers) == {
+            "tacitmap_avg", "tacitmap_max",
+            "einsteinbarrier_avg", "einsteinbarrier_max", "einsteinbarrier_min",
+            "einsteinbarrier_over_tacitmap",
+            "tacitmap_energy_ratio", "einsteinbarrier_energy_ratio",
+        }
+
+    def test_ordering_relations_hold(self, fig7, fig8):
+        numbers = headline_numbers(fig7, fig8)
+        assert numbers["einsteinbarrier_avg"] > numbers["tacitmap_avg"]
+        assert numbers["einsteinbarrier_max"] >= numbers["einsteinbarrier_avg"]
+        assert numbers["einsteinbarrier_min"] <= numbers["einsteinbarrier_avg"]
+        assert numbers["einsteinbarrier_over_tacitmap"] > 1.0
+        assert numbers["tacitmap_energy_ratio"] > 1.0
+        assert (
+            numbers["einsteinbarrier_energy_ratio"]
+            < numbers["tacitmap_energy_ratio"]
+        )

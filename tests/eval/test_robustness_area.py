@@ -1,0 +1,135 @@
+"""Tests for the noise-robustness study and the area model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.area import AreaBreakdown, estimate_area
+from repro.arch.config import (
+    baseline_epcm_config,
+    einsteinbarrier_config,
+    tacitmap_epcm_config,
+)
+from repro.bnn.networks import build_network
+from repro.bnn.workload import extract_workload
+from repro.eval.robustness import (
+    level_error_rate,
+    noise_sweep,
+    popcount_error_rate,
+)
+
+
+@pytest.fixture(scope="module")
+def mlp_s_workload():
+    return extract_workload(build_network("MLP-S"))
+
+
+class TestLevelErrorRate:
+    def test_zero_noise_is_error_free(self):
+        assert level_error_rate(2, read_noise_sigma=0.0, rng=0) == 0.0
+        assert level_error_rate(8, read_noise_sigma=0.0, rng=0) == 0.0
+
+    def test_binary_cells_tolerate_realistic_noise(self):
+        """Sec. II-C: binary states stay separable at realistic noise."""
+        assert level_error_rate(2, read_noise_sigma=0.05, rng=1) < 0.01
+
+    def test_multilevel_cells_fail_at_same_noise(self):
+        """Sec. II-C / Cardoso et al.: multi-level read-out degrades."""
+        binary = level_error_rate(2, read_noise_sigma=0.05, rng=2)
+        eight_level = level_error_rate(8, read_noise_sigma=0.05, rng=2)
+        assert eight_level > 10 * max(binary, 1e-4)
+
+    def test_error_rate_monotone_in_levels(self):
+        rates = [
+            level_error_rate(levels, read_noise_sigma=0.08, rng=3)
+            for levels in (2, 4, 8, 16)
+        ]
+        assert rates == sorted(rates)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            level_error_rate(1, read_noise_sigma=0.01)
+        with pytest.raises(ValueError):
+            level_error_rate(2, read_noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            level_error_rate(2, read_noise_sigma=0.1, trials=0)
+
+
+class TestPopcountErrorRate:
+    def test_default_noise_gives_exact_popcounts(self):
+        assert popcount_error_rate(vector_length=64, num_outputs=16,
+                                   trials=4, rng=0) == 0.0
+
+    def test_heavy_thermal_noise_corrupts_popcounts(self):
+        noisy = popcount_error_rate(
+            vector_length=64, num_outputs=16, trials=4,
+            thermal_sigma=0.2, rng=1,
+        )
+        assert noisy > 0.1
+
+    def test_opcm_backend_supported(self):
+        assert popcount_error_rate(
+            vector_length=32, num_outputs=8, trials=2,
+            technology="opcm", rng=2,
+        ) == 0.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            popcount_error_rate(vector_length=0)
+
+
+class TestNoiseSweep:
+    def test_sweep_structure(self):
+        points = noise_sweep((0.0, 0.05), vector_length=32, rng=0)
+        assert [p.read_noise_sigma for p in points] == [0.0, 0.05]
+        for point in points:
+            assert 0.0 <= point.binary_cell_error <= 1.0
+            assert 0.0 <= point.multilevel_cell_error <= 1.0
+            assert 0.0 <= point.popcount_error <= 1.0
+
+    def test_binary_never_worse_than_multilevel(self):
+        for point in noise_sweep((0.02, 0.05, 0.1), vector_length=32, rng=1):
+            assert point.binary_cell_error <= point.multilevel_cell_error
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            noise_sweep((-0.1,))
+        with pytest.raises(ValueError):
+            noise_sweep((0.1,), multilevel_bits=0)
+
+
+class TestAreaModel:
+    def test_breakdown_total(self, mlp_s_workload):
+        area = estimate_area(einsteinbarrier_config(), mlp_s_workload)
+        assert isinstance(area, AreaBreakdown)
+        assert area.total == pytest.approx(
+            area.crossbar + area.readout + area.drivers + area.digital
+            + area.photonics
+        )
+
+    def test_only_photonic_design_has_photonics_area(self, mlp_s_workload):
+        assert estimate_area(
+            einsteinbarrier_config(), mlp_s_workload
+        ).photonics > 0
+        assert estimate_area(
+            tacitmap_epcm_config(), mlp_s_workload
+        ).photonics == 0.0
+        assert estimate_area(
+            baseline_epcm_config(), mlp_s_workload
+        ).photonics == 0.0
+
+    def test_adc_readout_larger_than_pcsa_readout(self, mlp_s_workload):
+        """The ADC periphery is the area (and energy) price of TacitMap."""
+        tacit = estimate_area(tacitmap_epcm_config(), mlp_s_workload)
+        baseline = estimate_area(baseline_epcm_config(), mlp_s_workload)
+        assert tacit.readout > baseline.readout
+
+    def test_larger_network_needs_more_area(self):
+        small = estimate_area(
+            tacitmap_epcm_config(), extract_workload(build_network("MLP-S"))
+        )
+        large = estimate_area(
+            tacitmap_epcm_config(), extract_workload(build_network("MLP-L"))
+        )
+        assert large.crossbar > small.crossbar
+        assert large.total > small.total

@@ -1,0 +1,156 @@
+"""Tests for the individual photonic component models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.photonics.components import (
+    Demux,
+    Laser,
+    MicroResonatorComb,
+    Mux,
+    Photodiode,
+    TransimpedanceAmplifier,
+    VariableOpticalAttenuator,
+    Waveguide,
+    db_to_linear,
+    linear_to_db,
+)
+
+
+class TestDbConversions:
+    def test_3db_is_half(self):
+        assert db_to_linear(3.0103) == pytest.approx(0.5, rel=1e-3)
+
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == 1.0
+
+    def test_round_trip(self):
+        assert linear_to_db(db_to_linear(7.5)) == pytest.approx(7.5)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+
+class TestLaser:
+    def test_emit_single_line(self):
+        laser = Laser(output_power=0.01, wavelength_nm=1550.0)
+        signal = laser.emit()
+        assert signal == {1550.0: 0.01}
+
+    def test_electrical_power_exceeds_optical(self):
+        laser = Laser(output_power=0.01, wall_plug_efficiency=0.25)
+        assert laser.electrical_power == pytest.approx(0.04)
+
+    def test_rejects_zero_efficiency(self):
+        with pytest.raises(ValueError):
+            Laser(wall_plug_efficiency=0.0)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            Laser(output_power=0.0)
+
+
+class TestComb:
+    def test_generates_requested_line_count(self):
+        comb = MicroResonatorComb(num_lines=8)
+        lines = comb.generate(Laser().emit())
+        assert len(lines) == 8
+
+    def test_lines_equally_spaced(self):
+        comb = MicroResonatorComb(num_lines=4, line_spacing_nm=1.0)
+        lines = sorted(comb.generate(Laser(wavelength_nm=1550).emit()))
+        spacings = np.diff(lines)
+        assert np.allclose(spacings, 1.0)
+
+    def test_total_power_conserves_efficiency(self):
+        laser = Laser(output_power=0.01)
+        comb = MicroResonatorComb(num_lines=16, conversion_efficiency=0.3)
+        lines = comb.generate(laser.emit())
+        assert sum(lines.values()) == pytest.approx(0.003)
+
+    def test_rejects_multiline_pump(self):
+        comb = MicroResonatorComb()
+        with pytest.raises(ValueError):
+            comb.generate({1550.0: 0.01, 1551.0: 0.01})
+
+    def test_rejects_invalid_line_count(self):
+        with pytest.raises(ValueError):
+            MicroResonatorComb(num_lines=0)
+
+
+class TestMuxDemux:
+    def test_demux_splits_channels(self):
+        demux = Demux(insertion_loss_db=0.0)
+        split = demux.split({1550.0: 1.0, 1551.0: 2.0})
+        assert split[1550.0] == {1550.0: 1.0}
+        assert split[1551.0] == {1551.0: 2.0}
+
+    def test_demux_applies_loss(self):
+        demux = Demux(insertion_loss_db=3.0103)
+        split = demux.split({1550.0: 1.0})
+        assert split[1550.0][1550.0] == pytest.approx(0.5, rel=1e-3)
+
+    def test_mux_combines_disjoint_channels(self):
+        mux = Mux(insertion_loss_db=0.0)
+        combined = mux.combine([{1550.0: 1.0}, {1551.0: 2.0}])
+        assert combined == {1550.0: 1.0, 1551.0: 2.0}
+
+    def test_mux_rejects_wavelength_collision(self):
+        mux = Mux()
+        with pytest.raises(ValueError):
+            mux.combine([{1550.0: 1.0}, {1550.0: 2.0}])
+
+
+class TestVOA:
+    def test_bit_one_passes_with_insertion_loss(self):
+        voa = VariableOpticalAttenuator(insertion_loss_db=0.0)
+        assert voa.modulate({1550.0: 1.0}, 1)[1550.0] == pytest.approx(1.0)
+
+    def test_bit_zero_heavily_attenuated(self):
+        voa = VariableOpticalAttenuator(insertion_loss_db=0.0,
+                                        extinction_ratio_db=20.0)
+        assert voa.modulate({1550.0: 1.0}, 0)[1550.0] == pytest.approx(0.01)
+
+    def test_rejects_invalid_bit(self):
+        with pytest.raises(ValueError):
+            VariableOpticalAttenuator().modulate({1550.0: 1.0}, 2)
+
+    def test_rejects_multiline_input(self):
+        with pytest.raises(ValueError):
+            VariableOpticalAttenuator().modulate({1550.0: 1.0, 1551.0: 1.0}, 1)
+
+
+class TestWaveguidePhotodiodeTIA:
+    def test_waveguide_loss_scales_with_length(self):
+        short = Waveguide(length_mm=1.0, loss_db_per_cm=2.0)
+        long = Waveguide(length_mm=10.0, loss_db_per_cm=2.0)
+        assert long.total_loss_db == pytest.approx(10 * short.total_loss_db)
+
+    def test_waveguide_propagate_attenuates(self):
+        waveguide = Waveguide(length_mm=5.0, loss_db_per_cm=2.0)
+        out = waveguide.propagate({1550.0: 1.0})
+        assert out[1550.0] == pytest.approx(10 ** (-0.1))
+
+    def test_photodiode_sums_wavelengths(self):
+        photodiode = Photodiode(responsivity_a_per_w=0.8, dark_current_a=0.0)
+        current = photodiode.detect({1550.0: 1e-3, 1551.0: 1e-3})
+        assert current == pytest.approx(1.6e-3)
+
+    def test_photodiode_dark_current_floor(self):
+        photodiode = Photodiode(dark_current_a=1e-9)
+        assert photodiode.detect({}) == pytest.approx(1e-9)
+
+    def test_tia_gain(self):
+        tia = TransimpedanceAmplifier(gain_ohm=1e4)
+        assert tia.amplify(1e-4) == pytest.approx(1.0)
+
+    def test_tia_rejects_negative_current(self):
+        with pytest.raises(ValueError):
+            TransimpedanceAmplifier().amplify(-1e-6)
+
+    def test_tia_default_power_is_2mw(self):
+        """Eq. 2 relies on the 2 mW per-TIA constant."""
+        assert TransimpedanceAmplifier().power == pytest.approx(2e-3)

@@ -1,0 +1,213 @@
+"""Tests for the WDM plan, the transmitter assembly, Eq. 2/3 and link budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.components import Laser
+from repro.photonics.link import OpticalLink, evaluate_link_budget, max_rows_for_closure
+from repro.photonics.power import (
+    DEFAULT_LASER_POWER_W,
+    MODULATOR_POWER_W,
+    TIA_POWER_W,
+    TUNING_BLOCK_POWER_W,
+    crossbar_receiver_power,
+    total_optical_overhead_power,
+    transmitter_power,
+)
+from repro.photonics.transmitter import Transmitter, TransmitterConfig
+from repro.photonics.wdm import PAPER_WDM_CAPACITY, WDMChannelPlan, WDMConfig
+
+
+class TestWDMPlan:
+    def test_paper_capacity_is_sixteen(self):
+        assert PAPER_WDM_CAPACITY == 16
+
+    def test_default_effective_capacity_reaches_paper_value(self):
+        assert WDMChannelPlan().effective_capacity() == 16
+
+    def test_wavelength_count(self):
+        plan = WDMChannelPlan(WDMConfig(capacity=8))
+        assert len(plan.wavelengths()) == 8
+        assert len(plan.wavelengths(3)) == 3
+
+    def test_wavelengths_equally_spaced(self):
+        plan = WDMChannelPlan(WDMConfig(capacity=8, channel_spacing_nm=0.5))
+        wavelengths = plan.wavelengths()
+        assert np.allclose(np.diff(wavelengths), 0.5)
+
+    def test_isolation_grows_with_distance(self):
+        plan = WDMChannelPlan()
+        assert plan.isolation_db(4) > plan.isolation_db(1)
+
+    def test_aggregate_crosstalk_worsens_with_channel_count(self):
+        plan = WDMChannelPlan()
+        assert plan.aggregate_crosstalk_db(2) > plan.aggregate_crosstalk_db(16)
+
+    def test_single_channel_has_no_crosstalk(self):
+        assert WDMChannelPlan().aggregate_crosstalk_db(1) == float("inf")
+
+    def test_poor_isolation_reduces_effective_capacity(self):
+        plan = WDMChannelPlan(WDMConfig(
+            crosstalk_floor_db=10.0, crosstalk_rolloff_db_per_channel=0.5,
+            detection_margin_db=12.0,
+        ))
+        assert plan.effective_capacity() < 16
+
+    def test_channels_per_activation_caps_at_capacity(self):
+        plan = WDMChannelPlan()
+        assert plan.channels_per_activation(100) == 16
+        assert plan.channels_per_activation(5) == 5
+        assert plan.channels_per_activation(0) == 0
+
+    def test_invalid_requests_rejected(self):
+        plan = WDMChannelPlan()
+        with pytest.raises(ValueError):
+            plan.wavelengths(0)
+        with pytest.raises(ValueError):
+            plan.aggregate_crosstalk_db(17)
+        with pytest.raises(ValueError):
+            plan.channels_per_activation(-1)
+
+
+class TestTransmitter:
+    def _transmitter(self, rows=16):
+        return Transmitter(TransmitterConfig(num_rows=rows))
+
+    def test_encode_produces_one_signal_per_row(self, rng):
+        transmitter = self._transmitter(rows=16)
+        vectors = rng.integers(0, 2, size=(4, 16))
+        assert len(transmitter.encode(vectors)) == 16
+
+    def test_encode_decode_round_trip(self, rng):
+        transmitter = self._transmitter(rows=32)
+        vectors = rng.integers(0, 2, size=(8, 32))
+        signals = transmitter.encode(vectors)
+        wavelengths = sorted(signals[0].keys())
+        for index in range(8):
+            recovered = transmitter.decode_reference(signals, wavelengths[index])
+            assert np.array_equal(recovered, vectors[index])
+
+    def test_encode_rejects_too_many_vectors(self, rng):
+        transmitter = self._transmitter(rows=8)
+        with pytest.raises(ValueError):
+            transmitter.encode(rng.integers(0, 2, size=(17, 8)))
+
+    def test_encode_rejects_wrong_length(self, rng):
+        transmitter = self._transmitter(rows=8)
+        with pytest.raises(ValueError):
+            transmitter.encode(rng.integers(0, 2, size=(2, 9)))
+
+    def test_carrier_lines_match_wdm_capacity(self):
+        transmitter = self._transmitter()
+        assert len(transmitter.carrier_lines()) == 16
+
+    def test_electrical_power_matches_equation_three(self):
+        """The structural transmitter model and Eq. 3 agree on defaults."""
+        rows = 64
+        transmitter = Transmitter(TransmitterConfig(num_rows=rows))
+        structural = transmitter.electrical_power()
+        closed_form = transmitter_power(16, rows)
+        assert structural == pytest.approx(closed_form, rel=1e-9)
+
+    def test_power_grows_with_active_wavelengths(self):
+        transmitter = self._transmitter(rows=64)
+        assert (
+            transmitter.electrical_power(active_wavelengths=16)
+            > transmitter.electrical_power(active_wavelengths=2)
+        )
+
+    def test_invalid_wavelength_count_rejected(self):
+        with pytest.raises(ValueError):
+            self._transmitter().electrical_power(active_wavelengths=0)
+
+
+class TestPowerEquations:
+    def test_equation_two_linear_in_columns(self):
+        assert crossbar_receiver_power(0) == 0.0
+        assert crossbar_receiver_power(1) == pytest.approx(TIA_POWER_W)
+        assert crossbar_receiver_power(512) == pytest.approx(512 * TIA_POWER_W)
+
+    def test_equation_two_matches_paper_example(self):
+        """N = 256 columns -> 512 mW of TIA power."""
+        assert crossbar_receiver_power(256) == pytest.approx(0.512)
+
+    def test_equation_three_structure(self):
+        k, m = 16, 256
+        expected = (
+            DEFAULT_LASER_POWER_W
+            + 3e-3 * k * m
+            + (k * m + 1) / k * 45e-3
+        )
+        assert transmitter_power(k, m) == pytest.approx(expected)
+
+    def test_equation_three_grows_with_k_and_m(self):
+        assert transmitter_power(16, 256) > transmitter_power(8, 256)
+        assert transmitter_power(16, 256) > transmitter_power(16, 128)
+
+    def test_equation_three_custom_constants(self):
+        power = transmitter_power(
+            2, 4, laser_power=0.0, tuning_group_size=1,
+            modulator_power=1e-3, tuning_block_power=2e-3,
+        )
+        assert power == pytest.approx(8e-3 + 9 * 2e-3)
+
+    def test_total_overhead_combines_both(self):
+        total = total_optical_overhead_power(16, 256, 256)
+        assert total == pytest.approx(
+            transmitter_power(16, 256) + crossbar_receiver_power(256)
+        )
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            crossbar_receiver_power(-1)
+        with pytest.raises(ValueError):
+            transmitter_power(0, 16)
+        with pytest.raises(ValueError):
+            transmitter_power(4, 0)
+        with pytest.raises(ValueError):
+            transmitter_power(4, 4, tuning_group_size=0)
+
+    @given(st.integers(1, 32), st.integers(1, 1024))
+    @settings(max_examples=50)
+    def test_equation_three_monotone_in_rows_property(self, k, m):
+        """Driving more rows never reduces transmitter power (Eq. 3 has
+        dP/dM = 3K + 45 mW > 0; monotonicity in K does not hold in general
+        because the tuning term is shared across a group of K modulators)."""
+        assert transmitter_power(k, m + 1) >= transmitter_power(k, m)
+
+
+class TestLinkBudget:
+    def test_default_budget_closes_at_paper_scale(self):
+        budget = evaluate_link_budget(OpticalLink(), num_rows=256, wdm_capacity=16)
+        assert budget.closes
+        assert budget.margin_db > 0
+
+    def test_budget_margin_shrinks_with_rows(self):
+        link = OpticalLink()
+        small = evaluate_link_budget(link, num_rows=64, wdm_capacity=16)
+        large = evaluate_link_budget(link, num_rows=1024, wdm_capacity=16)
+        assert small.margin_db > large.margin_db
+
+    def test_budget_fails_with_weak_laser(self):
+        link = OpticalLink(laser=Laser(output_power=1e-6))
+        budget = evaluate_link_budget(link, num_rows=1024, wdm_capacity=16)
+        assert not budget.closes
+
+    def test_max_rows_for_closure_consistent(self):
+        link = OpticalLink()
+        limit = max_rows_for_closure(link, wdm_capacity=16)
+        assert limit >= 256
+        assert evaluate_link_budget(link, num_rows=limit, wdm_capacity=16).closes
+        assert not evaluate_link_budget(
+            link, num_rows=limit + 1, wdm_capacity=16
+        ).closes
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_link_budget(OpticalLink(), num_rows=0, wdm_capacity=16)
+        with pytest.raises(ValueError):
+            evaluate_link_budget(OpticalLink(), num_rows=16, wdm_capacity=0)

@@ -1,0 +1,133 @@
+"""Tests for the shared utility helpers (units, RNG, validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+from repro.utils.units import (
+    format_energy,
+    format_power,
+    format_time,
+    joules_to_pj,
+    ns,
+    pJ,
+    seconds_to_ns,
+    watts_to_mw,
+)
+from repro.utils.validation import (
+    check_binary,
+    check_bipolar,
+    check_in_choices,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+    check_shape,
+)
+
+
+class TestUnits:
+    def test_round_trip_time(self):
+        assert seconds_to_ns(5 * ns) == pytest.approx(5.0)
+
+    def test_round_trip_energy(self):
+        assert joules_to_pj(3 * pJ) == pytest.approx(3.0)
+
+    def test_watts_to_mw(self):
+        assert watts_to_mw(0.002) == pytest.approx(2.0)
+
+    def test_format_time_picks_unit(self):
+        assert "ns" in format_time(5e-9)
+        assert "us" in format_time(5e-6)
+        assert "ms" in format_time(5e-3)
+        assert format_time(0) == "0 s"
+
+    def test_format_energy_picks_unit(self):
+        assert "pJ" in format_energy(2e-12)
+        assert "nJ" in format_energy(2e-9)
+        assert "uJ" in format_energy(2e-6)
+
+    def test_format_power_picks_unit(self):
+        assert "mW" in format_power(2e-3)
+        assert "uW" in format_power(2e-6)
+
+
+class TestRng:
+    def test_default_seed_is_deterministic(self):
+        assert make_rng().integers(0, 100) == make_rng().integers(0, 100)
+
+    def test_int_seed(self):
+        assert make_rng(7).integers(0, 1000) == make_rng(7).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert make_rng(generator) is generator
+
+    def test_invalid_seed_type_rejected(self):
+        with pytest.raises(TypeError):
+            make_rng("seed")
+
+    def test_spawn_rngs_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(0, 2**31) != b.integers(0, 2**31)
+
+    def test_spawn_rngs_count_validated(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_derive_seed_depends_on_salt(self):
+        assert derive_seed(0, "alpha") != derive_seed(0, "beta")
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        assert check_positive("x", 0.0, allow_zero=True) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_binary(self):
+        out = check_binary("b", np.array([0, 1, 1]))
+        assert out.dtype == np.int8
+        with pytest.raises(ValueError):
+            check_binary("b", np.array([0, 2]))
+        with pytest.raises(ValueError):
+            check_binary("b", np.array([]))
+
+    def test_check_bipolar(self):
+        assert check_bipolar("b", np.array([-1, 1])).dtype == np.int8
+        with pytest.raises(ValueError):
+            check_bipolar("b", np.array([0, 1]))
+
+    def test_check_shape(self):
+        arr = np.zeros((2, 3))
+        assert check_shape("a", arr, (2, 3)) is not None
+        assert check_shape("a", arr, (-1, 3)) is not None
+        with pytest.raises(ValueError):
+            check_shape("a", arr, (3, 2))
+        with pytest.raises(ValueError):
+            check_shape("a", arr, (2, 3, 1))
+
+    def test_check_power_of_two(self):
+        assert check_power_of_two("n", 64) == 64
+        with pytest.raises(ValueError):
+            check_power_of_two("n", 65)
+
+    def test_check_in_choices(self):
+        assert check_in_choices("m", "a", ["a", "b"]) == "a"
+        with pytest.raises(ValueError):
+            check_in_choices("m", "c", ["a", "b"])
+
+    @given(st.integers(0, 62))
+    def test_powers_of_two_property(self, exponent):
+        assert check_power_of_two("n", 2 ** exponent) == 2 ** exponent
