@@ -12,9 +12,9 @@ from repro.eval.ablations import sweep_adc_sharing
 from repro.eval.reporting import format_table
 
 
-def test_adc_sharing_sweep(benchmark, workloads):
+def test_adc_sharing_sweep(benchmark, workloads, smoke):
     """Benchmark the columns-per-ADC sweep on CNN-M."""
-    shares = (1, 2, 4, 8, 16, 32)
+    shares = (1, 8) if smoke else (1, 2, 4, 8, 16, 32)
 
     def run():
         return {

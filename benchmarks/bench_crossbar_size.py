@@ -11,9 +11,9 @@ from repro.eval.ablations import sweep_crossbar_size
 from repro.eval.reporting import format_table
 
 
-def test_crossbar_size_sweep(benchmark, workloads):
+def test_crossbar_size_sweep(benchmark, workloads, smoke):
     """Benchmark the size sweep on MLP-L for both proposed designs."""
-    sizes = (64, 128, 256, 512)
+    sizes = (64, 256) if smoke else (64, 128, 256, 512)
 
     def run():
         return {

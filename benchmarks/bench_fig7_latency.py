@@ -28,9 +28,10 @@ def _fig7_rows(fig7):
     return rows
 
 
-def test_fig7_normalized_latency(benchmark, workloads):
+def test_fig7_normalized_latency(benchmark, workloads, smoke):
     """Benchmark the full Fig. 7 evaluation and print the regenerated series."""
-    fig7 = benchmark(lambda: run_fig7(workloads=workloads))
+    networks = ("MLP-L", "CNN-S") if smoke else None
+    fig7 = benchmark(lambda: run_fig7(networks=networks, workloads=workloads))
     table = format_table(
         [
             "network", "Baseline-ePCM[us]", "TacitMap-ePCM[us]",

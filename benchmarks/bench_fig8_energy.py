@@ -11,9 +11,10 @@ from repro.eval.experiments import run_fig8
 from repro.eval.reporting import format_table
 
 
-def test_fig8_normalized_energy(benchmark, workloads):
+def test_fig8_normalized_energy(benchmark, workloads, smoke):
     """Benchmark the full Fig. 8 evaluation and print the regenerated series."""
-    fig8 = benchmark(lambda: run_fig8(workloads=workloads))
+    networks = ("MLP-L", "CNN-L") if smoke else None
+    fig8 = benchmark(lambda: run_fig8(networks=networks, workloads=workloads))
     rows = []
     for result in fig8.per_network:
         rows.append([

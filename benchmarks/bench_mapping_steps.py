@@ -13,9 +13,11 @@ from repro.core.schedule import build_network_schedule
 from repro.eval.reporting import format_table
 
 
-def test_mapping_step_counts(benchmark, workloads):
+def test_mapping_step_counts(benchmark, workloads, smoke):
     """Benchmark schedule construction and print the per-network step counts."""
     tile = TileShape(256, 256)
+    if smoke:
+        workloads = {name: workloads[name] for name in ("MLP-S", "CNN-S")}
 
     def build_all():
         results = {}

@@ -14,11 +14,13 @@ from repro.eval.reporting import format_table
 from repro.eval.robustness import noise_sweep
 
 
-def test_binary_vs_multilevel_robustness(benchmark):
+def test_binary_vs_multilevel_robustness(benchmark, smoke):
     """Benchmark the robustness sweep and print the regenerated series."""
-    sigmas = (0.0, 0.01, 0.02, 0.05, 0.1)
+    sigmas = (0.0, 0.01, 0.1) if smoke else (0.0, 0.01, 0.02, 0.05, 0.1)
+    vector_length = 32 if smoke else 64
     points = benchmark(
-        lambda: noise_sweep(sigmas, multilevel_bits=2, vector_length=64, rng=0)
+        lambda: noise_sweep(sigmas, multilevel_bits=2,
+                            vector_length=vector_length, rng=0)
     )
     rows = [
         [p.read_noise_sigma, p.binary_cell_error, p.multilevel_cell_error,

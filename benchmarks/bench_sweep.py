@@ -1,0 +1,158 @@
+"""Vectorised inference kernels + parallel design-space sweep subsystem.
+
+Two measurements, recorded into ``BENCH_sweep.json`` at the repo root (the
+artifact CI uploads per PR):
+
+* the im2col/bit-packed binary convolution kernels against the per-pixel
+  loop oracle (:func:`repro.bnn.xnor_ops.binary_conv2d_reference`) on a
+  CIFAR-scale layer — the speedup must stay >= 20x;
+* the declarative :mod:`repro.eval.sweep` grid runner (network x design x
+  crossbar size x WDM capacity) with its memoised schedule/model caches.
+
+Run with ``pytest benchmarks/bench_sweep.py -s`` (add ``--smoke`` for the
+CI-sized configuration).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.bnn.xnor_ops import (
+    binary_conv2d,
+    binary_conv2d_reference,
+    binary_matmul_reference,
+    im2col_reference,
+)
+from repro.core.schedule import clear_schedule_cache, schedule_cache_stats
+from repro.eval.reporting import format_sweep_table, write_json_report
+from repro.eval.sweep import SweepGrid, clear_sweep_caches, run_sweep
+from repro.utils.rng import make_rng
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+#: the checked-in full-run artifact; smoke runs write a sibling file so the
+#: CI smoke job never clobbers the committed full-scale measurements
+ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_sweep.json")
+SMOKE_ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_sweep.smoke.json")
+
+
+def _random_bipolar(rng, shape):
+    return np.where(rng.random(shape) < 0.5, -1, 1).astype(np.int8)
+
+
+def _time_conv_kernels(smoke: bool) -> dict:
+    """Time the loop oracle against the vectorised kernels, exactness-checked."""
+    rng = make_rng(0xC1FA)
+    if smoke:
+        batch, channels, extent = 1, 32, 16
+    else:
+        # CIFAR-scale hidden layer of CNN-L: 128 -> 128 channels, 3x3, 32x32
+        batch, channels, extent = 1, 128, 32
+    images = _random_bipolar(rng, (batch, channels, extent, extent))
+    kernels = _random_bipolar(rng, (channels, channels, 3, 3))
+
+    start = time.perf_counter()
+    reference_out = binary_conv2d_reference(images, kernels, stride=1, padding=1)
+    loop_seconds = time.perf_counter() - start
+
+    # the pre-vectorisation implementation this PR actually replaced:
+    # loop-based im2col feeding the double-int-matmul match counter
+    start = time.perf_counter()
+    patches, out_h, out_w = im2col_reference(images, 3, stride=1, padding=1)
+    prior_out = binary_matmul_reference(
+        patches, kernels.reshape(channels, -1)
+    ).reshape(batch, out_h, out_w, channels).transpose(0, 3, 1, 2)
+    prior_seconds = time.perf_counter() - start
+    assert np.array_equal(prior_out, reference_out)
+
+    results = {
+        "layer_shape": {
+            "batch": batch, "channels": channels,
+            "height": extent, "width": extent, "kernel": 3, "padding": 1,
+        },
+        "loop_reference_seconds": loop_seconds,
+        "prior_implementation_seconds": prior_seconds,
+        "kernels": {},
+    }
+    for kernel_name in ("blas", "packed"):
+        best = float("inf")
+        for _ in range(1 if smoke else 3):
+            start = time.perf_counter()
+            out = binary_conv2d(images, kernels, stride=1, padding=1,
+                                kernel=kernel_name)
+            best = min(best, time.perf_counter() - start)
+        assert np.array_equal(out, reference_out), kernel_name
+        results["kernels"][kernel_name] = {
+            "seconds": best,
+            "speedup_vs_loop_reference": loop_seconds / best,
+            "speedup_vs_prior_implementation": prior_seconds / best,
+        }
+    return results
+
+
+def test_sweep_subsystem(benchmark, smoke):
+    """Benchmark the grid runner and record kernel + sweep numbers as JSON."""
+    conv = _time_conv_kernels(smoke)
+    for kernel_name, numbers in conv["kernels"].items():
+        print(
+            f"\nbinary_conv2d[{kernel_name}]: {numbers['seconds'] * 1e3:.1f} ms, "
+            f"{numbers['speedup_vs_loop_reference']:.0f}x vs per-pixel oracle "
+            f"({conv['loop_reference_seconds']:.2f} s), "
+            f"{numbers['speedup_vs_prior_implementation']:.1f}x vs prior "
+            f"im2col-loop path ({conv['prior_implementation_seconds'] * 1e3:.0f} ms)"
+        )
+    # acceptance: the vectorised path must beat the per-pixel loop >= 20x on
+    # the CIFAR-scale layer (the smoke layer is far smaller, so the loop
+    # overhead — and hence the margin — shrinks with it)
+    floor = 5.0 if smoke else 20.0
+    assert conv["kernels"]["blas"]["speedup_vs_loop_reference"] >= floor
+    assert conv["kernels"]["packed"]["speedup_vs_loop_reference"] >= floor
+
+    if smoke:
+        grid = SweepGrid(networks=("MLP-S", "CNN-S"),
+                         crossbar_sizes=(128, 256), wdm_capacities=(4, 16))
+    else:
+        grid = SweepGrid(networks=("MLP-S", "MLP-L", "CNN-S", "CNN-L"),
+                         crossbar_sizes=(64, 128, 256, 512),
+                         wdm_capacities=(1, 4, 16),
+                         noise_sigmas=(0.0, 0.02))
+    clear_sweep_caches()
+    clear_schedule_cache()
+    start = time.perf_counter()
+    cold = run_sweep(grid)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_sweep(grid)
+    warm_seconds = time.perf_counter() - start
+    assert warm.records == cold.records
+    # pytest-benchmark stats over the warm (fully memoised) path
+    benchmark(lambda: run_sweep(grid))
+
+    stats = schedule_cache_stats()
+    print(f"\n=== Design-space sweep: {len(cold.records)} grid points ===")
+    print(format_sweep_table(record.to_dict() for record in cold.records[:12]))
+    print(
+        f"cold {cold_seconds * 1e3:.0f} ms, warm {warm_seconds * 1e3:.0f} ms, "
+        f"schedule cache: {stats['hits']} hits / {stats['misses']} misses"
+    )
+    # every layer schedule is built at most once per process; reuse across
+    # the compiler/hierarchy/area models shows up as cache hits
+    assert stats["hits"] >= stats["misses"]
+    best = cold.best()
+    assert best.design == "einsteinbarrier"
+    assert best.speedup_vs_baseline > 1.0
+
+    artifact_path = SMOKE_ARTIFACT_PATH if smoke else ARTIFACT_PATH
+    write_json_report(artifact_path, {
+        "smoke": smoke,
+        "conv_kernel_bench": conv,
+        "sweep_grid_points": len(cold.records),
+        "sweep_cold_seconds": cold_seconds,
+        "sweep_warm_seconds": warm_seconds,
+        "schedule_cache": stats,
+        "best_point": best.to_dict(),
+        "sweep": cold.to_payload(),
+    })
+    print(f"wrote {artifact_path}")

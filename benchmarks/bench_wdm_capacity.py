@@ -13,9 +13,9 @@ from repro.eval.ablations import sweep_wdm_capacity
 from repro.eval.reporting import format_table
 
 
-def test_wdm_capacity_sweep(benchmark, workloads):
+def test_wdm_capacity_sweep(benchmark, workloads, smoke):
     """Benchmark the K sweep on CNN-L and print speedups per capacity."""
-    capacities = (1, 2, 4, 8, 16, 32)
+    capacities = (1, 4, 16) if smoke else (1, 2, 4, 8, 16, 32)
     points = benchmark(
         lambda: sweep_wdm_capacity(workloads["CNN-L"], capacities=capacities)
     )

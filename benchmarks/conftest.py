@@ -1,14 +1,60 @@
-"""Shared fixtures for the benchmark harness (one bench per figure/equation)."""
+"""Shared fixtures for the benchmark harness (one bench per figure/equation).
+
+Smoke mode
+----------
+``pytest benchmarks/bench_*.py --smoke`` (or ``REPRO_BENCH_SMOKE=1``)
+switches every bench to a fast configuration: pytest-benchmark timing loops
+collapse to a single round and the benches shrink their sweep grids via the
+``smoke`` fixture.  CI runs the smoke configuration on every PR and uploads
+the JSON artifacts so the perf trajectory stays tracked without paying
+full-sweep cost per push.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.bnn.networks import build_network, list_networks
-from repro.bnn.workload import extract_workload
+from repro.bnn.networks import list_networks
+from repro.bnn.workload import get_workload
+
+#: environment switch equivalent to the --smoke CLI flag
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="fast smoke mode: tiny sweep grids and a single run per bench",
+    )
+
+
+def smoke_enabled(config) -> bool:
+    """Whether smoke mode is requested via --smoke or REPRO_BENCH_SMOKE."""
+    if config.getoption("--smoke", default=False):
+        return True
+    return os.environ.get(SMOKE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def pytest_configure(config):
+    if smoke_enabled(config):
+        # clamp the timing loop to a single uncalibrated round so each bench
+        # body runs ~once while --benchmark-json output stays populated
+        config.option.benchmark_min_rounds = 1
+        config.option.benchmark_max_time = 0.0
+        # the parsed (not CLI-string) value: parse_warmup("off") -> False
+        config.option.benchmark_warmup = False
+        config.option.benchmark_calibration_precision = 1
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    """True when the suite runs in fast smoke mode."""
+    return smoke_enabled(request.config)
 
 
 @pytest.fixture(scope="session")
 def workloads():
-    """Workloads of all six evaluation networks, extracted once per session."""
-    return {name: extract_workload(build_network(name)) for name in list_networks()}
+    """Workloads of all six evaluation networks (memoised extraction)."""
+    return {name: get_workload(name) for name in list_networks()}

@@ -1,0 +1,69 @@
+"""Multi-axis design-space sweep with the declarative grid runner.
+
+Run with ``python examples/sweep_demo.py [--workers N] [--out sweep.json]``.
+
+Where :mod:`repro.eval.ablations` sweeps one parameter at a time, the
+:mod:`repro.eval.sweep` subsystem evaluates the full cross product —
+network x design x crossbar size x WDM capacity x read-noise level — with
+memoised workloads/models/schedules and optional multiprocessing workers.
+This example:
+
+1. declares a grid over two networks, all three designs, three crossbar
+   sizes and three WDM capacities, with a functional read-noise axis;
+2. runs it (serially by default, in parallel with ``--workers``), showing
+   that results are deterministic either way;
+3. prints the result table, the best configuration per network, and writes
+   the structured JSON artifact the benchmarks/CI consume.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval.reporting import format_sweep_table
+from repro.eval.sweep import SweepGrid, run_sweep, write_sweep_json
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="multiprocessing workers (0 = serial)")
+    parser.add_argument("--out", default="sweep_demo.json",
+                        help="path of the JSON artifact to write")
+    args = parser.parse_args()
+
+    grid = SweepGrid(
+        networks=("MLP-L", "CNN-L"),
+        designs=("baseline_epcm", "tacitmap_epcm", "einsteinbarrier"),
+        crossbar_sizes=(128, 256, 512),
+        wdm_capacities=(4, 16, 32),
+        noise_sigmas=(0.0, 0.02, 0.05),
+        seed=0,
+    )
+    print(f"evaluating {len(grid.points())} grid points "
+          f"({'serial' if args.workers < 2 else f'{args.workers} workers'})...")
+    result = run_sweep(grid, workers=args.workers or None)
+
+    print(format_sweep_table(record.to_dict() for record in result.records))
+    print()
+    for network in grid.networks:
+        best = max(
+            (r for r in result.records if r.network == network),
+            key=lambda r: r.speedup_vs_baseline,
+        )
+        print(f"best for {network}: {best.design} at {best.crossbar_size}x"
+              f"{best.crossbar_size}, K={best.wdm_capacity} -> "
+              f"{best.speedup_vs_baseline:.0f}x speedup, "
+              f"{best.energy_ratio_vs_baseline:.2f}x energy")
+
+    write_sweep_json(args.out, result)
+    print(f"\nwrote {args.out}")
+    print("Take-away: the sweep API turns the paper's fixed evaluation "
+          "point into a reproducible, parallel design-space exploration; "
+          "the WDM axis only pays off on convolutional workloads, and the "
+          "noise axis confirms binary read-out stays robust where the "
+          "speedups are earned.")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.arch.config import AcceleratorConfig
 from repro.bnn.workload import NetworkWorkload

@@ -23,7 +23,6 @@ because the baseline mapping serialises one row read per output neuron.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict
 

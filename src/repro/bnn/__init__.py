@@ -33,10 +33,21 @@ from repro.bnn.layers import (
 )
 from repro.bnn.model import BNNModel
 from repro.bnn.networks import build_network, list_networks
-from repro.bnn.workload import LayerSpec, NetworkWorkload, extract_workload
+from repro.bnn.workload import (
+    LayerSpec,
+    NetworkWorkload,
+    extract_workload,
+    get_workload,
+)
 from repro.bnn.xnor_ops import (
+    binary_conv2d,
+    binary_conv2d_reference,
     binary_dot,
     binary_matmul,
+    binary_matmul_packed,
+    binary_matmul_reference,
+    im2col,
+    pack_bipolar,
     popcount,
     xnor,
     xnor_popcount,
@@ -62,9 +73,16 @@ __all__ = [
     "LayerSpec",
     "NetworkWorkload",
     "extract_workload",
+    "get_workload",
     "xnor",
     "popcount",
     "xnor_popcount",
     "binary_dot",
     "binary_matmul",
+    "binary_matmul_packed",
+    "binary_matmul_reference",
+    "binary_conv2d",
+    "binary_conv2d_reference",
+    "im2col",
+    "pack_bipolar",
 ]

@@ -360,21 +360,24 @@ class BinaryConv2d(Layer):
 def _col2im(grad_patches: np.ndarray, input_shape: Tuple[int, ...],
             kernel_size: int, stride: int, padding: int,
             out_h: int, out_w: int) -> np.ndarray:
-    """Scatter patch gradients back to image layout (inverse of im2col)."""
+    """Scatter patch gradients back to image layout (inverse of im2col).
+
+    Loops over the ``kernel_size**2`` kernel offsets (not over output
+    positions): for a fixed offset every output position touches a distinct
+    input pixel, so each offset is one strided vectorised accumulation.
+    """
     batch, channels, height, width = input_shape
     padded = np.zeros(
         (batch, channels, height + 2 * padding, width + 2 * padding)
     )
     grad_patches = grad_patches.reshape(
         batch, out_h, out_w, channels, kernel_size, kernel_size
-    )
-    for row in range(out_h):
-        top = row * stride
-        for col in range(out_w):
-            left = col * stride
-            padded[:, :, top:top + kernel_size, left:left + kernel_size] += (
-                grad_patches[:, row, col]
-            )
+    ).transpose(0, 3, 1, 2, 4, 5)
+    for dr in range(kernel_size):
+        for dc in range(kernel_size):
+            padded[:, :,
+                   dr:dr + out_h * stride:stride,
+                   dc:dc + out_w * stride:stride] += grad_patches[..., dr, dc]
     if padding > 0:
         return padded[:, :, padding:-padding, padding:-padding]
     return padded
@@ -544,11 +547,9 @@ class MaxPool2d(Layer):
         k, s = self.kernel_size, self.stride
         out_h = (height - k) // s + 1
         out_w = (width - k) // s + 1
-        windows = np.empty((batch, channels, out_h, out_w, k * k))
-        for row in range(out_h):
-            for col in range(out_w):
-                patch = x[:, :, row * s:row * s + k, col * s:col * s + k]
-                windows[:, :, row, col, :] = patch.reshape(batch, channels, -1)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            x, (k, k), axis=(2, 3)
+        )[:, :, ::s, ::s].reshape(batch, channels, out_h, out_w, k * k)
         out = windows.max(axis=-1)
         if self.training:
             argmax = windows.argmax(axis=-1)
@@ -561,19 +562,19 @@ class MaxPool2d(Layer):
         if self._cache is None:
             raise RuntimeError("backward called before a training-mode forward")
         argmax, input_shape = self._cache
-        batch, channels, height, width = input_shape
         k, s = self.kernel_size, self.stride
         out_h, out_w = grad.shape[2], grad.shape[3]
         grad_input = np.zeros(input_shape)
-        for row in range(out_h):
-            for col in range(out_w):
-                flat_idx = argmax[:, :, row, col]
-                dr, dc = np.divmod(flat_idx, k)
-                for b in range(batch):
-                    for c in range(channels):
-                        grad_input[
-                            b, c, row * s + dr[b, c], col * s + dc[b, c]
-                        ] += grad[b, c, row, col]
+        dr, dc = np.divmod(argmax, k)
+        b_idx, c_idx, row_idx, col_idx = np.ogrid[
+            :grad.shape[0], :grad.shape[1], :out_h, :out_w
+        ]
+        # overlapping windows can select the same input pixel, so scatter-add
+        np.add.at(
+            grad_input,
+            (b_idx, c_idx, row_idx * s + dr, col_idx * s + dc),
+            grad,
+        )
         return grad_input
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:

@@ -22,7 +22,7 @@ recipe.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List
 
 from repro.bnn.layers import (
     BatchNorm,

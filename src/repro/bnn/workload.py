@@ -16,12 +16,13 @@ of :class:`LayerSpec` records in the paper's vocabulary:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.bnn.layers import BinaryConv2d, BinaryLinear, Conv2d, Layer, Linear
 from repro.bnn.model import BNNModel
-from repro.bnn.networks import dataset_for_network
+from repro.bnn.networks import build_network, dataset_for_network
 
 
 @dataclass(frozen=True)
@@ -72,12 +73,17 @@ class LayerSpec:
 
 @dataclass(frozen=True)
 class NetworkWorkload:
-    """All MAC layers of one evaluation network, in execution order."""
+    """All MAC layers of one evaluation network, in execution order.
+
+    ``layers`` is a tuple so instances are deeply immutable (and hashable):
+    :func:`get_workload` shares one cached instance across the experiment,
+    ablation and sweep runners.
+    """
 
     name: str
     dataset: str
     input_shape: Tuple[int, ...]
-    layers: List[LayerSpec] = field(default_factory=list)
+    layers: Tuple[LayerSpec, ...] = ()
 
     @property
     def binary_layers(self) -> List[LayerSpec]:
@@ -140,8 +146,22 @@ def extract_workload(model: BNNModel) -> NetworkWorkload:
         name=model.name,
         dataset=dataset,
         input_shape=model.input_shape,
-        layers=specs,
+        layers=tuple(specs),
     )
+
+
+@lru_cache(maxsize=None)
+def get_workload(network_name: str) -> NetworkWorkload:
+    """Memoised workload of one of the named evaluation networks.
+
+    Building a network instantiates every weight tensor only to read off the
+    layer dimensions; the resulting :class:`NetworkWorkload` is immutable and
+    identical on every call, so figure regeneration and design-space sweeps
+    share one extraction per network instead of rebuilding the model per
+    design per figure.  Use :func:`extract_workload` directly for ad-hoc
+    models.
+    """
+    return extract_workload(build_network(network_name))
 
 
 def _layer_spec(layer: Layer, in_shape: Tuple[int, ...], index: int) -> LayerSpec | None:

@@ -8,8 +8,28 @@ where ``In`` and ``W`` are bipolar {-1,+1} vectors of length ``L``, ``(*)``
 is the dot product (the inner kernel of convolution), and ``In'``, ``W'`` are
 the unipolar {0,1} encodings of the same vectors.  This module provides the
 unipolar-domain primitives (``xnor``, ``popcount``) and the bipolar-domain
-reference operations (``binary_dot``, ``binary_matmul``, ``binary_conv2d``)
-used both by the BNN layers and by the mapping-equivalence tests.
+operations (``binary_dot``, ``binary_matmul``, ``binary_conv2d``) used both
+by the BNN layers and by the mapping-equivalence tests.
+
+The batched operations come in three interchangeable kernels, selectable via
+the ``kernel`` argument of :func:`binary_matmul` / :func:`binary_conv2d`:
+
+* ``"blas"`` — one float64 matrix product over the bipolar operands.  Exact
+  (the accumulators stay far below 2**53) and the fastest on CPU.
+* ``"packed"`` — the bit-parallel path: operands are packed 8 bits per byte
+  with :func:`numpy.packbits` and mismatches are counted through a 256-entry
+  popcount look-up table, mirroring how a digital XNOR+Popcount engine (or
+  the crossbar read-out) works on words rather than scalars.  Uses 8x less
+  memory per operand than the unpacked encodings.
+* ``"reference"`` — the original unipolar match-counting implementation
+  (:func:`binary_matmul_reference`, retained verbatim, as is
+  :func:`im2col_reference`).  :func:`binary_conv2d_reference` is a
+  *newly written* per-scalar oracle used for equivalence testing and as a
+  scalar-engine speedup baseline — it is not the implementation this
+  module's fast paths replaced.
+
+The default ``"auto"`` picks the BLAS kernel; sweeps that model the packed
+hardware datapath can opt into ``"packed"`` explicitly.
 """
 
 from __future__ import annotations
@@ -17,7 +37,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bnn.binarize import to_unipolar
-from repro.utils.validation import check_binary
+from repro.utils.validation import check_binary, check_bipolar
+
+#: number of set bits for every uint8 value — the popcount LUT of the packed
+#: kernel (equivalent to an 8-bit hardware popcount unit)
+_POPCOUNT_LUT = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+#: row-block size used when materialising XOR intermediates in the packed
+#: kernel, keeping the (block x outputs x bytes) workspace cache-resident
+_PACKED_BLOCK_ROWS = 512
 
 
 def xnor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -62,32 +90,33 @@ def binary_dot_via_xnor(in_bipolar: np.ndarray, w_bipolar: np.ndarray) -> int:
     return int(2 * xnor_popcount(in_bits.ravel(), w_bits.ravel()) - length)
 
 
-def binary_matmul(inputs_bipolar: np.ndarray, weights_bipolar: np.ndarray) -> np.ndarray:
-    """Bipolar matrix product computed through the XNOR+Popcount identity.
+def _check_matmul_shapes(inputs: np.ndarray, weights: np.ndarray) -> None:
+    if inputs.ndim != 2 or weights.ndim != 2:
+        raise ValueError("binary_matmul expects 2-D inputs and weights")
+    if inputs.shape[1] != weights.shape[1]:
+        raise ValueError(
+            f"vector length mismatch: inputs {inputs.shape[1]} vs "
+            f"weights {weights.shape[1]}"
+        )
 
-    Parameters
-    ----------
-    inputs_bipolar:
-        Array of shape ``(batch, length)`` with values in {-1, +1}.
-    weights_bipolar:
-        Array of shape ``(n_outputs, length)`` with values in {-1, +1}; each
-        row is one weight vector (one output neuron).
 
-    Returns
-    -------
-    numpy.ndarray
-        Integer array of shape ``(batch, n_outputs)`` equal to
-        ``inputs_bipolar @ weights_bipolar.T``.
-    """
+def _check_matmul_operands(inputs_bipolar: np.ndarray,
+                           weights_bipolar: np.ndarray
+                           ) -> tuple[np.ndarray, np.ndarray]:
     in_bits = to_unipolar(inputs_bipolar)
     w_bits = to_unipolar(weights_bipolar)
-    if in_bits.ndim != 2 or w_bits.ndim != 2:
-        raise ValueError("binary_matmul expects 2-D inputs and weights")
-    if in_bits.shape[1] != w_bits.shape[1]:
-        raise ValueError(
-            f"vector length mismatch: inputs {in_bits.shape[1]} vs "
-            f"weights {w_bits.shape[1]}"
-        )
+    _check_matmul_shapes(in_bits, w_bits)
+    return in_bits, w_bits
+
+
+def binary_matmul_reference(inputs_bipolar: np.ndarray,
+                            weights_bipolar: np.ndarray) -> np.ndarray:
+    """Oracle bipolar matrix product via unipolar match counting.
+
+    This is the original implementation, retained unchanged as the ground
+    truth the fast kernels are verified against.
+    """
+    in_bits, w_bits = _check_matmul_operands(inputs_bipolar, weights_bipolar)
     length = in_bits.shape[1]
     # XNOR(a, b) summed over the length axis == a.b + (1-a).(1-b) in 0/1 algebra.
     matches = (
@@ -97,9 +126,177 @@ def binary_matmul(inputs_bipolar: np.ndarray, weights_bipolar: np.ndarray) -> np
     return 2 * matches - length
 
 
+def pack_bipolar(bipolar: np.ndarray) -> tuple[np.ndarray, int]:
+    """Pack bipolar {-1,+1} rows into uint8 words, 8 bits per byte.
+
+    Returns ``(packed, length)`` where ``packed`` has the last axis packed
+    with :func:`numpy.packbits` (zero-padded to a whole number of bytes) and
+    ``length`` is the original last-axis bit count.
+    """
+    bits = to_unipolar(bipolar)
+    if bits.ndim < 1:
+        raise ValueError("pack_bipolar expects at least 1-D input")
+    return np.packbits(bits, axis=-1), bits.shape[-1]
+
+
+def packed_mismatches(a_packed: np.ndarray, b_packed: np.ndarray) -> np.ndarray:
+    """Pairwise Hamming distances between packed bit rows.
+
+    ``a_packed`` is ``(n, nbytes)`` and ``b_packed`` is ``(m, nbytes)``; the
+    result is the ``(n, m)`` int64 matrix of set bits in ``a XOR b``.
+
+    Precondition: both operands must be packed from the *same* original bit
+    length (as :func:`binary_matmul_packed` guarantees).  Only then does the
+    zero padding added by :func:`numpy.packbits` line up and cancel in the
+    XOR; equal byte widths alone cannot prove equal bit lengths, so rows
+    packed from different lengths produce silently inflated distances.
+    """
+    if a_packed.ndim != 2 or b_packed.ndim != 2:
+        raise ValueError("packed operands must be 2-D")
+    if a_packed.shape[1] != b_packed.shape[1]:
+        raise ValueError(
+            f"packed width mismatch: {a_packed.shape[1]} vs {b_packed.shape[1]}"
+        )
+    n = a_packed.shape[0]
+    out = np.empty((n, b_packed.shape[0]), dtype=np.int64)
+    for start in range(0, n, _PACKED_BLOCK_ROWS):
+        stop = min(start + _PACKED_BLOCK_ROWS, n)
+        xor = a_packed[start:stop, None, :] ^ b_packed[None, :, :]
+        out[start:stop] = _POPCOUNT_LUT[xor].sum(axis=-1, dtype=np.int64)
+    return out
+
+
+def binary_matmul_packed(inputs_bipolar: np.ndarray,
+                         weights_bipolar: np.ndarray) -> np.ndarray:
+    """Bipolar matrix product on bit-packed operands (packbits + LUT).
+
+    With ``d`` mismatching bits out of ``L``, the bipolar dot product is
+    ``L - 2 d`` — the XOR-domain restatement of Eq. 1.
+    """
+    in_bits, w_bits = _check_matmul_operands(inputs_bipolar, weights_bipolar)
+    length = in_bits.shape[1]
+    in_packed = np.packbits(in_bits, axis=-1)
+    w_packed = np.packbits(w_bits, axis=-1)
+    return length - 2 * packed_mismatches(in_packed, w_packed)
+
+
+def _binary_matmul_blas(inputs_bipolar: np.ndarray,
+                        weights_bipolar: np.ndarray) -> np.ndarray:
+    inputs = np.asarray(inputs_bipolar)
+    weights = np.asarray(weights_bipolar)
+    _check_matmul_shapes(inputs, weights)
+    if inputs.size == 0 or weights.size == 0:
+        # degenerate batch/length: the other kernels return all-zero counts
+        return np.zeros((inputs.shape[0], weights.shape[0]), dtype=np.int64)
+    inputs = check_bipolar("inputs_bipolar", inputs)
+    weights = check_bipolar("weights_bipolar", weights)
+    # one BLAS product straight over the bipolar operands; exact because
+    # every accumulator is an integer well below 2**53
+    return np.rint(
+        inputs.astype(np.float64) @ weights.astype(np.float64).T
+    ).astype(np.int64)
+
+
+_MATMUL_KERNELS = {
+    "blas": _binary_matmul_blas,
+    "packed": binary_matmul_packed,
+    "reference": binary_matmul_reference,
+}
+
+
+def binary_matmul(inputs_bipolar: np.ndarray, weights_bipolar: np.ndarray, *,
+                  kernel: str = "auto") -> np.ndarray:
+    """Bipolar matrix product computed through the XNOR+Popcount identity.
+
+    Parameters
+    ----------
+    inputs_bipolar:
+        Array of shape ``(batch, length)`` with values in {-1, +1}.
+    weights_bipolar:
+        Array of shape ``(n_outputs, length)`` with values in {-1, +1}; each
+        row is one weight vector (one output neuron).
+    kernel:
+        ``"auto"`` (default), ``"blas"``, ``"packed"`` or ``"reference"`` —
+        see the module docstring.  All kernels return bit-exact results.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(batch, n_outputs)`` equal to
+        ``inputs_bipolar @ weights_bipolar.T``.
+    """
+    if kernel == "auto":
+        kernel = "blas"
+    try:
+        implementation = _MATMUL_KERNELS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from "
+            f"{sorted(_MATMUL_KERNELS)} or 'auto'"
+        ) from None
+    return implementation(inputs_bipolar, weights_bipolar)
+
+
+def _pad_and_extent(images: np.ndarray, kernel_size: int, stride: int,
+                    padding: int, pad_value: float
+                    ) -> tuple[np.ndarray, int, int]:
+    if images.ndim != 4:
+        raise ValueError(f"images must be 4-D (N, C, H, W), got shape {images.shape}")
+    _, _, height, width = images.shape
+    if padding > 0:
+        images = np.pad(
+            images,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+            constant_values=pad_value,
+        )
+        height += 2 * padding
+        width += 2 * padding
+    out_h = (height - kernel_size) // stride + 1
+    out_w = (width - kernel_size) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kernel_size} with stride {stride} does not fit "
+            f"input of size {height}x{width}"
+        )
+    return images, out_h, out_w
+
+
+def im2col_reference(images: np.ndarray, kernel_size: int, stride: int = 1,
+                     padding: int = 0, pad_value: float = -1.0
+                     ) -> tuple[np.ndarray, int, int]:
+    """Oracle im2col walking every output position with Python loops.
+
+    Retained unchanged as the ground truth :func:`im2col` is tested against.
+    """
+    images = np.asarray(images)
+    images, out_h, out_w = _pad_and_extent(
+        images, kernel_size, stride, padding, pad_value
+    )
+    batch, channels = images.shape[:2]
+    patches = np.empty(
+        (batch, out_h, out_w, channels, kernel_size, kernel_size),
+        dtype=images.dtype,
+    )
+    for row in range(out_h):
+        top = row * stride
+        for col in range(out_w):
+            left = col * stride
+            patches[:, row, col] = images[
+                :, :, top:top + kernel_size, left:left + kernel_size
+            ]
+    flat = patches.reshape(batch * out_h * out_w,
+                           channels * kernel_size * kernel_size)
+    return flat, out_h, out_w
+
+
 def im2col(images: np.ndarray, kernel_size: int, stride: int = 1,
            padding: int = 0, pad_value: float = -1.0) -> tuple[np.ndarray, int, int]:
     """Unfold image patches into rows so convolution becomes a matrix product.
+
+    Vectorised with :func:`numpy.lib.stride_tricks.sliding_window_view` — no
+    Python-level loop over output positions (see :func:`im2col_reference`
+    for the loop oracle).
 
     Parameters
     ----------
@@ -124,44 +321,70 @@ def im2col(images: np.ndarray, kernel_size: int, stride: int = 1,
         receptive field (one "activation vector" in the paper's terminology).
     """
     images = np.asarray(images)
-    if images.ndim != 4:
-        raise ValueError(f"images must be 4-D (N, C, H, W), got shape {images.shape}")
-    batch, channels, height, width = images.shape
-    if padding > 0:
-        images = np.pad(
-            images,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
-            constant_values=pad_value,
-        )
-        height += 2 * padding
-        width += 2 * padding
-    out_h = (height - kernel_size) // stride + 1
-    out_w = (width - kernel_size) // stride + 1
-    if out_h <= 0 or out_w <= 0:
-        raise ValueError(
-            f"kernel {kernel_size} with stride {stride} does not fit "
-            f"input of size {height}x{width}"
-        )
-    patches = np.empty(
-        (batch, out_h, out_w, channels, kernel_size, kernel_size),
-        dtype=images.dtype,
+    images, out_h, out_w = _pad_and_extent(
+        images, kernel_size, stride, padding, pad_value
     )
-    for row in range(out_h):
-        top = row * stride
-        for col in range(out_w):
-            left = col * stride
-            patches[:, row, col] = images[
-                :, :, top:top + kernel_size, left:left + kernel_size
-            ]
-    flat = patches.reshape(batch * out_h * out_w,
-                           channels * kernel_size * kernel_size)
+    batch, channels = images.shape[:2]
+    windows = np.lib.stride_tricks.sliding_window_view(
+        images, (kernel_size, kernel_size), axis=(2, 3)
+    )[:, :, ::stride, ::stride]
+    # (batch, channels, out_h, out_w, k, k) -> (batch, out_h, out_w, channels, k, k)
+    flat = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch * out_h * out_w, channels * kernel_size * kernel_size
+    )
     return flat, out_h, out_w
 
 
+def binary_conv2d_reference(images_bipolar: np.ndarray,
+                            kernels_bipolar: np.ndarray,
+                            stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Oracle bipolar convolution: one Eq. 1 dot product per output scalar.
+
+    Quadruple-nested loop over (batch, out_channel, out_row, out_col) — the
+    per-pixel evaluation order a scalar XNOR+Popcount engine would follow.
+    Written (new in this module, alongside the retained
+    :func:`im2col_reference`/:func:`binary_matmul_reference`) as an
+    independent ground truth and scalar-engine baseline for the vectorised
+    :func:`binary_conv2d`.
+    """
+    images = np.asarray(images_bipolar)
+    kernels = np.asarray(kernels_bipolar)
+    if kernels.ndim != 4:
+        raise ValueError("kernels must be 4-D (out_c, in_c, k, k)")
+    out_channels, in_channels, k_h, k_w = kernels.shape
+    if k_h != k_w:
+        raise ValueError("only square kernels are supported")
+    images, out_h, out_w = _pad_and_extent(images, k_h, stride, padding, -1)
+    batch = images.shape[0]
+    flat_kernels = [
+        to_unipolar(kernels[oc]).ravel() for oc in range(out_channels)
+    ]
+    length = in_channels * k_h * k_w
+    out = np.empty((batch, out_channels, out_h, out_w), dtype=np.int64)
+    for b in range(batch):
+        for row in range(out_h):
+            top = row * stride
+            for col in range(out_w):
+                left = col * stride
+                patch = to_unipolar(
+                    images[b, :, top:top + k_h, left:left + k_w]
+                ).ravel()
+                for oc in range(out_channels):
+                    matches = xnor_popcount(patch, flat_kernels[oc])
+                    out[b, oc, row, col] = 2 * int(matches) - length
+    return out
+
+
 def binary_conv2d(images_bipolar: np.ndarray, kernels_bipolar: np.ndarray,
-                  stride: int = 1, padding: int = 0) -> np.ndarray:
+                  stride: int = 1, padding: int = 0, *,
+                  kernel: str = "auto") -> np.ndarray:
     """Bipolar 2-D convolution evaluated through the XNOR+Popcount identity.
+
+    The im2col-based batched path: every receptive field becomes one row of a
+    patch matrix and the whole layer collapses into a single
+    :func:`binary_matmul` (mirroring how TacitMap flattens kernels into
+    crossbar columns).  ``kernel`` selects the matmul kernel; see
+    :func:`binary_conv2d_reference` for the per-pixel loop oracle.
 
     Parameters
     ----------
@@ -169,6 +392,8 @@ def binary_conv2d(images_bipolar: np.ndarray, kernels_bipolar: np.ndarray,
         Array ``(batch, in_channels, height, width)`` of {-1,+1} activations.
     kernels_bipolar:
         Array ``(out_channels, in_channels, k, k)`` of {-1,+1} weights.
+    kernel:
+        Matmul kernel: ``"auto"``, ``"blas"``, ``"packed"`` or ``"reference"``.
 
     Returns
     -------
@@ -185,6 +410,6 @@ def binary_conv2d(images_bipolar: np.ndarray, kernels_bipolar: np.ndarray,
         images_bipolar, k_h, stride=stride, padding=padding, pad_value=-1
     )
     flat_kernels = kernels_bipolar.reshape(out_channels, in_channels * k_h * k_w)
-    result = binary_matmul(patches, flat_kernels)
+    result = binary_matmul(patches, flat_kernels, kernel=kernel)
     batch = np.asarray(images_bipolar).shape[0]
     return result.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)

@@ -30,7 +30,6 @@ from repro.core.mapping_base import (
     DataMapping,
     LayerMapping,
     MappedTile,
-    TileShape,
     split_ranges,
 )
 from repro.utils.validation import check_binary

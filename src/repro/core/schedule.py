@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.bnn.workload import LayerSpec, NetworkWorkload
 from repro.core.custbinarymap import CustBinaryMap
@@ -202,10 +202,42 @@ def _custbinarymap_layer_schedule(spec: LayerSpec,
     )
 
 
+#: memoisation table for :func:`build_layer_schedule`.  Every input is a
+#: frozen (hashable) dataclass and every output is immutable, so schedules
+#: can be shared freely across compiler, hierarchy, area and sweep callers.
+_SCHEDULE_CACHE: Dict[Tuple[LayerSpec, str, TileShape, int], LayerSchedule] = {}
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def clear_schedule_cache() -> None:
+    """Empty the layer-schedule memoisation table and reset its counters."""
+    global _CACHE_HITS, _CACHE_MISSES
+    _SCHEDULE_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
+def schedule_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the layer-schedule memoisation table."""
+    return {
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+        "size": len(_SCHEDULE_CACHE),
+    }
+
+
 def build_layer_schedule(spec: LayerSpec, *, mapping: str,
                          tile_shape: Optional[TileShape] = None,
-                         wdm_capacity: int = 1) -> LayerSchedule:
+                         wdm_capacity: int = 1,
+                         memoize: bool = True) -> LayerSchedule:
     """Build the operation-count schedule of one binary layer.
+
+    Results are memoised by ``(spec, mapping, tile_shape, wdm_capacity)``:
+    one inference estimate builds the same layer schedule several times
+    (compiler, hierarchy allocator, area model) and design-space sweeps
+    revisit identical layers across grid points, so the cache removes the
+    dominant rebuild cost.  Pass ``memoize=False`` to force a fresh build.
 
     Parameters
     ----------
@@ -218,7 +250,10 @@ def build_layer_schedule(spec: LayerSpec, *, mapping: str,
     wdm_capacity:
         WDM capacity K (only meaningful for TacitMap on oPCM; must be 1 for
         the baseline mapping).
+    memoize:
+        Whether to consult/populate the module-level schedule cache.
     """
+    global _CACHE_HITS, _CACHE_MISSES
     if not spec.is_binary:
         raise ValueError(
             f"layer {spec.name} is not binary; only binary layers are mapped "
@@ -227,13 +262,24 @@ def build_layer_schedule(spec: LayerSpec, *, mapping: str,
     tile = tile_shape if tile_shape is not None else TileShape()
     if wdm_capacity < 1:
         raise ValueError("wdm_capacity must be >= 1")
+    key = (spec, mapping, tile, wdm_capacity)
+    if memoize:
+        cached = _SCHEDULE_CACHE.get(key)
+        if cached is not None:
+            _CACHE_HITS += 1
+            return cached
     if mapping == TacitMap.name:
-        return _tacitmap_layer_schedule(spec, tile, wdm_capacity)
-    if mapping == CustBinaryMap.name:
+        schedule = _tacitmap_layer_schedule(spec, tile, wdm_capacity)
+    elif mapping == CustBinaryMap.name:
         if wdm_capacity != 1:
             raise ValueError("the baseline mapping does not support WDM")
-        return _custbinarymap_layer_schedule(spec, tile)
-    raise ValueError(f"unknown mapping {mapping!r}")
+        schedule = _custbinarymap_layer_schedule(spec, tile)
+    else:
+        raise ValueError(f"unknown mapping {mapping!r}")
+    if memoize:
+        _CACHE_MISSES += 1
+        _SCHEDULE_CACHE[key] = schedule
+    return schedule
 
 
 def build_network_schedule(workload: NetworkWorkload, *, mapping: str,

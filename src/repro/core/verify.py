@@ -16,7 +16,7 @@ compute exactly the XNOR+Popcount the paper's Eq. 1 prescribes.
 
 from __future__ import annotations
 
-from typing import Literal, Optional
+from typing import Literal
 
 import numpy as np
 

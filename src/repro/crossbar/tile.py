@@ -22,7 +22,6 @@ from repro.crossbar.sense_amplifier import PCSAConfig, PrechargeSenseAmplifier
 from repro.devices.opcm import OPCMConfig
 from repro.devices.pcm import EPCMConfig
 from repro.utils.units import mW
-from repro.utils.validation import check_positive
 
 Technology = Literal["epcm", "opcm"]
 Readout = Literal["adc", "pcsa"]

@@ -5,8 +5,11 @@
   abstract's headline ratios.
 * :mod:`repro.eval.ablations` — design-space sweeps the paper fixes or leaves
   to future work: WDM capacity, crossbar size, ADC sharing.
-* :mod:`repro.eval.reporting` — plain-text table/series formatting used by
-  the benchmarks and examples.
+* :mod:`repro.eval.sweep` — the declarative multi-axis grid runner (network x
+  design x crossbar size x WDM capacity x noise) with memoised models,
+  optional multiprocessing, and JSON artifacts.
+* :mod:`repro.eval.reporting` — plain-text table/series formatting and JSON
+  artifact helpers used by the benchmarks and examples.
 """
 
 from repro.eval.ablations import (
@@ -22,15 +25,36 @@ from repro.eval.experiments import (
     run_fig7,
     run_fig8,
 )
-from repro.eval.reporting import format_series, format_table
+from repro.eval.reporting import (
+    format_series,
+    format_sweep_table,
+    format_table,
+    write_json_report,
+)
 from repro.eval.robustness import (
     RobustnessPoint,
     level_error_rate,
     noise_sweep,
     popcount_error_rate,
 )
+from repro.eval.sweep import (
+    SweepGrid,
+    SweepRecord,
+    SweepResult,
+    get_accelerator_model,
+    run_sweep,
+    write_sweep_json,
+)
 
 __all__ = [
+    "SweepGrid",
+    "SweepRecord",
+    "SweepResult",
+    "get_accelerator_model",
+    "run_sweep",
+    "write_sweep_json",
+    "format_sweep_table",
+    "write_json_report",
     "RobustnessPoint",
     "level_error_rate",
     "noise_sweep",

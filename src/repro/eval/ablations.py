@@ -15,7 +15,7 @@ arguments rely on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.arch.accelerator import AcceleratorModel
 from repro.arch.config import (
@@ -23,8 +23,7 @@ from repro.arch.config import (
     einsteinbarrier_config,
     tacitmap_epcm_config,
 )
-from repro.bnn.networks import build_network
-from repro.bnn.workload import NetworkWorkload, extract_workload
+from repro.bnn.workload import NetworkWorkload, get_workload
 
 
 @dataclass(frozen=True)
@@ -41,7 +40,7 @@ class SweepPoint:
 def _workload(network: str | NetworkWorkload) -> NetworkWorkload:
     if isinstance(network, NetworkWorkload):
         return network
-    return extract_workload(build_network(network))
+    return get_workload(network)
 
 
 def sweep_wdm_capacity(network: str | NetworkWorkload = "CNN-L", *,

@@ -22,8 +22,8 @@ from repro.arch.config import (
     tacitmap_epcm_config,
 )
 from repro.baselines.gpu import GPUConfig, GPUModel
-from repro.bnn.networks import build_network, list_networks
-from repro.bnn.workload import NetworkWorkload, extract_workload
+from repro.bnn.networks import list_networks
+from repro.bnn.workload import NetworkWorkload, get_workload
 
 #: design keys in the order the paper reports them
 DESIGN_KEYS = ("baseline_epcm", "tacitmap_epcm", "einsteinbarrier")
@@ -127,7 +127,9 @@ def _evaluate_networks(networks: Optional[Sequence[str]] = None,
         if workloads is not None and name in workloads:
             workload = workloads[name]
         else:
-            workload = extract_workload(build_network(name))
+            # memoised: Fig. 7 and Fig. 8 share one extraction per network
+            # instead of rebuilding the model per design per figure
+            workload = get_workload(name)
         latency: Dict[str, float] = {}
         energy: Dict[str, float] = {}
         for key, model in models.items():

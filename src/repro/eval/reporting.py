@@ -1,8 +1,15 @@
-"""Plain-text reporting helpers for the benchmarks and examples."""
+"""Reporting helpers: plain-text tables and JSON artifacts.
+
+The text formatters serve the benchmarks and examples; the JSON helpers
+serialise sweep/benchmark payloads into the artifacts CI uploads per PR so
+the performance trajectory stays inspectable over time.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import json
+import os
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *,
@@ -48,3 +55,41 @@ def format_ratio_summary(label: str, values: Dict[str, float]) -> str:
     """Render a {name: ratio} mapping as a one-line summary."""
     body = ", ".join(f"{key}={value:.3g}x" for key, value in values.items())
     return f"{label}: {body}"
+
+
+def write_json_report(path: str, payload: Mapping[str, object]) -> None:
+    """Write ``payload`` to ``path`` as deterministic, human-diffable JSON.
+
+    Keys are sorted and the file ends with a newline so repeated runs with
+    identical results produce byte-identical artifacts (the property the
+    sweep determinism tests and the CI artifact diffing rely on).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_sweep_table(records: Iterable[Mapping[str, object]]) -> str:
+    """Render sweep records (as dicts) as an aligned plain-text table."""
+    headers = [
+        "network", "design", "size", "K", "noise", "latency[us]",
+        "speedup", "energy ratio", "popcount err",
+    ]
+    rows = []
+    for record in records:
+        noise = record.get("noise_sigma")
+        error = record.get("popcount_error")
+        rows.append([
+            record["network"],
+            record["design"],
+            int(record["crossbar_size"]),
+            int(record["wdm_capacity"]),
+            "-" if noise is None else f"{noise:g}",
+            float(record["latency_s"]) * 1e6,
+            float(record["speedup_vs_baseline"]),
+            float(record["energy_ratio_vs_baseline"]),
+            "-" if error is None else f"{error:.3g}",
+        ])
+    return format_table(headers, rows)

@@ -31,6 +31,7 @@ import numpy as np
 from repro.bnn.xnor_ops import xnor_popcount
 from repro.crossbar.array import CrossbarArray
 from repro.crossbar.noise import NoiseConfig
+from repro.devices.opcm import OPCMConfig
 from repro.devices.pcm import EPCMConfig
 from repro.utils.rng import RngLike, make_rng
 
@@ -82,10 +83,11 @@ def popcount_error_rate(*, vector_length: int = 128, num_outputs: int = 32,
     generator = make_rng(rng)
     weights = generator.integers(0, 2, size=(num_outputs, vector_length))
     layout = np.vstack([weights.T, 1 - weights.T])
-    device = EPCMConfig(
+    device_cls = EPCMConfig if technology == "epcm" else OPCMConfig
+    device = device_cls(
         programming_sigma=programming_sigma,
         read_noise_sigma=read_noise_sigma,
-    ) if technology == "epcm" else None
+    )
     array = CrossbarArray(
         2 * vector_length, num_outputs, technology=technology,
         device_config=device,

@@ -1,0 +1,326 @@
+"""Declarative design-space sweeps with memoised models and parallel workers.
+
+The ablation helpers in :mod:`repro.eval.ablations` sweep one parameter at a
+time.  Production design-space exploration needs the full cross product —
+*which network, on which design, at which crossbar size, with how many
+wavelengths, under how much read noise* — evaluated quickly and repeatably.
+This module provides that as a small subsystem:
+
+* :class:`SweepGrid` — a declarative description of the grid.  Axes that do
+  not apply to a design are collapsed automatically (only EinsteinBarrier
+  sweeps WDM capacity; the electronic designs are evaluated once at K = 1).
+* :func:`run_sweep` — evaluates every grid point, either serially or on a
+  :mod:`multiprocessing` pool.  Workloads, accelerator models and inference
+  reports are memoised (`repro.bnn.workload.get_workload`, the model/report
+  caches here, and the layer-schedule cache in :mod:`repro.core.schedule`),
+  so repeated structure across the grid is built exactly once per process.
+* :class:`SweepRecord` / :class:`SweepResult` — structured results with a
+  JSON-ready payload (:meth:`SweepResult.to_payload`,
+  :func:`write_sweep_json`) consumed by the benchmarks and CI artifacts.
+
+Determinism: every stochastic quantity (the optional popcount-error metric)
+is seeded per grid point with :func:`repro.utils.rng.derive_seed`, so results
+are identical run-to-run and independent of worker count or execution order.
+
+Example
+-------
+>>> grid = SweepGrid(networks=("MLP-S",), designs=("einsteinbarrier",),
+...                  crossbar_sizes=(128, 256), wdm_capacities=(4, 16))
+>>> result = run_sweep(grid)
+>>> len(result.records)
+4
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.accelerator import AcceleratorModel, InferenceReport
+from repro.arch.config import (
+    baseline_epcm_config,
+    einsteinbarrier_config,
+    tacitmap_epcm_config,
+)
+from repro.bnn.workload import get_workload
+from repro.eval.robustness import popcount_error_rate
+from repro.eval.reporting import write_json_report
+from repro.utils.rng import derive_seed
+
+#: config factory per design key (the paper's three evaluated designs)
+DESIGN_FACTORIES = {
+    "baseline_epcm": baseline_epcm_config,
+    "tacitmap_epcm": tacitmap_epcm_config,
+    "einsteinbarrier": einsteinbarrier_config,
+}
+
+#: designs whose WDM capacity axis is meaningful (photonic crossbars only)
+WDM_DESIGNS = frozenset({"einsteinbarrier"})
+
+_MODEL_CACHE: Dict[Tuple[str, int, int], AcceleratorModel] = {}
+_REPORT_CACHE: Dict[Tuple[str, int, int, str], InferenceReport] = {}
+
+
+def clear_sweep_caches() -> None:
+    """Empty the per-process model and inference-report caches."""
+    _MODEL_CACHE.clear()
+    _REPORT_CACHE.clear()
+
+
+def get_accelerator_model(design: str, *, crossbar_size: int = 256,
+                          wdm_capacity: int = 1) -> AcceleratorModel:
+    """Memoised :class:`AcceleratorModel` for one design configuration.
+
+    Model construction instantiates the latency/energy/hierarchy models;
+    sharing instances across grid points (and with the figure-regeneration
+    experiments) is safe because the models are stateless after ``__init__``.
+    """
+    if design not in DESIGN_FACTORIES:
+        raise ValueError(
+            f"unknown design {design!r}; choose from {sorted(DESIGN_FACTORIES)}"
+        )
+    effective_wdm = wdm_capacity if design in WDM_DESIGNS else 1
+    key = (design, crossbar_size, effective_wdm)
+    model = _MODEL_CACHE.get(key)
+    if model is None:
+        factory = DESIGN_FACTORIES[design]
+        if design in WDM_DESIGNS:
+            config = factory(crossbar_size=crossbar_size,
+                             wdm_capacity=effective_wdm)
+        else:
+            config = factory(crossbar_size=crossbar_size)
+        model = AcceleratorModel(config)
+        _MODEL_CACHE[key] = model
+    return model
+
+
+def _cached_report(design: str, crossbar_size: int, wdm_capacity: int,
+                   network: str) -> InferenceReport:
+    effective_wdm = wdm_capacity if design in WDM_DESIGNS else 1
+    key = (design, crossbar_size, effective_wdm, network)
+    report = _REPORT_CACHE.get(key)
+    if report is None:
+        model = get_accelerator_model(
+            design, crossbar_size=crossbar_size, wdm_capacity=effective_wdm
+        )
+        report = model.run_inference(get_workload(network))
+        _REPORT_CACHE[key] = report
+    return report
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Declarative description of a design-space parameter grid.
+
+    Attributes
+    ----------
+    networks:
+        Evaluation network names (see :func:`repro.bnn.networks.list_networks`).
+    designs:
+        Design keys from :data:`DESIGN_FACTORIES`.
+    crossbar_sizes:
+        Square crossbar array sizes to sweep.
+    wdm_capacities:
+        WDM capacities K; applied only to designs in :data:`WDM_DESIGNS`,
+        the electronic designs contribute one point at K = 1.
+    noise_sigmas:
+        Read-noise levels for the optional popcount-error metric.  Empty
+        (the default) skips the functional noise simulation entirely and
+        every record carries ``popcount_error = None``.
+    noise_trials, noise_vector_length, noise_num_outputs:
+        Size of the functional popcount-error simulation per point.
+    seed:
+        Base seed; every point derives its own stream so results do not
+        depend on evaluation order or worker count.
+    """
+
+    networks: Tuple[str, ...] = ("CNN-L",)
+    designs: Tuple[str, ...] = tuple(DESIGN_FACTORIES)
+    crossbar_sizes: Tuple[int, ...] = (256,)
+    wdm_capacities: Tuple[int, ...] = (16,)
+    noise_sigmas: Tuple[float, ...] = ()
+    noise_trials: int = 4
+    noise_vector_length: int = 64
+    noise_num_outputs: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("networks", "designs", "crossbar_sizes",
+                     "wdm_capacities", "noise_sigmas"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        for name in ("networks", "designs", "crossbar_sizes", "wdm_capacities"):
+            if not getattr(self, name):
+                raise ValueError(f"{name} must be non-empty")
+        for design in self.designs:
+            if design not in DESIGN_FACTORIES:
+                raise ValueError(
+                    f"unknown design {design!r}; choose from "
+                    f"{sorted(DESIGN_FACTORIES)}"
+                )
+        if any(size < 2 for size in self.crossbar_sizes):
+            raise ValueError("crossbar sizes must be >= 2")
+        if any(capacity < 1 for capacity in self.wdm_capacities):
+            raise ValueError("WDM capacities must be >= 1")
+        if any(not 0 <= sigma <= 1 for sigma in self.noise_sigmas):
+            # fail fast here rather than deep inside a pool worker: the
+            # device configs bound read_noise_sigma to [0, 1]
+            raise ValueError("noise sigmas must be within [0, 1]")
+        if self.noise_trials < 1:
+            raise ValueError("noise_trials must be >= 1")
+
+    def points(self) -> List["SweepPointSpec"]:
+        """Expand the grid into self-contained, picklable point specs."""
+        sigmas: Tuple[Optional[float], ...] = self.noise_sigmas or (None,)
+        specs: List[SweepPointSpec] = []
+        for network in self.networks:
+            for design in self.designs:
+                capacities = (
+                    self.wdm_capacities if design in WDM_DESIGNS else (1,)
+                )
+                for size in self.crossbar_sizes:
+                    for capacity in capacities:
+                        for sigma in sigmas:
+                            salt = (
+                                f"{network}/{design}/{size}/{capacity}/{sigma}"
+                            )
+                            specs.append(SweepPointSpec(
+                                network=network,
+                                design=design,
+                                crossbar_size=size,
+                                wdm_capacity=capacity,
+                                noise_sigma=sigma,
+                                noise_trials=self.noise_trials,
+                                noise_vector_length=self.noise_vector_length,
+                                noise_num_outputs=self.noise_num_outputs,
+                                seed=derive_seed(self.seed, salt),
+                            ))
+        return specs
+
+
+@dataclass(frozen=True)
+class SweepPointSpec:
+    """One fully resolved grid point (self-contained and picklable)."""
+
+    network: str
+    design: str
+    crossbar_size: int
+    wdm_capacity: int
+    noise_sigma: Optional[float]
+    noise_trials: int
+    noise_vector_length: int
+    noise_num_outputs: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """Evaluated metrics of one grid point.
+
+    ``speedup_vs_baseline`` and ``energy_ratio_vs_baseline`` compare against
+    Baseline-ePCM at the *same* crossbar size, so the ratios always compare
+    equal-capacity arrays.  ``popcount_error`` is the functional TacitMap
+    column read error rate under the point's read noise (``None`` when the
+    grid carries no noise axis).
+    """
+
+    network: str
+    design: str
+    crossbar_size: int
+    wdm_capacity: int
+    noise_sigma: Optional[float]
+    latency_s: float
+    energy_j: float
+    speedup_vs_baseline: float
+    energy_ratio_vs_baseline: float
+    popcount_error: Optional[float]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dictionary of this record."""
+        return asdict(self)
+
+
+def evaluate_point(spec: SweepPointSpec) -> SweepRecord:
+    """Evaluate one grid point (deterministic given the spec)."""
+    report = _cached_report(
+        spec.design, spec.crossbar_size, spec.wdm_capacity, spec.network
+    )
+    baseline = _cached_report(
+        "baseline_epcm", spec.crossbar_size, 1, spec.network
+    )
+    popcount_error: Optional[float] = None
+    if spec.noise_sigma is not None:
+        model = get_accelerator_model(
+            spec.design, crossbar_size=spec.crossbar_size,
+            wdm_capacity=spec.wdm_capacity,
+        )
+        popcount_error = popcount_error_rate(
+            vector_length=spec.noise_vector_length,
+            num_outputs=spec.noise_num_outputs,
+            read_noise_sigma=spec.noise_sigma,
+            technology=model.config.technology,
+            trials=spec.noise_trials,
+            rng=spec.seed,
+        )
+    return SweepRecord(
+        network=spec.network,
+        design=spec.design,
+        crossbar_size=spec.crossbar_size,
+        wdm_capacity=spec.wdm_capacity,
+        noise_sigma=spec.noise_sigma,
+        latency_s=report.latency.total,
+        energy_j=report.energy.total,
+        speedup_vs_baseline=baseline.latency.total / report.latency.total,
+        energy_ratio_vs_baseline=report.energy.total / baseline.energy.total,
+        popcount_error=popcount_error,
+    )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All records of one sweep, in grid (row-major) order."""
+
+    grid: SweepGrid
+    records: List[SweepRecord] = field(default_factory=list)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready payload: the grid definition plus every record."""
+        return {
+            "grid": asdict(self.grid),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def best(self, metric: str = "speedup_vs_baseline") -> SweepRecord:
+        """Record maximising ``metric`` across the whole grid."""
+        if not self.records:
+            raise ValueError("sweep produced no records")
+        return max(self.records, key=lambda r: getattr(r, metric))
+
+
+def run_sweep(grid: SweepGrid, *, workers: Optional[int] = None) -> SweepResult:
+    """Evaluate every point of ``grid``.
+
+    Parameters
+    ----------
+    grid:
+        The parameter grid to evaluate.
+    workers:
+        ``None``/``0``/``1`` evaluates serially in-process (sharing the
+        memoisation caches with the caller); larger values fan the points
+        out over a :class:`multiprocessing.Pool`.  Results are identical
+        either way — each point is self-contained and seeded.
+    """
+    points = grid.points()
+    if workers is not None and workers > 1:
+        with multiprocessing.Pool(processes=workers) as pool:
+            records = pool.map(evaluate_point, points)
+    else:
+        records = [evaluate_point(point) for point in points]
+    return SweepResult(grid=grid, records=records)
+
+
+def write_sweep_json(path: str, result: SweepResult) -> Dict[str, object]:
+    """Serialise a sweep result to ``path`` and return the payload."""
+    payload = result.to_payload()
+    write_json_report(path, payload)
+    return payload

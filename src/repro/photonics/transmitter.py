@@ -16,7 +16,7 @@ closed form and the tests assert both agree on the defaults.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -7,7 +7,7 @@ import pytest
 from repro.arch.config import tacitmap_epcm_config
 from repro.baselines.baseline_epcm import BaselineEPCMAccelerator
 from repro.baselines.gpu import GPUConfig, GPUModel
-from repro.bnn.networks import build_network, list_networks
+from repro.bnn.networks import build_network
 from repro.bnn.workload import extract_workload
 
 

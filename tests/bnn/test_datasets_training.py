@@ -8,7 +8,6 @@ import pytest
 from repro.bnn.datasets import (
     iterate_minibatches,
     load_dataset,
-    synthetic_cifar10,
     synthetic_mnist,
 )
 from repro.bnn.layers import BatchNorm, BinaryLinear, Linear, SignActivation

@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.bnn.binarize import to_unipolar
 from repro.bnn.xnor_ops import (
     binary_conv2d,
     binary_dot,

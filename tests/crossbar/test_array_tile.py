@@ -12,7 +12,6 @@ from repro.crossbar.array import CrossbarArray
 from repro.crossbar.noise import CrossbarNoiseModel, NoiseConfig
 from repro.crossbar.tile import TIA_POWER_W, CrossbarTile, TileConfig
 from repro.devices.opcm import OPCMConfig
-from repro.devices.pcm import EPCMConfig
 
 
 class TestCrossbarArrayFunctional:

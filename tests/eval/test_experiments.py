@@ -150,3 +150,19 @@ class TestHeadlineNumbers:
             numbers["einsteinbarrier_energy_ratio"]
             < numbers["tacitmap_energy_ratio"]
         )
+
+
+class TestWorkloadMemoisation:
+    def test_memoised_default_matches_fresh_extraction(self, fig7):
+        """Hoisting workload extraction through get_workload must not change
+        any figure series: rerunning Fig. 7 with explicitly fresh (un-cached)
+        extractions yields identical latencies and energies."""
+        fresh_workloads = {
+            name: extract_workload(build_network(name))
+            for name in list_networks()
+        }
+        fresh = run_fig7(workloads=fresh_workloads)
+        assert fresh.networks == fig7.networks
+        for cached_result, fresh_result in zip(fig7.per_network, fresh.per_network):
+            assert cached_result.latency == fresh_result.latency
+            assert cached_result.energy == fresh_result.energy

@@ -1,0 +1,153 @@
+"""Tests for the declarative design-space sweep subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.eval.sweep import (
+    SweepGrid,
+    clear_sweep_caches,
+    evaluate_point,
+    get_accelerator_model,
+    run_sweep,
+    write_sweep_json,
+)
+
+
+@pytest.fixture()
+def small_grid():
+    return SweepGrid(
+        networks=("MLP-S",),
+        designs=("baseline_epcm", "einsteinbarrier"),
+        crossbar_sizes=(128, 256),
+        wdm_capacities=(4, 16),
+        noise_sigmas=(0.0, 0.05),
+        noise_trials=2,
+        noise_vector_length=32,
+        noise_num_outputs=8,
+        seed=42,
+    )
+
+
+class TestSweepGrid:
+    def test_wdm_axis_collapses_for_electronic_designs(self, small_grid):
+        points = small_grid.points()
+        baseline = [p for p in points if p.design == "baseline_epcm"]
+        einstein = [p for p in points if p.design == "einsteinbarrier"]
+        # baseline: 2 sizes x 2 sigmas at K=1; einstein: 2 sizes x 2 K x 2 sigmas
+        assert len(baseline) == 4
+        assert all(p.wdm_capacity == 1 for p in baseline)
+        assert len(einstein) == 8
+        assert {p.wdm_capacity for p in einstein} == {4, 16}
+
+    def test_empty_noise_axis_yields_single_none_sigma(self):
+        grid = SweepGrid(networks=("MLP-S",), designs=("baseline_epcm",),
+                         crossbar_sizes=(256,))
+        points = grid.points()
+        assert len(points) == 1
+        assert points[0].noise_sigma is None
+
+    def test_sequences_are_normalised_to_tuples(self):
+        grid = SweepGrid(networks=["MLP-S"], designs=["baseline_epcm"],
+                         crossbar_sizes=[128], wdm_capacities=[4])
+        assert grid.networks == ("MLP-S",)
+        assert grid.crossbar_sizes == (128,)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"networks": ()},
+        {"designs": ()},
+        {"crossbar_sizes": ()},
+        {"wdm_capacities": ()},
+        {"designs": ("not_a_design",)},
+        {"crossbar_sizes": (1,)},
+        {"wdm_capacities": (0,)},
+        {"noise_sigmas": (-0.1,)},
+        {"noise_sigmas": (1.5,)},
+        {"noise_trials": 0},
+    ])
+    def test_invalid_grids_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepGrid(**kwargs)
+
+    def test_points_are_seeded_distinctly(self, small_grid):
+        seeds = [p.seed for p in small_grid.points()]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestRunSweep:
+    def test_deterministic_across_runs_and_workers(self, small_grid):
+        serial = run_sweep(small_grid)
+        again = run_sweep(small_grid)
+        parallel = run_sweep(small_grid, workers=2)
+        assert serial.records == again.records
+        assert serial.records == parallel.records
+
+    def test_caches_do_not_change_results(self, small_grid):
+        clear_sweep_caches()
+        cold = run_sweep(small_grid)
+        warm = run_sweep(small_grid)
+        assert cold.records == warm.records
+
+    def test_einsteinbarrier_wins_and_baseline_is_unity(self, small_grid):
+        result = run_sweep(small_grid)
+        for record in result.records:
+            if record.design == "baseline_epcm":
+                assert record.speedup_vs_baseline == pytest.approx(1.0)
+                assert record.energy_ratio_vs_baseline == pytest.approx(1.0)
+        best = result.best()
+        assert best.design == "einsteinbarrier"
+        assert best.speedup_vs_baseline > 1.0
+
+    def test_noise_axis_populates_popcount_error(self, small_grid):
+        result = run_sweep(small_grid)
+        assert all(r.popcount_error is not None for r in result.records)
+        # the swept sigma must actually reach the functional simulation:
+        # heavy read noise produces strictly more errors than the ideal point
+        for design in small_grid.designs:
+            quiet = sum(r.popcount_error for r in result.records
+                        if r.design == design and r.noise_sigma == 0.0)
+            noisy = sum(r.popcount_error for r in result.records
+                        if r.design == design and r.noise_sigma == 0.05)
+            assert noisy > quiet, design
+
+    def test_evaluate_point_matches_run_sweep(self, small_grid):
+        point = small_grid.points()[0]
+        record = evaluate_point(point)
+        assert record == run_sweep(small_grid).records[0]
+
+
+class TestArtifacts:
+    def test_json_roundtrip_is_byte_identical(self, small_grid, tmp_path):
+        result = run_sweep(small_grid)
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        payload = write_sweep_json(str(first), result)
+        write_sweep_json(str(second), run_sweep(small_grid, workers=2))
+        assert first.read_bytes() == second.read_bytes()
+        loaded = json.loads(first.read_text())
+        assert loaded == json.loads(json.dumps(payload))
+        assert len(loaded["records"]) == len(result.records)
+        assert loaded["grid"]["networks"] == ["MLP-S"]
+
+
+class TestModelCache:
+    def test_models_are_shared(self):
+        clear_sweep_caches()
+        first = get_accelerator_model("einsteinbarrier", crossbar_size=256,
+                                      wdm_capacity=16)
+        second = get_accelerator_model("einsteinbarrier", crossbar_size=256,
+                                       wdm_capacity=16)
+        assert first is second
+
+    def test_wdm_ignored_for_electronic_designs(self):
+        clear_sweep_caches()
+        first = get_accelerator_model("tacitmap_epcm", wdm_capacity=16)
+        second = get_accelerator_model("tacitmap_epcm", wdm_capacity=4)
+        assert first is second
+        assert first.config.wdm_capacity == 1
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            get_accelerator_model("gpu")

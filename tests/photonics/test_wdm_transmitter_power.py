@@ -11,9 +11,7 @@ from repro.photonics.components import Laser
 from repro.photonics.link import OpticalLink, evaluate_link_budget, max_rows_for_closure
 from repro.photonics.power import (
     DEFAULT_LASER_POWER_W,
-    MODULATOR_POWER_W,
     TIA_POWER_W,
-    TUNING_BLOCK_POWER_W,
     crossbar_receiver_power,
     total_optical_overhead_power,
     transmitter_power,
