@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""CLI perf regression gate: compare smoke artifacts against thresholds.
+
+Run after the smoke benchmarks (CI does this in the benchmark job)::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py
+
+Exits non-zero when any committed threshold in
+``benchmarks/perf_thresholds.json`` is violated or its metric/artifact is
+missing, printing one line per check.  See :mod:`repro.eval.perf_gate` for
+the comparison semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.eval.perf_gate import check_artifacts, load_thresholds
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_THRESHOLDS = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "perf_thresholds.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--thresholds", default=DEFAULT_THRESHOLDS,
+        help="JSON file mapping artifact names to {metric path: minimum}",
+    )
+    parser.add_argument(
+        "--root", default=REPO_ROOT,
+        help="directory containing the benchmark artifacts",
+    )
+    args = parser.parse_args(argv)
+
+    spec = load_thresholds(args.thresholds)
+    checks = check_artifacts(args.root, spec)
+    for check in checks:
+        print(check.describe())
+    failures = [check for check in checks if not check.passed]
+    if failures:
+        print(f"\nperf gate FAILED: {len(failures)} of {len(checks)} checks")
+        return 1
+    print(f"\nperf gate passed: {len(checks)} checks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Batched packed inference: throughput and accuracy-under-noise demo.
+
+Runs the same CNN batch through the dense layer-by-layer forward pass and
+through the batched packed :class:`repro.bnn.model.InferenceEngine` (bit
+exactness checked), then sweeps an accuracy-vs-read-noise curve through the
+packed engine — the functional complement to the analytical design-space
+sweeps of ``examples/sweep_demo.py``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/batched_inference_demo.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bnn.model import InferenceEngine
+from repro.bnn.networks import build_network
+from repro.eval.reporting import format_table
+from repro.eval.sweep import AccuracySweepGrid, run_accuracy_sweep
+from repro.utils.rng import make_rng
+
+
+def throughput_comparison() -> None:
+    print("=== dense vs batched packed inference ===")
+    rows = []
+    for name, batch in (("MLP-L", 128), ("CNN-M", 32)):
+        model = build_network(name)
+        model.eval()
+        rng = make_rng(0xD1CE)
+        images = rng.uniform(-1.0, 1.0, size=(batch, *model.input_shape))
+        engine = InferenceEngine(model)
+        model.forward(images[:2])
+        engine.forward_batch(images[:2], batch_size=2)
+
+        start = time.perf_counter()
+        dense_logits = model.forward(images)
+        dense_s = time.perf_counter() - start
+        start = time.perf_counter()
+        packed_logits = engine.forward_batch(images, batch_size=batch)
+        packed_s = time.perf_counter() - start
+        assert np.array_equal(dense_logits, packed_logits), "paths diverged!"
+        rows.append([
+            name, batch, batch / dense_s, batch / packed_s,
+            dense_s / packed_s, "yes",
+        ])
+    print(format_table(
+        ["network", "batch", "dense img/s", "packed img/s", "speedup",
+         "bit-exact"],
+        rows,
+    ))
+
+
+def accuracy_under_noise() -> None:
+    print("\n=== accuracy vs crossbar read noise (packed engine) ===")
+    grid = AccuracySweepGrid(
+        networks=("MLP-S",),
+        technologies=("epcm",),
+        read_noise_sigmas=(0.0, 0.002, 0.005, 0.01, 0.02),
+        train_epochs=1,
+        num_images=128,
+        batch_size=64,
+    )
+    result = run_accuracy_sweep(grid)
+    rows = [
+        [record.read_noise_sigma, record.mean_flip_rate, record.accuracy]
+        for record in result.records
+    ]
+    print(format_table(["read noise sigma", "mean bit-flip rate", "accuracy"],
+                       rows))
+    print(
+        "\nBinary popcounts survive small read noise untouched (the paper's\n"
+        "binary-PCM robustness argument); once column noise crosses the\n"
+        "half-count spacing the flips saturate and accuracy falls to chance."
+    )
+
+
+if __name__ == "__main__":
+    throughput_comparison()
+    accuracy_under_noise()

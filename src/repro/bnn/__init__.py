@@ -31,7 +31,7 @@ from repro.bnn.layers import (
     MaxPool2d,
     SignActivation,
 )
-from repro.bnn.model import BNNModel
+from repro.bnn.model import BNNModel, InferenceEngine, fold_batchnorm_sign
 from repro.bnn.networks import build_network, list_networks
 from repro.bnn.workload import (
     LayerSpec,
@@ -40,14 +40,24 @@ from repro.bnn.workload import (
     get_workload,
 )
 from repro.bnn.xnor_ops import (
+    PackedTensor,
+    PackedWeights,
+    SignSpec,
     binary_conv2d,
     binary_conv2d_reference,
     binary_dot,
     binary_matmul,
     binary_matmul_packed,
     binary_matmul_reference,
+    choose_matmul_kernel,
+    fused_conv2d_sign,
+    fused_matmul_sign,
     im2col,
     pack_bipolar,
+    pack_conv_weights,
+    pack_linear_weights,
+    packed_flatten,
+    packed_maxpool2d,
     popcount,
     xnor,
     xnor_popcount,
@@ -68,6 +78,18 @@ __all__ = [
     "MaxPool2d",
     "Flatten",
     "BNNModel",
+    "InferenceEngine",
+    "fold_batchnorm_sign",
+    "PackedTensor",
+    "PackedWeights",
+    "SignSpec",
+    "choose_matmul_kernel",
+    "fused_matmul_sign",
+    "fused_conv2d_sign",
+    "pack_linear_weights",
+    "pack_conv_weights",
+    "packed_maxpool2d",
+    "packed_flatten",
     "build_network",
     "list_networks",
     "LayerSpec",

@@ -21,7 +21,20 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.bnn.binarize import binarize_sign, clip_latent, ste_backward
-from repro.bnn.xnor_ops import binary_conv2d, binary_matmul, im2col
+from repro.bnn.xnor_ops import (
+    PackedTensor,
+    PackedWeights,
+    SignSpec,
+    binary_conv2d,
+    binary_matmul,
+    fused_conv2d_sign,
+    fused_matmul_sign,
+    im2col,
+    pack_conv_weights,
+    pack_linear_weights,
+    packed_flatten,
+    packed_maxpool2d,
+)
 from repro.utils.rng import RngLike, make_rng
 
 
@@ -74,6 +87,59 @@ def _kaiming_init(shape: Tuple[int, ...], fan_in: int,
     return rng.normal(0.0, scale, size=shape)
 
 
+class _BinaryWeightCache:
+    """Mixin caching the binarised and bit-packed weights of a binary layer.
+
+    The latent weights only change through optimiser steps, yet the seed
+    implementation re-ran ``binarize_sign`` on every forward call — even in
+    eval mode, where the weights are frozen.  The mixin memoises both the
+    bipolar weights and the :class:`~repro.bnn.xnor_ops.PackedWeights`
+    operands of the fused kernels, and invalidates them wherever the
+    training loop can mutate the latents: on :meth:`train`, on every
+    training-mode forward (the optimiser updates ``params['weight']`` in
+    place between forwards), and on :meth:`clip_latent_weights`.  Code that
+    mutates ``params['weight']`` outside the training protocol must call
+    :meth:`invalidate_weight_cache` explicitly.
+    """
+
+    def _init_weight_cache(self) -> None:
+        self._weight_cache: Dict[str, object] = {}
+
+    def invalidate_weight_cache(self) -> None:
+        """Drop the cached binary/packed weights (after a weight mutation)."""
+        self._weight_cache.clear()
+
+    def _pack_weight_operands(self) -> PackedWeights:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def binary_weight(self) -> np.ndarray:
+        """Bipolar {-1,+1} weights actually used at inference (memoised)."""
+        cached = self._weight_cache.get("binary")
+        if cached is None:
+            cached = binarize_sign(self.params["weight"])
+            self._weight_cache["binary"] = cached
+        return cached
+
+    @property
+    def packed_weights(self) -> PackedWeights:
+        """Pre-packed fused-kernel operands for the binary weights (memoised)."""
+        cached = self._weight_cache.get("packed")
+        if cached is None:
+            cached = self._pack_weight_operands()
+            self._weight_cache["packed"] = cached
+        return cached
+
+    def train(self) -> None:
+        super().train()
+        self.invalidate_weight_cache()
+
+    def clip_latent_weights(self) -> None:
+        """Clip latent weights to [-1, 1] after an optimiser step."""
+        self.params["weight"] = clip_latent(self.params["weight"])
+        self.invalidate_weight_cache()
+
+
 class Linear(Layer):
     """Full-precision fully connected layer ``y = x @ W.T + b``."""
 
@@ -123,12 +189,14 @@ class Linear(Layer):
         return f"Linear({self.in_features}, {self.out_features})"
 
 
-class BinaryLinear(Layer):
+class BinaryLinear(_BinaryWeightCache, Layer):
     """Fully connected layer with binary weights (and binary inputs).
 
     At inference the latent weights are binarised with ``sign`` and the output
     is computed with :func:`repro.bnn.xnor_ops.binary_matmul`, i.e. through
     exactly the XNOR+Popcount path that the crossbar mappings implement.
+    The binarised/packed weights are memoised (see :class:`_BinaryWeightCache`)
+    and :meth:`forward_packed` runs the layer on bit-packed activations.
     """
 
     is_binary = True
@@ -144,12 +212,11 @@ class BinaryLinear(Layer):
         self.params["weight"] = _kaiming_init(
             (out_features, in_features), in_features, generator
         )
+        self._init_weight_cache()
         self._cache_input: Optional[np.ndarray] = None
 
-    @property
-    def binary_weight(self) -> np.ndarray:
-        """Bipolar {-1,+1} weights actually used at inference."""
-        return binarize_sign(self.params["weight"])
+    def _pack_weight_operands(self) -> PackedWeights:
+        return pack_linear_weights(self.binary_weight)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)
@@ -158,12 +225,38 @@ class BinaryLinear(Layer):
                 f"expected input of shape (batch, {self.in_features}), got {x.shape}"
             )
         x_binary = binarize_sign(x)
-        weight_binary = self.binary_weight
         if self.training:
+            # the optimiser may have stepped the latents since the last call
+            self.invalidate_weight_cache()
             self._cache_input = np.asarray(x, dtype=np.float64)
         else:
             self._cache_input = None
+        weight_binary = self.binary_weight
         return binary_matmul(x_binary, weight_binary).astype(np.float64)
+
+    def forward_packed(self, x: PackedTensor,
+                       sign: Optional[SignSpec] = None, *,
+                       kernel: str = "auto", flip_rate: float = 0.0,
+                       rng: Optional[np.random.Generator] = None):
+        """Packed-path forward on bit-packed activations.
+
+        With ``sign`` the following batch-norm + sign pair is folded in and
+        a :class:`~repro.bnn.xnor_ops.PackedTensor` comes back; without it
+        the dense float64 pre-activations are returned (identical to
+        :meth:`forward` on the unpacked input).
+        """
+        if len(x.shape) != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected packed input of shape (batch, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        out = fused_matmul_sign(
+            x, self.packed_weights, sign, kernel=kernel,
+            flip_rate=flip_rate, rng=rng,
+        )
+        if sign is None:
+            return out.astype(np.float64)
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cache_input is None:
@@ -176,10 +269,6 @@ class BinaryLinear(Layer):
         # Gradient w.r.t. binary inputs, then STE through the input sign().
         grad_input_binary = grad @ binarize_sign(self.params["weight"]).astype(np.float64)
         return ste_backward(grad_input_binary, x_latent)
-
-    def clip_latent_weights(self) -> None:
-        """Clip latent weights to [-1, 1] after an optimiser step."""
-        self.params["weight"] = clip_latent(self.params["weight"])
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return (self.out_features,)
@@ -266,12 +355,14 @@ class Conv2d(Layer):
         )
 
 
-class BinaryConv2d(Layer):
+class BinaryConv2d(_BinaryWeightCache, Layer):
     """2-D convolution with binary weights and binary activations.
 
     The forward pass flattens each receptive field (im2col) and evaluates the
     XNOR+Popcount identity, mirroring how TacitMap flattens kernels into
-    crossbar columns (Fig. 5, "Flattened Kernels").
+    crossbar columns (Fig. 5, "Flattened Kernels").  The binarised/packed
+    kernels are memoised (see :class:`_BinaryWeightCache`) and
+    :meth:`forward_packed` runs the layer on channel-packed activations.
     """
 
     is_binary = True
@@ -291,12 +382,11 @@ class BinaryConv2d(Layer):
         self.params["weight"] = _kaiming_init(
             (out_channels, in_channels, kernel_size, kernel_size), fan_in, generator
         )
+        self._init_weight_cache()
         self._cache: Optional[Tuple[np.ndarray, np.ndarray, int, int, Tuple[int, ...]]] = None
 
-    @property
-    def binary_weight(self) -> np.ndarray:
-        """Bipolar {-1,+1} kernels actually used at inference."""
-        return binarize_sign(self.params["weight"])
+    def _pack_weight_operands(self) -> PackedWeights:
+        return pack_conv_weights(self.binary_weight)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)
@@ -305,6 +395,9 @@ class BinaryConv2d(Layer):
                 f"expected input (batch, {self.in_channels}, H, W), got {x.shape}"
             )
         x_binary = binarize_sign(x)
+        if self.training:
+            # the optimiser may have stepped the latents since the last call
+            self.invalidate_weight_cache()
         out = binary_conv2d(
             x_binary, self.binary_weight, stride=self.stride, padding=self.padding
         ).astype(np.float64)
@@ -316,6 +409,31 @@ class BinaryConv2d(Layer):
             self._cache = (patches_latent, x_binary, out_h, out_w, x.shape)
         else:
             self._cache = None
+        return out
+
+    def forward_packed(self, x: PackedTensor,
+                       sign: Optional[SignSpec] = None, *,
+                       kernel: str = "auto", flip_rate: float = 0.0,
+                       rng: Optional[np.random.Generator] = None):
+        """Packed-path forward on channel-packed activations.
+
+        With ``sign`` the following batch-norm + sign pair is folded in and
+        a channel-packed :class:`~repro.bnn.xnor_ops.PackedTensor` comes
+        back; without it the dense float64 pre-activations are returned
+        (identical to :meth:`forward` on the unpacked input).
+        """
+        if len(x.shape) != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected packed input (batch, {self.in_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        out = fused_conv2d_sign(
+            x, self.packed_weights, self.kernel_size, sign,
+            stride=self.stride, padding=self.padding, kernel=kernel,
+            flip_rate=flip_rate, rng=rng,
+        )
+        if sign is None:
+            return out.astype(np.float64)
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -339,10 +457,6 @@ class BinaryConv2d(Layer):
             grad_patches, input_shape, self.kernel_size, self.stride,
             self.padding, out_h, out_w,
         )
-
-    def clip_latent_weights(self) -> None:
-        """Clip latent weights to [-1, 1] after an optimiser step."""
-        self.params["weight"] = clip_latent(self.params["weight"])
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         _, height, width = input_shape
@@ -495,6 +609,10 @@ class SignActivation(Layer):
             raise RuntimeError("backward called before a training-mode forward")
         return ste_backward(grad, self._cache_input)
 
+    def forward_packed(self, x: PackedTensor) -> PackedTensor:
+        """Sign of an already-binarised packed activation is the identity."""
+        return x
+
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return input_shape
 
@@ -577,6 +695,10 @@ class MaxPool2d(Layer):
         )
         return grad_input
 
+    def forward_packed(self, x: PackedTensor) -> PackedTensor:
+        """Max pooling on packed signs: bytewise OR over each window."""
+        return packed_maxpool2d(x, self.kernel_size, self.stride)
+
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         channels, height, width = input_shape
         out_h = (height - self.kernel_size) // self.stride + 1
@@ -605,6 +727,10 @@ class Flatten(Layer):
         if self._input_shape is None:
             raise RuntimeError("backward called before forward")
         return grad.reshape(self._input_shape)
+
+    def forward_packed(self, x: PackedTensor) -> PackedTensor:
+        """Repack a channel-packed activation into the linear-layer layout."""
+        return packed_flatten(x)
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         size = 1

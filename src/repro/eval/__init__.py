@@ -31,18 +31,25 @@ from repro.eval.reporting import (
     format_table,
     write_json_report,
 )
+from repro.eval.perf_gate import check_artifacts, load_thresholds
 from repro.eval.robustness import (
     RobustnessPoint,
     level_error_rate,
     noise_sweep,
     popcount_error_rate,
+    popcount_flip_rate_fn,
 )
 from repro.eval.sweep import (
+    AccuracyRecord,
+    AccuracySweepGrid,
+    AccuracySweepResult,
     SweepGrid,
     SweepRecord,
     SweepResult,
     get_accelerator_model,
+    run_accuracy_sweep,
     run_sweep,
+    write_accuracy_sweep_json,
     write_sweep_json,
 )
 
@@ -50,9 +57,17 @@ __all__ = [
     "SweepGrid",
     "SweepRecord",
     "SweepResult",
+    "AccuracySweepGrid",
+    "AccuracySweepResult",
+    "AccuracyRecord",
     "get_accelerator_model",
     "run_sweep",
+    "run_accuracy_sweep",
     "write_sweep_json",
+    "write_accuracy_sweep_json",
+    "popcount_flip_rate_fn",
+    "check_artifacts",
+    "load_thresholds",
     "format_sweep_table",
     "write_json_report",
     "RobustnessPoint",

@@ -1,0 +1,121 @@
+"""CI performance regression gate over the benchmark JSON artifacts.
+
+The smoke benchmarks record their measurements into ``BENCH_*.smoke.json``
+artifacts; this module compares selected metrics inside those payloads
+against committed minimum thresholds (``benchmarks/perf_thresholds.json``)
+so a perf regression fails the CI benchmark job instead of silently
+shifting the artifact trend.
+
+The thresholds file maps artifact file names to ``{dotted.metric.path:
+minimum}`` entries; dotted paths are resolved into the artifact's nested
+JSON payload.  :func:`check_artifacts` returns one :class:`GateCheck` per
+threshold (passing and failing alike) — the gate passes when every check's
+``passed`` is true.  The CLI wrapper lives in
+``benchmarks/check_perf_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """Outcome of one threshold comparison (for reporting)."""
+
+    artifact: str
+    metric: str
+    minimum: float
+    actual: float | None
+
+    @property
+    def passed(self) -> bool:
+        """Whether the metric exists and clears its minimum."""
+        return self.actual is not None and self.actual >= self.minimum
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this check."""
+        status = "ok  " if self.passed else "FAIL"
+        actual = "missing" if self.actual is None else f"{self.actual:.3f}"
+        return (
+            f"[{status}] {self.artifact}: {self.metric} = {actual} "
+            f"(minimum {self.minimum:.3f})"
+        )
+
+
+def resolve_metric(payload: Mapping[str, object], dotted_path: str):
+    """Look up a dotted path (``a.b.c``) inside a nested JSON payload.
+
+    Returns ``None`` when any segment is missing or the leaf is not a
+    number — the gate reports that as a failure rather than crashing, so a
+    renamed metric cannot silently disable its threshold.
+    """
+    node: object = payload
+    for segment in dotted_path.split("."):
+        if not isinstance(node, Mapping) or segment not in node:
+            return None
+        node = node[segment]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def check_payload(artifact: str, payload: Mapping[str, object],
+                  thresholds: Mapping[str, float]) -> List[GateCheck]:
+    """Compare one artifact payload against its metric thresholds."""
+    checks = []
+    for metric, minimum in sorted(thresholds.items()):
+        checks.append(GateCheck(
+            artifact=artifact,
+            metric=metric,
+            minimum=float(minimum),
+            actual=resolve_metric(payload, metric),
+        ))
+    return checks
+
+
+def check_artifacts(root: str,
+                    spec: Mapping[str, Mapping[str, float]]) -> List[GateCheck]:
+    """Run every threshold of ``spec`` against the artifacts under ``root``.
+
+    ``spec`` maps artifact file names (relative to ``root``) to their
+    metric thresholds.  A missing or unreadable artifact fails all of its
+    checks (``actual = None``).
+    """
+    checks: List[GateCheck] = []
+    for artifact, thresholds in sorted(spec.items()):
+        path = os.path.join(root, artifact)
+        payload: Dict[str, object] = {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                payload = loaded
+        except (OSError, ValueError, UnicodeDecodeError):
+            # missing/truncated/corrupt artifact: every check fails cleanly
+            # (actual=None) instead of crashing the gate
+            pass
+        checks.extend(check_payload(artifact, payload, thresholds))
+    return checks
+
+
+def load_thresholds(path: str) -> Dict[str, Dict[str, float]]:
+    """Load and validate a thresholds file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    if not isinstance(spec, dict):
+        raise ValueError("thresholds file must map artifact names to metrics")
+    for artifact, thresholds in spec.items():
+        if not isinstance(thresholds, dict) or not thresholds:
+            raise ValueError(
+                f"thresholds for {artifact!r} must be a non-empty mapping"
+            )
+        for metric, minimum in thresholds.items():
+            if isinstance(minimum, bool) or not isinstance(minimum, (int, float)):
+                raise ValueError(
+                    f"minimum for {artifact!r}:{metric!r} must be a number"
+                )
+    return spec

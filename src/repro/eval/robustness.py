@@ -24,7 +24,7 @@ reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from repro.crossbar.array import CrossbarArray
 from repro.crossbar.noise import NoiseConfig
 from repro.devices.opcm import OPCMConfig
 from repro.devices.pcm import EPCMConfig
-from repro.utils.rng import RngLike, make_rng
+from repro.utils.rng import RngLike, derive_seed, make_rng
 
 
 def level_error_rate(num_levels: int, *, read_noise_sigma: float,
@@ -67,6 +67,8 @@ def level_error_rate(num_levels: int, *, read_noise_sigma: float,
 
 def popcount_error_rate(*, vector_length: int = 128, num_outputs: int = 32,
                         thermal_sigma: float = 0.0,
+                        shot_factor: float = 0.0,
+                        ir_drop_alpha: float = 0.0,
                         read_noise_sigma: float = 0.005,
                         programming_sigma: float = 0.02,
                         technology: str = "epcm",
@@ -75,8 +77,10 @@ def popcount_error_rate(*, vector_length: int = 128, num_outputs: int = 32,
 
     Programs ``num_outputs`` random weight vectors in the TacitMap layout,
     applies ``trials`` random activation vectors through the analog crossbar
-    model with the given noise knobs, and compares the recovered counts to
-    the exact ``popcount(XNOR(x, w))``.
+    model with the given noise knobs (device read noise plus the thermal,
+    shot and IR-drop terms of :class:`~repro.crossbar.noise.NoiseConfig`),
+    and compares the recovered counts to the exact
+    ``popcount(XNOR(x, w))``.
     """
     if vector_length < 1 or num_outputs < 1 or trials < 1:
         raise ValueError("vector_length, num_outputs and trials must be >= 1")
@@ -91,7 +95,9 @@ def popcount_error_rate(*, vector_length: int = 128, num_outputs: int = 32,
     array = CrossbarArray(
         2 * vector_length, num_outputs, technology=technology,
         device_config=device,
-        noise=NoiseConfig(thermal_sigma=thermal_sigma),
+        noise=NoiseConfig(thermal_sigma=thermal_sigma,
+                          shot_factor=shot_factor,
+                          ir_drop_alpha=ir_drop_alpha),
         rng=generator,
     )
     array.program(layout)
@@ -104,6 +110,49 @@ def popcount_error_rate(*, vector_length: int = 128, num_outputs: int = 32,
         wrong += int(np.sum(counts != expected))
         total += num_outputs
     return wrong / total
+
+
+def popcount_flip_rate_fn(*, read_noise_sigma: float,
+                          thermal_sigma: float = 0.0,
+                          shot_factor: float = 0.0,
+                          ir_drop_alpha: float = 0.0,
+                          technology: str = "epcm",
+                          num_outputs: int = 16, trials: int = 4,
+                          seed: int = 0) -> Callable[[int], float]:
+    """Per-layer bit-flip rate callable for the packed inference engine.
+
+    The returned function maps a binary layer's XNOR vector length to a
+    bit-flip probability derived from the functional popcount error rate of
+    a crossbar column of that length under the given noise knobs — the
+    parameterisation :class:`repro.bnn.model.InferenceEngine` accepts as
+    ``flip_rate``.  A miscount flips the downstream sign bit only when it
+    crosses the binarisation threshold, which holds for roughly half of the
+    (symmetrically distributed) miscounts, so the flip probability is half
+    the error rate; at a fully garbled read (error rate 1) the bit becomes
+    a fair coin rather than a deterministic inversion.
+
+    Rates are memoised per vector length and seeded per length via
+    :func:`repro.utils.rng.derive_seed`, so the same configuration always
+    produces the same rates regardless of which layer asks first.
+    """
+    cache: Dict[int, float] = {}
+
+    def rate_for_length(vector_length: int) -> float:
+        if vector_length not in cache:
+            cache[vector_length] = 0.5 * popcount_error_rate(
+                vector_length=vector_length,
+                num_outputs=num_outputs,
+                read_noise_sigma=read_noise_sigma,
+                thermal_sigma=thermal_sigma,
+                shot_factor=shot_factor,
+                ir_drop_alpha=ir_drop_alpha,
+                technology=technology,
+                trials=trials,
+                rng=derive_seed(seed, f"flip/{vector_length}"),
+            )
+        return cache[vector_length]
+
+    return rate_for_length
 
 
 @dataclass(frozen=True)

@@ -17,10 +17,21 @@ This module provides that as a small subsystem:
 * :class:`SweepRecord` / :class:`SweepResult` — structured results with a
   JSON-ready payload (:meth:`SweepResult.to_payload`,
   :func:`write_sweep_json`) consumed by the benchmarks and CI artifacts.
+* :class:`AccuracySweepGrid` / :func:`run_accuracy_sweep` — the *functional*
+  scenario: end-to-end accuracy of (optionally quickly trained) evaluation
+  networks under per-popcount read-noise bit flips, produced through the
+  batched packed :class:`~repro.bnn.model.InferenceEngine` so whole
+  accuracy-vs-noise curves sweep in seconds.
 
-Determinism: every stochastic quantity (the optional popcount-error metric)
-is seeded per grid point with :func:`repro.utils.rng.derive_seed`, so results
-are identical run-to-run and independent of worker count or execution order.
+Beyond read noise, the analytical grid exposes the remaining noise axes of
+:class:`repro.crossbar.noise.NoiseConfig` (thermal, shot, IR drop) and the
+ADC-sharing factor ``columns_per_adc`` as first-class axes; axes that do not
+apply to a design are collapsed automatically, exactly like the WDM axis.
+
+Determinism: every stochastic quantity (the optional popcount-error metric,
+the accuracy scenario's training/noise streams) is seeded per grid point
+with :func:`repro.utils.rng.derive_seed`, so results are identical
+run-to-run and independent of worker count or execution order.
 
 Example
 -------
@@ -37,14 +48,20 @@ import multiprocessing
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.arch.accelerator import AcceleratorModel, InferenceReport
 from repro.arch.config import (
     baseline_epcm_config,
     einsteinbarrier_config,
     tacitmap_epcm_config,
 )
+from repro.bnn.datasets import load_dataset
+from repro.bnn.model import BNNModel, InferenceEngine
+from repro.bnn.networks import build_network, dataset_for_network
+from repro.bnn.training import train
 from repro.bnn.workload import get_workload
-from repro.eval.robustness import popcount_error_rate
+from repro.eval.robustness import popcount_error_rate, popcount_flip_rate_fn
 from repro.eval.reporting import write_json_report
 from repro.utils.rng import derive_seed
 
@@ -58,51 +75,71 @@ DESIGN_FACTORIES = {
 #: designs whose WDM capacity axis is meaningful (photonic crossbars only)
 WDM_DESIGNS = frozenset({"einsteinbarrier"})
 
-_MODEL_CACHE: Dict[Tuple[str, int, int], AcceleratorModel] = {}
-_REPORT_CACHE: Dict[Tuple[str, int, int, str], InferenceReport] = {}
+#: designs whose column ADCs can be shared (ADC read-out; the baseline's
+#: per-column PCSAs have no sharing knob, so the axis collapses for it)
+ADC_SHARING_DESIGNS = frozenset({"tacitmap_epcm", "einsteinbarrier"})
+
+_MODEL_CACHE: Dict[Tuple[str, int, int, Optional[int]], AcceleratorModel] = {}
+_REPORT_CACHE: Dict[Tuple[str, int, int, Optional[int], str], InferenceReport] = {}
+_TRAINED_CACHE: Dict[Tuple[str, int, int], BNNModel] = {}
 
 
 def clear_sweep_caches() -> None:
-    """Empty the per-process model and inference-report caches."""
+    """Empty the per-process model, inference-report and trained-net caches."""
     _MODEL_CACHE.clear()
     _REPORT_CACHE.clear()
+    _TRAINED_CACHE.clear()
+
+
+def _effective_columns_per_adc(design: str,
+                               columns_per_adc: Optional[int]) -> Optional[int]:
+    return columns_per_adc if design in ADC_SHARING_DESIGNS else None
 
 
 def get_accelerator_model(design: str, *, crossbar_size: int = 256,
-                          wdm_capacity: int = 1) -> AcceleratorModel:
+                          wdm_capacity: int = 1,
+                          columns_per_adc: Optional[int] = None
+                          ) -> AcceleratorModel:
     """Memoised :class:`AcceleratorModel` for one design configuration.
 
     Model construction instantiates the latency/energy/hierarchy models;
     sharing instances across grid points (and with the figure-regeneration
     experiments) is safe because the models are stateless after ``__init__``.
+    ``columns_per_adc = None`` keeps each design's factory default; explicit
+    values apply only to the ADC-readout designs (the baseline's PCSAs have
+    no sharing knob, mirroring how the WDM axis collapses for ePCM).
     """
     if design not in DESIGN_FACTORIES:
         raise ValueError(
             f"unknown design {design!r}; choose from {sorted(DESIGN_FACTORIES)}"
         )
     effective_wdm = wdm_capacity if design in WDM_DESIGNS else 1
-    key = (design, crossbar_size, effective_wdm)
+    effective_adc = _effective_columns_per_adc(design, columns_per_adc)
+    key = (design, crossbar_size, effective_wdm, effective_adc)
     model = _MODEL_CACHE.get(key)
     if model is None:
         factory = DESIGN_FACTORIES[design]
+        kwargs: Dict[str, int] = {"crossbar_size": crossbar_size}
         if design in WDM_DESIGNS:
-            config = factory(crossbar_size=crossbar_size,
-                             wdm_capacity=effective_wdm)
-        else:
-            config = factory(crossbar_size=crossbar_size)
-        model = AcceleratorModel(config)
+            kwargs["wdm_capacity"] = effective_wdm
+        if effective_adc is not None:
+            kwargs["columns_per_adc"] = effective_adc
+        model = AcceleratorModel(factory(**kwargs))
         _MODEL_CACHE[key] = model
     return model
 
 
 def _cached_report(design: str, crossbar_size: int, wdm_capacity: int,
+                   columns_per_adc: Optional[int],
                    network: str) -> InferenceReport:
     effective_wdm = wdm_capacity if design in WDM_DESIGNS else 1
-    key = (design, crossbar_size, effective_wdm, network)
+    effective_adc = _effective_columns_per_adc(design, columns_per_adc)
+    key = (design, crossbar_size, effective_wdm, effective_adc, network)
     report = _REPORT_CACHE.get(key)
     if report is None:
         model = get_accelerator_model(
-            design, crossbar_size=crossbar_size, wdm_capacity=effective_wdm
+            design, crossbar_size=crossbar_size, wdm_capacity=effective_wdm,
+            columns_per_adc=effective_adc,
         )
         report = model.run_inference(get_workload(network))
         _REPORT_CACHE[key] = report
@@ -127,7 +164,20 @@ class SweepGrid:
     noise_sigmas:
         Read-noise levels for the optional popcount-error metric.  Empty
         (the default) skips the functional noise simulation entirely and
-        every record carries ``popcount_error = None``.
+        every record carries ``popcount_error = None`` — unless one of the
+        dense noise axes below is non-ideal, in which case the simulation
+        runs with zero read noise.
+    thermal_sigmas, shot_factors, ir_drop_alphas:
+        The remaining noise axes of
+        :class:`repro.crossbar.noise.NoiseConfig`, applied to the
+        functional popcount-error simulation.  Defaults are the ideal
+        single point, leaving existing grids (and their derived seeds)
+        unchanged.
+    columns_per_adc:
+        ADC-sharing factors to sweep; ``None`` keeps each design's factory
+        default.  Applies only to designs in :data:`ADC_SHARING_DESIGNS`
+        (the baseline's PCSA read-out contributes one point per
+        combination, like the WDM collapse).
     noise_trials, noise_vector_length, noise_num_outputs:
         Size of the functional popcount-error simulation per point.
     seed:
@@ -140,6 +190,10 @@ class SweepGrid:
     crossbar_sizes: Tuple[int, ...] = (256,)
     wdm_capacities: Tuple[int, ...] = (16,)
     noise_sigmas: Tuple[float, ...] = ()
+    thermal_sigmas: Tuple[float, ...] = (0.0,)
+    shot_factors: Tuple[float, ...] = (0.0,)
+    ir_drop_alphas: Tuple[float, ...] = (0.0,)
+    columns_per_adc: Tuple[Optional[int], ...] = (None,)
     noise_trials: int = 4
     noise_vector_length: int = 64
     noise_num_outputs: int = 16
@@ -147,9 +201,12 @@ class SweepGrid:
 
     def __post_init__(self) -> None:
         for name in ("networks", "designs", "crossbar_sizes",
-                     "wdm_capacities", "noise_sigmas"):
+                     "wdm_capacities", "noise_sigmas", "thermal_sigmas",
+                     "shot_factors", "ir_drop_alphas", "columns_per_adc"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
-        for name in ("networks", "designs", "crossbar_sizes", "wdm_capacities"):
+        for name in ("networks", "designs", "crossbar_sizes", "wdm_capacities",
+                     "thermal_sigmas", "shot_factors", "ir_drop_alphas",
+                     "columns_per_adc"):
             if not getattr(self, name):
                 raise ValueError(f"{name} must be non-empty")
         for design in self.designs:
@@ -166,11 +223,29 @@ class SweepGrid:
             # fail fast here rather than deep inside a pool worker: the
             # device configs bound read_noise_sigma to [0, 1]
             raise ValueError("noise sigmas must be within [0, 1]")
+        if any(sigma < 0 for sigma in self.thermal_sigmas):
+            raise ValueError("thermal sigmas must be non-negative")
+        if any(factor < 0 for factor in self.shot_factors):
+            raise ValueError("shot factors must be non-negative")
+        if any(not 0 <= alpha < 1 for alpha in self.ir_drop_alphas):
+            # NoiseConfig bounds ir_drop_alpha to [0, 1)
+            raise ValueError("IR-drop alphas must be within [0, 1)")
+        if any(cols is not None and cols < 1 for cols in self.columns_per_adc):
+            raise ValueError("columns_per_adc values must be None or >= 1")
         if self.noise_trials < 1:
             raise ValueError("noise_trials must be >= 1")
 
     def points(self) -> List["SweepPointSpec"]:
-        """Expand the grid into self-contained, picklable point specs."""
+        """Expand the grid into self-contained, picklable point specs.
+
+        Expansion is row-major over (network, design, crossbar size, WDM
+        capacity, ADC sharing, read noise, thermal, shot, IR drop), with the
+        WDM and ADC axes collapsed for designs they do not apply to.  Point
+        seeds are salted with the axis values; the salt of a point whose new
+        axes sit at their defaults is identical to the pre-extension salt,
+        so adding axes to the grid never reshuffles existing points'
+        derived seeds.
+        """
         sigmas: Tuple[Optional[float], ...] = self.noise_sigmas or (None,)
         specs: List[SweepPointSpec] = []
         for network in self.networks:
@@ -178,24 +253,45 @@ class SweepGrid:
                 capacities = (
                     self.wdm_capacities if design in WDM_DESIGNS else (1,)
                 )
+                adc_sharings = (
+                    self.columns_per_adc
+                    if design in ADC_SHARING_DESIGNS else (None,)
+                )
                 for size in self.crossbar_sizes:
                     for capacity in capacities:
-                        for sigma in sigmas:
-                            salt = (
-                                f"{network}/{design}/{size}/{capacity}/{sigma}"
-                            )
-                            specs.append(SweepPointSpec(
-                                network=network,
-                                design=design,
-                                crossbar_size=size,
-                                wdm_capacity=capacity,
-                                noise_sigma=sigma,
-                                noise_trials=self.noise_trials,
-                                noise_vector_length=self.noise_vector_length,
-                                noise_num_outputs=self.noise_num_outputs,
-                                seed=derive_seed(self.seed, salt),
-                            ))
+                        for cols in adc_sharings:
+                            for sigma in sigmas:
+                                for thermal in self.thermal_sigmas:
+                                    for shot in self.shot_factors:
+                                        for alpha in self.ir_drop_alphas:
+                                            specs.append(self._point(
+                                                network, design, size,
+                                                capacity, cols, sigma,
+                                                thermal, shot, alpha,
+                                            ))
         return specs
+
+    def _point(self, network: str, design: str, size: int, capacity: int,
+               cols: Optional[int], sigma: Optional[float], thermal: float,
+               shot: float, alpha: float) -> "SweepPointSpec":
+        salt = f"{network}/{design}/{size}/{capacity}/{sigma}"
+        if (thermal, shot, alpha, cols) != (0.0, 0.0, 0.0, None):
+            salt += f"/{thermal}/{shot}/{alpha}/{cols}"
+        return SweepPointSpec(
+            network=network,
+            design=design,
+            crossbar_size=size,
+            wdm_capacity=capacity,
+            columns_per_adc=cols,
+            noise_sigma=sigma,
+            thermal_sigma=thermal,
+            shot_factor=shot,
+            ir_drop_alpha=alpha,
+            noise_trials=self.noise_trials,
+            noise_vector_length=self.noise_vector_length,
+            noise_num_outputs=self.noise_num_outputs,
+            seed=derive_seed(self.seed, salt),
+        )
 
 
 @dataclass(frozen=True)
@@ -211,6 +307,18 @@ class SweepPointSpec:
     noise_vector_length: int
     noise_num_outputs: int
     seed: int
+    columns_per_adc: Optional[int] = None
+    thermal_sigma: float = 0.0
+    shot_factor: float = 0.0
+    ir_drop_alpha: float = 0.0
+
+    @property
+    def has_functional_noise(self) -> bool:
+        """Whether the point requires the functional popcount simulation."""
+        return (self.noise_sigma is not None
+                or self.thermal_sigma > 0.0
+                or self.shot_factor > 0.0
+                or self.ir_drop_alpha > 0.0)
 
 
 @dataclass(frozen=True)
@@ -220,8 +328,10 @@ class SweepRecord:
     ``speedup_vs_baseline`` and ``energy_ratio_vs_baseline`` compare against
     Baseline-ePCM at the *same* crossbar size, so the ratios always compare
     equal-capacity arrays.  ``popcount_error`` is the functional TacitMap
-    column read error rate under the point's read noise (``None`` when the
-    grid carries no noise axis).
+    column read error rate under the point's noise knobs (``None`` when the
+    grid carries no active noise axis).  ``columns_per_adc`` is the value
+    actually configured — the design's factory default when the grid left
+    the axis at ``None`` or the design has no sharing knob.
     """
 
     network: str
@@ -234,6 +344,10 @@ class SweepRecord:
     speedup_vs_baseline: float
     energy_ratio_vs_baseline: float
     popcount_error: Optional[float]
+    columns_per_adc: int = 1
+    thermal_sigma: float = 0.0
+    shot_factor: float = 0.0
+    ir_drop_alpha: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready dictionary of this record."""
@@ -243,21 +357,26 @@ class SweepRecord:
 def evaluate_point(spec: SweepPointSpec) -> SweepRecord:
     """Evaluate one grid point (deterministic given the spec)."""
     report = _cached_report(
-        spec.design, spec.crossbar_size, spec.wdm_capacity, spec.network
+        spec.design, spec.crossbar_size, spec.wdm_capacity,
+        spec.columns_per_adc, spec.network
     )
     baseline = _cached_report(
-        "baseline_epcm", spec.crossbar_size, 1, spec.network
+        "baseline_epcm", spec.crossbar_size, 1, None, spec.network
+    )
+    model = get_accelerator_model(
+        spec.design, crossbar_size=spec.crossbar_size,
+        wdm_capacity=spec.wdm_capacity,
+        columns_per_adc=spec.columns_per_adc,
     )
     popcount_error: Optional[float] = None
-    if spec.noise_sigma is not None:
-        model = get_accelerator_model(
-            spec.design, crossbar_size=spec.crossbar_size,
-            wdm_capacity=spec.wdm_capacity,
-        )
+    if spec.has_functional_noise:
         popcount_error = popcount_error_rate(
             vector_length=spec.noise_vector_length,
             num_outputs=spec.noise_num_outputs,
-            read_noise_sigma=spec.noise_sigma,
+            read_noise_sigma=spec.noise_sigma or 0.0,
+            thermal_sigma=spec.thermal_sigma,
+            shot_factor=spec.shot_factor,
+            ir_drop_alpha=spec.ir_drop_alpha,
             technology=model.config.technology,
             trials=spec.noise_trials,
             rng=spec.seed,
@@ -273,6 +392,10 @@ def evaluate_point(spec: SweepPointSpec) -> SweepRecord:
         speedup_vs_baseline=baseline.latency.total / report.latency.total,
         energy_ratio_vs_baseline=report.energy.total / baseline.energy.total,
         popcount_error=popcount_error,
+        columns_per_adc=model.config.tile.columns_per_adc,
+        thermal_sigma=spec.thermal_sigma,
+        shot_factor=spec.shot_factor,
+        ir_drop_alpha=spec.ir_drop_alpha,
     )
 
 
@@ -321,6 +444,240 @@ def run_sweep(grid: SweepGrid, *, workers: Optional[int] = None) -> SweepResult:
 
 def write_sweep_json(path: str, result: SweepResult) -> Dict[str, object]:
     """Serialise a sweep result to ``path`` and return the payload."""
+    payload = result.to_payload()
+    write_json_report(path, payload)
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# Accuracy-vs-noise sweeps through the batched packed inference engine
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class AccuracySweepGrid:
+    """Grid of the functional accuracy-under-read-noise scenario.
+
+    Every point runs whole image batches through the batched packed
+    :class:`~repro.bnn.model.InferenceEngine` with per-popcount bit-flip
+    rates taken from the functional crossbar simulation
+    (:func:`repro.eval.robustness.popcount_flip_rate_fn`), yielding one
+    accuracy measurement per (network, technology, read-noise sigma).
+
+    Attributes
+    ----------
+    networks:
+        Evaluation network names.
+    technologies:
+        PCM technologies whose device noise profile parameterises the flip
+        rates (``"epcm"`` / ``"opcm"``).
+    read_noise_sigmas:
+        Read-noise levels; 0.0 gives the clean reference accuracy.  Column
+        noise accumulates over the whole vector, so the interesting range
+        sits around the device default (0.005) — by 0.02 long columns are
+        already fully garbled and accuracy saturates at chance.
+    train_epochs:
+        Quick-training epochs per network on its synthetic dataset before
+        evaluating (0 evaluates the untrained network — fast, but accuracy
+        hovers at chance).  Training is seeded per network, so every worker
+        reproduces the identical model.
+    num_images:
+        Test images evaluated per point (the synthetic test split size).
+    batch_size:
+        Engine chunk size; part of the determinism contract (flip streams
+        are derived per chunk).
+    flip_trials, flip_num_outputs:
+        Size of the per-layer flip-rate estimation.
+    seed:
+        Base seed; per-point streams derive from it, so results are
+        independent of worker count and evaluation order.
+    """
+
+    networks: Tuple[str, ...] = ("MLP-S",)
+    technologies: Tuple[str, ...] = ("epcm",)
+    read_noise_sigmas: Tuple[float, ...] = (0.0, 0.002, 0.005, 0.01, 0.02)
+    train_epochs: int = 1
+    num_images: int = 128
+    batch_size: int = 64
+    flip_trials: int = 4
+    flip_num_outputs: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("networks", "technologies", "read_noise_sigmas"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+            if not getattr(self, name):
+                raise ValueError(f"{name} must be non-empty")
+        for technology in self.technologies:
+            if technology not in ("epcm", "opcm"):
+                raise ValueError(
+                    f"unknown technology {technology!r}; choose 'epcm' or 'opcm'"
+                )
+        if any(not 0 <= sigma <= 1 for sigma in self.read_noise_sigmas):
+            raise ValueError("read-noise sigmas must be within [0, 1]")
+        if self.train_epochs < 0:
+            raise ValueError("train_epochs must be non-negative")
+        if self.num_images < 1 or self.batch_size < 1:
+            raise ValueError("num_images and batch_size must be >= 1")
+        if self.flip_trials < 1 or self.flip_num_outputs < 1:
+            raise ValueError("flip_trials and flip_num_outputs must be >= 1")
+
+    def points(self) -> List["AccuracyPointSpec"]:
+        """Expand into self-contained, picklable point specs."""
+        specs: List[AccuracyPointSpec] = []
+        for network in self.networks:
+            train_seed = derive_seed(self.seed, f"train/{network}")
+            for technology in self.technologies:
+                for sigma in self.read_noise_sigmas:
+                    salt = f"accuracy/{network}/{technology}/{sigma}"
+                    specs.append(AccuracyPointSpec(
+                        network=network,
+                        technology=technology,
+                        read_noise_sigma=sigma,
+                        train_epochs=self.train_epochs,
+                        train_seed=train_seed,
+                        num_images=self.num_images,
+                        batch_size=self.batch_size,
+                        flip_trials=self.flip_trials,
+                        flip_num_outputs=self.flip_num_outputs,
+                        seed=derive_seed(self.seed, salt),
+                    ))
+        return specs
+
+
+@dataclass(frozen=True)
+class AccuracyPointSpec:
+    """One fully resolved accuracy-sweep point (picklable)."""
+
+    network: str
+    technology: str
+    read_noise_sigma: float
+    train_epochs: int
+    train_seed: int
+    num_images: int
+    batch_size: int
+    flip_trials: int
+    flip_num_outputs: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class AccuracyRecord:
+    """Accuracy of one network/technology under one read-noise level."""
+
+    network: str
+    technology: str
+    read_noise_sigma: float
+    accuracy: float
+    mean_flip_rate: float
+    num_images: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dictionary of this record."""
+        return asdict(self)
+
+
+def _trained_network(network: str, train_epochs: int,
+                     train_seed: int, num_images: int) -> BNNModel:
+    """Per-process memoised (quickly trained) evaluation network.
+
+    Training is fully seeded, so every process materialises the identical
+    model no matter which sweep points it happens to evaluate.
+    """
+    key = (network, train_epochs, train_seed)
+    model = _TRAINED_CACHE.get(key)
+    if model is None:
+        model = build_network(network)
+        if train_epochs > 0:
+            data = _accuracy_dataset(network, num_images)
+            train(model, data, epochs=train_epochs, batch_size=64,
+                  seed=train_seed)
+        model.eval()
+        _TRAINED_CACHE[key] = model
+    return model
+
+
+def _accuracy_dataset(network: str, num_images: int):
+    return load_dataset(
+        dataset_for_network(network), train_size=512, test_size=num_images
+    )
+
+
+def evaluate_accuracy_point(spec: AccuracyPointSpec) -> AccuracyRecord:
+    """Evaluate one accuracy point (deterministic given the spec)."""
+    model = _trained_network(
+        spec.network, spec.train_epochs, spec.train_seed, spec.num_images
+    )
+    data = _accuracy_dataset(spec.network, spec.num_images)
+    images = data.test_images
+    if len(model.input_shape) == 1:
+        images = images.reshape(images.shape[0], -1)
+    flip_rate = 0.0
+    if spec.read_noise_sigma > 0.0:
+        flip_rate = popcount_flip_rate_fn(
+            read_noise_sigma=spec.read_noise_sigma,
+            technology=spec.technology,
+            num_outputs=spec.flip_num_outputs,
+            trials=spec.flip_trials,
+            seed=spec.seed,
+        )
+    engine = InferenceEngine(model, flip_rate=flip_rate, seed=spec.seed)
+    predictions = engine.predict_batch(images, batch_size=spec.batch_size)
+    rates = list(engine.noise_flip_rates.values())
+    return AccuracyRecord(
+        network=spec.network,
+        technology=spec.technology,
+        read_noise_sigma=spec.read_noise_sigma,
+        accuracy=float(np.mean(predictions == data.test_labels)),
+        mean_flip_rate=float(np.mean(rates)) if rates else 0.0,
+        num_images=spec.num_images,
+    )
+
+
+@dataclass(frozen=True)
+class AccuracySweepResult:
+    """All accuracy records of one sweep, in grid (row-major) order."""
+
+    grid: AccuracySweepGrid
+    records: List[AccuracyRecord] = field(default_factory=list)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready payload: the grid definition plus every record."""
+        return {
+            "grid": asdict(self.grid),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def curve(self, network: str, technology: str = "epcm"
+              ) -> List[Tuple[float, float]]:
+        """(sigma, accuracy) pairs of one network's accuracy-vs-noise curve."""
+        return [
+            (record.read_noise_sigma, record.accuracy)
+            for record in self.records
+            if record.network == network and record.technology == technology
+        ]
+
+
+def run_accuracy_sweep(grid: AccuracySweepGrid, *,
+                       workers: Optional[int] = None) -> AccuracySweepResult:
+    """Evaluate every accuracy point of ``grid``.
+
+    ``workers`` fans points out over a :class:`multiprocessing.Pool` exactly
+    like :func:`run_sweep`; each point is self-contained and seeded (and
+    quick training is seeded per network), so the records are identical for
+    any worker count.
+    """
+    points = grid.points()
+    if workers is not None and workers > 1:
+        with multiprocessing.Pool(processes=workers) as pool:
+            records = pool.map(evaluate_accuracy_point, points)
+    else:
+        records = [evaluate_accuracy_point(point) for point in points]
+    return AccuracySweepResult(grid=grid, records=records)
+
+
+def write_accuracy_sweep_json(path: str,
+                              result: AccuracySweepResult) -> Dict[str, object]:
+    """Serialise an accuracy sweep result to ``path``, returning the payload."""
     payload = result.to_payload()
     write_json_report(path, payload)
     return payload

@@ -1,0 +1,198 @@
+"""Backward-pass tests against slow references and numerical gradients.
+
+PR 1 gave the forward paths property tests; these cover the gradient paths
+that were still untested: the vectorised ``_col2im`` scatter (the inverse of
+im2col used by both convolution backwards), ``Conv2d.backward`` itself, and
+``MaxPool2d.backward`` — each checked against an independent per-position
+loop reference, plus central-difference numerical gradients for ``Conv2d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bnn.layers import Conv2d, MaxPool2d, _col2im
+from repro.bnn.xnor_ops import im2col
+
+
+def _col2im_loop_reference(grad_patches, input_shape, kernel_size, stride,
+                           padding, out_h, out_w):
+    """Scatter patch gradients back per output position (slow oracle)."""
+    batch, channels, height, width = input_shape
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding)
+    )
+    patches = grad_patches.reshape(
+        batch, out_h, out_w, channels, kernel_size, kernel_size
+    )
+    for b in range(batch):
+        for row in range(out_h):
+            top = row * stride
+            for col in range(out_w):
+                left = col * stride
+                padded[b, :, top:top + kernel_size, left:left + kernel_size] \
+                    += patches[b, row, col]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+@pytest.mark.parametrize(
+    "batch,channels,extent,kernel_size,stride,padding",
+    [
+        (1, 1, 4, 2, 1, 0),
+        (2, 3, 6, 3, 1, 1),
+        (2, 2, 7, 3, 2, 0),
+        (1, 4, 5, 2, 2, 1),
+        (3, 1, 6, 1, 1, 0),
+        (1, 2, 8, 3, 3, 2),
+    ],
+)
+def test_col2im_matches_loop_reference(batch, channels, extent, kernel_size,
+                                       stride, padding):
+    rng = np.random.default_rng(extent * 100 + kernel_size * 10 + stride)
+    input_shape = (batch, channels, extent, extent)
+    out_h = (extent + 2 * padding - kernel_size) // stride + 1
+    out_w = (extent + 2 * padding - kernel_size) // stride + 1
+    grad_patches = rng.normal(
+        size=(batch * out_h * out_w, channels * kernel_size * kernel_size)
+    )
+    fast = _col2im(grad_patches, input_shape, kernel_size, stride, padding,
+                   out_h, out_w)
+    slow = _col2im_loop_reference(grad_patches, input_shape, kernel_size,
+                                  stride, padding, out_h, out_w)
+    assert np.allclose(fast, slow)
+
+
+def test_col2im_inverts_im2col_counts():
+    """col2im of all-ones patches counts how often each pixel is visited."""
+    input_shape = (1, 1, 5, 5)
+    kernel_size, stride, padding = 3, 1, 0
+    out_h = out_w = 3
+    ones = np.ones((out_h * out_w, kernel_size * kernel_size))
+    counts = _col2im(ones, input_shape, kernel_size, stride, padding,
+                     out_h, out_w)
+    # the centre pixel is covered by all 9 windows, the corners by exactly 1
+    assert counts[0, 0, 2, 2] == 9
+    assert counts[0, 0, 0, 0] == 1
+    assert counts.sum() == ones.size
+
+
+class TestConv2dBackward:
+    @pytest.mark.parametrize("stride,padding,bias", [
+        (1, 1, True), (2, 0, True), (1, 0, False),
+    ])
+    def test_numerical_gradients(self, stride, padding, bias):
+        rng = np.random.default_rng(42)
+        layer = Conv2d(2, 3, 3, stride=stride, padding=padding, bias=bias,
+                       rng=rng)
+        layer.train()
+        x = rng.normal(size=(2, 2, 6, 6))
+        out = layer.forward(x)
+        upstream = rng.normal(size=out.shape)
+        grad_input = layer.backward(upstream)
+
+        def loss(inputs):
+            return float(np.sum(layer.forward(np.asarray(inputs)) * upstream))
+
+        eps = 1e-6
+        # input gradient, spot-checked over a sample of positions
+        flat_x = x.ravel()
+        sample = rng.choice(flat_x.size, size=25, replace=False)
+        for index in sample:
+            bumped = flat_x.copy()
+            bumped[index] += eps
+            plus = loss(bumped.reshape(x.shape))
+            bumped[index] -= 2 * eps
+            minus = loss(bumped.reshape(x.shape))
+            numeric = (plus - minus) / (2 * eps)
+            assert np.isclose(grad_input.ravel()[index], numeric,
+                              rtol=1e-4, atol=1e-5)
+        # parameter gradients (recompute state that loss() clobbered)
+        layer.forward(x)
+        layer.backward(upstream)
+        for name in layer.params:
+            flat = layer.params[name].ravel()
+            sample = rng.choice(flat.size, size=min(20, flat.size),
+                                replace=False)
+            for index in sample:
+                original = flat[index]
+                flat[index] = original + eps
+                plus = loss(x)
+                flat[index] = original - eps
+                minus = loss(x)
+                flat[index] = original
+                numeric = (plus - minus) / (2 * eps)
+                assert np.isclose(layer.grads[name].ravel()[index], numeric,
+                                  rtol=1e-4, atol=1e-5), name
+
+    def test_grad_weight_matches_patch_form(self):
+        """grad_weight == grad_flat.T @ patches, the im2col identity."""
+        rng = np.random.default_rng(7)
+        layer = Conv2d(3, 4, 3, stride=1, padding=1, rng=rng)
+        layer.train()
+        x = rng.normal(size=(2, 3, 5, 5))
+        out = layer.forward(x)
+        upstream = rng.normal(size=out.shape)
+        layer.backward(upstream)
+        patches, _, _ = im2col(x, 3, stride=1, padding=1, pad_value=0.0)
+        grad_flat = upstream.transpose(0, 2, 3, 1).reshape(-1, 4)
+        expected = (grad_flat.T @ patches).reshape(layer.params["weight"].shape)
+        assert np.allclose(layer.grads["weight"], expected)
+
+
+class TestMaxPool2dBackward:
+    def _loop_reference(self, x, grad, kernel_size, stride):
+        """Recompute windows and argmaxes independently of the layer cache."""
+        batch, channels, height, width = x.shape
+        out_h = (height - kernel_size) // stride + 1
+        out_w = (width - kernel_size) // stride + 1
+        grad_input = np.zeros_like(x)
+        for b in range(batch):
+            for c in range(channels):
+                for row in range(out_h):
+                    top = row * stride
+                    for col in range(out_w):
+                        left = col * stride
+                        window = x[b, c, top:top + kernel_size,
+                                   left:left + kernel_size]
+                        dr, dc = np.unravel_index(np.argmax(window),
+                                                  window.shape)
+                        grad_input[b, c, top + dr, left + dc] \
+                            += grad[b, c, row, col]
+        return grad_input
+
+    @pytest.mark.parametrize("kernel_size,stride,shape", [
+        (2, 2, (2, 3, 6, 6)),
+        (3, 2, (1, 2, 7, 7)),   # overlapping windows
+        (2, 1, (2, 1, 5, 5)),   # heavily overlapping windows
+        (3, 3, (1, 4, 9, 9)),
+    ])
+    def test_matches_independent_loop_reference(self, kernel_size, stride,
+                                                shape):
+        rng = np.random.default_rng(kernel_size * 10 + stride)
+        x = rng.normal(size=shape)  # continuous values: no argmax ties
+        pool = MaxPool2d(kernel_size=kernel_size, stride=stride)
+        pool.train()
+        out = pool.forward(x)
+        upstream = rng.normal(size=out.shape)
+        got = pool.backward(upstream)
+        expected = self._loop_reference(x, upstream, kernel_size, stride)
+        assert np.allclose(got, expected)
+
+    def test_gradient_mass_is_conserved(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(2, 2, 6, 6))
+        pool = MaxPool2d(kernel_size=2, stride=2)
+        pool.train()
+        upstream = rng.normal(size=pool.forward(x).shape)
+        grad_input = pool.backward(upstream)
+        # non-overlapping windows: every upstream unit lands on exactly one pixel
+        assert np.isclose(grad_input.sum(), upstream.sum())
+
+    def test_backward_requires_training_forward(self):
+        pool = MaxPool2d(2)
+        pool.forward(np.zeros((1, 1, 4, 4)))
+        with pytest.raises(RuntimeError, match="training-mode"):
+            pool.backward(np.zeros((1, 1, 2, 2)))

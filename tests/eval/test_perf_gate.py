@@ -1,0 +1,141 @@
+"""Tests for the CI perf regression gate and its CLI wrapper."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.eval.perf_gate import (
+    check_artifacts,
+    check_payload,
+    load_thresholds,
+    resolve_metric,
+)
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+class TestResolveMetric:
+    def test_nested_lookup(self):
+        payload = {"a": {"b": {"c": 3.5}}}
+        assert resolve_metric(payload, "a.b.c") == 3.5
+
+    def test_missing_segments_return_none(self):
+        payload = {"a": {"b": 1.0}}
+        assert resolve_metric(payload, "a.c") is None
+        assert resolve_metric(payload, "a.b.c") is None
+        assert resolve_metric({}, "a") is None
+
+    def test_non_numeric_leaves_return_none(self):
+        assert resolve_metric({"a": "fast"}, "a") is None
+        assert resolve_metric({"a": True}, "a") is None
+        assert resolve_metric({"a": [1.0]}, "a") is None
+
+
+class TestCheckPayload:
+    def test_pass_fail_and_missing(self):
+        payload = {"kernels": {"blas": {"speedup": 10.0}}}
+        checks = check_payload("bench.json", payload, {
+            "kernels.blas.speedup": 5.0,
+            "kernels.packed.speedup": 5.0,
+        })
+        by_metric = {check.metric: check for check in checks}
+        assert by_metric["kernels.blas.speedup"].passed
+        assert not by_metric["kernels.packed.speedup"].passed
+        assert by_metric["kernels.packed.speedup"].actual is None
+
+    def test_regression_fails(self):
+        payload = {"speedup": 4.9}
+        checks = check_payload("bench.json", payload, {"speedup": 5.0})
+        assert not checks[0].passed
+        assert checks[0].actual == pytest.approx(4.9)
+
+    def test_describe_lines(self):
+        missing = check_payload("b.json", {}, {"x": 1.0})[0]
+        assert "FAIL" in missing.describe() and "missing" in missing.describe()
+        passing = check_payload("b.json", {"x": 2.0}, {"x": 1.0})[0]
+        assert "ok" in passing.describe()
+
+
+class TestCheckArtifacts:
+    def test_reads_artifacts_from_root(self, tmp_path):
+        artifact = {"networks": {"CNN-M": {"speedup_vs_dense": 6.0}}}
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(artifact))
+        checks = check_artifacts(str(tmp_path), {
+            "BENCH_x.json": {"networks.CNN-M.speedup_vs_dense": 5.0},
+        })
+        assert len(checks) == 1 and checks[0].passed
+
+    def test_missing_artifact_fails_all_its_checks(self, tmp_path):
+        checks = check_artifacts(str(tmp_path), {
+            "BENCH_absent.json": {"a": 1.0, "b": 2.0},
+        })
+        assert len(checks) == 2
+        assert not any(check.passed for check in checks)
+
+    @pytest.mark.parametrize("content", ['{"trunca', "[1, 2, 3]", ""])
+    def test_corrupt_artifact_fails_cleanly(self, tmp_path, content):
+        # a benchmark job killed mid-write must fail the gate, not crash it
+        (tmp_path / "BENCH_bad.json").write_text(content)
+        checks = check_artifacts(str(tmp_path), {
+            "BENCH_bad.json": {"metric": 1.0},
+        })
+        assert len(checks) == 1
+        assert not checks[0].passed
+        assert checks[0].actual is None
+
+
+class TestLoadThresholds:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "thresholds.json"
+        spec = {"bench.json": {"a.b": 2.0}}
+        path.write_text(json.dumps(spec))
+        assert load_thresholds(str(path)) == spec
+
+    @pytest.mark.parametrize("bad", [
+        [],
+        {"bench.json": {}},
+        {"bench.json": []},
+        {"bench.json": {"a": "fast"}},
+        {"bench.json": {"a": True}},
+    ])
+    def test_invalid_specs_rejected(self, bad, tmp_path):
+        path = tmp_path / "thresholds.json"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ValueError):
+            load_thresholds(str(path))
+
+    def test_committed_thresholds_file_is_valid(self):
+        path = os.path.join(REPO_ROOT, "benchmarks", "perf_thresholds.json")
+        spec = load_thresholds(path)
+        assert "BENCH_sweep.smoke.json" in spec
+        assert "BENCH_inference.smoke.json" in spec
+
+
+class TestCli:
+    def _load_cli(self):
+        path = os.path.join(REPO_ROOT, "benchmarks", "check_perf_regression.py")
+        spec = importlib.util.spec_from_file_location("check_perf_regression",
+                                                      path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_exit_codes(self, tmp_path, capsys):
+        cli = self._load_cli()
+        artifact = {"metric": 4.0}
+        (tmp_path / "bench.json").write_text(json.dumps(artifact))
+        thresholds = tmp_path / "thresholds.json"
+        thresholds.write_text(json.dumps({"bench.json": {"metric": 3.0}}))
+        assert cli.main(["--thresholds", str(thresholds),
+                         "--root", str(tmp_path)]) == 0
+        assert "perf gate passed" in capsys.readouterr().out
+        thresholds.write_text(json.dumps({"bench.json": {"metric": 5.0}}))
+        assert cli.main(["--thresholds", str(thresholds),
+                         "--root", str(tmp_path)]) == 1
+        assert "FAILED" in capsys.readouterr().out

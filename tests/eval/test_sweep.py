@@ -7,13 +7,17 @@ import json
 import pytest
 
 from repro.eval.sweep import (
+    AccuracySweepGrid,
     SweepGrid,
     clear_sweep_caches,
     evaluate_point,
     get_accelerator_model,
+    run_accuracy_sweep,
     run_sweep,
+    write_accuracy_sweep_json,
     write_sweep_json,
 )
+from repro.utils.rng import derive_seed
 
 
 @pytest.fixture()
@@ -130,6 +134,178 @@ class TestArtifacts:
         assert loaded == json.loads(json.dumps(payload))
         assert len(loaded["records"]) == len(result.records)
         assert loaded["grid"]["networks"] == ["MLP-S"]
+
+
+class TestExtendedAxes:
+    @pytest.fixture()
+    def noisy_grid(self):
+        return SweepGrid(
+            networks=("MLP-S",),
+            designs=("baseline_epcm", "tacitmap_epcm"),
+            crossbar_sizes=(128,),
+            noise_sigmas=(0.0,),
+            thermal_sigmas=(0.0, 0.05),
+            shot_factors=(0.0, 0.1),
+            ir_drop_alphas=(0.0, 0.2),
+            columns_per_adc=(None, 4),
+            noise_trials=2,
+            noise_vector_length=32,
+            noise_num_outputs=8,
+            seed=13,
+        )
+
+    def test_cartesian_expansion_with_design_collapse(self, noisy_grid):
+        points = noisy_grid.points()
+        baseline = [p for p in points if p.design == "baseline_epcm"]
+        tacitmap = [p for p in points if p.design == "tacitmap_epcm"]
+        # baseline: ADC axis collapses -> 1 x 2 x 2 x 2; tacitmap: 2 x 2 x 2 x 2
+        assert len(baseline) == 8
+        assert all(p.columns_per_adc is None for p in baseline)
+        assert len(tacitmap) == 16
+        assert {p.columns_per_adc for p in tacitmap} == {None, 4}
+        assert len({p.seed for p in points}) == len(points)
+
+    def test_default_axes_keep_pre_extension_seeds(self):
+        grid = SweepGrid(networks=("MLP-S",), designs=("baseline_epcm",),
+                         crossbar_sizes=(128,), noise_sigmas=(0.05,), seed=21)
+        point = grid.points()[0]
+        # the salt of an all-default-axes point is the pre-extension format,
+        # so grids written before the new axes keep their derived streams
+        assert point.seed == derive_seed(21, "MLP-S/baseline_epcm/128/1/0.05")
+
+    def test_records_carry_axis_values_and_resolved_adc(self, noisy_grid):
+        result = run_sweep(noisy_grid)
+        assert [r.thermal_sigma for r in result.records] \
+            == [p.thermal_sigma for p in noisy_grid.points()]
+        tacitmap = [r for r in result.records if r.design == "tacitmap_epcm"]
+        # None resolves to the tacitmap factory default of 8
+        assert {r.columns_per_adc for r in tacitmap} == {4, 8}
+        baseline = [r for r in result.records if r.design == "baseline_epcm"]
+        assert {r.columns_per_adc for r in baseline} == {1}
+
+    def test_dense_noise_axes_drive_popcount_error(self, noisy_grid):
+        result = run_sweep(noisy_grid)
+        # read noise axis is 0.0 only, but the dense axes activate the
+        # functional simulation for every point
+        assert all(r.popcount_error is not None for r in result.records)
+        quiet = [r.popcount_error for r in result.records
+                 if r.thermal_sigma == 0.0 and r.shot_factor == 0.0
+                 and r.ir_drop_alpha == 0.0]
+        loud = [r.popcount_error for r in result.records
+                if r.thermal_sigma == 0.05 and r.shot_factor == 0.1
+                and r.ir_drop_alpha == 0.2]
+        assert sum(loud) > sum(quiet)
+
+    def test_ideal_axes_skip_functional_simulation(self):
+        grid = SweepGrid(networks=("MLP-S",), designs=("baseline_epcm",),
+                         crossbar_sizes=(128,))
+        result = run_sweep(grid)
+        assert all(r.popcount_error is None for r in result.records)
+
+    def test_deterministic_across_workers_and_json_roundtrip(self, noisy_grid,
+                                                             tmp_path):
+        serial = run_sweep(noisy_grid)
+        parallel = run_sweep(noisy_grid, workers=2)
+        assert serial.records == parallel.records
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        write_sweep_json(str(first), serial)
+        write_sweep_json(str(second), parallel)
+        assert first.read_bytes() == second.read_bytes()
+        loaded = json.loads(first.read_text())
+        assert loaded["records"][0].keys() >= {
+            "thermal_sigma", "shot_factor", "ir_drop_alpha", "columns_per_adc"
+        }
+
+    @pytest.mark.parametrize("kwargs", [
+        {"thermal_sigmas": ()},
+        {"thermal_sigmas": (-0.1,)},
+        {"shot_factors": (-1.0,)},
+        {"ir_drop_alphas": (1.0,)},
+        {"columns_per_adc": (0,)},
+    ])
+    def test_invalid_axes_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepGrid(**kwargs)
+
+    def test_columns_per_adc_reaches_model(self):
+        clear_sweep_caches()
+        model = get_accelerator_model("tacitmap_epcm", columns_per_adc=4)
+        assert model.config.tile.columns_per_adc == 4
+        default = get_accelerator_model("tacitmap_epcm")
+        assert default.config.tile.columns_per_adc == 8
+        assert model is not default
+        # baseline has no sharing knob: the override collapses
+        collapsed = get_accelerator_model("baseline_epcm", columns_per_adc=4)
+        assert collapsed is get_accelerator_model("baseline_epcm")
+
+
+class TestAccuracySweep:
+    @pytest.fixture()
+    def accuracy_grid(self):
+        return AccuracySweepGrid(
+            networks=("MLP-S",),
+            read_noise_sigmas=(0.0, 0.02),
+            train_epochs=1,
+            num_images=48,
+            batch_size=24,
+            seed=3,
+        )
+
+    def test_points_expand_and_share_training_seed(self, accuracy_grid):
+        points = accuracy_grid.points()
+        assert len(points) == 2
+        assert len({p.train_seed for p in points}) == 1
+        assert len({p.seed for p in points}) == 2
+
+    def test_deterministic_regardless_of_worker_count(self, accuracy_grid):
+        clear_sweep_caches()
+        serial = run_accuracy_sweep(accuracy_grid)
+        clear_sweep_caches()
+        again = run_accuracy_sweep(accuracy_grid)
+        parallel = run_accuracy_sweep(accuracy_grid, workers=2)
+        assert serial.records == again.records
+        assert serial.records == parallel.records
+
+    def test_noise_degrades_accuracy_toward_chance(self, accuracy_grid):
+        result = run_accuracy_sweep(accuracy_grid)
+        curve = dict(result.curve("MLP-S"))
+        assert curve[0.0] > 0.5      # quick training learns the synthetic set
+        assert curve[0.02] < curve[0.0]  # garbled columns lose the signal
+        noisy_record = [r for r in result.records
+                        if r.read_noise_sigma == 0.02][0]
+        assert noisy_record.mean_flip_rate > 0.0
+        clean_record = [r for r in result.records
+                        if r.read_noise_sigma == 0.0][0]
+        assert clean_record.mean_flip_rate == 0.0
+
+    def test_json_roundtrip(self, accuracy_grid, tmp_path):
+        result = run_accuracy_sweep(accuracy_grid)
+        path = tmp_path / "accuracy.json"
+        payload = write_accuracy_sweep_json(str(path), result)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(payload))
+        assert len(loaded["records"]) == 2
+        assert loaded["grid"]["networks"] == ["MLP-S"]
+
+    def test_untrained_evaluation_is_supported(self):
+        grid = AccuracySweepGrid(networks=("MLP-S",),
+                                 read_noise_sigmas=(0.0,),
+                                 train_epochs=0, num_images=16,
+                                 batch_size=16)
+        result = run_accuracy_sweep(grid)
+        assert 0.0 <= result.records[0].accuracy <= 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"networks": ()},
+        {"technologies": ("tcam",)},
+        {"read_noise_sigmas": (2.0,)},
+        {"train_epochs": -1},
+        {"num_images": 0},
+        {"flip_trials": 0},
+    ])
+    def test_invalid_grids_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AccuracySweepGrid(**kwargs)
 
 
 class TestModelCache:
