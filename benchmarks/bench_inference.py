@@ -7,9 +7,15 @@ Two measurements, recorded into ``BENCH_inference.json`` at the repo root
   batched packed :class:`repro.bnn.model.InferenceEngine` on MLP and CNN
   workloads, with a bit-exactness check between the two paths — the packed
   engine must clear the committed speedup floors;
+* multi-worker ``forward_batch`` throughput vs the serial chunk loop (the
+  engine's per-chunk parallel seam through the :mod:`repro.runtime` thread
+  backend), bit-exactness checked against the serial path;
 * accuracy-vs-read-noise curves produced *through* the packed engine
   (:func:`repro.eval.sweep.run_accuracy_sweep`), i.e. the functional
   scenario the analytical sweeps cannot provide.
+
+All repeated timings run through :func:`repro.runtime.measure.measure_pair`
+— the same runtime layer the sweeps and the engine execute on.
 
 Run with ``pytest benchmarks/bench_inference.py -s`` (add ``--smoke`` for
 the CI-sized configuration).
@@ -18,7 +24,6 @@ the CI-sized configuration).
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 
@@ -26,6 +31,7 @@ from repro.bnn.model import InferenceEngine
 from repro.bnn.networks import build_network
 from repro.eval.reporting import write_json_report
 from repro.eval.sweep import AccuracySweepGrid, run_accuracy_sweep
+from repro.runtime import ThreadExecutor, measure_pair
 from repro.utils.rng import make_rng
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -55,28 +61,55 @@ def _time_network(name: str, batch: int, reps: int) -> dict:
     packed_logits = engine.forward_batch(images, batch_size=batch)
     bit_exact = bool(np.array_equal(dense_logits, packed_logits))
 
-    dense_times = []
-    packed_times = []
-    for _ in range(reps):
-        start = time.perf_counter()
-        model.forward(images)
-        dense_times.append(time.perf_counter() - start)
-        start = time.perf_counter()
-        engine.forward_batch(images, batch_size=batch)
-        packed_times.append(time.perf_counter() - start)
-    dense_s = float(np.median(dense_times))
-    packed_s = float(np.median(packed_times))
+    packed_m, dense_m, speedup = measure_pair(
+        lambda: engine.forward_batch(images, batch_size=batch),
+        lambda: model.forward(images),
+        reps=reps, label=name,
+    )
     return {
         "batch": batch,
         "reps": reps,
         "bit_exact": bit_exact,
-        "dense_seconds": dense_s,
-        "packed_seconds": packed_s,
-        "dense_images_per_s": batch / dense_s,
-        "packed_images_per_s": batch / packed_s,
-        "speedup_vs_dense": dense_s / packed_s,
+        "dense_seconds": dense_m.median,
+        "packed_seconds": packed_m.median,
+        "dense_images_per_s": dense_m.throughput(batch),
+        "packed_images_per_s": packed_m.throughput(batch),
+        "speedup_vs_dense": speedup,
         "_engine": engine,
         "_images": images,
+    }
+
+
+def _time_parallel_chunks(engine: InferenceEngine, images: np.ndarray, *,
+                          workers: int, reps: int) -> dict:
+    """Serial vs multi-worker per-chunk throughput of ``forward_batch``.
+
+    Chunks fan out over the thread backend — NumPy's kernels release the
+    GIL, so this measures the engine's real multi-core headroom without
+    pickling the engine per chunk (the honest single-host configuration;
+    CI containers may report ~1x on a single core).
+    """
+    total = images.shape[0]
+    chunk = max(1, total // max(workers * 2, 2))
+    serial_ref = engine.forward_batch(images, batch_size=chunk)
+    with ThreadExecutor(workers) as executor:
+        parallel_out = engine.forward_batch(images, batch_size=chunk,
+                                            executor=executor)
+        bit_exact = bool(np.array_equal(serial_ref, parallel_out))
+        parallel_m, serial_m, speedup = measure_pair(
+            lambda: engine.forward_batch(images, batch_size=chunk,
+                                         executor=executor),
+            lambda: engine.forward_batch(images, batch_size=chunk),
+            reps=reps, label=f"chunks-x{workers}",
+        )
+    return {
+        "backend": "thread",
+        "workers": workers,
+        "chunk_size": chunk,
+        "bit_exact": bit_exact,
+        "serial_images_per_s": serial_m.throughput(total),
+        "parallel_images_per_s": parallel_m.throughput(total),
+        "speedup_vs_serial": speedup,
     }
 
 
@@ -126,6 +159,20 @@ def test_inference_engine(benchmark, smoke):
     engine, images, batch = bench_target
     benchmark(lambda: engine.predict_batch(images, batch_size=batch))
 
+    # the per-chunk parallel seam: multi-worker img/s vs the serial loop
+    parallel = _time_parallel_chunks(
+        engine, images, workers=2 if smoke else 4, reps=3 if smoke else 5
+    )
+    print(
+        f"\nforward_batch chunks x{parallel['workers']} "
+        f"({parallel['backend']}): serial "
+        f"{parallel['serial_images_per_s']:.1f} img/s, parallel "
+        f"{parallel['parallel_images_per_s']:.1f} img/s "
+        f"({parallel['speedup_vs_serial']:.2f}x, bit-exact "
+        f"{parallel['bit_exact']})"
+    )
+    assert parallel["bit_exact"]
+
     accuracy = run_accuracy_sweep(accuracy_grid)
     print("\n=== accuracy vs read noise (packed engine) ===")
     for record in accuracy.records:
@@ -146,6 +193,7 @@ def test_inference_engine(benchmark, smoke):
     write_json_report(artifact_path, {
         "smoke": smoke,
         "networks": networks,
+        "parallel_forward_batch": parallel,
         "accuracy_sweep": accuracy.to_payload(),
     })
     print(f"wrote {artifact_path}")

@@ -7,7 +7,13 @@ artifact CI uploads per PR):
   loop oracle (:func:`repro.bnn.xnor_ops.binary_conv2d_reference`) on a
   CIFAR-scale layer — the speedup must stay >= 20x;
 * the declarative :mod:`repro.eval.sweep` grid runner (network x design x
-  crossbar size x WDM capacity) with its memoised schedule/model caches.
+  crossbar size x WDM capacity) with its memoised schedule/model caches,
+  executing through the :mod:`repro.runtime` layer;
+* the hierarchy-sizing scenario: VCores/ECore x Tiles/Node provisioning
+  axes with the ``nodes_required`` / ``node_utilisation`` metrics.
+
+Repeated kernel timings run through :func:`repro.runtime.measure.measure`,
+the same layer the sweeps execute on.
 
 Run with ``pytest benchmarks/bench_sweep.py -s`` (add ``--smoke`` for the
 CI-sized configuration).
@@ -29,6 +35,7 @@ from repro.bnn.xnor_ops import (
 from repro.core.schedule import clear_schedule_cache, schedule_cache_stats
 from repro.eval.reporting import format_sweep_table, write_json_report
 from repro.eval.sweep import SweepGrid, clear_sweep_caches, run_sweep
+from repro.runtime import measure
 from repro.utils.rng import make_rng
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -77,19 +84,60 @@ def _time_conv_kernels(smoke: bool) -> dict:
         "kernels": {},
     }
     for kernel_name in ("blas", "packed"):
-        best = float("inf")
-        for _ in range(1 if smoke else 3):
-            start = time.perf_counter()
-            out = binary_conv2d(images, kernels, stride=1, padding=1,
-                                kernel=kernel_name)
-            best = min(best, time.perf_counter() - start)
+        out = binary_conv2d(images, kernels, stride=1, padding=1,
+                            kernel=kernel_name)
         assert np.array_equal(out, reference_out), kernel_name
+        timing = measure(
+            lambda: binary_conv2d(images, kernels, stride=1, padding=1,
+                                  kernel=kernel_name),
+            reps=1 if smoke else 3, label=f"binary_conv2d/{kernel_name}",
+        )
         results["kernels"][kernel_name] = {
-            "seconds": best,
-            "speedup_vs_loop_reference": loop_seconds / best,
-            "speedup_vs_prior_implementation": prior_seconds / best,
+            "seconds": timing.best,
+            "speedup_vs_loop_reference": loop_seconds / timing.best,
+            "speedup_vs_prior_implementation": prior_seconds / timing.best,
         }
     return results
+
+
+def _hierarchy_sizing_sweep(smoke: bool) -> dict:
+    """Hierarchy-sizing scenario: provisioning vs node organisation.
+
+    Sweeps VCores/ECore and Tiles/Node (the axes that close the ROADMAP's
+    hierarchy-sizing item) on the two PUMA-like designs and reports how the
+    node count and VCore utilisation respond — the axis collapses for the
+    baseline design, which contributes a single fixed-organisation point.
+    """
+    grid = SweepGrid(
+        networks=("CNN-S",) if smoke else ("CNN-L", "MLP-L"),
+        designs=("baseline_epcm", "tacitmap_epcm", "einsteinbarrier"),
+        crossbar_sizes=(256,),
+        wdm_capacities=(16,),
+        vcores_per_ecore=(None, 2) if smoke else (None, 2, 4),
+        tiles_per_node=(None, 1) if smoke else (None, 1, 2),
+    )
+    result = run_sweep(grid)
+    # shrinking the node must never *reduce* the nodes required, and the
+    # baseline must collapse to exactly one organisation per network
+    for network in grid.networks:
+        for design in ("tacitmap_epcm", "einsteinbarrier"):
+            picks = [r for r in result.records
+                     if r.network == network and r.design == design]
+            default = next(r for r in picks
+                           if (r.vcores_per_ecore, r.tiles_per_node) == (8, 8))
+            smallest = min(
+                picks, key=lambda r: r.vcores_per_ecore * r.tiles_per_node
+            )
+            assert smallest.nodes_required >= default.nodes_required
+            assert smallest.node_utilisation >= default.node_utilisation
+        baseline_points = [r for r in result.records
+                           if r.network == network
+                           and r.design == "baseline_epcm"]
+        assert len(baseline_points) == 1
+    return {
+        "grid_points": len(result.records),
+        "records": [record.to_dict() for record in result.records],
+    }
 
 
 def test_sweep_subsystem(benchmark, smoke):
@@ -144,6 +192,10 @@ def test_sweep_subsystem(benchmark, smoke):
     assert best.design == "einsteinbarrier"
     assert best.speedup_vs_baseline > 1.0
 
+    hierarchy = _hierarchy_sizing_sweep(smoke)
+    print(f"\n=== Hierarchy sizing: {hierarchy['grid_points']} grid points ===")
+    print(format_sweep_table(hierarchy["records"][:12]))
+
     artifact_path = SMOKE_ARTIFACT_PATH if smoke else ARTIFACT_PATH
     write_json_report(artifact_path, {
         "smoke": smoke,
@@ -154,5 +206,6 @@ def test_sweep_subsystem(benchmark, smoke):
         "schedule_cache": stats,
         "best_point": best.to_dict(),
         "sweep": cold.to_payload(),
+        "hierarchy_sweep": hierarchy,
     })
     print(f"wrote {artifact_path}")

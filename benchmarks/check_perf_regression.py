@@ -9,20 +9,50 @@ Exits non-zero when any committed threshold in
 ``benchmarks/perf_thresholds.json`` is violated or its metric/artifact is
 missing, printing one line per check.  See :mod:`repro.eval.perf_gate` for
 the comparison semantics.
+
+After the gate checks it prints the cross-PR trend delta — the two newest
+entries of the committed ``BENCH_trend.json`` (see
+``benchmarks/record_trend.py``) — so a passing-but-slipping metric is
+visible in the CI log before it ever trips a threshold.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import os
 import sys
 
 from repro.eval.perf_gate import check_artifacts, load_thresholds
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_THRESHOLDS = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "perf_thresholds.json"
-)
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _load_record_trend():
+    """Import the sibling script by file location.
+
+    benchmarks/ is not a package and this CLI is itself loaded by file
+    location in the tests, so the sibling is loaded the same way instead
+    of mutating the process-wide ``sys.path``.
+    """
+    if "record_trend" in sys.modules:
+        return sys.modules["record_trend"]
+    spec = importlib.util.spec_from_file_location(
+        "record_trend", os.path.join(_BENCH_DIR, "record_trend.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    sys.modules["record_trend"] = module
+    return module
+
+
+_record_trend = _load_record_trend()
+DEFAULT_TREND_PATH = _record_trend.DEFAULT_TREND_PATH
+format_delta = _record_trend.format_delta
+load_trend = _record_trend.load_trend
+
+REPO_ROOT = os.path.dirname(_BENCH_DIR)
+DEFAULT_THRESHOLDS = os.path.join(_BENCH_DIR, "perf_thresholds.json")
 
 
 def main(argv=None) -> int:
@@ -35,6 +65,10 @@ def main(argv=None) -> int:
         "--root", default=REPO_ROOT,
         help="directory containing the benchmark artifacts",
     )
+    parser.add_argument(
+        "--trend", default=DEFAULT_TREND_PATH,
+        help="trend file whose newest-vs-previous delta is printed",
+    )
     args = parser.parse_args(argv)
 
     spec = load_thresholds(args.thresholds)
@@ -42,11 +76,17 @@ def main(argv=None) -> int:
     for check in checks:
         print(check.describe())
     failures = [check for check in checks if not check.passed]
+    status = 0
     if failures:
         print(f"\nperf gate FAILED: {len(failures)} of {len(checks)} checks")
-        return 1
-    print(f"\nperf gate passed: {len(checks)} checks")
-    return 0
+        status = 1
+    else:
+        print(f"\nperf gate passed: {len(checks)} checks")
+    # informational: the cross-PR trajectory (never affects the exit code)
+    print()
+    for line in format_delta(load_trend(args.trend)):
+        print(line)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,17 +1,19 @@
 """Multi-axis design-space sweep with the declarative grid runner.
 
-Run with ``python examples/sweep_demo.py [--workers N] [--out sweep.json]``.
+Run with ``python examples/sweep_demo.py [--workers N] [--backend NAME]
+[--out sweep.json]``; artifacts default to the ignored ``examples/out/``
+directory.
 
 Where :mod:`repro.eval.ablations` sweeps one parameter at a time, the
 :mod:`repro.eval.sweep` subsystem evaluates the full cross product —
 network x design x crossbar size x WDM capacity x read-noise level — with
-memoised workloads/models/schedules and optional multiprocessing workers.
-This example:
+memoised workloads/models/schedules, executing through the pluggable
+:mod:`repro.runtime` executor layer.  This example:
 
 1. declares a grid over two networks, all three designs, three crossbar
    sizes and three WDM capacities, with a functional read-noise axis;
-2. runs it (serially by default, in parallel with ``--workers``), showing
-   that results are deterministic either way;
+2. runs it (serially by default; ``--workers``/``--backend`` select a
+   parallel backend), showing that results are deterministic either way;
 3. prints the result table, the best configuration per network, and writes
    the structured JSON artifact the benchmarks/CI consume.
 """
@@ -19,16 +21,26 @@ This example:
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.eval.reporting import format_sweep_table
 from repro.eval.sweep import SweepGrid, run_sweep, write_sweep_json
+from repro.runtime import BACKENDS
+
+#: generated example artifacts land in an ignored directory, never the repo
+#: root (only the committed BENCH_*.json artifacts live there)
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "out", "sweep_demo.json")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=0,
-                        help="multiprocessing workers (0 = serial)")
-    parser.add_argument("--out", default="sweep_demo.json",
+                        help="parallel workers (0 = serial)")
+    parser.add_argument("--backend", default=None, choices=BACKENDS,
+                        help="runtime executor backend (default: resolved "
+                             "from --workers / REPRO_RUNTIME_BACKEND)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
                         help="path of the JSON artifact to write")
     args = parser.parse_args()
 
@@ -40,9 +52,11 @@ def main() -> None:
         noise_sigmas=(0.0, 0.02, 0.05),
         seed=0,
     )
-    print(f"evaluating {len(grid.points())} grid points "
-          f"({'serial' if args.workers < 2 else f'{args.workers} workers'})...")
-    result = run_sweep(grid, workers=args.workers or None)
+    mode = args.backend or ("serial" if args.workers < 2
+                            else f"{args.workers} workers")
+    print(f"evaluating {len(grid.points())} grid points ({mode})...")
+    result = run_sweep(grid, workers=args.workers or None,
+                       backend=args.backend)
 
     print(format_sweep_table(record.to_dict() for record in result.records))
     print()

@@ -148,8 +148,16 @@ def baseline_epcm_config(*, crossbar_size: int = 256) -> AcceleratorConfig:
 
 
 def tacitmap_epcm_config(*, crossbar_size: int = 256,
-                         columns_per_adc: int = 8) -> AcceleratorConfig:
-    """TacitMap on electronic PCM crossbars (same PCM as the baseline)."""
+                         columns_per_adc: int = 8,
+                         vcores_per_ecore: int = 8,
+                         ecores_per_tile: int = 8,
+                         tiles_per_node: int = 8) -> AcceleratorConfig:
+    """TacitMap on electronic PCM crossbars (same PCM as the baseline).
+
+    The VCore/ECore/Tile hierarchy sizing is exposed so the design-space
+    sweeps can treat provisioning (nodes required, utilisation, static
+    power) as first-class axes; the defaults are the paper's 8/8/8 node.
+    """
     tile = TileConfig(
         rows=crossbar_size,
         cols=crossbar_size,
@@ -169,12 +177,23 @@ def tacitmap_epcm_config(*, crossbar_size: int = 256,
         technology="epcm",
         tile=tile,
         wdm_capacity=1,
+        vcores_per_ecore=vcores_per_ecore,
+        ecores_per_tile=ecores_per_tile,
+        tiles_per_node=tiles_per_node,
     )
 
 
 def einsteinbarrier_config(*, crossbar_size: int = 256, wdm_capacity: int = 16,
-                           columns_per_adc: int = 1) -> AcceleratorConfig:
-    """EinsteinBarrier: TacitMap on oPCM VCores with WDM and TIAs."""
+                           columns_per_adc: int = 1,
+                           vcores_per_ecore: int = 8,
+                           ecores_per_tile: int = 8,
+                           tiles_per_node: int = 8) -> AcceleratorConfig:
+    """EinsteinBarrier: TacitMap on oPCM VCores with WDM and TIAs.
+
+    Hierarchy sizing (VCores per ECore, ECores per Tile, Tiles per Node)
+    is a sweepable provisioning knob, exactly like ``wdm_capacity`` and
+    ``columns_per_adc``; defaults reproduce the paper's Fig. 4 node.
+    """
     tile = TileConfig(
         rows=crossbar_size,
         cols=crossbar_size,
@@ -191,6 +210,9 @@ def einsteinbarrier_config(*, crossbar_size: int = 256, wdm_capacity: int = 16,
         technology="opcm",
         tile=tile,
         wdm_capacity=wdm_capacity,
+        vcores_per_ecore=vcores_per_ecore,
+        ecores_per_tile=ecores_per_tile,
+        tiles_per_node=tiles_per_node,
     )
 
 

@@ -152,6 +152,24 @@ class AllocationReport:
         """True when the whole network fits in one node."""
         return self.nodes_required <= 1
 
+    @property
+    def vcores_provisioned(self) -> int:
+        """Total VCores in the provisioned nodes (allocation granularity)."""
+        return self.nodes_required * self.vcores_per_node
+
+    @property
+    def node_utilisation(self) -> float:
+        """Fraction of provisioned VCores the network actually occupies.
+
+        Nodes are the provisioning granularity, so a network needing one
+        VCore more than a node holds pays for a whole second node — the
+        effect the hierarchy-sizing sweep axes expose.  A workload with no
+        binary layers occupies zero VCores and utilises nothing.
+        """
+        if self.vcores_required <= 0:
+            return 0.0
+        return self.vcores_required / self.vcores_provisioned
+
 
 class EinsteinBarrierSystem:
     """System-level façade over the hierarchy for one accelerator design."""

@@ -36,6 +36,7 @@ from repro.bnn.xnor_ops import (
     SIGN_LE,
     SignSpec,
 )
+from repro.runtime.executors import Executor, resolve_executor
 from repro.utils.rng import derive_seed, make_rng
 
 
@@ -260,6 +261,24 @@ def fold_batchnorm_sign(batch_norm: Optional[BatchNorm], num_channels: int,
     return SignSpec(mode=mode, threshold=threshold, constant=constant)
 
 
+class _ChunkTask:
+    """Picklable task running one ``(offset, chunk)`` pair of an engine.
+
+    A plain callable object (not a closure or bound method partial-ism)
+    so the process/queue backends of :mod:`repro.runtime` can ship it by
+    pickle; the engine itself pickles because its plan holds only layers,
+    numpy arrays and (since :class:`repro.eval.robustness.PopcountFlipRate`
+    became a dataclass) picklable flip-rate callables.
+    """
+
+    def __init__(self, engine: "InferenceEngine") -> None:
+        self.engine = engine
+
+    def __call__(self, item: Tuple[int, np.ndarray]) -> np.ndarray:
+        offset, chunk = item
+        return self.engine._run_chunk(chunk, offset)
+
+
 class InferenceEngine:
     """Batched end-to-end inference with activations packed between layers.
 
@@ -420,7 +439,10 @@ class InferenceEngine:
             state = state.to_bipolar().astype(np.float64)
         return state
 
-    def forward_batch(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:
+    def forward_batch(self, x: np.ndarray, *, batch_size: int = 256,
+                      workers: Optional[int] = None,
+                      backend: Optional[str] = None,
+                      executor: Optional[Executor] = None) -> np.ndarray:
         """Logits for a whole image batch through the packed plan.
 
         Each ``batch_size`` chunk is bit-exact with ``model.forward`` on the
@@ -429,21 +451,48 @@ class InferenceEngine:
         in the last ulp when chunked differently), so compare against a dense
         pass over identical chunks; the binary layers are exact integer
         arithmetic at any chunking.
+
+        The per-chunk loop is the engine's parallel seam: chunks are
+        independent (flip-noise streams derive from each chunk's offset),
+        so they fan out across any :mod:`repro.runtime` backend via
+        ``workers=`` (process pool), ``backend=`` (``"serial"`` /
+        ``"thread"`` / ``"process"`` / ``"queue"``) or a caller-owned
+        ``executor=``.  Outputs are reassembled in offset order, so every
+        backend is bit-exact with the serial path for a given
+        ``(seed, batch_size)``.  The default stays serial — chunk-level
+        parallelism is opt-in per call, and deliberately ignores the
+        ``REPRO_RUNTIME_BACKEND`` toggle so sweep workers (which may
+        themselves be pool processes that cannot spawn children) can call
+        engines safely.
         """
         x = np.asarray(x)
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if x.shape[0] == 0:
             raise ValueError("forward_batch needs at least one sample")
-        outputs = [
-            self._run_chunk(x[start:start + batch_size], start)
+        items = [
+            (start, x[start:start + batch_size])
             for start in range(0, x.shape[0], batch_size)
         ]
+        task = _ChunkTask(self)
+        if executor is not None:
+            outputs = executor.map(task, items)
+        else:
+            with resolve_executor(backend=backend, workers=workers,
+                                  env=False) as runner:
+                outputs = runner.map(task, items)
         return np.concatenate(outputs, axis=0)
 
-    def predict_batch(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:
-        """Arg-max class indices for a whole image batch."""
-        return np.argmax(self.forward_batch(x, batch_size=batch_size), axis=1)
+    def predict_batch(self, x: np.ndarray, *, batch_size: int = 256,
+                      **runtime_kwargs) -> np.ndarray:
+        """Arg-max class indices for a whole image batch.
+
+        ``runtime_kwargs`` (``workers=``, ``backend=``, ``executor=``)
+        forward to :meth:`forward_batch`.
+        """
+        logits = self.forward_batch(x, batch_size=batch_size,
+                                    **runtime_kwargs)
+        return np.argmax(logits, axis=1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         fused = sum(1 for step in self._steps if step.kind == _STEP_FUSED)

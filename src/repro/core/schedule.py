@@ -21,6 +21,7 @@ The counts encode the paper's first-order claims directly:
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -204,8 +205,13 @@ def _custbinarymap_layer_schedule(spec: LayerSpec,
 
 #: memoisation table for :func:`build_layer_schedule`.  Every input is a
 #: frozen (hashable) dataclass and every output is immutable, so schedules
-#: can be shared freely across compiler, hierarchy, area and sweep callers.
+#: can be shared freely across compiler, hierarchy, area and sweep callers —
+#: including concurrently: the runtime layer's thread backend
+#: (:class:`repro.runtime.executors.ThreadExecutor`) shares this per-process
+#: cache across worker threads, so lookups/inserts and the hit/miss counters
+#: are serialised under a lock.
 _SCHEDULE_CACHE: Dict[Tuple[LayerSpec, str, TileShape, int], LayerSchedule] = {}
+_CACHE_LOCK = threading.Lock()
 _CACHE_HITS = 0
 _CACHE_MISSES = 0
 
@@ -213,18 +219,20 @@ _CACHE_MISSES = 0
 def clear_schedule_cache() -> None:
     """Empty the layer-schedule memoisation table and reset its counters."""
     global _CACHE_HITS, _CACHE_MISSES
-    _SCHEDULE_CACHE.clear()
-    _CACHE_HITS = 0
-    _CACHE_MISSES = 0
+    with _CACHE_LOCK:
+        _SCHEDULE_CACHE.clear()
+        _CACHE_HITS = 0
+        _CACHE_MISSES = 0
 
 
 def schedule_cache_stats() -> Dict[str, int]:
     """Hit/miss/size counters of the layer-schedule memoisation table."""
-    return {
-        "hits": _CACHE_HITS,
-        "misses": _CACHE_MISSES,
-        "size": len(_SCHEDULE_CACHE),
-    }
+    with _CACHE_LOCK:
+        return {
+            "hits": _CACHE_HITS,
+            "misses": _CACHE_MISSES,
+            "size": len(_SCHEDULE_CACHE),
+        }
 
 
 def build_layer_schedule(spec: LayerSpec, *, mapping: str,
@@ -264,10 +272,11 @@ def build_layer_schedule(spec: LayerSpec, *, mapping: str,
         raise ValueError("wdm_capacity must be >= 1")
     key = (spec, mapping, tile, wdm_capacity)
     if memoize:
-        cached = _SCHEDULE_CACHE.get(key)
-        if cached is not None:
-            _CACHE_HITS += 1
-            return cached
+        with _CACHE_LOCK:
+            cached = _SCHEDULE_CACHE.get(key)
+            if cached is not None:
+                _CACHE_HITS += 1
+                return cached
     if mapping == TacitMap.name:
         schedule = _tacitmap_layer_schedule(spec, tile, wdm_capacity)
     elif mapping == CustBinaryMap.name:
@@ -277,8 +286,16 @@ def build_layer_schedule(spec: LayerSpec, *, mapping: str,
     else:
         raise ValueError(f"unknown mapping {mapping!r}")
     if memoize:
-        _CACHE_MISSES += 1
-        _SCHEDULE_CACHE[key] = schedule
+        # two threads may race to build the same schedule; both build the
+        # identical immutable value, the first insert wins and the counters
+        # stay consistent because they only move under the lock
+        with _CACHE_LOCK:
+            if key not in _SCHEDULE_CACHE:
+                _CACHE_MISSES += 1
+                _SCHEDULE_CACHE[key] = schedule
+            else:
+                _CACHE_HITS += 1
+            return _SCHEDULE_CACHE[key]
     return schedule
 
 

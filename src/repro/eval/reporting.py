@@ -75,12 +75,13 @@ def format_sweep_table(records: Iterable[Mapping[str, object]]) -> str:
     """Render sweep records (as dicts) as an aligned plain-text table."""
     headers = [
         "network", "design", "size", "K", "noise", "latency[us]",
-        "speedup", "energy ratio", "popcount err",
+        "speedup", "energy ratio", "popcount err", "nodes", "util",
     ]
     rows = []
     for record in records:
         noise = record.get("noise_sigma")
         error = record.get("popcount_error")
+        utilisation = record.get("node_utilisation")
         rows.append([
             record["network"],
             record["design"],
@@ -91,5 +92,7 @@ def format_sweep_table(records: Iterable[Mapping[str, object]]) -> str:
             float(record["speedup_vs_baseline"]),
             float(record["energy_ratio_vs_baseline"]),
             "-" if error is None else f"{error:.3g}",
+            int(record.get("nodes_required", 1)),
+            "-" if utilisation is None else f"{utilisation:.2f}",
         ])
     return format_table(headers, rows)

@@ -112,6 +112,56 @@ def popcount_error_rate(*, vector_length: int = 128, num_outputs: int = 32,
     return wrong / total
 
 
+@dataclass
+class PopcountFlipRate:
+    """Per-layer bit-flip rate callable for the packed inference engine.
+
+    Maps a binary layer's XNOR vector length to a bit-flip probability
+    derived from the functional popcount error rate of a crossbar column of
+    that length under the given noise knobs — the parameterisation
+    :class:`repro.bnn.model.InferenceEngine` accepts as ``flip_rate``.  A
+    miscount flips the downstream sign bit only when it crosses the
+    binarisation threshold, which holds for roughly half of the
+    (symmetrically distributed) miscounts, so the flip probability is half
+    the error rate; at a fully garbled read (error rate 1) the bit becomes
+    a fair coin rather than a deterministic inversion.
+
+    Rates are memoised per vector length and seeded per length via
+    :func:`repro.utils.rng.derive_seed`, so the same configuration always
+    produces the same rates regardless of which layer asks first.  The
+    object is a plain (picklable) dataclass rather than a closure so an
+    engine carrying it can cross process boundaries — the runtime layer's
+    process/queue backends ship engines and sweep points by pickle.
+    """
+
+    read_noise_sigma: float
+    thermal_sigma: float = 0.0
+    shot_factor: float = 0.0
+    ir_drop_alpha: float = 0.0
+    technology: str = "epcm"
+    num_outputs: int = 16
+    trials: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._cache: Dict[int, float] = {}
+
+    def __call__(self, vector_length: int) -> float:
+        if vector_length not in self._cache:
+            self._cache[vector_length] = 0.5 * popcount_error_rate(
+                vector_length=vector_length,
+                num_outputs=self.num_outputs,
+                read_noise_sigma=self.read_noise_sigma,
+                thermal_sigma=self.thermal_sigma,
+                shot_factor=self.shot_factor,
+                ir_drop_alpha=self.ir_drop_alpha,
+                technology=self.technology,
+                trials=self.trials,
+                rng=derive_seed(self.seed, f"flip/{vector_length}"),
+            )
+        return self._cache[vector_length]
+
+
 def popcount_flip_rate_fn(*, read_noise_sigma: float,
                           thermal_sigma: float = 0.0,
                           shot_factor: float = 0.0,
@@ -119,40 +169,17 @@ def popcount_flip_rate_fn(*, read_noise_sigma: float,
                           technology: str = "epcm",
                           num_outputs: int = 16, trials: int = 4,
                           seed: int = 0) -> Callable[[int], float]:
-    """Per-layer bit-flip rate callable for the packed inference engine.
-
-    The returned function maps a binary layer's XNOR vector length to a
-    bit-flip probability derived from the functional popcount error rate of
-    a crossbar column of that length under the given noise knobs — the
-    parameterisation :class:`repro.bnn.model.InferenceEngine` accepts as
-    ``flip_rate``.  A miscount flips the downstream sign bit only when it
-    crosses the binarisation threshold, which holds for roughly half of the
-    (symmetrically distributed) miscounts, so the flip probability is half
-    the error rate; at a fully garbled read (error rate 1) the bit becomes
-    a fair coin rather than a deterministic inversion.
-
-    Rates are memoised per vector length and seeded per length via
-    :func:`repro.utils.rng.derive_seed`, so the same configuration always
-    produces the same rates regardless of which layer asks first.
-    """
-    cache: Dict[int, float] = {}
-
-    def rate_for_length(vector_length: int) -> float:
-        if vector_length not in cache:
-            cache[vector_length] = 0.5 * popcount_error_rate(
-                vector_length=vector_length,
-                num_outputs=num_outputs,
-                read_noise_sigma=read_noise_sigma,
-                thermal_sigma=thermal_sigma,
-                shot_factor=shot_factor,
-                ir_drop_alpha=ir_drop_alpha,
-                technology=technology,
-                trials=trials,
-                rng=derive_seed(seed, f"flip/{vector_length}"),
-            )
-        return cache[vector_length]
-
-    return rate_for_length
+    """Build a :class:`PopcountFlipRate` (kept for call-site compatibility)."""
+    return PopcountFlipRate(
+        read_noise_sigma=read_noise_sigma,
+        thermal_sigma=thermal_sigma,
+        shot_factor=shot_factor,
+        ir_drop_alpha=ir_drop_alpha,
+        technology=technology,
+        num_outputs=num_outputs,
+        trials=trials,
+        seed=seed,
+    )
 
 
 @dataclass(frozen=True)

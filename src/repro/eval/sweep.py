@@ -9,11 +9,16 @@ This module provides that as a small subsystem:
 * :class:`SweepGrid` — a declarative description of the grid.  Axes that do
   not apply to a design are collapsed automatically (only EinsteinBarrier
   sweeps WDM capacity; the electronic designs are evaluated once at K = 1).
-* :func:`run_sweep` — evaluates every grid point, either serially or on a
-  :mod:`multiprocessing` pool.  Workloads, accelerator models and inference
-  reports are memoised (`repro.bnn.workload.get_workload`, the model/report
-  caches here, and the layer-schedule cache in :mod:`repro.core.schedule`),
-  so repeated structure across the grid is built exactly once per process.
+* :func:`run_sweep` — evaluates every grid point through the unified
+  runtime layer (:mod:`repro.runtime`): ``backend=`` selects the executor
+  (serial / thread / process / queue), ``workers=`` keeps the historical
+  ``multiprocessing`` semantics, and the ``REPRO_RUNTIME_BACKEND``
+  environment variable can force a backend fleet-wide (CI uses it to run
+  the tier-1 suite over the process backend).  Workloads, accelerator
+  models and inference reports are memoised
+  (`repro.bnn.workload.get_workload`, the model/report caches here, and the
+  layer-schedule cache in :mod:`repro.core.schedule`), so repeated
+  structure across the grid is built exactly once per process.
 * :class:`SweepRecord` / :class:`SweepResult` — structured results with a
   JSON-ready payload (:meth:`SweepResult.to_payload`,
   :func:`write_sweep_json`) consumed by the benchmarks and CI artifacts.
@@ -24,9 +29,13 @@ This module provides that as a small subsystem:
   accuracy-vs-noise curves sweep in seconds.
 
 Beyond read noise, the analytical grid exposes the remaining noise axes of
-:class:`repro.crossbar.noise.NoiseConfig` (thermal, shot, IR drop) and the
-ADC-sharing factor ``columns_per_adc`` as first-class axes; axes that do not
-apply to a design are collapsed automatically, exactly like the WDM axis.
+:class:`repro.crossbar.noise.NoiseConfig` (thermal, shot, IR drop), the
+ADC-sharing factor ``columns_per_adc`` and the spatial hierarchy sizing
+(``vcores_per_ecore`` / ``ecores_per_tile`` / ``tiles_per_node`` of
+:mod:`repro.arch.hierarchy`) as first-class axes; axes that do not apply to
+a design are collapsed automatically, exactly like the WDM axis.  The
+hierarchy axes surface provisioning metrics (nodes required, VCore
+utilisation) in every record.
 
 Determinism: every stochastic quantity (the optional popcount-error metric,
 the accuracy scenario's training/noise streams) is seeded per grid point
@@ -44,8 +53,8 @@ Example
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import asdict, dataclass, field
+from itertools import product
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -63,6 +72,7 @@ from repro.bnn.training import train
 from repro.bnn.workload import get_workload
 from repro.eval.robustness import popcount_error_rate, popcount_flip_rate_fn
 from repro.eval.reporting import write_json_report
+from repro.runtime.executors import Executor, resolve_executor
 from repro.utils.rng import derive_seed
 
 #: config factory per design key (the paper's three evaluated designs)
@@ -79,8 +89,21 @@ WDM_DESIGNS = frozenset({"einsteinbarrier"})
 #: per-column PCSAs have no sharing knob, so the axis collapses for it)
 ADC_SHARING_DESIGNS = frozenset({"tacitmap_epcm", "einsteinbarrier"})
 
-_MODEL_CACHE: Dict[Tuple[str, int, int, Optional[int]], AcceleratorModel] = {}
-_REPORT_CACHE: Dict[Tuple[str, int, int, Optional[int], str], InferenceReport] = {}
+#: designs whose VCore/ECore/Tile hierarchy sizing is a provisioning knob
+#: (the PUMA-like TacitMap machines of Fig. 4; the baseline's fixed
+#: crossbar organisation contributes one point at its factory default,
+#: mirroring the WDM and ADC collapses)
+HIERARCHY_DESIGNS = frozenset({"tacitmap_epcm", "einsteinbarrier"})
+
+#: hierarchy sizing triple (VCores/ECore, ECores/Tile, Tiles/Node); ``None``
+#: components keep the design factory's default
+Hierarchy = Tuple[Optional[int], Optional[int], Optional[int]]
+
+_DEFAULT_HIERARCHY: Hierarchy = (None, None, None)
+
+_ModelKey = Tuple[str, int, int, Optional[int], Hierarchy]
+_MODEL_CACHE: Dict[_ModelKey, AcceleratorModel] = {}
+_REPORT_CACHE: Dict[Tuple[_ModelKey, str], InferenceReport] = {}
 _TRAINED_CACHE: Dict[Tuple[str, int, int], BNNModel] = {}
 
 
@@ -96,9 +119,25 @@ def _effective_columns_per_adc(design: str,
     return columns_per_adc if design in ADC_SHARING_DESIGNS else None
 
 
+def _effective_hierarchy(design: str, hierarchy: Hierarchy) -> Hierarchy:
+    return hierarchy if design in HIERARCHY_DESIGNS else _DEFAULT_HIERARCHY
+
+
+def _model_key(design: str, crossbar_size: int, wdm_capacity: int,
+               columns_per_adc: Optional[int],
+               hierarchy: Hierarchy) -> _ModelKey:
+    effective_wdm = wdm_capacity if design in WDM_DESIGNS else 1
+    return (design, crossbar_size, effective_wdm,
+            _effective_columns_per_adc(design, columns_per_adc),
+            _effective_hierarchy(design, hierarchy))
+
+
 def get_accelerator_model(design: str, *, crossbar_size: int = 256,
                           wdm_capacity: int = 1,
-                          columns_per_adc: Optional[int] = None
+                          columns_per_adc: Optional[int] = None,
+                          vcores_per_ecore: Optional[int] = None,
+                          ecores_per_tile: Optional[int] = None,
+                          tiles_per_node: Optional[int] = None
                           ) -> AcceleratorModel:
     """Memoised :class:`AcceleratorModel` for one design configuration.
 
@@ -107,39 +146,51 @@ def get_accelerator_model(design: str, *, crossbar_size: int = 256,
     experiments) is safe because the models are stateless after ``__init__``.
     ``columns_per_adc = None`` keeps each design's factory default; explicit
     values apply only to the ADC-readout designs (the baseline's PCSAs have
-    no sharing knob, mirroring how the WDM axis collapses for ePCM).
+    no sharing knob, mirroring how the WDM axis collapses for ePCM).  The
+    hierarchy sizing triple behaves the same way: ``None`` components keep
+    the factory default, and explicit values apply only to the PUMA-like
+    designs in :data:`HIERARCHY_DESIGNS`.
     """
     if design not in DESIGN_FACTORIES:
         raise ValueError(
             f"unknown design {design!r}; choose from {sorted(DESIGN_FACTORIES)}"
         )
-    effective_wdm = wdm_capacity if design in WDM_DESIGNS else 1
-    effective_adc = _effective_columns_per_adc(design, columns_per_adc)
-    key = (design, crossbar_size, effective_wdm, effective_adc)
+    hierarchy = (vcores_per_ecore, ecores_per_tile, tiles_per_node)
+    key = _model_key(design, crossbar_size, wdm_capacity, columns_per_adc,
+                     hierarchy)
     model = _MODEL_CACHE.get(key)
     if model is None:
+        _, _, effective_wdm, effective_adc, effective_hier = key
         factory = DESIGN_FACTORIES[design]
         kwargs: Dict[str, int] = {"crossbar_size": crossbar_size}
         if design in WDM_DESIGNS:
             kwargs["wdm_capacity"] = effective_wdm
         if effective_adc is not None:
             kwargs["columns_per_adc"] = effective_adc
+        for name, value in zip(
+            ("vcores_per_ecore", "ecores_per_tile", "tiles_per_node"),
+            effective_hier,
+        ):
+            if value is not None:
+                kwargs[name] = value
         model = AcceleratorModel(factory(**kwargs))
         _MODEL_CACHE[key] = model
     return model
 
 
 def _cached_report(design: str, crossbar_size: int, wdm_capacity: int,
-                   columns_per_adc: Optional[int],
+                   columns_per_adc: Optional[int], hierarchy: Hierarchy,
                    network: str) -> InferenceReport:
-    effective_wdm = wdm_capacity if design in WDM_DESIGNS else 1
-    effective_adc = _effective_columns_per_adc(design, columns_per_adc)
-    key = (design, crossbar_size, effective_wdm, effective_adc, network)
+    key = (_model_key(design, crossbar_size, wdm_capacity, columns_per_adc,
+                      hierarchy), network)
     report = _REPORT_CACHE.get(key)
     if report is None:
         model = get_accelerator_model(
-            design, crossbar_size=crossbar_size, wdm_capacity=effective_wdm,
-            columns_per_adc=effective_adc,
+            design, crossbar_size=crossbar_size, wdm_capacity=wdm_capacity,
+            columns_per_adc=columns_per_adc,
+            vcores_per_ecore=hierarchy[0],
+            ecores_per_tile=hierarchy[1],
+            tiles_per_node=hierarchy[2],
         )
         report = model.run_inference(get_workload(network))
         _REPORT_CACHE[key] = report
@@ -178,6 +229,13 @@ class SweepGrid:
         default.  Applies only to designs in :data:`ADC_SHARING_DESIGNS`
         (the baseline's PCSA read-out contributes one point per
         combination, like the WDM collapse).
+    vcores_per_ecore, ecores_per_tile, tiles_per_node:
+        Spatial hierarchy sizing axes (:mod:`repro.arch.hierarchy`);
+        ``None`` keeps each design factory's default (8/8/8).  They apply
+        only to designs in :data:`HIERARCHY_DESIGNS` — the baseline's
+        fixed organisation contributes one point per combination — and
+        they surface as provisioning metrics (``nodes_required``,
+        ``node_utilisation``) on every record.
     noise_trials, noise_vector_length, noise_num_outputs:
         Size of the functional popcount-error simulation per point.
     seed:
@@ -194,6 +252,9 @@ class SweepGrid:
     shot_factors: Tuple[float, ...] = (0.0,)
     ir_drop_alphas: Tuple[float, ...] = (0.0,)
     columns_per_adc: Tuple[Optional[int], ...] = (None,)
+    vcores_per_ecore: Tuple[Optional[int], ...] = (None,)
+    ecores_per_tile: Tuple[Optional[int], ...] = (None,)
+    tiles_per_node: Tuple[Optional[int], ...] = (None,)
     noise_trials: int = 4
     noise_vector_length: int = 64
     noise_num_outputs: int = 16
@@ -202,11 +263,13 @@ class SweepGrid:
     def __post_init__(self) -> None:
         for name in ("networks", "designs", "crossbar_sizes",
                      "wdm_capacities", "noise_sigmas", "thermal_sigmas",
-                     "shot_factors", "ir_drop_alphas", "columns_per_adc"):
+                     "shot_factors", "ir_drop_alphas", "columns_per_adc",
+                     "vcores_per_ecore", "ecores_per_tile", "tiles_per_node"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
         for name in ("networks", "designs", "crossbar_sizes", "wdm_capacities",
                      "thermal_sigmas", "shot_factors", "ir_drop_alphas",
-                     "columns_per_adc"):
+                     "columns_per_adc", "vcores_per_ecore", "ecores_per_tile",
+                     "tiles_per_node"):
             if not getattr(self, name):
                 raise ValueError(f"{name} must be non-empty")
         for design in self.designs:
@@ -232,6 +295,9 @@ class SweepGrid:
             raise ValueError("IR-drop alphas must be within [0, 1)")
         if any(cols is not None and cols < 1 for cols in self.columns_per_adc):
             raise ValueError("columns_per_adc values must be None or >= 1")
+        for name in ("vcores_per_ecore", "ecores_per_tile", "tiles_per_node"):
+            if any(v is not None and v < 1 for v in getattr(self, name)):
+                raise ValueError(f"{name} values must be None or >= 1")
         if self.noise_trials < 1:
             raise ValueError("noise_trials must be >= 1")
 
@@ -239,12 +305,12 @@ class SweepGrid:
         """Expand the grid into self-contained, picklable point specs.
 
         Expansion is row-major over (network, design, crossbar size, WDM
-        capacity, ADC sharing, read noise, thermal, shot, IR drop), with the
-        WDM and ADC axes collapsed for designs they do not apply to.  Point
-        seeds are salted with the axis values; the salt of a point whose new
-        axes sit at their defaults is identical to the pre-extension salt,
-        so adding axes to the grid never reshuffles existing points'
-        derived seeds.
+        capacity, ADC sharing, hierarchy sizing, read noise, thermal, shot,
+        IR drop), with the WDM, ADC and hierarchy axes collapsed for designs
+        they do not apply to.  Point seeds are salted with the axis values;
+        the salt of a point whose new axes sit at their defaults is
+        identical to the pre-extension salt, so adding axes to the grid
+        never reshuffles existing points' derived seeds.
         """
         sigmas: Tuple[Optional[float], ...] = self.noise_sigmas or (None,)
         specs: List[SweepPointSpec] = []
@@ -257,32 +323,45 @@ class SweepGrid:
                     self.columns_per_adc
                     if design in ADC_SHARING_DESIGNS else (None,)
                 )
-                for size in self.crossbar_sizes:
-                    for capacity in capacities:
-                        for cols in adc_sharings:
-                            for sigma in sigmas:
-                                for thermal in self.thermal_sigmas:
-                                    for shot in self.shot_factors:
-                                        for alpha in self.ir_drop_alphas:
-                                            specs.append(self._point(
-                                                network, design, size,
-                                                capacity, cols, sigma,
-                                                thermal, shot, alpha,
-                                            ))
+                hierarchies: Tuple[Hierarchy, ...]
+                if design in HIERARCHY_DESIGNS:
+                    hierarchies = tuple(product(
+                        self.vcores_per_ecore, self.ecores_per_tile,
+                        self.tiles_per_node,
+                    ))
+                else:
+                    hierarchies = (_DEFAULT_HIERARCHY,)
+                axes = product(
+                    self.crossbar_sizes, capacities, adc_sharings,
+                    hierarchies, sigmas, self.thermal_sigmas,
+                    self.shot_factors, self.ir_drop_alphas,
+                )
+                for (size, capacity, cols, hierarchy, sigma, thermal,
+                     shot, alpha) in axes:
+                    specs.append(self._point(
+                        network, design, size, capacity, cols, hierarchy,
+                        sigma, thermal, shot, alpha,
+                    ))
         return specs
 
     def _point(self, network: str, design: str, size: int, capacity: int,
-               cols: Optional[int], sigma: Optional[float], thermal: float,
+               cols: Optional[int], hierarchy: Hierarchy,
+               sigma: Optional[float], thermal: float,
                shot: float, alpha: float) -> "SweepPointSpec":
         salt = f"{network}/{design}/{size}/{capacity}/{sigma}"
         if (thermal, shot, alpha, cols) != (0.0, 0.0, 0.0, None):
             salt += f"/{thermal}/{shot}/{alpha}/{cols}"
+        if hierarchy != _DEFAULT_HIERARCHY:
+            salt += f"/h{hierarchy[0]}/{hierarchy[1]}/{hierarchy[2]}"
         return SweepPointSpec(
             network=network,
             design=design,
             crossbar_size=size,
             wdm_capacity=capacity,
             columns_per_adc=cols,
+            vcores_per_ecore=hierarchy[0],
+            ecores_per_tile=hierarchy[1],
+            tiles_per_node=hierarchy[2],
             noise_sigma=sigma,
             thermal_sigma=thermal,
             shot_factor=shot,
@@ -308,9 +387,18 @@ class SweepPointSpec:
     noise_num_outputs: int
     seed: int
     columns_per_adc: Optional[int] = None
+    vcores_per_ecore: Optional[int] = None
+    ecores_per_tile: Optional[int] = None
+    tiles_per_node: Optional[int] = None
     thermal_sigma: float = 0.0
     shot_factor: float = 0.0
     ir_drop_alpha: float = 0.0
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """Hierarchy sizing triple (``None`` components = factory default)."""
+        return (self.vcores_per_ecore, self.ecores_per_tile,
+                self.tiles_per_node)
 
     @property
     def has_functional_noise(self) -> bool:
@@ -348,6 +436,12 @@ class SweepRecord:
     thermal_sigma: float = 0.0
     shot_factor: float = 0.0
     ir_drop_alpha: float = 0.0
+    vcores_per_ecore: int = 8
+    ecores_per_tile: int = 8
+    tiles_per_node: int = 8
+    vcores_required: int = 0
+    nodes_required: int = 1
+    node_utilisation: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready dictionary of this record."""
@@ -358,15 +452,19 @@ def evaluate_point(spec: SweepPointSpec) -> SweepRecord:
     """Evaluate one grid point (deterministic given the spec)."""
     report = _cached_report(
         spec.design, spec.crossbar_size, spec.wdm_capacity,
-        spec.columns_per_adc, spec.network
+        spec.columns_per_adc, spec.hierarchy, spec.network
     )
     baseline = _cached_report(
-        "baseline_epcm", spec.crossbar_size, 1, None, spec.network
+        "baseline_epcm", spec.crossbar_size, 1, None, _DEFAULT_HIERARCHY,
+        spec.network
     )
     model = get_accelerator_model(
         spec.design, crossbar_size=spec.crossbar_size,
         wdm_capacity=spec.wdm_capacity,
         columns_per_adc=spec.columns_per_adc,
+        vcores_per_ecore=spec.vcores_per_ecore,
+        ecores_per_tile=spec.ecores_per_tile,
+        tiles_per_node=spec.tiles_per_node,
     )
     popcount_error: Optional[float] = None
     if spec.has_functional_noise:
@@ -396,6 +494,12 @@ def evaluate_point(spec: SweepPointSpec) -> SweepRecord:
         thermal_sigma=spec.thermal_sigma,
         shot_factor=spec.shot_factor,
         ir_drop_alpha=spec.ir_drop_alpha,
+        vcores_per_ecore=model.config.vcores_per_ecore,
+        ecores_per_tile=model.config.ecores_per_tile,
+        tiles_per_node=model.config.tiles_per_node,
+        vcores_required=report.allocation.vcores_required,
+        nodes_required=report.allocation.nodes_required,
+        node_utilisation=report.allocation.node_utilisation,
     )
 
 
@@ -420,25 +524,50 @@ class SweepResult:
         return max(self.records, key=lambda r: getattr(r, metric))
 
 
-def run_sweep(grid: SweepGrid, *, workers: Optional[int] = None) -> SweepResult:
-    """Evaluate every point of ``grid``.
+def _run_points(fn, points, *, workers: Optional[int],
+                backend: Optional[str],
+                executor: Optional[Executor]) -> List[object]:
+    """Fan grid points out over the runtime layer (ordered results).
+
+    An explicitly supplied ``executor`` is used as-is and left open (the
+    caller owns its lifecycle); otherwise the backend is resolved from
+    ``backend=``, the ``REPRO_RUNTIME_BACKEND`` environment variable, or
+    the historical ``workers=`` semantics, and closed after the run.
+    """
+    if executor is not None:
+        return executor.map(fn, points)
+    with resolve_executor(backend=backend, workers=workers) as runner:
+        return runner.map(fn, points)
+
+
+def run_sweep(grid: SweepGrid, *, workers: Optional[int] = None,
+              backend: Optional[str] = None,
+              executor: Optional[Executor] = None) -> SweepResult:
+    """Evaluate every point of ``grid`` through the runtime layer.
 
     Parameters
     ----------
     grid:
         The parameter grid to evaluate.
     workers:
-        ``None``/``0``/``1`` evaluates serially in-process (sharing the
-        memoisation caches with the caller); larger values fan the points
-        out over a :class:`multiprocessing.Pool`.  Results are identical
-        either way — each point is self-contained and seeded.
+        Backward-compatible worker count: ``None``/``0``/``1`` evaluates
+        serially in-process (sharing the memoisation caches with the
+        caller); larger values fan the points out over the process backend
+        — exactly the old :class:`multiprocessing.Pool` behaviour.
+    backend:
+        Runtime backend name (``"serial"``, ``"thread"``, ``"process"``,
+        ``"queue"``); overrides the ``workers`` heuristic and the
+        ``REPRO_RUNTIME_BACKEND`` environment toggle.
+    executor:
+        A pre-built :class:`repro.runtime.Executor` to reuse across calls
+        (the caller keeps ownership; it is not closed).
+
+    Records are bit-identical for any backend and worker count — each
+    point is self-contained and seeded, and every backend returns results
+    in submission order.
     """
-    points = grid.points()
-    if workers is not None and workers > 1:
-        with multiprocessing.Pool(processes=workers) as pool:
-            records = pool.map(evaluate_point, points)
-    else:
-        records = [evaluate_point(point) for point in points]
+    records = _run_points(evaluate_point, grid.points(), workers=workers,
+                          backend=backend, executor=executor)
     return SweepResult(grid=grid, records=records)
 
 
@@ -658,20 +787,20 @@ class AccuracySweepResult:
 
 
 def run_accuracy_sweep(grid: AccuracySweepGrid, *,
-                       workers: Optional[int] = None) -> AccuracySweepResult:
-    """Evaluate every accuracy point of ``grid``.
+                       workers: Optional[int] = None,
+                       backend: Optional[str] = None,
+                       executor: Optional[Executor] = None
+                       ) -> AccuracySweepResult:
+    """Evaluate every accuracy point of ``grid`` through the runtime layer.
 
-    ``workers`` fans points out over a :class:`multiprocessing.Pool` exactly
-    like :func:`run_sweep`; each point is self-contained and seeded (and
-    quick training is seeded per network), so the records are identical for
-    any worker count.
+    ``workers``/``backend``/``executor`` behave exactly like
+    :func:`run_sweep`; each point is self-contained and seeded (and quick
+    training is seeded per network), so the records are identical for any
+    backend and worker count.
     """
-    points = grid.points()
-    if workers is not None and workers > 1:
-        with multiprocessing.Pool(processes=workers) as pool:
-            records = pool.map(evaluate_accuracy_point, points)
-    else:
-        records = [evaluate_accuracy_point(point) for point in points]
+    records = _run_points(evaluate_accuracy_point, grid.points(),
+                          workers=workers, backend=backend,
+                          executor=executor)
     return AccuracySweepResult(grid=grid, records=records)
 
 

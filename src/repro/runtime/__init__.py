@@ -1,0 +1,55 @@
+"""Unified runtime executor layer: one pluggable parallel substrate.
+
+Everything in the repository that fans independent work out — design-space
+sweep points (:mod:`repro.eval.sweep`), packed inference chunks
+(:class:`repro.bnn.model.InferenceEngine`), repeated benchmark
+measurements (``benchmarks/``) — executes through this package:
+
+* :mod:`repro.runtime.tasks` — the ordered work-list abstraction.
+* :mod:`repro.runtime.executors` — pluggable backends (serial / thread /
+  process) plus backend resolution (``backend=`` kwargs, ``workers=``
+  backward compatibility, the ``REPRO_RUNTIME_BACKEND`` env toggle).
+* :mod:`repro.runtime.queue` — the file/dir work-queue protocol, the seam
+  for multi-host execution (``python -m repro.runtime.queue <root>``).
+* :mod:`repro.runtime.measure` — the repeated-measurement harness the
+  benchmarks drive their timing loops through.
+
+Every backend returns results in submission order and every task argument
+is self-contained and seeded, so all call sites are bit-identical across
+backends — the contract the runtime test suite enforces.
+"""
+
+from repro.runtime.executors import (
+    BACKEND_ENV,
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    backend_from_env,
+    make_executor,
+    resolve_executor,
+)
+from repro.runtime.measure import Measurement, measure, measure_pair
+from repro.runtime.queue import QueueExecutor
+from repro.runtime.tasks import Task, WorkList, gather, run_serially
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "Executor",
+    "Measurement",
+    "ProcessExecutor",
+    "QueueExecutor",
+    "SerialExecutor",
+    "Task",
+    "ThreadExecutor",
+    "WorkList",
+    "backend_from_env",
+    "gather",
+    "make_executor",
+    "measure",
+    "measure_pair",
+    "resolve_executor",
+    "run_serially",
+]

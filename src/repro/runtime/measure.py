@@ -1,0 +1,132 @@
+"""Repeated-measurement harness driving benchmarks through the runtime.
+
+The benchmark files used to hand-roll ``for _ in range(reps)`` timing
+loops.  This module routes those repeated measurements through the same
+work-list/executor layer as the sweeps and the inference engine: each
+repetition is one task that times its own call with
+:func:`time.perf_counter`, so the per-call numbers stay valid no matter
+which backend runs the repetitions.  Timing repetitions default to the
+serial backend — wall-clock measurements only make sense without
+co-scheduled siblings — but *independent* measurement tasks (different
+configurations of one bench) can fan out across any executor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.runtime.executors import Executor, SerialExecutor
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Wall-clock samples of one repeated measurement."""
+
+    label: str
+    seconds: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.seconds:
+            raise ValueError("a measurement needs at least one sample")
+
+    @property
+    def reps(self) -> int:
+        """Number of timed repetitions."""
+        return len(self.seconds)
+
+    @property
+    def best(self) -> float:
+        """Fastest repetition (the least-noise estimator)."""
+        return min(self.seconds)
+
+    @property
+    def median(self) -> float:
+        """Median repetition (the robust central estimator)."""
+        ordered = sorted(self.seconds)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the repetitions."""
+        return sum(self.seconds) / len(self.seconds)
+
+    def throughput(self, items: int, *, estimator: str = "median") -> float:
+        """Items/second under the chosen estimator (``median`` or ``best``)."""
+        if estimator not in ("median", "best", "mean"):
+            raise ValueError("estimator must be 'median', 'best' or 'mean'")
+        return items / getattr(self, estimator)
+
+
+def _timed_call(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+class _TimedRep:
+    """Picklable per-repetition task: times one call of ``fn``.
+
+    A callable object rather than a closure so ``measure(executor=...)``
+    honours every backend — the process/queue backends ship tasks by
+    pickle (``fn`` itself must then be picklable too, the backends'
+    general contract).
+    """
+
+    def __init__(self, fn: Callable[[], object]) -> None:
+        self.fn = fn
+
+    def __call__(self, _rep: object) -> float:
+        return _timed_call(self.fn)
+
+
+def measure(fn: Callable[[], object], *, reps: int, label: str = "",
+            warmup: int = 0,
+            executor: Optional[Executor] = None) -> Measurement:
+    """Time ``fn()`` over ``reps`` repetitions through the runtime layer.
+
+    ``warmup`` untimed calls run first (pack caches, BLAS thread pools,
+    page faults).  Each repetition times itself inside its task, so the
+    samples are per-call durations under any backend; the default —
+    and recommended — backend for timing is serial.
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    for _ in range(warmup):
+        fn()
+    runner = executor if executor is not None else SerialExecutor()
+    samples: List[float] = runner.map(_TimedRep(fn), range(reps))
+    return Measurement(label=label, seconds=tuple(samples))
+
+
+def measure_pair(fast: Callable[[], object], slow: Callable[[], object], *,
+                 reps: int, label: str = "", warmup: int = 0
+                 ) -> Tuple[Measurement, Measurement, float]:
+    """Interleaved A/B measurement returning ``(fast, slow, speedup)``.
+
+    Interleaving the two callables inside each repetition (rather than
+    timing two separate loops) keeps slow thermal/background drift from
+    biasing one side — the layout the inference benchmarks use for their
+    dense-vs-packed speedups.  ``speedup`` is ``slow.median / fast.median``.
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    for _ in range(warmup):
+        slow()
+        fast()
+    slow_samples: List[float] = []
+    fast_samples: List[float] = []
+    for _ in range(reps):
+        slow_samples.append(_timed_call(slow))
+        fast_samples.append(_timed_call(fast))
+    fast_m = Measurement(label=f"{label}/fast" if label else "fast",
+                         seconds=tuple(fast_samples))
+    slow_m = Measurement(label=f"{label}/slow" if label else "slow",
+                         seconds=tuple(slow_samples))
+    return fast_m, slow_m, slow_m.median / fast_m.median

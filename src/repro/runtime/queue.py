@@ -1,0 +1,383 @@
+"""File/dir-based work queue: the seam for multi-host sweep execution.
+
+The ROADMAP's "distributed sweep execution beyond one host" item needs a
+transport that works over anything hosts can share — NFS, a synced scratch
+directory, an object-store FUSE mount.  This module defines that protocol
+and a :class:`QueueExecutor` backend speaking it.  The protocol is the
+deliverable; the executor doubles as a working single-host reference
+implementation (it serves its own queue inline by default), so the seam is
+exercised by the test suite today and scales out by simply pointing extra
+worker processes — on any host — at the same directory.
+
+Protocol (all paths relative to one queue layout directory):
+
+``tasks/task-NNNNNNN.pkl``
+    One pending task: a pickle of ``(index, fn, arg)``.  Producers write
+    the pickle to ``tmp/`` first and ``os.rename`` it into ``tasks/`` so a
+    consumer can never observe a half-written file.  When every task of a
+    run shares one callable, ``fn`` is ``None`` and the callable lives in
+    a single ``fn.pkl`` at the layout root instead — a heavyweight
+    callable (e.g. a chunk task holding a whole packed inference engine)
+    is serialised once per run, not once per task.
+``claims/task-NNNNNNN.pkl``
+    A task a worker has claimed, moved atomically out of ``tasks/`` via
+    ``os.rename`` — the rename either succeeds for exactly one worker or
+    raises, which is what makes concurrent workers safe without locks.
+``results/task-NNNNNNN.pkl``
+    The finished task: a pickle of ``(index, ok, payload)`` where ``ok``
+    is a bool and ``payload`` is the result or the formatted error.  Also
+    written via ``tmp/`` + rename.
+
+Every :meth:`QueueExecutor.execute` call creates its own
+``run-<unique-id>/`` layout under the shared root, so repeated or
+concurrent runs over one root can never observe each other's task or
+result files (a stale ``results/`` dir would otherwise satisfy a new
+run's result poll).  Successful runs remove their namespace; failed runs
+leave it behind with the error payloads for debugging.
+
+Workers are stateless loops over ``claim -> run -> publish`` across every
+layout under the root (the root itself, when callers drive the protocol
+functions directly, plus all ``run-*`` namespaces); run one with
+``python -m repro.runtime.queue <root>`` on every host sharing the
+directory.  Results are reassembled in submission order, so queue
+execution stays bit-identical with the serial oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import time
+import traceback
+import uuid
+from typing import List, Optional, Tuple
+
+from repro.runtime.executors import Executor
+from repro.runtime.tasks import Task, WorkList, gather
+
+_TASKS_DIR = "tasks"
+_CLAIMS_DIR = "claims"
+_RESULTS_DIR = "results"
+_TMP_DIR = "tmp"
+
+#: per-execute namespace directories created under a shared queue root
+_RUN_PREFIX = "run-"
+
+#: single shared task callable of one run (written when all tasks agree)
+_SHARED_FN_FILE = "fn.pkl"
+
+#: environment variable naming the shared queue root the registry backend
+#: uses (``backend="queue"`` / ``REPRO_RUNTIME_BACKEND=queue``); unset
+#: selects the self-contained single-host mode on a private temp dir
+QUEUE_DIR_ENV = "REPRO_RUNTIME_QUEUE_DIR"
+
+#: per-process cache of the *current* run's unpickled shared callable,
+#: keyed by fn.pkl path.  Bounded to one entry: a shared callable can be
+#: as heavy as a whole packed inference engine, and a long-lived --watch
+#: worker serves runs one after another (claims drain layouts in sorted
+#: order), so caching more than the run being drained only leaks memory.
+_SHARED_FN_CACHE: dict = {}
+
+
+def _task_filename(index: int) -> str:
+    return f"task-{index:07d}.pkl"
+
+
+def init_queue_dirs(root: str) -> None:
+    """Create the queue directory layout (idempotent)."""
+    for sub in (_TASKS_DIR, _CLAIMS_DIR, _RESULTS_DIR, _TMP_DIR):
+        os.makedirs(os.path.join(root, sub), exist_ok=True)
+
+
+def _atomic_write(root: str, subdir: str, filename: str,
+                  payload: object) -> None:
+    """Publish ``payload`` under ``root/subdir/filename`` via tmp + rename."""
+    tmp_path = os.path.join(root, _TMP_DIR, f"{filename}.{uuid.uuid4().hex}")
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp_path, os.path.join(root, subdir, filename))
+
+
+def write_shared_fn(root: str, fn) -> None:
+    """Publish the run's single shared task callable (``fn.pkl``)."""
+    _atomic_write(root, "", _SHARED_FN_FILE, fn)
+
+
+def _load_shared_fn(root: str):
+    path = os.path.join(root, _SHARED_FN_FILE)
+    key = os.path.abspath(path)
+    cached = _SHARED_FN_CACHE.get(key)
+    if cached is None:
+        with open(path, "rb") as handle:
+            cached = pickle.load(handle)
+        _SHARED_FN_CACHE.clear()
+        _SHARED_FN_CACHE[key] = cached
+    return cached
+
+
+def enqueue_task(root: str, task: Task, *, shared_fn: bool = False) -> None:
+    """Publish one pending task into the queue.
+
+    With ``shared_fn`` the task file carries ``None`` in the callable slot
+    and workers resolve it from the layout's ``fn.pkl`` (which the
+    producer must have published via :func:`write_shared_fn` first).
+    """
+    _atomic_write(root, _TASKS_DIR, _task_filename(task.index),
+                  (task.index, None if shared_fn else task.fn, task.arg))
+
+
+def claim_next_task(root: str) -> Optional[str]:
+    """Atomically claim the lowest-numbered pending task.
+
+    Returns the claimed file's path (now under ``claims/``), or ``None``
+    when no pending task exists.  Losing a rename race to another worker is
+    normal — the loser just moves on to the next file.
+    """
+    tasks_dir = os.path.join(root, _TASKS_DIR)
+    for filename in sorted(os.listdir(tasks_dir)):
+        if not filename.endswith(".pkl"):
+            continue
+        source = os.path.join(tasks_dir, filename)
+        target = os.path.join(root, _CLAIMS_DIR, filename)
+        try:
+            os.rename(source, target)
+        except OSError:
+            continue  # another worker won the claim
+        return target
+    return None
+
+
+def run_claimed_task(root: str, claimed_path: str) -> int:
+    """Execute one claimed task file and publish its result.
+
+    Worker exceptions are published as ``ok=False`` results (with the
+    traceback as payload) so the submitting executor re-raises them instead
+    of waiting forever.  Returns the task index.
+    """
+    with open(claimed_path, "rb") as handle:
+        index, fn, arg = pickle.load(handle)
+    if fn is None:
+        fn = _load_shared_fn(root)
+    try:
+        payload: object = fn(arg)
+        ok = True
+    except Exception:  # noqa: BLE001 - workers must never die silently
+        payload = traceback.format_exc()
+        ok = False
+    _atomic_write(root, _RESULTS_DIR, _task_filename(index),
+                  (index, ok, payload))
+    os.remove(claimed_path)
+    return index
+
+
+def _layout_roots(root: str) -> List[str]:
+    """Queue layouts reachable under ``root``.
+
+    The root itself counts when it carries a ``tasks/`` dir (callers
+    driving the protocol functions directly), followed by every
+    ``run-*`` namespace an executor created beneath it.
+    """
+    roots: List[str] = []
+    if os.path.isdir(os.path.join(root, _TASKS_DIR)):
+        roots.append(root)
+    try:
+        children = sorted(os.listdir(root))
+    except OSError:
+        children = []
+    for name in children:
+        if name.startswith(_RUN_PREFIX):
+            candidate = os.path.join(root, name)
+            if os.path.isdir(os.path.join(candidate, _TASKS_DIR)):
+                roots.append(candidate)
+    return roots
+
+
+def _serve_one(root: str) -> bool:
+    """Claim and run one pending task from any layout under ``root``."""
+    for layout in _layout_roots(root):
+        claimed = claim_next_task(layout)
+        if claimed is not None:
+            run_claimed_task(layout, claimed)
+            return True
+    return False
+
+
+def serve(root: str, *, max_tasks: Optional[int] = None) -> int:
+    """Drain the queue: claim and run tasks until none remain.
+
+    This is the worker loop ``python -m repro.runtime.queue`` runs; the
+    executor also calls it inline for single-host operation.  Tasks are
+    drained from the root's own layout and from every ``run-*`` namespace
+    under it.  Returns the number of tasks executed.
+    """
+    executed = 0
+    while max_tasks is None or executed < max_tasks:
+        if not _serve_one(root):
+            break
+        executed += 1
+    return executed
+
+
+def collect_results(root: str, expected: int, *, timeout_s: float,
+                    poll_interval_s: float) -> List[object]:
+    """Gather all ``expected`` results, polling until present or timeout."""
+    results_dir = os.path.join(root, _RESULTS_DIR)
+    deadline = time.monotonic() + timeout_s
+    while True:
+        present = [f for f in os.listdir(results_dir) if f.endswith(".pkl")]
+        if len(present) >= expected:
+            break
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"queue at {root!r} produced {len(present)} of {expected} "
+                f"results within {timeout_s:.1f}s; are workers running?"
+            )
+        time.sleep(poll_interval_s)
+    indexed: List[Tuple[int, object]] = []
+    failures: List[Tuple[int, object]] = []
+    for filename in sorted(present):
+        with open(os.path.join(results_dir, filename), "rb") as handle:
+            index, ok, payload = pickle.load(handle)
+        if ok:
+            indexed.append((index, payload))
+        else:
+            failures.append((index, payload))
+    if failures:
+        index, payload = failures[0]
+        raise RuntimeError(
+            f"queue task {index} failed on a worker:\n{payload}"
+        )
+    return gather(indexed, expected)
+
+
+class QueueExecutor(Executor):
+    """Executor speaking the file/dir work-queue protocol.
+
+    Parameters
+    ----------
+    root:
+        Shared queue directory.  ``None`` (the default) creates a private
+        temporary queue per :meth:`execute` call — the single-host mode.
+        When the runtime registry builds this backend
+        (``backend="queue"`` / ``REPRO_RUNTIME_BACKEND=queue``) the root
+        defaults from the :data:`QUEUE_DIR_ENV` environment variable, so
+        multi-host execution is reachable without constructing the
+        executor by hand.
+    inline_worker:
+        When true (default) the executor also drains the queue in-process
+        after enqueueing, so it works with zero external setup — and
+        *cooperates* with any external workers pointed at ``root`` (each
+        task is claimed exactly once, whoever gets it first).  Set false
+        for a pure coordinator that only enqueues and polls; that mode
+        requires an explicit shared ``root`` — with a private temp dir no
+        external worker could ever find the tasks and every run would
+        just time out.
+    workers:
+        Accepted for registry compatibility; the inline worker is always a
+        single loop (parallelism comes from running external workers).
+    timeout_s, poll_interval_s:
+        Result-polling knobs for the external-worker mode.
+    """
+
+    name = "queue"
+
+    def __init__(self, root: Optional[str] = None, *,
+                 inline_worker: bool = True, workers: int = 1,
+                 timeout_s: float = 300.0,
+                 poll_interval_s: float = 0.05) -> None:
+        if timeout_s <= 0 or poll_interval_s <= 0:
+            raise ValueError("timeout_s and poll_interval_s must be positive")
+        if root is None and not inline_worker:
+            raise ValueError(
+                "inline_worker=False needs an explicit shared root: on a "
+                "private temp queue no external worker could ever see the "
+                "tasks, so every execute() would only time out"
+            )
+        self.root = root
+        self.inline_worker = bool(inline_worker)
+        self.workers = int(workers)
+        self.timeout_s = float(timeout_s)
+        self.poll_interval_s = float(poll_interval_s)
+
+    def _queue_root(self) -> Tuple[str, bool]:
+        if self.root is not None:
+            return self.root, False
+        import tempfile
+
+        return tempfile.mkdtemp(prefix="repro-queue-"), True
+
+    def execute(self, worklist: WorkList) -> List[object]:
+        if not worklist:
+            return []
+        root, ephemeral = self._queue_root()
+        # a private namespace per run: re-running over a shared root (or
+        # two executors sharing it concurrently) must never see another
+        # run's task/result files — stale results would otherwise satisfy
+        # this run's poll
+        run_root = os.path.join(root, _RUN_PREFIX + uuid.uuid4().hex)
+        init_queue_dirs(run_root)
+        try:
+            shared = len({id(task.fn) for task in worklist}) == 1
+            if shared:
+                write_shared_fn(run_root, worklist.tasks[0].fn)
+            for task in worklist:
+                enqueue_task(run_root, task, shared_fn=shared)
+            if self.inline_worker:
+                serve(run_root, max_tasks=len(worklist))
+            results = collect_results(
+                run_root, len(worklist), timeout_s=self.timeout_s,
+                poll_interval_s=self.poll_interval_s,
+            )
+        finally:
+            if ephemeral:
+                import shutil
+
+                shutil.rmtree(root, ignore_errors=True)
+        # success: retire the namespace (failed runs keep theirs so the
+        # published error payloads stay inspectable)
+        if not ephemeral:
+            import shutil
+
+            shutil.rmtree(run_root, ignore_errors=True)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QueueExecutor(root={self.root!r}, "
+                f"inline_worker={self.inline_worker})")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI worker loop: ``python -m repro.runtime.queue <queue-root>``."""
+    parser = argparse.ArgumentParser(
+        description="Drain a repro runtime work-queue directory."
+    )
+    parser.add_argument("root", help="shared queue directory")
+    parser.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="stop after this many tasks (default: drain until empty)",
+    )
+    parser.add_argument(
+        "--watch", action="store_true",
+        help="keep polling for new tasks instead of exiting when empty",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="seconds between polls in --watch mode",
+    )
+    args = parser.parse_args(argv)
+    total = 0
+    while True:
+        remaining = None if args.max_tasks is None else args.max_tasks - total
+        if remaining is not None and remaining <= 0:
+            break
+        total += serve(args.root, max_tasks=remaining)
+        if not args.watch:
+            break
+        time.sleep(args.poll_interval)
+    print(f"executed {total} task(s) from {args.root}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -174,3 +174,83 @@ class TestCompiler:
     def test_baseline_emits_popcount_adds(self, workload):
         program = compile_network(workload, baseline_epcm_config())
         assert program.count(Opcode.ALU_ADD) > 0
+
+
+class TestFullPrecisionCompilation:
+    """Direct coverage of the digital (non-binary) layer lowering."""
+
+    def _full_precision_spec(self, *, kind="linear", vector_length=784,
+                             num_weight_vectors=128, num_input_vectors=1):
+        from repro.bnn.workload import LayerSpec
+
+        return LayerSpec(
+            name="layer00:Linear", kind=kind, is_binary=False,
+            vector_length=vector_length,
+            num_weight_vectors=num_weight_vectors,
+            num_input_vectors=num_input_vectors,
+        )
+
+    def test_block_structure_load_mac_store(self):
+        from repro.arch.compiler import _compile_full_precision_layer
+
+        spec = self._full_precision_spec()
+        config = baseline_epcm_config()
+        block = _compile_full_precision_layer(spec, config)
+        assert not block.is_binary
+        assert [i.opcode for i in block.instructions] \
+            == [Opcode.LOAD, Opcode.ALU_MAC, Opcode.STORE]
+
+    def test_mac_count_matches_spec(self):
+        from repro.arch.compiler import _compile_full_precision_layer
+
+        spec = self._full_precision_spec(vector_length=100,
+                                         num_weight_vectors=10,
+                                         num_input_vectors=7)
+        block = _compile_full_precision_layer(spec, baseline_epcm_config())
+        assert block.count(Opcode.ALU_MAC) == 100 * 10 * 7 == spec.macs
+
+    def test_byte_operands_respect_full_precision_width(self):
+        from repro.arch.compiler import _compile_full_precision_layer
+
+        spec = self._full_precision_spec(vector_length=16,
+                                         num_weight_vectors=4,
+                                         num_input_vectors=3)
+        config = baseline_epcm_config().with_overrides(full_precision_bits=8)
+        block = _compile_full_precision_layer(spec, config)
+        load, _, store = block.instructions
+        assert load.operands["bytes"] == 16 * 3       # one byte per element
+        assert store.operands["bytes"] == 4 * 3
+        wide = baseline_epcm_config().with_overrides(full_precision_bits=16)
+        wide_block = _compile_full_precision_layer(spec, wide)
+        assert wide_block.instructions[0].operands["bytes"] == 2 * 16 * 3
+
+    def test_odd_bit_widths_round_bytes_up(self):
+        from repro.arch.compiler import _compile_full_precision_layer
+
+        spec = self._full_precision_spec(vector_length=3,
+                                         num_weight_vectors=3,
+                                         num_input_vectors=1)
+        config = baseline_epcm_config().with_overrides(full_precision_bits=5)
+        block = _compile_full_precision_layer(spec, config)
+        # ceil(3 elements * 5 bits / 8) = 2 bytes
+        assert block.instructions[0].operands["bytes"] == 2
+
+    def test_full_precision_blocks_identical_across_designs(self):
+        spec = self._full_precision_spec()
+        workload_name = spec.name
+        for config in all_design_configs():
+            from repro.arch.compiler import _compile_full_precision_layer
+
+            block = _compile_full_precision_layer(spec, config)
+            assert block.layer_name == workload_name
+            assert block.count(Opcode.ALU_MAC) == spec.macs
+
+    def test_compile_network_routes_non_binary_layers_here(self):
+        workload = extract_workload(build_network("MLP-S"))
+        program = compile_network(workload, baseline_epcm_config())
+        full_precision = program.full_precision_blocks
+        # first and last layers of every evaluation network stay digital
+        assert len(full_precision) == 2
+        for block in full_precision:
+            assert block.count(Opcode.ALU_MAC) > 0
+            assert block.layer_name not in program.schedules

@@ -198,3 +198,63 @@ class TestAcceleratorFacade:
                 report = model.run_inference(workload)
                 assert report.latency.total > 0
                 assert report.energy.total > 0
+
+
+class TestAllocationUtilisation:
+    """Edge cases of the node-provisioning utilisation metric."""
+
+    def _allocate(self, workloads, name="MLP-S", **hier):
+        config = einsteinbarrier_config(**hier)
+        return EinsteinBarrierSystem(config).allocate(workloads[name])
+
+    def test_utilisation_bounded_and_consistent(self, workloads):
+        for name in ("MLP-S", "MLP-L", "CNN-S", "CNN-L"):
+            report = self._allocate(workloads, name)
+            assert 0.0 < report.node_utilisation <= 1.0
+            assert report.vcores_provisioned \
+                == report.nodes_required * report.vcores_per_node
+            assert report.node_utilisation \
+                == report.vcores_required / report.vcores_provisioned
+
+    def test_exact_fit_is_full_utilisation(self, workloads):
+        # shrink the node until it exactly matches the VCore requirement
+        base = self._allocate(workloads)
+        required = base.vcores_required
+        report = self._allocate(workloads, vcores_per_ecore=required,
+                                ecores_per_tile=1, tiles_per_node=1)
+        assert report.nodes_required == 1
+        assert report.node_utilisation == 1.0
+
+    def test_overflow_by_one_vcore_pays_a_whole_node(self, workloads):
+        base = self._allocate(workloads)
+        required = base.vcores_required
+        assert required > 1
+        # node one VCore smaller than the requirement: a second node
+        # is provisioned and utilisation drops to about one half
+        report = self._allocate(workloads, vcores_per_ecore=required - 1,
+                                ecores_per_tile=1, tiles_per_node=1)
+        assert report.nodes_required == 2
+        assert report.node_utilisation == pytest.approx(
+            required / (2 * (required - 1))
+        )
+
+    def test_single_vcore_nodes_always_fully_utilised(self, workloads):
+        report = self._allocate(workloads, vcores_per_ecore=1,
+                                ecores_per_tile=1, tiles_per_node=1)
+        assert report.nodes_required == report.vcores_required
+        assert report.node_utilisation == 1.0
+
+    def test_oversized_node_keeps_one_node_and_low_utilisation(self, workloads):
+        report = self._allocate(workloads, vcores_per_ecore=64,
+                                ecores_per_tile=64, tiles_per_node=64)
+        assert report.nodes_required == 1
+        assert report.node_utilisation \
+            == report.vcores_required / (64 * 64 * 64)
+
+    def test_hierarchy_sizing_flows_from_config_factories(self):
+        config = tacitmap_epcm_config(vcores_per_ecore=2, ecores_per_tile=3,
+                                      tiles_per_node=4)
+        node = Node(0, config)
+        assert node.num_vcores == 2 * 3 * 4
+        assert Tile(0, config).num_vcores == 2 * 3
+        assert ECore(0, config).num_vcores == 2

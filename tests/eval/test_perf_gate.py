@@ -139,3 +139,21 @@ class TestCli:
         assert cli.main(["--thresholds", str(thresholds),
                          "--root", str(tmp_path)]) == 1
         assert "FAILED" in capsys.readouterr().out
+
+
+def test_cli_import_does_not_mutate_sys_path():
+    """Regression: loading the gate CLI must not prepend benchmarks/ to
+    the process-wide sys.path (top-level names like `record_trend` or
+    `conftest` would shadow installed packages forever).  pytest itself
+    may have benchmarks/ on sys.path from conftest collection, so the
+    assertion is that the *load* leaves sys.path exactly as it found it."""
+    import sys
+
+    before = list(sys.path)
+    path = os.path.join(REPO_ROOT, "benchmarks", "check_perf_regression.py")
+    spec = importlib.util.spec_from_file_location("check_perf_regression",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert sys.path == before
+    assert callable(module.format_delta)

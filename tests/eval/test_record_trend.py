@@ -1,0 +1,119 @@
+"""Tests for the cross-PR benchmark trend recorder CLI."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+@pytest.fixture(scope="module")
+def cli():
+    path = os.path.join(REPO_ROOT, "benchmarks", "record_trend.py")
+    spec = importlib.util.spec_from_file_location("record_trend", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_artifacts(root, *, smoke=False, img_per_s=100.0):
+    suffix = ".smoke.json" if smoke else ".json"
+    sweep = {
+        "smoke": smoke,
+        "conv_kernel_bench": {"kernels": {
+            "blas": {"speedup_vs_loop_reference": 800.0},
+            "packed": {"speedup_vs_loop_reference": 200.0},
+        }},
+        "sweep_warm_seconds": 0.5,
+    }
+    inference = {
+        "smoke": smoke,
+        "networks": {"CNN-M": {"packed_images_per_s": img_per_s,
+                               "speedup_vs_dense": 5.0}},
+        "parallel_forward_batch": {"speedup_vs_serial": 1.5},
+    }
+    sweep_path = os.path.join(root, f"BENCH_sweep{suffix}")
+    inference_path = os.path.join(root, f"BENCH_inference{suffix}")
+    with open(sweep_path, "w", encoding="utf-8") as handle:
+        json.dump(sweep, handle)
+    with open(inference_path, "w", encoding="utf-8") as handle:
+        json.dump(inference, handle)
+    return (os.path.join(root, "BENCH_sweep.json"),
+            os.path.join(root, "BENCH_inference.json"))
+
+
+class TestExtractMetrics:
+    def test_flattens_tracked_and_network_metrics(self, cli, tmp_path):
+        _write_artifacts(str(tmp_path))
+        sweep = json.load(open(tmp_path / "BENCH_sweep.json"))
+        inference = json.load(open(tmp_path / "BENCH_inference.json"))
+        metrics = cli.extract_metrics(sweep, inference)
+        assert metrics["conv_blas_speedup_vs_loop"] == 800.0
+        assert metrics["CNN-M.packed_images_per_s"] == 100.0
+        assert metrics["parallel_chunk_speedup"] == 1.5
+
+    def test_missing_artifacts_yield_partial_metrics(self, cli, tmp_path):
+        _write_artifacts(str(tmp_path))
+        inference = json.load(open(tmp_path / "BENCH_inference.json"))
+        metrics = cli.extract_metrics(None, inference)
+        assert "conv_blas_speedup_vs_loop" not in metrics
+        assert metrics["CNN-M.speedup_vs_dense"] == 5.0
+
+
+class TestAppendEntry:
+    def test_appends_and_replaces_same_label_tail(self, cli, tmp_path):
+        trend = str(tmp_path / "trend.json")
+        cli.append_entry(trend, {"label": "a", "metrics": {"m": 1.0}})
+        cli.append_entry(trend, {"label": "b", "metrics": {"m": 2.0}})
+        entries = cli.append_entry(trend, {"label": "b",
+                                           "metrics": {"m": 3.0}})
+        assert [e["label"] for e in entries] == ["a", "b"]
+        assert entries[-1]["metrics"]["m"] == 3.0
+
+    def test_corrupt_trend_file_starts_fresh(self, cli, tmp_path):
+        trend = tmp_path / "trend.json"
+        trend.write_text("{not json")
+        entries = cli.append_entry(str(trend), {"label": "x", "metrics": {}})
+        assert len(entries) == 1
+
+
+class TestCliMain:
+    def test_end_to_end_with_delta(self, cli, tmp_path, capsys):
+        sweep, inference = _write_artifacts(str(tmp_path))
+        trend = str(tmp_path / "trend.json")
+        assert cli.main(["--sweep", sweep, "--inference", inference,
+                         "--trend", trend, "--label", "one"]) == 0
+        _write_artifacts(str(tmp_path), img_per_s=120.0)
+        assert cli.main(["--sweep", sweep, "--inference", inference,
+                         "--trend", trend, "--label", "two"]) == 0
+        out = capsys.readouterr().out
+        assert "delta vs previous entry 'one'" in out
+        assert "+20.0%" in out
+
+    def test_smoke_defaults_to_smoke_trend_path(self, cli, tmp_path,
+                                                monkeypatch, capsys):
+        """Regression: --smoke without --trend must never touch the
+        committed BENCH_trend.json."""
+        _write_artifacts(str(tmp_path), smoke=True)
+        committed = tmp_path / "BENCH_trend.json"
+        smoke_trend = tmp_path / "BENCH_trend.smoke.json"
+        monkeypatch.setattr(cli, "DEFAULT_TREND_PATH", str(committed))
+        monkeypatch.setattr(cli, "SMOKE_TREND_PATH", str(smoke_trend))
+        sweep = str(tmp_path / "BENCH_sweep.json")
+        inference = str(tmp_path / "BENCH_inference.json")
+        assert cli.main(["--sweep", sweep, "--inference", inference,
+                         "--smoke", "--label", "ci"]) == 0
+        assert not committed.exists()
+        entries = json.load(open(smoke_trend))["entries"]
+        assert entries[0]["label"] == "ci" and entries[0]["smoke"] is True
+
+    def test_missing_artifacts_fail_cleanly(self, cli, tmp_path, capsys):
+        assert cli.main(["--sweep", str(tmp_path / "nope.json"),
+                         "--inference", str(tmp_path / "nope2.json"),
+                         "--trend", str(tmp_path / "trend.json")]) == 1
+        assert "no artifacts found" in capsys.readouterr().out

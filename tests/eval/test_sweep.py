@@ -17,6 +17,7 @@ from repro.eval.sweep import (
     write_accuracy_sweep_json,
     write_sweep_json,
 )
+from repro.runtime.executors import BACKEND_ENV, ThreadExecutor
 from repro.utils.rng import derive_seed
 
 
@@ -327,3 +328,161 @@ class TestModelCache:
     def test_unknown_design_rejected(self):
         with pytest.raises(ValueError, match="unknown design"):
             get_accelerator_model("gpu")
+
+
+class TestRuntimeBackends:
+    """run_sweep / run_accuracy_sweep through the unified runtime layer."""
+
+    @pytest.fixture()
+    def tiny_grid(self):
+        return SweepGrid(
+            networks=("MLP-S",),
+            designs=("baseline_epcm", "einsteinbarrier"),
+            crossbar_sizes=(128,),
+            wdm_capacities=(4, 16),
+            noise_sigmas=(0.0, 0.05),
+            noise_trials=2,
+            noise_vector_length=32,
+            noise_num_outputs=8,
+            seed=11,
+        )
+
+    def test_records_byte_identical_across_backends(self, tiny_grid, tmp_path):
+        paths = {}
+        for backend in ("serial", "thread", "process"):
+            result = run_sweep(tiny_grid, backend=backend, workers=2)
+            path = tmp_path / f"{backend}.json"
+            write_sweep_json(str(path), result)
+            paths[backend] = path.read_bytes()
+        assert paths["serial"] == paths["thread"] == paths["process"]
+
+    def test_queue_backend_matches_serial(self, tiny_grid):
+        serial = run_sweep(tiny_grid)
+        queued = run_sweep(tiny_grid, backend="queue")
+        assert serial.records == queued.records
+
+    def test_caller_owned_executor_is_reused_not_closed(self, tiny_grid):
+        executor = ThreadExecutor(2)
+        first = run_sweep(tiny_grid, executor=executor)
+        second = run_sweep(tiny_grid, executor=executor)
+        assert first.records == second.records
+        # still usable after the sweeps: run_sweep must not close it
+        assert executor.map(len, [[1, 2]]) == [2]
+        executor.close()
+
+    def test_env_toggle_selects_backend(self, tiny_grid, monkeypatch):
+        serial = run_sweep(tiny_grid)
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        forced = run_sweep(tiny_grid)
+        assert serial.records == forced.records
+
+    def test_accuracy_sweep_backends_match(self):
+        grid = AccuracySweepGrid(networks=("MLP-S",),
+                                 read_noise_sigmas=(0.0, 0.02),
+                                 train_epochs=1, num_images=32,
+                                 batch_size=16, seed=5)
+        serial = run_accuracy_sweep(grid)
+        threaded = run_accuracy_sweep(grid, backend="thread", workers=2)
+        processed = run_accuracy_sweep(grid, backend="process", workers=2)
+        assert serial.records == threaded.records == processed.records
+
+    def test_invalid_backend_rejected(self, tiny_grid):
+        with pytest.raises(ValueError, match="unknown runtime backend"):
+            run_sweep(tiny_grid, backend="gpu")
+
+
+class TestHierarchyAxes:
+    @pytest.fixture()
+    def hierarchy_grid(self):
+        return SweepGrid(
+            networks=("MLP-S",),
+            designs=("baseline_epcm", "tacitmap_epcm", "einsteinbarrier"),
+            crossbar_sizes=(128,),
+            wdm_capacities=(4,),
+            vcores_per_ecore=(None, 2),
+            ecores_per_tile=(None, 4),
+            tiles_per_node=(None, 1),
+            seed=17,
+        )
+
+    def test_axes_collapse_for_the_baseline(self, hierarchy_grid):
+        points = hierarchy_grid.points()
+        baseline = [p for p in points if p.design == "baseline_epcm"]
+        tacitmap = [p for p in points if p.design == "tacitmap_epcm"]
+        einstein = [p for p in points if p.design == "einsteinbarrier"]
+        assert len(baseline) == 1
+        assert baseline[0].hierarchy == (None, None, None)
+        # 2 x 2 x 2 hierarchy combinations for the PUMA-like designs
+        assert len(tacitmap) == 8
+        assert len(einstein) == 8
+        assert len({p.seed for p in points}) == len(points)
+
+    def test_default_hierarchy_keeps_pre_extension_seeds(self):
+        grid = SweepGrid(networks=("MLP-S",), designs=("einsteinbarrier",),
+                         crossbar_sizes=(128,), wdm_capacities=(4,),
+                         noise_sigmas=(0.05,), seed=21)
+        point = grid.points()[0]
+        assert point.seed == derive_seed(21, "MLP-S/einsteinbarrier/128/4/0.05")
+
+    def test_records_resolve_hierarchy_and_provisioning(self, hierarchy_grid):
+        result = run_sweep(hierarchy_grid)
+        for record in result.records:
+            assert record.vcores_required > 0
+            assert record.nodes_required >= 1
+            assert 0.0 < record.node_utilisation <= 1.0
+            provisioned = (record.vcores_per_ecore * record.ecores_per_tile
+                           * record.tiles_per_node * record.nodes_required)
+            assert record.node_utilisation \
+                == pytest.approx(record.vcores_required / provisioned)
+        tacitmap = [r for r in result.records if r.design == "tacitmap_epcm"]
+        # None components resolve to the factory default of 8
+        assert {r.vcores_per_ecore for r in tacitmap} == {2, 8}
+        assert {r.ecores_per_tile for r in tacitmap} == {4, 8}
+        assert {r.tiles_per_node for r in tacitmap} == {1, 8}
+
+    def test_smaller_nodes_raise_utilisation(self, hierarchy_grid):
+        result = run_sweep(hierarchy_grid)
+        for design in ("tacitmap_epcm", "einsteinbarrier"):
+            picks = [r for r in result.records if r.design == design]
+            default = next(r for r in picks if (r.vcores_per_ecore,
+                                                r.ecores_per_tile,
+                                                r.tiles_per_node) == (8, 8, 8))
+            smallest = next(r for r in picks if (r.vcores_per_ecore,
+                                                 r.ecores_per_tile,
+                                                 r.tiles_per_node) == (2, 4, 1))
+            assert smallest.node_utilisation >= default.node_utilisation
+
+    def test_hierarchy_does_not_change_latency_or_energy(self, hierarchy_grid):
+        result = run_sweep(hierarchy_grid)
+        for design in ("tacitmap_epcm", "einsteinbarrier"):
+            picks = [r for r in result.records if r.design == design]
+            assert len({r.latency_s for r in picks}) == 1
+            assert len({r.energy_j for r in picks}) == 1
+
+    def test_hierarchy_reaches_model_and_cache_distinguishes(self):
+        clear_sweep_caches()
+        sized = get_accelerator_model("einsteinbarrier", vcores_per_ecore=2,
+                                      tiles_per_node=1)
+        default = get_accelerator_model("einsteinbarrier")
+        assert sized is not default
+        assert sized.config.vcores_per_ecore == 2
+        assert sized.config.tiles_per_node == 1
+        assert sized.config.ecores_per_tile == 8
+        # the baseline has no hierarchy knob: the override collapses
+        collapsed = get_accelerator_model("baseline_epcm", vcores_per_ecore=2)
+        assert collapsed is get_accelerator_model("baseline_epcm")
+
+    def test_deterministic_across_backends(self, hierarchy_grid):
+        serial = run_sweep(hierarchy_grid)
+        parallel = run_sweep(hierarchy_grid, workers=2)
+        assert serial.records == parallel.records
+
+    @pytest.mark.parametrize("kwargs", [
+        {"vcores_per_ecore": ()},
+        {"vcores_per_ecore": (0,)},
+        {"ecores_per_tile": (-1,)},
+        {"tiles_per_node": (0,)},
+    ])
+    def test_invalid_hierarchy_axes_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepGrid(**kwargs)

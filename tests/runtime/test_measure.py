@@ -1,0 +1,80 @@
+"""Tests for the repeated-measurement harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.measure import Measurement, measure, measure_pair
+
+
+class TestMeasurement:
+    def test_statistics(self):
+        m = Measurement(label="x", seconds=(3.0, 1.0, 2.0))
+        assert m.reps == 3
+        assert m.best == 1.0
+        assert m.median == 2.0
+        assert m.mean == 2.0
+
+    def test_even_sample_median_interpolates(self):
+        m = Measurement(label="x", seconds=(1.0, 2.0, 3.0, 4.0))
+        assert m.median == 2.5
+
+    def test_throughput_estimators(self):
+        m = Measurement(label="x", seconds=(2.0, 4.0, 2.0))
+        assert m.throughput(10) == 5.0
+        assert m.throughput(10, estimator="best") == 5.0
+        with pytest.raises(ValueError):
+            m.throughput(10, estimator="fastest")
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            Measurement(label="x", seconds=())
+
+
+class TestMeasure:
+    def test_counts_calls_including_warmup(self):
+        calls = []
+        m = measure(lambda: calls.append(1), reps=3, warmup=2, label="c")
+        assert len(calls) == 5
+        assert m.reps == 3
+        assert all(s >= 0.0 for s in m.seconds)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, reps=0)
+        with pytest.raises(ValueError):
+            measure(lambda: None, reps=1, warmup=-1)
+
+    def test_measure_pair_interleaves_and_reports_speedup(self):
+        order = []
+        fast_m, slow_m, speedup = measure_pair(
+            lambda: order.append("f"), lambda: order.append("s"),
+            reps=2, warmup=1, label="ab",
+        )
+        # warmup does slow+fast once, then reps alternate slow/fast
+        assert order == ["s", "f", "s", "f", "s", "f"]
+        assert fast_m.reps == slow_m.reps == 2
+        assert speedup > 0.0
+        assert fast_m.label == "ab/fast" and slow_m.label == "ab/slow"
+
+    def test_measure_pair_rejects_zero_reps(self):
+        with pytest.raises(ValueError):
+            measure_pair(lambda: None, lambda: None, reps=0)
+
+
+def _busy():
+    """Module-level workload so measure() tasks survive pickling."""
+    return sum(range(200))
+
+
+class TestMeasureAcrossBackends:
+    def test_process_and_queue_backends_supported(self):
+        from repro.runtime.executors import ProcessExecutor
+        from repro.runtime.queue import QueueExecutor
+
+        for factory in (ProcessExecutor, QueueExecutor):
+            with factory() as executor:
+                m = measure(_busy, reps=3, executor=executor,
+                            label=factory.__name__)
+                assert m.reps == 3
+                assert all(s >= 0.0 for s in m.seconds)

@@ -1,0 +1,296 @@
+"""Tests for the file/dir work-queue protocol (the multi-host seam)."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.runtime.queue import (
+    QueueExecutor,
+    claim_next_task,
+    collect_results,
+    enqueue_task,
+    init_queue_dirs,
+    main,
+    run_claimed_task,
+    serve,
+)
+from repro.runtime.tasks import WorkList
+
+
+def double(x):
+    return 2 * x
+
+
+def explode(x):
+    raise ValueError(f"bad task {x}")
+
+
+def _enqueue(root, fn, items):
+    init_queue_dirs(root)
+    worklist = WorkList.from_items(fn, items)
+    for task in worklist:
+        enqueue_task(root, task)
+    return worklist
+
+
+class TestProtocol:
+    def test_enqueue_claim_run_roundtrip(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [10, 20])
+        claimed = claim_next_task(root)
+        assert claimed is not None and claimed.endswith("task-0000000.pkl")
+        assert os.path.dirname(claimed).endswith("claims")
+        assert run_claimed_task(root, claimed) == 0
+        # the claim file is consumed, the result file is published
+        assert not os.path.exists(claimed)
+        with open(os.path.join(root, "results", "task-0000000.pkl"), "rb") as f:
+            index, ok, payload = pickle.load(f)
+        assert (index, ok, payload) == (0, True, 20)
+
+    def test_claims_are_exclusive_and_ordered(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [1, 2, 3])
+        first = claim_next_task(root)
+        second = claim_next_task(root)
+        third = claim_next_task(root)
+        assert [os.path.basename(p) for p in (first, second, third)] == [
+            "task-0000000.pkl", "task-0000001.pkl", "task-0000002.pkl"
+        ]
+        assert claim_next_task(root) is None
+
+    def test_serve_drains_everything(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(5))
+        assert serve(root) == 5
+        assert serve(root) == 0  # idempotent on an empty queue
+        results = collect_results(root, 5, timeout_s=1.0, poll_interval_s=0.01)
+        assert results == [0, 2, 4, 6, 8]
+
+    def test_serve_respects_max_tasks(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(4))
+        assert serve(root, max_tasks=3) == 3
+        assert serve(root) == 1
+
+    def test_worker_error_is_published_and_reraised(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, explode, [1])
+        serve(root)
+        with pytest.raises(RuntimeError, match="bad task 1"):
+            collect_results(root, 1, timeout_s=1.0, poll_interval_s=0.01)
+
+    def test_collect_times_out_without_workers(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        with pytest.raises(TimeoutError):
+            collect_results(root, 1, timeout_s=0.05, poll_interval_s=0.01)
+
+
+class TestQueueExecutor:
+    def test_inline_worker_end_to_end(self, tmp_path):
+        executor = QueueExecutor(str(tmp_path))
+        assert executor.map(double, range(7)) == [2 * x for x in range(7)]
+
+    def test_ephemeral_root_is_cleaned_up(self):
+        executor = QueueExecutor()
+        assert executor.map(double, [3]) == [6]
+
+    def test_external_worker_mode(self, tmp_path):
+        # simulate a remote worker: pre-drain the queue with serve() after
+        # enqueueing, then let a non-serving executor collect the results
+        root = str(tmp_path)
+        worklist = _enqueue(root, double, range(3))
+        served = serve(root, max_tasks=len(worklist))
+        assert served == 3
+        executor = QueueExecutor(root, inline_worker=False, timeout_s=1.0)
+        results = collect_results(root, 3, timeout_s=1.0,
+                                  poll_interval_s=0.01)
+        assert results == [0, 2, 4]
+        assert executor.inline_worker is False
+
+    def test_task_failure_propagates(self, tmp_path):
+        executor = QueueExecutor(str(tmp_path))
+        with pytest.raises(RuntimeError, match="bad task"):
+            executor.map(explode, [9])
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            QueueExecutor(timeout_s=0)
+        with pytest.raises(ValueError):
+            QueueExecutor(poll_interval_s=-1)
+
+
+class TestWorkerCli:
+    def test_cli_drains_queue(self, tmp_path, capsys):
+        root = str(tmp_path)
+        _enqueue(root, double, range(3))
+        assert main([root]) == 0
+        assert "executed 3 task(s)" in capsys.readouterr().out
+        results = collect_results(root, 3, timeout_s=1.0,
+                                  poll_interval_s=0.01)
+        assert results == [0, 2, 4]
+
+    def test_cli_max_tasks(self, tmp_path, capsys):
+        root = str(tmp_path)
+        _enqueue(root, double, range(3))
+        assert main([root, "--max-tasks", "2"]) == 0
+        assert "executed 2 task(s)" in capsys.readouterr().out
+
+
+def test_subprocess_worker_runs_real_multi_process_round(tmp_path):
+    """A genuinely separate OS process drains the queue (the multi-host
+    deployment shape, minus the second host).
+
+    Task functions cross the process boundary by pickle, i.e. *by import
+    path* — so they must be importable on the worker side.  A builtin
+    stands in for the repo's module-level task functions
+    (``evaluate_point`` etc.), which satisfy the same rule.
+    """
+    import subprocess
+    import sys
+
+    root = str(tmp_path)
+    _enqueue(root, abs, [-1, 2, -3, -4])
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.runtime.queue", root],
+        capture_output=True, text=True, env=env, timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    results = collect_results(root, 4, timeout_s=1.0, poll_interval_s=0.01)
+    assert results == [1, 2, 3, 4]
+
+
+class TestSharedRootReuse:
+    """Regression: a reused shared root must never serve stale results."""
+
+    def test_second_run_on_same_root_gets_fresh_results(self, tmp_path):
+        root = str(tmp_path)
+        first = QueueExecutor(root)
+        assert first.map(double, [1, 2, 3]) == [2, 4, 6]
+        second = QueueExecutor(root)
+        # pre-fix this returned the first run's [2, 4, 6] from results/
+        assert second.map(abs, [-7, -8, -9]) == [7, 8, 9]
+
+    def test_runs_with_different_sizes_do_not_collide(self, tmp_path):
+        root = str(tmp_path)
+        executor = QueueExecutor(root)
+        assert executor.map(double, range(5)) == [0, 2, 4, 6, 8]
+        assert executor.map(double, range(2)) == [0, 2]
+
+    def test_successful_run_retires_its_namespace(self, tmp_path):
+        root = str(tmp_path)
+        QueueExecutor(root).map(double, [1])
+        leftovers = [n for n in os.listdir(root) if n.startswith("run-")]
+        assert leftovers == []
+
+    def test_failed_run_keeps_namespace_for_debugging(self, tmp_path):
+        root = str(tmp_path)
+        with pytest.raises(RuntimeError):
+            QueueExecutor(root).map(explode, [1])
+        leftovers = [n for n in os.listdir(root) if n.startswith("run-")]
+        assert len(leftovers) == 1
+
+    def test_worker_serve_drains_run_namespaces(self, tmp_path):
+        # an external worker pointed at the shared root must find and
+        # drain executor-created run-* namespaces
+        root = str(tmp_path)
+        run_root = os.path.join(root, "run-manual")
+        _enqueue(run_root, double, range(3))
+        assert serve(root) == 3
+        results = collect_results(run_root, 3, timeout_s=1.0,
+                                  poll_interval_s=0.01)
+        assert results == [0, 2, 4]
+
+
+def triple(x):
+    return 3 * x
+
+
+class TestSharedFnProtocol:
+    """One fn.pkl per run instead of the callable inside every task file."""
+
+    def test_executor_writes_shared_fn_once(self, tmp_path, monkeypatch):
+        import repro.runtime.queue as queue_mod
+
+        root = str(tmp_path)
+        writes = []
+        original = queue_mod.write_shared_fn
+        monkeypatch.setattr(queue_mod, "write_shared_fn",
+                            lambda r, fn: (writes.append(r), original(r, fn)))
+        assert QueueExecutor(root).map(double, range(6)) == [2 * x
+                                                            for x in range(6)]
+        assert len(writes) == 1
+
+    def test_task_files_omit_the_shared_callable(self, tmp_path):
+        from repro.runtime.queue import write_shared_fn
+
+        root = str(tmp_path)
+        init_queue_dirs(root)
+        worklist = WorkList.from_items(double, [5, 6])
+        write_shared_fn(root, double)
+        for task in worklist:
+            enqueue_task(root, task, shared_fn=True)
+        with open(os.path.join(root, "tasks", "task-0000000.pkl"), "rb") as f:
+            index, fn, arg = pickle.load(f)
+        assert (index, fn, arg) == (0, None, 5)
+        assert serve(root) == 2
+        assert collect_results(root, 2, timeout_s=1.0,
+                               poll_interval_s=0.01) == [10, 12]
+
+    def test_heterogeneous_fns_stay_embedded(self, tmp_path):
+        from repro.runtime.tasks import Task
+
+        root = str(tmp_path)
+        executor = QueueExecutor(root)
+        worklist = WorkList([
+            Task(index=0, fn=double, arg=2),
+            Task(index=1, fn=triple, arg=2),
+        ])
+        assert executor.execute(worklist) == [4, 6]
+
+
+class TestRegistryMultiHostSeam:
+    def test_coordinator_mode_requires_shared_root(self):
+        with pytest.raises(ValueError, match="explicit shared root"):
+            QueueExecutor(inline_worker=False)
+
+    def test_registry_honours_queue_dir_env(self, tmp_path, monkeypatch):
+        from repro.runtime.executors import make_executor
+        from repro.runtime.queue import QUEUE_DIR_ENV
+
+        monkeypatch.setenv(QUEUE_DIR_ENV, str(tmp_path))
+        executor = make_executor("queue")
+        assert executor.root == str(tmp_path)
+        # the shared root actually carries the run: results come back and
+        # the retired namespace leaves the (still shared) root in place
+        assert executor.map(double, [1, 2]) == [2, 4]
+        assert os.path.isdir(str(tmp_path))
+
+    def test_registry_without_env_is_self_contained(self, monkeypatch):
+        from repro.runtime.executors import make_executor
+        from repro.runtime.queue import QUEUE_DIR_ENV
+
+        monkeypatch.delenv(QUEUE_DIR_ENV, raising=False)
+        executor = make_executor("queue")
+        assert executor.root is None
+        assert executor.inline_worker is True
+
+
+def test_shared_fn_cache_is_bounded_to_one_run(tmp_path):
+    """Regression: a long-lived worker must not retain one (potentially
+    engine-sized) callable per served run."""
+    import repro.runtime.queue as queue_mod
+
+    root = str(tmp_path)
+    executor = QueueExecutor(root)
+    assert executor.map(double, [1]) == [2]
+    assert executor.map(triple, [1]) == [3]
+    assert executor.map(double, [2]) == [4]
+    assert len(queue_mod._SHARED_FN_CACHE) <= 1
