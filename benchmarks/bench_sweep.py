@@ -140,6 +140,72 @@ def _hierarchy_sizing_sweep(smoke: bool) -> dict:
     }
 
 
+def _queue_fleet_bench(smoke: bool) -> dict:
+    """Fleet-protocol scenario: the sweep through the hardened work queue.
+
+    Drives the file/dir queue protocol directly — shared-fn publication,
+    lease-stamped claims, heartbeat-renewed execution, opportunistic
+    result compaction into bundles, bundle-aware collection — and checks
+    the records stay identical to the in-process serial oracle.  The
+    recorded overhead-per-task number is what a fleet operator pays for
+    durability on a shared filesystem.
+    """
+    import tempfile
+
+    from repro.eval.sweep import evaluate_point
+    from repro.runtime import janitor
+    from repro.runtime.queue import (
+        collect_results,
+        enqueue_task,
+        init_queue_dirs,
+        serve,
+        write_shared_fn,
+    )
+    from repro.runtime.tasks import WorkList
+
+    grid = SweepGrid(
+        networks=("MLP-S",) if smoke else ("MLP-S", "CNN-S"),
+        crossbar_sizes=(128, 256),
+        wdm_capacities=(4, 16),
+    )
+    specs = grid.points()
+    worklist = WorkList.from_items(evaluate_point, specs)
+    # warm the memoisation caches so serial vs queue isolates protocol cost
+    serial_records = [task.run() for task in worklist]
+    start = time.perf_counter()
+    serial_records = [task.run() for task in worklist]
+    serial_seconds = time.perf_counter() - start
+
+    chunk = 4
+    with tempfile.TemporaryDirectory(prefix="repro-bench-queue-") as root:
+        init_queue_dirs(root)
+        write_shared_fn(root, evaluate_point)
+        for task in worklist:
+            enqueue_task(root, task, shared_fn=True)
+        start = time.perf_counter()
+        served = serve(root, compact_threshold=chunk)
+        status = janitor.status(root)
+        queue_records = collect_results(
+            root, len(specs), timeout_s=120.0, poll_interval_s=0.01,
+            compact_threshold=chunk,
+        )
+        queue_seconds = time.perf_counter() - start
+    assert served == len(specs)
+    assert queue_records == serial_records
+    assert status["done"] == len(specs) and status["failed"] == 0
+    assert status["layouts"]["."]["bundles"] >= 1  # compaction really ran
+    return {
+        "grid_points": len(specs),
+        "serial_seconds": serial_seconds,
+        "queue_seconds": queue_seconds,
+        "protocol_overhead_ms_per_task":
+            (queue_seconds - serial_seconds) * 1e3 / len(specs),
+        "compact_chunk": chunk,
+        "bundles": status["layouts"]["."]["bundles"],
+        "status": status,
+    }
+
+
 def test_sweep_subsystem(benchmark, smoke):
     """Benchmark the grid runner and record kernel + sweep numbers as JSON."""
     conv = _time_conv_kernels(smoke)
@@ -196,6 +262,13 @@ def test_sweep_subsystem(benchmark, smoke):
     print(f"\n=== Hierarchy sizing: {hierarchy['grid_points']} grid points ===")
     print(format_sweep_table(hierarchy["records"][:12]))
 
+    fleet = _queue_fleet_bench(smoke)
+    print(f"\n=== Queue fleet protocol: {fleet['grid_points']} tasks, "
+          f"{fleet['bundles']} result bundle(s), "
+          f"{fleet['protocol_overhead_ms_per_task']:.2f} ms/task protocol "
+          f"overhead (serial {fleet['serial_seconds'] * 1e3:.0f} ms, "
+          f"queue {fleet['queue_seconds'] * 1e3:.0f} ms) ===")
+
     artifact_path = SMOKE_ARTIFACT_PATH if smoke else ARTIFACT_PATH
     write_json_report(artifact_path, {
         "smoke": smoke,
@@ -207,5 +280,6 @@ def test_sweep_subsystem(benchmark, smoke):
         "best_point": best.to_dict(),
         "sweep": cold.to_payload(),
         "hierarchy_sweep": hierarchy,
+        "queue_fleet_bench": fleet,
     })
     print(f"wrote {artifact_path}")

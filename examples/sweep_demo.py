@@ -16,21 +16,68 @@ memoised workloads/models/schedules, executing through the pluggable
    parallel backend), showing that results are deterministic either way;
 3. prints the result table, the best configuration per network, and writes
    the structured JSON artifact the benchmarks/CI consume.
+
+``--backend queue`` additionally walks the multi-host runbook
+(``docs/multihost-runbook.md``) end-to-end against a temporary shared
+directory: it launches a real external worker process with
+``python -m repro.runtime.queue <dir> serve --watch``, cooperates with it
+through a :class:`~repro.runtime.queue.QueueExecutor`, prints the
+machine-readable ``status`` summary, and drains the worker gracefully
+with SIGTERM — everything a real fleet does, minus the second host.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import subprocess
+import sys
+import tempfile
 
 from repro.eval.reporting import format_sweep_table
-from repro.eval.sweep import SweepGrid, run_sweep, write_sweep_json
+from repro.eval.sweep import SweepGrid, SweepResult, run_sweep, write_sweep_json
 from repro.runtime import BACKENDS
 
 #: generated example artifacts land in an ignored directory, never the repo
 #: root (only the committed BENCH_*.json artifacts live there)
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "out", "sweep_demo.json")
+
+
+def _run_on_shared_queue(grid: SweepGrid) -> SweepResult:
+    """The multi-host runbook, end-to-end, against a temp shared dir."""
+    from repro.runtime import janitor
+    from repro.runtime.queue import QueueExecutor
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-demo-") as shared:
+        print(f"[runbook] shared queue dir: {shared}")
+        print("[runbook] launching an external worker: "
+              f"python -m repro.runtime.queue {shared} serve --watch")
+        # the worker inherits this process's environment, so however repro
+        # was made importable here (PYTHONPATH=src, pip install -e) works
+        # there too — exactly like launching it on another host
+        worker = subprocess.Popen(
+            [sys.executable, "-m", "repro.runtime.queue", shared,
+             "serve", "--watch", "--poll-interval", "0.1"],
+        )
+        try:
+            # the submitting process cooperates in draining the queue, so
+            # the demo completes even if the worker is slow to start
+            executor = QueueExecutor(shared, lease_s=10.0,
+                                     compact_threshold=8)
+            result = run_sweep(grid, executor=executor)
+            print("[runbook] queue status after the run "
+                  f"(python -m repro.runtime.queue {shared} status) — "
+                  "successful runs retire their run-* namespace, so a "
+                  "clean fleet reads all-zero:")
+            print(json.dumps(janitor.status(shared), indent=2,
+                             sort_keys=True))
+        finally:
+            print("[runbook] draining the worker with SIGTERM...")
+            worker.terminate()
+            worker.wait(timeout=30)
+    return result
 
 
 def main() -> None:
@@ -55,8 +102,11 @@ def main() -> None:
     mode = args.backend or ("serial" if args.workers < 2
                             else f"{args.workers} workers")
     print(f"evaluating {len(grid.points())} grid points ({mode})...")
-    result = run_sweep(grid, workers=args.workers or None,
-                       backend=args.backend)
+    if args.backend == "queue":
+        result = _run_on_shared_queue(grid)
+    else:
+        result = run_sweep(grid, workers=args.workers or None,
+                           backend=args.backend)
 
     print(format_sweep_table(record.to_dict() for record in result.records))
     print()

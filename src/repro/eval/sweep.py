@@ -526,7 +526,9 @@ class SweepResult:
 
 def _run_points(fn, points, *, workers: Optional[int],
                 backend: Optional[str],
-                executor: Optional[Executor]) -> List[object]:
+                executor: Optional[Executor],
+                backend_options: Optional[Dict[str, object]] = None
+                ) -> List[object]:
     """Fan grid points out over the runtime layer (ordered results).
 
     An explicitly supplied ``executor`` is used as-is and left open (the
@@ -535,14 +537,25 @@ def _run_points(fn, points, *, workers: Optional[int],
     the historical ``workers=`` semantics, and closed after the run.
     """
     if executor is not None:
+        if backend_options:
+            # same fail-loud rule resolve_executor applies to the legacy
+            # workers= path: a pre-built executor carries its own knobs,
+            # so options passed alongside it would be silently ignored
+            raise ValueError(
+                "backend_options cannot be combined with an explicit "
+                "executor=; construct the executor with those knobs instead"
+            )
         return executor.map(fn, points)
-    with resolve_executor(backend=backend, workers=workers) as runner:
+    with resolve_executor(backend=backend, workers=workers,
+                          options=backend_options) as runner:
         return runner.map(fn, points)
 
 
 def run_sweep(grid: SweepGrid, *, workers: Optional[int] = None,
               backend: Optional[str] = None,
-              executor: Optional[Executor] = None) -> SweepResult:
+              executor: Optional[Executor] = None,
+              backend_options: Optional[Dict[str, object]] = None
+              ) -> SweepResult:
     """Evaluate every point of ``grid`` through the runtime layer.
 
     Parameters
@@ -561,13 +574,19 @@ def run_sweep(grid: SweepGrid, *, workers: Optional[int] = None,
     executor:
         A pre-built :class:`repro.runtime.Executor` to reuse across calls
         (the caller keeps ownership; it is not closed).
+    backend_options:
+        Backend-specific constructor keywords, e.g. the queue backend's
+        fleet-hardening knobs (``lease_s``, ``max_retries``,
+        ``compact_threshold``, ``timeout_s``) for huge multi-host grids.
 
     Records are bit-identical for any backend and worker count — each
     point is self-contained and seeded, and every backend returns results
-    in submission order.
+    in submission order (the queue backend additionally recovers tasks
+    from crashed workers without perturbing the records).
     """
     records = _run_points(evaluate_point, grid.points(), workers=workers,
-                          backend=backend, executor=executor)
+                          backend=backend, executor=executor,
+                          backend_options=backend_options)
     return SweepResult(grid=grid, records=records)
 
 
@@ -789,18 +808,20 @@ class AccuracySweepResult:
 def run_accuracy_sweep(grid: AccuracySweepGrid, *,
                        workers: Optional[int] = None,
                        backend: Optional[str] = None,
-                       executor: Optional[Executor] = None
+                       executor: Optional[Executor] = None,
+                       backend_options: Optional[Dict[str, object]] = None
                        ) -> AccuracySweepResult:
     """Evaluate every accuracy point of ``grid`` through the runtime layer.
 
-    ``workers``/``backend``/``executor`` behave exactly like
-    :func:`run_sweep`; each point is self-contained and seeded (and quick
-    training is seeded per network), so the records are identical for any
-    backend and worker count.
+    ``workers``/``backend``/``executor``/``backend_options`` behave
+    exactly like :func:`run_sweep`; each point is self-contained and
+    seeded (and quick training is seeded per network), so the records are
+    identical for any backend and worker count.
     """
     records = _run_points(evaluate_accuracy_point, grid.points(),
                           workers=workers, backend=backend,
-                          executor=executor)
+                          executor=executor,
+                          backend_options=backend_options)
     return AccuracySweepResult(grid=grid, records=records)
 
 

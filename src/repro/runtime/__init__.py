@@ -8,15 +8,23 @@ measurements (``benchmarks/``) — executes through this package:
 * :mod:`repro.runtime.tasks` — the ordered work-list abstraction.
 * :mod:`repro.runtime.executors` — pluggable backends (serial / thread /
   process) plus backend resolution (``backend=`` kwargs, ``workers=``
-  backward compatibility, the ``REPRO_RUNTIME_BACKEND`` env toggle).
+  backward compatibility, the ``REPRO_RUNTIME_BACKEND`` env toggle and
+  per-backend ``options=``).
 * :mod:`repro.runtime.queue` — the file/dir work-queue protocol, the seam
-  for multi-host execution (``python -m repro.runtime.queue <root>``).
+  for multi-host execution.  Claims are heartbeat-renewed leases, so a
+  crashed worker's tasks are recovered automatically; ``python -m
+  repro.runtime.queue <root> serve|status|compact|reap`` is the fleet
+  CLI (see ``docs/multihost-runbook.md``).
+* :mod:`repro.runtime.janitor` — fleet maintenance over that protocol:
+  the orphan reaper, poisoned-task quarantine, the result compactor and
+  machine-readable queue status.
 * :mod:`repro.runtime.measure` — the repeated-measurement harness the
   benchmarks drive their timing loops through.
 
 Every backend returns results in submission order and every task argument
 is self-contained and seeded, so all call sites are bit-identical across
-backends — the contract the runtime test suite enforces.
+backends — the contract the runtime test suite enforces (including under
+simulated worker crashes; see ``tests/runtime/test_queue_recovery.py``).
 """
 
 from repro.runtime.executors import (

@@ -169,22 +169,49 @@ class ProcessExecutor(Executor):
         return f"ProcessExecutor(workers={self.workers})"
 
 
-def _queue_factory(workers: int) -> Executor:
+def _reject_options(backend: str, options: Dict[str, object]) -> None:
+    if options:
+        raise ValueError(
+            f"the {backend!r} backend takes no options, got "
+            f"{sorted(options)} (backend options like lease_s/max_retries/"
+            f"compact_threshold apply to the 'queue' backend)"
+        )
+
+
+def _serial_factory(workers: int, options: Dict[str, object]) -> Executor:
+    _reject_options("serial", options)
+    return SerialExecutor()
+
+
+def _thread_factory(workers: int, options: Dict[str, object]) -> Executor:
+    _reject_options("thread", options)
+    return ThreadExecutor(workers)
+
+
+def _process_factory(workers: int, options: Dict[str, object]) -> Executor:
+    _reject_options("process", options)
+    return ProcessExecutor(workers)
+
+
+def _queue_factory(workers: int, options: Dict[str, object]) -> Executor:
     # local import: repro.runtime.queue imports from this module
     from repro.runtime.queue import QUEUE_DIR_ENV, QueueExecutor
 
     # REPRO_RUNTIME_QUEUE_DIR makes the multi-host mode reachable through
     # the registry: the executor enqueues into the shared directory and
     # cooperates with any `python -m repro.runtime.queue <dir>` workers
-    # pointed at it; unset, the backend is self-contained on a temp dir
+    # pointed at it; unset, the backend is self-contained on a temp dir.
+    # The fleet-hardening knobs (lease_s, max_retries, compact_threshold)
+    # arrive either as explicit options or via their REPRO_RUNTIME_* env
+    # toggles, which QueueExecutor resolves itself.
     shared_root = os.environ.get(QUEUE_DIR_ENV, "").strip() or None
-    return QueueExecutor(shared_root, workers=workers)
+    return QueueExecutor(shared_root, workers=workers, **options)
 
 
-_BACKEND_FACTORIES: Dict[str, Callable[[int], Executor]] = {
-    "serial": lambda workers: SerialExecutor(),
-    "thread": ThreadExecutor,
-    "process": ProcessExecutor,
+_BACKEND_FACTORIES: Dict[str, Callable[[int, Dict[str, object]], Executor]] = {
+    "serial": _serial_factory,
+    "thread": _thread_factory,
+    "process": _process_factory,
     "queue": _queue_factory,
 }
 
@@ -192,8 +219,15 @@ _BACKEND_FACTORIES: Dict[str, Callable[[int], Executor]] = {
 BACKENDS = tuple(sorted(_BACKEND_FACTORIES))
 
 
-def make_executor(backend: str, *, workers: Optional[int] = None) -> Executor:
-    """Instantiate a backend by registry name."""
+def make_executor(backend: str, *, workers: Optional[int] = None,
+                  options: Optional[Dict[str, object]] = None) -> Executor:
+    """Instantiate a backend by registry name.
+
+    ``options`` holds backend-specific constructor keywords — today the
+    queue backend's fleet-hardening knobs (``lease_s``, ``max_retries``,
+    ``compact_threshold``, ``timeout_s``, ...); backends without knobs
+    reject a non-empty dict so misdirected options fail loudly.
+    """
     factory = _BACKEND_FACTORIES.get(backend)
     if factory is None:
         raise ValueError(
@@ -201,7 +235,8 @@ def make_executor(backend: str, *, workers: Optional[int] = None) -> Executor:
         )
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
-    return factory(workers if workers is not None else _DEFAULT_POOL_WORKERS)
+    return factory(workers if workers is not None else _DEFAULT_POOL_WORKERS,
+                   dict(options or {}))
 
 
 def backend_from_env() -> Optional[str]:
@@ -219,7 +254,8 @@ def backend_from_env() -> Optional[str]:
 
 def resolve_executor(*, backend: Optional[str] = None,
                      workers: Optional[int] = None,
-                     env: bool = True) -> Executor:
+                     env: bool = True,
+                     options: Optional[Dict[str, object]] = None) -> Executor:
     """Resolve the executor for a ``(backend=, workers=)`` call-site pair.
 
     Precedence: an explicit ``backend`` wins; otherwise :data:`BACKEND_ENV`
@@ -227,6 +263,11 @@ def resolve_executor(*, backend: Optional[str] = None,
     ``None``/``0``/``1`` run serially, larger counts select the process
     backend (exactly what ``run_sweep(workers=...)`` did before the runtime
     layer existed, so existing callers keep their behaviour bit-for-bit).
+
+    ``options`` (backend-specific constructor keywords, e.g. the queue
+    backend's ``lease_s``/``max_retries``/``compact_threshold``) requires
+    a backend to be resolved explicitly or via the environment — silently
+    dropping options on the legacy ``workers`` path would hide misconfig.
     """
     if workers is not None and workers < 0:
         raise ValueError("workers must be non-negative")
@@ -234,7 +275,14 @@ def resolve_executor(*, backend: Optional[str] = None,
     if backend is None and env:
         backend = backend_from_env()
     if backend is not None:
-        return make_executor(backend, workers=effective_workers)
+        return make_executor(backend, workers=effective_workers,
+                             options=options)
+    if options:
+        raise ValueError(
+            "backend options were given but no backend was resolved "
+            f"(explicit backend= or {BACKEND_ENV}); the legacy workers= "
+            "path would silently drop them"
+        )
     if effective_workers is not None and effective_workers > 1:
         return ProcessExecutor(workers=effective_workers)
     return SerialExecutor()

@@ -1,0 +1,431 @@
+"""Fleet maintenance for the work queue: reap, quarantine, compact, status.
+
+The queue protocol (:mod:`repro.runtime.queue`) makes claims time-bounded
+leases; this module is the machinery that acts on them:
+
+* :func:`reap_layout` / :func:`reap` — the **reaper**: re-queues orphaned
+  claims whose lease expired (a worker died, or was SIGKILLed mid-task)
+  and quarantines tasks that keep killing workers into ``failed/`` after
+  ``max_retries`` re-queues, publishing an ``ok=False`` result so
+  collectors fail fast instead of timing out.
+* :func:`compact_layout` / :func:`compact` — the **result compactor**:
+  merges loose per-task result pickles into chunked bundles so collecting
+  a 100k-task sweep opens hundreds of files instead of 100k.
+* :func:`layout_status` / :func:`status` — machine-readable queue counts
+  (queued / claimed / done / failed), what ``python -m repro.runtime.queue
+  <root> status`` prints.
+
+Everything here is safe to run concurrently from any number of hosts:
+ownership of every state transition is decided by a single atomic
+``os.rename`` (re-queue, quarantine), and compaction tolerates racing
+compactors by writing uniquely-named bundles whose duplicate entries
+collapse at read time (results are byte-identical by the determinism
+contract, so last-write-wins is a no-op).
+
+The reaper is invoked automatically by ``collect_results`` (every poll)
+and by ``serve --watch`` workers (between polls), so any live fleet
+member recovers a dead one's work without operator action; the CLI
+``reap`` verb exists for manual recovery drills and cron-style janitors.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.queue import (
+    _ATTEMPTS_DIR,
+    _BUNDLE_PREFIX,
+    _CLAIMS_DIR,
+    _FAILED_DIR,
+    _RESULTS_DIR,
+    _TASKS_DIR,
+    _atomic_write,
+    _atomic_write_exclusive,
+    _layout_roots,
+    _lease_path,
+    _read_result_entries,
+    _task_filename,
+    _task_index,
+    DEFAULT_COMPACT_THRESHOLD,
+    default_lease_s,
+    default_max_retries,
+    published_indices,
+    read_attempts,
+    read_lease,
+    record_attempt,
+)
+
+
+@dataclass(frozen=True)
+class ReapReport:
+    """What one reaper pass did, per task index.
+
+    ``requeued``
+        Expired claims moved back to ``tasks/`` for another attempt.
+    ``quarantined``
+        Poisoned tasks (attempts exhausted) moved to ``failed/`` with an
+        ``ok=False`` result published.
+    ``released``
+        Expired claims whose result was already published — the worker
+        died *after* finishing; the claim is simply dropped, the work is
+        **not** re-executed.
+    """
+
+    requeued: Tuple[int, ...] = ()
+    quarantined: Tuple[int, ...] = ()
+    released: Tuple[int, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.requeued or self.quarantined or self.released)
+
+    def to_dict(self) -> Dict[str, List[int]]:
+        """JSON-ready dictionary of this report."""
+        return {
+            "requeued": list(self.requeued),
+            "quarantined": list(self.quarantined),
+            "released": list(self.released),
+        }
+
+    @staticmethod
+    def merge(reports: List["ReapReport"]) -> "ReapReport":
+        """Union of several layout reports (indices concatenated sorted)."""
+        return ReapReport(
+            requeued=tuple(sorted(i for r in reports for i in r.requeued)),
+            quarantined=tuple(
+                sorted(i for r in reports for i in r.quarantined)
+            ),
+            released=tuple(sorted(i for r in reports for i in r.released)),
+        )
+
+
+def _lease_deadline(claimed_path: str,
+                    lease: Optional[Dict[str, object]]) -> Optional[float]:
+    """Wall-clock lease deadline of a claim (``None`` if it vanished)."""
+    try:
+        mtime = os.path.getmtime(claimed_path)
+    except OSError:
+        return None
+    lease_s = default_lease_s()
+    if lease is not None:
+        try:
+            lease_s = float(lease.get("lease_s") or lease_s)
+        except (TypeError, ValueError):
+            pass
+    return mtime + lease_s
+
+
+def _quarantine(root: str, claimed_path: str, index: int, attempts: int,
+                owner: object) -> Optional[bool]:
+    """Move a poisoned task to ``failed/`` and publish a failure result.
+
+    Returns True on quarantine, False when another janitor won the
+    rename, and ``None`` when the task turned out to be *completed* — a
+    stalled final-attempt worker can publish its (successful) result
+    between the reaper's done-snapshot and this call, and a success must
+    never be clobbered by a failure notice: the fresh re-check plus the
+    link-based exclusive write guarantee it survives.
+    """
+    os.makedirs(os.path.join(root, _FAILED_DIR), exist_ok=True)
+    failed_path = os.path.join(root, _FAILED_DIR, _task_filename(index))
+    try:
+        os.rename(claimed_path, failed_path)
+    except OSError:
+        return False  # another janitor (or the worker itself) won
+    _remove_quietly(_lease_path(claimed_path))
+    if index in published_indices(root):
+        # completed after all — drop the quarantine, the work is done
+        _remove_quietly(failed_path)
+        return None
+    published = _atomic_write_exclusive(root, _RESULTS_DIR,
+                                        _task_filename(index), (
+        index, False,
+        f"task {index} quarantined after {attempts} expired lease(s) "
+        f"(last owner: {owner!r}); its task file is preserved at "
+        f"{failed_path!r} — fix the poison pill and re-enqueue it, or "
+        f"raise max_retries if the workers were killed externally"
+    ))
+    if not published:
+        # a loose success result landed in the microsecond window after
+        # the re-check; the task is done, not poisoned
+        _remove_quietly(failed_path)
+        return None
+    return True
+
+
+def _requeue(root: str, claimed_path: str, index: int,
+             attempts: int) -> bool:
+    """Move an expired claim back to ``tasks/`` for another attempt."""
+    # drop the dead owner's sidecar BEFORE the rename makes the task
+    # claimable again: afterwards a fast worker may already have
+    # re-claimed it and written a fresh sidecar we must not delete
+    _remove_quietly(_lease_path(claimed_path))
+    target = os.path.join(root, _TASKS_DIR, os.path.basename(claimed_path))
+    try:
+        os.rename(claimed_path, target)
+    except OSError:
+        return False  # lost the race to another janitor or the worker
+    record_attempt(root, index, attempts)
+    return True
+
+
+def _remove_quietly(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+def reap_layout(root: str, *, max_retries: Optional[int] = None,
+                now: Optional[float] = None) -> ReapReport:
+    """One reaper pass over a single queue layout.
+
+    Scans ``claims/`` for leases whose deadline (claim mtime + lease
+    length, renewed by worker heartbeats) has passed.  Each expired claim
+    is resolved by exactly one janitor via an atomic rename:
+
+    * result already published -> the claim is released (the worker died
+      after finishing; completed work is never re-executed);
+    * attempts left -> re-queued into ``tasks/`` with its attempt count
+      bumped (``attempts/``);
+    * attempts exhausted -> quarantined into ``failed/`` with an
+      ``ok=False`` result, failing collectors fast instead of letting a
+      poison pill crash-loop the fleet forever.
+
+    ``now`` injects a wall-clock for deterministic expiry tests.
+    """
+    if max_retries is None:
+        max_retries = default_max_retries()
+    claims_dir = os.path.join(root, _CLAIMS_DIR)
+    try:
+        names = sorted(os.listdir(claims_dir))
+    except OSError:
+        return ReapReport()
+    current = time.time() if now is None else now
+    requeued: List[int] = []
+    quarantined: List[int] = []
+    released: List[int] = []
+    done_indices: Optional[set] = None
+    for name in names:
+        if not name.endswith(".pkl"):
+            continue  # lease sidecars ride along with their claim
+        claimed_path = os.path.join(claims_dir, name)
+        lease = read_lease(claimed_path)
+        deadline = _lease_deadline(claimed_path, lease)
+        if deadline is None or current < deadline:
+            continue  # finished meanwhile, or the lease is still live
+        index = _task_index(name)
+        # a worker that died between publishing the result and releasing
+        # the claim left completed work behind: drop the claim, never
+        # re-execute (the "no double-execution of completed work" rule).
+        # The published result may already live inside a compacted bundle,
+        # so the check covers bundles too — computed lazily, only once an
+        # expired claim actually exists (the rare path)
+        if done_indices is None:
+            done_indices = published_indices(root)
+        if index in done_indices:
+            _remove_quietly(claimed_path)
+            _remove_quietly(_lease_path(claimed_path))
+            released.append(index)
+            continue
+        attempts = read_attempts(root, index) + 1
+        owner = (lease or {}).get("owner")
+        if attempts > max_retries:
+            outcome = _quarantine(root, claimed_path, index, attempts - 1,
+                                  owner)
+            if outcome:
+                quarantined.append(index)
+            elif outcome is None:  # completed in the snapshot gap
+                released.append(index)
+        elif _requeue(root, claimed_path, index, attempts):
+            requeued.append(index)
+    return ReapReport(requeued=tuple(requeued),
+                      quarantined=tuple(quarantined),
+                      released=tuple(released))
+
+
+def reap(root: str, *, max_retries: Optional[int] = None,
+         now: Optional[float] = None) -> ReapReport:
+    """Reap every layout under ``root`` (the root itself plus ``run-*``)."""
+    return ReapReport.merge([
+        reap_layout(layout, max_retries=max_retries, now=now)
+        for layout in _layout_roots(root)
+    ])
+
+
+def _loose_result_files(root: str) -> List[str]:
+    """Sorted loose (un-bundled) result filenames of one layout."""
+    results_dir = os.path.join(root, _RESULTS_DIR)
+    try:
+        names = os.listdir(results_dir)
+    except OSError:
+        return []
+    return sorted(
+        name for name in names
+        if name.endswith(".pkl") and not name.startswith(_BUNDLE_PREFIX)
+    )
+
+
+def compact_layout(root: str, *, chunk_size: int = DEFAULT_COMPACT_THRESHOLD,
+                   partial: bool = False) -> int:
+    """Merge loose result files of one layout into chunked bundles.
+
+    Groups of ``chunk_size`` loose results become one
+    ``results/bundle-<first>-<hex>.pkl`` holding their ``(index, ok,
+    payload)`` entries; the loose files actually read are deleted after
+    the bundle is atomically published.  With ``partial`` the final
+    under-sized group is bundled too (end-of-run compaction); without it
+    only full chunks are bundled, so nothing happens until at least
+    ``chunk_size`` loose files exist — which makes this function double
+    as its own trigger threshold.
+
+    Concurrent compactors (or a compactor racing a collector) are safe:
+    bundle names are unique, a loose file deleted mid-read is skipped,
+    and overlapping bundles merely carry duplicate entries that collapse
+    by index at read time.  Returns the number of bundles written.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    loose = _loose_result_files(root)
+    if not partial and len(loose) < chunk_size:
+        return 0
+    results_dir = os.path.join(root, _RESULTS_DIR)
+    bundles_written = 0
+    for start in range(0, len(loose), chunk_size):
+        group = loose[start:start + chunk_size]
+        if not partial and len(group) < chunk_size:
+            break
+        entries: List[Tuple[int, bool, object]] = []
+        consumed: List[str] = []
+        for name in group:
+            try:
+                with open(os.path.join(results_dir, name), "rb") as handle:
+                    entries.append(pickle.load(handle))
+            except FileNotFoundError:
+                continue  # a racing compactor bundled it already
+            consumed.append(name)
+        if not entries:
+            continue
+        first = min(index for index, _, _ in entries)
+        bundle_name = f"{_BUNDLE_PREFIX}{first:07d}-{uuid.uuid4().hex[:8]}.pkl"
+        _atomic_write(root, _RESULTS_DIR, bundle_name, entries)
+        for name in consumed:
+            _remove_quietly(os.path.join(results_dir, name))
+        bundles_written += 1
+    return bundles_written
+
+
+def compact(root: str, *, chunk_size: int = DEFAULT_COMPACT_THRESHOLD,
+            partial: bool = False) -> int:
+    """Compact every layout under ``root``; returns bundles written."""
+    return sum(
+        compact_layout(layout, chunk_size=chunk_size, partial=partial)
+        for layout in _layout_roots(root)
+    )
+
+
+@dataclass(frozen=True)
+class LayoutStatus:
+    """Machine-readable state of one queue layout."""
+
+    queued: int
+    claimed: int
+    done: int
+    failed: int
+    loose_results: int
+    bundles: int
+    owners: Tuple[str, ...] = ()
+    attempts: Dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dictionary of this status."""
+        return {
+            "queued": self.queued,
+            "claimed": self.claimed,
+            "done": self.done,
+            "failed": self.failed,
+            "loose_results": self.loose_results,
+            "bundles": self.bundles,
+            "owners": sorted(self.owners),
+            "attempts": {str(k): v for k, v in sorted(self.attempts.items())},
+        }
+
+
+def _count_dir(root: str, subdir: str) -> List[str]:
+    try:
+        return [name for name in os.listdir(os.path.join(root, subdir))
+                if name.endswith(".pkl")]
+    except OSError:
+        return []
+
+
+def layout_status(root: str) -> LayoutStatus:
+    """Queue counts of one layout.
+
+    ``done`` counts distinct *successful* result indices, ``failed`` the
+    distinct failed ones (worker tracebacks and quarantined poison pills
+    alike) — so ``done == expected`` really means the run succeeded, and
+    ``done + failed`` never double-counts a task.
+    """
+    claims = _count_dir(root, _CLAIMS_DIR)
+    owners = []
+    for name in claims:
+        lease = read_lease(os.path.join(root, _CLAIMS_DIR, name))
+        if lease and lease.get("owner"):
+            owners.append(str(lease["owner"]))
+    all_entries = _read_result_entries(root)
+    entries = {index: payload for index, payload in all_entries.items()
+               if payload[0]}
+    failed_indices = {index for index, payload in all_entries.items()
+                      if not payload[0]}
+    failed_indices.update(
+        _task_index(name) for name in _count_dir(root, _FAILED_DIR)
+    )
+    loose = _loose_result_files(root)
+    bundles = [name for name in _count_dir(root, _RESULTS_DIR)
+               if name.startswith(_BUNDLE_PREFIX)]
+    attempts: Dict[int, int] = {}
+    for name in _count_dir(root, _ATTEMPTS_DIR):
+        index = _task_index(name)
+        count = read_attempts(root, index)
+        if count:
+            attempts[index] = count
+    return LayoutStatus(
+        queued=len(_count_dir(root, _TASKS_DIR)),
+        claimed=len(claims),
+        done=len(entries),
+        failed=len(failed_indices),
+        loose_results=len(loose),
+        bundles=len(bundles),
+        owners=tuple(owners),
+        attempts=attempts,
+    )
+
+
+def status(root: str) -> Dict[str, object]:
+    """Aggregate queue state under ``root``: totals plus per-layout detail.
+
+    This is what ``python -m repro.runtime.queue <root> status`` prints;
+    the top-level ``queued`` / ``claimed`` / ``done`` / ``failed`` keys
+    are the fleet-wide counts a monitoring script wants, ``layouts`` maps
+    each layout (``.`` is the root itself) to its full breakdown.
+    """
+    layouts = _layout_roots(root)
+    per_layout = {
+        os.path.relpath(layout, root): layout_status(layout)
+        for layout in layouts
+    }
+    totals = {"queued": 0, "claimed": 0, "done": 0, "failed": 0}
+    for layout in per_layout.values():
+        totals["queued"] += layout.queued
+        totals["claimed"] += layout.claimed
+        totals["done"] += layout.done
+        totals["failed"] += layout.failed
+    return {
+        **totals,
+        "layouts": {name: s.to_dict() for name, s in per_layout.items()},
+    }

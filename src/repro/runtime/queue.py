@@ -1,4 +1,4 @@
-"""File/dir-based work queue: the seam for multi-host sweep execution.
+"""File/dir-based work queue: the fleet-grade seam for multi-host sweeps.
 
 The ROADMAP's "distributed sweep execution beyond one host" item needs a
 transport that works over anything hosts can share — NFS, a synced scratch
@@ -20,13 +20,38 @@ Protocol (all paths relative to one queue layout directory):
     callable (e.g. a chunk task holding a whole packed inference engine)
     is serialised once per run, not once per task.
 ``claims/task-NNNNNNN.pkl``
-    A task a worker has claimed, moved atomically out of ``tasks/`` via
-    ``os.rename`` — the rename either succeeds for exactly one worker or
-    raises, which is what makes concurrent workers safe without locks.
+    A task a worker holds a **lease** on, moved atomically out of
+    ``tasks/`` via ``os.rename`` — the rename either succeeds for exactly
+    one worker or raises, which is what makes concurrent workers safe
+    without locks.  The lease deadline is the claim file's mtime plus the
+    lease length; workers renew it with cheap mtime-bump **heartbeats**
+    while the task runs, so a live worker can hold a task indefinitely
+    while a dead worker's claim expires one lease length after its last
+    heartbeat.
+``claims/task-NNNNNNN.pkl.lease``
+    Lease metadata sidecar: a pickle of ``{"owner", "lease_s"}`` naming
+    the worker (``host:pid``) and its lease length.  Written right after
+    the claim rename; the reaper falls back to the default lease length
+    when it is missing (the claim/sidecar race window is microseconds).
 ``results/task-NNNNNNN.pkl``
     The finished task: a pickle of ``(index, ok, payload)`` where ``ok``
     is a bool and ``payload`` is the result or the formatted error.  Also
     written via ``tmp/`` + rename.
+``results/bundle-NNNNNNN-<hex>.pkl``
+    A compacted **result bundle**: a pickle of a list of ``(index, ok,
+    payload)`` entries.  The compactor (:mod:`repro.runtime.janitor`)
+    merges loose per-task results into bundles so collecting a 100k-task
+    sweep opens hundreds of files, not 100k.  Bundles may overlap loose
+    files (or each other) transiently — readers key entries by index, and
+    re-executed tasks republish byte-identical payloads, so duplicates
+    are harmless by construction.
+``attempts/task-NNNNNNN.pkl``
+    Retry accounting: a plain-text integer counting how many times the
+    task's lease expired and the reaper re-queued it.
+``failed/task-NNNNNNN.pkl``
+    Quarantine for poisoned tasks: after ``max_retries`` re-queues the
+    reaper moves the task file here (instead of crash-looping the fleet)
+    and publishes an ``ok=False`` result so collectors fail fast.
 
 Every :meth:`QueueExecutor.execute` call creates its own
 ``run-<unique-id>/`` layout under the shared root, so repeated or
@@ -35,23 +60,48 @@ result files (a stale ``results/`` dir would otherwise satisfy a new
 run's result poll).  Successful runs remove their namespace; failed runs
 leave it behind with the error payloads for debugging.
 
-Workers are stateless loops over ``claim -> run -> publish`` across every
-layout under the root (the root itself, when callers drive the protocol
-functions directly, plus all ``run-*`` namespaces); run one with
-``python -m repro.runtime.queue <root>`` on every host sharing the
-directory.  Results are reassembled in submission order, so queue
-execution stays bit-identical with the serial oracle.
+Workers are stateless loops over ``claim -> heartbeat -> run -> publish``
+across every layout under the root (the root itself, when callers drive
+the protocol functions directly, plus all ``run-*`` namespaces); run one
+with ``python -m repro.runtime.queue <root> serve --watch`` on every host
+sharing the directory.  The CLI also exposes the janitor verbs —
+``status`` (machine-readable queue counts), ``reap`` (re-queue orphaned
+claims) and ``compact`` (bundle loose results) — and drains gracefully on
+SIGTERM: the in-flight task finishes and publishes before the process
+exits.  Results are reassembled in submission order, so queue execution
+stays bit-identical with the serial oracle.
+
+Tasks may execute more than once (a lease expiry re-queues work a slow or
+dead worker already started), so task callables must be pure functions of
+their argument — exactly the contract :mod:`repro.runtime.tasks` already
+imposes for cross-backend determinism.
+
+Environment knobs (all optional; see :func:`default_lease_s` etc.):
+
+``REPRO_RUNTIME_QUEUE_DIR``
+    Shared queue root the registry backend uses.
+``REPRO_RUNTIME_LEASE_S``
+    Lease length in seconds (default 30).
+``REPRO_RUNTIME_MAX_RETRIES``
+    Re-queues before quarantine (default 3).
+``REPRO_RUNTIME_COMPACT_THRESHOLD``
+    Loose results per layout that trigger compaction, and the bundle
+    size (default 512; 0 disables auto-compaction).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pickle
+import signal
+import socket
+import threading
 import time
 import traceback
 import uuid
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.runtime.executors import Executor
 from repro.runtime.tasks import Task, WorkList, gather
@@ -59,6 +109,8 @@ from repro.runtime.tasks import Task, WorkList, gather
 _TASKS_DIR = "tasks"
 _CLAIMS_DIR = "claims"
 _RESULTS_DIR = "results"
+_FAILED_DIR = "failed"
+_ATTEMPTS_DIR = "attempts"
 _TMP_DIR = "tmp"
 
 #: per-execute namespace directories created under a shared queue root
@@ -67,10 +119,25 @@ _RUN_PREFIX = "run-"
 #: single shared task callable of one run (written when all tasks agree)
 _SHARED_FN_FILE = "fn.pkl"
 
+#: suffix of the lease-metadata sidecar next to each claim file
+_LEASE_SUFFIX = ".lease"
+
+#: filename prefix of compacted result bundles under ``results/``
+_BUNDLE_PREFIX = "bundle-"
+
 #: environment variable naming the shared queue root the registry backend
 #: uses (``backend="queue"`` / ``REPRO_RUNTIME_BACKEND=queue``); unset
 #: selects the self-contained single-host mode on a private temp dir
 QUEUE_DIR_ENV = "REPRO_RUNTIME_QUEUE_DIR"
+
+#: environment variables overriding the fleet-hardening defaults
+LEASE_ENV = "REPRO_RUNTIME_LEASE_S"
+MAX_RETRIES_ENV = "REPRO_RUNTIME_MAX_RETRIES"
+COMPACT_THRESHOLD_ENV = "REPRO_RUNTIME_COMPACT_THRESHOLD"
+
+DEFAULT_LEASE_S = 30.0
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_COMPACT_THRESHOLD = 512
 
 #: per-process cache of the *current* run's unpickled shared callable,
 #: keyed by fn.pkl path.  Bounded to one entry: a shared callable can be
@@ -80,13 +147,66 @@ QUEUE_DIR_ENV = "REPRO_RUNTIME_QUEUE_DIR"
 _SHARED_FN_CACHE: dict = {}
 
 
+def _env_number(name: str, default: float, convert) -> float:
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return default
+    try:
+        return convert(value)
+    except ValueError as error:
+        raise ValueError(f"{name}={value!r} is not a valid number") from error
+
+
+def default_lease_s() -> float:
+    """Lease length in seconds (:data:`LEASE_ENV`, default 30)."""
+    lease = _env_number(LEASE_ENV, DEFAULT_LEASE_S, float)
+    if lease <= 0:
+        raise ValueError(f"{LEASE_ENV} must be positive, got {lease}")
+    return lease
+
+
+def default_max_retries() -> int:
+    """Re-queues before quarantine (:data:`MAX_RETRIES_ENV`, default 3)."""
+    retries = _env_number(MAX_RETRIES_ENV, DEFAULT_MAX_RETRIES, int)
+    if retries < 0:
+        raise ValueError(f"{MAX_RETRIES_ENV} must be >= 0, got {retries}")
+    return int(retries)
+
+
+def default_compact_threshold() -> int:
+    """Loose results triggering compaction (:data:`COMPACT_THRESHOLD_ENV`).
+
+    Doubles as the bundle size; ``0`` disables automatic compaction
+    (explicit ``compact`` CLI/API calls still work at the default size).
+    """
+    threshold = _env_number(
+        COMPACT_THRESHOLD_ENV, DEFAULT_COMPACT_THRESHOLD, int
+    )
+    if threshold < 0:
+        raise ValueError(
+            f"{COMPACT_THRESHOLD_ENV} must be >= 0, got {threshold}"
+        )
+    return int(threshold)
+
+
+def default_owner() -> str:
+    """This worker's lease owner id (``host:pid``)."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
 def _task_filename(index: int) -> str:
     return f"task-{index:07d}.pkl"
 
 
+def _task_index(filename: str) -> int:
+    """Inverse of :func:`_task_filename` (``task-0000012.pkl`` -> ``12``)."""
+    return int(filename[len("task-"):-len(".pkl")])
+
+
 def init_queue_dirs(root: str) -> None:
     """Create the queue directory layout (idempotent)."""
-    for sub in (_TASKS_DIR, _CLAIMS_DIR, _RESULTS_DIR, _TMP_DIR):
+    for sub in (_TASKS_DIR, _CLAIMS_DIR, _RESULTS_DIR, _FAILED_DIR,
+                _ATTEMPTS_DIR, _TMP_DIR):
         os.makedirs(os.path.join(root, sub), exist_ok=True)
 
 
@@ -96,6 +216,36 @@ def _atomic_write(root: str, subdir: str, filename: str,
     tmp_path = os.path.join(root, _TMP_DIR, f"{filename}.{uuid.uuid4().hex}")
     with open(tmp_path, "wb") as handle:
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp_path, os.path.join(root, subdir, filename))
+
+
+def _atomic_write_exclusive(root: str, subdir: str, filename: str,
+                            payload: object) -> bool:
+    """Like :func:`_atomic_write` but never overwrites; False if it exists.
+
+    ``os.link`` fails with ``EEXIST`` where ``os.replace`` would clobber —
+    the primitive the janitor uses to publish a *failure* result without
+    ever destroying a success a stalled worker managed to publish first.
+    """
+    tmp_path = os.path.join(root, _TMP_DIR, f"{filename}.{uuid.uuid4().hex}")
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        os.link(tmp_path, os.path.join(root, subdir, filename))
+    except FileExistsError:
+        return False
+    finally:
+        os.remove(tmp_path)
+    return True
+
+
+def _atomic_write_text(root: str, subdir: str, filename: str,
+                       text: str) -> None:
+    """Like :func:`_atomic_write` but plain text (operator-inspectable)."""
+    tmp_path = os.path.join(root, _TMP_DIR, f"{filename}.{uuid.uuid4().hex}")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.makedirs(os.path.join(root, subdir), exist_ok=True)
     os.replace(tmp_path, os.path.join(root, subdir, filename))
 
 
@@ -127,13 +277,39 @@ def enqueue_task(root: str, task: Task, *, shared_fn: bool = False) -> None:
                   (task.index, None if shared_fn else task.fn, task.arg))
 
 
-def claim_next_task(root: str) -> Optional[str]:
-    """Atomically claim the lowest-numbered pending task.
+def _lease_path(claimed_path: str) -> str:
+    return claimed_path + _LEASE_SUFFIX
+
+
+def read_lease(claimed_path: str) -> Optional[Dict[str, object]]:
+    """Lease metadata of a claim (``None`` when the sidecar is missing).
+
+    A missing sidecar means either the claim predates the lease protocol
+    or the claimant sits in the microsecond window between the claim
+    rename and the sidecar write; callers fall back to
+    :func:`default_lease_s` and an unknown owner.
+    """
+    try:
+        with open(_lease_path(claimed_path), "rb") as handle:
+            lease = pickle.load(handle)
+    except (OSError, EOFError, pickle.UnpicklingError):
+        return None
+    return lease if isinstance(lease, dict) else None
+
+
+def claim_next_task(root: str, *, owner: Optional[str] = None,
+                    lease_s: Optional[float] = None) -> Optional[str]:
+    """Atomically claim a lease on the lowest-numbered pending task.
 
     Returns the claimed file's path (now under ``claims/``), or ``None``
     when no pending task exists.  Losing a rename race to another worker is
-    normal — the loser just moves on to the next file.
+    normal — the loser just moves on to the next file.  The winner's lease
+    clock starts at the claim (the rename preserves the stale enqueue
+    mtime, so it is bumped immediately) and its metadata sidecar names
+    ``owner`` so operators can see who holds what.
     """
+    if lease_s is None:
+        lease_s = default_lease_s()
     tasks_dir = os.path.join(root, _TASKS_DIR)
     for filename in sorted(os.listdir(tasks_dir)):
         if not filename.endswith(".pkl"):
@@ -144,31 +320,131 @@ def claim_next_task(root: str) -> Optional[str]:
             os.rename(source, target)
         except OSError:
             continue  # another worker won the claim
+        try:
+            os.utime(target)  # start the lease clock now, not at enqueue
+        except OSError:
+            pass  # claim already reaped/finished — vanishingly unlikely
+        _atomic_write(root, _CLAIMS_DIR, filename + _LEASE_SUFFIX,
+                      {"owner": owner or default_owner(),
+                       "lease_s": float(lease_s)})
         return target
     return None
 
 
-def run_claimed_task(root: str, claimed_path: str) -> int:
+def heartbeat(claimed_path: str) -> bool:
+    """Renew a claim's lease by bumping its mtime; False if it is gone."""
+    try:
+        os.utime(claimed_path)
+    except OSError:
+        return False
+    return True
+
+
+class _LeaseHeartbeat:
+    """Background thread renewing one claim's lease while its task runs.
+
+    Bumps the claim file's mtime every quarter lease so a live worker
+    never loses its claim to the reaper, no matter how long the task
+    takes; stops silently if the claim disappears (the task finished, or
+    an aggressive reaper re-queued it — the latter is benign because
+    tasks are pure and results idempotent).
+    """
+
+    def __init__(self, claimed_path: str, lease_s: float) -> None:
+        self._claimed_path = claimed_path
+        self._interval_s = max(lease_s / 4.0, 0.01)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            if not heartbeat(self._claimed_path):
+                break
+
+
+def run_claimed_task(root: str, claimed_path: str) -> Optional[int]:
     """Execute one claimed task file and publish its result.
 
-    Worker exceptions are published as ``ok=False`` results (with the
-    traceback as payload) so the submitting executor re-raises them instead
-    of waiting forever.  Returns the task index.
+    The claim's lease is renewed by a background heartbeat for as long as
+    the task runs.  Worker exceptions are published as ``ok=False``
+    results (with the traceback as payload) so the submitting executor
+    re-raises them instead of waiting forever.  Returns the task index,
+    or ``None`` when the claim vanished before it could be read (lost to
+    a racing janitor in the claim/sidecar write gap — rare and benign,
+    the task is executed by whoever holds it now).
+
+    If the lease was lost mid-task (claim re-queued by a reaper after a
+    missed heartbeat) the result is still published — it is byte-identical
+    to whatever the re-execution will produce — but the *current* holder's
+    claim files are left alone.
     """
-    with open(claimed_path, "rb") as handle:
-        index, fn, arg = pickle.load(handle)
+    try:
+        with open(claimed_path, "rb") as handle:
+            index, fn, arg = pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    lease = read_lease(claimed_path) or {}
+    owner = lease.get("owner")
+    lease_s = float(lease.get("lease_s") or default_lease_s())
     if fn is None:
         fn = _load_shared_fn(root)
-    try:
-        payload: object = fn(arg)
-        ok = True
-    except Exception:  # noqa: BLE001 - workers must never die silently
-        payload = traceback.format_exc()
-        ok = False
+    with _LeaseHeartbeat(claimed_path, lease_s):
+        try:
+            payload: object = fn(arg)
+            ok = True
+        except Exception:  # noqa: BLE001 - workers must never die silently
+            payload = traceback.format_exc()
+            ok = False
     _atomic_write(root, _RESULTS_DIR, _task_filename(index),
                   (index, ok, payload))
-    os.remove(claimed_path)
+    _release_claim(claimed_path, owner)
     return index
+
+
+def _release_claim(claimed_path: str, owner: Optional[str]) -> None:
+    """Remove a finished claim + sidecar, unless another worker holds it.
+
+    After a lease expiry the same claim path may belong to a different
+    worker; deleting *their* claim would orphan their accounting, so the
+    release is skipped unless the sidecar still names *our* owner — a
+    missing sidecar counts as "not ours" too, because a new claimant sits
+    in its claim/sidecar write gap exactly when its sidecar is absent.
+    """
+    if owner is not None:
+        current = read_lease(claimed_path)
+        if current is None or current.get("owner") != owner:
+            return
+    for path in (claimed_path, _lease_path(claimed_path)):
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+def read_attempts(root: str, index: int) -> int:
+    """How many times the reaper has re-queued task ``index`` (0 = never)."""
+    path = os.path.join(root, _ATTEMPTS_DIR, _task_filename(index))
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return int(handle.read().strip() or 0)
+    except (OSError, ValueError):
+        return 0
+
+
+def record_attempt(root: str, index: int, attempts: int) -> None:
+    """Persist the re-queue count of task ``index`` (plain text, atomic)."""
+    _atomic_write_text(root, _ATTEMPTS_DIR, _task_filename(index),
+                       f"{attempts}\n")
 
 
 def _layout_roots(root: str) -> List[str]:
@@ -193,62 +469,213 @@ def _layout_roots(root: str) -> List[str]:
     return roots
 
 
-def _serve_one(root: str) -> bool:
-    """Claim and run one pending task from any layout under ``root``."""
+def _serve_one(root: str, *, owner: Optional[str],
+               lease_s: Optional[float]) -> Optional[str]:
+    """Claim and run one pending task from any layout under ``root``.
+
+    Returns the layout that supplied the task, or ``None`` when every
+    layout is drained.
+    """
     for layout in _layout_roots(root):
-        claimed = claim_next_task(layout)
+        claimed = claim_next_task(layout, owner=owner, lease_s=lease_s)
         if claimed is not None:
-            run_claimed_task(layout, claimed)
-            return True
-    return False
+            if run_claimed_task(layout, claimed) is None:
+                continue  # claim vanished under us; try another layout
+            return layout
+    return None
 
 
-def serve(root: str, *, max_tasks: Optional[int] = None) -> int:
+def serve(root: str, *, max_tasks: Optional[int] = None,
+          owner: Optional[str] = None, lease_s: Optional[float] = None,
+          should_stop: Optional[Callable[[], bool]] = None,
+          compact_threshold: Optional[int] = None) -> int:
     """Drain the queue: claim and run tasks until none remain.
 
-    This is the worker loop ``python -m repro.runtime.queue`` runs; the
-    executor also calls it inline for single-host operation.  Tasks are
-    drained from the root's own layout and from every ``run-*`` namespace
-    under it.  Returns the number of tasks executed.
+    This is the worker loop ``python -m repro.runtime.queue <root> serve``
+    runs; the executor also calls it inline for single-host operation.
+    Tasks are drained from the root's own layout and from every ``run-*``
+    namespace under it, each under a heartbeat-renewed lease.  Returns
+    the number of tasks executed.
+
+    Parameters
+    ----------
+    max_tasks:
+        Stop after this many tasks (``None`` drains until empty).
+    owner, lease_s:
+        Lease identity and length of this worker's claims (defaults:
+        :func:`default_owner`, :func:`default_lease_s`).
+    should_stop:
+        Polled between tasks; returning true stops the loop after the
+        in-flight task — the graceful-drain hook the CLI wires to SIGTERM.
+    compact_threshold:
+        When set and positive, every ``compact_threshold`` tasks served
+        from a layout triggers opportunistic result compaction there
+        (``None`` resolves :func:`default_compact_threshold`).
     """
+    if compact_threshold is None:
+        compact_threshold = default_compact_threshold()
     executed = 0
+    served_per_layout: Dict[str, int] = {}
     while max_tasks is None or executed < max_tasks:
-        if not _serve_one(root):
+        if should_stop is not None and should_stop():
+            break
+        layout = _serve_one(root, owner=owner, lease_s=lease_s)
+        if layout is None:
             break
         executed += 1
+        served_per_layout[layout] = served_per_layout.get(layout, 0) + 1
+        if compact_threshold and \
+                served_per_layout[layout] % compact_threshold == 0:
+            from repro.runtime import janitor
+
+            janitor.compact_layout(layout, chunk_size=compact_threshold)
     return executed
 
 
-def collect_results(root: str, expected: int, *, timeout_s: float,
-                    poll_interval_s: float) -> List[object]:
-    """Gather all ``expected`` results, polling until present or timeout."""
+def _read_result_entries(root: str) -> Dict[int, Tuple[bool, object]]:
+    """All published results of a layout, keyed by task index.
+
+    Reads loose per-task files and compacted bundles alike.  Duplicate
+    indices (a bundle overlapping a not-yet-deleted loose file, or a
+    re-executed task) collapse by key — the payloads are byte-identical
+    by the determinism contract.  Files that vanish between the listing
+    and the open were just compacted; the next poll sees their bundle.
+    """
     results_dir = os.path.join(root, _RESULTS_DIR)
+    entries: Dict[int, Tuple[bool, object]] = {}
+    try:
+        names = sorted(os.listdir(results_dir))
+    except OSError:
+        return entries
+    for name in names:
+        if not name.endswith(".pkl"):
+            continue
+        path = os.path.join(results_dir, name)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            continue  # compacted away between listdir and open
+        if name.startswith(_BUNDLE_PREFIX):
+            for index, ok, value in payload:
+                entries[index] = (ok, value)
+        else:
+            index, ok, value = payload
+            entries[index] = (ok, value)
+    return entries
+
+
+def published_indices(root: str,
+                      bundle_cache: Optional[Dict[str, frozenset]] = None
+                      ) -> set:
+    """Indices of every published result, *without* reading payloads.
+
+    Loose result files carry their index in the filename; bundles are
+    opened once to list their indices — and, being immutable and uniquely
+    named, that set can be memoised in ``bundle_cache`` across the poll
+    cycles of one collection, keeping the poll loop O(new bundles) instead
+    of re-deserialising every payload each cycle.
+    """
+    results_dir = os.path.join(root, _RESULTS_DIR)
+    indices: set = set()
+    try:
+        names = os.listdir(results_dir)
+    except OSError:
+        return indices
+    for name in names:
+        if not name.endswith(".pkl"):
+            continue
+        if not name.startswith(_BUNDLE_PREFIX):
+            try:
+                indices.add(_task_index(name))
+            except ValueError:
+                pass  # foreign file in results/; ignore
+            continue
+        cached = None if bundle_cache is None else bundle_cache.get(name)
+        if cached is None:
+            try:
+                with open(os.path.join(results_dir, name), "rb") as handle:
+                    cached = frozenset(
+                        index for index, _, _ in pickle.load(handle)
+                    )
+            except FileNotFoundError:
+                continue
+            if bundle_cache is not None:
+                bundle_cache[name] = cached
+        indices |= cached
+    return indices
+
+
+def collect_results(root: str, expected: int, *, timeout_s: float,
+                    poll_interval_s: float,
+                    max_retries: Optional[int] = None,
+                    reap_orphans: bool = True,
+                    compact_threshold: Optional[int] = None,
+                    maintenance_interval_s: Optional[float] = None,
+                    inline_worker: Optional[Callable[[], object]] = None
+                    ) -> List[object]:
+    """Gather all ``expected`` results, polling until present or timeout.
+
+    Each poll cycle runs ``inline_worker`` when given — the executor's
+    hook for draining its own queue in-process.  On a coarser
+    **maintenance cadence** (``maintenance_interval_s``; defaults to ten
+    poll intervals, at least 1 s — lease expiry is measured in tens of
+    seconds, so reaping at poll frequency would only hammer the shared
+    filesystem) the collector also (1) **reaps** the layout: expired
+    leases are re-queued (or quarantined after ``max_retries`` re-queues)
+    so one dead worker can never stall the run forever, and (2) compacts
+    loose results once they outnumber ``compact_threshold``.  Polling
+    counts result *indices* (filenames plus memoised bundle listings) so
+    a huge grid is not re-deserialised every cycle; payloads are read
+    exactly once, from loose files and bundles alike, and reassembled in
+    submission order.  The first ``ok=False`` payload (worker traceback
+    or poisoned-task quarantine notice) is re-raised as ``RuntimeError``.
+    """
+    if max_retries is None:
+        max_retries = default_max_retries()
+    if compact_threshold is None:
+        compact_threshold = default_compact_threshold()
+    if maintenance_interval_s is None:
+        maintenance_interval_s = max(1.0, 10.0 * poll_interval_s)
+    from repro.runtime import janitor
+
     deadline = time.monotonic() + timeout_s
+    bundle_cache: Dict[str, frozenset] = {}
+    next_maintenance = time.monotonic()  # first cycle maintains immediately
     while True:
-        present = [f for f in os.listdir(results_dir) if f.endswith(".pkl")]
+        if inline_worker is not None:
+            inline_worker()
+        if time.monotonic() >= next_maintenance:
+            if reap_orphans:
+                janitor.reap_layout(root, max_retries=max_retries)
+            if compact_threshold:
+                janitor.compact_layout(root, chunk_size=compact_threshold)
+            next_maintenance = time.monotonic() + maintenance_interval_s
+        present = published_indices(root, bundle_cache)
         if len(present) >= expected:
-            break
+            entries = _read_result_entries(root)
+            if len(entries) >= expected:
+                break
         if time.monotonic() >= deadline:
             raise TimeoutError(
                 f"queue at {root!r} produced {len(present)} of {expected} "
-                f"results within {timeout_s:.1f}s; are workers running?"
+                f"results within {timeout_s:.1f}s; are workers running? "
+                f"(`python -m repro.runtime.queue {root} status` shows the "
+                f"queue state)"
             )
         time.sleep(poll_interval_s)
-    indexed: List[Tuple[int, object]] = []
-    failures: List[Tuple[int, object]] = []
-    for filename in sorted(present):
-        with open(os.path.join(results_dir, filename), "rb") as handle:
-            index, ok, payload = pickle.load(handle)
-        if ok:
-            indexed.append((index, payload))
-        else:
-            failures.append((index, payload))
+    failures = sorted(
+        (index, payload) for index, (ok, payload) in entries.items() if not ok
+    )
     if failures:
         index, payload = failures[0]
         raise RuntimeError(
             f"queue task {index} failed on a worker:\n{payload}"
         )
-    return gather(indexed, expected)
+    return gather(
+        ((index, payload) for index, (_, payload) in entries.items()),
+        expected,
+    )
 
 
 class QueueExecutor(Executor):
@@ -266,18 +693,32 @@ class QueueExecutor(Executor):
         executor by hand.
     inline_worker:
         When true (default) the executor also drains the queue in-process
-        after enqueueing, so it works with zero external setup — and
+        while collecting, so it works with zero external setup — and
         *cooperates* with any external workers pointed at ``root`` (each
-        task is claimed exactly once, whoever gets it first).  Set false
-        for a pure coordinator that only enqueues and polls; that mode
-        requires an explicit shared ``root`` — with a private temp dir no
-        external worker could ever find the tasks and every run would
-        just time out.
+        task is claimed exactly once, whoever gets it first), including
+        re-executing tasks the reaper recovered from a dead worker.  Set
+        false for a pure coordinator that only enqueues, reaps and polls;
+        that mode requires an explicit shared ``root`` — with a private
+        temp dir no external worker could ever find the tasks and every
+        run would just time out.
     workers:
         Accepted for registry compatibility; the inline worker is always a
         single loop (parallelism comes from running external workers).
     timeout_s, poll_interval_s:
         Result-polling knobs for the external-worker mode.
+    lease_s:
+        Lease length of claims made by the inline worker, and implicitly
+        the recovery latency after a worker dies (its orphaned claim is
+        re-queued one lease length after its last heartbeat).  ``None``
+        resolves ``REPRO_RUNTIME_LEASE_S`` / the 30 s default.
+    max_retries:
+        Lease-expiry re-queues per task before the reaper quarantines it
+        under ``failed/`` and fails the run (``None`` resolves
+        ``REPRO_RUNTIME_MAX_RETRIES`` / 3).
+    compact_threshold:
+        Loose result files that trigger compaction into bundles, and the
+        bundle size; ``0`` disables auto-compaction (``None`` resolves
+        ``REPRO_RUNTIME_COMPACT_THRESHOLD`` / 512).
     """
 
     name = "queue"
@@ -285,7 +726,10 @@ class QueueExecutor(Executor):
     def __init__(self, root: Optional[str] = None, *,
                  inline_worker: bool = True, workers: int = 1,
                  timeout_s: float = 300.0,
-                 poll_interval_s: float = 0.05) -> None:
+                 poll_interval_s: float = 0.05,
+                 lease_s: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 compact_threshold: Optional[int] = None) -> None:
         if timeout_s <= 0 or poll_interval_s <= 0:
             raise ValueError("timeout_s and poll_interval_s must be positive")
         if root is None and not inline_worker:
@@ -299,6 +743,19 @@ class QueueExecutor(Executor):
         self.workers = int(workers)
         self.timeout_s = float(timeout_s)
         self.poll_interval_s = float(poll_interval_s)
+        self.lease_s = default_lease_s() if lease_s is None else float(lease_s)
+        self.max_retries = (default_max_retries() if max_retries is None
+                            else int(max_retries))
+        self.compact_threshold = (
+            default_compact_threshold() if compact_threshold is None
+            else int(compact_threshold)
+        )
+        if self.lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.compact_threshold < 0:
+            raise ValueError("compact_threshold must be >= 0 (0 disables)")
 
     def _queue_root(self) -> Tuple[str, bool]:
         if self.root is not None:
@@ -323,11 +780,25 @@ class QueueExecutor(Executor):
                 write_shared_fn(run_root, worklist.tasks[0].fn)
             for task in worklist:
                 enqueue_task(run_root, task, shared_fn=shared)
+            serve_inline = None
             if self.inline_worker:
-                serve(run_root, max_tasks=len(worklist))
+                owner = default_owner()
+
+                def serve_inline() -> int:
+                    # drains fresh *and* reaper-re-queued tasks each poll
+                    return serve(run_root, owner=owner, lease_s=self.lease_s,
+                                 compact_threshold=self.compact_threshold)
+
             results = collect_results(
                 run_root, len(worklist), timeout_s=self.timeout_s,
                 poll_interval_s=self.poll_interval_s,
+                max_retries=self.max_retries,
+                compact_threshold=self.compact_threshold,
+                # reap on the lease scale: recovery latency stays a
+                # fraction of the lease without per-poll claim scans
+                maintenance_interval_s=max(self.poll_interval_s,
+                                           self.lease_s / 4.0),
+                inline_worker=serve_inline,
             )
         finally:
             if ephemeral:
@@ -344,39 +815,146 @@ class QueueExecutor(Executor):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"QueueExecutor(root={self.root!r}, "
-                f"inline_worker={self.inline_worker})")
+                f"inline_worker={self.inline_worker}, "
+                f"lease_s={self.lease_s}, max_retries={self.max_retries}, "
+                f"compact_threshold={self.compact_threshold})")
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    """Worker loop with graceful SIGTERM drain."""
+    stop = threading.Event()
+
+    def _drain(signum, frame):  # pragma: no cover - exercised via subprocess
+        stop.set()
+
+    # graceful drain: finish (and publish) the in-flight task, then exit
+    # instead of abandoning a claim the reaper would have to recover
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _drain)
+    except ValueError:
+        pass  # not the main thread (tests driving main() directly)
+    owner = default_owner()
+    total = 0
+    try:
+        while True:
+            remaining = (None if args.max_tasks is None
+                         else args.max_tasks - total)
+            if remaining is not None and remaining <= 0:
+                break
+            total += serve(
+                args.root, max_tasks=remaining, owner=owner,
+                lease_s=args.lease_seconds, should_stop=stop.is_set,
+                compact_threshold=args.compact_threshold,
+            )
+            if stop.is_set() or not args.watch:
+                break
+            if args.reap:
+                from repro.runtime import janitor
+
+                janitor.reap(args.root, max_retries=args.max_retries)
+            if stop.wait(args.poll_interval):
+                break
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+    drained = " (drained on SIGTERM)" if stop.is_set() else ""
+    print(f"executed {total} task(s) from {args.root}{drained}")
+    return 0
+
+
+def _status_command(args: argparse.Namespace) -> int:
+    from repro.runtime import janitor
+
+    print(json.dumps(janitor.status(args.root), indent=2, sort_keys=True))
+    return 0
+
+
+def _reap_command(args: argparse.Namespace) -> int:
+    from repro.runtime import janitor
+
+    report = janitor.reap(args.root, max_retries=args.max_retries)
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _compact_command(args: argparse.Namespace) -> int:
+    from repro.runtime import janitor
+
+    chunk = args.compact_threshold or DEFAULT_COMPACT_THRESHOLD
+    bundles = janitor.compact(args.root, chunk_size=chunk, partial=True)
+    print(json.dumps({"bundles_written": bundles}, indent=2, sort_keys=True))
+    return 0
+
+
+_COMMANDS = {
+    "serve": _serve_command,
+    "status": _status_command,
+    "reap": _reap_command,
+    "compact": _compact_command,
+}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI worker loop: ``python -m repro.runtime.queue <queue-root>``."""
+    """CLI: ``python -m repro.runtime.queue <root> [serve|status|compact|reap]``.
+
+    ``serve`` (the default) is the worker loop — it drains every layout
+    under the root, optionally forever (``--watch``), reaping orphans
+    between sweeps and draining gracefully on SIGTERM.  ``status`` prints
+    a machine-readable JSON summary (queued/claimed/done/failed counts,
+    per layout).  ``reap`` re-queues expired leases and quarantines
+    poisoned tasks once.  ``compact`` bundles loose result files
+    (including a final partial bundle).
+    """
     parser = argparse.ArgumentParser(
-        description="Drain a repro runtime work-queue directory."
+        prog="python -m repro.runtime.queue",
+        description="Operate a repro runtime work-queue directory.",
     )
     parser.add_argument("root", help="shared queue directory")
     parser.add_argument(
+        "command", nargs="?", default="serve", choices=sorted(_COMMANDS),
+        help="what to do (default: serve, the worker loop)",
+    )
+    parser.add_argument(
         "--max-tasks", type=int, default=None,
-        help="stop after this many tasks (default: drain until empty)",
+        help="serve: stop after this many tasks (default: drain until empty)",
     )
     parser.add_argument(
         "--watch", action="store_true",
-        help="keep polling for new tasks instead of exiting when empty",
+        help="serve: keep polling for new tasks instead of exiting when empty",
     )
     parser.add_argument(
         "--poll-interval", type=float, default=0.5,
-        help="seconds between polls in --watch mode",
+        help="serve: seconds between polls in --watch mode",
+    )
+    parser.add_argument(
+        "--lease-seconds", type=float, default=None,
+        help=f"lease length of claims (default: ${LEASE_ENV} or "
+             f"{DEFAULT_LEASE_S:g})",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help=f"reap: re-queues before quarantine (default: ${MAX_RETRIES_ENV} "
+             f"or {DEFAULT_MAX_RETRIES})",
+    )
+    parser.add_argument(
+        "--compact-threshold", type=int, default=None,
+        help=f"loose results triggering compaction / bundle size (default: "
+             f"${COMPACT_THRESHOLD_ENV} or {DEFAULT_COMPACT_THRESHOLD}; "
+             f"0 disables)",
+    )
+    parser.add_argument(
+        "--no-reap", dest="reap", action="store_false",
+        help="serve --watch: do not reap orphaned claims between polls",
     )
     args = parser.parse_args(argv)
-    total = 0
-    while True:
-        remaining = None if args.max_tasks is None else args.max_tasks - total
-        if remaining is not None and remaining <= 0:
-            break
-        total += serve(args.root, max_tasks=remaining)
-        if not args.watch:
-            break
-        time.sleep(args.poll_interval)
-    print(f"executed {total} task(s) from {args.root}")
-    return 0
+    if args.lease_seconds is None:
+        args.lease_seconds = default_lease_s()
+    if args.max_retries is None:
+        args.max_retries = default_max_retries()
+    if args.compact_threshold is None:
+        args.compact_threshold = default_compact_threshold()
+    return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry point

@@ -29,6 +29,11 @@ class Task:
     picklable callable object) for the process and queue backends; ``arg``
     must be self-contained — anything stochastic inside the task derives
     from seeds carried *in* the argument, never from ambient state.
+
+    ``fn`` must also be a *pure* function of ``arg``: the queue backend's
+    lease recovery may execute a task more than once (a slow or crashed
+    worker's claim expires and is re-queued), and correctness then rests
+    on every execution publishing a byte-identical result.
     """
 
     index: int

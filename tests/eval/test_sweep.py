@@ -361,6 +361,30 @@ class TestRuntimeBackends:
         queued = run_sweep(tiny_grid, backend="queue")
         assert serial.records == queued.records
 
+    def test_queue_backend_options_thread_through(self, tiny_grid, tmp_path):
+        # the fleet-hardening knobs (short lease, tiny compaction chunks)
+        # must not perturb the records
+        serial = run_sweep(tiny_grid)
+        queued = run_sweep(tiny_grid, backend="queue", backend_options={
+            "lease_s": 5.0, "max_retries": 1, "compact_threshold": 2,
+        })
+        assert serial.records == queued.records
+
+    def test_backend_options_rejected_without_backend(self, tiny_grid,
+                                                      monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        with pytest.raises(ValueError, match="no backend was resolved"):
+            run_sweep(tiny_grid, backend_options={"lease_s": 5.0})
+
+    def test_backend_options_rejected_with_explicit_executor(self, tiny_grid):
+        # a pre-built executor carries its own knobs; silently dropping
+        # options alongside it would hide misconfiguration
+        executor = ThreadExecutor(2)
+        with pytest.raises(ValueError, match="cannot be combined"):
+            run_sweep(tiny_grid, executor=executor,
+                      backend_options={"lease_s": 5.0})
+        executor.close()
+
     def test_caller_owned_executor_is_reused_not_closed(self, tiny_grid):
         executor = ThreadExecutor(2)
         first = run_sweep(tiny_grid, executor=executor)

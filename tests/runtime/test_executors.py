@@ -120,6 +120,19 @@ class TestRegistry:
         with pytest.raises(ValueError):
             make_executor("gpu")
 
+    def test_queue_backend_accepts_fleet_options(self):
+        executor = make_executor("queue", options={
+            "lease_s": 4.5, "max_retries": 7, "compact_threshold": 32,
+        })
+        assert executor.lease_s == 4.5
+        assert executor.max_retries == 7
+        assert executor.compact_threshold == 32
+
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_optionless_backends_reject_options(self, name):
+        with pytest.raises(ValueError, match="takes no options"):
+            make_executor(name, options={"lease_s": 1.0})
+
 
 class TestResolveExecutor:
     def test_default_is_serial(self, monkeypatch):
@@ -164,6 +177,18 @@ class TestResolveExecutor:
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError):
             resolve_executor(workers=-1)
+
+    def test_options_flow_to_env_selected_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "queue")
+        executor = resolve_executor(options={"lease_s": 2.0})
+        assert isinstance(executor, QueueExecutor)
+        assert executor.lease_s == 2.0
+
+    def test_options_without_backend_are_rejected(self, monkeypatch):
+        # the legacy workers= path would silently drop them otherwise
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        with pytest.raises(ValueError, match="no backend was resolved"):
+            resolve_executor(workers=4, options={"lease_s": 2.0})
 
 
 def negate(x):

@@ -1,0 +1,379 @@
+"""Tests for the fleet janitor: reaping, quarantine, compaction, status."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.runtime import janitor
+from repro.runtime.queue import (
+    QueueExecutor,
+    claim_next_task,
+    collect_results,
+    enqueue_task,
+    init_queue_dirs,
+    read_attempts,
+    read_lease,
+    serve,
+)
+from repro.runtime.tasks import WorkList
+
+
+def double(x):
+    return 2 * x
+
+
+def explode(x):
+    raise ValueError("boom")
+
+
+def _enqueue(root, fn, items):
+    init_queue_dirs(root)
+    worklist = WorkList.from_items(fn, items)
+    for task in worklist:
+        enqueue_task(root, task)
+    return worklist
+
+
+def _expire(claimed_path, age_s=1000.0):
+    """Backdate a claim's mtime so its lease reads as expired."""
+    stamp = time.time() - age_s
+    os.utime(claimed_path, (stamp, stamp))
+
+
+class TestReaper:
+    def test_live_lease_is_left_alone(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claim_next_task(root, lease_s=60.0)
+        report = janitor.reap_layout(root)
+        assert not report
+        assert os.listdir(os.path.join(root, "tasks")) == []
+
+    def test_expired_claim_is_requeued_with_attempt_accounting(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root, lease_s=5.0, owner="host-a:1")
+        _expire(claimed)
+        report = janitor.reap_layout(root)
+        assert report.requeued == (0,)
+        assert read_attempts(root, 0) == 1
+        # the task is claimable again, its old lease sidecar is gone
+        assert os.path.exists(os.path.join(root, "tasks", "task-0000000.pkl"))
+        assert read_lease(claimed) is None
+        # ...and the re-queued task runs to completion
+        assert serve(root) == 1
+        assert collect_results(root, 1, timeout_s=1.0,
+                               poll_interval_s=0.01) == [2]
+
+    def test_requeue_determinism_across_expiries(self, tmp_path):
+        # expired-lease re-queue must hand back the *same* task bytes: the
+        # re-executed result is identical to an undisturbed run
+        root = str(tmp_path)
+        _enqueue(root, double, [21])
+        with open(os.path.join(root, "tasks", "task-0000000.pkl"), "rb") as f:
+            original = f.read()
+        claimed = claim_next_task(root, lease_s=5.0)
+        _expire(claimed)
+        janitor.reap_layout(root)
+        with open(os.path.join(root, "tasks", "task-0000000.pkl"), "rb") as f:
+            requeued = f.read()
+        assert requeued == original
+
+    def test_completed_work_is_released_not_requeued(self, tmp_path):
+        # a worker that died after publishing its result but before
+        # releasing the claim must not cause a re-execution
+        root = str(tmp_path)
+        _enqueue(root, double, [3])
+        claimed = claim_next_task(root, lease_s=5.0)
+        from repro.runtime.queue import _atomic_write
+
+        _atomic_write(root, "results", "task-0000000.pkl", (0, True, 6))
+        _expire(claimed)
+        report = janitor.reap_layout(root)
+        assert report.released == (0,)
+        assert report.requeued == ()
+        assert not os.path.exists(claimed)
+        assert os.listdir(os.path.join(root, "tasks")) == []
+
+    def test_completed_work_inside_a_bundle_is_released_too(self, tmp_path):
+        # same scenario, but a compactor already bundled the loose result
+        # file away: the reaper must find it in the bundle, not re-execute
+        root = str(tmp_path)
+        _enqueue(root, double, [3, 4])
+        claimed = claim_next_task(root, lease_s=5.0)
+        from repro.runtime.queue import _atomic_write, run_claimed_task
+
+        run_claimed_task(root, claim_next_task(root))  # task 1 done
+        _atomic_write(root, "results", "task-0000000.pkl", (0, True, 6))
+        janitor.compact_layout(root, chunk_size=2, partial=True)
+        assert not os.path.exists(
+            os.path.join(root, "results", "task-0000000.pkl")
+        )
+        _expire(claimed)
+        report = janitor.reap_layout(root)
+        assert report.released == (0,)
+        assert report.requeued == () and report.quarantined == ()
+        assert os.listdir(os.path.join(root, "tasks")) == []
+        assert collect_results(root, 2, timeout_s=1.0,
+                               poll_interval_s=0.01) == [6, 8]
+
+    def test_poisoned_task_is_quarantined_after_max_retries(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [4])
+        for _ in range(2):
+            claimed = claim_next_task(root, lease_s=5.0, owner="victim:9")
+            _expire(claimed)
+            report = janitor.reap_layout(root, max_retries=2)
+            assert report.requeued == (0,)
+        claimed = claim_next_task(root, lease_s=5.0, owner="victim:9")
+        _expire(claimed)
+        report = janitor.reap_layout(root, max_retries=2)
+        assert report.quarantined == (0,)
+        # the task file is preserved for debugging...
+        assert os.path.exists(os.path.join(root, "failed", "task-0000000.pkl"))
+        # ...and collectors fail fast on the published failure result
+        with pytest.raises(RuntimeError, match="quarantined after 2"):
+            collect_results(root, 1, timeout_s=1.0, poll_interval_s=0.01)
+
+    def test_quarantine_never_clobbers_a_late_success(self, tmp_path,
+                                                      monkeypatch):
+        # a stalled final-attempt worker can publish its (good) result
+        # after the reaper snapshots the done set; the quarantine must
+        # detect it, keep the success, and report the task released
+        root = str(tmp_path)
+        _enqueue(root, double, [6])
+        claimed = claim_next_task(root, lease_s=5.0)
+        _expire(claimed)
+        from repro.runtime import queue as queue_mod
+
+        real_snapshot = queue_mod.published_indices
+        calls = {"n": 0}
+
+        def snapshot_then_publish(r, cache=None):
+            result = real_snapshot(r, cache)
+            if calls["n"] == 0:
+                # simulate the worker finishing right after the reaper's
+                # pass-level snapshot was taken
+                queue_mod._atomic_write(r, "results", "task-0000000.pkl",
+                                        (0, True, 12))
+            calls["n"] += 1
+            return result
+
+        monkeypatch.setattr(janitor, "published_indices",
+                            snapshot_then_publish)
+        report = janitor.reap_layout(root, max_retries=0)
+        assert report.quarantined == ()
+        assert report.released == (0,)
+        assert not os.path.exists(
+            os.path.join(root, "failed", "task-0000000.pkl")
+        )
+        assert collect_results(root, 1, timeout_s=1.0,
+                               poll_interval_s=0.01) == [12]
+
+    def test_exclusive_result_write_never_overwrites(self, tmp_path):
+        from repro.runtime.queue import (
+            _atomic_write,
+            _atomic_write_exclusive,
+            _read_result_entries,
+        )
+
+        root = str(tmp_path)
+        init_queue_dirs(root)
+        _atomic_write(root, "results", "task-0000000.pkl", (0, True, 42))
+        assert _atomic_write_exclusive(root, "results", "task-0000000.pkl",
+                                       (0, False, "boom")) is False
+        assert _read_result_entries(root)[0] == (True, 42)
+        assert _atomic_write_exclusive(root, "results", "task-0000001.pkl",
+                                       (1, True, 43)) is True
+
+    def test_max_retries_zero_quarantines_first_expiry(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [5])
+        claimed = claim_next_task(root, lease_s=5.0)
+        _expire(claimed)
+        report = janitor.reap_layout(root, max_retries=0)
+        assert report.quarantined == (0,)
+
+    def test_reap_covers_run_namespaces(self, tmp_path):
+        root = str(tmp_path)
+        run_root = os.path.join(root, "run-abc")
+        _enqueue(run_root, double, [1])
+        claimed = claim_next_task(run_root, lease_s=5.0)
+        _expire(claimed)
+        report = janitor.reap(root)
+        assert report.requeued == (0,)
+
+    def test_injected_clock_controls_expiry(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root, lease_s=5.0)
+        mtime = os.path.getmtime(claimed)
+        assert not janitor.reap_layout(root, now=mtime + 4.9)
+        assert janitor.reap_layout(root, now=mtime + 5.1).requeued == (0,)
+
+
+class TestCompaction:
+    def _drain(self, root, n):
+        _enqueue(root, double, range(n))
+        assert serve(root, compact_threshold=0) == n
+
+    def test_below_threshold_is_a_no_op(self, tmp_path):
+        root = str(tmp_path)
+        self._drain(root, 3)
+        assert janitor.compact_layout(root, chunk_size=4) == 0
+        assert len(os.listdir(os.path.join(root, "results"))) == 3
+
+    def test_full_chunks_are_bundled_and_loose_files_removed(self, tmp_path):
+        root = str(tmp_path)
+        self._drain(root, 10)
+        assert janitor.compact_layout(root, chunk_size=4) == 2
+        names = sorted(os.listdir(os.path.join(root, "results")))
+        bundles = [n for n in names if n.startswith("bundle-")]
+        loose = [n for n in names if not n.startswith("bundle-")]
+        assert len(bundles) == 2 and len(loose) == 2
+
+    def test_partial_bundles_everything(self, tmp_path):
+        root = str(tmp_path)
+        self._drain(root, 10)
+        assert janitor.compact_layout(root, chunk_size=4, partial=True) == 3
+        names = os.listdir(os.path.join(root, "results"))
+        assert all(n.startswith("bundle-") for n in names)
+
+    def test_compacted_results_equal_uncompacted(self, tmp_path):
+        roots = [str(tmp_path / "a"), str(tmp_path / "b")]
+        for root in roots:
+            self._drain(root, 9)
+        janitor.compact_layout(roots[0], chunk_size=4, partial=True)
+        compacted = collect_results(roots[0], 9, timeout_s=1.0,
+                                    poll_interval_s=0.01)
+        plain = collect_results(roots[1], 9, timeout_s=1.0,
+                                poll_interval_s=0.01, compact_threshold=0)
+        assert pickle.dumps(compacted) == pickle.dumps(plain)
+
+    def test_bundle_overlapping_loose_duplicates_collapse(self, tmp_path):
+        # a collector listing the dir mid-compaction can see a bundle AND
+        # the loose files it covers; entries collapse by index
+        root = str(tmp_path)
+        self._drain(root, 4)
+        results_dir = os.path.join(root, "results")
+        keep = {n: open(os.path.join(results_dir, n), "rb").read()
+                for n in os.listdir(results_dir)}
+        janitor.compact_layout(root, chunk_size=4, partial=True)
+        for name, blob in keep.items():  # resurrect the loose duplicates
+            with open(os.path.join(results_dir, name), "wb") as handle:
+                handle.write(blob)
+        assert collect_results(root, 4, timeout_s=1.0, poll_interval_s=0.01,
+                               compact_threshold=0) == [0, 2, 4, 6]
+
+    def test_invalid_chunk_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            janitor.compact_layout(str(tmp_path), chunk_size=0)
+
+    def test_executor_auto_compacts_large_runs(self, tmp_path):
+        root = str(tmp_path)
+        executor = QueueExecutor(root, compact_threshold=8)
+        assert executor.map(double, range(20)) == [2 * x for x in range(20)]
+
+    def test_serve_triggers_opportunistic_compaction(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(9))
+        serve(root, compact_threshold=4)
+        names = os.listdir(os.path.join(root, "results"))
+        assert any(n.startswith("bundle-") for n in names)
+        assert collect_results(root, 9, timeout_s=1.0, poll_interval_s=0.01,
+                               compact_threshold=0) == [2 * x
+                                                        for x in range(9)]
+
+
+class TestStatus:
+    def test_counts_every_state(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(4))
+        claim_next_task(root, owner="host-a:7", lease_s=60.0)
+        claimed = claim_next_task(root, owner="host-b:8", lease_s=5.0)
+        from repro.runtime.queue import run_claimed_task
+
+        run_claimed_task(root, claimed)  # task 1 done
+        summary = janitor.status(root)
+        assert summary["queued"] == 2
+        assert summary["claimed"] == 1
+        assert summary["done"] == 1
+        assert summary["failed"] == 0
+        layout = summary["layouts"]["."]
+        assert layout["owners"] == ["host-a:7"]
+
+    def test_done_counts_distinct_indices_across_bundles(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(6))
+        serve(root, compact_threshold=0)
+        janitor.compact_layout(root, chunk_size=3, partial=True)
+        summary = janitor.status(root)
+        assert summary["done"] == 6
+        assert summary["layouts"]["."]["bundles"] == 2
+        assert summary["layouts"]["."]["loose_results"] == 0
+
+    def test_quarantined_task_shows_as_failed_not_done(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root, lease_s=5.0)
+        _expire(claimed)
+        janitor.reap_layout(root, max_retries=0)
+        summary = janitor.status(root)
+        # the quarantine notice is published as an ok=False result, but a
+        # quarantined task counts only as failed — done == expected must
+        # keep meaning "the run succeeded"
+        assert summary["failed"] == 1
+        assert summary["done"] == 0
+
+    def test_worker_exception_counts_as_failed(self, tmp_path):
+        from repro.runtime.queue import run_claimed_task
+
+        root = str(tmp_path)
+        _enqueue(root, explode, [1])
+        run_claimed_task(root, claim_next_task(root))
+        summary = janitor.status(root)
+        assert summary["done"] == 0
+        assert summary["failed"] == 1
+
+    def test_status_of_missing_root_is_empty(self, tmp_path):
+        summary = janitor.status(str(tmp_path / "nope"))
+        assert summary == {"queued": 0, "claimed": 0, "done": 0,
+                           "failed": 0, "layouts": {}}
+
+
+class TestDoubleClaimRaces:
+    def test_concurrent_claimants_partition_the_tasks(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(24))
+        claims_by_thread = [[] for _ in range(4)]
+
+        def worker(bucket):
+            while True:
+                claimed = claim_next_task(root, lease_s=60.0)
+                if claimed is None:
+                    return
+                bucket.append(os.path.basename(claimed))
+
+        threads = [threading.Thread(target=worker, args=(bucket,))
+                   for bucket in claims_by_thread]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        all_claims = [name for bucket in claims_by_thread for name in bucket]
+        assert len(all_claims) == 24
+        assert len(set(all_claims)) == 24  # every task claimed exactly once
+
+    def test_racing_reapers_requeue_exactly_once(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root, lease_s=5.0)
+        _expire(claimed)
+        reports = [janitor.reap_layout(root) for _ in range(3)]
+        assert sum(len(r.requeued) for r in reports) == 1
+        assert read_attempts(root, 0) == 1

@@ -283,6 +283,149 @@ class TestRegistryMultiHostSeam:
         assert executor.inline_worker is True
 
 
+class TestLeases:
+    def test_claim_writes_lease_sidecar(self, tmp_path):
+        from repro.runtime.queue import read_lease
+
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root, owner="host-x:42", lease_s=12.5)
+        lease = read_lease(claimed)
+        assert lease == {"owner": "host-x:42", "lease_s": 12.5}
+
+    def test_claim_owner_defaults_to_host_pid(self, tmp_path):
+        import os as _os
+
+        from repro.runtime.queue import read_lease
+
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        lease = read_lease(claim_next_task(root))
+        assert lease["owner"].endswith(f":{_os.getpid()}")
+
+    def test_claim_resets_the_lease_clock(self, tmp_path):
+        # the claim rename preserves the enqueue-time mtime; the lease
+        # clock must start at the claim, or a task that sat queued longer
+        # than one lease would be born expired
+        import time as _time
+
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        task_path = os.path.join(root, "tasks", "task-0000000.pkl")
+        stale = _time.time() - 3600.0
+        os.utime(task_path, (stale, stale))
+        claimed = claim_next_task(root, lease_s=30.0)
+        assert _time.time() - os.path.getmtime(claimed) < 60.0
+
+    def test_heartbeat_bumps_mtime_and_reports_lost_claims(self, tmp_path):
+        from repro.runtime.queue import heartbeat
+
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root)
+        old = os.path.getmtime(claimed) - 50.0
+        os.utime(claimed, (old, old))
+        assert heartbeat(claimed) is True
+        assert os.path.getmtime(claimed) > old + 25.0
+        os.remove(claimed)
+        assert heartbeat(claimed) is False
+
+    def test_run_claimed_task_consumes_lease_sidecar(self, tmp_path):
+        from repro.runtime.queue import _lease_path
+
+        root = str(tmp_path)
+        _enqueue(root, double, [2])
+        claimed = claim_next_task(root)
+        assert os.path.exists(_lease_path(claimed))
+        run_claimed_task(root, claimed)
+        assert not os.path.exists(_lease_path(claimed))
+
+    def test_run_claimed_task_tolerates_vanished_claim(self, tmp_path):
+        # a racing janitor can steal a claim in the claim/sidecar write
+        # gap; the worker must report a lost claim, not crash
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root)
+        os.remove(claimed)
+        assert run_claimed_task(root, claimed) is None
+        # ...and serve survives the same situation end-to-end
+        assert serve(root) == 0
+
+    def test_release_with_missing_sidecar_leaves_claim_alone(self, tmp_path):
+        from repro.runtime.queue import _lease_path, _release_claim
+
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root, owner="worker:1")
+        os.remove(_lease_path(claimed))
+        # missing sidecar = a new claimant mid-write; not ours to delete
+        _release_claim(claimed, "worker:1")
+        assert os.path.exists(claimed)
+
+    def test_release_skips_claims_stolen_by_another_worker(self, tmp_path):
+        from repro.runtime.queue import _release_claim, read_lease
+
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root, owner="thief:2")
+        # the original holder ("victim:1") lost the lease; releasing with
+        # its identity must leave the thief's claim untouched
+        _release_claim(claimed, "victim:1")
+        assert os.path.exists(claimed)
+        assert read_lease(claimed)["owner"] == "thief:2"
+        _release_claim(claimed, "thief:2")
+        assert not os.path.exists(claimed)
+
+
+class TestEnvKnobs:
+    def test_defaults_without_env(self, monkeypatch):
+        from repro.runtime import queue as queue_mod
+
+        for name in (queue_mod.LEASE_ENV, queue_mod.MAX_RETRIES_ENV,
+                     queue_mod.COMPACT_THRESHOLD_ENV):
+            monkeypatch.delenv(name, raising=False)
+        assert queue_mod.default_lease_s() == queue_mod.DEFAULT_LEASE_S
+        assert queue_mod.default_max_retries() == queue_mod.DEFAULT_MAX_RETRIES
+        assert (queue_mod.default_compact_threshold()
+                == queue_mod.DEFAULT_COMPACT_THRESHOLD)
+
+    def test_env_overrides_flow_into_executor(self, monkeypatch, tmp_path):
+        from repro.runtime import queue as queue_mod
+
+        monkeypatch.setenv(queue_mod.LEASE_ENV, "7.5")
+        monkeypatch.setenv(queue_mod.MAX_RETRIES_ENV, "9")
+        monkeypatch.setenv(queue_mod.COMPACT_THRESHOLD_ENV, "64")
+        executor = QueueExecutor(str(tmp_path))
+        assert executor.lease_s == 7.5
+        assert executor.max_retries == 9
+        assert executor.compact_threshold == 64
+
+    def test_explicit_knobs_beat_env(self, monkeypatch, tmp_path):
+        from repro.runtime import queue as queue_mod
+
+        monkeypatch.setenv(queue_mod.LEASE_ENV, "7.5")
+        executor = QueueExecutor(str(tmp_path), lease_s=2.0)
+        assert executor.lease_s == 2.0
+
+    def test_invalid_env_values_fail_loudly(self, monkeypatch):
+        from repro.runtime import queue as queue_mod
+
+        monkeypatch.setenv(queue_mod.LEASE_ENV, "soon")
+        with pytest.raises(ValueError, match="REPRO_RUNTIME_LEASE_S"):
+            queue_mod.default_lease_s()
+        monkeypatch.setenv(queue_mod.LEASE_ENV, "-1")
+        with pytest.raises(ValueError, match="positive"):
+            queue_mod.default_lease_s()
+
+    def test_executor_rejects_invalid_knobs(self, tmp_path):
+        with pytest.raises(ValueError):
+            QueueExecutor(str(tmp_path), lease_s=0)
+        with pytest.raises(ValueError):
+            QueueExecutor(str(tmp_path), max_retries=-1)
+        with pytest.raises(ValueError):
+            QueueExecutor(str(tmp_path), compact_threshold=-5)
+
+
 def test_shared_fn_cache_is_bounded_to_one_run(tmp_path):
     """Regression: a long-lived worker must not retain one (potentially
     engine-sized) callable per served run."""

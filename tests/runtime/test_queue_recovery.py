@@ -1,0 +1,255 @@
+"""Crash/recovery tests for the fleet-hardened queue: real worker deaths.
+
+Workers here are genuine OS processes running the ``python -m
+repro.runtime.queue <root> serve`` CLI; the tests SIGKILL them mid-task
+(simulated host loss) and SIGTERM them (graceful drain), then assert the
+reaper/lease machinery recovers the work with records byte-identical to
+the serial oracle — the acceptance criterion of the fleet-hardening PR.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import _fleet_helpers as helpers
+from repro.runtime import janitor
+from repro.runtime.queue import (
+    collect_results,
+    enqueue_task,
+    init_queue_dirs,
+    main,
+    read_attempts,
+)
+from repro.runtime.tasks import Task, WorkList
+
+TESTS_RUNTIME_DIR = os.path.dirname(os.path.abspath(__file__))
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(TESTS_RUNTIME_DIR)), "src"
+)
+
+
+def _worker_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC_DIR, TESTS_RUNTIME_DIR, env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    return env
+
+
+def _start_worker(root, *extra_args):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.runtime.queue", root, "serve",
+         *extra_args],
+        env=_worker_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _stop_worker(proc, timeout=30):
+    if proc.poll() is None:
+        proc.terminate()
+    try:
+        return proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:  # pragma: no cover - CI safety net
+        proc.kill()
+        proc.communicate()
+        raise
+
+
+def _wait_for(predicate, timeout_s=30.0, interval_s=0.01):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise AssertionError("condition not reached within timeout")
+
+
+def _enqueue_tasks(root, tasks):
+    init_queue_dirs(root)
+    for task in tasks:
+        enqueue_task(root, task)
+
+
+class TestKilledWorkerRecovery:
+    def test_sigkilled_worker_task_is_requeued_and_completed(self, tmp_path):
+        """A worker SIGKILLed mid-task loses its lease; the fleet finishes."""
+        root = str(tmp_path / "queue")
+        marker = str(tmp_path / "first-attempt.marker")
+        tasks = [Task(index=0, fn=helpers.die_once_then_double,
+                      arg=(10, marker))]
+        tasks += [Task(index=i, fn=helpers.double, arg=i) for i in (1, 2, 3)]
+        _enqueue_tasks(root, tasks)
+
+        victim = _start_worker(root, "--watch", "--lease-seconds", "0.5",
+                               "--poll-interval", "0.1")
+        try:
+            # the victim claims task 0 first (sorted order), writes the
+            # marker, and SIGKILLs itself mid-task
+            _wait_for(lambda: os.path.exists(marker))
+            _wait_for(lambda: victim.poll() is not None)
+            assert victim.returncode == -signal.SIGKILL
+
+            rescuer = _start_worker(root, "--watch", "--poll-interval", "0.1")
+            try:
+                results = collect_results(
+                    root, 4, timeout_s=120.0, poll_interval_s=0.05,
+                    max_retries=5,
+                )
+            finally:
+                _stop_worker(rescuer)
+        finally:
+            _stop_worker(victim)
+        assert results == [20, 2, 4, 6]
+        assert read_attempts(root, 0) == 1  # exactly one re-queue
+
+    def test_poison_pill_quarantines_instead_of_crash_looping(self, tmp_path):
+        """A task that kills every worker ends up in failed/, not in a loop."""
+        root = str(tmp_path / "queue")
+        marker = str(tmp_path / "poison.marker")
+        _enqueue_tasks(root, [Task(index=0, fn=helpers.always_kill_worker,
+                                   arg=marker)])
+        for _ in range(2):  # initial attempt + the single allowed retry
+            worker = _start_worker(root, "--lease-seconds", "0.3")
+            worker.communicate(timeout=60)
+            assert worker.returncode == -signal.SIGKILL
+            time.sleep(0.4)  # let the dead worker's lease expire
+            janitor.reap(root, max_retries=1)
+        with open(marker, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 2  # two attempts, then stop
+        with pytest.raises(RuntimeError, match="quarantined after 1"):
+            collect_results(root, 1, timeout_s=1.0, poll_interval_s=0.01,
+                            max_retries=1)
+        assert os.path.exists(os.path.join(root, "failed", "task-0000000.pkl"))
+        summary = janitor.status(root)
+        assert summary["failed"] == 1 and summary["queued"] == 0
+
+    def test_heartbeat_outlives_short_lease_no_double_execution(self,
+                                                                tmp_path):
+        """A slow-but-live worker keeps its lease; reapers never steal it."""
+        root = str(tmp_path / "queue")
+        marker = str(tmp_path / "executions.marker")
+        _enqueue_tasks(root, [Task(index=0, fn=helpers.record_and_slow_double,
+                                   arg=(7, 1.0, marker))])
+        worker = _start_worker(root, "--lease-seconds", "0.3")
+        try:
+            # reap aggressively the whole time the 1.0 s task runs on a
+            # 0.3 s lease: heartbeats must keep the claim alive throughout
+            stolen = []
+            deadline = time.monotonic() + 10.0
+            while worker.poll() is None and time.monotonic() < deadline:
+                report = janitor.reap(root, max_retries=5)
+                stolen.extend(report.requeued + report.quarantined)
+                time.sleep(0.05)
+        finally:
+            out, err = _stop_worker(worker)
+        assert worker.returncode == 0, err
+        assert stolen == []
+        results = collect_results(root, 1, timeout_s=5.0,
+                                  poll_interval_s=0.01)
+        assert results == [14]
+        with open(marker, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1  # executed exactly once
+
+
+class TestGracefulDrain:
+    def test_sigterm_finishes_in_flight_task_and_exits(self, tmp_path):
+        root = str(tmp_path / "queue")
+        _enqueue_tasks(root, [
+            Task(index=i, fn=helpers.slow_double, arg=(i, 0.3))
+            for i in range(5)
+        ])
+        worker = _start_worker(root, "--watch", "--poll-interval", "0.1")
+        results_dir = os.path.join(root, "results")
+        _wait_for(lambda: len(os.listdir(results_dir)) >= 1)
+        worker.terminate()  # SIGTERM: drain, don't abandon the claim
+        out, err = worker.communicate(timeout=60)
+        assert worker.returncode == 0, err
+        assert "drained on SIGTERM" in out
+        # nothing abandoned mid-flight: every claim was either finished
+        # (result published) or never started (still queued)
+        summary = janitor.status(root)
+        assert summary["claimed"] == 0
+        assert summary["queued"] + summary["done"] == 5
+        assert summary["done"] >= 1
+
+
+class TestSweepFleetAcceptance:
+    def test_sweep_with_sigkilled_worker_matches_serial_oracle(self,
+                                                               tmp_path):
+        """The PR's acceptance bar: SIGKILL a worker mid-sweep, records stay
+        byte-identical to the serial oracle, and `status` reports the
+        queue state."""
+        from repro.eval.sweep import SweepGrid, evaluate_point
+
+        grid = SweepGrid(
+            networks=("MLP-S",),
+            designs=("baseline_epcm", "einsteinbarrier"),
+            crossbar_sizes=(128,),
+            wdm_capacities=(4,),
+            noise_sigmas=(0.0, 0.05),
+            noise_trials=2,
+            noise_vector_length=32,
+            noise_num_outputs=8,
+            seed=7,
+        )
+        specs = grid.points()
+        oracle = [evaluate_point(spec) for spec in specs]
+
+        root = str(tmp_path / "queue")
+        worklist = WorkList.from_items(helpers.slow_evaluate_point, specs)
+        _enqueue_tasks(root, worklist.tasks)
+
+        victim = _start_worker(root, "--watch", "--lease-seconds", "1.0",
+                               "--poll-interval", "0.1")
+        claims_dir = os.path.join(root, "claims")
+        try:
+            # kill the worker while it holds a lease, mid-task (each task
+            # sleeps 0.3 s, so "claim visible" means "task in flight")
+            _wait_for(lambda: any(
+                name.endswith(".pkl")
+                for name in os.listdir(claims_dir)
+            ), timeout_s=120.0)
+            time.sleep(0.05)
+            victim.kill()
+            victim.communicate(timeout=60)
+
+            rescuer = _start_worker(root, "--watch", "--poll-interval", "0.1")
+            try:
+                records = collect_results(
+                    root, len(specs), timeout_s=300.0, poll_interval_s=0.05,
+                    max_retries=5,
+                )
+            finally:
+                _stop_worker(rescuer)
+        finally:
+            _stop_worker(victim)
+
+        # byte-identical at the artifact level (the contract PR 3's
+        # cross-backend test established): identical JSON serialisation,
+        # and identical pickle bytes record-by-record
+        assert json.dumps([r.to_dict() for r in records]) == \
+            json.dumps([r.to_dict() for r in oracle])
+        for recovered, reference in zip(records, oracle):
+            assert pickle.dumps(recovered) == pickle.dumps(reference)
+
+    def test_status_cli_reports_counts(self, tmp_path, capsys):
+        root = str(tmp_path / "queue")
+        _enqueue_tasks(root, [Task(index=i, fn=helpers.double, arg=i)
+                              for i in range(3)])
+        assert main([root, "serve", "--max-tasks", "2"]) == 0
+        capsys.readouterr()
+        assert main([root, "status"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["queued"] == 1
+        assert summary["claimed"] == 0
+        assert summary["done"] == 2
+        assert summary["failed"] == 0

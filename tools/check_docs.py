@@ -1,0 +1,181 @@
+"""Docs gate: intra-repo links resolve and quoted CLI examples parse.
+
+Two checks over ``README.md`` and ``docs/*.md``:
+
+* **links** — every relative markdown link target exists in the repo
+  (external ``http(s)``/``mailto`` links and pure ``#anchor`` links are
+  skipped; a trailing ``#anchor`` on a file link is stripped).
+* **stale examples** — every ``python ...`` invocation quoted in a
+  fenced code block actually parses: ``python -m some.module ...`` must
+  succeed as ``python -m some.module --help`` and ``python path/to.py
+  ...`` must name an existing file whose ``--help`` succeeds.  Docs that
+  advertise a CLI that no longer exists (or whose flags module fails to
+  import) fail CI instead of rotting.
+
+Run from the repo root: ``PYTHONPATH=src python tools/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+from typing import Dict, Iterable, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```")
+_ENV_ASSIGNMENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=\S*$")
+
+#: placeholders allowed in quoted commands (substituted before parsing)
+_PLACEHOLDER_RE = re.compile(r"<[^>]+>")
+
+
+def doc_files() -> List[str]:
+    """README.md plus every markdown file under docs/."""
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        files.extend(
+            os.path.join(docs_dir, name)
+            for name in sorted(os.listdir(docs_dir))
+            if name.endswith(".md")
+        )
+    return files
+
+
+def check_links(path: str) -> List[str]:
+    """Relative link targets of one markdown file that do not exist."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    errors = []
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), relative)
+        )
+        if not os.path.exists(resolved):
+            errors.append(
+                f"{os.path.relpath(path, REPO_ROOT)}: broken link "
+                f"{target!r} (resolved to {os.path.relpath(resolved, REPO_ROOT)})"
+            )
+    return errors
+
+
+def fenced_command_lines(path: str) -> Iterable[str]:
+    """Logical lines inside fenced code blocks (continuations joined)."""
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    in_fence = False
+    pending = ""
+    for line in lines:
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            pending = ""
+            continue
+        if not in_fence:
+            continue
+        stripped = line.strip()
+        if stripped.endswith("\\"):
+            pending += stripped[:-1] + " "
+            continue
+        yield (pending + stripped).strip()
+        pending = ""
+
+
+def python_invocation(line: str) -> List[str]:
+    """The ``python ...`` argv quoted on a doc line ([] when not one)."""
+    line = line.lstrip("$ ").strip()
+    if not line or line.startswith("#"):
+        return []
+    try:
+        tokens = shlex.split(_PLACEHOLDER_RE.sub("PLACEHOLDER", line))
+    except ValueError:
+        return []
+    while tokens and _ENV_ASSIGNMENT_RE.match(tokens[0]):
+        tokens = tokens[1:]
+    if not tokens or tokens[0] not in ("python", "python3"):
+        return []
+    return tokens
+
+
+def help_target(tokens: List[str]) -> Tuple[str, List[str]]:
+    """Map a quoted ``python`` argv to a ``--help`` probe.
+
+    Returns ``(key, argv)`` where ``key`` deduplicates probes and an
+    empty argv means "nothing to probe" (e.g. a bare ``python``).
+    """
+    if len(tokens) >= 3 and tokens[1] == "-m":
+        module = tokens[2]
+        return (f"-m {module}",
+                [sys.executable, "-m", module, "--help"])
+    if len(tokens) >= 2 and tokens[1].endswith(".py"):
+        script = tokens[1]
+        return (script, [sys.executable, script, "--help"])
+    return ("", [])
+
+
+def check_examples(paths: List[str]) -> List[str]:
+    """Probe every distinct quoted CLI once; return failure messages."""
+    probes: Dict[str, Tuple[List[str], str]] = {}
+    for path in paths:
+        for line in fenced_command_lines(path):
+            tokens = python_invocation(line)
+            if not tokens:
+                continue
+            key, argv = help_target(tokens)
+            if argv and key not in probes:
+                probes[key] = (argv, os.path.relpath(path, REPO_ROOT))
+    errors = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    for key, (argv, source) in sorted(probes.items()):
+        if argv[1] != "-m" and not os.path.exists(
+                os.path.join(REPO_ROOT, argv[1])):
+            errors.append(f"{source}: quoted script {key!r} does not exist")
+            continue
+        proc = subprocess.run(
+            argv, cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            detail = (proc.stderr or proc.stdout).strip().splitlines()
+            errors.append(
+                f"{source}: quoted command `python {key}` fails --help "
+                f"(rc {proc.returncode}): {detail[-1] if detail else ''}"
+            )
+        else:
+            print(f"ok: python {key} --help  (quoted in {source})")
+    return errors
+
+
+def main() -> int:
+    paths = doc_files()
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"missing doc files: {missing}", file=sys.stderr)
+        return 1
+    errors: List[str] = []
+    for path in paths:
+        errors.extend(check_links(path))
+    errors.extend(check_examples(paths))
+    if errors:
+        print(f"\n{len(errors)} docs problem(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    print(f"\nchecked {len(paths)} file(s): links resolve, examples parse")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
