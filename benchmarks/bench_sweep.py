@@ -10,7 +10,10 @@ artifact CI uploads per PR):
   crossbar size x WDM capacity) with its memoised schedule/model caches,
   executing through the :mod:`repro.runtime` layer;
 * the hierarchy-sizing scenario: VCores/ECore x Tiles/Node provisioning
-  axes with the ``nodes_required`` / ``node_utilisation`` metrics.
+  axes with the ``nodes_required`` / ``node_utilisation`` metrics;
+* the queue-store protocol scenario: per-task fleet-protocol overhead of
+  the ``dir`` (POSIX rename) vs ``object`` (S3-style conditional put)
+  storage backends, records checked against the serial oracle.
 
 Repeated kernel timings run through :func:`repro.runtime.measure.measure`,
 the same layer the sweeps execute on.
@@ -143,12 +146,15 @@ def _hierarchy_sizing_sweep(smoke: bool) -> dict:
 def _queue_fleet_bench(smoke: bool) -> dict:
     """Fleet-protocol scenario: the sweep through the hardened work queue.
 
-    Drives the file/dir queue protocol directly — shared-fn publication,
+    Drives the queue protocol directly — shared-fn publication,
     lease-stamped claims, heartbeat-renewed execution, opportunistic
-    result compaction into bundles, bundle-aware collection — and checks
-    the records stay identical to the in-process serial oracle.  The
-    recorded overhead-per-task number is what a fleet operator pays for
-    durability on a shared filesystem.
+    result compaction into bundles, bundle-aware collection — over
+    **both queue-storage backends** (the POSIX ``dir`` layout and the
+    S3-semantics ``object`` store), and checks the records stay
+    identical to the in-process serial oracle either way.  The recorded
+    overhead-per-task numbers are what a fleet operator pays for
+    durability: renames on a shared filesystem vs conditional puts with
+    generation tokens.
     """
     import tempfile
 
@@ -161,6 +167,7 @@ def _queue_fleet_bench(smoke: bool) -> dict:
         serve,
         write_shared_fn,
     )
+    from repro.runtime.store import make_store
     from repro.runtime.tasks import WorkList
 
     grid = SweepGrid(
@@ -177,33 +184,36 @@ def _queue_fleet_bench(smoke: bool) -> dict:
     serial_seconds = time.perf_counter() - start
 
     chunk = 4
-    with tempfile.TemporaryDirectory(prefix="repro-bench-queue-") as root:
-        init_queue_dirs(root)
-        write_shared_fn(root, evaluate_point)
-        for task in worklist:
-            enqueue_task(root, task, shared_fn=True)
-        start = time.perf_counter()
-        served = serve(root, compact_threshold=chunk)
-        status = janitor.status(root)
-        queue_records = collect_results(
-            root, len(specs), timeout_s=120.0, poll_interval_s=0.01,
-            compact_threshold=chunk,
-        )
-        queue_seconds = time.perf_counter() - start
-    assert served == len(specs)
-    assert queue_records == serial_records
-    assert status["done"] == len(specs) and status["failed"] == 0
-    assert status["layouts"]["."]["bundles"] >= 1  # compaction really ran
-    return {
-        "grid_points": len(specs),
-        "serial_seconds": serial_seconds,
-        "queue_seconds": queue_seconds,
-        "protocol_overhead_ms_per_task":
-            (queue_seconds - serial_seconds) * 1e3 / len(specs),
-        "compact_chunk": chunk,
-        "bundles": status["layouts"]["."]["bundles"],
-        "status": status,
-    }
+    results = {"grid_points": len(specs), "serial_seconds": serial_seconds,
+               "compact_chunk": chunk, "stores": {}}
+    for store_name in ("dir", "object"):
+        store = make_store(store_name)
+        with tempfile.TemporaryDirectory(
+                prefix=f"repro-bench-queue-{store_name}-") as root:
+            init_queue_dirs(root, store=store)
+            write_shared_fn(root, evaluate_point, store=store)
+            for task in worklist:
+                enqueue_task(root, task, shared_fn=True, store=store)
+            start = time.perf_counter()
+            served = serve(root, compact_threshold=chunk, store=store)
+            status = janitor.status(root, store=store)
+            queue_records = collect_results(
+                root, len(specs), timeout_s=120.0, poll_interval_s=0.01,
+                compact_threshold=chunk, store=store,
+            )
+            queue_seconds = time.perf_counter() - start
+        assert served == len(specs), store_name
+        assert queue_records == serial_records, store_name
+        assert status["done"] == len(specs) and status["failed"] == 0
+        assert status["layouts"]["."]["bundles"] >= 1  # compaction ran
+        results["stores"][store_name] = {
+            "queue_seconds": queue_seconds,
+            "protocol_overhead_ms_per_task":
+                (queue_seconds - serial_seconds) * 1e3 / len(specs),
+            "bundles": status["layouts"]["."]["bundles"],
+            "status": status,
+        }
+    return results
 
 
 def test_sweep_subsystem(benchmark, smoke):
@@ -264,10 +274,13 @@ def test_sweep_subsystem(benchmark, smoke):
 
     fleet = _queue_fleet_bench(smoke)
     print(f"\n=== Queue fleet protocol: {fleet['grid_points']} tasks, "
-          f"{fleet['bundles']} result bundle(s), "
-          f"{fleet['protocol_overhead_ms_per_task']:.2f} ms/task protocol "
-          f"overhead (serial {fleet['serial_seconds'] * 1e3:.0f} ms, "
-          f"queue {fleet['queue_seconds'] * 1e3:.0f} ms) ===")
+          f"serial {fleet['serial_seconds'] * 1e3:.0f} ms ===")
+    for store_name, numbers in fleet["stores"].items():
+        print(f"  {store_name:>6} store: "
+              f"{numbers['protocol_overhead_ms_per_task']:.2f} ms/task "
+              f"protocol overhead (queue "
+              f"{numbers['queue_seconds'] * 1e3:.0f} ms, "
+              f"{numbers['bundles']} result bundle(s))")
 
     artifact_path = SMOKE_ARTIFACT_PATH if smoke else ARTIFACT_PATH
     write_json_report(artifact_path, {

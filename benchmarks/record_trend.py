@@ -2,8 +2,9 @@
 """Cross-PR benchmark trend recorder.
 
 Extracts the key metrics of the committed benchmark artifacts — conv-kernel
-speedups from ``BENCH_sweep.json``, end-to-end packed img/s and speedups
-plus the multi-worker chunk seam from ``BENCH_inference.json`` — and
+speedups and the dir/object queue-store protocol overheads from
+``BENCH_sweep.json``, end-to-end packed img/s and speedups plus the
+multi-worker chunk seam from ``BENCH_inference.json`` — and
 appends them as one labelled entry to ``BENCH_trend.json``.  The trend file
 is committed, so the performance trajectory of the repository is diffable
 PR-over-PR, and ``benchmarks/check_perf_regression.py`` prints the delta of
@@ -45,6 +46,12 @@ TREND_METRICS = {
     "sweep_warm_seconds": ("sweep", "sweep_warm_seconds"),
     "parallel_chunk_speedup": (
         "inference", "parallel_forward_batch.speedup_vs_serial"),
+    "queue_overhead_ms_per_task_dir": (
+        "sweep",
+        "queue_fleet_bench.stores.dir.protocol_overhead_ms_per_task"),
+    "queue_overhead_ms_per_task_object": (
+        "sweep",
+        "queue_fleet_bench.stores.object.protocol_overhead_ms_per_task"),
 }
 
 #: per-network end-to-end metrics pulled from the inference artifact

@@ -22,8 +22,14 @@ memoised workloads/models/schedules, executing through the pluggable
 directory: it launches a real external worker process with
 ``python -m repro.runtime.queue <dir> serve --watch``, cooperates with it
 through a :class:`~repro.runtime.queue.QueueExecutor`, prints the
-machine-readable ``status`` summary, and drains the worker gracefully
-with SIGTERM — everything a real fleet does, minus the second host.
+machine-readable ``status`` summary and the ``autoscale`` advisory, and
+drains the worker gracefully with SIGTERM — everything a real fleet
+does, minus the second host.  ``--store {dir,object}`` selects the
+queue-storage backend for that walk: ``object`` runs the whole protocol
+over S3-style conditional-put semantics (the in-repo
+``LocalObjectStore``), exported to the worker via the
+``REPRO_RUNTIME_STORE`` environment toggle exactly as an operator would
+move a real fleet.
 """
 
 from __future__ import annotations
@@ -45,34 +51,53 @@ DEFAULT_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "out", "sweep_demo.json")
 
 
-def _run_on_shared_queue(grid: SweepGrid) -> SweepResult:
+def _run_on_shared_queue(grid: SweepGrid, store_name: str) -> SweepResult:
     """The multi-host runbook, end-to-end, against a temp shared dir."""
     from repro.runtime import janitor
     from repro.runtime.queue import QueueExecutor
+    from repro.runtime.store import STORE_ENV
 
     with tempfile.TemporaryDirectory(prefix="repro-fleet-demo-") as shared:
-        print(f"[runbook] shared queue dir: {shared}")
+        print(f"[runbook] shared queue dir: {shared} "
+              f"(store backend: {store_name})")
         print("[runbook] launching an external worker: "
+              f"{STORE_ENV}={store_name} "
               f"python -m repro.runtime.queue {shared} serve --watch")
         # the worker inherits this process's environment, so however repro
         # was made importable here (PYTHONPATH=src, pip install -e) works
-        # there too — exactly like launching it on another host
+        # there too — exactly like launching it on another host; the store
+        # toggle travels the same way, moving the whole fleet at once
+        env = dict(os.environ)
+        env[STORE_ENV] = store_name
         worker = subprocess.Popen(
             [sys.executable, "-m", "repro.runtime.queue", shared,
              "serve", "--watch", "--poll-interval", "0.1"],
+            env=env,
         )
         try:
             # the submitting process cooperates in draining the queue, so
-            # the demo completes even if the worker is slow to start
+            # the demo completes even if the worker is slow to start; the
+            # autoscale hook streams scaling advisories while it collects
+            advisories = []
             executor = QueueExecutor(shared, lease_s=10.0,
-                                     compact_threshold=8)
+                                     compact_threshold=8, store=store_name,
+                                     autoscale_hook=advisories.append)
             result = run_sweep(grid, executor=executor)
             print("[runbook] queue status after the run "
                   f"(python -m repro.runtime.queue {shared} status) — "
                   "successful runs retire their run-* namespace, so a "
                   "clean fleet reads all-zero:")
-            print(json.dumps(janitor.status(shared), indent=2,
-                             sort_keys=True))
+            print(json.dumps(janitor.status(shared, store=store_name),
+                             indent=2, sort_keys=True))
+            print("[runbook] autoscale advisory "
+                  f"(python -m repro.runtime.queue {shared} autoscale) — "
+                  "an empty queue recommends scale-to-zero:")
+            print(json.dumps(janitor.autoscale_advisory(
+                shared, store=store_name), indent=2, sort_keys=True))
+            if advisories:
+                print(f"[runbook] the executor's autoscale_hook saw "
+                      f"{len(advisories)} advisory(ies) while collecting; "
+                      f"first action: {advisories[0]['action']}")
         finally:
             print("[runbook] draining the worker with SIGTERM...")
             worker.terminate()
@@ -87,9 +112,19 @@ def main() -> None:
     parser.add_argument("--backend", default=None, choices=BACKENDS,
                         help="runtime executor backend (default: resolved "
                              "from --workers / REPRO_RUNTIME_BACKEND)")
+    parser.add_argument("--store", default=None, choices=("dir", "object"),
+                        help="queue-storage backend for the fleet walk "
+                             "(implies --backend queue; 'object' runs the "
+                             "whole protocol over S3-style conditional "
+                             "puts)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="path of the JSON artifact to write")
     args = parser.parse_args()
+    if args.store is not None and args.backend is None:
+        print(f"--store {args.store} implies --backend queue")
+        args.backend = "queue"
+    if args.store is not None and args.backend != "queue":
+        parser.error("--store only applies to the queue backend")
 
     grid = SweepGrid(
         networks=("MLP-L", "CNN-L"),
@@ -103,7 +138,7 @@ def main() -> None:
                             else f"{args.workers} workers")
     print(f"evaluating {len(grid.points())} grid points ({mode})...")
     if args.backend == "queue":
-        result = _run_on_shared_queue(grid)
+        result = _run_on_shared_queue(grid, args.store or "dir")
     else:
         result = run_sweep(grid, workers=args.workers or None,
                            backend=args.backend)

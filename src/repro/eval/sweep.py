@@ -577,7 +577,10 @@ def run_sweep(grid: SweepGrid, *, workers: Optional[int] = None,
     backend_options:
         Backend-specific constructor keywords, e.g. the queue backend's
         fleet-hardening knobs (``lease_s``, ``max_retries``,
-        ``compact_threshold``, ``timeout_s``) for huge multi-host grids.
+        ``compact_threshold``, ``timeout_s``), its storage backend
+        (``store="dir"``/``"object"`` — S3-style conditional-put
+        semantics via :mod:`repro.runtime.store`) and ``autoscale_hook``
+        for huge multi-host grids.
 
     Records are bit-identical for any backend and worker count — each
     point is self-contained and seeded, and every backend returns results

@@ -10,14 +10,22 @@ measurements (``benchmarks/``) — executes through this package:
   process) plus backend resolution (``backend=`` kwargs, ``workers=``
   backward compatibility, the ``REPRO_RUNTIME_BACKEND`` env toggle and
   per-backend ``options=``).
-* :mod:`repro.runtime.queue` — the file/dir work-queue protocol, the seam
-  for multi-host execution.  Claims are heartbeat-renewed leases, so a
-  crashed worker's tasks are recovered automatically; ``python -m
-  repro.runtime.queue <root> serve|status|compact|reap`` is the fleet
-  CLI (see ``docs/multihost-runbook.md``).
+* :mod:`repro.runtime.queue` — the work-queue protocol, the seam for
+  multi-host execution.  Claims are heartbeat-renewed leases whose
+  records carry absolute deadlines, so a crashed worker's tasks are
+  recovered automatically; ``python -m repro.runtime.queue <root>
+  serve|status|autoscale|compact|reap`` is the fleet CLI (see
+  ``docs/multihost-runbook.md``).
+* :mod:`repro.runtime.store` — pluggable queue storage behind the
+  :class:`~repro.runtime.store.QueueStore` interface: ``DirStore`` (the
+  POSIX directory layout) and ``ObjectStore`` (S3-style conditional
+  puts over :class:`~repro.runtime.store.LocalObjectStore`), selected
+  per call (``store=``), per executor, or fleet-wide via
+  ``REPRO_RUNTIME_STORE``.
 * :mod:`repro.runtime.janitor` — fleet maintenance over that protocol:
-  the orphan reaper, poisoned-task quarantine, the result compactor and
-  machine-readable queue status.
+  the orphan reaper, poisoned-task quarantine, the result compactor,
+  machine-readable queue status and the autoscaling advisory
+  (:func:`~repro.runtime.janitor.autoscale_advisory`).
 * :mod:`repro.runtime.measure` — the repeated-measurement harness the
   benchmarks drive their timing loops through.
 
@@ -40,15 +48,32 @@ from repro.runtime.executors import (
 )
 from repro.runtime.measure import Measurement, measure, measure_pair
 from repro.runtime.queue import QueueExecutor
+from repro.runtime.store import (
+    STORE_ENV,
+    STORES,
+    DirStore,
+    LocalObjectStore,
+    ObjectStore,
+    QueueStore,
+    make_store,
+    resolve_store,
+    store_from_env,
+)
 from repro.runtime.tasks import Task, WorkList, gather, run_serially
 
 __all__ = [
     "BACKEND_ENV",
     "BACKENDS",
+    "DirStore",
     "Executor",
+    "LocalObjectStore",
     "Measurement",
+    "ObjectStore",
     "ProcessExecutor",
     "QueueExecutor",
+    "QueueStore",
+    "STORE_ENV",
+    "STORES",
     "SerialExecutor",
     "Task",
     "ThreadExecutor",
@@ -56,8 +81,11 @@ __all__ = [
     "backend_from_env",
     "gather",
     "make_executor",
+    "make_store",
     "measure",
     "measure_pair",
     "resolve_executor",
+    "resolve_store",
     "run_serially",
+    "store_from_env",
 ]

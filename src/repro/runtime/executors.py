@@ -174,7 +174,7 @@ def _reject_options(backend: str, options: Dict[str, object]) -> None:
         raise ValueError(
             f"the {backend!r} backend takes no options, got "
             f"{sorted(options)} (backend options like lease_s/max_retries/"
-            f"compact_threshold apply to the 'queue' backend)"
+            f"compact_threshold/store apply to the 'queue' backend)"
         )
 
 
@@ -202,6 +202,7 @@ def _queue_factory(workers: int, options: Dict[str, object]) -> Executor:
     # cooperates with any `python -m repro.runtime.queue <dir>` workers
     # pointed at it; unset, the backend is self-contained on a temp dir.
     # The fleet-hardening knobs (lease_s, max_retries, compact_threshold)
+    # and the storage backend (store="dir"/"object", autoscale_hook)
     # arrive either as explicit options or via their REPRO_RUNTIME_* env
     # toggles, which QueueExecutor resolves itself.
     shared_root = os.environ.get(QUEUE_DIR_ENV, "").strip() or None
@@ -225,8 +226,10 @@ def make_executor(backend: str, *, workers: Optional[int] = None,
 
     ``options`` holds backend-specific constructor keywords — today the
     queue backend's fleet-hardening knobs (``lease_s``, ``max_retries``,
-    ``compact_threshold``, ``timeout_s``, ...); backends without knobs
-    reject a non-empty dict so misdirected options fail loudly.
+    ``compact_threshold``, ``timeout_s``, ...) plus its storage selection
+    (``store="dir"``/``"object"`` or a ``QueueStore`` instance) and
+    ``autoscale_hook``; backends without knobs reject a non-empty dict so
+    misdirected options fail loudly.
     """
     factory = _BACKEND_FACTORIES.get(backend)
     if factory is None:

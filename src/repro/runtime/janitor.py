@@ -10,26 +10,42 @@ leases; this module is the machinery that acts on them:
   collectors fail fast instead of timing out.
 * :func:`compact_layout` / :func:`compact` — the **result compactor**:
   merges loose per-task result pickles into chunked bundles so collecting
-  a 100k-task sweep opens hundreds of files instead of 100k.
+  a 100k-task sweep opens hundreds of objects instead of 100k.
 * :func:`layout_status` / :func:`status` — machine-readable queue counts
-  (queued / claimed / done / failed), what ``python -m repro.runtime.queue
-  <root> status`` prints.
+  (queued / claimed / done / failed) plus the autoscaling signals
+  (queue depth, oldest claim age, desired workers); what
+  ``python -m repro.runtime.queue <root> status`` prints.
+* :func:`autoscale_advisory` — a machine-readable scale-up / scale-down
+  / hold recommendation for external worker scalers, emitted by
+  ``python -m repro.runtime.queue <root> autoscale`` and fed to the
+  ``autoscale_hook`` of a collecting
+  :class:`~repro.runtime.queue.QueueExecutor`.
 
-Everything here is safe to run concurrently from any number of hosts:
-ownership of every state transition is decided by a single atomic
-``os.rename`` (re-queue, quarantine), and compaction tolerates racing
-compactors by writing uniquely-named bundles whose duplicate entries
-collapse at read time (results are byte-identical by the determinism
-contract, so last-write-wins is a no-op).
+Everything here is storage-agnostic: every state transition goes through
+the :class:`~repro.runtime.store.QueueStore` seam, whose backends make it
+atomic their own way (``os.rename`` on the directory backend, a
+conditional put + generation-guarded delete on object stores), so any
+number of hosts can run janitors concurrently.  Compaction tolerates
+racing compactors by writing uniquely-named bundles whose duplicate
+entries collapse at read time (results are byte-identical by the
+determinism contract, so last-write-wins is a no-op).
 
-The reaper is invoked automatically by ``collect_results`` (every poll)
-and by ``serve --watch`` workers (between polls), so any live fleet
-member recovers a dead one's work without operator action; the CLI
-``reap`` verb exists for manual recovery drills and cron-style janitors.
+Lease expiry compares the **absolute deadline carried in the lease
+record** against the janitor's wall clock — storage timestamps never
+enter the comparison, so reaping stays correct when workers and the
+shared substrate disagree on clocks (legacy sidecars without a deadline
+fall back to the claim mtime on the directory backend).
+
+The reaper is invoked automatically by ``collect_results`` (on its
+maintenance cadence) and by ``serve --watch`` workers (between polls),
+so any live fleet member recovers a dead one's work without operator
+action; the CLI ``reap`` verb exists for manual recovery drills and
+cron-style janitors.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import time
@@ -44,7 +60,6 @@ from repro.runtime.queue import (
     _FAILED_DIR,
     _RESULTS_DIR,
     _TASKS_DIR,
-    _atomic_write,
     _atomic_write_exclusive,
     _layout_roots,
     _lease_path,
@@ -52,13 +67,19 @@ from repro.runtime.queue import (
     _task_filename,
     _task_index,
     DEFAULT_COMPACT_THRESHOLD,
+    StoreLike,
     default_lease_s,
     default_max_retries,
     published_indices,
     read_attempts,
-    read_lease,
     record_attempt,
 )
+from repro.runtime.store import LEASE_SUFFIX, lease_length, resolve_store
+
+#: autoscale-advisory defaults: how many backlog tasks one worker is
+#: expected to absorb, and the advisory's desired-worker ceiling
+DEFAULT_TASKS_PER_WORKER = 4
+DEFAULT_MAX_WORKERS = 32
 
 
 @dataclass(frozen=True)
@@ -103,43 +124,59 @@ class ReapReport:
         )
 
 
-def _lease_deadline(claimed_path: str,
-                    lease: Optional[Dict[str, object]]) -> Optional[float]:
-    """Wall-clock lease deadline of a claim (``None`` if it vanished)."""
-    try:
-        mtime = os.path.getmtime(claimed_path)
-    except OSError:
-        return None
-    lease_s = default_lease_s()
-    if lease is not None:
-        try:
-            lease_s = float(lease.get("lease_s") or lease_s)
-        except (TypeError, ValueError):
-            pass
-    return mtime + lease_s
+def _move_or_absorb(backend, source: str, target: str) -> bool:
+    """Atomic move that also resolves the interrupted-mover double-key state.
+
+    On object semantics a mover interrupted between the conditional
+    create of ``target`` and the generation-guarded delete of ``source``
+    leaves the object under **both** keys — and every later move onto
+    ``target`` then loses its conditional put to the orphaned copy,
+    which would otherwise stall the task forever (claims of it fail
+    too, because the stale claim occupies the claims key).  Janitors
+    resolve that state here: when the move fails while both keys still
+    exist, the stale ``source`` is dropped and the transition is
+    complete — safe because task payloads are immutable, so the two
+    copies are byte-identical.
+
+    One subtlety guards against a mover that *stalled* rather than
+    died: its generation-guarded delete of the other key may still be
+    pending, and if it fired after this absorb it would remove the
+    surviving copy — losing the task outright.  Re-publishing the
+    surviving ``target`` first bumps its generation, so any such
+    pending guarded delete fails its precondition and the stalled mover
+    harmlessly reports a lost move.  On the directory backend
+    ``rename`` overwrites the target, so a failed move always means
+    "source gone" and the absorb path never fires.
+    """
+    if backend.move(source, target):
+        return True
+    surviving = backend.get(target)
+    if surviving is not None and backend.exists(source):
+        backend.put(target, surviving)  # invalidate pending stale deletes
+        backend.delete(source)
+        return True
+    return False
 
 
 def _quarantine(root: str, claimed_path: str, index: int, attempts: int,
-                owner: object) -> Optional[bool]:
+                owner: object, *, store: StoreLike) -> Optional[bool]:
     """Move a poisoned task to ``failed/`` and publish a failure result.
 
     Returns True on quarantine, False when another janitor won the
-    rename, and ``None`` when the task turned out to be *completed* — a
+    move, and ``None`` when the task turned out to be *completed* — a
     stalled final-attempt worker can publish its (successful) result
     between the reaper's done-snapshot and this call, and a success must
     never be clobbered by a failure notice: the fresh re-check plus the
-    link-based exclusive write guarantee it survives.
+    exclusive (never-overwrite) result write guarantee it survives.
     """
-    os.makedirs(os.path.join(root, _FAILED_DIR), exist_ok=True)
+    backend = resolve_store(store)
     failed_path = os.path.join(root, _FAILED_DIR, _task_filename(index))
-    try:
-        os.rename(claimed_path, failed_path)
-    except OSError:
+    if not _move_or_absorb(backend, claimed_path, failed_path):
         return False  # another janitor (or the worker itself) won
-    _remove_quietly(_lease_path(claimed_path))
-    if index in published_indices(root):
+    backend.delete(_lease_path(claimed_path))
+    if index in published_indices(root, store=backend):
         # completed after all — drop the quarantine, the work is done
-        _remove_quietly(failed_path)
+        backend.delete(failed_path)
         return None
     published = _atomic_write_exclusive(root, _RESULTS_DIR,
                                         _task_filename(index), (
@@ -148,45 +185,40 @@ def _quarantine(root: str, claimed_path: str, index: int, attempts: int,
         f"(last owner: {owner!r}); its task file is preserved at "
         f"{failed_path!r} — fix the poison pill and re-enqueue it, or "
         f"raise max_retries if the workers were killed externally"
-    ))
+    ), store=backend)
     if not published:
         # a loose success result landed in the microsecond window after
         # the re-check; the task is done, not poisoned
-        _remove_quietly(failed_path)
+        backend.delete(failed_path)
         return None
     return True
 
 
-def _requeue(root: str, claimed_path: str, index: int,
-             attempts: int) -> bool:
+def _requeue(root: str, claimed_path: str, index: int, attempts: int, *,
+             store: StoreLike) -> bool:
     """Move an expired claim back to ``tasks/`` for another attempt."""
-    # drop the dead owner's sidecar BEFORE the rename makes the task
+    backend = resolve_store(store)
+    # drop the dead owner's sidecar BEFORE the move makes the task
     # claimable again: afterwards a fast worker may already have
     # re-claimed it and written a fresh sidecar we must not delete
-    _remove_quietly(_lease_path(claimed_path))
+    backend.delete(_lease_path(claimed_path))
     target = os.path.join(root, _TASKS_DIR, os.path.basename(claimed_path))
-    try:
-        os.rename(claimed_path, target)
-    except OSError:
+    if not _move_or_absorb(backend, claimed_path, target):
         return False  # lost the race to another janitor or the worker
-    record_attempt(root, index, attempts)
+    record_attempt(root, index, attempts, store=backend)
     return True
 
 
-def _remove_quietly(path: str) -> None:
-    try:
-        os.remove(path)
-    except OSError:
-        pass
-
-
 def reap_layout(root: str, *, max_retries: Optional[int] = None,
-                now: Optional[float] = None) -> ReapReport:
+                now: Optional[float] = None,
+                store: StoreLike = None) -> ReapReport:
     """One reaper pass over a single queue layout.
 
-    Scans ``claims/`` for leases whose deadline (claim mtime + lease
-    length, renewed by worker heartbeats) has passed.  Each expired claim
-    is resolved by exactly one janitor via an atomic rename:
+    Scans ``claims/`` for leases whose **absolute deadline** (carried in
+    the lease record, renewed by worker heartbeats; legacy records fall
+    back to the claim mtime plus the lease length) has passed.  Each
+    expired claim is resolved by exactly one janitor via an atomic store
+    move:
 
     * result already published -> the claim is released (the worker died
       after finishing; completed work is never re-executed);
@@ -198,24 +230,37 @@ def reap_layout(root: str, *, max_retries: Optional[int] = None,
 
     ``now`` injects a wall-clock for deterministic expiry tests.
     """
+    backend = resolve_store(store)
     if max_retries is None:
         max_retries = default_max_retries()
     claims_dir = os.path.join(root, _CLAIMS_DIR)
-    try:
-        names = sorted(os.listdir(claims_dir))
-    except OSError:
-        return ReapReport()
+    names = sorted(backend.list_dir(claims_dir))
     current = time.time() if now is None else now
+    default_lease = default_lease_s()
     requeued: List[int] = []
     quarantined: List[int] = []
     released: List[int] = []
     done_indices: Optional[set] = None
+    names_present = set(names)
     for name in names:
         if not name.endswith(".pkl"):
-            continue  # lease sidecars ride along with their claim
+            # lease sidecars ride along with their claim — but a sidecar
+            # whose claim is gone is an orphan (released/re-queued claim
+            # resurrected by an in-flight heartbeat's rewrite) that no
+            # other path ever cleans; drop it once no claim stands
+            # behind it (probed, to tolerate a listing race with a
+            # brand-new claimant)
+            if name.endswith(LEASE_SUFFIX):
+                claim_name = name[:-len(LEASE_SUFFIX)]
+                if claim_name not in names_present and \
+                        not backend.exists(os.path.join(claims_dir,
+                                                        claim_name)):
+                    backend.delete(os.path.join(claims_dir, name))
+            continue
         claimed_path = os.path.join(claims_dir, name)
-        lease = read_lease(claimed_path)
-        deadline = _lease_deadline(claimed_path, lease)
+        lease = backend.read_lease(claimed_path)
+        deadline = backend.lease_deadline(claimed_path, lease,
+                                          default_lease_s=default_lease)
         if deadline is None or current < deadline:
             continue  # finished meanwhile, or the lease is still live
         index = _task_index(name)
@@ -226,22 +271,22 @@ def reap_layout(root: str, *, max_retries: Optional[int] = None,
         # so the check covers bundles too — computed lazily, only once an
         # expired claim actually exists (the rare path)
         if done_indices is None:
-            done_indices = published_indices(root)
+            done_indices = published_indices(root, store=backend)
         if index in done_indices:
-            _remove_quietly(claimed_path)
-            _remove_quietly(_lease_path(claimed_path))
+            backend.delete(claimed_path)
+            backend.delete(_lease_path(claimed_path))
             released.append(index)
             continue
-        attempts = read_attempts(root, index) + 1
+        attempts = read_attempts(root, index, store=backend) + 1
         owner = (lease or {}).get("owner")
         if attempts > max_retries:
             outcome = _quarantine(root, claimed_path, index, attempts - 1,
-                                  owner)
+                                  owner, store=backend)
             if outcome:
                 quarantined.append(index)
             elif outcome is None:  # completed in the snapshot gap
                 released.append(index)
-        elif _requeue(root, claimed_path, index, attempts):
+        elif _requeue(root, claimed_path, index, attempts, store=backend):
             requeued.append(index)
     return ReapReport(requeued=tuple(requeued),
                       quarantined=tuple(quarantined),
@@ -249,29 +294,28 @@ def reap_layout(root: str, *, max_retries: Optional[int] = None,
 
 
 def reap(root: str, *, max_retries: Optional[int] = None,
-         now: Optional[float] = None) -> ReapReport:
+         now: Optional[float] = None,
+         store: StoreLike = None) -> ReapReport:
     """Reap every layout under ``root`` (the root itself plus ``run-*``)."""
+    backend = resolve_store(store)
     return ReapReport.merge([
-        reap_layout(layout, max_retries=max_retries, now=now)
-        for layout in _layout_roots(root)
+        reap_layout(layout, max_retries=max_retries, now=now, store=backend)
+        for layout in _layout_roots(root, store=backend)
     ])
 
 
-def _loose_result_files(root: str) -> List[str]:
-    """Sorted loose (un-bundled) result filenames of one layout."""
-    results_dir = os.path.join(root, _RESULTS_DIR)
-    try:
-        names = os.listdir(results_dir)
-    except OSError:
-        return []
+def _loose_result_files(root: str, *, store: StoreLike = None) -> List[str]:
+    """Sorted loose (un-bundled) result names of one layout."""
+    backend = resolve_store(store)
     return sorted(
-        name for name in names
+        name for name in backend.list_dir(os.path.join(root, _RESULTS_DIR))
         if name.endswith(".pkl") and not name.startswith(_BUNDLE_PREFIX)
     )
 
 
 def compact_layout(root: str, *, chunk_size: int = DEFAULT_COMPACT_THRESHOLD,
-                   partial: bool = False) -> int:
+                   partial: bool = False,
+                   store: StoreLike = None) -> int:
     """Merge loose result files of one layout into chunked bundles.
 
     Groups of ``chunk_size`` loose results become one
@@ -288,9 +332,10 @@ def compact_layout(root: str, *, chunk_size: int = DEFAULT_COMPACT_THRESHOLD,
     and overlapping bundles merely carry duplicate entries that collapse
     by index at read time.  Returns the number of bundles written.
     """
+    backend = resolve_store(store)
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
-    loose = _loose_result_files(root)
+    loose = _loose_result_files(root, store=backend)
     if not partial and len(loose) < chunk_size:
         return 0
     results_dir = os.path.join(root, _RESULTS_DIR)
@@ -302,35 +347,44 @@ def compact_layout(root: str, *, chunk_size: int = DEFAULT_COMPACT_THRESHOLD,
         entries: List[Tuple[int, bool, object]] = []
         consumed: List[str] = []
         for name in group:
-            try:
-                with open(os.path.join(results_dir, name), "rb") as handle:
-                    entries.append(pickle.load(handle))
-            except FileNotFoundError:
+            data = backend.get(os.path.join(results_dir, name))
+            if data is None:
                 continue  # a racing compactor bundled it already
+            entries.append(pickle.loads(data))
             consumed.append(name)
         if not entries:
             continue
         first = min(index for index, _, _ in entries)
         bundle_name = f"{_BUNDLE_PREFIX}{first:07d}-{uuid.uuid4().hex[:8]}.pkl"
-        _atomic_write(root, _RESULTS_DIR, bundle_name, entries)
+        backend.put(os.path.join(results_dir, bundle_name),
+                    pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL))
         for name in consumed:
-            _remove_quietly(os.path.join(results_dir, name))
+            backend.delete(os.path.join(results_dir, name))
         bundles_written += 1
     return bundles_written
 
 
 def compact(root: str, *, chunk_size: int = DEFAULT_COMPACT_THRESHOLD,
-            partial: bool = False) -> int:
+            partial: bool = False, store: StoreLike = None) -> int:
     """Compact every layout under ``root``; returns bundles written."""
+    backend = resolve_store(store)
     return sum(
-        compact_layout(layout, chunk_size=chunk_size, partial=partial)
-        for layout in _layout_roots(root)
+        compact_layout(layout, chunk_size=chunk_size, partial=partial,
+                       store=backend)
+        for layout in _layout_roots(root, store=backend)
     )
 
 
 @dataclass(frozen=True)
 class LayoutStatus:
-    """Machine-readable state of one queue layout."""
+    """Machine-readable state of one queue layout.
+
+    Beyond the queued/claimed/done/failed counts, the autoscaling
+    signals: ``queue_depth`` (pending tasks nobody started — the
+    scale-up driver) and ``oldest_claim_age_s`` (seconds since the
+    stalest live claim's last lease renewal; a value well beyond the
+    lease length means orphans are awaiting the reaper).
+    """
 
     queued: int
     claimed: int
@@ -340,6 +394,12 @@ class LayoutStatus:
     bundles: int
     owners: Tuple[str, ...] = ()
     attempts: Dict[int, int] = field(default_factory=dict)
+    oldest_claim_age_s: float = 0.0
+
+    @property
+    def queue_depth(self) -> int:
+        """Pending tasks nobody has started (alias of ``queued``)."""
+        return self.queued
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready dictionary of this status."""
@@ -352,18 +412,67 @@ class LayoutStatus:
             "bundles": self.bundles,
             "owners": sorted(self.owners),
             "attempts": {str(k): v for k, v in sorted(self.attempts.items())},
+            "queue_depth": self.queue_depth,
+            "oldest_claim_age_s": round(self.oldest_claim_age_s, 3),
         }
 
 
-def _count_dir(root: str, subdir: str) -> List[str]:
-    try:
-        return [name for name in os.listdir(os.path.join(root, subdir))
-                if name.endswith(".pkl")]
-    except OSError:
-        return []
+def _list_tasks(root: str, subdir: str, *, store: StoreLike) -> List[str]:
+    return [name
+            for name in resolve_store(store).list_dir(
+                os.path.join(root, subdir))
+            if name.endswith(".pkl")]
 
 
-def layout_status(root: str) -> LayoutStatus:
+@dataclass(frozen=True)
+class ClaimsSummary:
+    """One pass over a layout's claims: ownership, liveness, staleness."""
+
+    claimed: int
+    owners: Tuple[str, ...]
+    live_owners: frozenset
+    oldest_age_s: float
+
+
+def _scan_claims(root: str, *, now: float,
+                 store: StoreLike = None) -> ClaimsSummary:
+    """Scan a layout's claims once for every lease-derived signal.
+
+    Both :func:`layout_status` and :func:`autoscale_advisory` consume
+    this, so the "last renewal = deadline - lease length" age arithmetic
+    lives in exactly one place.  Deliberately touches only the claims
+    listing and lease sidecars — O(claims), never the result set.
+    """
+    backend = resolve_store(store)
+    default_lease = default_lease_s()
+    claimed = 0
+    owners: List[str] = []
+    live_owners = set()
+    oldest_age = 0.0
+    for name in _list_tasks(root, _CLAIMS_DIR, store=backend):
+        claimed += 1
+        claimed_path = os.path.join(root, _CLAIMS_DIR, name)
+        lease = backend.read_lease(claimed_path)
+        owner = (lease or {}).get("owner")
+        if owner:
+            owners.append(str(owner))
+        deadline = backend.lease_deadline(claimed_path, lease,
+                                          default_lease_s=default_lease)
+        if deadline is None:
+            continue  # finished while we scanned
+        # the claim's last renewal happened one lease length before its
+        # recorded deadline
+        lease_s = lease_length(lease, default_lease)
+        oldest_age = max(oldest_age, now - (deadline - lease_s))
+        if now < deadline and owner:
+            live_owners.add(str(owner))
+    return ClaimsSummary(claimed=claimed, owners=tuple(owners),
+                         live_owners=frozenset(live_owners),
+                         oldest_age_s=max(0.0, oldest_age))
+
+
+def layout_status(root: str, *, now: Optional[float] = None,
+                  store: StoreLike = None) -> LayoutStatus:
     """Queue counts of one layout.
 
     ``done`` counts distinct *successful* result indices, ``failed`` the
@@ -371,61 +480,167 @@ def layout_status(root: str) -> LayoutStatus:
     alike) — so ``done == expected`` really means the run succeeded, and
     ``done + failed`` never double-counts a task.
     """
-    claims = _count_dir(root, _CLAIMS_DIR)
-    owners = []
-    for name in claims:
-        lease = read_lease(os.path.join(root, _CLAIMS_DIR, name))
-        if lease and lease.get("owner"):
-            owners.append(str(lease["owner"]))
-    all_entries = _read_result_entries(root)
+    backend = resolve_store(store)
+    current = time.time() if now is None else now
+    claims = _scan_claims(root, now=current, store=backend)
+    all_entries = _read_result_entries(root, store=backend)
     entries = {index: payload for index, payload in all_entries.items()
                if payload[0]}
     failed_indices = {index for index, payload in all_entries.items()
                       if not payload[0]}
     failed_indices.update(
-        _task_index(name) for name in _count_dir(root, _FAILED_DIR)
+        _task_index(name)
+        for name in _list_tasks(root, _FAILED_DIR, store=backend)
     )
-    loose = _loose_result_files(root)
-    bundles = [name for name in _count_dir(root, _RESULTS_DIR)
+    loose = _loose_result_files(root, store=backend)
+    bundles = [name for name in _list_tasks(root, _RESULTS_DIR, store=backend)
                if name.startswith(_BUNDLE_PREFIX)]
     attempts: Dict[int, int] = {}
-    for name in _count_dir(root, _ATTEMPTS_DIR):
+    for name in _list_tasks(root, _ATTEMPTS_DIR, store=backend):
         index = _task_index(name)
-        count = read_attempts(root, index)
+        count = read_attempts(root, index, store=backend)
         if count:
             attempts[index] = count
     return LayoutStatus(
-        queued=len(_count_dir(root, _TASKS_DIR)),
-        claimed=len(claims),
+        queued=len(_list_tasks(root, _TASKS_DIR, store=backend)),
+        claimed=claims.claimed,
         done=len(entries),
         failed=len(failed_indices),
         loose_results=len(loose),
         bundles=len(bundles),
-        owners=tuple(owners),
+        owners=claims.owners,
         attempts=attempts,
+        oldest_claim_age_s=claims.oldest_age_s,
     )
 
 
-def status(root: str) -> Dict[str, object]:
+def desired_workers(queued: int, claimed: int, *,
+                    tasks_per_worker: Optional[int] = None,
+                    min_workers: int = 0,
+                    max_workers: Optional[int] = None) -> int:
+    """Worker count the backlog calls for (the autoscaling policy).
+
+    Deterministic and deliberately simple: one worker per
+    ``tasks_per_worker`` outstanding tasks (queued plus in-flight),
+    rounded up and clamped to ``[min_workers, max_workers]``.  An empty
+    queue asks for ``min_workers`` — scale-to-zero by default.
+    """
+    if tasks_per_worker is None:
+        tasks_per_worker = DEFAULT_TASKS_PER_WORKER
+    if tasks_per_worker < 1:
+        raise ValueError("tasks_per_worker must be >= 1")
+    if max_workers is None:
+        max_workers = DEFAULT_MAX_WORKERS
+    if min_workers < 0 or max_workers < min_workers:
+        raise ValueError(
+            "need 0 <= min_workers <= max_workers, got "
+            f"{min_workers}..{max_workers}"
+        )
+    backlog = max(0, int(queued)) + max(0, int(claimed))
+    wanted = math.ceil(backlog / tasks_per_worker)
+    return max(min_workers, min(max_workers, wanted))
+
+
+def autoscale_advisory(root: str, *,
+                       tasks_per_worker: Optional[int] = None,
+                       min_workers: int = 0,
+                       max_workers: Optional[int] = None,
+                       now: Optional[float] = None,
+                       store: StoreLike = None) -> Dict[str, object]:
+    """Machine-readable scale-up/down advisory for an external scaler.
+
+    This is what ``python -m repro.runtime.queue <root> autoscale``
+    prints and what a collecting executor feeds its ``autoscale_hook``.
+    The advisory compares the backlog-driven :func:`desired_workers`
+    against the workers currently observed holding live leases:
+
+    ``action``
+        ``"scale_up"`` when the backlog wants more workers than hold
+        leases, ``"scale_down"`` when it wants fewer, ``"hold"``
+        otherwise.
+    ``desired_workers`` / ``live_workers``
+        The two sides of that comparison (live = distinct owners across
+        unexpired leases).
+    ``queue_depth`` / ``claimed`` / ``oldest_claim_age_s``
+        The raw signals, fleet-wide: pending backlog, in-flight tasks,
+        and seconds since the stalest claim's last lease renewal (a
+        value far beyond the lease length means orphans are awaiting
+        the reaper, not that more workers are needed).
+    """
+    backend = resolve_store(store)
+    current = time.time() if now is None else now
+    queued = claimed = 0
+    live_owners: set = set()
+    oldest_age = 0.0
+    # deliberately touches only tasks/ listings and claims/ leases —
+    # never results/ — so driving a scaler from the maintenance cycle of
+    # a huge sweep costs O(claims), not O(all published results)
+    for layout in _layout_roots(root, store=backend):
+        queued += len(_list_tasks(layout, _TASKS_DIR, store=backend))
+        claims = _scan_claims(layout, now=current, store=backend)
+        claimed += claims.claimed
+        live_owners |= claims.live_owners
+        oldest_age = max(oldest_age, claims.oldest_age_s)
+    wanted = desired_workers(queued, claimed,
+                             tasks_per_worker=tasks_per_worker,
+                             min_workers=min_workers,
+                             max_workers=max_workers)
+    live = len(live_owners)
+    if wanted > live:
+        action = "scale_up"
+        reason = (f"backlog of {queued + claimed} task(s) wants {wanted} "
+                  f"worker(s); {live} hold live leases")
+    elif wanted < live:
+        action = "scale_down"
+        reason = (f"backlog of {queued + claimed} task(s) needs only "
+                  f"{wanted} worker(s); {live} hold live leases")
+    else:
+        action = "hold"
+        reason = f"{live} worker(s) match the backlog"
+    return {
+        "action": action,
+        "reason": reason,
+        "desired_workers": wanted,
+        "live_workers": live,
+        "queue_depth": queued,
+        "claimed": claimed,
+        "oldest_claim_age_s": round(oldest_age, 3),
+    }
+
+
+def status(root: str, *, store: StoreLike = None) -> Dict[str, object]:
     """Aggregate queue state under ``root``: totals plus per-layout detail.
 
     This is what ``python -m repro.runtime.queue <root> status`` prints;
     the top-level ``queued`` / ``claimed`` / ``done`` / ``failed`` keys
-    are the fleet-wide counts a monitoring script wants, ``layouts`` maps
-    each layout (``.`` is the root itself) to its full breakdown.
+    are the fleet-wide counts a monitoring script wants — joined by the
+    autoscaling signals ``queue_depth`` (pending backlog),
+    ``oldest_claim_age_s`` (stalest live claim) and ``desired_workers``
+    (what the default :func:`desired_workers` policy recommends) —
+    while ``layouts`` maps each layout (``.`` is the root itself) to its
+    full breakdown.
     """
-    layouts = _layout_roots(root)
+    backend = resolve_store(store)
+    now = time.time()
+    layouts = _layout_roots(root, store=backend)
     per_layout = {
-        os.path.relpath(layout, root): layout_status(layout)
+        os.path.relpath(layout, root): layout_status(layout, now=now,
+                                                     store=backend)
         for layout in layouts
     }
     totals = {"queued": 0, "claimed": 0, "done": 0, "failed": 0}
+    oldest_age = 0.0
     for layout in per_layout.values():
         totals["queued"] += layout.queued
         totals["claimed"] += layout.claimed
         totals["done"] += layout.done
         totals["failed"] += layout.failed
+        oldest_age = max(oldest_age, layout.oldest_claim_age_s)
     return {
         **totals,
+        "queue_depth": totals["queued"],
+        "oldest_claim_age_s": round(oldest_age, 3),
+        "desired_workers": desired_workers(totals["queued"],
+                                           totals["claimed"]),
         "layouts": {name: s.to_dict() for name, s in per_layout.items()},
     }

@@ -1,56 +1,59 @@
-"""File/dir-based work queue: the fleet-grade seam for multi-host sweeps.
+"""Work-queue protocol over pluggable storage: the multi-host fleet seam.
 
 The ROADMAP's "distributed sweep execution beyond one host" item needs a
-transport that works over anything hosts can share — NFS, a synced scratch
-directory, an object-store FUSE mount.  This module defines that protocol
-and a :class:`QueueExecutor` backend speaking it.  The protocol is the
-deliverable; the executor doubles as a working single-host reference
-implementation (it serves its own queue inline by default), so the seam is
-exercised by the test suite today and scales out by simply pointing extra
-worker processes — on any host — at the same directory.
+transport that works over anything hosts can share — NFS, a synced
+scratch directory, an S3-style object store.  This module defines that
+protocol as a pure state machine over the small
+:class:`~repro.runtime.store.QueueStore` interface (list / get / put /
+put-if-absent / atomic move / delete / lease read+renew), and a
+:class:`QueueExecutor` backend speaking it.  The storage side effects
+live entirely in :mod:`repro.runtime.store` — the directory backend
+(``DirStore``, the default, byte-compatible with queues created before
+the seam existed) and the S3-semantics backend (``ObjectStore``,
+conditional puts and generation tokens instead of renames) both run the
+same protocol below.
 
-Protocol (all paths relative to one queue layout directory):
+Protocol (all keys relative to one queue layout root):
 
 ``tasks/task-NNNNNNN.pkl``
-    One pending task: a pickle of ``(index, fn, arg)``.  Producers write
-    the pickle to ``tmp/`` first and ``os.rename`` it into ``tasks/`` so a
-    consumer can never observe a half-written file.  When every task of a
-    run shares one callable, ``fn`` is ``None`` and the callable lives in
-    a single ``fn.pkl`` at the layout root instead — a heavyweight
-    callable (e.g. a chunk task holding a whole packed inference engine)
-    is serialised once per run, not once per task.
+    One pending task: a pickle of ``(index, fn, arg)``, atomically
+    published so a consumer can never observe a half-written object.
+    When every task of a run shares one callable, ``fn`` is ``None`` and
+    the callable lives in a single ``fn.pkl`` at the layout root instead
+    — a heavyweight callable (e.g. a chunk task holding a whole packed
+    inference engine) is serialised once per run, not once per task.
 ``claims/task-NNNNNNN.pkl``
-    A task a worker holds a **lease** on, moved atomically out of
-    ``tasks/`` via ``os.rename`` — the rename either succeeds for exactly
-    one worker or raises, which is what makes concurrent workers safe
-    without locks.  The lease deadline is the claim file's mtime plus the
-    lease length; workers renew it with cheap mtime-bump **heartbeats**
-    while the task runs, so a live worker can hold a task indefinitely
-    while a dead worker's claim expires one lease length after its last
-    heartbeat.
+    A task a worker holds a **lease** on, transitioned atomically out of
+    ``tasks/`` via :meth:`~repro.runtime.store.QueueStore.move` — the
+    move succeeds for exactly one worker, which is what makes concurrent
+    workers safe without locks.
 ``claims/task-NNNNNNN.pkl.lease``
-    Lease metadata sidecar: a pickle of ``{"owner", "lease_s"}`` naming
-    the worker (``host:pid``) and its lease length.  Written right after
-    the claim rename; the reaper falls back to the default lease length
-    when it is missing (the claim/sidecar race window is microseconds).
+    Lease metadata sidecar: a pickle of ``{"owner", "lease_s",
+    "deadline"}`` naming the worker (``host:pid``), its lease length and
+    the **absolute wall-clock deadline** of the lease.  Workers renew
+    the deadline with periodic **heartbeats** while the task runs, so a
+    live worker holds a task indefinitely while a dead worker's claim
+    expires one lease length after its last heartbeat.  Reapers compare
+    the recorded deadline against their own clock — storage timestamps
+    never enter the comparison (legacy sidecars without a deadline fall
+    back to the claim mtime on the directory backend).
 ``results/task-NNNNNNN.pkl``
     The finished task: a pickle of ``(index, ok, payload)`` where ``ok``
-    is a bool and ``payload`` is the result or the formatted error.  Also
-    written via ``tmp/`` + rename.
+    is a bool and ``payload`` is the result or the formatted error.
 ``results/bundle-NNNNNNN-<hex>.pkl``
     A compacted **result bundle**: a pickle of a list of ``(index, ok,
     payload)`` entries.  The compactor (:mod:`repro.runtime.janitor`)
     merges loose per-task results into bundles so collecting a 100k-task
-    sweep opens hundreds of files, not 100k.  Bundles may overlap loose
-    files (or each other) transiently — readers key entries by index, and
-    re-executed tasks republish byte-identical payloads, so duplicates
-    are harmless by construction.
+    sweep opens hundreds of objects, not 100k.  Bundles may overlap
+    loose files (or each other) transiently — readers key entries by
+    index, and re-executed tasks republish byte-identical payloads, so
+    duplicates are harmless by construction.
 ``attempts/task-NNNNNNN.pkl``
     Retry accounting: a plain-text integer counting how many times the
     task's lease expired and the reaper re-queued it.
 ``failed/task-NNNNNNN.pkl``
     Quarantine for poisoned tasks: after ``max_retries`` re-queues the
-    reaper moves the task file here (instead of crash-looping the fleet)
+    reaper moves the task here (instead of crash-looping the fleet)
     and publishes an ``ok=False`` result so collectors fail fast.
 
 Every :meth:`QueueExecutor.execute` call creates its own
@@ -65,11 +68,13 @@ across every layout under the root (the root itself, when callers drive
 the protocol functions directly, plus all ``run-*`` namespaces); run one
 with ``python -m repro.runtime.queue <root> serve --watch`` on every host
 sharing the directory.  The CLI also exposes the janitor verbs —
-``status`` (machine-readable queue counts), ``reap`` (re-queue orphaned
-claims) and ``compact`` (bundle loose results) — and drains gracefully on
-SIGTERM: the in-flight task finishes and publishes before the process
-exits.  Results are reassembled in submission order, so queue execution
-stays bit-identical with the serial oracle.
+``status`` (machine-readable queue counts plus queue-depth / claim-age /
+desired-worker autoscaling signals), ``autoscale`` (a machine-readable
+scale-up/down advisory), ``reap`` (re-queue orphaned claims) and
+``compact`` (bundle loose results) — and drains gracefully on SIGTERM:
+the in-flight task finishes and publishes before the process exits.
+Results are reassembled in submission order, so queue execution stays
+bit-identical with the serial oracle.
 
 Tasks may execute more than once (a lease expiry re-queues work a slow or
 dead worker already started), so task callables must be pure functions of
@@ -80,6 +85,8 @@ Environment knobs (all optional; see :func:`default_lease_s` etc.):
 
 ``REPRO_RUNTIME_QUEUE_DIR``
     Shared queue root the registry backend uses.
+``REPRO_RUNTIME_STORE``
+    Queue-storage backend (``dir`` | ``object``; default ``dir``).
 ``REPRO_RUNTIME_LEASE_S``
     Lease length in seconds (default 30).
 ``REPRO_RUNTIME_MAX_RETRIES``
@@ -101,26 +108,33 @@ import threading
 import time
 import traceback
 import uuid
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.runtime.executors import Executor
+from repro.runtime.store import (
+    QueueStore,
+    STORE_ENV,
+    STORES,
+    lease_path as _lease_path,
+    resolve_store,
+)
 from repro.runtime.tasks import Task, WorkList, gather
+
+#: a ``store=`` argument: a backend name, an instance, or None (resolve
+#: the :data:`~repro.runtime.store.STORE_ENV` toggle / the dir default)
+StoreLike = Union[None, str, QueueStore]
 
 _TASKS_DIR = "tasks"
 _CLAIMS_DIR = "claims"
 _RESULTS_DIR = "results"
 _FAILED_DIR = "failed"
 _ATTEMPTS_DIR = "attempts"
-_TMP_DIR = "tmp"
 
 #: per-execute namespace directories created under a shared queue root
 _RUN_PREFIX = "run-"
 
 #: single shared task callable of one run (written when all tasks agree)
 _SHARED_FN_FILE = "fn.pkl"
-
-#: suffix of the lease-metadata sidecar next to each claim file
-_LEASE_SUFFIX = ".lease"
 
 #: filename prefix of compacted result bundles under ``results/``
 _BUNDLE_PREFIX = "bundle-"
@@ -203,70 +217,65 @@ def _task_index(filename: str) -> int:
     return int(filename[len("task-"):-len(".pkl")])
 
 
-def init_queue_dirs(root: str) -> None:
-    """Create the queue directory layout (idempotent)."""
-    for sub in (_TASKS_DIR, _CLAIMS_DIR, _RESULTS_DIR, _FAILED_DIR,
-                _ATTEMPTS_DIR, _TMP_DIR):
-        os.makedirs(os.path.join(root, sub), exist_ok=True)
+def _dumps(payload: object) -> bytes:
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def _atomic_write(root: str, subdir: str, filename: str,
-                  payload: object) -> None:
-    """Publish ``payload`` under ``root/subdir/filename`` via tmp + rename."""
-    tmp_path = os.path.join(root, _TMP_DIR, f"{filename}.{uuid.uuid4().hex}")
-    with open(tmp_path, "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp_path, os.path.join(root, subdir, filename))
+def init_queue_dirs(root: str, *, store: StoreLike = None) -> None:
+    """Create the queue layout under ``root`` (idempotent)."""
+    resolve_store(store).init_layout(root)
+
+
+def _atomic_write(root: str, subdir: str, filename: str, payload: object,
+                  *, store: StoreLike = None) -> None:
+    """Atomically publish pickled ``payload`` at ``root/subdir/filename``."""
+    resolve_store(store).put(os.path.join(root, subdir, filename),
+                             _dumps(payload))
 
 
 def _atomic_write_exclusive(root: str, subdir: str, filename: str,
-                            payload: object) -> bool:
+                            payload: object, *,
+                            store: StoreLike = None) -> bool:
     """Like :func:`_atomic_write` but never overwrites; False if it exists.
 
-    ``os.link`` fails with ``EEXIST`` where ``os.replace`` would clobber —
+    This maps to ``os.link`` (fails with ``EEXIST``) on the directory
+    backend and a conditional put (``If-None-Match``) on object stores —
     the primitive the janitor uses to publish a *failure* result without
     ever destroying a success a stalled worker managed to publish first.
     """
-    tmp_path = os.path.join(root, _TMP_DIR, f"{filename}.{uuid.uuid4().hex}")
-    with open(tmp_path, "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    try:
-        os.link(tmp_path, os.path.join(root, subdir, filename))
-    except FileExistsError:
-        return False
-    finally:
-        os.remove(tmp_path)
-    return True
+    return resolve_store(store).put_if_absent(
+        os.path.join(root, subdir, filename), _dumps(payload)
+    )
 
 
-def _atomic_write_text(root: str, subdir: str, filename: str,
-                       text: str) -> None:
+def _atomic_write_text(root: str, subdir: str, filename: str, text: str,
+                       *, store: StoreLike = None) -> None:
     """Like :func:`_atomic_write` but plain text (operator-inspectable)."""
-    tmp_path = os.path.join(root, _TMP_DIR, f"{filename}.{uuid.uuid4().hex}")
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        handle.write(text)
-    os.makedirs(os.path.join(root, subdir), exist_ok=True)
-    os.replace(tmp_path, os.path.join(root, subdir, filename))
+    resolve_store(store).put(os.path.join(root, subdir, filename),
+                             text.encode("utf-8"))
 
 
-def write_shared_fn(root: str, fn) -> None:
+def write_shared_fn(root: str, fn, *, store: StoreLike = None) -> None:
     """Publish the run's single shared task callable (``fn.pkl``)."""
-    _atomic_write(root, "", _SHARED_FN_FILE, fn)
+    resolve_store(store).put(os.path.join(root, _SHARED_FN_FILE), _dumps(fn))
 
 
-def _load_shared_fn(root: str):
+def _load_shared_fn(root: str, store: QueueStore):
     path = os.path.join(root, _SHARED_FN_FILE)
     key = os.path.abspath(path)
     cached = _SHARED_FN_CACHE.get(key)
     if cached is None:
-        with open(path, "rb") as handle:
-            cached = pickle.load(handle)
+        data = store.get(path)
+        if data is None:
+            raise FileNotFoundError(path)
+        cached = pickle.loads(data)
         _SHARED_FN_CACHE.clear()
         _SHARED_FN_CACHE[key] = cached
     return cached
 
 
-def enqueue_task(root: str, task: Task, *, shared_fn: bool = False) -> None:
+def enqueue_task(root: str, task: Task, *, shared_fn: bool = False,
+                 store: StoreLike = None) -> None:
     """Publish one pending task into the queue.
 
     With ``shared_fn`` the task file carries ``None`` in the callable slot
@@ -274,84 +283,75 @@ def enqueue_task(root: str, task: Task, *, shared_fn: bool = False) -> None:
     producer must have published via :func:`write_shared_fn` first).
     """
     _atomic_write(root, _TASKS_DIR, _task_filename(task.index),
-                  (task.index, None if shared_fn else task.fn, task.arg))
+                  (task.index, None if shared_fn else task.fn, task.arg),
+                  store=store)
 
 
-def _lease_path(claimed_path: str) -> str:
-    return claimed_path + _LEASE_SUFFIX
-
-
-def read_lease(claimed_path: str) -> Optional[Dict[str, object]]:
+def read_lease(claimed_path: str, *,
+               store: StoreLike = None) -> Optional[Dict[str, object]]:
     """Lease metadata of a claim (``None`` when the sidecar is missing).
 
     A missing sidecar means either the claim predates the lease protocol
-    or the claimant sits in the microsecond window between the claim
-    rename and the sidecar write; callers fall back to
-    :func:`default_lease_s` and an unknown owner.
+    or the claimant sits in the short window between the claim move and
+    the sidecar write; callers fall back to :func:`default_lease_s` and
+    an unknown owner.
     """
-    try:
-        with open(_lease_path(claimed_path), "rb") as handle:
-            lease = pickle.load(handle)
-    except (OSError, EOFError, pickle.UnpicklingError):
-        return None
-    return lease if isinstance(lease, dict) else None
+    return resolve_store(store).read_lease(claimed_path)
 
 
 def claim_next_task(root: str, *, owner: Optional[str] = None,
-                    lease_s: Optional[float] = None) -> Optional[str]:
+                    lease_s: Optional[float] = None,
+                    store: StoreLike = None) -> Optional[str]:
     """Atomically claim a lease on the lowest-numbered pending task.
 
-    Returns the claimed file's path (now under ``claims/``), or ``None``
-    when no pending task exists.  Losing a rename race to another worker is
-    normal — the loser just moves on to the next file.  The winner's lease
-    clock starts at the claim (the rename preserves the stale enqueue
-    mtime, so it is bumped immediately) and its metadata sidecar names
-    ``owner`` so operators can see who holds what.
+    Returns the claimed key (now under ``claims/``), or ``None`` when no
+    pending task exists.  Losing a move race to another worker is normal
+    — the loser just moves on to the next task.  The winner's lease
+    record carries the **absolute deadline** (now + ``lease_s``) and
+    names ``owner`` so operators can see who holds what.
     """
+    backend = resolve_store(store)
     if lease_s is None:
         lease_s = default_lease_s()
     tasks_dir = os.path.join(root, _TASKS_DIR)
-    for filename in sorted(os.listdir(tasks_dir)):
+    for filename in sorted(backend.list_dir(tasks_dir)):
         if not filename.endswith(".pkl"):
             continue
         source = os.path.join(tasks_dir, filename)
         target = os.path.join(root, _CLAIMS_DIR, filename)
-        try:
-            os.rename(source, target)
-        except OSError:
+        if not backend.move(source, target):
             continue  # another worker won the claim
-        try:
-            os.utime(target)  # start the lease clock now, not at enqueue
-        except OSError:
-            pass  # claim already reaped/finished — vanishingly unlikely
-        _atomic_write(root, _CLAIMS_DIR, filename + _LEASE_SUFFIX,
-                      {"owner": owner or default_owner(),
-                       "lease_s": float(lease_s)})
+        backend.write_lease(target, {
+            "owner": owner or default_owner(),
+            "lease_s": float(lease_s),
+            "deadline": time.time() + float(lease_s),
+        })
         return target
     return None
 
 
-def heartbeat(claimed_path: str) -> bool:
-    """Renew a claim's lease by bumping its mtime; False if it is gone."""
-    try:
-        os.utime(claimed_path)
-    except OSError:
-        return False
-    return True
+def heartbeat(claimed_path: str, *, store: StoreLike = None) -> bool:
+    """Renew a claim's lease deadline; False when the claim is gone."""
+    return resolve_store(store).renew_lease(
+        claimed_path, default_lease_s=default_lease_s()
+    )
 
 
 class _LeaseHeartbeat:
     """Background thread renewing one claim's lease while its task runs.
 
-    Bumps the claim file's mtime every quarter lease so a live worker
-    never loses its claim to the reaper, no matter how long the task
-    takes; stops silently if the claim disappears (the task finished, or
-    an aggressive reaper re-queued it — the latter is benign because
-    tasks are pure and results idempotent).
+    Rewrites the lease record's absolute deadline every quarter lease so
+    a live worker never loses its claim to the reaper, no matter how
+    long the task takes; stops silently if the claim disappears (the
+    task finished, or an aggressive reaper re-queued it — the latter is
+    benign because tasks are pure and results idempotent).
     """
 
-    def __init__(self, claimed_path: str, lease_s: float) -> None:
+    def __init__(self, claimed_path: str, lease_s: float,
+                 store: QueueStore) -> None:
         self._claimed_path = claimed_path
+        self._lease_s = lease_s
+        self._store = store
         self._interval_s = max(lease_s / 4.0, 0.01)
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -368,12 +368,14 @@ class _LeaseHeartbeat:
 
     def _beat(self) -> None:
         while not self._stop.wait(self._interval_s):
-            if not heartbeat(self._claimed_path):
+            if not self._store.renew_lease(self._claimed_path,
+                                           default_lease_s=self._lease_s):
                 break
 
 
-def run_claimed_task(root: str, claimed_path: str) -> Optional[int]:
-    """Execute one claimed task file and publish its result.
+def run_claimed_task(root: str, claimed_path: str, *,
+                     store: StoreLike = None) -> Optional[int]:
+    """Execute one claimed task and publish its result.
 
     The claim's lease is renewed by a background heartbeat for as long as
     the task runs.  Worker exceptions are published as ``ok=False``
@@ -388,17 +390,17 @@ def run_claimed_task(root: str, claimed_path: str) -> Optional[int]:
     to whatever the re-execution will produce — but the *current* holder's
     claim files are left alone.
     """
-    try:
-        with open(claimed_path, "rb") as handle:
-            index, fn, arg = pickle.load(handle)
-    except FileNotFoundError:
+    backend = resolve_store(store)
+    data = backend.get(claimed_path)
+    if data is None:
         return None
-    lease = read_lease(claimed_path) or {}
+    index, fn, arg = pickle.loads(data)
+    lease = backend.read_lease(claimed_path) or {}
     owner = lease.get("owner")
     lease_s = float(lease.get("lease_s") or default_lease_s())
     if fn is None:
-        fn = _load_shared_fn(root)
-    with _LeaseHeartbeat(claimed_path, lease_s):
+        fn = _load_shared_fn(root, backend)
+    with _LeaseHeartbeat(claimed_path, lease_s, backend):
         try:
             payload: object = fn(arg)
             ok = True
@@ -406,80 +408,73 @@ def run_claimed_task(root: str, claimed_path: str) -> Optional[int]:
             payload = traceback.format_exc()
             ok = False
     _atomic_write(root, _RESULTS_DIR, _task_filename(index),
-                  (index, ok, payload))
-    _release_claim(claimed_path, owner)
+                  (index, ok, payload), store=backend)
+    _release_claim(claimed_path, owner, store=backend)
     return index
 
 
-def _release_claim(claimed_path: str, owner: Optional[str]) -> None:
+def _release_claim(claimed_path: str, owner: Optional[str], *,
+                   store: StoreLike = None) -> None:
     """Remove a finished claim + sidecar, unless another worker holds it.
 
-    After a lease expiry the same claim path may belong to a different
+    After a lease expiry the same claim key may belong to a different
     worker; deleting *their* claim would orphan their accounting, so the
     release is skipped unless the sidecar still names *our* owner — a
     missing sidecar counts as "not ours" too, because a new claimant sits
     in its claim/sidecar write gap exactly when its sidecar is absent.
     """
+    backend = resolve_store(store)
     if owner is not None:
-        current = read_lease(claimed_path)
+        current = backend.read_lease(claimed_path)
         if current is None or current.get("owner") != owner:
             return
-    for path in (claimed_path, _lease_path(claimed_path)):
-        try:
-            os.remove(path)
-        except OSError:
-            pass
+    backend.delete(claimed_path)
+    backend.delete(_lease_path(claimed_path))
 
 
-def read_attempts(root: str, index: int) -> int:
+def read_attempts(root: str, index: int, *, store: StoreLike = None) -> int:
     """How many times the reaper has re-queued task ``index`` (0 = never)."""
-    path = os.path.join(root, _ATTEMPTS_DIR, _task_filename(index))
+    data = resolve_store(store).get(
+        os.path.join(root, _ATTEMPTS_DIR, _task_filename(index))
+    )
+    if data is None:
+        return 0
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            return int(handle.read().strip() or 0)
-    except (OSError, ValueError):
+        return int(data.decode("utf-8").strip() or 0)
+    except (UnicodeDecodeError, ValueError):
         return 0
 
 
-def record_attempt(root: str, index: int, attempts: int) -> None:
+def record_attempt(root: str, index: int, attempts: int, *,
+                   store: StoreLike = None) -> None:
     """Persist the re-queue count of task ``index`` (plain text, atomic)."""
     _atomic_write_text(root, _ATTEMPTS_DIR, _task_filename(index),
-                       f"{attempts}\n")
+                       f"{attempts}\n", store=store)
 
 
-def _layout_roots(root: str) -> List[str]:
+def _layout_roots(root: str, *, store: StoreLike = None) -> List[str]:
     """Queue layouts reachable under ``root``.
 
-    The root itself counts when it carries a ``tasks/`` dir (callers
-    driving the protocol functions directly), followed by every
-    ``run-*`` namespace an executor created beneath it.
+    The root itself counts when it carries a layout (callers driving the
+    protocol functions directly), followed by every ``run-*`` namespace
+    an executor created beneath it.
     """
-    roots: List[str] = []
-    if os.path.isdir(os.path.join(root, _TASKS_DIR)):
-        roots.append(root)
-    try:
-        children = sorted(os.listdir(root))
-    except OSError:
-        children = []
-    for name in children:
-        if name.startswith(_RUN_PREFIX):
-            candidate = os.path.join(root, name)
-            if os.path.isdir(os.path.join(candidate, _TASKS_DIR)):
-                roots.append(candidate)
-    return roots
+    return resolve_store(store).list_layouts(root, run_prefix=_RUN_PREFIX)
 
 
 def _serve_one(root: str, *, owner: Optional[str],
-               lease_s: Optional[float]) -> Optional[str]:
+               lease_s: Optional[float],
+               store: QueueStore) -> Optional[str]:
     """Claim and run one pending task from any layout under ``root``.
 
     Returns the layout that supplied the task, or ``None`` when every
     layout is drained.
     """
-    for layout in _layout_roots(root):
-        claimed = claim_next_task(layout, owner=owner, lease_s=lease_s)
+    for layout in _layout_roots(root, store=store):
+        claimed = claim_next_task(layout, owner=owner, lease_s=lease_s,
+                                  store=store)
         if claimed is not None:
-            if run_claimed_task(layout, claimed) is None:
+            if run_claimed_task(layout, claimed, store=store) is None:
                 continue  # claim vanished under us; try another layout
             return layout
     return None
@@ -488,7 +483,8 @@ def _serve_one(root: str, *, owner: Optional[str],
 def serve(root: str, *, max_tasks: Optional[int] = None,
           owner: Optional[str] = None, lease_s: Optional[float] = None,
           should_stop: Optional[Callable[[], bool]] = None,
-          compact_threshold: Optional[int] = None) -> int:
+          compact_threshold: Optional[int] = None,
+          store: StoreLike = None) -> int:
     """Drain the queue: claim and run tasks until none remain.
 
     This is the worker loop ``python -m repro.runtime.queue <root> serve``
@@ -511,7 +507,11 @@ def serve(root: str, *, max_tasks: Optional[int] = None,
         When set and positive, every ``compact_threshold`` tasks served
         from a layout triggers opportunistic result compaction there
         (``None`` resolves :func:`default_compact_threshold`).
+    store:
+        Queue-storage backend (name, instance, or ``None`` for the
+        ``REPRO_RUNTIME_STORE`` toggle / directory default).
     """
+    backend = resolve_store(store)
     if compact_threshold is None:
         compact_threshold = default_compact_threshold()
     executed = 0
@@ -519,7 +519,8 @@ def serve(root: str, *, max_tasks: Optional[int] = None,
     while max_tasks is None or executed < max_tasks:
         if should_stop is not None and should_stop():
             break
-        layout = _serve_one(root, owner=owner, lease_s=lease_s)
+        layout = _serve_one(root, owner=owner, lease_s=lease_s,
+                            store=backend)
         if layout is None:
             break
         executed += 1
@@ -528,34 +529,31 @@ def serve(root: str, *, max_tasks: Optional[int] = None,
                 served_per_layout[layout] % compact_threshold == 0:
             from repro.runtime import janitor
 
-            janitor.compact_layout(layout, chunk_size=compact_threshold)
+            janitor.compact_layout(layout, chunk_size=compact_threshold,
+                                   store=backend)
     return executed
 
 
-def _read_result_entries(root: str) -> Dict[int, Tuple[bool, object]]:
+def _read_result_entries(root: str, *, store: StoreLike = None
+                         ) -> Dict[int, Tuple[bool, object]]:
     """All published results of a layout, keyed by task index.
 
     Reads loose per-task files and compacted bundles alike.  Duplicate
     indices (a bundle overlapping a not-yet-deleted loose file, or a
     re-executed task) collapse by key — the payloads are byte-identical
-    by the determinism contract.  Files that vanish between the listing
-    and the open were just compacted; the next poll sees their bundle.
+    by the determinism contract.  Objects that vanish between the listing
+    and the read were just compacted; the next poll sees their bundle.
     """
+    backend = resolve_store(store)
     results_dir = os.path.join(root, _RESULTS_DIR)
     entries: Dict[int, Tuple[bool, object]] = {}
-    try:
-        names = sorted(os.listdir(results_dir))
-    except OSError:
-        return entries
-    for name in names:
+    for name in sorted(backend.list_dir(results_dir)):
         if not name.endswith(".pkl"):
             continue
-        path = os.path.join(results_dir, name)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except FileNotFoundError:
-            continue  # compacted away between listdir and open
+        data = backend.get(os.path.join(results_dir, name))
+        if data is None:
+            continue  # compacted away between listing and read
+        payload = pickle.loads(data)
         if name.startswith(_BUNDLE_PREFIX):
             for index, ok, value in payload:
                 entries[index] = (ok, value)
@@ -566,8 +564,8 @@ def _read_result_entries(root: str) -> Dict[int, Tuple[bool, object]]:
 
 
 def published_indices(root: str,
-                      bundle_cache: Optional[Dict[str, frozenset]] = None
-                      ) -> set:
+                      bundle_cache: Optional[Dict[str, frozenset]] = None,
+                      *, store: StoreLike = None) -> set:
     """Indices of every published result, *without* reading payloads.
 
     Loose result files carry their index in the filename; bundles are
@@ -576,30 +574,26 @@ def published_indices(root: str,
     cycles of one collection, keeping the poll loop O(new bundles) instead
     of re-deserialising every payload each cycle.
     """
+    backend = resolve_store(store)
     results_dir = os.path.join(root, _RESULTS_DIR)
     indices: set = set()
-    try:
-        names = os.listdir(results_dir)
-    except OSError:
-        return indices
-    for name in names:
+    for name in backend.list_dir(results_dir):
         if not name.endswith(".pkl"):
             continue
         if not name.startswith(_BUNDLE_PREFIX):
             try:
                 indices.add(_task_index(name))
             except ValueError:
-                pass  # foreign file in results/; ignore
+                pass  # foreign object in results/; ignore
             continue
         cached = None if bundle_cache is None else bundle_cache.get(name)
         if cached is None:
-            try:
-                with open(os.path.join(results_dir, name), "rb") as handle:
-                    cached = frozenset(
-                        index for index, _, _ in pickle.load(handle)
-                    )
-            except FileNotFoundError:
+            data = backend.get(os.path.join(results_dir, name))
+            if data is None:
                 continue
+            cached = frozenset(
+                index for index, _, _ in pickle.loads(data)
+            )
             if bundle_cache is not None:
                 bundle_cache[name] = cached
         indices |= cached
@@ -612,8 +606,10 @@ def collect_results(root: str, expected: int, *, timeout_s: float,
                     reap_orphans: bool = True,
                     compact_threshold: Optional[int] = None,
                     maintenance_interval_s: Optional[float] = None,
-                    inline_worker: Optional[Callable[[], object]] = None
-                    ) -> List[object]:
+                    inline_worker: Optional[Callable[[], object]] = None,
+                    autoscale_hook: Optional[
+                        Callable[[Dict[str, object]], None]] = None,
+                    store: StoreLike = None) -> List[object]:
     """Gather all ``expected`` results, polling until present or timeout.
 
     Each poll cycle runs ``inline_worker`` when given — the executor's
@@ -621,16 +617,20 @@ def collect_results(root: str, expected: int, *, timeout_s: float,
     **maintenance cadence** (``maintenance_interval_s``; defaults to ten
     poll intervals, at least 1 s — lease expiry is measured in tens of
     seconds, so reaping at poll frequency would only hammer the shared
-    filesystem) the collector also (1) **reaps** the layout: expired
+    storage) the collector also (1) **reaps** the layout: expired
     leases are re-queued (or quarantined after ``max_retries`` re-queues)
-    so one dead worker can never stall the run forever, and (2) compacts
-    loose results once they outnumber ``compact_threshold``.  Polling
-    counts result *indices* (filenames plus memoised bundle listings) so
-    a huge grid is not re-deserialised every cycle; payloads are read
-    exactly once, from loose files and bundles alike, and reassembled in
-    submission order.  The first ``ok=False`` payload (worker traceback
-    or poisoned-task quarantine notice) is re-raised as ``RuntimeError``.
+    so one dead worker can never stall the run forever, (2) compacts
+    loose results once they outnumber ``compact_threshold``, and (3)
+    feeds the current autoscaling advisory to ``autoscale_hook`` when one
+    is registered — the executor's seam for driving external worker
+    scalers.  Polling counts result *indices* (names plus memoised bundle
+    listings) so a huge grid is not re-deserialised every cycle; payloads
+    are read exactly once, from loose files and bundles alike, and
+    reassembled in submission order.  The first ``ok=False`` payload
+    (worker traceback or poisoned-task quarantine notice) is re-raised
+    as ``RuntimeError``.
     """
+    backend = resolve_store(store)
     if max_retries is None:
         max_retries = default_max_retries()
     if compact_threshold is None:
@@ -647,13 +647,18 @@ def collect_results(root: str, expected: int, *, timeout_s: float,
             inline_worker()
         if time.monotonic() >= next_maintenance:
             if reap_orphans:
-                janitor.reap_layout(root, max_retries=max_retries)
+                janitor.reap_layout(root, max_retries=max_retries,
+                                    store=backend)
             if compact_threshold:
-                janitor.compact_layout(root, chunk_size=compact_threshold)
+                janitor.compact_layout(root, chunk_size=compact_threshold,
+                                       store=backend)
+            if autoscale_hook is not None:
+                autoscale_hook(janitor.autoscale_advisory(root,
+                                                          store=backend))
             next_maintenance = time.monotonic() + maintenance_interval_s
-        present = published_indices(root, bundle_cache)
+        present = published_indices(root, bundle_cache, store=backend)
         if len(present) >= expected:
-            entries = _read_result_entries(root)
+            entries = _read_result_entries(root, store=backend)
             if len(entries) >= expected:
                 break
         if time.monotonic() >= deadline:
@@ -679,7 +684,7 @@ def collect_results(root: str, expected: int, *, timeout_s: float,
 
 
 class QueueExecutor(Executor):
-    """Executor speaking the file/dir work-queue protocol.
+    """Executor speaking the work-queue protocol over a pluggable store.
 
     Parameters
     ----------
@@ -719,6 +724,17 @@ class QueueExecutor(Executor):
         Loose result files that trigger compaction into bundles, and the
         bundle size; ``0`` disables auto-compaction (``None`` resolves
         ``REPRO_RUNTIME_COMPACT_THRESHOLD`` / 512).
+    store:
+        Queue-storage backend: a name (``"dir"`` / ``"object"``), a
+        :class:`~repro.runtime.store.QueueStore` instance, or ``None``
+        to resolve the ``REPRO_RUNTIME_STORE`` toggle (default: the
+        directory backend).  Workers pointed at the same root must speak
+        the same store.
+    autoscale_hook:
+        Optional callable fed the machine-readable autoscaling advisory
+        (see :func:`repro.runtime.janitor.autoscale_advisory`) on every
+        maintenance cycle while the executor collects — the seam for
+        wiring the fleet to an external worker scaler.
     """
 
     name = "queue"
@@ -729,7 +745,10 @@ class QueueExecutor(Executor):
                  poll_interval_s: float = 0.05,
                  lease_s: Optional[float] = None,
                  max_retries: Optional[int] = None,
-                 compact_threshold: Optional[int] = None) -> None:
+                 compact_threshold: Optional[int] = None,
+                 store: StoreLike = None,
+                 autoscale_hook: Optional[
+                     Callable[[Dict[str, object]], None]] = None) -> None:
         if timeout_s <= 0 or poll_interval_s <= 0:
             raise ValueError("timeout_s and poll_interval_s must be positive")
         if root is None and not inline_worker:
@@ -750,6 +769,8 @@ class QueueExecutor(Executor):
             default_compact_threshold() if compact_threshold is None
             else int(compact_threshold)
         )
+        self.store = resolve_store(store)
+        self.autoscale_hook = autoscale_hook
         if self.lease_s <= 0:
             raise ValueError("lease_s must be positive")
         if self.max_retries < 0:
@@ -760,9 +781,7 @@ class QueueExecutor(Executor):
     def _queue_root(self) -> Tuple[str, bool]:
         if self.root is not None:
             return self.root, False
-        import tempfile
-
-        return tempfile.mkdtemp(prefix="repro-queue-"), True
+        return self.store.create_ephemeral_root(), True
 
     def execute(self, worklist: WorkList) -> List[object]:
         if not worklist:
@@ -773,13 +792,15 @@ class QueueExecutor(Executor):
         # run's task/result files — stale results would otherwise satisfy
         # this run's poll
         run_root = os.path.join(root, _RUN_PREFIX + uuid.uuid4().hex)
-        init_queue_dirs(run_root)
+        init_queue_dirs(run_root, store=self.store)
         try:
             shared = len({id(task.fn) for task in worklist}) == 1
             if shared:
-                write_shared_fn(run_root, worklist.tasks[0].fn)
+                write_shared_fn(run_root, worklist.tasks[0].fn,
+                                store=self.store)
             for task in worklist:
-                enqueue_task(run_root, task, shared_fn=shared)
+                enqueue_task(run_root, task, shared_fn=shared,
+                             store=self.store)
             serve_inline = None
             if self.inline_worker:
                 owner = default_owner()
@@ -787,7 +808,8 @@ class QueueExecutor(Executor):
                 def serve_inline() -> int:
                     # drains fresh *and* reaper-re-queued tasks each poll
                     return serve(run_root, owner=owner, lease_s=self.lease_s,
-                                 compact_threshold=self.compact_threshold)
+                                 compact_threshold=self.compact_threshold,
+                                 store=self.store)
 
             results = collect_results(
                 run_root, len(worklist), timeout_s=self.timeout_s,
@@ -799,25 +821,24 @@ class QueueExecutor(Executor):
                 maintenance_interval_s=max(self.poll_interval_s,
                                            self.lease_s / 4.0),
                 inline_worker=serve_inline,
+                autoscale_hook=self.autoscale_hook,
+                store=self.store,
             )
         finally:
             if ephemeral:
-                import shutil
-
-                shutil.rmtree(root, ignore_errors=True)
+                self.store.remove_tree(root)
         # success: retire the namespace (failed runs keep theirs so the
         # published error payloads stay inspectable)
         if not ephemeral:
-            import shutil
-
-            shutil.rmtree(run_root, ignore_errors=True)
+            self.store.remove_tree(run_root)
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"QueueExecutor(root={self.root!r}, "
                 f"inline_worker={self.inline_worker}, "
                 f"lease_s={self.lease_s}, max_retries={self.max_retries}, "
-                f"compact_threshold={self.compact_threshold})")
+                f"compact_threshold={self.compact_threshold}, "
+                f"store={self.store.name!r})")
 
 
 def _serve_command(args: argparse.Namespace) -> int:
@@ -846,13 +867,15 @@ def _serve_command(args: argparse.Namespace) -> int:
                 args.root, max_tasks=remaining, owner=owner,
                 lease_s=args.lease_seconds, should_stop=stop.is_set,
                 compact_threshold=args.compact_threshold,
+                store=args.store,
             )
             if stop.is_set() or not args.watch:
                 break
             if args.reap:
                 from repro.runtime import janitor
 
-                janitor.reap(args.root, max_retries=args.max_retries)
+                janitor.reap(args.root, max_retries=args.max_retries,
+                             store=args.store)
             if stop.wait(args.poll_interval):
                 break
     finally:
@@ -866,14 +889,36 @@ def _serve_command(args: argparse.Namespace) -> int:
 def _status_command(args: argparse.Namespace) -> int:
     from repro.runtime import janitor
 
-    print(json.dumps(janitor.status(args.root), indent=2, sort_keys=True))
+    print(json.dumps(janitor.status(args.root, store=args.store),
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def _autoscale_command(args: argparse.Namespace) -> int:
+    import sys
+
+    from repro.runtime import janitor
+
+    try:
+        advisory = janitor.autoscale_advisory(
+            args.root, tasks_per_worker=args.tasks_per_worker,
+            min_workers=args.min_workers, max_workers=args.max_workers,
+            store=args.store,
+        )
+    except ValueError as error:
+        # invalid policy knobs are a usage error, not a crash — external
+        # scalers parse this verb's output and deserve a clean failure
+        print(f"autoscale: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(advisory, indent=2, sort_keys=True))
     return 0
 
 
 def _reap_command(args: argparse.Namespace) -> int:
     from repro.runtime import janitor
 
-    report = janitor.reap(args.root, max_retries=args.max_retries)
+    report = janitor.reap(args.root, max_retries=args.max_retries,
+                          store=args.store)
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0
 
@@ -882,7 +927,8 @@ def _compact_command(args: argparse.Namespace) -> int:
     from repro.runtime import janitor
 
     chunk = args.compact_threshold or DEFAULT_COMPACT_THRESHOLD
-    bundles = janitor.compact(args.root, chunk_size=chunk, partial=True)
+    bundles = janitor.compact(args.root, chunk_size=chunk, partial=True,
+                              store=args.store)
     print(json.dumps({"bundles_written": bundles}, indent=2, sort_keys=True))
     return 0
 
@@ -890,21 +936,24 @@ def _compact_command(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "serve": _serve_command,
     "status": _status_command,
+    "autoscale": _autoscale_command,
     "reap": _reap_command,
     "compact": _compact_command,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI: ``python -m repro.runtime.queue <root> [serve|status|compact|reap]``.
+    """CLI: ``python -m repro.runtime.queue <root> [serve|status|autoscale|compact|reap]``.
 
     ``serve`` (the default) is the worker loop — it drains every layout
     under the root, optionally forever (``--watch``), reaping orphans
     between sweeps and draining gracefully on SIGTERM.  ``status`` prints
-    a machine-readable JSON summary (queued/claimed/done/failed counts,
-    per layout).  ``reap`` re-queues expired leases and quarantines
-    poisoned tasks once.  ``compact`` bundles loose result files
-    (including a final partial bundle).
+    a machine-readable JSON summary (queued/claimed/done/failed counts
+    plus queue-depth, claim-age and desired-worker autoscaling signals,
+    per layout).  ``autoscale`` prints a machine-readable scale-up/down
+    advisory for external worker scalers.  ``reap`` re-queues expired
+    leases and quarantines poisoned tasks once.  ``compact`` bundles
+    loose result files (including a final partial bundle).
     """
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.queue",
@@ -914,6 +963,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "command", nargs="?", default="serve", choices=sorted(_COMMANDS),
         help="what to do (default: serve, the worker loop)",
+    )
+    parser.add_argument(
+        "--store", default=None, choices=STORES,
+        help=f"queue-storage backend (default: ${STORE_ENV} or 'dir')",
     )
     parser.add_argument(
         "--max-tasks", type=int, default=None,
@@ -947,6 +1000,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-reap", dest="reap", action="store_false",
         help="serve --watch: do not reap orphaned claims between polls",
     )
+    parser.add_argument(
+        "--tasks-per-worker", type=int, default=None,
+        help="autoscale: backlog tasks one worker is expected to absorb "
+             "(default: 4)",
+    )
+    parser.add_argument(
+        "--min-workers", type=int, default=0,
+        help="autoscale: floor of the desired-worker advisory (default: 0)",
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=None,
+        help="autoscale: ceiling of the desired-worker advisory "
+             "(default: 32)",
+    )
     args = parser.parse_args(argv)
     if args.lease_seconds is None:
         args.lease_seconds = default_lease_s()
@@ -954,6 +1021,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.max_retries = default_max_retries()
     if args.compact_threshold is None:
         args.compact_threshold = default_compact_threshold()
+    args.store = resolve_store(args.store)
     return _COMMANDS[args.command](args)
 
 

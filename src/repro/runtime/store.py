@@ -1,0 +1,754 @@
+"""Pluggable queue-storage backends: the `QueueStore` seam.
+
+The work-queue protocol (:mod:`repro.runtime.queue`) and its janitor
+(:mod:`repro.runtime.janitor`) are pure state machines over a handful of
+storage verbs — list, get, put, put-if-absent, atomic move, delete, and
+lease read/renew.  This module owns those verbs.  Everything above it is
+backend-agnostic: the enqueue/claim/heartbeat/requeue/quarantine/compact
+machinery never touches the filesystem (or any other substrate)
+directly, so pointing the fleet at a new storage technology means
+implementing one small class here, not re-auditing the protocol.
+
+Two backends ship today:
+
+:class:`DirStore`
+    The original POSIX-directory layout (byte-compatible with queues
+    created before the store seam existed): atomic ``os.rename`` moves,
+    ``os.link`` exclusive publishes, tmp+rename atomic writes.  The
+    default, selected when nothing else is configured.
+
+:class:`ObjectStore`
+    S3-style semantics over an object API: there is no rename, so every
+    state transition is a **conditional put** (create-if-absent) of the
+    destination followed by a **generation-guarded delete** of the
+    source, with rollback when the precondition fails.  Backed in-repo
+    by :class:`LocalObjectStore`, a hermetic fake with injectable
+    latency and conflict/fault hooks so the whole crash-recovery suite
+    runs against object semantics without any cloud credentials.
+
+Leases
+------
+
+Claims are time-bounded leases.  The lease record (a pickle sidecar next
+to the claim object) carries the **absolute deadline**::
+
+    {"owner": "host:pid", "lease_s": 30.0, "deadline": 1753870000.0}
+
+Reapers compare ``deadline`` against their own wall clock — the shared
+storage's timestamps never enter the comparison, so reaping stays
+correct when workers and the storage substrate disagree on clocks (the
+NFS / object-store case).  :class:`DirStore` keeps two compatibility
+affordances for queues written by older code: a legacy sidecar without a
+``deadline`` falls back to the claim file's mtime plus the lease length,
+and every lease write also bumps the claim mtime so mtime-based tooling
+keeps agreeing with the record.
+
+Backend selection
+-----------------
+
+``REPRO_RUNTIME_STORE`` (``dir`` | ``object``) selects the default
+backend process-wide; explicit ``store=`` arguments (a name or a
+:class:`QueueStore` instance) on the protocol functions,
+:class:`~repro.runtime.queue.QueueExecutor`, ``make_executor`` /
+``resolve_executor`` ``options=`` and ``run_sweep`` /
+``run_accuracy_sweep`` ``backend_options=`` always win.  Worker
+subprocesses resolve the same environment variable, so one exported
+toggle moves a whole fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import time
+import uuid
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: environment variable selecting the queue-storage backend fleet-wide
+STORE_ENV = "REPRO_RUNTIME_STORE"
+
+#: subdirectory a layout must carry to count as a queue layout
+_TASKS_DIR = "tasks"
+
+#: suffix of the lease-metadata sidecar next to each claim object
+LEASE_SUFFIX = ".lease"
+
+#: marker object an object-store layout writes at init time — object
+#: stores have no directories, so an *empty* layout (all tasks claimed)
+#: would otherwise become undiscoverable by workers scanning the root
+_LAYOUT_MARKER = ".layout"
+
+
+def _prefix_lock_path(prefix: str) -> str:
+    """Hidden advisory-lock file guarding one object prefix."""
+    prefix = prefix.rstrip(os.sep)
+    return os.path.join(os.path.dirname(prefix),
+                        f".{os.path.basename(prefix)}.lock")
+
+
+def lease_path(claimed_path: str) -> str:
+    """Lease sidecar key of a claim key (pure string helper)."""
+    return claimed_path + LEASE_SUFFIX
+
+
+class QueueStore:
+    """Interface every queue-storage backend implements.
+
+    Keys are plain path-like strings (the protocol layer joins them with
+    ``os.path.join``); a store maps them onto its substrate.  The verbs
+    are deliberately few — see the module docstring for the contract
+    each backend must honour (atomic publish, exactly-one-winner move,
+    never-overwrite exclusive put, absolute-deadline leases).
+    """
+
+    #: registry key of this backend (``"dir"``, ``"object"``)
+    name: str = "abstract"
+
+    # -- layout lifecycle -------------------------------------------------
+    def init_layout(self, root: str) -> None:
+        """Create a queue layout under ``root`` (idempotent)."""
+        raise NotImplementedError
+
+    def is_layout(self, root: str) -> bool:
+        """Whether ``root`` holds a queue layout this store can serve."""
+        raise NotImplementedError
+
+    def list_layouts(self, root: str, *, run_prefix: str) -> List[str]:
+        """Layout roots reachable under ``root`` (itself + namespaces)."""
+        roots: List[str] = []
+        if self.is_layout(root):
+            roots.append(root)
+        for name in sorted(self.list_children(root)):
+            if name.startswith(run_prefix):
+                candidate = os.path.join(root, name)
+                if self.is_layout(candidate):
+                    roots.append(candidate)
+        return roots
+
+    def list_children(self, root: str) -> List[str]:
+        """Names of child prefixes/directories directly under ``root``.
+
+        The default suits any locally-mounted substrate (both shipped
+        backends); a store over a remote bucket would override it with a
+        delimiter listing.
+        """
+        try:
+            return [name for name in os.listdir(root)
+                    if os.path.isdir(os.path.join(root, name))]
+        except OSError:
+            return []
+
+    def create_ephemeral_root(self) -> str:
+        """A private throwaway root (the executor's single-host mode)."""
+        return tempfile.mkdtemp(prefix="repro-queue-")
+
+    def remove_tree(self, root: str) -> None:
+        """Delete ``root`` and everything under it (quiet, recursive)."""
+        raise NotImplementedError
+
+    # -- object verbs -----------------------------------------------------
+    def list_dir(self, directory: str) -> List[str]:
+        """Object names directly under ``directory`` ([] when absent)."""
+        raise NotImplementedError
+
+    def get(self, path: str) -> Optional[bytes]:
+        """Object bytes, or ``None`` when the object does not exist."""
+        raise NotImplementedError
+
+    def put(self, path: str, data: bytes) -> None:
+        """Atomically publish ``data`` at ``path`` (overwrite allowed).
+
+        Readers must never observe a half-written object.
+        """
+        raise NotImplementedError
+
+    def put_if_absent(self, path: str, data: bytes) -> bool:
+        """Publish only if ``path`` does not exist; False when it does.
+
+        The primitive the janitor uses to publish a *failure* result
+        without ever destroying a success a stalled worker published
+        first.
+        """
+        raise NotImplementedError
+
+    def delete(self, path: str) -> None:
+        """Remove an object (quiet no-op when it is already gone)."""
+        raise NotImplementedError
+
+    def move(self, source: str, target: str) -> bool:
+        """Atomically transition an object from ``source`` to ``target``.
+
+        Exactly one of any number of concurrent movers of ``source``
+        succeeds; the rest return False and must leave both keys
+        untouched.  This is the verb claims, re-queues and quarantines
+        are built on.
+        """
+        raise NotImplementedError
+
+    # -- leases -----------------------------------------------------------
+    def write_lease(self, claimed_path: str,
+                    record: Dict[str, object]) -> None:
+        """Publish a claim's lease record (sidecar next to the claim)."""
+        raise NotImplementedError
+
+    def read_lease(self, claimed_path: str) -> Optional[Dict[str, object]]:
+        """A claim's lease record (``None`` when the sidecar is missing).
+
+        A missing sidecar means either the claim predates the lease
+        protocol or the claimant sits in the short window between the
+        claim move and the sidecar write; callers fall back to the
+        default lease length and an unknown owner.  Built on
+        :meth:`get`, so backends share one parse/validate path.
+        """
+        data = self.get(lease_path(claimed_path))
+        if data is None:
+            return None
+        try:
+            record = pickle.loads(data)
+        except (EOFError, pickle.UnpicklingError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def renew_lease(self, claimed_path: str, *,
+                    default_lease_s: float,
+                    now: Optional[float] = None) -> bool:
+        """Extend a claim's lease deadline by its lease length.
+
+        Returns False when the claim object is gone (task finished, or a
+        reaper re-queued it).  The existence probe is metadata-only —
+        a heartbeat must stay cheap, never streaming the (potentially
+        engine-sized) claim payload from shared storage every quarter
+        lease.  The renewal preserves the record's owner: after an
+        expiry the sidecar may already belong to a new claimant, and
+        extending *their* deadline slightly is harmless where rewriting
+        their identity would not be.
+        """
+        if not self.exists(claimed_path):
+            return False
+        record = dict(self.read_lease(claimed_path) or {})
+        lease_s = lease_length(record, default_lease_s)
+        record["lease_s"] = lease_s
+        record["deadline"] = (time.time() if now is None else now) + lease_s
+        self.write_lease(claimed_path, record)
+        return True
+
+    def lease_deadline(self, claimed_path: str,
+                       record: Optional[Dict[str, object]], *,
+                       default_lease_s: float) -> Optional[float]:
+        """Absolute wall-clock deadline of a claim's lease.
+
+        ``None`` when the claim object vanished (it finished meanwhile).
+        The deadline carried in the lease record wins; backends may fall
+        back to substrate timestamps for legacy records without one.
+        """
+        deadline = _record_deadline(record)
+        if deadline is not None:
+            return deadline
+        created = self.object_mtime(claimed_path)
+        if created is None:
+            return None
+        return created + lease_length(record, default_lease_s)
+
+    def object_mtime(self, path: str) -> Optional[float]:
+        """Last-modified time of an object (legacy-lease fallback only)."""
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        """Metadata-only existence probe (never reads the payload)."""
+        return self.object_mtime(path) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def lease_length(record: Optional[Dict[str, object]],
+                 default_lease_s: float) -> float:
+    """Lease length of a record, tolerating missing/corrupt values."""
+    try:
+        return float((record or {}).get("lease_s") or default_lease_s)
+    except (TypeError, ValueError):
+        return default_lease_s
+
+
+def _record_deadline(record: Optional[Dict[str, object]]
+                     ) -> Optional[float]:
+    value = (record or {}).get("deadline")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# DirStore: the original POSIX-directory layout
+# --------------------------------------------------------------------------- #
+
+#: subdirectories of the on-disk layout (kept byte-compatible with queues
+#: created before the store seam existed)
+_DIR_LAYOUT = ("tasks", "claims", "results", "failed", "attempts", "tmp")
+
+
+class DirStore(QueueStore):
+    """The on-disk directory backend: POSIX renames and hard links.
+
+    Layout-compatible with queues created by the pre-store code — the
+    same subdirectories, the same task/claim/result/lease file formats —
+    so existing shared dirs and running ``python -m repro.runtime.queue``
+    workers keep working across the upgrade.  Atomicity comes from the
+    filesystem: ``os.rename`` for moves (exactly one winner),
+    ``os.link`` for never-overwrite publishes, tmp+rename for atomic
+    writes.
+    """
+
+    name = "dir"
+
+    def init_layout(self, root: str) -> None:
+        for sub in _DIR_LAYOUT:
+            os.makedirs(os.path.join(root, sub), exist_ok=True)
+
+    def is_layout(self, root: str) -> bool:
+        return os.path.isdir(os.path.join(root, _TASKS_DIR))
+
+    def remove_tree(self, root: str) -> None:
+        shutil.rmtree(root, ignore_errors=True)
+
+    def list_dir(self, directory: str) -> List[str]:
+        try:
+            return [name for name in os.listdir(directory)
+                    if not name.endswith(".tmp")]
+        except OSError:
+            return []
+
+    def get(self, path: str) -> Optional[bytes]:
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def _stage(self, path: str, data: bytes) -> str:
+        """Write ``data`` to a same-directory staging file (same-FS rename)."""
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp_path = f"{path}.{uuid.uuid4().hex}.tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+        return tmp_path
+
+    def put(self, path: str, data: bytes) -> None:
+        os.replace(self._stage(path, data), path)
+
+    def put_if_absent(self, path: str, data: bytes) -> bool:
+        tmp_path = self._stage(path, data)
+        try:
+            # os.link fails with EEXIST where os.replace would clobber
+            os.link(tmp_path, path)
+        except FileExistsError:
+            return False
+        finally:
+            os.remove(tmp_path)
+        return True
+
+    def delete(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def move(self, source: str, target: str) -> bool:
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        try:
+            os.rename(source, target)
+        except OSError:
+            return False  # another mover won, or the source is gone
+        return True
+
+    def write_lease(self, claimed_path: str,
+                    record: Dict[str, object]) -> None:
+        self.put(lease_path(claimed_path),
+                 pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        # keep the claim mtime in agreement with the record so legacy
+        # mtime-based tooling sharing the dir reads the same renewal time
+        deadline = _record_deadline(record)
+        lease_s = lease_length(record, 0.0)
+        stamp = (deadline - lease_s) if deadline is not None else time.time()
+        try:
+            os.utime(claimed_path, (stamp, stamp))
+        except OSError:
+            pass  # claim already finished/reaped — the record is moot
+
+    def object_mtime(self, path: str) -> Optional[float]:
+        try:
+            return os.path.getmtime(path)
+        except OSError:
+            return None
+
+
+# --------------------------------------------------------------------------- #
+# LocalObjectStore: a hermetic S3-style object API
+# --------------------------------------------------------------------------- #
+
+class LocalObjectStore:
+    """In-repo fake of an S3-style object API (hermetic, cross-process).
+
+    Implements the object-store contract the :class:`ObjectStore`
+    backend is written against:
+
+    * objects are immutable blobs named by key (here: a filesystem path,
+      so operators can inspect a fake bucket with ordinary tools);
+    * every successful write returns a **generation token** that changes
+      on every mutation of the key;
+    * ``put_if_absent`` is the S3 ``If-None-Match: *`` conditional
+      create, ``delete_if_generation`` the generation-guarded delete —
+      the two primitives the queue protocol's rename-free state
+      transitions are built from;
+    * there are no directories and no renames.
+
+    Atomicity of the conditional verbs is the *server's* job in a real
+    object store; the fake provides it with a per-prefix advisory lock
+    (``<prefix>.lock`` next to the data, never inside it), which also
+    makes the fake safe for the crash-recovery suite's real worker
+    subprocesses.
+
+    Test hooks (in-process only — subprocess workers build their own
+    hook-free instance):
+
+    ``latency_s``
+        Sleep this long before every operation, simulating a slow
+        object-store round trip.
+    ``conflict_hook``
+        ``(op, key) -> bool`` called before each *conditional* verb;
+        returning True forces a simulated precondition failure.
+    ``fault_hook``
+        ``(op, key) -> None`` called before every verb; raise to
+        simulate a transport fault.
+    """
+
+    def __init__(self, *, latency_s: float = 0.0,
+                 conflict_hook: Optional[Callable[[str, str], bool]] = None,
+                 fault_hook: Optional[Callable[[str, str], None]] = None
+                 ) -> None:
+        self.latency_s = float(latency_s)
+        self.conflict_hook = conflict_hook
+        self.fault_hook = fault_hook
+
+    # -- hooks ------------------------------------------------------------
+    def _enter(self, op: str, key: str) -> None:
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
+        if self.fault_hook is not None:
+            self.fault_hook(op, key)
+
+    def _forced_conflict(self, op: str, key: str) -> bool:
+        return (self.conflict_hook is not None
+                and bool(self.conflict_hook(op, key)))
+
+    # -- locking ----------------------------------------------------------
+    class _PrefixLock:
+        """Advisory cross-process lock over one key prefix (directory)."""
+
+        def __init__(self, key: str) -> None:
+            prefix = os.path.dirname(key)
+            os.makedirs(prefix, exist_ok=True)
+            # the lock lives NEXT TO the prefix (hidden, dot-prefixed),
+            # never inside it, so data listings only ever see objects
+            # and prefix scans (run-* namespaces) never see locks
+            self._path = _prefix_lock_path(prefix)
+            self._handle = None
+
+        def __enter__(self) -> "LocalObjectStore._PrefixLock":
+            import fcntl
+
+            self._handle = open(self._path, "a+b")
+            fcntl.flock(self._handle, fcntl.LOCK_EX)
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            import fcntl
+
+            if self._handle is not None:
+                fcntl.flock(self._handle, fcntl.LOCK_UN)
+                self._handle.close()
+                self._handle = None
+
+    @staticmethod
+    def _generation(path: str) -> Optional[Tuple[int, int, int]]:
+        """Current generation token of a key (``None`` when absent)."""
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return None
+        return (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+
+    # -- object API -------------------------------------------------------
+    def list(self, prefix: str) -> List[str]:
+        """Object names directly under ``prefix`` ([] when empty)."""
+        self._enter("list", prefix)
+        try:
+            names = os.listdir(prefix)
+        except OSError:
+            return []
+        prefix_path = prefix
+        return [name for name in names
+                if not name.endswith((".lock", ".tmp"))
+                and os.path.isfile(os.path.join(prefix_path, name))]
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Object bytes (``None`` when the key does not exist)."""
+        self._enter("get", key)
+        try:
+            with open(key, "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def get_with_generation(self, key: str
+                            ) -> Optional[Tuple[bytes, Tuple[int, int, int]]]:
+        """Object bytes plus the generation token they were read at."""
+        with self._PrefixLock(key):
+            generation = self._generation(key)
+            data = self.get(key)
+        if data is None or generation is None:
+            return None
+        return data, generation
+
+    def head(self, key: str) -> Optional[Dict[str, float]]:
+        """Object metadata (currently: ``last_modified``); None if absent."""
+        self._enter("head", key)
+        try:
+            return {"last_modified": os.path.getmtime(key)}
+        except OSError:
+            return None
+
+    @staticmethod
+    def _write(key: str, data: bytes) -> None:
+        """Hook-free atomic write (the server-side commit primitive)."""
+        os.makedirs(os.path.dirname(key), exist_ok=True)
+        tmp_path = f"{key}.{uuid.uuid4().hex}.tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, key)
+
+    def put(self, key: str, data: bytes) -> None:
+        """Unconditional atomic put (last writer wins, like S3 PUT)."""
+        self._enter("put", key)
+        self._write(key, data)
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Conditional create (``If-None-Match: *``); False on conflict."""
+        return self.put_if_absent_with_generation(key, data) is not None
+
+    def put_if_absent_with_generation(
+            self, key: str, data: bytes) -> Optional[Tuple[int, int, int]]:
+        """Conditional create returning the created object's generation.
+
+        ``None`` signals the conflict (the key already exists); the
+        returned token lets the creator later delete *exactly* the
+        object version it made — the guard a mover's rollback needs so
+        it can never destroy a different actor's later object.
+        """
+        self._enter("put_if_absent", key)
+        if self._forced_conflict("put_if_absent", key):
+            return None
+        with self._PrefixLock(key):
+            if self._generation(key) is not None:
+                return None
+            self._write(key, data)
+            return self._generation(key)
+
+    def delete(self, key: str) -> None:
+        """Unconditional delete (quiet when the key is already gone)."""
+        self._enter("delete", key)
+        try:
+            os.remove(key)
+        except OSError:
+            pass
+
+    def delete_if_generation(self, key: str,
+                             generation: Tuple[int, int, int]) -> bool:
+        """Generation-guarded delete; False when the key changed or left."""
+        self._enter("delete_if_generation", key)
+        if self._forced_conflict("delete_if_generation", key):
+            return False
+        with self._PrefixLock(key):
+            if self._generation(key) != generation:
+                return False
+            try:
+                os.remove(key)
+            except OSError:
+                pass
+        return True
+
+    def remove_prefix(self, prefix: str) -> None:
+        """Bulk-delete every object under ``prefix`` (campaign cleanup)."""
+        self._enter("delete", prefix)
+        shutil.rmtree(prefix, ignore_errors=True)
+        try:
+            os.remove(_prefix_lock_path(prefix))
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LocalObjectStore(latency_s={self.latency_s}, "
+                f"hooks={bool(self.conflict_hook or self.fault_hook)})")
+
+
+# --------------------------------------------------------------------------- #
+# ObjectStore: the queue-storage backend over the object API
+# --------------------------------------------------------------------------- #
+
+class ObjectStore(QueueStore):
+    """Queue storage over S3-style object semantics: no renames.
+
+    Every protocol transition that :class:`DirStore` performs with one
+    ``os.rename`` is recomposed from the object API's two conditional
+    primitives:
+
+    ``move(source, target)``
+        1. read ``source`` with its generation token;
+        2. conditional-create ``target`` (``put_if_absent``) — losing
+           this race means another mover already owns the transition;
+        3. generation-guarded delete of ``source`` — losing *this* race
+           means someone moved or mutated the source while we copied, so
+           the half-made copy is rolled back and the move reports
+           failure.
+
+        A crash between (2) and (3) leaves the object under both keys
+        (and, for a claim, blocks re-claims of that task because the
+        orphaned copy occupies the claims key); the reaper resolves that
+        state once the orphan's lease expires — its move-or-absorb path
+        drops a stale source whose target already exists, which is safe
+        because task payloads are immutable and byte-identical.
+
+    Exclusive result publishes map directly onto ``put_if_absent``, and
+    lease records live in ordinary sidecar objects whose **absolute
+    deadline** keeps reaping independent of object timestamps.
+    """
+
+    name = "object"
+
+    def __init__(self, objects: Optional[LocalObjectStore] = None) -> None:
+        self.objects = objects if objects is not None else LocalObjectStore()
+
+    def init_layout(self, root: str) -> None:
+        # object stores have no directories: mark the layout explicitly
+        # so an empty (fully claimed) layout stays discoverable
+        self.objects.put_if_absent(os.path.join(root, _LAYOUT_MARKER), b"")
+
+    def is_layout(self, root: str) -> bool:
+        if self.objects.head(os.path.join(root, _LAYOUT_MARKER)) is not None:
+            return True
+        # layouts initialised by other tooling (e.g. a DirStore producer
+        # sharing the bucket mount) still count when they carry tasks
+        return os.path.isdir(os.path.join(root, _TASKS_DIR))
+
+    def remove_tree(self, root: str) -> None:
+        self.objects.remove_prefix(root)
+
+    def list_dir(self, directory: str) -> List[str]:
+        return self.objects.list(directory)
+
+    def get(self, path: str) -> Optional[bytes]:
+        return self.objects.get(path)
+
+    def put(self, path: str, data: bytes) -> None:
+        self.objects.put(path, data)
+
+    def put_if_absent(self, path: str, data: bytes) -> bool:
+        return self.objects.put_if_absent(path, data)
+
+    def delete(self, path: str) -> None:
+        self.objects.delete(path)
+
+    def move(self, source: str, target: str) -> bool:
+        got = self.objects.get_with_generation(source)
+        if got is None:
+            return False  # the source is already gone
+        data, generation = got
+        created = self.objects.put_if_absent_with_generation(target, data)
+        if created is None:
+            return False  # another mover owns this transition
+        if not self.objects.delete_if_generation(source, generation):
+            # the source changed hands while we copied: roll back the
+            # half-made copy — guarded by *our* creation's generation,
+            # so a stalled mover waking up here can never destroy an
+            # object a later actor has since put under the same key
+            self.objects.delete_if_generation(target, created)
+            return False
+        return True
+
+    def write_lease(self, claimed_path: str,
+                    record: Dict[str, object]) -> None:
+        self.objects.put(
+            lease_path(claimed_path),
+            pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def object_mtime(self, path: str) -> Optional[float]:
+        meta = self.objects.head(path)
+        return None if meta is None else meta["last_modified"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObjectStore(objects={self.objects!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Registry + resolution
+# --------------------------------------------------------------------------- #
+
+_STORE_FACTORIES: Dict[str, Callable[[], QueueStore]] = {
+    "dir": DirStore,
+    "object": ObjectStore,
+}
+
+#: valid values of ``store=`` arguments and :data:`STORE_ENV`
+STORES = tuple(sorted(_STORE_FACTORIES))
+
+#: process-wide singletons per backend name (stores are stateless apart
+#: from test hooks, which hooked tests inject as explicit instances)
+_DEFAULT_STORES: Dict[str, QueueStore] = {}
+
+
+def make_store(name: str) -> QueueStore:
+    """Instantiate a queue-storage backend by registry name."""
+    factory = _STORE_FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown queue store {name!r}; choose from {STORES}"
+        )
+    return factory()
+
+
+def store_from_env() -> Optional[str]:
+    """Store name requested via :data:`STORE_ENV` (``None`` if unset)."""
+    value = os.environ.get(STORE_ENV, "").strip().lower()
+    if not value:
+        return None
+    if value not in _STORE_FACTORIES:
+        raise ValueError(
+            f"{STORE_ENV}={value!r} is not a queue store; "
+            f"choose from {STORES}"
+        )
+    return value
+
+
+def resolve_store(store: "Optional[str | QueueStore]" = None) -> QueueStore:
+    """Resolve a ``store=`` argument to a :class:`QueueStore` instance.
+
+    Precedence: an explicit instance is used as-is; an explicit name is
+    instantiated from the registry; ``None`` resolves :data:`STORE_ENV`
+    and finally defaults to the directory backend.
+    """
+    if isinstance(store, QueueStore):
+        return store
+    name = store if store is not None else (store_from_env() or "dir")
+    if not isinstance(name, str):
+        raise TypeError(
+            f"store must be a QueueStore instance or a name from {STORES}, "
+            f"got {store!r}"
+        )
+    cached = _DEFAULT_STORES.get(name)
+    if cached is None:
+        cached = make_store(name)
+        _DEFAULT_STORES[name] = cached
+    return cached

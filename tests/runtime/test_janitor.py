@@ -20,6 +20,7 @@ from repro.runtime.queue import (
     read_lease,
     serve,
 )
+from repro.runtime.store import resolve_store
 from repro.runtime.tasks import WorkList
 
 
@@ -39,10 +40,16 @@ def _enqueue(root, fn, items):
     return worklist
 
 
-def _expire(claimed_path, age_s=1000.0):
-    """Backdate a claim's mtime so its lease reads as expired."""
-    stamp = time.time() - age_s
-    os.utime(claimed_path, (stamp, stamp))
+def _expire(claimed_path, age_s=1000.0, store=None):
+    """Backdate a claim's lease deadline so it reads as expired.
+
+    Rewrites the absolute deadline carried in the lease record — the
+    authoritative expiry signal on every store backend.
+    """
+    backend = resolve_store(store)
+    record = dict(backend.read_lease(claimed_path) or {})
+    record["deadline"] = time.time() - age_s
+    backend.write_lease(claimed_path, record)
 
 
 class TestReaper:
@@ -154,8 +161,8 @@ class TestReaper:
         real_snapshot = queue_mod.published_indices
         calls = {"n": 0}
 
-        def snapshot_then_publish(r, cache=None):
-            result = real_snapshot(r, cache)
+        def snapshot_then_publish(r, cache=None, **kwargs):
+            result = real_snapshot(r, cache, **kwargs)
             if calls["n"] == 0:
                 # simulate the worker finishing right after the reaper's
                 # pass-level snapshot was taken
@@ -207,6 +214,25 @@ class TestReaper:
         _expire(claimed)
         report = janitor.reap(root)
         assert report.requeued == (0,)
+
+    def test_orphan_lease_sidecar_is_cleaned_up(self, tmp_path):
+        # an in-flight heartbeat can resurrect a lease sidecar after its
+        # claim was released (exists-probe passed, claim finished, the
+        # rewrite landed last): the reaper drops sidecars with no claim
+        # behind them so long-lived shared roots never accumulate them
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root, lease_s=5.0)
+        sidecar = claimed + ".lease"
+        resolve_store().delete(claimed)  # claim gone, sidecar left behind
+        assert os.path.exists(sidecar)
+        janitor.reap_layout(root)
+        assert not os.path.exists(sidecar)
+        # ...but a sidecar whose claim is alive is never touched
+        _enqueue(root, double, [2])
+        claimed = claim_next_task(root, lease_s=60.0)
+        janitor.reap_layout(root)
+        assert os.path.exists(claimed + ".lease")
 
     def test_injected_clock_controls_expiry(self, tmp_path):
         root = str(tmp_path)
@@ -343,7 +369,122 @@ class TestStatus:
     def test_status_of_missing_root_is_empty(self, tmp_path):
         summary = janitor.status(str(tmp_path / "nope"))
         assert summary == {"queued": 0, "claimed": 0, "done": 0,
-                           "failed": 0, "layouts": {}}
+                           "failed": 0, "layouts": {}, "queue_depth": 0,
+                           "oldest_claim_age_s": 0.0, "desired_workers": 0}
+
+
+class TestAutoscaleSignals:
+    def test_desired_workers_policy_math(self):
+        assert janitor.desired_workers(0, 0) == 0
+        assert janitor.desired_workers(0, 0, min_workers=2) == 2
+        assert janitor.desired_workers(9, 0, tasks_per_worker=4) == 3
+        assert janitor.desired_workers(7, 2, tasks_per_worker=4) == 3
+        assert janitor.desired_workers(1000, 0, max_workers=8) == 8
+        with pytest.raises(ValueError):
+            janitor.desired_workers(1, 0, tasks_per_worker=0)
+        with pytest.raises(ValueError):
+            janitor.desired_workers(1, 0, min_workers=5, max_workers=2)
+
+    def test_status_carries_the_autoscaling_signals(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(9))
+        claim_next_task(root, owner="host-a:1", lease_s=60.0)
+        summary = janitor.status(root)
+        assert summary["queue_depth"] == 8
+        assert summary["desired_workers"] == \
+            janitor.desired_workers(8, 1)
+        assert 0.0 <= summary["oldest_claim_age_s"] < 30.0
+        layout = summary["layouts"]["."]
+        assert layout["queue_depth"] == 8
+        assert "oldest_claim_age_s" in layout
+
+    def test_advisory_scales_up_on_backlog(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(8))
+        advisory = janitor.autoscale_advisory(root, tasks_per_worker=4)
+        assert advisory["action"] == "scale_up"
+        assert advisory["desired_workers"] == 2
+        assert advisory["live_workers"] == 0
+        assert advisory["queue_depth"] == 8
+        assert "backlog" in advisory["reason"]
+
+    def test_advisory_holds_when_live_workers_match(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(4))
+        claim_next_task(root, owner="host-a:1", lease_s=60.0)
+        advisory = janitor.autoscale_advisory(root, tasks_per_worker=4)
+        assert advisory["live_workers"] == 1
+        assert advisory["desired_workers"] == 1
+        assert advisory["action"] == "hold"
+
+    def test_advisory_scales_down_past_the_backlog(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [1, 2])
+        claim_next_task(root, owner="host-a:1", lease_s=60.0)
+        claim_next_task(root, owner="host-b:2", lease_s=60.0)
+        advisory = janitor.autoscale_advisory(root, tasks_per_worker=4)
+        assert advisory["live_workers"] == 2
+        assert advisory["desired_workers"] == 1
+        assert advisory["action"] == "scale_down"
+
+    def test_expired_leases_do_not_count_as_live_workers(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [1])
+        claimed = claim_next_task(root, owner="dead:9", lease_s=5.0)
+        _expire(claimed)
+        advisory = janitor.autoscale_advisory(root, tasks_per_worker=1)
+        assert advisory["live_workers"] == 0
+        assert advisory["action"] == "scale_up"
+        assert advisory["oldest_claim_age_s"] > 100.0
+
+    def test_advisory_respects_min_workers_floor(self, tmp_path):
+        root = str(tmp_path)
+        init_queue_dirs(root)
+        advisory = janitor.autoscale_advisory(root, min_workers=3)
+        assert advisory["desired_workers"] == 3
+        assert advisory["action"] == "scale_up"
+
+    def test_empty_root_holds_at_zero(self, tmp_path):
+        advisory = janitor.autoscale_advisory(str(tmp_path / "nope"))
+        assert advisory["action"] == "hold"
+        assert advisory["desired_workers"] == 0
+
+    def test_executor_feeds_the_autoscale_hook(self, tmp_path):
+        advisories = []
+        executor = QueueExecutor(str(tmp_path),
+                                 autoscale_hook=advisories.append)
+        assert executor.map(double, range(5)) == [2 * x for x in range(5)]
+        assert advisories, "maintenance cycle never fed the hook"
+        for advisory in advisories:
+            assert advisory["action"] in ("scale_up", "scale_down", "hold")
+            assert "desired_workers" in advisory
+
+    def test_autoscale_cli_prints_machine_readable_advisory(self, tmp_path,
+                                                            capsys):
+        import json
+
+        from repro.runtime.queue import main
+
+        root = str(tmp_path)
+        _enqueue(root, double, range(6))
+        assert main([root, "autoscale", "--tasks-per-worker", "2",
+                     "--max-workers", "2"]) == 0
+        advisory = json.loads(capsys.readouterr().out)
+        assert advisory["action"] == "scale_up"
+        assert advisory["desired_workers"] == 2
+        assert advisory["queue_depth"] == 6
+
+    def test_autoscale_cli_rejects_invalid_policy_knobs(self, tmp_path,
+                                                        capsys):
+        from repro.runtime.queue import main
+
+        root = str(tmp_path)
+        init_queue_dirs(root)
+        assert main([root, "autoscale", "--tasks-per-worker", "0"]) == 2
+        assert "tasks_per_worker" in capsys.readouterr().err
+        assert main([root, "autoscale", "--min-workers", "5",
+                     "--max-workers", "2"]) == 2
+        assert "min_workers" in capsys.readouterr().err
 
 
 class TestDoubleClaimRaces:

@@ -222,8 +222,10 @@ class TestSharedFnProtocol:
         root = str(tmp_path)
         writes = []
         original = queue_mod.write_shared_fn
-        monkeypatch.setattr(queue_mod, "write_shared_fn",
-                            lambda r, fn: (writes.append(r), original(r, fn)))
+        monkeypatch.setattr(
+            queue_mod, "write_shared_fn",
+            lambda r, fn, **kw: (writes.append(r), original(r, fn, **kw)),
+        )
         assert QueueExecutor(root).map(double, range(6)) == [2 * x
                                                             for x in range(6)]
         assert len(writes) == 1
@@ -285,13 +287,20 @@ class TestRegistryMultiHostSeam:
 
 class TestLeases:
     def test_claim_writes_lease_sidecar(self, tmp_path):
+        import time as _time
+
         from repro.runtime.queue import read_lease
 
         root = str(tmp_path)
         _enqueue(root, double, [1])
+        before = _time.time()
         claimed = claim_next_task(root, owner="host-x:42", lease_s=12.5)
         lease = read_lease(claimed)
-        assert lease == {"owner": "host-x:42", "lease_s": 12.5}
+        assert lease["owner"] == "host-x:42"
+        assert lease["lease_s"] == 12.5
+        # the record carries the ABSOLUTE deadline: now + lease_s, by the
+        # claimant's clock — never inferred from storage timestamps
+        assert before + 12.5 <= lease["deadline"] <= _time.time() + 12.5
 
     def test_claim_owner_defaults_to_host_pid(self, tmp_path):
         import os as _os
@@ -304,10 +313,11 @@ class TestLeases:
         assert lease["owner"].endswith(f":{_os.getpid()}")
 
     def test_claim_resets_the_lease_clock(self, tmp_path):
-        # the claim rename preserves the enqueue-time mtime; the lease
-        # clock must start at the claim, or a task that sat queued longer
-        # than one lease would be born expired
+        # a task that sat queued for an hour must not be born expired:
+        # the lease clock starts at the claim, not at enqueue time
         import time as _time
+
+        from repro.runtime.queue import read_lease
 
         root = str(tmp_path)
         _enqueue(root, double, [1])
@@ -315,19 +325,28 @@ class TestLeases:
         stale = _time.time() - 3600.0
         os.utime(task_path, (stale, stale))
         claimed = claim_next_task(root, lease_s=30.0)
-        assert _time.time() - os.path.getmtime(claimed) < 60.0
+        assert read_lease(claimed)["deadline"] > _time.time()
 
-    def test_heartbeat_bumps_mtime_and_reports_lost_claims(self, tmp_path):
-        from repro.runtime.queue import heartbeat
+    def test_heartbeat_extends_deadline_and_reports_lost_claims(
+            self, tmp_path):
+        import time as _time
+
+        from repro.runtime.queue import heartbeat, read_lease
+        from repro.runtime.store import resolve_store
 
         root = str(tmp_path)
         _enqueue(root, double, [1])
-        claimed = claim_next_task(root)
-        old = os.path.getmtime(claimed) - 50.0
-        os.utime(claimed, (old, old))
+        claimed = claim_next_task(root, lease_s=20.0)
+        store = resolve_store()
+        # simulate a lease nearing expiry, then renew it
+        stale = dict(read_lease(claimed))
+        stale["deadline"] = _time.time() + 0.5
+        store.write_lease(claimed, stale)
         assert heartbeat(claimed) is True
-        assert os.path.getmtime(claimed) > old + 25.0
-        os.remove(claimed)
+        renewed = read_lease(claimed)
+        assert renewed["deadline"] >= _time.time() + 15.0
+        assert renewed["owner"] == stale["owner"]  # renewal keeps identity
+        store.delete(claimed)
         assert heartbeat(claimed) is False
 
     def test_run_claimed_task_consumes_lease_sidecar(self, tmp_path):

@@ -5,6 +5,13 @@ repro.runtime.queue <root> serve`` CLI; the tests SIGKILL them mid-task
 (simulated host loss) and SIGTERM them (graceful drain), then assert the
 reaper/lease machinery recovers the work with records byte-identical to
 the serial oracle — the acceptance criterion of the fleet-hardening PR.
+
+The whole suite is parameterised over **both queue-storage backends**
+(the POSIX directory layout and the S3-semantics object store): the
+``queue_store`` fixture exports ``REPRO_RUNTIME_STORE``, which the
+in-process protocol calls and the worker subprocesses resolve alike, so
+every crash scenario exercises rename-based *and* conditional-put-based
+state transitions.
 """
 
 from __future__ import annotations
@@ -26,14 +33,29 @@ from repro.runtime.queue import (
     enqueue_task,
     init_queue_dirs,
     main,
+    published_indices,
     read_attempts,
 )
+from repro.runtime.store import STORE_ENV, resolve_store
 from repro.runtime.tasks import Task, WorkList
 
 TESTS_RUNTIME_DIR = os.path.dirname(os.path.abspath(__file__))
 SRC_DIR = os.path.join(
     os.path.dirname(os.path.dirname(TESTS_RUNTIME_DIR)), "src"
 )
+
+
+@pytest.fixture(params=["dir", "object"])
+def queue_store(request, monkeypatch):
+    """Run the test once per storage backend, fleet-wide via the env.
+
+    Worker subprocesses inherit ``os.environ``, so exporting
+    ``REPRO_RUNTIME_STORE`` here steers the submitting process and every
+    external worker onto the same backend — exactly how an operator
+    moves a real fleet.
+    """
+    monkeypatch.setenv(STORE_ENV, request.param)
+    return request.param
 
 
 def _worker_env():
@@ -80,7 +102,8 @@ def _enqueue_tasks(root, tasks):
 
 
 class TestKilledWorkerRecovery:
-    def test_sigkilled_worker_task_is_requeued_and_completed(self, tmp_path):
+    def test_sigkilled_worker_task_is_requeued_and_completed(
+            self, tmp_path, queue_store):
         """A worker SIGKILLed mid-task loses its lease; the fleet finishes."""
         root = str(tmp_path / "queue")
         marker = str(tmp_path / "first-attempt.marker")
@@ -111,7 +134,8 @@ class TestKilledWorkerRecovery:
         assert results == [20, 2, 4, 6]
         assert read_attempts(root, 0) == 1  # exactly one re-queue
 
-    def test_poison_pill_quarantines_instead_of_crash_looping(self, tmp_path):
+    def test_poison_pill_quarantines_instead_of_crash_looping(
+            self, tmp_path, queue_store):
         """A task that kills every worker ends up in failed/, not in a loop."""
         root = str(tmp_path / "queue")
         marker = str(tmp_path / "poison.marker")
@@ -128,12 +152,15 @@ class TestKilledWorkerRecovery:
         with pytest.raises(RuntimeError, match="quarantined after 1"):
             collect_results(root, 1, timeout_s=1.0, poll_interval_s=0.01,
                             max_retries=1)
-        assert os.path.exists(os.path.join(root, "failed", "task-0000000.pkl"))
+        store = resolve_store()
+        assert store.get(
+            os.path.join(root, "failed", "task-0000000.pkl")
+        ) is not None
         summary = janitor.status(root)
         assert summary["failed"] == 1 and summary["queued"] == 0
 
-    def test_heartbeat_outlives_short_lease_no_double_execution(self,
-                                                                tmp_path):
+    def test_heartbeat_outlives_short_lease_no_double_execution(
+            self, tmp_path, queue_store):
         """A slow-but-live worker keeps its lease; reapers never steal it."""
         root = str(tmp_path / "queue")
         marker = str(tmp_path / "executions.marker")
@@ -161,15 +188,15 @@ class TestKilledWorkerRecovery:
 
 
 class TestGracefulDrain:
-    def test_sigterm_finishes_in_flight_task_and_exits(self, tmp_path):
+    def test_sigterm_finishes_in_flight_task_and_exits(
+            self, tmp_path, queue_store):
         root = str(tmp_path / "queue")
         _enqueue_tasks(root, [
             Task(index=i, fn=helpers.slow_double, arg=(i, 0.3))
             for i in range(5)
         ])
         worker = _start_worker(root, "--watch", "--poll-interval", "0.1")
-        results_dir = os.path.join(root, "results")
-        _wait_for(lambda: len(os.listdir(results_dir)) >= 1)
+        _wait_for(lambda: len(published_indices(root)) >= 1)
         worker.terminate()  # SIGTERM: drain, don't abandon the claim
         out, err = worker.communicate(timeout=60)
         assert worker.returncode == 0, err
@@ -183,8 +210,8 @@ class TestGracefulDrain:
 
 
 class TestSweepFleetAcceptance:
-    def test_sweep_with_sigkilled_worker_matches_serial_oracle(self,
-                                                               tmp_path):
+    def test_sweep_with_sigkilled_worker_matches_serial_oracle(
+            self, tmp_path, queue_store):
         """The PR's acceptance bar: SIGKILL a worker mid-sweep, records stay
         byte-identical to the serial oracle, and `status` reports the
         queue state."""
@@ -211,12 +238,13 @@ class TestSweepFleetAcceptance:
         victim = _start_worker(root, "--watch", "--lease-seconds", "1.0",
                                "--poll-interval", "0.1")
         claims_dir = os.path.join(root, "claims")
+        store = resolve_store()
         try:
             # kill the worker while it holds a lease, mid-task (each task
             # sleeps 0.3 s, so "claim visible" means "task in flight")
             _wait_for(lambda: any(
                 name.endswith(".pkl")
-                for name in os.listdir(claims_dir)
+                for name in store.list_dir(claims_dir)
             ), timeout_s=120.0)
             time.sleep(0.05)
             victim.kill()
@@ -241,7 +269,7 @@ class TestSweepFleetAcceptance:
         for recovered, reference in zip(records, oracle):
             assert pickle.dumps(recovered) == pickle.dumps(reference)
 
-    def test_status_cli_reports_counts(self, tmp_path, capsys):
+    def test_status_cli_reports_counts(self, tmp_path, capsys, queue_store):
         root = str(tmp_path / "queue")
         _enqueue_tasks(root, [Task(index=i, fn=helpers.double, arg=i)
                               for i in range(3)])

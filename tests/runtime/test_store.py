@@ -1,0 +1,596 @@
+"""Tests for the pluggable queue-storage layer (`repro.runtime.store`).
+
+Covers the `QueueStore` seam itself (resolution, env toggle, executor /
+registry / sweep threading), the S3-semantics `ObjectStore` over the
+hermetic `LocalObjectStore` fake (conditional-put conflicts, move
+rollback, fault/latency injection), the absolute-deadline lease records
+(clock-skew independence, legacy mtime fallback), the DirStore layout
+compatibility with queues created by the pre-store code, and the
+enforcement rule that no direct storage side effects remain in
+``queue.py`` / ``janitor.py`` outside the store.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.runtime import janitor
+from repro.runtime.queue import (
+    QUEUE_DIR_ENV,
+    QueueExecutor,
+    claim_next_task,
+    collect_results,
+    enqueue_task,
+    init_queue_dirs,
+    read_lease,
+    serve,
+)
+from repro.runtime.store import (
+    STORE_ENV,
+    STORES,
+    DirStore,
+    LocalObjectStore,
+    ObjectStore,
+    QueueStore,
+    make_store,
+    resolve_store,
+    store_from_env,
+)
+from repro.runtime.tasks import WorkList
+
+SRC_RUNTIME_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))),
+    "src", "repro", "runtime",
+)
+
+
+def double(x):
+    return 2 * x
+
+
+def _enqueue(root, fn, items, *, store=None):
+    init_queue_dirs(root, store=store)
+    worklist = WorkList.from_items(fn, items)
+    for task in worklist:
+        enqueue_task(root, task, store=store)
+    return worklist
+
+
+def _collect(root, n, *, store=None):
+    return collect_results(root, n, timeout_s=5.0, poll_interval_s=0.01,
+                           store=store)
+
+
+# --------------------------------------------------------------------------- #
+# Store resolution + threading through the stack
+# --------------------------------------------------------------------------- #
+
+class TestStoreResolution:
+    def test_default_is_the_dir_backend(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        assert resolve_store().name == "dir"
+        assert store_from_env() is None
+
+    def test_env_toggle_selects_the_object_backend(self, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "object")
+        assert store_from_env() == "object"
+        assert resolve_store().name == "object"
+
+    def test_invalid_env_value_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "carrier-pigeon")
+        with pytest.raises(ValueError, match="REPRO_RUNTIME_STORE"):
+            store_from_env()
+
+    def test_explicit_name_and_instance_win_over_env(self, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "object")
+        assert resolve_store("dir").name == "dir"
+        mine = DirStore()
+        assert resolve_store(mine) is mine
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown queue store"):
+            make_store("s4")
+        with pytest.raises(TypeError):
+            resolve_store(42)
+
+    def test_registry_covers_both_backends(self):
+        assert STORES == ("dir", "object")
+        assert isinstance(make_store("dir"), DirStore)
+        assert isinstance(make_store("object"), ObjectStore)
+
+    def test_store_option_threads_through_the_executor_registry(
+            self, tmp_path, monkeypatch):
+        from repro.runtime.executors import make_executor
+
+        monkeypatch.setenv(QUEUE_DIR_ENV, str(tmp_path))
+        executor = make_executor("queue", options={"store": "object"})
+        assert executor.store.name == "object"
+        assert executor.map(double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_store_env_steers_the_executor(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "object")
+        executor = QueueExecutor(str(tmp_path))
+        assert executor.store.name == "object"
+        assert executor.map(double, [5]) == [10]
+
+    def test_backend_options_thread_through_run_sweep(self, monkeypatch):
+        from repro.eval.sweep import SweepGrid, run_sweep
+
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        grid = SweepGrid(networks=("MLP-S",), crossbar_sizes=(128,),
+                         wdm_capacities=(4,))
+        serial = run_sweep(grid)
+        via_object = run_sweep(grid, backend="queue",
+                               backend_options={"store": "object"})
+        assert len(via_object.records) == len(serial.records)
+        for recovered, reference in zip(via_object.records, serial.records):
+            # byte-identical record-by-record (the cross-backend contract)
+            assert pickle.dumps(recovered) == pickle.dumps(reference)
+
+
+# --------------------------------------------------------------------------- #
+# LocalObjectStore: the hermetic S3-style fake
+# --------------------------------------------------------------------------- #
+
+class TestLocalObjectStore:
+    def test_put_get_list_delete_roundtrip(self, tmp_path):
+        objects = LocalObjectStore()
+        key = str(tmp_path / "bucket" / "a.pkl")
+        assert objects.get(key) is None
+        objects.put(key, b"payload")
+        assert objects.get(key) == b"payload"
+        assert objects.list(str(tmp_path / "bucket")) == ["a.pkl"]
+        objects.delete(key)
+        assert objects.get(key) is None
+        objects.delete(key)  # quiet on a missing key
+
+    def test_put_if_absent_is_a_conditional_create(self, tmp_path):
+        objects = LocalObjectStore()
+        key = str(tmp_path / "bucket" / "a.pkl")
+        assert objects.put_if_absent(key, b"first") is True
+        assert objects.put_if_absent(key, b"second") is False
+        assert objects.get(key) == b"first"
+
+    def test_generation_token_changes_on_every_mutation(self, tmp_path):
+        objects = LocalObjectStore()
+        key = str(tmp_path / "bucket" / "a.pkl")
+        objects.put(key, b"v1")
+        _, gen1 = objects.get_with_generation(key)
+        objects.put(key, b"v2")
+        data, gen2 = objects.get_with_generation(key)
+        assert data == b"v2"
+        assert gen1 != gen2
+        # a guarded delete with the stale token must refuse
+        assert objects.delete_if_generation(key, gen1) is False
+        assert objects.get(key) == b"v2"
+        assert objects.delete_if_generation(key, gen2) is True
+        assert objects.get(key) is None
+
+    def test_listings_never_show_locks_or_staging(self, tmp_path):
+        objects = LocalObjectStore()
+        prefix = str(tmp_path / "bucket")
+        objects.put_if_absent(os.path.join(prefix, "a.pkl"), b"x")
+        assert objects.list(prefix) == ["a.pkl"]
+        children = os.listdir(str(tmp_path))
+        assert "bucket" in children  # the hidden lock rides next to it
+        assert all(not name.startswith("bucket.") for name in children)
+
+    def test_latency_injection_slows_every_operation(self, tmp_path):
+        objects = LocalObjectStore(latency_s=0.02)
+        key = str(tmp_path / "bucket" / "a.pkl")
+        start = time.perf_counter()
+        objects.put(key, b"x")
+        assert objects.get(key) == b"x"
+        assert time.perf_counter() - start >= 0.04  # two ops, 20 ms each
+
+    def test_every_verb_passes_through_the_hooks(self, tmp_path):
+        # head (the existence/heartbeat probe) must be hook-covered like
+        # every other verb, or fault/latency injection silently skips
+        # the heartbeat and legacy-mtime paths
+        seen = []
+        objects = LocalObjectStore(fault_hook=lambda op, key:
+                                   seen.append(op))
+        key = str(tmp_path / "bucket" / "a.pkl")
+        objects.put(key, b"x")
+        objects.head(key)
+        objects.list(str(tmp_path / "bucket"))
+        objects.get(key)
+        objects.put_if_absent(key, b"y")
+        objects.delete_if_generation(key, (0, 0, 0))
+        objects.delete(key)
+        assert {"put", "head", "list", "get", "put_if_absent",
+                "delete_if_generation", "delete"} <= set(seen)
+        # conditional verbs charge their hooks exactly once
+        assert seen.count("put_if_absent") == 1
+        assert seen.count("put") == 1
+
+    def test_fault_hook_simulates_transport_errors(self, tmp_path):
+        def fault(op, key):
+            if op == "put":
+                raise IOError("injected transport fault")
+
+        objects = LocalObjectStore(fault_hook=fault)
+        key = str(tmp_path / "bucket" / "a.pkl")
+        with pytest.raises(IOError, match="injected"):
+            objects.put(key, b"x")
+        assert LocalObjectStore().get(key) is None  # nothing half-written
+
+
+# --------------------------------------------------------------------------- #
+# ObjectStore: S3 semantics under the queue protocol
+# --------------------------------------------------------------------------- #
+
+class TestObjectStoreProtocol:
+    def test_queue_roundtrip_over_object_semantics(self, tmp_path):
+        store = ObjectStore(LocalObjectStore())
+        root = str(tmp_path)
+        _enqueue(root, double, range(5), store=store)
+        assert serve(root, store=store) == 5
+        assert _collect(root, 5, store=store) == [0, 2, 4, 6, 8]
+
+    def test_double_claim_is_decided_by_the_conditional_put(self, tmp_path):
+        # two sequential claimants: the first wins the If-None-Match
+        # create, the second finds no pending task
+        store = ObjectStore(LocalObjectStore())
+        root = str(tmp_path)
+        _enqueue(root, double, [7], store=store)
+        first = claim_next_task(root, owner="a:1", store=store)
+        assert first is not None
+        assert claim_next_task(root, owner="b:2", store=store) is None
+
+    def test_conditional_put_conflict_on_double_claim_loses_cleanly(
+            self, tmp_path):
+        # a racing claimant creates claims/task-N first: our conditional
+        # put fails, the claim is not ours, and the task is never lost
+        conflicts = []
+
+        def conflict(op, key):
+            if op == "put_if_absent" and os.sep + "claims" + os.sep in key:
+                conflicts.append((op, key))
+                return True
+            return False
+
+        store = ObjectStore(LocalObjectStore(conflict_hook=conflict))
+        root = str(tmp_path)
+        _enqueue(root, double, [7], store=store)
+        assert claim_next_task(root, store=store) is None
+        assert len(conflicts) == 1
+        # the task survived the lost race and is claimable once the
+        # contention clears (a hook-free store over the same bucket)
+        clean = ObjectStore(LocalObjectStore())
+        claimed = claim_next_task(root, store=clean)
+        assert claimed is not None
+        assert read_lease(claimed, store=clean)["deadline"] > time.time()
+
+    def test_move_rolls_back_when_the_source_changes_hands(self, tmp_path):
+        # the generation-guarded delete of the source fails (someone
+        # else moved it while we copied): the half-made copy must be
+        # rolled back and the move reported lost
+        def conflict(op, key):
+            return (op == "delete_if_generation"
+                    and os.sep + "tasks" + os.sep in key)
+
+        store = ObjectStore(LocalObjectStore(conflict_hook=conflict))
+        root = str(tmp_path)
+        _enqueue(root, double, [7], store=store)
+        assert claim_next_task(root, store=store) is None
+        clean = ObjectStore(LocalObjectStore())
+        assert clean.list_dir(os.path.join(root, "claims")) == []
+        assert len(clean.list_dir(os.path.join(root, "tasks"))) == 1
+
+    def test_rollback_cannot_destroy_a_later_actors_object(self, tmp_path):
+        # the rollback delete is guarded by the generation the mover
+        # itself created: if another actor replaced the key meanwhile,
+        # the stale rollback must be a no-op
+        objects = LocalObjectStore()
+        key = str(tmp_path / "bucket" / "claims" / "task-0000000.pkl")
+        created = objects.put_if_absent_with_generation(key, b"mine")
+        assert created is not None
+        objects.delete(key)
+        objects.put(key, b"theirs")  # a later claimant's object
+        assert objects.delete_if_generation(key, created) is False
+        assert objects.get(key) == b"theirs"
+
+    def test_lost_heartbeat_expiry_requeues_over_object_store(self, tmp_path):
+        # a claimant that stops heartbeating loses the task one lease
+        # length after its last renewal — deterministic via now=
+        store = ObjectStore(LocalObjectStore())
+        root = str(tmp_path)
+        _enqueue(root, double, [21], store=store)
+        claimed = claim_next_task(root, lease_s=5.0, owner="dead:1",
+                                  store=store)
+        deadline = read_lease(claimed, store=store)["deadline"]
+        assert not janitor.reap_layout(root, now=deadline - 0.1, store=store)
+        report = janitor.reap_layout(root, now=deadline + 0.1, store=store)
+        assert report.requeued == (0,)
+        # the recovered task completes with the oracle result
+        assert serve(root, store=store) == 1
+        assert _collect(root, 1, store=store) == [42]
+
+    def test_crashed_claim_move_is_absorbed_by_the_reaper(self, tmp_path):
+        # a worker that died between the conditional create of the claim
+        # and the guarded delete of the task leaves the payload under
+        # BOTH keys; re-claims are blocked (the claims key is occupied)
+        # until the reaper absorbs the stale orphan and the task runs
+        store = ObjectStore(LocalObjectStore())
+        root = str(tmp_path)
+        _enqueue(root, double, [21], store=store)
+        task_key = os.path.join(root, "tasks", "task-0000000.pkl")
+        claim_key = os.path.join(root, "claims", "task-0000000.pkl")
+        store.put(claim_key, store.get(task_key))  # crash mid-move
+        assert claim_next_task(root, store=store) is None  # blocked
+        # the sidecar-less orphan expires one default lease after its
+        # creation; the absorb path re-queues without losing the task
+        report = janitor.reap_layout(
+            root, now=time.time() + 2 * 3600.0, store=store
+        )
+        assert report.requeued == (0,)
+        assert store.get(claim_key) is None
+        assert store.get(task_key) is not None
+        assert serve(root, store=store) == 1
+        assert _collect(root, 1, store=store) == [42]
+
+    def test_absorb_defuses_a_stalled_movers_pending_delete(self, tmp_path):
+        # the mover may have STALLED (GC pause, SIGSTOP) rather than
+        # died: its generation-guarded delete of tasks/T is still
+        # pending.  The absorb must bump the surviving copy's
+        # generation first, so that pending delete fails instead of
+        # removing the task's last copy
+        objects = LocalObjectStore()
+        store = ObjectStore(objects)
+        root = str(tmp_path)
+        _enqueue(root, double, [21], store=store)
+        task_key = os.path.join(root, "tasks", "task-0000000.pkl")
+        claim_key = os.path.join(root, "claims", "task-0000000.pkl")
+        # stalled claimant W: read tasks/T (generation G), copy it into
+        # claims/T, then stall before the guarded delete of tasks/T
+        data, stalled_generation = objects.get_with_generation(task_key)
+        store.put(claim_key, data)
+        # the reaper absorbs the orphan once its lease expires
+        report = janitor.reap_layout(
+            root, now=time.time() + 2 * 3600.0, store=store
+        )
+        assert report.requeued == (0,)
+        # W wakes up and fires its pending guarded delete: it must lose
+        assert objects.delete_if_generation(
+            task_key, stalled_generation) is False
+        assert store.get(task_key) is not None  # the task survived
+        assert serve(root, store=store) == 1
+        assert _collect(root, 1, store=store) == [42]
+
+    def test_crashed_quarantine_move_is_absorbed_too(self, tmp_path):
+        # same double-key state, but between claims/ and failed/: the
+        # quarantine must complete instead of retrying forever
+        store = ObjectStore(LocalObjectStore())
+        root = str(tmp_path)
+        _enqueue(root, double, [3], store=store)
+        claimed = claim_next_task(root, lease_s=5.0, store=store)
+        failed_key = os.path.join(root, "failed", "task-0000000.pkl")
+        store.put(failed_key, store.get(claimed))  # crash mid-quarantine
+        report = janitor.reap_layout(
+            root, now=time.time() + 3600.0, max_retries=0, store=store
+        )
+        assert report.quarantined == (0,)
+        assert store.get(claimed) is None
+        with pytest.raises(RuntimeError, match="quarantined"):
+            _collect(root, 1, store=store)
+
+    def test_executor_end_to_end_with_injected_latency(self, tmp_path):
+        # the whole enqueue/claim/heartbeat/collect cycle tolerates a
+        # slow object store (every round trip pays 2 ms)
+        store = ObjectStore(LocalObjectStore(latency_s=0.002))
+        executor = QueueExecutor(str(tmp_path), store=store, lease_s=5.0)
+        assert executor.map(double, range(4)) == [0, 2, 4, 6]
+
+    def test_empty_layout_stays_discoverable(self, tmp_path):
+        # object stores have no directories: a fully-claimed (momentarily
+        # empty) layout must still be found by workers scanning the root
+        store = ObjectStore(LocalObjectStore())
+        root = str(tmp_path)
+        init_queue_dirs(root, store=store)
+        assert store.is_layout(root)
+        assert store.list_layouts(root, run_prefix="run-") == [root]
+
+
+# --------------------------------------------------------------------------- #
+# Absolute-deadline leases: clock-skew independence + legacy fallback
+# --------------------------------------------------------------------------- #
+
+class TestLeaseDeadlines:
+    @pytest.mark.parametrize("store_name", STORES)
+    def test_deadline_lives_in_the_record_on_every_backend(
+            self, tmp_path, store_name):
+        store = make_store(store_name)
+        root = str(tmp_path)
+        _enqueue(root, double, [1], store=store)
+        claimed = claim_next_task(root, lease_s=12.0, store=store)
+        lease = store.read_lease(claimed)
+        assert lease["deadline"] == pytest.approx(time.time() + 12.0, abs=2.0)
+
+    def test_stale_storage_mtime_cannot_expire_a_live_lease(self, tmp_path):
+        # the NFS/object-store clock-skew case: the shared dir's mtime
+        # reads an hour old, but the lease record's absolute deadline is
+        # in the future — the reaper must trust the record
+        store = DirStore()
+        root = str(tmp_path)
+        _enqueue(root, double, [1], store=store)
+        claimed = claim_next_task(root, lease_s=30.0, store=store)
+        stale = time.time() - 3600.0
+        os.utime(claimed, (stale, stale))
+        assert not janitor.reap_layout(root, store=store)
+
+    def test_fresh_storage_mtime_cannot_keep_an_expired_lease(self, tmp_path):
+        # ...and the mirror image: a fresh mtime (file-server clock ahead)
+        # must not keep a lease alive past its recorded deadline
+        store = DirStore()
+        root = str(tmp_path)
+        _enqueue(root, double, [1], store=store)
+        claimed = claim_next_task(root, lease_s=5.0, store=store)
+        record = dict(store.read_lease(claimed))
+        record["deadline"] = time.time() - 100.0
+        store.write_lease(claimed, record)
+        os.utime(claimed)  # storage says "just renewed"
+        assert janitor.reap_layout(root, store=store).requeued == (0,)
+
+    def test_legacy_sidecar_without_deadline_falls_back_to_mtime(
+            self, tmp_path):
+        # sidecars written by the pre-store code carry {owner, lease_s}
+        # only; expiry then derives from the claim mtime, exactly the old
+        # behaviour, so mixed-version fleets agree
+        store = DirStore()
+        root = str(tmp_path)
+        _enqueue(root, double, [1], store=store)
+        claimed = claim_next_task(root, lease_s=5.0, store=store)
+        store.put(claimed + ".lease",
+                  pickle.dumps({"owner": "legacy:1", "lease_s": 5.0}))
+        assert not janitor.reap_layout(root, store=store)  # mtime is fresh
+        stale = time.time() - 1000.0
+        os.utime(claimed, (stale, stale))
+        assert janitor.reap_layout(root, store=store).requeued == (0,)
+
+    @pytest.mark.parametrize("store_name", STORES)
+    def test_corrupt_lease_length_is_tolerated_everywhere(self, tmp_path,
+                                                          store_name):
+        # a hand-edited/corrupt sidecar with a non-numeric lease_s must
+        # not crash status/autoscale/reaping — every consumer falls back
+        # to the default lease length
+        store = make_store(store_name)
+        root = str(tmp_path)
+        _enqueue(root, double, [1], store=store)
+        claimed = claim_next_task(root, lease_s=30.0, store=store)
+        store.write_lease(claimed, {"owner": "odd:1", "lease_s": "soon",
+                                    "deadline": time.time() + 30.0})
+        summary = janitor.status(root, store=store)
+        assert summary["claimed"] == 1
+        advisory = janitor.autoscale_advisory(root, store=store)
+        assert advisory["live_workers"] == 1
+        assert not janitor.reap_layout(root, store=store)
+
+    def test_renewal_preserves_a_new_claimants_identity(self, tmp_path):
+        # after an expiry + re-claim, the old holder's heartbeat may still
+        # fire once: it must extend the deadline without rewriting the new
+        # claimant's owner field
+        store = DirStore()
+        root = str(tmp_path)
+        _enqueue(root, double, [1], store=store)
+        claimed = claim_next_task(root, owner="new-holder:2", lease_s=10.0,
+                                  store=store)
+        assert store.renew_lease(claimed, default_lease_s=10.0)
+        assert store.read_lease(claimed)["owner"] == "new-holder:2"
+
+
+# --------------------------------------------------------------------------- #
+# DirStore layout compatibility with queues created by the pre-store code
+# --------------------------------------------------------------------------- #
+
+class TestDirStoreLayoutCompat:
+    def test_handwritten_legacy_queue_is_served(self, tmp_path):
+        # simulate a queue dir written by the PR-4 code: plain pickles in
+        # tasks/, no store involved — the new code must drain it as-is
+        root = str(tmp_path)
+        for sub in ("tasks", "claims", "results", "failed", "attempts",
+                    "tmp"):
+            os.makedirs(os.path.join(root, sub))
+        for index, value in enumerate([4, 5]):
+            with open(os.path.join(root, "tasks",
+                                   f"task-{index:07d}.pkl"), "wb") as handle:
+                pickle.dump((index, double, value), handle)
+        assert serve(root, store="dir") == 2
+        assert _collect(root, 2, store="dir") == [8, 10]
+
+    def test_new_code_writes_the_same_task_bytes(self, tmp_path):
+        legacy = str(tmp_path / "legacy")
+        fresh = str(tmp_path / "fresh")
+        os.makedirs(os.path.join(legacy, "tasks"))
+        with open(os.path.join(legacy, "tasks", "task-0000000.pkl"),
+                  "wb") as handle:
+            pickle.dump((0, double, 3), handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        _enqueue(fresh, double, [3], store=DirStore())
+        with open(os.path.join(legacy, "tasks", "task-0000000.pkl"),
+                  "rb") as handle:
+            legacy_bytes = handle.read()
+        with open(os.path.join(fresh, "tasks", "task-0000000.pkl"),
+                  "rb") as handle:
+            fresh_bytes = handle.read()
+        assert fresh_bytes == legacy_bytes
+
+    def test_results_remain_plain_loose_pickles(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, [6], store=DirStore())
+        serve(root, store="dir", compact_threshold=0)
+        with open(os.path.join(root, "results", "task-0000000.pkl"),
+                  "rb") as handle:
+            assert pickle.load(handle) == (0, True, 12)
+
+
+# --------------------------------------------------------------------------- #
+# Cleanup enforcement: storage side effects live in store.py only
+# --------------------------------------------------------------------------- #
+
+#: os attributes that ARE storage side effects (moves, links, deletes,
+#: listings, timestamp reads/writes) — the store seam owns all of them
+_FORBIDDEN_OS_ATTRS = {
+    "rename", "replace", "link", "remove", "unlink", "listdir", "scandir",
+    "utime", "makedirs", "mkdir", "rmdir", "stat",
+}
+_FORBIDDEN_OSPATH_ATTRS = {"getmtime", "getctime", "getatime", "getsize"}
+
+
+def _storage_side_effects(path: str):
+    """(line, offence) pairs of direct storage calls in one module."""
+    with open(path, encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    offences = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "os" \
+                    and node.attr in _FORBIDDEN_OS_ATTRS:
+                offences.append((node.lineno, f"os.{node.attr}"))
+            if isinstance(base, ast.Attribute) \
+                    and isinstance(base.value, ast.Name) \
+                    and base.value.id == "os" and base.attr == "path" \
+                    and node.attr in _FORBIDDEN_OSPATH_ATTRS:
+                offences.append((node.lineno, f"os.path.{node.attr}"))
+            if node.attr == "st_mtime" or node.attr == "st_mtime_ns":
+                offences.append((node.lineno, node.attr))
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "open":
+            offences.append((node.lineno, "open()"))
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            names = [alias.name for alias in node.names]
+            if "shutil" in names or "tempfile" in names:
+                offences.append((node.lineno, f"import {names}"))
+    return offences
+
+
+@pytest.mark.parametrize("module", ["queue.py", "janitor.py"])
+def test_no_direct_storage_side_effects_outside_store(module):
+    """The refactor's cleanup rule, enforced: ``queue.py``/``janitor.py``
+    contain no renames, links, deletes, listings, mtime reads or raw
+    file opens — every storage side effect goes through the QueueStore
+    seam in ``store.py``."""
+    offences = _storage_side_effects(os.path.join(SRC_RUNTIME_DIR, module))
+    assert offences == [], (
+        f"direct storage side effects in runtime/{module}: {offences} — "
+        "route them through repro.runtime.store.QueueStore instead"
+    )
+
+
+def test_runtime_package_exports_the_store_surface():
+    import repro.runtime as runtime
+
+    for name in ("QueueStore", "DirStore", "ObjectStore",
+                 "LocalObjectStore", "resolve_store", "make_store",
+                 "store_from_env", "STORE_ENV", "STORES"):
+        assert name in runtime.__all__
+        assert getattr(runtime, name) is not None
+    assert issubclass(runtime.DirStore, QueueStore)
+    assert issubclass(runtime.ObjectStore, QueueStore)
