@@ -4,7 +4,9 @@
 Extracts the key metrics of the committed benchmark artifacts — conv-kernel
 speedups and the dir/object queue-store protocol overheads from
 ``BENCH_sweep.json``, end-to-end packed img/s and speedups plus the
-multi-worker chunk seam from ``BENCH_inference.json`` — and
+multi-worker chunk seam from ``BENCH_inference.json``, and the serving
+layer's per-flush-policy req/s + latency percentiles from
+``BENCH_serving.json`` — and
 appends them as one labelled entry to ``BENCH_trend.json``.  The trend file
 is committed, so the performance trajectory of the repository is diffable
 PR-over-PR, and ``benchmarks/check_perf_regression.py`` prints the delta of
@@ -52,10 +54,16 @@ TREND_METRICS = {
     "queue_overhead_ms_per_task_object": (
         "sweep",
         "queue_fleet_bench.stores.object.protocol_overhead_ms_per_task"),
+    "serving_best_rps": ("serving", "best.requests_per_s"),
+    "serving_best_p50_ms": ("serving", "best.p50_ms"),
+    "serving_best_p99_ms": ("serving", "best.p99_ms"),
 }
 
 #: per-network end-to-end metrics pulled from the inference artifact
 NETWORK_METRICS = ("packed_images_per_s", "speedup_vs_dense")
+
+#: per-flush-policy metrics pulled from the serving artifact
+SERVING_POLICY_METRICS = ("requests_per_s", "p50_ms", "p99_ms")
 
 
 def _git_label() -> str:
@@ -80,10 +88,11 @@ def _load_artifact(path: str) -> Optional[Mapping[str, object]]:
 
 
 def extract_metrics(sweep: Optional[Mapping[str, object]],
-                    inference: Optional[Mapping[str, object]]
+                    inference: Optional[Mapping[str, object]],
+                    serving: Optional[Mapping[str, object]] = None,
                     ) -> Dict[str, float]:
-    """Flatten the tracked metrics out of the two benchmark artifacts."""
-    artifacts = {"sweep": sweep, "inference": inference}
+    """Flatten the tracked metrics out of the benchmark artifacts."""
+    artifacts = {"sweep": sweep, "inference": inference, "serving": serving}
     metrics: Dict[str, float] = {}
     for name, (artifact_key, dotted) in TREND_METRICS.items():
         payload = artifacts[artifact_key]
@@ -99,6 +108,13 @@ def extract_metrics(sweep: Optional[Mapping[str, object]],
                 value = resolve_metric(networks, f"{network}.{metric}")
                 if value is not None:
                     metrics[f"{network}.{metric}"] = value
+    policies = (serving or {}).get("policies")
+    if isinstance(policies, Mapping):
+        for policy in sorted(policies):
+            for metric in SERVING_POLICY_METRICS:
+                value = resolve_metric(policies, f"{policy}.{metric}")
+                if value is not None:
+                    metrics[f"serving.{policy}.{metric}"] = value
     return metrics
 
 
@@ -168,6 +184,10 @@ def main(argv=None) -> int:
         help="inference benchmark artifact to read",
     )
     parser.add_argument(
+        "--serving", default=os.path.join(REPO_ROOT, "BENCH_serving.json"),
+        help="serving benchmark artifact to read",
+    )
+    parser.add_argument(
         "--trend", default=None,
         help="trend file to append to (default: the committed "
              "BENCH_trend.json, or BENCH_trend.smoke.json under --smoke "
@@ -187,22 +207,27 @@ def main(argv=None) -> int:
     if trend_path is None:
         trend_path = SMOKE_TREND_PATH if args.smoke else DEFAULT_TREND_PATH
     sweep_path, inference_path = args.sweep, args.inference
+    serving_path = args.serving
     if args.smoke:
         sweep_path = sweep_path.replace(".json", ".smoke.json")
         inference_path = inference_path.replace(".json", ".smoke.json")
+        serving_path = serving_path.replace(".json", ".smoke.json")
     sweep = _load_artifact(sweep_path)
     inference = _load_artifact(inference_path)
-    if sweep is None and inference is None:
-        print(f"no artifacts found at {sweep_path} / {inference_path}")
+    serving = _load_artifact(serving_path)
+    if sweep is None and inference is None and serving is None:
+        print(f"no artifacts found at {sweep_path} / {inference_path} / "
+              f"{serving_path}")
         return 1
-    metrics = extract_metrics(sweep, inference)
+    metrics = extract_metrics(sweep, inference, serving)
     if not metrics:
         print("artifacts carried none of the tracked metrics")
         return 1
     entry: Dict[str, object] = {
         "label": args.label or _git_label(),
         "smoke": bool(args.smoke or (sweep or {}).get("smoke")
-                      or (inference or {}).get("smoke")),
+                      or (inference or {}).get("smoke")
+                      or (serving or {}).get("smoke")),
         "metrics": metrics,
     }
     entries = append_entry(trend_path, entry)

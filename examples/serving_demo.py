@@ -1,0 +1,158 @@
+"""Online serving demo: micro-batching, backpressure, graceful drain.
+
+Run with ``python examples/serving_demo.py [--network NAME] [--clients N]
+[--requests N]``.
+
+The paper's accelerator amortises its dense-prefix and ADC cost across
+packed batches, so an online deployment wants request *coalescing*: this
+demo builds one packed :class:`repro.bnn.model.InferenceEngine`, wraps
+it in an :class:`repro.serving.InferenceService` (bounded queue +
+deadline-flushed micro-batches + admission gates), then
+
+1. drives it with concurrent closed-loop client threads and prints the
+   machine-readable ``stats()`` snapshot — latency percentiles, queue
+   and occupancy gauges, flush-trigger mix;
+2. demonstrates backpressure: a tight token-bucket
+   :class:`repro.serving.RateLimiter` sheds the over-budget tail of a
+   burst, visibly, in the rejection counters;
+3. walks the operator CLI (``python -m repro.serving``) as a subprocess
+   and drains it gracefully with SIGTERM, exactly as a supervisor
+   (systemd, Kubernetes) would stop a serving replica.
+
+``docs/serving.md`` is the companion tuning guide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.bnn.model import InferenceEngine
+from repro.bnn.networks import build_network, list_networks
+from repro.serving import InferenceService, RateLimiter, RejectedError
+from repro.utils.rng import make_rng
+
+
+def _drive(service: InferenceService, images: np.ndarray, *,
+           clients: int, total: int) -> dict:
+    """Closed-loop client threads; returns completion/rejection counts."""
+    remaining = [total]
+    lock = threading.Lock()
+    counts = {"completed": 0, "rejected": 0}
+
+    def take() -> bool:
+        with lock:
+            if remaining[0] <= 0:
+                return False
+            remaining[0] -= 1
+            return True
+
+    def client(offset: int) -> None:
+        cursor = offset
+        while take():
+            image = images[cursor % len(images)]
+            cursor += 1
+            try:
+                service.submit(image).result(timeout=30.0)
+                with lock:
+                    counts["completed"] += 1
+            except RejectedError:
+                with lock:
+                    counts["rejected"] += 1
+
+    threads = [threading.Thread(target=client, args=(n,))
+               for n in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return counts
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--network", default="MLP-S", choices=list_networks())
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    model = build_network(args.network)
+    engine = InferenceEngine(model)
+    images = make_rng(args.seed).uniform(-1.0, 1.0,
+                                         size=(64, *model.input_shape))
+
+    # --- 1. concurrent clients through the micro-batching front door ----
+    print(f"[serve] {args.network}: {args.clients} closed-loop clients, "
+          f"{args.requests} requests, flush policy max_batch=8 / 2ms")
+    with InferenceService(engine, max_batch=8, max_delay_ms=2.0,
+                          queue_capacity=256) as service:
+        started = time.monotonic()
+        counts = _drive(service, images, clients=args.clients,
+                        total=args.requests)
+        elapsed = time.monotonic() - started
+        stats = service.stats()
+    print(f"[serve] {counts['completed']} served in {elapsed:.2f}s "
+          f"({counts['completed'] / max(elapsed, 1e-9):.0f} req/s)")
+    print("[serve] stats snapshot (the same JSON the CLI streams):")
+    print(json.dumps({"latency_ms": stats["latency_ms"],
+                      "batches": stats["batches"],
+                      "queue": stats["queue"]}, indent=2, sort_keys=True))
+    served_pred = int(np.argmax(engine.forward_batch(
+        images[:1], batch_size=1)))
+    print(f"[serve] exactness contract: served logits replay the engine "
+          f"bit-for-bit per flushed batch (class {served_pred} for "
+          f"image 0 either way; see docs/serving.md)")
+
+    # --- 2. backpressure: a tight rate limit sheds the burst tail -------
+    limiter = RateLimiter(50.0, burst=16)
+    print("\n[backpressure] re-serving under a 50 req/s token bucket "
+          "(burst 16) — the over-budget tail is rejected, not queued:")
+    with InferenceService(engine, max_batch=8, max_delay_ms=2.0,
+                          rate_limiter=limiter) as service:
+        counts = _drive(service, images, clients=args.clients, total=64)
+        rejected = service.stats()["requests"]["rejected"]
+    print(f"[backpressure] completed={counts['completed']} "
+          f"rejected={counts['rejected']} (by reason: {rejected})")
+
+    # --- 3. the operator CLI, drained with SIGTERM like a real replica --
+    print("\n[drain] launching the operator CLI: python -m repro.serving "
+          f"--network {args.network} --clients 2 --requests 0 "
+          "--duration-s 30 ... then SIGTERM once it is serving")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serving", "--network", args.network,
+         "--clients", "2", "--requests", "0", "--duration-s", "30",
+         "--think-ms", "5", "--stats-interval-s", "0.5"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    lines = []
+    try:
+        assert process.stdout is not None
+        for line in process.stdout:  # wait until the replica is serving:
+            lines.append(line.rstrip())
+            if line.lstrip().startswith("{"):
+                break  # the first stats snapshot means traffic is flowing
+        process.terminate()  # SIGTERM: the CLI drains in-flight work
+        output, _ = process.communicate(timeout=60)
+        lines.extend(output.splitlines())
+    finally:
+        if process.poll() is None:
+            process.kill()
+    for line in [text for text in lines if text][-2:]:
+        print(f"[drain] {line}")
+    print(f"[drain] CLI exited {process.returncode} after a graceful drain")
+
+    print("\nTake-away: deadline-flushed micro-batching recovers the "
+          "packed engine's batch economics for single-image online "
+          "traffic, and every admission decision is observable in the "
+          "stats snapshot instead of silent.")
+
+
+if __name__ == "__main__":
+    main()

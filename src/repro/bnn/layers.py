@@ -16,7 +16,8 @@ on NumPy arrays so the whole stack runs without any deep-learning framework.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import threading
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -100,35 +101,66 @@ class _BinaryWeightCache:
     place between forwards), and on :meth:`clip_latent_weights`.  Code that
     mutates ``params['weight']`` outside the training protocol must call
     :meth:`invalidate_weight_cache` explicitly.
+
+    Get-or-compute and invalidation are serialised by a per-layer lock so
+    eval-mode layers are safe to share across threads (the serving layer
+    keeps one compiled :class:`~repro.bnn.model.InferenceEngine` alive
+    across a dispatcher thread while clients probe the same model; without
+    the lock two first-touch threads could each pack the weights, or a
+    concurrent ``invalidate`` could expose a half-populated entry).  The
+    lock is recreated — not shipped — on unpickling, so engines still
+    cross the process/queue backends' IPC boundary.
     """
 
     def _init_weight_cache(self) -> None:
         self._weight_cache: Dict[str, object] = {}
+        # reentrant: packing the fused operands reads `binary_weight`,
+        # which re-enters the get-or-compute path on the same thread
+        self._weight_cache_lock = threading.RLock()
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        # locks are not picklable; __setstate__ makes a fresh one
+        state.pop("_weight_cache_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._weight_cache_lock = threading.RLock()
 
     def invalidate_weight_cache(self) -> None:
         """Drop the cached binary/packed weights (after a weight mutation)."""
-        self._weight_cache.clear()
+        with self._weight_cache_lock:
+            self._weight_cache.clear()
 
     def _pack_weight_operands(self) -> PackedWeights:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def _cached_weight_operand(self, key: str,
+                               compute: "Callable[[], object]") -> object:
+        """Get-or-compute one cache entry under the per-layer lock.
+
+        Holding the lock across ``compute`` means a concurrent first touch
+        blocks instead of duplicating the (deterministic but costly)
+        binarise/pack work, and never observes a partially-published entry.
+        """
+        with self._weight_cache_lock:
+            cached = self._weight_cache.get(key)
+            if cached is None:
+                cached = compute()
+                self._weight_cache[key] = cached
+            return cached
+
     @property
     def binary_weight(self) -> np.ndarray:
         """Bipolar {-1,+1} weights actually used at inference (memoised)."""
-        cached = self._weight_cache.get("binary")
-        if cached is None:
-            cached = binarize_sign(self.params["weight"])
-            self._weight_cache["binary"] = cached
-        return cached
+        return self._cached_weight_operand(
+            "binary", lambda: binarize_sign(self.params["weight"]))
 
     @property
     def packed_weights(self) -> PackedWeights:
         """Pre-packed fused-kernel operands for the binary weights (memoised)."""
-        cached = self._weight_cache.get("packed")
-        if cached is None:
-            cached = self._pack_weight_operands()
-            self._weight_cache["packed"] = cached
-        return cached
+        return self._cached_weight_operand("packed", self._pack_weight_operands)
 
     def train(self) -> None:
         super().train()

@@ -11,6 +11,12 @@ binary layers (no per-layer pack/unpack round trips), folds every
 inference-mode batch-norm + sign pair into exact integer thresholds on the
 popcount outputs, and optionally injects per-popcount bit-flip errors so
 accuracy-vs-read-noise curves come out of the same fast path.
+
+The engine is also the compute substrate of the online serving layer
+(:mod:`repro.serving`): one compiled engine stays alive for the lifetime of
+the service and every micro-batch flush runs through
+:meth:`InferenceEngine.forward_batch` — see the thread-safety notes on
+:class:`InferenceEngine`.
 """
 
 from __future__ import annotations
@@ -310,6 +316,20 @@ class InferenceEngine:
         (chunk offset, step), so results are deterministic for a given
         ``(seed, batch_size)`` no matter how calls are ordered or how many
         sweep workers share the grid.
+
+    **Thread safety** (audited for the serving layer).  After construction
+    the compiled plan — steps, folded sign specs, flip rates — is never
+    mutated by :meth:`forward_batch`, every execution-path read of layer
+    state goes through eval-mode (frozen) parameters, and the memoised
+    binarised/packed weight operands are published under each binary
+    layer's cache lock (see ``repro.bnn.layers._BinaryWeightCache``), so
+    concurrent :meth:`forward_batch` / :meth:`predict_batch` calls on one
+    engine are safe from any number of threads.  What is *not* safe
+    concurrently with in-flight forwards: :meth:`refresh` (it rebuilds
+    ``_steps`` in place), switching the model back to training mode, or
+    mutating weights/batch-norm statistics — quiesce the callers (e.g.
+    :meth:`repro.serving.InferenceService.close`) before doing any of
+    those, then :meth:`refresh` and restart.
     """
 
     def __init__(self, model: BNNModel, *, kernel: str = "auto",

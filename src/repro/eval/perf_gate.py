@@ -2,15 +2,18 @@
 
 The smoke benchmarks record their measurements into ``BENCH_*.smoke.json``
 artifacts; this module compares selected metrics inside those payloads
-against committed minimum thresholds (``benchmarks/perf_thresholds.json``)
-so a perf regression fails the CI benchmark job instead of silently
-shifting the artifact trend.
+against committed thresholds (``benchmarks/perf_thresholds.json``) so a
+perf regression fails the CI benchmark job instead of silently shifting
+the artifact trend.
 
 The thresholds file maps artifact file names to ``{dotted.metric.path:
-minimum}`` entries; dotted paths are resolved into the artifact's nested
-JSON payload.  :func:`check_artifacts` returns one :class:`GateCheck` per
-threshold (passing and failing alike) — the gate passes when every check's
-``passed`` is true.  The CLI wrapper lives in
+bound}`` entries; dotted paths are resolved into the artifact's nested
+JSON payload.  A bound is either a bare number — a *minimum*, the
+historical form, right for throughput/speedup floors — or an object with
+``"min"`` and/or ``"max"`` keys, the latter being how latency ceilings
+(the serving smoke p99) are gated.  :func:`check_artifacts` returns one
+:class:`GateCheck` per threshold (passing and failing alike) — the gate
+passes when every check's ``passed`` is true.  The CLI wrapper lives in
 ``benchmarks/check_perf_regression.py``.
 """
 
@@ -19,7 +22,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Tuple
 
 
 @dataclass(frozen=True)
@@ -28,22 +31,50 @@ class GateCheck:
 
     artifact: str
     metric: str
-    minimum: float
+    minimum: float | None
     actual: float | None
+    maximum: float | None = None
 
     @property
     def passed(self) -> bool:
-        """Whether the metric exists and clears its minimum."""
-        return self.actual is not None and self.actual >= self.minimum
+        """Whether the metric exists and sits inside its bounds."""
+        if self.actual is None:
+            return False
+        if self.minimum is not None and self.actual < self.minimum:
+            return False
+        if self.maximum is not None and self.actual > self.maximum:
+            return False
+        return True
 
     def describe(self) -> str:
         """One-line human-readable summary of this check."""
         status = "ok  " if self.passed else "FAIL"
         actual = "missing" if self.actual is None else f"{self.actual:.3f}"
+        bounds = []
+        if self.minimum is not None:
+            bounds.append(f"minimum {self.minimum:.3f}")
+        if self.maximum is not None:
+            bounds.append(f"maximum {self.maximum:.3f}")
         return (
             f"[{status}] {self.artifact}: {self.metric} = {actual} "
-            f"(minimum {self.minimum:.3f})"
+            f"({', '.join(bounds) if bounds else 'no bounds'})"
         )
+
+
+def parse_bounds(bound: object) -> Tuple[float | None, float | None]:
+    """Normalise one threshold entry into a ``(minimum, maximum)`` pair.
+
+    A bare number is a minimum (the historical thresholds-file form); a
+    mapping may carry ``"min"`` and/or ``"max"``.
+    """
+    if isinstance(bound, Mapping):
+        minimum = bound.get("min")
+        maximum = bound.get("max")
+        return (
+            float(minimum) if minimum is not None else None,
+            float(maximum) if maximum is not None else None,
+        )
+    return float(bound), None  # type: ignore[arg-type]
 
 
 def resolve_metric(payload: Mapping[str, object], dotted_path: str):
@@ -64,21 +95,23 @@ def resolve_metric(payload: Mapping[str, object], dotted_path: str):
 
 
 def check_payload(artifact: str, payload: Mapping[str, object],
-                  thresholds: Mapping[str, float]) -> List[GateCheck]:
+                  thresholds: Mapping[str, object]) -> List[GateCheck]:
     """Compare one artifact payload against its metric thresholds."""
     checks = []
-    for metric, minimum in sorted(thresholds.items()):
+    for metric, bound in sorted(thresholds.items()):
+        minimum, maximum = parse_bounds(bound)
         checks.append(GateCheck(
             artifact=artifact,
             metric=metric,
-            minimum=float(minimum),
+            minimum=minimum,
+            maximum=maximum,
             actual=resolve_metric(payload, metric),
         ))
     return checks
 
 
 def check_artifacts(root: str,
-                    spec: Mapping[str, Mapping[str, float]]) -> List[GateCheck]:
+                    spec: Mapping[str, Mapping[str, object]]) -> List[GateCheck]:
     """Run every threshold of ``spec`` against the artifacts under ``root``.
 
     ``spec`` maps artifact file names (relative to ``root``) to their
@@ -102,7 +135,38 @@ def check_artifacts(root: str,
     return checks
 
 
-def load_thresholds(path: str) -> Dict[str, Dict[str, float]]:
+def _validate_bound(artifact: str, metric: str, bound: object) -> None:
+    if isinstance(bound, bool):
+        raise ValueError(
+            f"bound for {artifact!r}:{metric!r} must be a number"
+        )
+    if isinstance(bound, (int, float)):
+        return
+    if isinstance(bound, dict):
+        unknown = set(bound) - {"min", "max"}
+        if unknown or not bound:
+            raise ValueError(
+                f"bound for {artifact!r}:{metric!r} must carry only "
+                f"'min'/'max' keys (at least one)"
+            )
+        for key, value in bound.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"{key!r} of {artifact!r}:{metric!r} must be a number"
+                )
+        minimum, maximum = parse_bounds(bound)
+        if minimum is not None and maximum is not None and minimum > maximum:
+            raise ValueError(
+                f"bound for {artifact!r}:{metric!r} has min > max"
+            )
+        return
+    raise ValueError(
+        f"bound for {artifact!r}:{metric!r} must be a number or a "
+        f"min/max mapping"
+    )
+
+
+def load_thresholds(path: str) -> Dict[str, Dict[str, object]]:
     """Load and validate a thresholds file."""
     with open(path, "r", encoding="utf-8") as handle:
         spec = json.load(handle)
@@ -113,9 +177,6 @@ def load_thresholds(path: str) -> Dict[str, Dict[str, float]]:
             raise ValueError(
                 f"thresholds for {artifact!r} must be a non-empty mapping"
             )
-        for metric, minimum in thresholds.items():
-            if isinstance(minimum, bool) or not isinstance(minimum, (int, float)):
-                raise ValueError(
-                    f"minimum for {artifact!r}:{metric!r} must be a number"
-                )
+        for metric, bound in thresholds.items():
+            _validate_bound(artifact, metric, bound)
     return spec

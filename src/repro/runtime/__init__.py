@@ -46,7 +46,13 @@ from repro.runtime.executors import (
     make_executor,
     resolve_executor,
 )
-from repro.runtime.measure import Measurement, measure, measure_pair
+from repro.runtime.measure import (
+    Measurement,
+    measure,
+    measure_pair,
+    percentile,
+    percentiles,
+)
 from repro.runtime.queue import QueueExecutor
 from repro.runtime.store import (
     STORE_ENV,
@@ -84,6 +90,8 @@ __all__ = [
     "make_store",
     "measure",
     "measure_pair",
+    "percentile",
+    "percentiles",
     "resolve_executor",
     "resolve_store",
     "run_serially",

@@ -9,15 +9,57 @@ which backend runs the repetitions.  Timing repetitions default to the
 serial backend — wall-clock measurements only make sense without
 co-scheduled siblings — but *independent* measurement tasks (different
 configurations of one bench) can fan out across any executor.
+
+:func:`percentile` / :func:`percentiles` are the shared order-statistic
+helpers: benchmarks summarise repetition samples with them and the
+serving layer (:mod:`repro.serving.metrics`) computes its streaming
+p50/p95/p99 latency snapshot over the same rule.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.executors import Executor, SerialExecutor
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` (linear interpolation).
+
+    ``q`` is in ``[0, 100]``.  Uses the same linear-interpolation rule as
+    ``numpy.percentile``'s default, but stays pure python so the serving
+    metrics path never copies its latency window into an array per
+    snapshot.  Raises :class:`ValueError` on an empty sample set — the
+    caller decides what an absent percentile means.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q!r}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+
+
+def percentiles(samples: Sequence[float],
+                qs: Sequence[float] = (50.0, 95.0, 99.0)
+                ) -> Dict[float, float]:
+    """Several percentiles of one sample set, sorted once.
+
+    Returns ``{q: value}`` for every ``q`` in ``qs`` — the helper behind
+    the serving layer's p50/p95/p99 snapshot.
+    """
+    if not samples:
+        raise ValueError("percentiles of an empty sample set")
+    ordered = sorted(samples)
+    return {q: percentile(ordered, q) for q in qs}
 
 
 @dataclass(frozen=True)
@@ -60,6 +102,10 @@ class Measurement:
         if estimator not in ("median", "best", "mean"):
             raise ValueError("estimator must be 'median', 'best' or 'mean'")
         return items / getattr(self, estimator)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the repetition samples."""
+        return percentile(self.seconds, q)
 
 
 def _timed_call(fn: Callable[[], object]) -> float:

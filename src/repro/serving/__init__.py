@@ -1,0 +1,60 @@
+"""Online inference serving: micro-batching, backpressure, observability.
+
+The serving layer turns the repository's batch-oriented packed inference
+path (:class:`repro.bnn.model.InferenceEngine`) into a long-lived,
+thread-based front door for concurrent single-image clients — the
+accelerator modelled here amortises its dense-prefix and ADC costs
+across packed batches, so coalescing request traffic into
+deadline-flushed micro-batches is what the hardware economics want:
+
+* :mod:`repro.serving.batcher` — :class:`MicroBatcher`: bounded request
+  queue, a dispatcher thread flushing size- or deadline-triggered
+  batches through ``forward_batch``, futures fanning results back out.
+* :mod:`repro.serving.admission` — backpressure and robustness:
+  wait-budget fast-reject, token-bucket :class:`RateLimiter`,
+  three-state :class:`CircuitBreaker`, the typed rejection errors.
+* :mod:`repro.serving.metrics` — :class:`ServingMetrics`: per-request
+  monotonic timestamps, streaming p50/p95/p99, queue/occupancy gauges,
+  EWMA throughput, one machine-readable ``stats()`` snapshot.
+* :mod:`repro.serving.service` — :class:`InferenceService` composing
+  the three, and the graceful-drain lifecycle.
+* ``python -m repro.serving`` — the operator CLI: serve a workload
+  under synthetic client load and stream stats snapshots
+  (``docs/serving.md`` is the runbook).
+
+``benchmarks/bench_serving.py`` sweeps the flush policy into
+``BENCH_serving.json`` and CI gates its smoke p99/rps via
+``benchmarks/perf_thresholds.json``.
+"""
+
+from repro.serving.admission import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineError,
+    QueueFullError,
+    RateLimitedError,
+    RateLimiter,
+    RejectedError,
+    ServiceClosedError,
+    estimate_wait_s,
+)
+from repro.serving.batcher import FlushRecord, MicroBatcher
+from repro.serving.metrics import RequestTimestamps, ServingMetrics
+from repro.serving.service import InferenceService
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineError",
+    "FlushRecord",
+    "InferenceService",
+    "MicroBatcher",
+    "QueueFullError",
+    "RateLimitedError",
+    "RateLimiter",
+    "RejectedError",
+    "RequestTimestamps",
+    "ServiceClosedError",
+    "ServingMetrics",
+    "estimate_wait_s",
+]

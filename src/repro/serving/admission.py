@@ -1,0 +1,275 @@
+"""Admission control and robustness for the serving front door.
+
+Three independent gates run, cheapest first, before a request may enter
+the micro-batch queue (the adaptation of the ``aetherops`` queue idiom —
+``queue_health`` / ``estimate_wait_time`` / ``RateLimiter`` /
+``CircuitBreaker`` — to this repo's packed-inference serving path):
+
+1. :class:`CircuitBreaker` — sheds every request while the engine is
+   erroring or the service's p99 latency has breached its threshold,
+   instead of queueing work that is doomed to time out.  Classic three
+   states: *closed* (healthy), *open* (shedding), *half-open* (after a
+   cool-down, a limited number of probe requests test recovery).
+2. :class:`RateLimiter` — a token bucket smoothing bursts to a sustained
+   requests/sec budget.
+3. Wait-budget fast-reject — :func:`estimate_wait_s` projects how long a
+   new request would sit in the queue from the current depth, the EWMA
+   throughput and the flush deadline; when that exceeds the configured
+   deadline budget the request is rejected *now*, at submit, rather than
+   after burning its latency budget in the queue (bounded-queue
+   admission control).
+
+Every rejection raises a :class:`RejectedError` subclass carrying a
+machine-readable ``reason`` that the metrics count per reason.  All
+components take an injectable monotonic ``clock`` so the tests drive
+state transitions deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Optional
+
+#: circuit-breaker state names (exposed via :attr:`CircuitBreaker.state`)
+CIRCUIT_CLOSED = "closed"
+CIRCUIT_OPEN = "open"
+CIRCUIT_HALF_OPEN = "half-open"
+
+
+class RejectedError(RuntimeError):
+    """A request was refused admission; ``reason`` keys the metrics."""
+
+    reason = "rejected"
+
+
+class QueueFullError(RejectedError):
+    """The bounded request queue is at capacity."""
+
+    reason = "queue_full"
+
+
+class RateLimitedError(RejectedError):
+    """The token bucket is empty — the caller exceeded its rate budget."""
+
+    reason = "rate_limited"
+
+
+class CircuitOpenError(RejectedError):
+    """The circuit breaker is shedding load (engine errors / p99 breach)."""
+
+    reason = "circuit_open"
+
+
+class DeadlineError(RejectedError):
+    """Estimated queue wait exceeds the request's deadline budget."""
+
+    reason = "deadline"
+
+
+class ServiceClosedError(RejectedError):
+    """The service is draining or closed; no new work is accepted."""
+
+    reason = "closed"
+
+
+class RateLimiter:
+    """Token-bucket rate limiter: sustained ``rate_per_s``, burst ``burst``.
+
+    The bucket starts full and refills continuously; :meth:`try_acquire`
+    never blocks — serving rejects instead of queueing at the rate gate,
+    so a slow client cannot grow an invisible second queue.
+    """
+
+    def __init__(self, rate_per_s: float, burst: Optional[int] = None, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate_per_s <= 0.0:
+            raise ValueError("rate_per_s must be positive")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst) if burst is not None else max(
+            1, int(math.ceil(rate_per_s)))
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(self.burst)
+        self._last_refill = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0.0:
+            self._tokens = min(float(self.burst),
+                               self._tokens + elapsed * self.rate_per_s)
+            self._last_refill = now
+
+    def try_acquire(self, tokens: int = 1) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        if tokens < 1:
+            raise ValueError("tokens must be >= 1")
+        now = self._clock()
+        with self._lock:
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def available(self) -> float:
+        """Current token count (after refill) — a gauge, not a guarantee."""
+        now = self._clock()
+        with self._lock:
+            self._refill(now)
+            return self._tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RateLimiter(rate_per_s={self.rate_per_s}, burst={self.burst})"
+
+
+class CircuitBreaker:
+    """Load shedding on engine failures or a p99 latency breach.
+
+    *Closed* admits everything.  ``failure_threshold`` consecutive engine
+    failures — or any :meth:`record_p99` observation above
+    ``p99_threshold_ms`` — trip it *open*: every admission is refused for
+    ``reset_timeout_s``.  The first ``half_open_probes`` admissions after
+    the cool-down pass through as probes (*half-open*); a recorded
+    success closes the breaker, a failure (or another p99 breach) re-opens
+    it and restarts the cool-down.
+
+    The batcher reports outcomes per flushed micro-batch:
+    :meth:`record_success` / :meth:`record_failure` after each engine
+    call, and :meth:`record_p99` with the streaming percentile once the
+    latency window holds enough samples to be meaningful.
+    """
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 reset_timeout_s: float = 5.0,
+                 p99_threshold_ms: Optional[float] = None,
+                 half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0.0:
+            raise ValueError("reset_timeout_s must be positive")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        if p99_threshold_ms is not None and p99_threshold_ms <= 0.0:
+            raise ValueError("p99_threshold_ms must be positive")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.p99_threshold_ms = p99_threshold_ms
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CIRCUIT_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self._trips = 0
+        self._last_trip_cause: Optional[str] = None
+
+    @property
+    def state(self) -> str:
+        """Current state (recomputes open→half-open on the clock)."""
+        with self._lock:
+            self._maybe_half_open(self._clock())
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has opened since construction."""
+        with self._lock:
+            return self._trips
+
+    @property
+    def last_trip_cause(self) -> Optional[str]:
+        """``"failures"`` or ``"p99"`` — whatever last opened the breaker."""
+        with self._lock:
+            return self._last_trip_cause
+
+    def _maybe_half_open(self, now: float) -> None:
+        if (self._state == CIRCUIT_OPEN and self._opened_at is not None
+                and now - self._opened_at >= self.reset_timeout_s):
+            self._state = CIRCUIT_HALF_OPEN
+            self._probes_in_flight = 0
+
+    def _trip(self, now: float, cause: str) -> None:
+        self._state = CIRCUIT_OPEN
+        self._opened_at = now
+        self._trips += 1
+        self._last_trip_cause = cause
+        self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """Whether one admission may pass right now (counts probes)."""
+        now = self._clock()
+        with self._lock:
+            self._maybe_half_open(now)
+            if self._state == CIRCUIT_CLOSED:
+                return True
+            if self._state == CIRCUIT_HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                return False
+            return False
+
+    def record_success(self) -> None:
+        """An engine call (or probe) succeeded — close from half-open."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == CIRCUIT_HALF_OPEN:
+                self._state = CIRCUIT_CLOSED
+                self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        """An engine call failed — trip after the consecutive threshold."""
+        now = self._clock()
+        with self._lock:
+            self._maybe_half_open(now)
+            self._consecutive_failures += 1
+            if self._state == CIRCUIT_HALF_OPEN:
+                self._trip(now, "failures")
+            elif (self._state == CIRCUIT_CLOSED
+                  and self._consecutive_failures >= self.failure_threshold):
+                self._trip(now, "failures")
+
+    def record_p99(self, p99_ms: Optional[float]) -> None:
+        """Feed the streaming p99; above the threshold trips the breaker."""
+        if self.p99_threshold_ms is None or p99_ms is None:
+            return
+        now = self._clock()
+        with self._lock:
+            self._maybe_half_open(now)
+            if (p99_ms > self.p99_threshold_ms
+                    and self._state in (CIRCUIT_CLOSED, CIRCUIT_HALF_OPEN)):
+                self._trip(now, "p99")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failure_threshold={self.failure_threshold}, "
+                f"reset_timeout_s={self.reset_timeout_s})")
+
+
+def estimate_wait_s(queue_depth: int, *, max_batch: int, max_delay_s: float,
+                    ewma_rps: float) -> float:
+    """Projected queue wait of the *next* admitted request, in seconds.
+
+    Two independent projections, the larger wins (pessimism keeps the
+    fast-reject honest under both failure shapes):
+
+    * **throughput-based** — ``depth / ewma_rps``: how long the backlog
+      takes to drain at the currently observed service rate (0 until the
+      EWMA has data);
+    * **flush-policy-based** — ``ceil((depth + 1) / max_batch) *
+      max_delay_s``: even an idle service holds a request up to one
+      deadline per batch ahead of it, so this floor applies before any
+      throughput has been observed.
+    """
+    if queue_depth < 0:
+        raise ValueError("queue_depth must be non-negative")
+    batches_ahead = (queue_depth + 1 + max(max_batch, 1) - 1) // max(max_batch, 1)
+    policy_bound = batches_ahead * max(max_delay_s, 0.0)
+    throughput_bound = queue_depth / ewma_rps if ewma_rps > 0.0 else 0.0
+    return max(policy_bound, throughput_bound)

@@ -1,0 +1,288 @@
+"""Per-request observability for the online serving layer.
+
+Every request is stamped with monotonic-clock timestamps at the three
+points of its life the operator can tune — **enqueue** (admission),
+**flush** (the dispatcher pulled it into a micro-batch) and **complete**
+(its future resolved) — and :class:`ServingMetrics` aggregates those
+stamps into the machine-readable :meth:`~ServingMetrics.stats` snapshot:
+
+* streaming p50/p95/p99 end-to-end latency percentiles over a bounded
+  window of recent requests (ring buffer; the percentile rule is the
+  shared :func:`repro.runtime.measure.percentile` helper);
+* queue-depth and batch-occupancy gauges (current, peak, lifetime mean);
+* EWMA and lifetime requests/sec throughput;
+* counters for submissions, completions, engine failures and rejections
+  split by admission reason.
+
+All mutators take one internal lock and do O(1) work, so the serving hot
+path (client threads + the dispatcher) never blocks on a snapshot reader
+for long; :meth:`stats` copies the latency window under the lock and
+sorts outside the caller-visible contention window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime.measure import percentile
+
+#: default number of recent request latencies kept for the percentile window
+DEFAULT_LATENCY_WINDOW = 2048
+
+#: default smoothing factor of the EWMA throughput estimate — per *flush*
+#: update, so ~20 flushes of history dominate the estimate
+DEFAULT_EWMA_ALPHA = 0.1
+
+
+@dataclass
+class RequestTimestamps:
+    """Monotonic-clock stamps of one request's life cycle.
+
+    ``enqueue`` is set at admission, ``flush`` when the dispatcher pulls
+    the request into a micro-batch, ``complete`` when its future
+    resolves.  Derived durations return ``None`` until both endpoints
+    exist, so half-lived requests (rejected, in flight) stay readable.
+    """
+
+    enqueue: float
+    flush: Optional[float] = None
+    complete: Optional[float] = None
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        """Seconds spent waiting in the request queue."""
+        if self.flush is None:
+            return None
+        return self.flush - self.enqueue
+
+    @property
+    def service_s(self) -> Optional[float]:
+        """Seconds between flush and completion (batch compute + fan-out)."""
+        if self.flush is None or self.complete is None:
+            return None
+        return self.complete - self.flush
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """End-to-end seconds from enqueue to completion."""
+        if self.complete is None:
+            return None
+        return self.complete - self.enqueue
+
+
+@dataclass
+class _LatencyWindow:
+    """Fixed-size ring buffer of recent latency samples (seconds)."""
+
+    capacity: int
+    samples: List[float] = field(default_factory=list)
+    _next: int = 0
+    total: int = 0
+
+    def add(self, value: float) -> None:
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+        else:
+            self.samples[self._next] = value
+            self._next = (self._next + 1) % self.capacity
+        self.total += 1
+
+    def snapshot(self) -> List[float]:
+        return list(self.samples)
+
+
+class ServingMetrics:
+    """Thread-safe aggregate view of one serving front door.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of recent end-to-end latencies retained for the streaming
+        percentiles.  Old samples age out, so the percentiles track the
+        service's *current* behaviour — which is also what lets a tripped
+        p99 circuit breaker see recovery after the slow period drains.
+    ewma_alpha:
+        Smoothing factor of the exponentially-weighted throughput
+        estimate, applied once per completed flush.
+    clock:
+        Injectable monotonic clock (tests freeze it).
+    """
+
+    def __init__(self, *, latency_window: int = DEFAULT_LATENCY_WINDOW,
+                 ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self._window = _LatencyWindow(int(latency_window))
+        self._ewma_alpha = float(ewma_alpha)
+        self._ewma_rps = 0.0
+        self._last_flush_done: Optional[float] = None
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected: Dict[str, int] = {}
+        self._queue_depth = 0
+        self._queue_depth_peak = 0
+        self._batches = 0
+        self._batch_failures = 0
+        self._occupancy_sum = 0.0
+        self._last_batch_size = 0
+        self._flush_triggers: Dict[str, int] = {}
+
+    def now(self) -> float:
+        """The metrics clock (monotonic unless a test injected one)."""
+        return self._clock()
+
+    # ------------------------------------------------------------------ #
+    # Recording hooks (called by the batcher / admission layer)
+    # ------------------------------------------------------------------ #
+    def record_enqueue(self, queue_depth: int) -> RequestTimestamps:
+        """Stamp one admitted request; returns its timestamp record."""
+        now = self._clock()
+        with self._lock:
+            self._submitted += 1
+            self._queue_depth = int(queue_depth)
+            self._queue_depth_peak = max(self._queue_depth_peak, queue_depth)
+        return RequestTimestamps(enqueue=now)
+
+    def record_reject(self, reason: str) -> None:
+        """Count one rejected submission by admission reason."""
+        with self._lock:
+            self._rejected[reason] = self._rejected.get(reason, 0) + 1
+
+    def record_flush(self, stamps: List[RequestTimestamps], *,
+                     queue_depth: int, trigger: str) -> None:
+        """Stamp the requests of one micro-batch at dispatch time."""
+        now = self._clock()
+        for stamp in stamps:
+            stamp.flush = now
+        with self._lock:
+            self._queue_depth = int(queue_depth)
+            self._flush_triggers[trigger] = \
+                self._flush_triggers.get(trigger, 0) + 1
+
+    def record_batch_done(self, stamps: List[RequestTimestamps], *,
+                          max_batch: int, failed: bool = False) -> None:
+        """Stamp a completed (or failed) micro-batch and its requests."""
+        now = self._clock()
+        for stamp in stamps:
+            stamp.complete = now
+        with self._lock:
+            self._batches += 1
+            self._last_batch_size = len(stamps)
+            self._occupancy_sum += len(stamps) / max(max_batch, 1)
+            if failed:
+                self._batch_failures += 1
+                self._failed += len(stamps)
+            else:
+                self._completed += len(stamps)
+                for stamp in stamps:
+                    latency = stamp.latency_s
+                    if latency is not None:
+                        self._window.add(latency)
+            if self._last_flush_done is not None:
+                interval = now - self._last_flush_done
+                if interval > 0.0:
+                    rate = len(stamps) / interval
+                    if self._ewma_rps == 0.0:
+                        self._ewma_rps = rate
+                    else:
+                        self._ewma_rps += self._ewma_alpha * (rate - self._ewma_rps)
+            self._last_flush_done = now
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Refresh the queue-depth gauge outside enqueue/flush events."""
+        with self._lock:
+            self._queue_depth = int(depth)
+            self._queue_depth_peak = max(self._queue_depth_peak, depth)
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def latency_percentile(self, q: float) -> Optional[float]:
+        """Current ``q``-th latency percentile in seconds (None: no data)."""
+        with self._lock:
+            samples = self._window.snapshot()
+        if not samples:
+            return None
+        return percentile(samples, q)
+
+    def p99_ms(self, min_samples: int = 1) -> Optional[float]:
+        """Streaming p99 in milliseconds, or ``None`` below ``min_samples``.
+
+        The circuit breaker reads this after every flush; the
+        ``min_samples`` floor keeps a handful of cold-start requests
+        from tripping a latency breaker that has not seen real traffic.
+        """
+        with self._lock:
+            samples = self._window.snapshot()
+        if len(samples) < max(min_samples, 1):
+            return None
+        return percentile(samples, 99.0) * 1e3
+
+    def ewma_throughput_rps(self) -> float:
+        """Smoothed requests/sec over recently completed flushes."""
+        with self._lock:
+            return self._ewma_rps
+
+    def queue_depth(self) -> int:
+        """Last observed request-queue depth."""
+        with self._lock:
+            return self._queue_depth
+
+    def stats(self) -> Dict[str, object]:
+        """One machine-readable snapshot of every gauge and counter.
+
+        Latency values are reported in milliseconds (the unit operators
+        tune ``max_delay_ms`` in); percentiles are ``None`` until at
+        least one request completed.
+        """
+        with self._lock:
+            samples = self._window.snapshot()
+            window_total = self._window.total
+            snapshot: Dict[str, object] = {
+                "uptime_s": self._clock() - self._started,
+                "requests": {
+                    "submitted": self._submitted,
+                    "completed": self._completed,
+                    "failed": self._failed,
+                    "rejected": dict(sorted(self._rejected.items())),
+                    "rejected_total": sum(self._rejected.values()),
+                },
+                "queue": {
+                    "depth": self._queue_depth,
+                    "peak_depth": self._queue_depth_peak,
+                },
+                "batches": {
+                    "count": self._batches,
+                    "failures": self._batch_failures,
+                    "last_size": self._last_batch_size,
+                    "mean_occupancy": (self._occupancy_sum / self._batches
+                                       if self._batches else None),
+                    "flush_triggers": dict(sorted(self._flush_triggers.items())),
+                },
+                "throughput_rps": {
+                    "ewma": self._ewma_rps,
+                    "lifetime": (self._completed
+                                 / max(self._clock() - self._started, 1e-9)),
+                },
+            }
+        ordered = sorted(samples)
+        snapshot["latency_ms"] = {
+            "p50": percentile(ordered, 50.0) * 1e3 if ordered else None,
+            "p95": percentile(ordered, 95.0) * 1e3 if ordered else None,
+            "p99": percentile(ordered, 99.0) * 1e3 if ordered else None,
+            "mean": (sum(ordered) / len(ordered)) * 1e3 if ordered else None,
+            "max": max(ordered) * 1e3 if ordered else None,
+            "window_samples": len(ordered),
+            "window_total": window_total,
+        }
+        return snapshot

@@ -62,6 +62,36 @@ class TestCheckPayload:
         assert "ok" in passing.describe()
 
 
+class TestBoundedThresholds:
+    """Object-form bounds: {"min": x} floors and {"max": y} ceilings."""
+
+    def test_max_bound_gates_latency_ceilings(self):
+        payload = {"best": {"p99_ms": 12.0}}
+        ok = check_payload("b.json", payload, {"best.p99_ms": {"max": 25.0}})[0]
+        assert ok.passed
+        breach = check_payload("b.json", payload,
+                               {"best.p99_ms": {"max": 10.0}})[0]
+        assert not breach.passed
+        assert "maximum 10.000" in breach.describe()
+
+    def test_min_object_form_matches_bare_number(self):
+        payload = {"rps": 500.0}
+        bare = check_payload("b.json", payload, {"rps": 400.0})[0]
+        obj = check_payload("b.json", payload, {"rps": {"min": 400.0}})[0]
+        assert bare.passed and obj.passed
+        assert bare.minimum == obj.minimum == 400.0
+
+    def test_min_and_max_band(self):
+        thresholds = {"v": {"min": 1.0, "max": 2.0}}
+        assert check_payload("b.json", {"v": 1.5}, thresholds)[0].passed
+        assert not check_payload("b.json", {"v": 0.5}, thresholds)[0].passed
+        assert not check_payload("b.json", {"v": 2.5}, thresholds)[0].passed
+
+    def test_missing_metric_fails_max_only_bounds_too(self):
+        check = check_payload("b.json", {}, {"v": {"max": 2.0}})[0]
+        assert not check.passed and check.actual is None
+
+
 class TestCheckArtifacts:
     def test_reads_artifacts_from_root(self, tmp_path):
         artifact = {"networks": {"CNN-M": {"speedup_vs_dense": 6.0}}}
@@ -97,12 +127,23 @@ class TestLoadThresholds:
         path.write_text(json.dumps(spec))
         assert load_thresholds(str(path)) == spec
 
+    def test_bounded_specs_roundtrip(self, tmp_path):
+        path = tmp_path / "thresholds.json"
+        spec = {"bench.json": {"a": {"min": 1.0, "max": 5.0},
+                               "b": {"max": 2.0}, "c": 3.0}}
+        path.write_text(json.dumps(spec))
+        assert load_thresholds(str(path)) == spec
+
     @pytest.mark.parametrize("bad", [
         [],
         {"bench.json": {}},
         {"bench.json": []},
         {"bench.json": {"a": "fast"}},
         {"bench.json": {"a": True}},
+        {"bench.json": {"a": {}}},
+        {"bench.json": {"a": {"maximum": 2.0}}},
+        {"bench.json": {"a": {"max": "slow"}}},
+        {"bench.json": {"a": {"min": 3.0, "max": 1.0}}},
     ])
     def test_invalid_specs_rejected(self, bad, tmp_path):
         path = tmp_path / "thresholds.json"
@@ -115,6 +156,10 @@ class TestLoadThresholds:
         spec = load_thresholds(path)
         assert "BENCH_sweep.smoke.json" in spec
         assert "BENCH_inference.smoke.json" in spec
+        assert "BENCH_serving.smoke.json" in spec
+        serving = spec["BENCH_serving.smoke.json"]
+        assert "max" in serving["best.p99_ms"]
+        assert "min" in serving["best.requests_per_s"]
 
 
 class TestCli:

@@ -21,7 +21,7 @@ def cli():
     return module
 
 
-def _write_artifacts(root, *, smoke=False, img_per_s=100.0):
+def _write_artifacts(root, *, smoke=False, img_per_s=100.0, serving_rps=900.0):
     suffix = ".smoke.json" if smoke else ".json"
     sweep = {
         "smoke": smoke,
@@ -37,14 +37,29 @@ def _write_artifacts(root, *, smoke=False, img_per_s=100.0):
                                "speedup_vs_dense": 5.0}},
         "parallel_forward_batch": {"speedup_vs_serial": 1.5},
     }
+    serving = {
+        "smoke": smoke,
+        "policies": {
+            "b8_d2000us": {"requests_per_s": serving_rps, "p50_ms": 1.1,
+                           "p99_ms": 4.2},
+            "b1_d500us": {"requests_per_s": serving_rps / 3.0,
+                          "p50_ms": 2.0, "p99_ms": 6.0},
+        },
+        "best": {"policy": "b8_d2000us", "requests_per_s": serving_rps,
+                 "p50_ms": 1.1, "p99_ms": 4.2},
+    }
     sweep_path = os.path.join(root, f"BENCH_sweep{suffix}")
     inference_path = os.path.join(root, f"BENCH_inference{suffix}")
+    serving_path = os.path.join(root, f"BENCH_serving{suffix}")
     with open(sweep_path, "w", encoding="utf-8") as handle:
         json.dump(sweep, handle)
     with open(inference_path, "w", encoding="utf-8") as handle:
         json.dump(inference, handle)
+    with open(serving_path, "w", encoding="utf-8") as handle:
+        json.dump(serving, handle)
     return (os.path.join(root, "BENCH_sweep.json"),
-            os.path.join(root, "BENCH_inference.json"))
+            os.path.join(root, "BENCH_inference.json"),
+            os.path.join(root, "BENCH_serving.json"))
 
 
 class TestExtractMetrics:
@@ -62,7 +77,17 @@ class TestExtractMetrics:
         inference = json.load(open(tmp_path / "BENCH_inference.json"))
         metrics = cli.extract_metrics(None, inference)
         assert "conv_blas_speedup_vs_loop" not in metrics
+        assert "serving_best_rps" not in metrics
         assert metrics["CNN-M.speedup_vs_dense"] == 5.0
+
+    def test_serving_policies_flatten_per_policy(self, cli, tmp_path):
+        _write_artifacts(str(tmp_path), serving_rps=1200.0)
+        serving = json.load(open(tmp_path / "BENCH_serving.json"))
+        metrics = cli.extract_metrics(None, None, serving)
+        assert metrics["serving_best_rps"] == 1200.0
+        assert metrics["serving_best_p99_ms"] == 4.2
+        assert metrics["serving.b8_d2000us.requests_per_s"] == 1200.0
+        assert metrics["serving.b1_d500us.p50_ms"] == 2.0
 
 
 class TestAppendEntry:
@@ -84,16 +109,38 @@ class TestAppendEntry:
 
 class TestCliMain:
     def test_end_to_end_with_delta(self, cli, tmp_path, capsys):
-        sweep, inference = _write_artifacts(str(tmp_path))
+        sweep, inference, serving = _write_artifacts(str(tmp_path))
         trend = str(tmp_path / "trend.json")
         assert cli.main(["--sweep", sweep, "--inference", inference,
+                         "--serving", serving,
                          "--trend", trend, "--label", "one"]) == 0
         _write_artifacts(str(tmp_path), img_per_s=120.0)
         assert cli.main(["--sweep", sweep, "--inference", inference,
+                         "--serving", serving,
                          "--trend", trend, "--label", "two"]) == 0
         out = capsys.readouterr().out
         assert "delta vs previous entry 'one'" in out
         assert "+20.0%" in out
+        assert "serving_best_rps" in out
+
+    def test_serving_round_trips_through_the_trend_file(self, cli, tmp_path):
+        """BENCH_serving.json keys survive record -> load -> delta."""
+        sweep, inference, serving = _write_artifacts(str(tmp_path),
+                                                     serving_rps=800.0)
+        trend = str(tmp_path / "trend.json")
+        assert cli.main(["--sweep", sweep, "--inference", inference,
+                         "--serving", serving,
+                         "--trend", trend, "--label", "one"]) == 0
+        entries = cli.load_trend(trend)
+        assert entries[-1]["metrics"]["serving_best_rps"] == 800.0
+        assert entries[-1]["metrics"]["serving.b8_d2000us.p99_ms"] == 4.2
+        # and the delta printer compares the serving metrics entry-to-entry
+        _write_artifacts(str(tmp_path), serving_rps=1000.0)
+        assert cli.main(["--sweep", sweep, "--inference", inference,
+                         "--serving", serving,
+                         "--trend", trend, "--label", "two"]) == 0
+        lines = "\n".join(cli.format_delta(cli.load_trend(trend)))
+        assert "serving_best_rps: 1000.000 (+25.0% vs 800.000)" in lines
 
     def test_smoke_defaults_to_smoke_trend_path(self, cli, tmp_path,
                                                 monkeypatch, capsys):
@@ -106,14 +153,18 @@ class TestCliMain:
         monkeypatch.setattr(cli, "SMOKE_TREND_PATH", str(smoke_trend))
         sweep = str(tmp_path / "BENCH_sweep.json")
         inference = str(tmp_path / "BENCH_inference.json")
+        serving = str(tmp_path / "BENCH_serving.json")
         assert cli.main(["--sweep", sweep, "--inference", inference,
+                         "--serving", serving,
                          "--smoke", "--label", "ci"]) == 0
         assert not committed.exists()
         entries = json.load(open(smoke_trend))["entries"]
         assert entries[0]["label"] == "ci" and entries[0]["smoke"] is True
+        assert "serving_best_rps" in entries[0]["metrics"]
 
     def test_missing_artifacts_fail_cleanly(self, cli, tmp_path, capsys):
         assert cli.main(["--sweep", str(tmp_path / "nope.json"),
                          "--inference", str(tmp_path / "nope2.json"),
+                         "--serving", str(tmp_path / "nope3.json"),
                          "--trend", str(tmp_path / "trend.json")]) == 1
         assert "no artifacts found" in capsys.readouterr().out

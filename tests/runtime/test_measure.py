@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.runtime.measure import Measurement, measure, measure_pair
+from repro.runtime.measure import (
+    Measurement,
+    measure,
+    measure_pair,
+    percentile,
+    percentiles,
+)
 
 
 class TestMeasurement:
@@ -60,6 +67,44 @@ class TestMeasure:
     def test_measure_pair_rejects_zero_reps(self):
         with pytest.raises(ValueError):
             measure_pair(lambda: None, lambda: None, reps=0)
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(0.0, 10.0, size=101).tolist()
+        for q in (0.0, 12.5, 50.0, 95.0, 99.0, 100.0):
+            assert percentile(samples, q) == pytest.approx(
+                float(np.percentile(samples, q)))
+
+    def test_unsorted_input_and_single_sample(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_interpolates_between_ranks(self):
+        assert percentile([1.0, 2.0], 50.0) == pytest.approx(1.5)
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+    def test_percentiles_batch_helper(self):
+        samples = [float(v) for v in range(100)]
+        out = percentiles(samples, qs=(50.0, 99.0))
+        assert out[50.0] == pytest.approx(float(np.percentile(samples, 50)))
+        assert out[99.0] == pytest.approx(float(np.percentile(samples, 99)))
+        with pytest.raises(ValueError):
+            percentiles([])
+
+    def test_measurement_percentile_method(self):
+        m = Measurement(label="x", seconds=(1.0, 2.0, 3.0, 4.0))
+        assert m.percentile(50.0) == pytest.approx(2.5)
+        assert m.percentile(100.0) == 4.0
 
 
 def _busy():

@@ -1,0 +1,81 @@
+"""Shared fakes for the serving test suite.
+
+Imported by sibling test modules as ``from _helpers import ...`` (pytest
+puts each test directory on ``sys.path``, the same idiom as
+``tests/runtime/_fleet_helpers.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+import numpy as np
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+class StubEngine:
+    """Deterministic row-wise 'engine': logits = [sum(x), -sum(x)].
+
+    Row-independent on purpose, so any flush composition produces the
+    same per-request rows — the reference the batcher tests compare
+    against.  Records every batch size it was handed.
+    """
+
+    def __init__(self) -> None:
+        self.batch_sizes: List[int] = []
+        self._lock = threading.Lock()
+
+    def forward_batch(self, x: np.ndarray, *, batch_size: int) -> np.ndarray:
+        assert x.shape[0] == batch_size
+        with self._lock:
+            self.batch_sizes.append(int(batch_size))
+        sums = x.reshape(x.shape[0], -1).sum(axis=1)
+        return np.stack([sums, -sums], axis=1)
+
+    @staticmethod
+    def expected(image: np.ndarray) -> np.ndarray:
+        total = float(np.asarray(image).sum())
+        return np.array([total, -total])
+
+
+class GatedEngine(StubEngine):
+    """A stub engine that blocks inside ``forward_batch`` until released."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def forward_batch(self, x: np.ndarray, *, batch_size: int) -> np.ndarray:
+        self.entered.set()
+        assert self.gate.wait(timeout=30.0), "test forgot to open the gate"
+        return super().forward_batch(x, batch_size=batch_size)
+
+
+class FailingEngine(StubEngine):
+    """A stub engine whose first ``fail_first`` calls raise (None = all)."""
+
+    def __init__(self, fail_first: Optional[int] = None) -> None:
+        super().__init__()
+        self.fail_first = fail_first
+        self.calls = 0
+
+    def forward_batch(self, x: np.ndarray, *, batch_size: int) -> np.ndarray:
+        self.calls += 1
+        if self.fail_first is None or self.calls <= self.fail_first:
+            raise RuntimeError(f"engine fault #{self.calls}")
+        return super().forward_batch(x, batch_size=batch_size)

@@ -1,0 +1,181 @@
+"""Unit tests of the admission gates (token bucket, breaker, wait bound)."""
+
+from __future__ import annotations
+
+import pytest
+from _helpers import FakeClock
+
+from repro.serving.admission import (
+    CIRCUIT_CLOSED,
+    CIRCUIT_HALF_OPEN,
+    CIRCUIT_OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineError,
+    QueueFullError,
+    RateLimitedError,
+    RateLimiter,
+    RejectedError,
+    ServiceClosedError,
+    estimate_wait_s,
+)
+
+
+class TestRejectionHierarchy:
+    @pytest.mark.parametrize("cls,reason", [
+        (QueueFullError, "queue_full"),
+        (RateLimitedError, "rate_limited"),
+        (CircuitOpenError, "circuit_open"),
+        (DeadlineError, "deadline"),
+        (ServiceClosedError, "closed"),
+    ])
+    def test_reasons_are_distinct_and_catchable(self, cls, reason):
+        assert issubclass(cls, RejectedError)
+        assert cls.reason == reason
+
+
+class TestRateLimiter:
+    def test_burst_drains_then_rejects(self):
+        clock = FakeClock()
+        limiter = RateLimiter(10.0, burst=3, clock=clock)
+        assert [limiter.try_acquire() for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_tokens_refill_at_rate(self):
+        clock = FakeClock()
+        limiter = RateLimiter(10.0, burst=2, clock=clock)
+        assert limiter.try_acquire() and limiter.try_acquire()
+        assert not limiter.try_acquire()
+        clock.advance(0.11)  # ~one token at 10/s (float-add slack)
+        assert limiter.try_acquire()
+        assert not limiter.try_acquire()
+
+    def test_bucket_never_exceeds_burst(self):
+        clock = FakeClock()
+        limiter = RateLimiter(100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert limiter.available() == pytest.approx(2.0)
+
+    def test_default_burst_is_ceil_rate(self):
+        assert RateLimiter(2.5, clock=FakeClock()).burst == 3
+        assert RateLimiter(0.5, clock=FakeClock()).burst == 1
+
+    def test_multi_token_acquire(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=4, clock=clock)
+        assert limiter.try_acquire(tokens=4)
+        assert not limiter.try_acquire()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            RateLimiter(0.0)
+        with pytest.raises(ValueError):
+            RateLimiter(1.0, burst=0)
+        with pytest.raises(ValueError):
+            RateLimiter(1.0).try_acquire(tokens=0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CIRCUIT_CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CIRCUIT_OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+        assert breaker.last_trip_cause == "failures"
+
+    def test_success_resets_the_failure_streak(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CIRCUIT_CLOSED
+
+    def test_half_open_after_cooldown_limits_probes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                                 half_open_probes=2, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.state == CIRCUIT_HALF_OPEN
+        assert breaker.allow() and breaker.allow()
+        assert not breaker.allow()  # probe budget spent
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CIRCUIT_CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=1.0,
+                                 clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # a single half-open failure re-opens
+        assert breaker.state == CIRCUIT_OPEN
+        assert breaker.trips == 2
+        clock.advance(0.5)
+        assert not breaker.allow()  # cool-down restarted
+        clock.advance(0.5)
+        assert breaker.allow()
+
+    def test_p99_breach_trips(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(p99_threshold_ms=50.0, clock=clock)
+        breaker.record_p99(49.0)
+        assert breaker.state == CIRCUIT_CLOSED
+        breaker.record_p99(50.1)
+        assert breaker.state == CIRCUIT_OPEN
+        assert breaker.last_trip_cause == "p99"
+
+    def test_p99_ignored_without_threshold_or_data(self):
+        breaker = CircuitBreaker(clock=FakeClock())
+        breaker.record_p99(1e9)  # no threshold configured
+        assert breaker.state == CIRCUIT_CLOSED
+        gated = CircuitBreaker(p99_threshold_ms=10.0, clock=FakeClock())
+        gated.record_p99(None)  # window not populated yet
+        assert gated.state == CIRCUIT_CLOSED
+
+    def test_invalid_arguments(self):
+        for kwargs in ({"failure_threshold": 0}, {"reset_timeout_s": 0.0},
+                       {"half_open_probes": 0}, {"p99_threshold_ms": 0.0}):
+            with pytest.raises(ValueError):
+                CircuitBreaker(**kwargs)
+
+
+class TestEstimateWait:
+    def test_policy_bound_before_any_throughput(self):
+        # empty queue: the next request still waits up to one deadline
+        assert estimate_wait_s(0, max_batch=8, max_delay_s=0.005,
+                               ewma_rps=0.0) == pytest.approx(0.005)
+        # 16 ahead + self = 3 batches of 8 at one deadline each
+        assert estimate_wait_s(16, max_batch=8, max_delay_s=0.005,
+                               ewma_rps=0.0) == pytest.approx(0.015)
+
+    def test_throughput_bound_dominates_when_slower(self):
+        # 100 queued at 10 req/s = 10s >> the policy bound
+        assert estimate_wait_s(100, max_batch=8, max_delay_s=0.005,
+                               ewma_rps=10.0) == pytest.approx(10.0)
+
+    def test_policy_bound_dominates_when_fast(self):
+        assert estimate_wait_s(4, max_batch=1, max_delay_s=0.010,
+                               ewma_rps=1e6) == pytest.approx(0.050)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_wait_s(-1, max_batch=8, max_delay_s=0.005, ewma_rps=0.0)

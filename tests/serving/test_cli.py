@@ -1,0 +1,106 @@
+"""Subprocess tests of the ``python -m repro.serving`` operator CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _run(args, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.serving", *args],
+        capture_output=True, text=True, env=_env(), cwd=REPO_ROOT,
+        timeout=120, **kwargs,
+    )
+
+
+class TestCli:
+    def test_help_parses(self):
+        result = _run(["--help"])
+        assert result.returncode == 0
+        assert "--max-batch" in result.stdout
+        assert "--max-delay-ms" in result.stdout
+
+    def test_bounded_run_completes_and_reports(self):
+        result = _run(["--network", "MLP-S", "--clients", "2",
+                       "--requests", "32", "--max-batch", "4",
+                       "--max-delay-ms", "2", "--stats-interval-s", "0.2"])
+        assert result.returncode == 0, result.stderr
+        assert "done: 32 completed, 0 rejected, 0 errors" in result.stdout
+        # the final snapshot is one machine-readable JSON line
+        snapshots = [json.loads(line) for line in result.stdout.splitlines()
+                     if line.startswith("{")]
+        assert snapshots, result.stdout
+        final = snapshots[-1]
+        assert final["requests"]["completed"] == 32
+        assert final["batches"]["count"] >= 1
+
+    def test_env_defaults_feed_the_flush_policy(self):
+        env = _env()
+        env["REPRO_SERVING_MAX_BATCH"] = "5"
+        env["REPRO_SERVING_MAX_DELAY_MS"] = "1.5"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.serving", "--network", "MLP-S",
+             "--clients", "1", "--requests", "4"],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "max_batch=5 max_delay_ms=1.5" in result.stdout
+
+    def test_invalid_env_value_is_a_clean_error(self):
+        env = _env()
+        env["REPRO_SERVING_MAX_BATCH"] = "many"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.serving", "--requests", "1"],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert result.returncode != 0
+        assert "REPRO_SERVING_MAX_BATCH" in result.stderr
+
+    @pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+    def test_sigterm_drains_gracefully(self):
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serving", "--network", "MLP-S",
+             "--clients", "2", "--requests", "0", "--duration-s", "60",
+             "--think-ms", "5", "--stats-interval-s", "0.2"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=_env(), cwd=REPO_ROOT,
+        )
+        try:
+            # wait until the service is demonstrably serving traffic
+            header = process.stdout.readline()
+            assert "serving MLP-S" in header
+            deadline = time.monotonic() + 30.0
+            saw_snapshot = False
+            while time.monotonic() < deadline and not saw_snapshot:
+                line = process.stdout.readline()
+                saw_snapshot = line.startswith("{")
+            assert saw_snapshot, "no stats snapshot before the signal"
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stderr
+        assert "signal SIGTERM: draining..." in stdout
+        assert "done:" in stdout

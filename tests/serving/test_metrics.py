@@ -1,0 +1,164 @@
+"""Unit tests of the serving metrics (fake-clock driven)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from _helpers import FakeClock
+
+from repro.serving.metrics import RequestTimestamps, ServingMetrics
+
+
+def _complete_request(metrics: ServingMetrics, clock: FakeClock, *,
+                      queue_s: float, service_s: float,
+                      max_batch: int = 8) -> RequestTimestamps:
+    stamps = metrics.record_enqueue(queue_depth=1)
+    clock.advance(queue_s)
+    metrics.record_flush([stamps], queue_depth=0, trigger="deadline")
+    clock.advance(service_s)
+    metrics.record_batch_done([stamps], max_batch=max_batch)
+    return stamps
+
+
+class TestRequestTimestamps:
+    def test_durations_derive_from_stamps(self):
+        stamps = RequestTimestamps(enqueue=1.0, flush=1.5, complete=2.25)
+        assert stamps.queue_wait_s == pytest.approx(0.5)
+        assert stamps.service_s == pytest.approx(0.75)
+        assert stamps.latency_s == pytest.approx(1.25)
+
+    def test_half_lived_requests_read_as_none(self):
+        stamps = RequestTimestamps(enqueue=1.0)
+        assert stamps.queue_wait_s is None
+        assert stamps.service_s is None
+        assert stamps.latency_s is None
+        stamps.flush = 2.0
+        assert stamps.queue_wait_s == pytest.approx(1.0)
+        assert stamps.latency_s is None
+
+
+class TestServingMetrics:
+    def test_lifecycle_stamps_and_counters(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        stamps = _complete_request(metrics, clock, queue_s=0.010,
+                                   service_s=0.005)
+        assert stamps.latency_s == pytest.approx(0.015)
+        stats = metrics.stats()
+        assert stats["requests"]["submitted"] == 1
+        assert stats["requests"]["completed"] == 1
+        assert stats["requests"]["failed"] == 0
+        assert stats["latency_ms"]["p50"] == pytest.approx(15.0)
+        assert stats["batches"]["count"] == 1
+        assert stats["batches"]["flush_triggers"] == {"deadline": 1}
+
+    def test_percentiles_match_numpy(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        rng = np.random.default_rng(0)
+        latencies = rng.uniform(0.001, 0.100, size=97)
+        for latency in latencies:
+            _complete_request(metrics, clock, queue_s=0.0,
+                              service_s=float(latency))
+        stats = metrics.stats()["latency_ms"]
+        for q, key in ((50, "p50"), (95, "p95"), (99, "p99")):
+            assert stats[key] == pytest.approx(
+                float(np.percentile(latencies, q)) * 1e3)
+
+    def test_window_ages_out_but_total_counts(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(latency_window=4, clock=clock)
+        for _ in range(10):
+            _complete_request(metrics, clock, queue_s=0.0, service_s=0.001)
+        stats = metrics.stats()["latency_ms"]
+        assert stats["window_samples"] == 4
+        assert stats["window_total"] == 10
+
+    def test_old_samples_leave_the_percentiles(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(latency_window=2, clock=clock)
+        _complete_request(metrics, clock, queue_s=0.0, service_s=1.0)
+        for _ in range(2):
+            _complete_request(metrics, clock, queue_s=0.0, service_s=0.001)
+        # the 1s outlier aged out of the 2-sample window
+        assert metrics.stats()["latency_ms"]["max"] == pytest.approx(1.0)
+
+    def test_rejections_counted_by_reason(self):
+        metrics = ServingMetrics(clock=FakeClock())
+        metrics.record_reject("queue_full")
+        metrics.record_reject("queue_full")
+        metrics.record_reject("rate_limited")
+        stats = metrics.stats()["requests"]
+        assert stats["rejected"] == {"queue_full": 2, "rate_limited": 1}
+        assert stats["rejected_total"] == 3
+
+    def test_failed_batch_counts_failures_not_latencies(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        stamps = metrics.record_enqueue(queue_depth=1)
+        metrics.record_flush([stamps], queue_depth=0, trigger="size")
+        clock.advance(0.01)
+        metrics.record_batch_done([stamps], max_batch=8, failed=True)
+        stats = metrics.stats()
+        assert stats["requests"]["failed"] == 1
+        assert stats["requests"]["completed"] == 0
+        assert stats["batches"]["failures"] == 1
+        assert stats["latency_ms"]["p50"] is None
+
+    def test_queue_depth_gauges(self):
+        metrics = ServingMetrics(clock=FakeClock())
+        metrics.record_enqueue(queue_depth=3)
+        metrics.record_enqueue(queue_depth=7)
+        metrics.set_queue_depth(2)
+        stats = metrics.stats()["queue"]
+        assert stats["depth"] == 2
+        assert stats["peak_depth"] == 7
+        assert metrics.queue_depth() == 2
+
+    def test_mean_occupancy(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        for size in (8, 4):
+            stamps = [metrics.record_enqueue(queue_depth=1)
+                      for _ in range(size)]
+            metrics.record_flush(stamps, queue_depth=0, trigger="size")
+            metrics.record_batch_done(stamps, max_batch=8)
+        assert metrics.stats()["batches"]["mean_occupancy"] == \
+            pytest.approx(0.75)
+
+    def test_ewma_throughput_converges(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock, ewma_alpha=0.5)
+        # flushes of 10 requests every 0.1s -> 100 req/s steady state
+        for _ in range(20):
+            stamps = [metrics.record_enqueue(queue_depth=1)
+                      for _ in range(10)]
+            metrics.record_flush(stamps, queue_depth=0, trigger="size")
+            clock.advance(0.1)
+            metrics.record_batch_done(stamps, max_batch=10)
+        assert metrics.ewma_throughput_rps() == pytest.approx(100.0, rel=0.05)
+
+    def test_p99_ms_respects_min_samples(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        for _ in range(5):
+            _complete_request(metrics, clock, queue_s=0.0, service_s=0.002)
+        assert metrics.p99_ms(min_samples=10) is None
+        assert metrics.p99_ms(min_samples=5) == pytest.approx(2.0)
+
+    def test_stats_is_json_serialisable(self):
+        import json
+
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        _complete_request(metrics, clock, queue_s=0.001, service_s=0.001)
+        json.dumps(metrics.stats())
+
+    @pytest.mark.parametrize("kwargs", [
+        {"latency_window": 0},
+        {"ewma_alpha": 0.0},
+        {"ewma_alpha": 1.5},
+    ])
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingMetrics(**kwargs)

@@ -1,0 +1,156 @@
+"""Tests of the assembled service: admission gates over the batcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from _helpers import FailingEngine, FakeClock, GatedEngine, StubEngine
+
+from repro.serving import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineError,
+    InferenceService,
+    RateLimitedError,
+    RateLimiter,
+    ServiceClosedError,
+)
+
+SHAPE = (4,)
+
+
+def _image(value: float) -> np.ndarray:
+    return np.full(SHAPE, value)
+
+
+class TestHappyPath:
+    def test_submit_and_predict(self):
+        with InferenceService(StubEngine(), max_batch=4, max_delay_ms=1.0,
+                              queue_capacity=64) as service:
+            # StubEngine logits are [sum, -sum]: positive sums -> class 0
+            assert service.predict(_image(1.0), timeout=10.0) == 0
+            assert service.predict(_image(-1.0), timeout=10.0) == 1
+            result = service.submit(_image(2.0)).result(timeout=10.0)
+        np.testing.assert_array_equal(result,
+                                      StubEngine.expected(_image(2.0)))
+
+    def test_stats_expose_admission_config(self):
+        limiter = RateLimiter(100.0, burst=5)
+        breaker = CircuitBreaker()
+        with InferenceService(StubEngine(), max_batch=8, max_delay_ms=3.0,
+                              queue_capacity=32, deadline_budget_ms=50.0,
+                              rate_limiter=limiter,
+                              circuit_breaker=breaker) as service:
+            stats = service.stats()
+        admission = stats["admission"]
+        assert admission["queue_capacity"] == 32
+        assert admission["max_batch"] == 8
+        assert admission["max_delay_ms"] == pytest.approx(3.0)
+        assert admission["deadline_budget_ms"] == pytest.approx(50.0)
+        assert admission["rate_limiter"]["burst"] == 5
+        assert admission["circuit_breaker"]["state"] == "closed"
+
+    def test_stats_are_json_serialisable(self):
+        import json
+
+        with InferenceService(StubEngine(), rate_limiter=RateLimiter(10.0),
+                              circuit_breaker=CircuitBreaker()) as service:
+            service.submit(_image(1.0)).result(timeout=10.0)
+            json.dumps(service.stats())
+
+
+class TestCircuitShedding:
+    def test_engine_faults_open_the_circuit_and_shed(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout_s=60.0)
+        with InferenceService(FailingEngine(), max_batch=1, max_delay_ms=0.0,
+                              circuit_breaker=breaker) as service:
+            for _ in range(2):
+                future = service.submit(_image(1.0))
+                with pytest.raises(RuntimeError, match="engine fault"):
+                    future.result(timeout=10.0)
+            # two flush failures tripped the breaker: admission now sheds
+            with pytest.raises(CircuitOpenError):
+                service.submit(_image(1.0))
+            stats = service.stats()
+        assert stats["admission"]["circuit_breaker"]["state"] == "open"
+        assert stats["admission"]["circuit_breaker"]["last_trip_cause"] == \
+            "failures"
+        assert stats["requests"]["rejected"] == {"circuit_open": 1}
+
+    def test_recovery_after_cooldown_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                                 clock=clock)
+        engine = FailingEngine(fail_first=1)
+        # the service itself runs on the real clock; only the breaker's
+        # cool-down is driven by the fake one
+        with InferenceService(engine, max_batch=1, max_delay_ms=0.0,
+                              circuit_breaker=breaker) as service:
+            with pytest.raises(RuntimeError):
+                service.submit(_image(1.0)).result(timeout=10.0)
+            with pytest.raises(CircuitOpenError):
+                service.submit(_image(1.0))
+            clock.advance(5.0)  # cool-down elapses -> half-open probe
+            probe = service.submit(_image(2.0)).result(timeout=10.0)
+            np.testing.assert_array_equal(probe,
+                                          StubEngine.expected(_image(2.0)))
+            # the probe's success closed the breaker again
+            assert breaker.state == "closed"
+            service.submit(_image(3.0)).result(timeout=10.0)
+
+
+class TestRateLimiting:
+    def test_over_budget_submissions_shed(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=2, clock=clock)
+        with InferenceService(StubEngine(), max_batch=1, max_delay_ms=0.0,
+                              rate_limiter=limiter) as service:
+            service.submit(_image(1.0)).result(timeout=10.0)
+            service.submit(_image(2.0)).result(timeout=10.0)
+            with pytest.raises(RateLimitedError):
+                service.submit(_image(3.0))
+            clock.advance(1.0)  # one token refills
+            service.submit(_image(4.0)).result(timeout=10.0)
+            stats = service.stats()
+        assert stats["requests"]["rejected"] == {"rate_limited": 1}
+
+
+class TestDeadlineBudget:
+    def test_estimated_wait_beyond_budget_fast_rejects(self):
+        engine = GatedEngine()
+        service = InferenceService(engine, max_batch=1, max_delay_ms=20.0,
+                                   queue_capacity=100,
+                                   deadline_budget_ms=30.0)
+        try:
+            # depth 0: estimate is one 20ms deadline <= 30ms budget
+            first = service.submit(_image(1.0))
+            engine.entered.wait(timeout=10.0)  # dispatcher now in-flight
+            second = service.submit(_image(2.0))  # depth 0 again: admitted
+            # depth 1: ceil(2/1) * 20ms = 40ms > 30ms -> fast-reject
+            with pytest.raises(DeadlineError):
+                service.submit(_image(3.0))
+            assert service.stats()["requests"]["rejected"] == {"deadline": 1}
+        finally:
+            engine.gate.set()
+            service.close()
+        first.result(timeout=10.0)
+        second.result(timeout=10.0)
+
+    def test_estimate_wait_reflects_flush_policy(self):
+        with InferenceService(StubEngine(), max_batch=8,
+                              max_delay_ms=5.0) as service:
+            assert service.estimate_wait_s() == pytest.approx(0.005)
+
+
+class TestLifecycle:
+    def test_closed_service_rejects_and_counts(self):
+        service = InferenceService(StubEngine())
+        service.close()
+        assert service.closed
+        with pytest.raises(ServiceClosedError):
+            service.submit(_image(1.0))
+        assert service.stats()["requests"]["rejected"] == {"closed": 1}
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            InferenceService(StubEngine(), deadline_budget_ms=0.0)
