@@ -1,0 +1,26 @@
+"""Task payloads for the chaos benchmark, importable by worker subprocesses.
+
+The queue pickles callables by import path, so the functions the
+supervised fleet executes must live in a real module — worker
+subprocesses receive ``benchmarks/`` on their ``PYTHONPATH`` and import
+this file by name.  Keep it dependency-free: it is loaded inside bare
+``python -m repro.runtime.queue`` workers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+def timed_task(item):
+    """Hold a lease for a fixed duration, then return a seeded token.
+
+    ``item`` is ``(seed, duration_ms)``.  The sleep makes every task a
+    window the chaos killer can land a SIGKILL in; the token is derived
+    only from the seed, so a task that dies mid-sleep and re-runs on
+    another worker produces the identical record.
+    """
+    seed, duration_ms = item
+    time.sleep(float(duration_ms) / 1000.0)
+    return {"seed": int(seed), "token": random.Random(int(seed)).random()}

@@ -1,0 +1,299 @@
+#!/usr/bin/env python
+"""Chaos-recovery benchmark: fleet goodput and time-to-recover under fire.
+
+Two supervised fleet runs over the same task batch, on the dir store:
+
+* **baseline** — a pinned fleet (``min_workers == max_workers``) drains
+  the queue with no interference; its goodput is the denominator.
+* **chaos** — the same fleet drains the same batch while worker
+  subprocesses see seeded storage faults (``REPRO_RUNTIME_FAULTS``) and
+  a killer thread SIGKILLs a random live worker on a seeded cadence.
+  The supervisor — not the benchmark — restarts every casualty.
+
+Reported under the artifact's ``chaos`` key:
+
+* ``goodput_ratio`` — chaos tasks/s over baseline tasks/s; how much
+  throughput continuous failure costs end-to-end.
+* ``mean_recovery_s`` / ``max_recovery_s`` — SIGKILL to respawn, from
+  greedily matching each kill timestamp to the next ``restart`` event
+  in the supervisor's stream (both sides share one monotonic clock).
+* ``kills`` / ``restarts`` / ``crashes`` — the casualty ledger.
+
+Run it after the tier-1 suite (CI runs ``--smoke`` in the chaos job)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke
+
+The full run writes ``BENCH_chaos.json`` (committed); smoke writes
+``BENCH_chaos.smoke.json``, gated by ``benchmarks/perf_thresholds.json``
+via ``benchmarks/check_perf_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.eval.reporting import write_json_report
+from repro.runtime.faults import FAULTS_ENV, FaultPlan
+from repro.runtime.queue import (
+    MAX_RETRIES_ENV,
+    collect_results,
+    enqueue_task,
+    init_queue_dirs,
+)
+from repro.runtime.resilience import BackoffPolicy
+from repro.runtime.supervisor import Supervisor
+from repro.runtime.tasks import WorkList
+
+import _chaos_tasks
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_chaos.json")
+SMOKE_ARTIFACT_PATH = os.path.join(REPO_ROOT, "BENCH_chaos.smoke.json")
+
+#: storage-fault schedule the chaos-phase workers run under; kills are
+#: scheduled by the benchmark's own killer thread, not the plan
+CHAOS_LATENCY = {"rate": 0.05, "min_s": 0.001, "max_s": 0.01}
+CHAOS_ERRORS = {"rate": 0.03}
+CHAOS_CONFLICTS = {"rate": 0.03}
+
+
+def _config(smoke: bool) -> Dict[str, object]:
+    if smoke:
+        return {
+            "tasks": 24, "task_ms": 50.0, "workers": 2, "lease_s": 1.0,
+            "kill_interval_s": (0.4, 0.8), "min_kills": 2,
+            "collect_timeout_s": 180.0,
+        }
+    return {
+        "tasks": 64, "task_ms": 100.0, "workers": 2, "lease_s": 1.5,
+        "kill_interval_s": (0.5, 1.0), "min_kills": 4,
+        "collect_timeout_s": 420.0,
+    }
+
+
+class _Killer(threading.Thread):
+    """SIGKILL a random live worker on a seeded cadence, keeping a log."""
+
+    def __init__(self, supervisor: Supervisor, stop: threading.Event,
+                 interval_s: Tuple[float, float], seed: int) -> None:
+        super().__init__(daemon=True)
+        self.supervisor = supervisor
+        self.stop_event = stop
+        self.interval_s = interval_s
+        self.rng = random.Random(seed)
+        self.kill_times: List[float] = []
+
+    @property
+    def kills(self) -> int:
+        return len(self.kill_times)
+
+    def run(self) -> None:
+        while not self.stop_event.is_set():
+            if self.stop_event.wait(self.rng.uniform(*self.interval_s)):
+                return
+            pids = self.supervisor.worker_pids()
+            if not pids:
+                continue
+            try:
+                os.kill(self.rng.choice(pids), 9)
+            except (OSError, ProcessLookupError):
+                continue  # the worker died on its own — still a casualty
+            self.kill_times.append(time.monotonic())
+
+
+def _recoveries(kill_times: List[float],
+                restart_times: List[float]) -> List[float]:
+    """Greedily match each kill to the next unmatched restart event."""
+    samples: List[float] = []
+    restarts = sorted(restart_times)
+    cursor = 0
+    for killed_at in sorted(kill_times):
+        while cursor < len(restarts) and restarts[cursor] <= killed_at:
+            cursor += 1
+        if cursor >= len(restarts):
+            break
+        samples.append(restarts[cursor] - killed_at)
+        cursor += 1
+    return samples
+
+
+def run_fleet(config: Dict[str, object], *, chaos: bool,
+              seed: int) -> Dict[str, object]:
+    """One supervised drain of the task batch; chaos adds faults + kills."""
+    n_tasks = int(config["tasks"])
+    items = [(seed + index, config["task_ms"]) for index in range(n_tasks)]
+
+    worker_env = {
+        "PYTHONPATH": os.pathsep.join(
+            [SRC_DIR, BENCH_DIR, os.environ.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep),
+        # under continuous kills a task may die many times without being
+        # a poison pill; quarantining it would deadlock the collect
+        MAX_RETRIES_ENV: "1000",
+    }
+    plan: Optional[FaultPlan] = None
+    if chaos:
+        plan = FaultPlan(seed=seed, latency=CHAOS_LATENCY,
+                         errors=CHAOS_ERRORS, conflicts=CHAOS_CONFLICTS)
+        worker_env[FAULTS_ENV] = plan.to_json()
+
+    events: List[Dict[str, object]] = []
+    events_lock = threading.Lock()
+
+    def emit(event: Dict[str, object]) -> None:
+        with events_lock:
+            events.append(event)
+
+    with tempfile.TemporaryDirectory(prefix="bench_chaos_") as tmp:
+        root = os.path.join(tmp, "queue")
+        init_queue_dirs(root)
+        worklist = WorkList.from_items(_chaos_tasks.timed_task, items)
+        for task in worklist.tasks:
+            enqueue_task(root, task)
+
+        supervisor = Supervisor(
+            root,
+            store="dir",
+            min_workers=int(config["workers"]),
+            max_workers=int(config["workers"]),
+            tasks_per_worker=2,
+            poll_interval_s=0.1,
+            cooldown_s=0.2,
+            lease_s=float(config["lease_s"]),
+            worker_poll_interval_s=0.05,
+            restart_backoff=BackoffPolicy(base_delay_s=0.05, max_delay_s=0.5,
+                                          multiplier=3.0),
+            max_restarts=1000,  # the budget benches crash-loopers, not victims
+            restart_window_s=5.0,
+            seed=seed,
+            emit=emit,
+            worker_env=worker_env,
+        )
+        stop = threading.Event()
+        runner = threading.Thread(target=supervisor.run,
+                                  kwargs={"stop": stop}, daemon=True)
+        killer = None
+        started_at = time.monotonic()
+        runner.start()
+        if chaos:
+            killer = _Killer(supervisor, stop, config["kill_interval_s"],
+                             seed=seed + 1)
+            killer.start()
+        try:
+            records = collect_results(
+                root, n_tasks, timeout_s=float(config["collect_timeout_s"]),
+                poll_interval_s=0.05, max_retries=1000,
+                maintenance_interval_s=0.25,
+            )
+            elapsed_s = time.monotonic() - started_at
+            if killer is not None:
+                # the fleet idles at min_workers after the drain, so the
+                # killer keeps landing hits — wait until enough kills and
+                # their restarts are on the books to measure recovery
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    enough_kills = killer.kills >= int(config["min_kills"])
+                    caught_up = (supervisor.summary()["restarts"]
+                                 >= killer.kills)
+                    if enough_kills and caught_up:
+                        break
+                    time.sleep(0.05)
+        finally:
+            stop.set()
+            if killer is not None:
+                killer.join(timeout=10.0)
+            runner.join(timeout=60.0)
+
+    if runner.is_alive():
+        raise RuntimeError("supervisor failed to drain")
+    if len(records) != n_tasks:
+        raise RuntimeError(
+            f"collected {len(records)} of {n_tasks} task records"
+        )
+
+    with events_lock:
+        restart_times = [float(e["t"]) for e in events
+                         if e.get("event") == "restart"]
+    summary = supervisor.summary()
+    result: Dict[str, object] = {
+        "tasks": n_tasks,
+        "elapsed_s": elapsed_s,
+        "goodput_tasks_per_s": n_tasks / elapsed_s,
+        "kills": killer.kills if killer is not None else 0,
+        "crashes": summary["crashes"],
+        "restarts": summary["restarts"],
+    }
+    if killer is not None:
+        samples = _recoveries(killer.kill_times, restart_times)
+        result["recovery_samples"] = len(samples)
+        if samples:
+            result["mean_recovery_s"] = sum(samples) / len(samples)
+            result["max_recovery_s"] = max(samples)
+    if plan is not None:
+        result["fault_plan"] = plan.to_dict()
+    return result
+
+
+def run_bench(smoke: bool, seed: int) -> Dict[str, object]:
+    config = _config(smoke)
+    print(f"chaos bench: {config['tasks']} tasks x {config['task_ms']}ms "
+          f"on {config['workers']} supervised workers (dir store)")
+    baseline = run_fleet(config, chaos=False, seed=seed)
+    print(f"  baseline: {baseline['goodput_tasks_per_s']:.1f} tasks/s "
+          f"({baseline['elapsed_s']:.2f}s)")
+    chaos = run_fleet(config, chaos=True, seed=seed)
+    chaos["goodput_ratio"] = (chaos["goodput_tasks_per_s"]
+                              / baseline["goodput_tasks_per_s"])
+    print(f"  chaos:    {chaos['goodput_tasks_per_s']:.1f} tasks/s "
+          f"({chaos['elapsed_s']:.2f}s), ratio "
+          f"{chaos['goodput_ratio']:.2f}, {chaos['kills']} kills, "
+          f"{chaos['restarts']} restarts, mean recovery "
+          f"{chaos.get('mean_recovery_s', float('nan')):.2f}s")
+    return {
+        "benchmark": "chaos_recovery",
+        "smoke": smoke,
+        "seed": seed,
+        "store": "dir",
+        "config": {key: list(value) if isinstance(value, tuple) else value
+                   for key, value in config.items()},
+        "baseline": baseline,
+        "chaos": chaos,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast configuration writing BENCH_chaos.smoke.json",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="artifact path (default: BENCH_chaos[.smoke].json at repo root)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20260808,
+        help="seed for the fault plan, task tokens and kill cadence",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench(args.smoke, args.seed)
+    artifact = args.output or (
+        SMOKE_ARTIFACT_PATH if args.smoke else ARTIFACT_PATH
+    )
+    write_json_report(artifact, payload)
+    print(f"wrote {artifact}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

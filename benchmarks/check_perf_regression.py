@@ -69,9 +69,22 @@ def main(argv=None) -> int:
         "--trend", default=DEFAULT_TREND_PATH,
         help="trend file whose newest-vs-previous delta is printed",
     )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="ARTIFACT",
+        help="gate only this artifact's thresholds (repeatable); CI jobs "
+             "that produce a single artifact use this so the other "
+             "benchmarks' absence cannot fail their gate",
+    )
     args = parser.parse_args(argv)
 
     spec = load_thresholds(args.thresholds)
+    if args.only:
+        unknown = sorted(set(args.only) - set(spec))
+        if unknown:
+            print(f"--only names absent from {args.thresholds}: "
+                  f"{', '.join(unknown)}")
+            return 2
+        spec = {artifact: spec[artifact] for artifact in args.only}
     checks = check_artifacts(args.root, spec)
     for check in checks:
         print(check.describe())

@@ -4,9 +4,10 @@
 Extracts the key metrics of the committed benchmark artifacts — conv-kernel
 speedups and the dir/object queue-store protocol overheads from
 ``BENCH_sweep.json``, end-to-end packed img/s and speedups plus the
-multi-worker chunk seam from ``BENCH_inference.json``, and the serving
+multi-worker chunk seam from ``BENCH_inference.json``, the serving
 layer's per-flush-policy req/s + latency percentiles from
-``BENCH_serving.json`` — and
+``BENCH_serving.json``, and the fleet's goodput-under-faults ratio and
+recovery times from ``BENCH_chaos.json`` — and
 appends them as one labelled entry to ``BENCH_trend.json``.  The trend file
 is committed, so the performance trajectory of the repository is diffable
 PR-over-PR, and ``benchmarks/check_perf_regression.py`` prints the delta of
@@ -57,6 +58,10 @@ TREND_METRICS = {
     "serving_best_rps": ("serving", "best.requests_per_s"),
     "serving_best_p50_ms": ("serving", "best.p50_ms"),
     "serving_best_p99_ms": ("serving", "best.p99_ms"),
+    "chaos_goodput_ratio": ("chaos", "chaos.goodput_ratio"),
+    "chaos_mean_recovery_s": ("chaos", "chaos.mean_recovery_s"),
+    "chaos_max_recovery_s": ("chaos", "chaos.max_recovery_s"),
+    "chaos_restarts": ("chaos", "chaos.restarts"),
 }
 
 #: per-network end-to-end metrics pulled from the inference artifact
@@ -90,9 +95,11 @@ def _load_artifact(path: str) -> Optional[Mapping[str, object]]:
 def extract_metrics(sweep: Optional[Mapping[str, object]],
                     inference: Optional[Mapping[str, object]],
                     serving: Optional[Mapping[str, object]] = None,
+                    chaos: Optional[Mapping[str, object]] = None,
                     ) -> Dict[str, float]:
     """Flatten the tracked metrics out of the benchmark artifacts."""
-    artifacts = {"sweep": sweep, "inference": inference, "serving": serving}
+    artifacts = {"sweep": sweep, "inference": inference, "serving": serving,
+                 "chaos": chaos}
     metrics: Dict[str, float] = {}
     for name, (artifact_key, dotted) in TREND_METRICS.items():
         payload = artifacts[artifact_key]
@@ -188,6 +195,10 @@ def main(argv=None) -> int:
         help="serving benchmark artifact to read",
     )
     parser.add_argument(
+        "--chaos", default=os.path.join(REPO_ROOT, "BENCH_chaos.json"),
+        help="chaos-recovery benchmark artifact to read",
+    )
+    parser.add_argument(
         "--trend", default=None,
         help="trend file to append to (default: the committed "
              "BENCH_trend.json, or BENCH_trend.smoke.json under --smoke "
@@ -207,19 +218,22 @@ def main(argv=None) -> int:
     if trend_path is None:
         trend_path = SMOKE_TREND_PATH if args.smoke else DEFAULT_TREND_PATH
     sweep_path, inference_path = args.sweep, args.inference
-    serving_path = args.serving
+    serving_path, chaos_path = args.serving, args.chaos
     if args.smoke:
         sweep_path = sweep_path.replace(".json", ".smoke.json")
         inference_path = inference_path.replace(".json", ".smoke.json")
         serving_path = serving_path.replace(".json", ".smoke.json")
+        chaos_path = chaos_path.replace(".json", ".smoke.json")
     sweep = _load_artifact(sweep_path)
     inference = _load_artifact(inference_path)
     serving = _load_artifact(serving_path)
-    if sweep is None and inference is None and serving is None:
+    chaos = _load_artifact(chaos_path)
+    if sweep is None and inference is None and serving is None \
+            and chaos is None:
         print(f"no artifacts found at {sweep_path} / {inference_path} / "
-              f"{serving_path}")
+              f"{serving_path} / {chaos_path}")
         return 1
-    metrics = extract_metrics(sweep, inference, serving)
+    metrics = extract_metrics(sweep, inference, serving, chaos)
     if not metrics:
         print("artifacts carried none of the tracked metrics")
         return 1
@@ -227,7 +241,8 @@ def main(argv=None) -> int:
         "label": args.label or _git_label(),
         "smoke": bool(args.smoke or (sweep or {}).get("smoke")
                       or (inference or {}).get("smoke")
-                      or (serving or {}).get("smoke")),
+                      or (serving or {}).get("smoke")
+                      or (chaos or {}).get("smoke")),
         "metrics": metrics,
     }
     entries = append_entry(trend_path, entry)

@@ -30,6 +30,15 @@ over S3-style conditional-put semantics (the in-repo
 ``LocalObjectStore``), exported to the worker via the
 ``REPRO_RUNTIME_STORE`` environment toggle exactly as an operator would
 move a real fleet.
+
+``--supervise`` upgrades the fleet walk: instead of one hand-launched
+worker, it starts the supervisor daemon
+(``python -m repro.runtime.queue <dir> supervise``) and lets *it* act on
+the autoscale advisory — spawning workers for the backlog, scaling back
+to zero once the queue drains, and exiting on its own via
+``--idle-exit-seconds``.  This process is then a pure coordinator
+(``QueueExecutor(inline_worker=False)``): every record is produced by a
+worker the supervisor chose to run.
 """
 
 from __future__ import annotations
@@ -105,6 +114,52 @@ def _run_on_shared_queue(grid: SweepGrid, store_name: str) -> SweepResult:
     return result
 
 
+def _run_under_supervisor(grid: SweepGrid, store_name: str) -> SweepResult:
+    """The supervised fleet: the daemon owns every worker, we only submit."""
+    from collections import Counter
+
+    from repro.runtime.queue import QueueExecutor
+    from repro.runtime.store import STORE_ENV
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-demo-") as shared:
+        events_path = os.path.join(shared, "events.jsonl")
+        argv = [sys.executable, "-m", "repro.runtime.queue", shared,
+                "supervise", "--store", store_name,
+                "--min-workers", "0", "--max-workers", "2",
+                "--tasks-per-worker", "4", "--poll-interval", "0.2",
+                "--cooldown-seconds", "0.5", "--lease-seconds", "10",
+                "--idle-exit-seconds", "3.0", "--events", events_path]
+        print(f"[supervise] shared queue dir: {shared} "
+              f"(store backend: {store_name})")
+        print("[supervise] starting the fleet supervisor: "
+              + " ".join(argv[1:]))
+        env = dict(os.environ)
+        env[STORE_ENV] = store_name
+        daemon = subprocess.Popen(argv, env=env)
+        try:
+            # a pure coordinator: if records come back, the supervisor
+            # scaled real workers up for the backlog all by itself
+            executor = QueueExecutor(shared, inline_worker=False,
+                                     timeout_s=600.0, lease_s=10.0,
+                                     store=store_name)
+            result = run_sweep(grid, executor=executor)
+            print("[supervise] queue drained; waiting for the daemon's "
+                  "scale-to-zero idle exit...")
+            daemon.wait(timeout=60)
+        finally:
+            if daemon.poll() is None:
+                daemon.terminate()
+                daemon.wait(timeout=30)
+        print(f"[supervise] daemon exited with code {daemon.returncode}")
+        with open(events_path, "r", encoding="utf-8") as handle:
+            counts = Counter(json.loads(line)["event"]
+                             for line in handle if line.strip())
+        print("[supervise] event stream digest: "
+              + ", ".join(f"{kind} x{count}"
+                          for kind, count in sorted(counts.items())))
+    return result
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=0,
@@ -117,14 +172,21 @@ def main() -> None:
                              "(implies --backend queue; 'object' runs the "
                              "whole protocol over S3-style conditional "
                              "puts)")
+    parser.add_argument("--supervise", action="store_true",
+                        help="fleet walk under the supervisor daemon: it "
+                             "acts on the autoscale advisory and owns every "
+                             "worker (implies --backend queue)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="path of the JSON artifact to write")
     args = parser.parse_args()
-    if args.store is not None and args.backend is None:
-        print(f"--store {args.store} implies --backend queue")
+    if (args.store is not None or args.supervise) and args.backend is None:
+        reason = "--supervise" if args.supervise else f"--store {args.store}"
+        print(f"{reason} implies --backend queue")
         args.backend = "queue"
     if args.store is not None and args.backend != "queue":
         parser.error("--store only applies to the queue backend")
+    if args.supervise and args.backend != "queue":
+        parser.error("--supervise only applies to the queue backend")
 
     grid = SweepGrid(
         networks=("MLP-L", "CNN-L"),
@@ -137,7 +199,9 @@ def main() -> None:
     mode = args.backend or ("serial" if args.workers < 2
                             else f"{args.workers} workers")
     print(f"evaluating {len(grid.points())} grid points ({mode})...")
-    if args.backend == "queue":
+    if args.supervise:
+        result = _run_under_supervisor(grid, args.store or "dir")
+    elif args.backend == "queue":
         result = _run_on_shared_queue(grid, args.store or "dir")
     else:
         result = run_sweep(grid, workers=args.workers or None,

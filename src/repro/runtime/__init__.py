@@ -26,6 +26,19 @@ measurements (``benchmarks/``) — executes through this package:
   the orphan reaper, poisoned-task quarantine, the result compactor,
   machine-readable queue status and the autoscaling advisory
   (:func:`~repro.runtime.janitor.autoscale_advisory`).
+* :mod:`repro.runtime.supervisor` — the daemon that *acts* on those
+  advisories (``python -m repro.runtime.queue <root> supervise``):
+  spawns/retires real worker subprocesses with cooldown + hysteresis,
+  restarts crashes under jittered backoff, benches crash-loopers, and
+  emits a JSON event stream.
+* :mod:`repro.runtime.resilience` — the centralised retry / backoff /
+  outage-classification policy (transient vs deterministic failures,
+  decorrelated jitter, crash-loop budgets) adopted by the store,
+  queue, supervisor and serving layers.
+* :mod:`repro.runtime.faults` — seeded, schedule-driven fault
+  injection (:class:`~repro.runtime.faults.FaultPlan`, the
+  ``REPRO_RUNTIME_FAULTS`` fleet-wide toggle) behind the chaos soak
+  and ``benchmarks/bench_chaos.py``.
 * :mod:`repro.runtime.measure` — the repeated-measurement harness the
   benchmarks drive their timing loops through.
 
@@ -53,11 +66,23 @@ from repro.runtime.measure import (
     percentile,
     percentiles,
 )
+from repro.runtime.faults import FAULTS_ENV, FaultInjected, FaultPlan
 from repro.runtime.queue import QueueExecutor
+from repro.runtime.resilience import (
+    BackoffPolicy,
+    DETERMINISTIC,
+    RestartBudget,
+    TRANSIENT,
+    classify_outage,
+    decorrelated_jitter,
+    retry_backoff,
+    retry_call,
+)
 from repro.runtime.store import (
     STORE_ENV,
     STORES,
     DirStore,
+    FaultInjectingStore,
     LocalObjectStore,
     ObjectStore,
     QueueStore,
@@ -65,26 +90,38 @@ from repro.runtime.store import (
     resolve_store,
     store_from_env,
 )
+from repro.runtime.supervisor import Supervisor
 from repro.runtime.tasks import Task, WorkList, gather, run_serially
 
 __all__ = [
     "BACKEND_ENV",
     "BACKENDS",
+    "BackoffPolicy",
+    "DETERMINISTIC",
     "DirStore",
     "Executor",
+    "FAULTS_ENV",
+    "FaultInjected",
+    "FaultInjectingStore",
+    "FaultPlan",
     "LocalObjectStore",
     "Measurement",
     "ObjectStore",
     "ProcessExecutor",
     "QueueExecutor",
     "QueueStore",
+    "RestartBudget",
     "STORE_ENV",
     "STORES",
     "SerialExecutor",
+    "Supervisor",
+    "TRANSIENT",
     "Task",
     "ThreadExecutor",
     "WorkList",
     "backend_from_env",
+    "classify_outage",
+    "decorrelated_jitter",
     "gather",
     "make_executor",
     "make_store",
@@ -94,6 +131,8 @@ __all__ = [
     "percentiles",
     "resolve_executor",
     "resolve_store",
+    "retry_backoff",
+    "retry_call",
     "run_serially",
     "store_from_env",
 ]

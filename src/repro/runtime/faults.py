@@ -1,0 +1,267 @@
+"""Seeded, schedule-driven fault injection for the queue-storage layer.
+
+PR 5 gave :class:`~repro.runtime.store.LocalObjectStore` ad-hoc test
+hooks (``latency_s``, ``conflict_hook``, ``fault_hook``); this module
+promotes them into a first-class, *reproducible* chaos schedule:
+
+:class:`FaultPlan`
+    A JSON-able description of what to break and how often — latency
+    spikes, operation-targeted I/O errors, conditional-verb conflict
+    storms, and a worker SIGKILL cadence for chaos drivers — all drawn
+    from one seeded RNG, so a chaos failure replays exactly from the
+    seed printed in the failure message.
+
+``REPRO_RUNTIME_FAULTS``
+    Environment toggle carrying a plan as JSON.  Because worker
+    subprocesses resolve their stores through the same environment (see
+    :func:`repro.runtime.store.resolve_store`), exporting one variable
+    injects the *same* fault schedule into every member of a fleet —
+    the supervisor's spawned workers included — without any of them
+    being chaos-aware.
+
+Plan schema (all keys optional; rates are probabilities per operation)::
+
+    {
+      "seed": 1234,
+      "latency":   {"rate": 0.05, "min_s": 0.001, "max_s": 0.02,
+                    "ops": ["get", "put"]},
+      "errors":    {"rate": 0.02, "ops": null},
+      "conflicts": {"rate": 0.05},
+      "kill_interval_s": [0.5, 1.5]
+    }
+
+``ops: null`` (or omitted) targets every operation.  ``kill_interval_s``
+is consumed by chaos drivers (the soak test, ``bench_chaos.py``) via
+:meth:`FaultPlan.next_kill_delay_s`; the stores ignore it.
+
+Injected errors raise :class:`FaultInjected`, an ``OSError`` subclass —
+so :func:`repro.runtime.resilience.classify_outage` files them as
+transient and every retry/backoff path treats a drill exactly like a
+real storage hiccup.  Faults are raised *before* the underlying verb
+takes effect (fail-fast transport semantics), which is what makes
+retrying the primitive verbs side-effect-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.runtime.resilience import TRANSIENT
+
+#: environment variable carrying a :class:`FaultPlan` as JSON, injected
+#: into every store the process (and its worker subprocesses) resolves
+FAULTS_ENV = "REPRO_RUNTIME_FAULTS"
+
+#: operations a plan may target (superset of both stores' verbs)
+KNOWN_OPS = (
+    "list", "get", "head", "put", "put_if_absent", "delete",
+    "delete_if_generation", "move",
+)
+
+#: conditional verbs a ``conflicts`` spec can force to fail
+CONDITIONAL_OPS = ("put_if_absent", "delete_if_generation", "move")
+
+
+class FaultInjected(OSError):
+    """A fault-injection layer dropped a storage call (transient).
+
+    Carries the plan seed so a failure seen once reproduces exactly:
+    re-run with ``REPRO_RUNTIME_FAULTS='{"seed": <seed>, ...}'`` (the
+    message spells it out).  Subclassing ``OSError`` files it as
+    :data:`~repro.runtime.resilience.TRANSIENT` everywhere.
+    """
+
+    outage_class = TRANSIENT
+
+    def __init__(self, op: str, key: str, seed: int) -> None:
+        super().__init__(
+            f"injected {op} fault at {key!r} "
+            f"(FaultPlan seed {seed}; rerun with {FAULTS_ENV}="
+            f"'{{\"seed\": {seed}, ...}}' to replay this schedule)"
+        )
+        self.op = op
+        self.key = key
+        self.seed = seed
+
+
+class _OpSpec:
+    """One fault family: a rate plus an optional operation filter."""
+
+    def __init__(self, rate: float = 0.0,
+                 ops: Optional[Iterable[str]] = None) -> None:
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.ops: Optional[Tuple[str, ...]] = (
+            None if ops is None else tuple(ops)
+        )
+        if self.ops is not None:
+            unknown = set(self.ops) - set(KNOWN_OPS)
+            if unknown:
+                raise ValueError(
+                    f"unknown fault ops {sorted(unknown)}; "
+                    f"choose from {KNOWN_OPS}"
+                )
+
+    def applies(self, op: str) -> bool:
+        return self.rate > 0 and (self.ops is None or op in self.ops)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rate": self.rate,
+                "ops": None if self.ops is None else list(self.ops)}
+
+
+class _LatencySpec(_OpSpec):
+    """Latency-spike family: adds a uniform ``[min_s, max_s]`` sleep."""
+
+    def __init__(self, rate: float = 0.0, min_s: float = 0.0,
+                 max_s: float = 0.0,
+                 ops: Optional[Iterable[str]] = None) -> None:
+        super().__init__(rate, ops)
+        self.min_s = float(min_s)
+        self.max_s = float(max_s)
+        if self.min_s < 0 or self.max_s < self.min_s:
+            raise ValueError("need 0 <= min_s <= max_s for latency spikes")
+
+    def to_dict(self) -> Dict[str, object]:
+        spec = super().to_dict()
+        spec.update({"min_s": self.min_s, "max_s": self.max_s})
+        return spec
+
+
+class FaultPlan:
+    """A seeded chaos schedule the storage layer consults per operation.
+
+    Thread-safe: a single plan instance is shared by every store a
+    process resolves (plus the worker threads inside it), and all draws
+    come from one seeded stream guarded by a lock — the schedule is a
+    deterministic function of the seed and the global operation order.
+
+    Parameters mirror the JSON schema in the module docstring:
+    ``latency`` / ``errors`` / ``conflicts`` are dicts (or ``None``),
+    ``kill_interval_s`` an optional ``(lo, hi)`` pair for chaos drivers.
+    """
+
+    def __init__(self, *, seed: int = 0,
+                 latency: Optional[Dict[str, object]] = None,
+                 errors: Optional[Dict[str, object]] = None,
+                 conflicts: Optional[Dict[str, object]] = None,
+                 kill_interval_s: Optional[Tuple[float, float]] = None
+                 ) -> None:
+        self.seed = int(seed)
+        self.latency = _LatencySpec(**(latency or {}))
+        self.errors = _OpSpec(**(errors or {}))
+        self.conflicts = _OpSpec(**(conflicts or {}))
+        if kill_interval_s is not None:
+            lo, hi = (float(kill_interval_s[0]), float(kill_interval_s[1]))
+            if lo <= 0 or hi < lo:
+                raise ValueError(
+                    f"kill_interval_s needs 0 < lo <= hi, got {lo}..{hi}"
+                )
+            kill_interval_s = (lo, hi)
+        self.kill_interval_s = kill_interval_s
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+
+    # -- store-facing draws ----------------------------------------------
+    def latency_s(self, op: str, key: str) -> float:
+        """Extra seconds to sleep before ``op`` (0.0 = no spike)."""
+        if not self.latency.applies(op):
+            return 0.0
+        with self._lock:
+            if self._rng.random() >= self.latency.rate:
+                return 0.0
+            return self._rng.uniform(self.latency.min_s, self.latency.max_s)
+
+    def check_fault(self, op: str, key: str) -> None:
+        """Raise :class:`FaultInjected` when the schedule drops this call."""
+        if not self.errors.applies(op):
+            return
+        with self._lock:
+            hit = self._rng.random() < self.errors.rate
+        if hit:
+            raise FaultInjected(op, key, self.seed)
+
+    def forced_conflict(self, op: str, key: str) -> bool:
+        """Whether a conditional verb must fail its precondition now."""
+        if op not in CONDITIONAL_OPS or not self.conflicts.applies(op):
+            return False
+        with self._lock:
+            return self._rng.random() < self.conflicts.rate
+
+    # -- chaos-driver draws ----------------------------------------------
+    def next_kill_delay_s(self) -> Optional[float]:
+        """Seconds until the next worker SIGKILL (None = no kill cadence)."""
+        if self.kill_interval_s is None:
+            return None
+        lo, hi = self.kill_interval_s
+        with self._lock:
+            return self._rng.uniform(lo, hi)
+
+    # -- (de)serialisation ------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "seed": self.seed,
+            "latency": self.latency.to_dict(),
+            "errors": self.errors.to_dict(),
+            "conflicts": self.conflicts.to_dict(),
+            "kill_interval_s": (None if self.kill_interval_s is None
+                                else list(self.kill_interval_s)),
+        }
+
+    def to_json(self) -> str:
+        """Compact JSON form (what :data:`FAULTS_ENV` carries)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, object]) -> "FaultPlan":
+        """Build a plan from the JSON schema (unknown keys rejected)."""
+        if not isinstance(spec, dict):
+            raise ValueError(f"a FaultPlan must be a JSON object, got {spec!r}")
+        known = {"seed", "latency", "errors", "conflicts", "kill_interval_s"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FaultPlan keys {sorted(unknown)}; "
+                f"choose from {sorted(known)}"
+            )
+        kill = spec.get("kill_interval_s")
+        return cls(
+            seed=spec.get("seed", 0),
+            latency=spec.get("latency"),
+            errors=spec.get("errors"),
+            conflicts=spec.get("conflicts"),
+            kill_interval_s=None if kill is None else tuple(kill),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse the :data:`FAULTS_ENV` JSON payload into a plan."""
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{FAULTS_ENV} does not hold valid JSON: {error}"
+            ) from error
+        return cls.from_dict(spec)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """Plan configured via :data:`FAULTS_ENV` (None when unset)."""
+        text = os.environ.get(FAULTS_ENV, "").strip()
+        if not text:
+            return None
+        return cls.from_json(text)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FaultPlan(seed={self.seed}, "
+                f"latency_rate={self.latency.rate}, "
+                f"error_rate={self.errors.rate}, "
+                f"conflict_rate={self.conflicts.rate}, "
+                f"kill_interval_s={self.kill_interval_s})")

@@ -517,13 +517,26 @@ def layout_status(root: str, *, now: Optional[float] = None,
 def desired_workers(queued: int, claimed: int, *,
                     tasks_per_worker: Optional[int] = None,
                     min_workers: int = 0,
-                    max_workers: Optional[int] = None) -> int:
+                    max_workers: Optional[int] = None,
+                    current_workers: Optional[int] = None,
+                    hysteresis_tasks: Optional[int] = None) -> int:
     """Worker count the backlog calls for (the autoscaling policy).
 
     Deterministic and deliberately simple: one worker per
     ``tasks_per_worker`` outstanding tasks (queued plus in-flight),
     rounded up and clamped to ``[min_workers, max_workers]``.  An empty
     queue asks for ``min_workers`` — scale-to-zero by default.
+
+    Without ``current_workers`` the raw ceil-divide policy applies — and
+    a backlog hovering at a ``tasks_per_worker`` boundary (say 8 vs 9 at
+    4 tasks/worker) flips the answer between 2 and 3 every poll,
+    flapping any scaler that obeys it.  Passing the fleet's **current**
+    size turns on hysteresis: scale-up triggers immediately (backlog is
+    latency), but scale-down only once the backlog falls
+    ``hysteresis_tasks`` *below* the boundary that justifies the smaller
+    fleet (default: half a worker's share, ``max(1, tasks_per_worker //
+    2)``).  An empty backlog still asks for ``min_workers`` — hysteresis
+    never blocks scale-to-zero.
     """
     if tasks_per_worker is None:
         tasks_per_worker = DEFAULT_TASKS_PER_WORKER
@@ -536,8 +549,20 @@ def desired_workers(queued: int, claimed: int, *,
             "need 0 <= min_workers <= max_workers, got "
             f"{min_workers}..{max_workers}"
         )
+    if hysteresis_tasks is None:
+        hysteresis_tasks = max(1, tasks_per_worker // 2)
+    if hysteresis_tasks < 0:
+        raise ValueError("hysteresis_tasks must be >= 0")
     backlog = max(0, int(queued)) + max(0, int(claimed))
     wanted = math.ceil(backlog / tasks_per_worker)
+    if current_workers is not None and backlog > 0:
+        current = max(0, int(current_workers))
+        if wanted < current:
+            # shrink only when the padded backlog no longer justifies
+            # the current fleet; otherwise hold to damp boundary flap
+            padded = math.ceil((backlog + hysteresis_tasks)
+                               / tasks_per_worker)
+            wanted = current if padded >= current else padded
     return max(min_workers, min(max_workers, wanted))
 
 
@@ -545,6 +570,8 @@ def autoscale_advisory(root: str, *,
                        tasks_per_worker: Optional[int] = None,
                        min_workers: int = 0,
                        max_workers: Optional[int] = None,
+                       hysteresis_tasks: Optional[int] = None,
+                       current_workers: Optional[int] = None,
                        now: Optional[float] = None,
                        store: StoreLike = None) -> Dict[str, object]:
     """Machine-readable scale-up/down advisory for an external scaler.
@@ -552,20 +579,26 @@ def autoscale_advisory(root: str, *,
     This is what ``python -m repro.runtime.queue <root> autoscale``
     prints and what a collecting executor feeds its ``autoscale_hook``.
     The advisory compares the backlog-driven :func:`desired_workers`
-    against the workers currently observed holding live leases:
+    against the fleet's current size:
 
     ``action``
-        ``"scale_up"`` when the backlog wants more workers than hold
-        leases, ``"scale_down"`` when it wants fewer, ``"hold"``
+        ``"scale_up"`` when the backlog wants more workers than the
+        fleet has, ``"scale_down"`` when it wants fewer, ``"hold"``
         otherwise.
     ``desired_workers`` / ``live_workers``
-        The two sides of that comparison (live = distinct owners across
-        unexpired leases).
+        The recommendation and the lease census (live = distinct owners
+        across unexpired leases).
     ``queue_depth`` / ``claimed`` / ``oldest_claim_age_s``
         The raw signals, fleet-wide: pending backlog, in-flight tasks,
         and seconds since the stalest claim's last lease renewal (a
         value far beyond the lease length means orphans are awaiting
         the reaper, not that more workers are needed).
+
+    ``current_workers`` (default: the live-lease count) is the fleet
+    size the comparison — and the scale-down hysteresis of
+    :func:`desired_workers` — anchors to; pass the scaler's own fleet
+    size when it knows better than the lease census — the supervisor
+    does, since an idle worker holds no lease at all.
     """
     backend = resolve_store(store)
     current = time.time() if now is None else now
@@ -581,22 +614,26 @@ def autoscale_advisory(root: str, *,
         claimed += claims.claimed
         live_owners |= claims.live_owners
         oldest_age = max(oldest_age, claims.oldest_age_s)
+    live = len(live_owners)
+    anchor = live if current_workers is None else max(0, int(current_workers))
     wanted = desired_workers(queued, claimed,
                              tasks_per_worker=tasks_per_worker,
                              min_workers=min_workers,
-                             max_workers=max_workers)
-    live = len(live_owners)
-    if wanted > live:
+                             max_workers=max_workers,
+                             current_workers=anchor,
+                             hysteresis_tasks=hysteresis_tasks)
+    if wanted > anchor:
         action = "scale_up"
         reason = (f"backlog of {queued + claimed} task(s) wants {wanted} "
-                  f"worker(s); {live} hold live leases")
-    elif wanted < live:
+                  f"worker(s); fleet at {anchor} ({live} hold live leases)")
+    elif wanted < anchor:
         action = "scale_down"
         reason = (f"backlog of {queued + claimed} task(s) needs only "
-                  f"{wanted} worker(s); {live} hold live leases")
+                  f"{wanted} worker(s); fleet at {anchor} "
+                  f"({live} hold live leases)")
     else:
         action = "hold"
-        reason = f"{live} worker(s) match the backlog"
+        reason = f"{anchor} worker(s) match the backlog"
     return {
         "action": action,
         "reason": reason,

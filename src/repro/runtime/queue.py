@@ -367,9 +367,22 @@ class _LeaseHeartbeat:
             self._thread.join()
 
     def _beat(self) -> None:
+        from repro.runtime import resilience
+
         while not self._stop.wait(self._interval_s):
-            if not self._store.renew_lease(self._claimed_path,
-                                           default_lease_s=self._lease_s):
+            try:
+                renewed = self._store.renew_lease(
+                    self._claimed_path, default_lease_s=self._lease_s
+                )
+            except Exception as error:
+                # a transient storage fault must not kill the heartbeat:
+                # the lease survives a missed beat (deadline = last
+                # renewal + lease), so just try again next interval.
+                # Anything deterministic is a real bug — surface it.
+                if resilience.classify_outage(error) != resilience.TRANSIENT:
+                    raise
+                continue
+            if not renewed:
                 break
 
 
@@ -637,30 +650,47 @@ def collect_results(root: str, expected: int, *, timeout_s: float,
         compact_threshold = default_compact_threshold()
     if maintenance_interval_s is None:
         maintenance_interval_s = max(1.0, 10.0 * poll_interval_s)
-    from repro.runtime import janitor
+    from repro.runtime import janitor, resilience
 
     deadline = time.monotonic() + timeout_s
     bundle_cache: Dict[str, frozenset] = {}
+    present: frozenset = frozenset()
     next_maintenance = time.monotonic()  # first cycle maintains immediately
     while True:
         if inline_worker is not None:
             inline_worker()
         if time.monotonic() >= next_maintenance:
-            if reap_orphans:
-                janitor.reap_layout(root, max_retries=max_retries,
-                                    store=backend)
-            if compact_threshold:
-                janitor.compact_layout(root, chunk_size=compact_threshold,
-                                       store=backend)
-            if autoscale_hook is not None:
-                autoscale_hook(janitor.autoscale_advisory(root,
-                                                          store=backend))
+            try:
+                if reap_orphans:
+                    janitor.reap_layout(root, max_retries=max_retries,
+                                        store=backend)
+                if compact_threshold:
+                    janitor.compact_layout(root,
+                                           chunk_size=compact_threshold,
+                                           store=backend)
+                if autoscale_hook is not None:
+                    autoscale_hook(janitor.autoscale_advisory(root,
+                                                              store=backend))
+            except Exception as error:
+                # maintenance is best-effort on a cadence: a transient
+                # storage fault (conflict storm, injected outage) just
+                # skips this round — the next cycle retries.  A
+                # deterministic error is a real bug and must surface.
+                if resilience.classify_outage(error) != resilience.TRANSIENT:
+                    raise
             next_maintenance = time.monotonic() + maintenance_interval_s
-        present = published_indices(root, bundle_cache, store=backend)
-        if len(present) >= expected:
-            entries = _read_result_entries(root, store=backend)
-            if len(entries) >= expected:
-                break
+        try:
+            present = published_indices(root, bundle_cache, store=backend)
+            if len(present) >= expected:
+                entries = _read_result_entries(root, store=backend)
+                if len(entries) >= expected:
+                    break
+        except Exception as error:
+            # a transient storage fault mid-scan costs one poll cycle,
+            # nothing more — results are immutable once published, so
+            # re-scanning next cycle observes a superset
+            if resilience.classify_outage(error) != resilience.TRANSIENT:
+                raise
         if time.monotonic() >= deadline:
             raise TimeoutError(
                 f"queue at {root!r} produced {len(present)} of {expected} "
@@ -903,6 +933,7 @@ def _autoscale_command(args: argparse.Namespace) -> int:
         advisory = janitor.autoscale_advisory(
             args.root, tasks_per_worker=args.tasks_per_worker,
             min_workers=args.min_workers, max_workers=args.max_workers,
+            hysteresis_tasks=args.hysteresis_tasks,
             store=args.store,
         )
     except ValueError as error:
@@ -933,17 +964,91 @@ def _compact_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervise_command(args: argparse.Namespace) -> int:
+    """Long-lived fleet supervisor: act on autoscale advisories.
+
+    Polls :func:`repro.runtime.janitor.autoscale_advisory`, spawns and
+    retires real ``serve --watch`` worker subprocesses with cooldown +
+    hysteresis, restarts crashed workers under decorrelated-jitter
+    backoff (benching crash-loopers), and emits a JSON event stream.
+    Exits 0 after a SIGTERM/SIGINT drain — or on its own once the fleet
+    has sat scaled-to-zero over an empty queue for
+    ``--idle-exit-seconds`` (the bounded-demo/cron mode).
+    """
+    import sys
+
+    from repro.runtime.resilience import BackoffPolicy
+    from repro.runtime.supervisor import Supervisor, open_event_sink
+
+    stop = threading.Event()
+
+    def _halt(signum, frame):  # pragma: no cover - exercised via subprocess
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _halt)
+        except ValueError:
+            pass  # not the main thread (tests driving main() directly)
+
+    handle = open_event_sink(args.events)
+
+    def emit(event: Dict[str, object]) -> None:
+        try:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+            handle.flush()
+        except (OSError, ValueError):
+            pass  # a closed event sink must never kill the fleet
+
+    restart_backoff = None
+    if args.restart_base_seconds is not None:
+        restart_backoff = BackoffPolicy(
+            base_delay_s=args.restart_base_seconds,
+            max_delay_s=max(args.restart_base_seconds,
+                            args.restart_max_seconds),
+        )
+    supervisor = Supervisor(
+        args.root,
+        store=args.store_name,
+        min_workers=args.min_workers,
+        max_workers=(4 if args.max_workers is None else args.max_workers),
+        tasks_per_worker=args.tasks_per_worker,
+        hysteresis_tasks=args.hysteresis_tasks,
+        poll_interval_s=args.poll_interval,
+        cooldown_s=args.cooldown_seconds,
+        lease_s=args.lease_seconds,
+        max_restarts=args.max_restarts,
+        restart_window_s=args.restart_window_seconds,
+        restart_backoff=restart_backoff,
+        seed=args.seed,
+        emit=emit,
+    )
+    try:
+        supervisor.run(stop=stop, idle_exit_s=args.idle_exit_seconds)
+    finally:
+        summary = supervisor.summary()
+        print(f"supervisor drained: {json.dumps(summary, sort_keys=True)}",
+              file=sys.stderr)
+        if handle is not sys.stdout:
+            handle.close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
 _COMMANDS = {
     "serve": _serve_command,
     "status": _status_command,
     "autoscale": _autoscale_command,
     "reap": _reap_command,
     "compact": _compact_command,
+    "supervise": _supervise_command,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI: ``python -m repro.runtime.queue <root> [serve|status|autoscale|compact|reap]``.
+    """CLI: ``python -m repro.runtime.queue <root> [serve|status|autoscale|supervise|compact|reap]``.
 
     ``serve`` (the default) is the worker loop — it drains every layout
     under the root, optionally forever (``--watch``), reaping orphans
@@ -951,9 +1056,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     a machine-readable JSON summary (queued/claimed/done/failed counts
     plus queue-depth, claim-age and desired-worker autoscaling signals,
     per layout).  ``autoscale`` prints a machine-readable scale-up/down
-    advisory for external worker scalers.  ``reap`` re-queues expired
-    leases and quarantines poisoned tasks once.  ``compact`` bundles
-    loose result files (including a final partial bundle).
+    advisory for external worker scalers — and ``supervise`` *acts* on
+    it: a long-lived daemon spawning/retiring real local worker
+    subprocesses with cooldown + hysteresis, restarting crashed ones
+    under jittered backoff (crash-loopers are benched), and emitting a
+    JSON event stream.  ``reap`` re-queues expired leases and
+    quarantines poisoned tasks once.  ``compact`` bundles loose result
+    files (including a final partial bundle).
     """
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.queue",
@@ -1002,17 +1111,60 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--tasks-per-worker", type=int, default=None,
-        help="autoscale: backlog tasks one worker is expected to absorb "
-             "(default: 4)",
+        help="autoscale/supervise: backlog tasks one worker is expected to "
+             "absorb (default: 4)",
     )
     parser.add_argument(
         "--min-workers", type=int, default=0,
-        help="autoscale: floor of the desired-worker advisory (default: 0)",
+        help="autoscale/supervise: floor of the desired worker count "
+             "(default: 0)",
     )
     parser.add_argument(
         "--max-workers", type=int, default=None,
-        help="autoscale: ceiling of the desired-worker advisory "
-             "(default: 32)",
+        help="autoscale/supervise: ceiling of the desired worker count "
+             "(default: 32 for autoscale, 4 for supervise)",
+    )
+    parser.add_argument(
+        "--hysteresis-tasks", type=int, default=None,
+        help="autoscale/supervise: backlog margin below a scale-down "
+             "boundary before shrinking (default: tasks-per-worker // 2)",
+    )
+    parser.add_argument(
+        "--cooldown-seconds", type=float, default=5.0,
+        help="supervise: minimum seconds between scaling actions "
+             "(default: 5)",
+    )
+    parser.add_argument(
+        "--max-restarts", type=int, default=3,
+        help="supervise: crashes inside --restart-window-seconds before a "
+             "worker slot is benched instead of respawned (default: 3)",
+    )
+    parser.add_argument(
+        "--restart-window-seconds", type=float, default=60.0,
+        help="supervise: sliding crash-loop window (default: 60)",
+    )
+    parser.add_argument(
+        "--restart-base-seconds", type=float, default=None,
+        help="supervise: base delay of the decorrelated-jitter restart "
+             "backoff (default: 0.5)",
+    )
+    parser.add_argument(
+        "--restart-max-seconds", type=float, default=15.0,
+        help="supervise: ceiling of the restart backoff (default: 15)",
+    )
+    parser.add_argument(
+        "--idle-exit-seconds", type=float, default=None,
+        help="supervise: exit once the fleet has been scaled to zero over "
+             "an empty queue this long (default: run until SIGTERM)",
+    )
+    parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="supervise: append the JSON event stream here "
+             "(default: stdout; '-' also means stdout)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="supervise: seed of the restart-jitter stream (default: 0)",
     )
     args = parser.parse_args(argv)
     if args.lease_seconds is None:
@@ -1021,6 +1173,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.max_retries = default_max_retries()
     if args.compact_threshold is None:
         args.compact_threshold = default_compact_threshold()
+    # the supervisor exports the *name* to worker subprocess environments;
+    # everything else wants the resolved instance
+    args.store_name = args.store
     args.store = resolve_store(args.store)
     return _COMMANDS[args.command](args)
 

@@ -1,0 +1,233 @@
+"""Centralised retry / backoff / outage-classification policy.
+
+Every fleet component that survives trouble used to carry its own ad-hoc
+notion of "retryable": the queue protocol retried nothing, the serving
+circuit breaker had a fixed cooldown, and the object-store backend
+surfaced every transport hiccup straight to the worker loop.  This
+module is the one place that policy lives now:
+
+:func:`classify_outage`
+    Splits an exception into **transient** (a storage round trip timed
+    out, a conditional verb hit a conflict storm, a fault-injection
+    layer dropped the call — retry with backoff) and **deterministic**
+    (the task itself raised — fail fast so the janitor's quarantine
+    machinery sees the poison pill instead of the fleet retrying it
+    forever).
+
+:class:`BackoffPolicy` / :func:`decorrelated_jitter`
+    The AWS-style *decorrelated jitter* schedule: each delay is drawn
+    uniformly from ``[base, min(max, previous * multiplier)]``.  Jitter
+    decorrelates a thundering herd of restarting workers; the
+    multiplier keeps a persistent outage from being hammered.
+
+:func:`retry_call` / :func:`retry_backoff`
+    The retry driver (and its decorator form): transient outages sleep
+    a jittered delay and retry up to ``max_attempts``; deterministic
+    failures — and the last transient attempt — re-raise unchanged.
+
+:class:`RestartBudget`
+    The supervisor's crash-loop guard: a sliding-window counter of
+    worker crashes.  A worker that dies ``max_restarts`` times within
+    ``window_s`` is *benched* (reported, never respawned) instead of
+    burning the host on an infinite crash loop.
+
+Adopters: :class:`~repro.runtime.store.ObjectStore` (per-verb retries),
+:mod:`repro.runtime.queue` (heartbeat + collector maintenance),
+:class:`~repro.runtime.supervisor.Supervisor` (restart backoff and
+crash-loop budgets) and the serving
+:class:`~repro.serving.admission.CircuitBreaker` (growing half-open
+cooldowns).  An exception may force its own classification by carrying
+an ``outage_class`` attribute set to :data:`TRANSIENT` or
+:data:`DETERMINISTIC`.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+#: classification labels returned by :func:`classify_outage`
+TRANSIENT = "transient"
+DETERMINISTIC = "deterministic"
+
+#: exception types that signal infrastructure trouble rather than a bug
+#: in the task: storage/transport errors and timeouts.  ConnectionError
+#: and TimeoutError are OSError subclasses on supported pythons but stay
+#: spelled out so the policy reads as what it means.
+TRANSIENT_TYPES = (OSError, TimeoutError, ConnectionError)
+
+#: module-level jitter source for callers that do not inject their own;
+#: retry *timing* never feeds result bytes, so an unseeded stream here
+#: cannot break the determinism contract
+_MODULE_RNG = random.Random()
+
+
+def classify_outage(error: BaseException) -> str:
+    """Classify an exception as :data:`TRANSIENT` or :data:`DETERMINISTIC`.
+
+    An explicit ``outage_class`` attribute on the exception wins (the
+    fault-injection layer marks its raises this way); otherwise storage
+    and transport errors (:data:`TRANSIENT_TYPES`) are transient and
+    everything else — ``ValueError`` from a task, a pickling failure, a
+    genuine bug — is deterministic: retrying it would only produce the
+    same failure slower.
+    """
+    marked = getattr(error, "outage_class", None)
+    if marked in (TRANSIENT, DETERMINISTIC):
+        return marked
+    if isinstance(error, TRANSIENT_TYPES):
+        return TRANSIENT
+    return DETERMINISTIC
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Decorrelated-jitter exponential backoff schedule.
+
+    ``base_delay_s``
+        Floor of every delay (and the first draw's lower bound).
+    ``max_delay_s``
+        Ceiling no delay ever exceeds, however long the outage.
+    ``multiplier``
+        Upper-bound growth per attempt: attempt *n+1* draws from
+        ``[base, min(max, delay_n * multiplier)]``.
+    ``max_attempts``
+        Total calls :func:`retry_call` makes (1 = no retries).
+    """
+
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 3.0
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s <= 0:
+            raise ValueError("base_delay_s must be positive")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+#: storage-verb retries: quick, bounded — a worker stuck behind a real
+#: outage should die and let the supervisor/reaper machinery take over
+DEFAULT_RETRY_POLICY = BackoffPolicy()
+
+
+def decorrelated_jitter(policy: BackoffPolicy,
+                        previous_s: Optional[float] = None,
+                        rng: Optional[random.Random] = None) -> float:
+    """Next delay of the decorrelated-jitter schedule.
+
+    ``previous_s`` is the delay the caller slept last time (``None``
+    before the first retry).  Each draw is uniform over ``[base,
+    min(max, previous * multiplier)]`` — the classic AWS schedule that
+    spreads a herd of retriers apart instead of synchronising them.
+    """
+    if rng is None:
+        rng = _MODULE_RNG
+    previous = policy.base_delay_s if previous_s is None else previous_s
+    ceiling = max(policy.base_delay_s,
+                  min(policy.max_delay_s, previous * policy.multiplier))
+    return rng.uniform(policy.base_delay_s, ceiling)
+
+
+def retry_call(fn: Callable[[], object], *,
+               policy: Optional[BackoffPolicy] = None,
+               classify: Callable[[BaseException], str] = classify_outage,
+               rng: Optional[random.Random] = None,
+               sleep: Callable[[float], None] = time.sleep,
+               on_retry: Optional[
+                   Callable[[int, BaseException, float], None]] = None
+               ) -> object:
+    """Call ``fn`` with transient-outage retries under ``policy``.
+
+    Deterministic failures (per ``classify``) re-raise immediately;
+    transient ones sleep a decorrelated-jitter delay and retry, and the
+    final attempt's exception re-raises unchanged so callers see the
+    real error, not a retry wrapper.  ``on_retry(attempt, error,
+    delay_s)`` observes each retry — the hook loggers and tests use.
+    """
+    if policy is None:
+        policy = DEFAULT_RETRY_POLICY
+    delay: Optional[float] = None
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except Exception as error:
+            if classify(error) != TRANSIENT or attempt >= policy.max_attempts:
+                raise
+            delay = decorrelated_jitter(policy, delay, rng)
+            if on_retry is not None:
+                on_retry(attempt, error, delay)
+            sleep(delay)
+            attempt += 1
+
+
+def retry_backoff(policy: Optional[BackoffPolicy] = None, **retry_kwargs):
+    """Decorator form of :func:`retry_call`.
+
+    ``@retry_backoff(BackoffPolicy(max_attempts=3))`` wraps a function
+    so every call runs under the transient-retry driver; keyword
+    arguments pass through (``classify=``, ``rng=``, ``sleep=``,
+    ``on_retry=``).
+    """
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: object, **kwargs: object) -> object:
+            return retry_call(lambda: fn(*args, **kwargs),
+                              policy=policy, **retry_kwargs)
+        return wrapper
+    return decorate
+
+
+class RestartBudget:
+    """Sliding-window crash counter: the supervisor's crash-loop guard.
+
+    :meth:`record` logs one crash at ``now`` and answers whether the
+    worker may be respawned: ``True`` while fewer than ``max_restarts``
+    crashes fall inside the trailing ``window_s`` seconds, ``False``
+    once the budget is exhausted — the supervisor then *benches* the
+    worker slot instead of respawning it forever.  Crashes age out of
+    the window, so a worker that has run healthily for a while earns
+    its budget back; :meth:`reset` clears the history outright.
+    """
+
+    def __init__(self, max_restarts: int = 3, window_s: float = 60.0) -> None:
+        if max_restarts < 1:
+            raise ValueError("max_restarts must be >= 1")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.max_restarts = int(max_restarts)
+        self.window_s = float(window_s)
+        self._crashes: Deque[float] = deque()
+
+    def record(self, now: Optional[float] = None) -> bool:
+        """Record one crash; False when the crash-loop budget is spent."""
+        current = time.monotonic() if now is None else now
+        cutoff = current - self.window_s
+        while self._crashes and self._crashes[0] <= cutoff:
+            self._crashes.popleft()
+        self._crashes.append(current)
+        return len(self._crashes) < self.max_restarts
+
+    @property
+    def crashes_in_window(self) -> int:
+        """Crashes currently inside the sliding window (post-:meth:`record`)."""
+        return len(self._crashes)
+
+    def reset(self) -> None:
+        """Forget the crash history (a healthy run redeems the worker)."""
+        self._crashes.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RestartBudget(max_restarts={self.max_restarts}, "
+                f"window_s={self.window_s}, "
+                f"recorded={len(self._crashes)})")

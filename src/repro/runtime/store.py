@@ -53,18 +53,25 @@ backend process-wide; explicit ``store=`` arguments (a name or a
 ``resolve_executor`` ``options=`` and ``run_sweep`` /
 ``run_accuracy_sweep`` ``backend_options=`` always win.  Worker
 subprocesses resolve the same environment variable, so one exported
-toggle moves a whole fleet.
+toggle moves a whole fleet.  ``REPRO_RUNTIME_FAULTS`` (a JSON
+:class:`~repro.runtime.faults.FaultPlan`) additionally wires every
+name-resolved store to one seeded chaos schedule — the fleet-wide
+fault-injection seam the chaos soak and ``bench_chaos.py`` drive.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import random
 import shutil
 import tempfile
 import time
 import uuid
 from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.runtime.faults import FAULTS_ENV, FaultPlan
+from repro.runtime.resilience import BackoffPolicy, retry_call
 
 #: environment variable selecting the queue-storage backend fleet-wide
 STORE_ENV = "REPRO_RUNTIME_STORE"
@@ -410,36 +417,54 @@ class LocalObjectStore:
     makes the fake safe for the crash-recovery suite's real worker
     subprocesses.
 
-    Test hooks (in-process only — subprocess workers build their own
-    hook-free instance):
+    Chaos hooks:
 
+    ``fault_plan``
+        A seeded :class:`~repro.runtime.faults.FaultPlan` driving
+        latency spikes, injected I/O errors and conflict storms from
+        one reproducible RNG stream — the schedule every failure
+        message names by seed.  Worker subprocesses pick the same plan
+        up from the ``REPRO_RUNTIME_FAULTS`` environment variable (see
+        :func:`resolve_store`), so a whole fleet drills identically.
     ``latency_s``
         Sleep this long before every operation, simulating a slow
-        object-store round trip.
+        object-store round trip (flat; the plan's spikes stack on top).
     ``conflict_hook``
         ``(op, key) -> bool`` called before each *conditional* verb;
         returning True forces a simulated precondition failure.
     ``fault_hook``
         ``(op, key) -> None`` called before every verb; raise to
         simulate a transport fault.
+
+    The callable hooks remain for tests that need full scripted
+    control; the plan is consulted first, then the hooks.
     """
 
     def __init__(self, *, latency_s: float = 0.0,
                  conflict_hook: Optional[Callable[[str, str], bool]] = None,
-                 fault_hook: Optional[Callable[[str, str], None]] = None
-                 ) -> None:
+                 fault_hook: Optional[Callable[[str, str], None]] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.latency_s = float(latency_s)
         self.conflict_hook = conflict_hook
         self.fault_hook = fault_hook
+        self.fault_plan = fault_plan
 
     # -- hooks ------------------------------------------------------------
     def _enter(self, op: str, key: str) -> None:
         if self.latency_s > 0:
             time.sleep(self.latency_s)
+        if self.fault_plan is not None:
+            spike = self.fault_plan.latency_s(op, key)
+            if spike > 0:
+                time.sleep(spike)
+            self.fault_plan.check_fault(op, key)
         if self.fault_hook is not None:
             self.fault_hook(op, key)
 
     def _forced_conflict(self, op: str, key: str) -> bool:
+        if (self.fault_plan is not None
+                and self.fault_plan.forced_conflict(op, key)):
+            return True
         return (self.conflict_hook is not None
                 and bool(self.conflict_hook(op, key)))
 
@@ -590,12 +615,20 @@ class LocalObjectStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"LocalObjectStore(latency_s={self.latency_s}, "
-                f"hooks={bool(self.conflict_hook or self.fault_hook)})")
+                f"hooks={bool(self.conflict_hook or self.fault_hook)}, "
+                f"fault_plan={self.fault_plan!r})")
 
 
 # --------------------------------------------------------------------------- #
 # ObjectStore: the queue-storage backend over the object API
 # --------------------------------------------------------------------------- #
+
+#: per-verb retry schedule of the object backend: quick and bounded —
+#: a worker behind a real outage should fail (and be re-queued by the
+#: reaper / restarted by the supervisor) rather than hang forever
+DEFAULT_STORE_RETRY = BackoffPolicy(base_delay_s=0.01, max_delay_s=0.25,
+                                    multiplier=3.0, max_attempts=5)
+
 
 class ObjectStore(QueueStore):
     """Queue storage over S3-style object semantics: no renames.
@@ -623,73 +656,192 @@ class ObjectStore(QueueStore):
     Exclusive result publishes map directly onto ``put_if_absent``, and
     lease records live in ordinary sidecar objects whose **absolute
     deadline** keeps reaping independent of object timestamps.
+
+    Transient transport faults (timeouts, injected
+    :class:`~repro.runtime.faults.FaultInjected` drops) are retried
+    **per primitive object call** under a decorrelated-jitter
+    :class:`~repro.runtime.resilience.BackoffPolicy` — never around the
+    composite ``move``, whose steps must each run at most once past
+    their precondition check.  The object API raises faults before a
+    verb takes effect, so a retried primitive is side-effect-free.
     """
 
     name = "object"
 
-    def __init__(self, objects: Optional[LocalObjectStore] = None) -> None:
+    def __init__(self, objects: Optional[LocalObjectStore] = None, *,
+                 retry: Optional[BackoffPolicy] = None,
+                 retry_rng: Optional[random.Random] = None) -> None:
         self.objects = objects if objects is not None else LocalObjectStore()
+        self.retry = DEFAULT_STORE_RETRY if retry is None else retry
+        self._retry_rng = retry_rng if retry_rng is not None \
+            else random.Random()
+
+    def _call(self, fn: Callable[[], object]) -> object:
+        """One primitive object-API call under the transient-retry policy."""
+        return retry_call(fn, policy=self.retry, rng=self._retry_rng)
 
     def init_layout(self, root: str) -> None:
         # object stores have no directories: mark the layout explicitly
         # so an empty (fully claimed) layout stays discoverable
-        self.objects.put_if_absent(os.path.join(root, _LAYOUT_MARKER), b"")
+        marker = os.path.join(root, _LAYOUT_MARKER)
+        self._call(lambda: self.objects.put_if_absent(marker, b""))
 
     def is_layout(self, root: str) -> bool:
-        if self.objects.head(os.path.join(root, _LAYOUT_MARKER)) is not None:
+        marker = os.path.join(root, _LAYOUT_MARKER)
+        if self._call(lambda: self.objects.head(marker)) is not None:
             return True
         # layouts initialised by other tooling (e.g. a DirStore producer
         # sharing the bucket mount) still count when they carry tasks
         return os.path.isdir(os.path.join(root, _TASKS_DIR))
 
     def remove_tree(self, root: str) -> None:
-        self.objects.remove_prefix(root)
+        self._call(lambda: self.objects.remove_prefix(root))
 
     def list_dir(self, directory: str) -> List[str]:
-        return self.objects.list(directory)
+        return self._call(lambda: self.objects.list(directory))
 
     def get(self, path: str) -> Optional[bytes]:
-        return self.objects.get(path)
+        return self._call(lambda: self.objects.get(path))
 
     def put(self, path: str, data: bytes) -> None:
-        self.objects.put(path, data)
+        self._call(lambda: self.objects.put(path, data))
 
     def put_if_absent(self, path: str, data: bytes) -> bool:
-        return self.objects.put_if_absent(path, data)
+        return self._call(lambda: self.objects.put_if_absent(path, data))
 
     def delete(self, path: str) -> None:
-        self.objects.delete(path)
+        self._call(lambda: self.objects.delete(path))
 
     def move(self, source: str, target: str) -> bool:
-        got = self.objects.get_with_generation(source)
+        got = self._call(lambda: self.objects.get_with_generation(source))
         if got is None:
             return False  # the source is already gone
         data, generation = got
-        created = self.objects.put_if_absent_with_generation(target, data)
+        created = self._call(
+            lambda: self.objects.put_if_absent_with_generation(target, data)
+        )
         if created is None:
             return False  # another mover owns this transition
-        if not self.objects.delete_if_generation(source, generation):
+        if not self._call(
+                lambda: self.objects.delete_if_generation(source, generation)):
             # the source changed hands while we copied: roll back the
             # half-made copy — guarded by *our* creation's generation,
             # so a stalled mover waking up here can never destroy an
             # object a later actor has since put under the same key
-            self.objects.delete_if_generation(target, created)
+            self._call(
+                lambda: self.objects.delete_if_generation(target, created)
+            )
             return False
         return True
 
     def write_lease(self, claimed_path: str,
                     record: Dict[str, object]) -> None:
-        self.objects.put(
-            lease_path(claimed_path),
-            pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL),
+        data = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        self._call(
+            lambda: self.objects.put(lease_path(claimed_path), data)
         )
 
     def object_mtime(self, path: str) -> Optional[float]:
-        meta = self.objects.head(path)
+        meta = self._call(lambda: self.objects.head(path))
         return None if meta is None else meta["last_modified"]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ObjectStore(objects={self.objects!r})"
+
+
+# --------------------------------------------------------------------------- #
+# FaultInjectingStore: chaos wrapper over any QueueStore
+# --------------------------------------------------------------------------- #
+
+class FaultInjectingStore(QueueStore):
+    """Wrap any :class:`QueueStore` in a seeded :class:`FaultPlan`.
+
+    :class:`LocalObjectStore` consults a plan natively; this wrapper
+    brings the *directory* backend (or any future store) into the same
+    chaos drills: every verb first asks the plan for a latency spike
+    and an injected fault, and the conditional verbs (``move``,
+    ``put_if_absent``) can be forced to report a precondition failure.
+    Forced conflicts are reported *without* touching the substrate —
+    exactly how a lost conditional put presents — so the protocol's
+    conflict-handling paths are exercised, never corrupted.
+
+    ``name`` mirrors the wrapped store so supervisor-spawned workers
+    can be pointed at the same backend by registry name (they assemble
+    their own plan from ``REPRO_RUNTIME_FAULTS``).
+    """
+
+    def __init__(self, inner: QueueStore, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.name = inner.name
+
+    def _enter(self, op: str, key: str) -> None:
+        spike = self.plan.latency_s(op, key)
+        if spike > 0:
+            time.sleep(spike)
+        self.plan.check_fault(op, key)
+
+    # -- layout lifecycle -------------------------------------------------
+    def init_layout(self, root: str) -> None:
+        self._enter("put", root)
+        self.inner.init_layout(root)
+
+    def is_layout(self, root: str) -> bool:
+        self._enter("head", root)
+        return self.inner.is_layout(root)
+
+    def list_children(self, root: str) -> List[str]:
+        self._enter("list", root)
+        return self.inner.list_children(root)
+
+    def create_ephemeral_root(self) -> str:
+        return self.inner.create_ephemeral_root()
+
+    def remove_tree(self, root: str) -> None:
+        self._enter("delete", root)
+        self.inner.remove_tree(root)
+
+    # -- object verbs -----------------------------------------------------
+    def list_dir(self, directory: str) -> List[str]:
+        self._enter("list", directory)
+        return self.inner.list_dir(directory)
+
+    def get(self, path: str) -> Optional[bytes]:
+        self._enter("get", path)
+        return self.inner.get(path)
+
+    def put(self, path: str, data: bytes) -> None:
+        self._enter("put", path)
+        self.inner.put(path, data)
+
+    def put_if_absent(self, path: str, data: bytes) -> bool:
+        self._enter("put_if_absent", path)
+        if self.plan.forced_conflict("put_if_absent", path):
+            return False
+        return self.inner.put_if_absent(path, data)
+
+    def delete(self, path: str) -> None:
+        self._enter("delete", path)
+        self.inner.delete(path)
+
+    def move(self, source: str, target: str) -> bool:
+        self._enter("move", source)
+        if self.plan.forced_conflict("move", source):
+            return False
+        return self.inner.move(source, target)
+
+    # -- leases -----------------------------------------------------------
+    def write_lease(self, claimed_path: str,
+                    record: Dict[str, object]) -> None:
+        self._enter("put", lease_path(claimed_path))
+        self.inner.write_lease(claimed_path, record)
+
+    def object_mtime(self, path: str) -> Optional[float]:
+        self._enter("head", path)
+        return self.inner.object_mtime(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultInjectingStore({self.inner!r}, plan={self.plan!r})"
 
 
 # --------------------------------------------------------------------------- #
@@ -704,9 +856,11 @@ _STORE_FACTORIES: Dict[str, Callable[[], QueueStore]] = {
 #: valid values of ``store=`` arguments and :data:`STORE_ENV`
 STORES = tuple(sorted(_STORE_FACTORIES))
 
-#: process-wide singletons per backend name (stores are stateless apart
-#: from test hooks, which hooked tests inject as explicit instances)
-_DEFAULT_STORES: Dict[str, QueueStore] = {}
+#: process-wide singletons keyed by (backend name, FAULTS_ENV payload):
+#: stores are stateless apart from chaos hooks, and keying on the raw
+#: environment payload means tests toggling the fault plan always get a
+#: store wired to *their* plan, never a stale cached one
+_DEFAULT_STORES: Dict[Tuple[str, str], QueueStore] = {}
 
 
 def make_store(name: str) -> QueueStore:
@@ -732,12 +886,31 @@ def store_from_env() -> Optional[str]:
     return value
 
 
+def _chaos_wrap(name: str, plan: Optional[FaultPlan]) -> QueueStore:
+    """Instantiate backend ``name``, wired to ``plan`` when one is set."""
+    if plan is None:
+        return make_store(name)
+    if name == "object":
+        # the object fake consults plans natively — inject at the source
+        # so conditional-verb conflicts surface through the real
+        # generation-token code paths
+        return ObjectStore(LocalObjectStore(fault_plan=plan))
+    return FaultInjectingStore(make_store(name), plan)
+
+
 def resolve_store(store: "Optional[str | QueueStore]" = None) -> QueueStore:
     """Resolve a ``store=`` argument to a :class:`QueueStore` instance.
 
     Precedence: an explicit instance is used as-is; an explicit name is
     instantiated from the registry; ``None`` resolves :data:`STORE_ENV`
     and finally defaults to the directory backend.
+
+    When :data:`~repro.runtime.faults.FAULTS_ENV` carries a
+    :class:`~repro.runtime.faults.FaultPlan`, name-resolved stores come
+    wired to it — the seam that injects one seeded chaos schedule into
+    every process of a fleet (worker subprocesses resolve the same
+    environment).  Explicit instances are never wrapped: a test that
+    built its own store keeps full control.
     """
     if isinstance(store, QueueStore):
         return store
@@ -747,8 +920,15 @@ def resolve_store(store: "Optional[str | QueueStore]" = None) -> QueueStore:
             f"store must be a QueueStore instance or a name from {STORES}, "
             f"got {store!r}"
         )
-    cached = _DEFAULT_STORES.get(name)
+    if name not in _STORE_FACTORIES:
+        raise ValueError(
+            f"unknown queue store {name!r}; choose from {STORES}"
+        )
+    plan_env = os.environ.get(FAULTS_ENV, "").strip()
+    cache_key = (name, plan_env)
+    cached = _DEFAULT_STORES.get(cache_key)
     if cached is None:
-        cached = make_store(name)
-        _DEFAULT_STORES[name] = cached
+        plan = FaultPlan.from_json(plan_env) if plan_env else None
+        cached = _chaos_wrap(name, plan)
+        _DEFAULT_STORES[cache_key] = cached
     return cached

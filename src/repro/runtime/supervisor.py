@@ -1,0 +1,594 @@
+"""Fleet supervisor: the daemon that *acts* on autoscale advisories.
+
+PR 5 taught the queue to *recommend* (``autoscale_advisory``: scale_up /
+scale_down / hold); this module closes the loop.  The
+:class:`Supervisor` is a long-lived controller —
+``python -m repro.runtime.queue <root> supervise`` — that
+
+* polls the advisory and **spawns / retires real local worker
+  subprocesses** (``serve --watch`` loops) to track the backlog,
+* damps flapping with a **cooldown** between scaling actions and the
+  scale-down **hysteresis** of
+  :func:`repro.runtime.janitor.desired_workers`,
+* **restarts crashed workers** under a decorrelated-jitter exponential
+  backoff (:mod:`repro.runtime.resilience`), so a storm of dying
+  workers does not synchronise into a respawn stampede,
+* enforces a per-slot **crash-loop budget**: a worker that dies
+  ``max_restarts`` times inside ``restart_window_s`` is *benched* —
+  reported in the event stream and never respawned — instead of
+  burning the host forever (restart recovery is deliberately *not*
+  subject to the scaling cooldown: restoring lost capacity is repair,
+  not scaling),
+* **drains cleanly**: SIGTERM to the supervisor forwards SIGTERM to
+  every worker, each of which finishes and publishes its in-flight
+  task before exiting (the queue CLI's graceful-drain contract), and
+* narrates everything as a **machine-readable JSON event stream**
+  (``scale_up`` / ``scale_down`` / ``hold`` / ``spawn`` / ``crash`` /
+  ``restart`` / ``bench`` / ``retired`` / ``drain``) for tests,
+  operators and the chaos benchmark.
+
+The control loop is one synchronous :meth:`Supervisor.tick` over a
+fixed table of worker *slots*, with every side effect behind an
+injectable seam (``spawn``, ``advisory_fn``, ``clock``, ``rng``,
+``emit``) — the unit suite drives years of fleet weather through it in
+milliseconds with fake processes and a fake clock, while the chaos soak
+and ``bench_chaos.py`` run it over real SIGKILLed subprocesses.
+
+Workers are crash-safe by construction (leases + reaper + idempotent
+results), so the supervisor never second-guesses the protocol: it only
+manages *processes*, and the queue's own machinery guarantees no task
+is lost or double-counted across any interleaving of kills, restarts
+and retirements.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime import janitor
+from repro.runtime.queue import StoreLike
+from repro.runtime.resilience import (
+    BackoffPolicy,
+    RestartBudget,
+    TRANSIENT,
+    classify_outage,
+    decorrelated_jitter,
+)
+from repro.runtime.store import QueueStore, STORE_ENV, resolve_store
+
+#: default restart backoff: fast first respawn, bounded stampede ceiling
+DEFAULT_RESTART_BACKOFF = BackoffPolicy(base_delay_s=0.5, max_delay_s=15.0,
+                                        multiplier=3.0, max_attempts=1)
+
+#: default minimum seconds between scaling actions (not restarts)
+DEFAULT_COOLDOWN_S = 5.0
+
+
+def open_event_sink(path: Optional[str] = None):
+    """Return a writable handle for the supervisor's JSON event stream.
+
+    ``None`` or ``"-"`` selects stdout; anything else is opened for
+    line-buffered append so a tailing ``jq`` sees each event as it
+    lands.  The caller owns closing non-stdout handles.
+    """
+    if path in (None, "-"):
+        return sys.stdout
+    return open(path, "a", encoding="utf-8", buffering=1)
+
+
+class _Slot:
+    """One worker slot: a stable name plus the process lifecycle state."""
+
+    def __init__(self, name: str, budget: RestartBudget) -> None:
+        self.name = name
+        self.proc = None                  # live process handle (or None)
+        self.started_at: Optional[float] = None
+        self.retiring = False             # SIGTERM sent, exit expected
+        self.benched = False              # crash-loop budget exhausted
+        self.restart_at: Optional[float] = None   # pending respawn time
+        self.backoff_delay: Optional[float] = None
+        self.budget = budget
+
+    @property
+    def running(self) -> bool:
+        return self.proc is not None
+
+    @property
+    def pending_restart(self) -> bool:
+        return self.restart_at is not None
+
+    def clear(self) -> None:
+        """Forget the exited process (slot becomes free or respawnable)."""
+        self.proc = None
+        self.started_at = None
+        self.retiring = False
+
+
+class Supervisor:
+    """Scale a local worker fleet to the queue's autoscale advisory.
+
+    Parameters
+    ----------
+    root:
+        Shared queue root the workers drain.
+    store:
+        Backend the fleet speaks: a registry name, a
+        :class:`~repro.runtime.store.QueueStore` instance (its ``name``
+        is exported), or ``None`` to inherit the environment's
+        ``REPRO_RUNTIME_STORE``.  Spawned workers receive the name via
+        their environment, so the whole fleet agrees.
+    min_workers, max_workers, tasks_per_worker, hysteresis_tasks:
+        The :func:`repro.runtime.janitor.desired_workers` policy knobs.
+        ``max_workers`` also fixes the slot-table size.
+    poll_interval_s:
+        Seconds between control-loop ticks (advisory polls).
+    cooldown_s:
+        Minimum seconds between scaling *actions* — crash restarts are
+        exempt (repair is not scaling).
+    lease_s:
+        Lease length handed to spawned workers (``None``: their env /
+        default applies).
+    worker_poll_interval_s:
+        ``--poll-interval`` of spawned ``serve --watch`` workers.
+    restart_backoff:
+        Decorrelated-jitter schedule of crash respawns
+        (:data:`DEFAULT_RESTART_BACKOFF` when ``None``; its
+        ``max_attempts`` is ignored — the :class:`RestartBudget` owns
+        give-up policy).
+    max_restarts, restart_window_s:
+        The per-slot crash-loop budget: ``max_restarts`` crashes inside
+        a sliding ``restart_window_s`` bench the slot.  A worker that
+        ran healthily for a full window redeems its history.
+    seed:
+        Seeds the restart-jitter stream (reproducible drills).
+    emit:
+        ``(event_dict) -> None`` sink of the JSON event stream.
+    spawn:
+        ``(slot_name) -> process`` override returning a Popen-alike
+        (``poll`` / ``terminate`` / ``kill`` / ``pid``); the unit-test
+        seam.  The default spawns a real ``serve --watch`` subprocess.
+    advisory_fn:
+        ``(current_workers) -> advisory dict`` override; defaults to
+        :func:`repro.runtime.janitor.autoscale_advisory` over ``root``.
+    clock:
+        Monotonic time source (fake-clock seam).
+    worker_env:
+        Extra environment variables for spawned workers (on top of the
+        inherited environment + the store export).
+    """
+
+    def __init__(self, root: str, *,
+                 store: StoreLike = None,
+                 min_workers: int = 0,
+                 max_workers: int = 4,
+                 tasks_per_worker: Optional[int] = None,
+                 hysteresis_tasks: Optional[int] = None,
+                 poll_interval_s: float = 0.5,
+                 cooldown_s: float = DEFAULT_COOLDOWN_S,
+                 lease_s: Optional[float] = None,
+                 worker_poll_interval_s: float = 0.2,
+                 restart_backoff: Optional[BackoffPolicy] = None,
+                 max_restarts: int = 3,
+                 restart_window_s: float = 60.0,
+                 seed: int = 0,
+                 emit: Optional[Callable[[Dict[str, object]], None]] = None,
+                 spawn: Optional[Callable[[str], object]] = None,
+                 advisory_fn: Optional[
+                     Callable[[int], Dict[str, object]]] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 worker_env: Optional[Dict[str, str]] = None) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if not 0 <= min_workers <= max_workers:
+            raise ValueError(
+                f"need 0 <= min_workers <= max_workers, got "
+                f"{min_workers}..{max_workers}"
+            )
+        if poll_interval_s <= 0 or cooldown_s < 0:
+            raise ValueError(
+                "poll_interval_s must be positive and cooldown_s >= 0"
+            )
+        self.root = root
+        self.min_workers = int(min_workers)
+        self.max_workers = int(max_workers)
+        self.tasks_per_worker = tasks_per_worker
+        self.hysteresis_tasks = hysteresis_tasks
+        self.poll_interval_s = float(poll_interval_s)
+        self.cooldown_s = float(cooldown_s)
+        self.lease_s = None if lease_s is None else float(lease_s)
+        self.worker_poll_interval_s = float(worker_poll_interval_s)
+        self.restart_backoff = (DEFAULT_RESTART_BACKOFF
+                                if restart_backoff is None
+                                else restart_backoff)
+        self.max_restarts = int(max_restarts)
+        self.restart_window_s = float(restart_window_s)
+        self.worker_env = dict(worker_env or {})
+        self._store_name = self._resolve_store_name(store)
+        self._store = store
+        self._emit = emit
+        self._spawn = spawn if spawn is not None else self._spawn_worker
+        self._advisory_fn = (advisory_fn if advisory_fn is not None
+                             else self._advisory)
+        self._clock = clock
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._slots = [
+            _Slot(f"w{i}", RestartBudget(max_restarts=self.max_restarts,
+                                         window_s=self.restart_window_s))
+            for i in range(self.max_workers)
+        ]
+        self._cooldown_until = float("-inf")
+        self._last_hold: Optional[tuple] = None
+        self._last_advisory: Optional[Dict[str, object]] = None
+        self._idle_since: Optional[float] = None
+        self._stopped = False
+        # counters feeding summary()
+        self._restarts_total = 0
+        self._crashes_total = 0
+        self._spawned_total = 0
+
+    # ------------------------------------------------------------------ #
+    # defaults behind the injectable seams
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_store_name(store: StoreLike) -> Optional[str]:
+        if store is None:
+            return None
+        if isinstance(store, QueueStore):
+            return store.name
+        return str(store)
+
+    def _spawn_worker(self, slot_name: str):
+        """Spawn one real ``serve --watch`` worker subprocess."""
+        argv = [sys.executable, "-m", "repro.runtime.queue", self.root,
+                "serve", "--watch",
+                "--poll-interval", str(self.worker_poll_interval_s)]
+        if self.lease_s is not None:
+            argv += ["--lease-seconds", str(self.lease_s)]
+        env = dict(os.environ)
+        if self._store_name is not None:
+            env[STORE_ENV] = self._store_name
+        env.update(self.worker_env)
+        return subprocess.Popen(argv, env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+
+    def _advisory(self, current_workers: int) -> Dict[str, object]:
+        """The janitor's advisory, anchored to *our* fleet size.
+
+        The lease census undercounts the fleet (an idle worker holds no
+        lease), so the supervisor feeds its own process table in as the
+        hysteresis anchor.
+        """
+        return janitor.autoscale_advisory(
+            self.root,
+            tasks_per_worker=self.tasks_per_worker,
+            min_workers=self.min_workers,
+            max_workers=self.max_workers,
+            hysteresis_tasks=self.hysteresis_tasks,
+            current_workers=current_workers,
+            store=self._store,
+        )
+
+    # ------------------------------------------------------------------ #
+    # event stream
+    # ------------------------------------------------------------------ #
+    def emit(self, event: str, **fields: object) -> None:
+        """Emit one event dict to the configured sink (never raises)."""
+        if self._emit is None:
+            return
+        record: Dict[str, object] = {"t": round(self._clock(), 3),
+                                     "event": event}
+        record.update(fields)
+        try:
+            self._emit(record)
+        except Exception:
+            pass  # a broken sink must never take the fleet down
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def worker_pids(self) -> List[int]:
+        """PIDs of live (non-retiring) workers — the chaos killer's menu."""
+        with self._lock:
+            return [slot.proc.pid for slot in self._slots
+                    if slot.running and not slot.retiring
+                    and slot.proc.poll() is None]
+
+    def capacity(self) -> int:
+        """Workers the fleet counts on: running + pending crash respawns."""
+        with self._lock:
+            return self._capacity_locked()
+
+    def _capacity_locked(self) -> int:
+        return sum(1 for slot in self._slots
+                   if (slot.running and not slot.retiring)
+                   or slot.pending_restart)
+
+    def benched(self) -> List[str]:
+        """Names of slots whose crash-loop budget is exhausted."""
+        with self._lock:
+            return [slot.name for slot in self._slots if slot.benched]
+
+    def summary(self) -> Dict[str, object]:
+        """Machine-readable lifetime counters (printed at drain)."""
+        with self._lock:
+            return {
+                "spawned": self._spawned_total,
+                "crashes": self._crashes_total,
+                "restarts": self._restarts_total,
+                "benched": [s.name for s in self._slots if s.benched],
+                "running": [s.name for s in self._slots
+                            if s.running and not s.retiring],
+            }
+
+    # ------------------------------------------------------------------ #
+    # the control loop
+    # ------------------------------------------------------------------ #
+    def tick(self, now: Optional[float] = None) -> None:
+        """One control cycle: reap exits, respawn, poll advisory, scale."""
+        with self._lock:
+            current = self._clock() if now is None else now
+            self._reap_exits(current)
+            self._respawn_due(current)
+            advisory = self._poll_advisory()
+            if advisory is not None:
+                self._last_advisory = advisory
+                self._apply_advisory(advisory, current)
+            self._track_idle(current)
+
+    def _reap_exits(self, now: float) -> None:
+        for slot in self._slots:
+            if not slot.running:
+                continue
+            returncode = slot.proc.poll()
+            if returncode is None:
+                continue
+            if slot.retiring:
+                self.emit("retired", worker=slot.name,
+                          returncode=returncode)
+                slot.clear()
+                slot.backoff_delay = None
+                continue
+            # an unexpected death: crash-loop accounting + backoff
+            runtime_s = (0.0 if slot.started_at is None
+                         else max(0.0, now - slot.started_at))
+            if runtime_s >= self.restart_window_s:
+                # a full healthy window redeems the slot's history
+                slot.budget.reset()
+                slot.backoff_delay = None
+            within_budget = slot.budget.record(now)
+            self._crashes_total += 1
+            self.emit("crash", worker=slot.name, returncode=returncode,
+                      runtime_s=round(runtime_s, 3),
+                      crashes_in_window=slot.budget.crashes_in_window)
+            slot.clear()
+            if not within_budget:
+                slot.benched = True
+                self.emit("bench", worker=slot.name,
+                          crashes_in_window=slot.budget.crashes_in_window,
+                          window_s=self.restart_window_s)
+                continue
+            delay = decorrelated_jitter(self.restart_backoff,
+                                        slot.backoff_delay, self._rng)
+            slot.backoff_delay = delay
+            slot.restart_at = now + delay
+
+    def _respawn_due(self, now: float) -> None:
+        for slot in self._slots:
+            if slot.benched or not slot.pending_restart:
+                continue
+            if now < slot.restart_at:
+                continue
+            delay = slot.backoff_delay
+            slot.restart_at = None
+            if self._start(slot, now):
+                self._restarts_total += 1
+                self.emit("restart", worker=slot.name,
+                          pid=getattr(slot.proc, "pid", None),
+                          delay_s=round(delay or 0.0, 3))
+
+    def _start(self, slot: _Slot, now: float) -> bool:
+        """Spawn into a slot; a failed spawn re-enters the crash path."""
+        try:
+            slot.proc = self._spawn(slot.name)
+        except Exception as error:
+            if classify_outage(error) != TRANSIENT:
+                raise
+            within_budget = slot.budget.record(now)
+            self._crashes_total += 1
+            self.emit("spawn_error", worker=slot.name, error=repr(error),
+                      crashes_in_window=slot.budget.crashes_in_window)
+            if not within_budget:
+                slot.benched = True
+                self.emit("bench", worker=slot.name,
+                          crashes_in_window=slot.budget.crashes_in_window,
+                          window_s=self.restart_window_s)
+                return False
+            delay = decorrelated_jitter(self.restart_backoff,
+                                        slot.backoff_delay, self._rng)
+            slot.backoff_delay = delay
+            slot.restart_at = now + delay
+            return False
+        slot.started_at = now
+        slot.retiring = False
+        self._spawned_total += 1
+        return True
+
+    def _poll_advisory(self) -> Optional[Dict[str, object]]:
+        try:
+            return self._advisory_fn(self._capacity_locked())
+        except Exception as error:
+            # a transient storage fault mid-census is survivable: hold
+            # the fleet as-is and poll again next tick
+            if classify_outage(error) != TRANSIENT:
+                raise
+            self.emit("advisory_error", error=repr(error))
+            return None
+
+    def _apply_advisory(self, advisory: Dict[str, object],
+                        now: float) -> None:
+        desired = int(advisory.get("desired_workers", 0))
+        desired = max(self.min_workers, min(self.max_workers, desired))
+        capacity = self._capacity_locked()
+        if desired == capacity:
+            self._emit_hold(desired, capacity, "fleet matches the backlog")
+            return
+        if now < self._cooldown_until:
+            self._emit_hold(desired, capacity, "cooldown")
+            return
+        if desired > capacity:
+            spawned = self._scale_up(desired - capacity, now)
+            if spawned:
+                self._cooldown_until = now + self.cooldown_s
+                self._last_hold = None
+                self.emit("scale_up", desired=desired, capacity=capacity,
+                          spawned=spawned,
+                          queue_depth=advisory.get("queue_depth"))
+            else:
+                self._emit_hold(desired, capacity, "no free slots")
+        else:
+            retired = self._scale_down(capacity - desired, now)
+            if retired:
+                self._cooldown_until = now + self.cooldown_s
+                self._last_hold = None
+                self.emit("scale_down", desired=desired, capacity=capacity,
+                          retired=retired,
+                          queue_depth=advisory.get("queue_depth"))
+
+    def _emit_hold(self, desired: int, capacity: int, reason: str) -> None:
+        # dedup consecutive identical holds: an idle daemon narrates a
+        # steady state once, not twice a second forever
+        key = (desired, capacity, reason)
+        if key == self._last_hold:
+            return
+        self._last_hold = key
+        self.emit("hold", desired=desired, capacity=capacity, reason=reason)
+
+    def _scale_up(self, count: int, now: float) -> List[str]:
+        spawned: List[str] = []
+        for slot in self._slots:
+            if len(spawned) >= count:
+                break
+            if (slot.running or slot.benched or slot.pending_restart):
+                continue
+            if self._start(slot, now):
+                spawned.append(slot.name)
+                self.emit("spawn", worker=slot.name,
+                          pid=getattr(slot.proc, "pid", None))
+        return spawned
+
+    def _scale_down(self, count: int, now: float) -> List[str]:
+        retired: List[str] = []
+        # cancel pending respawns first — cheapest capacity to shed
+        for slot in self._slots:
+            if len(retired) >= count:
+                return retired
+            if slot.pending_restart:
+                slot.restart_at = None
+                slot.backoff_delay = None
+                retired.append(slot.name)
+        # then SIGTERM running workers, newest first (keep warm elders)
+        running = [slot for slot in self._slots
+                   if slot.running and not slot.retiring]
+        running.sort(key=lambda s: s.started_at or 0.0, reverse=True)
+        for slot in running:
+            if len(retired) >= count:
+                break
+            self._terminate(slot)
+            retired.append(slot.name)
+        return retired
+
+    @staticmethod
+    def _terminate(slot: _Slot) -> None:
+        slot.retiring = True
+        try:
+            slot.proc.terminate()
+        except (OSError, ProcessLookupError):
+            pass  # already gone; the next reap collects it
+
+    def _track_idle(self, now: float) -> None:
+        advisory = self._last_advisory or {}
+        queue_empty = (int(advisory.get("queue_depth", 1)) == 0
+                       and int(advisory.get("claimed", 1)) == 0)
+        idle = (queue_empty and self._capacity_locked() == 0
+                and self.min_workers == 0)
+        if not idle:
+            self._idle_since = None
+        elif self._idle_since is None:
+            self._idle_since = now
+
+    def idle_for(self, now: Optional[float] = None) -> float:
+        """Seconds the fleet has sat scaled-to-zero over an empty queue."""
+        with self._lock:
+            if self._idle_since is None:
+                return 0.0
+            current = self._clock() if now is None else now
+            return max(0.0, current - self._idle_since)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def run(self, stop: Optional[threading.Event] = None,
+            idle_exit_s: Optional[float] = None) -> None:
+        """Tick until ``stop`` is set (or idle-exit), then drain."""
+        waiter = stop if stop is not None else threading.Event()
+        try:
+            while not waiter.is_set():
+                self.tick()
+                if (idle_exit_s is not None
+                        and self.idle_for() >= idle_exit_s):
+                    self.emit("idle_exit",
+                              idle_s=round(self.idle_for(), 3))
+                    break
+                if waiter.wait(self.poll_interval_s):
+                    break
+        finally:
+            self.shutdown()
+
+    def shutdown(self, timeout_s: float = 30.0) -> None:
+        """Drain the fleet: SIGTERM everyone, wait, then force-kill."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            draining = [slot for slot in self._slots if slot.running]
+            for slot in self._slots:
+                slot.restart_at = None
+            for slot in draining:
+                self._terminate(slot)
+            self.emit("drain", workers=[slot.name for slot in draining])
+        deadline = time.monotonic() + timeout_s
+        while True:
+            with self._lock:
+                live = [slot for slot in self._slots
+                        if slot.running and slot.proc.poll() is None]
+                for slot in self._slots:
+                    if slot.running and slot.proc.poll() is not None:
+                        self.emit("retired", worker=slot.name,
+                                  returncode=slot.proc.poll())
+                        slot.clear()
+            if not live:
+                break
+            if time.monotonic() >= deadline:
+                with self._lock:
+                    for slot in live:
+                        try:
+                            slot.proc.kill()
+                        except (OSError, ProcessLookupError):
+                            pass
+                        self.emit("killed", worker=slot.name)
+                        slot.clear()
+                break
+            time.sleep(0.05)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Supervisor(root={self.root!r}, "
+                f"workers={self.min_workers}..{self.max_workers}, "
+                f"capacity={self.capacity()})")

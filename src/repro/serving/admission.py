@@ -28,9 +28,12 @@ state transitions deterministically.
 from __future__ import annotations
 
 import math
+import random
 import threading
 import time
 from typing import Callable, Optional
+
+from repro.runtime.resilience import BackoffPolicy, decorrelated_jitter
 
 #: circuit-breaker state names (exposed via :attr:`CircuitBreaker.state`)
 CIRCUIT_CLOSED = "closed"
@@ -141,12 +144,24 @@ class CircuitBreaker:
     :meth:`record_success` / :meth:`record_failure` after each engine
     call, and :meth:`record_p99` with the streaming percentile once the
     latency window holds enough samples to be meaningful.
+
+    ``cooldown_backoff`` (a
+    :class:`~repro.runtime.resilience.BackoffPolicy`) makes repeated
+    failed recoveries *grow* the cool-down: each half-open→open re-trip
+    draws the next cool-down from the decorrelated-jitter schedule
+    seeded off the current one, so a persistently broken engine is
+    probed ever less often instead of at a fixed cadence.  A recorded
+    success — or a fresh trip from *closed* (a new outage, not a failed
+    recovery) — resets the cool-down to ``reset_timeout_s``.  Without a
+    policy the cool-down stays fixed (the pre-existing behaviour).
     """
 
     def __init__(self, *, failure_threshold: int = 3,
                  reset_timeout_s: float = 5.0,
                  p99_threshold_ms: Optional[float] = None,
                  half_open_probes: int = 1,
+                 cooldown_backoff: Optional[BackoffPolicy] = None,
+                 cooldown_rng: Optional[random.Random] = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -160,6 +175,9 @@ class CircuitBreaker:
         self.reset_timeout_s = float(reset_timeout_s)
         self.p99_threshold_ms = p99_threshold_ms
         self.half_open_probes = int(half_open_probes)
+        self.cooldown_backoff = cooldown_backoff
+        self._cooldown_rng = cooldown_rng
+        self._cooldown_s = float(reset_timeout_s)
         self._clock = clock
         self._lock = threading.Lock()
         self._state = CIRCUIT_CLOSED
@@ -188,13 +206,26 @@ class CircuitBreaker:
         with self._lock:
             return self._last_trip_cause
 
+    @property
+    def current_cooldown_s(self) -> float:
+        """The cool-down the breaker will observe for its current/next open."""
+        with self._lock:
+            return self._cooldown_s
+
     def _maybe_half_open(self, now: float) -> None:
         if (self._state == CIRCUIT_OPEN and self._opened_at is not None
-                and now - self._opened_at >= self.reset_timeout_s):
+                and now - self._opened_at >= self._cooldown_s):
             self._state = CIRCUIT_HALF_OPEN
             self._probes_in_flight = 0
 
     def _trip(self, now: float, cause: str) -> None:
+        if self._state == CIRCUIT_HALF_OPEN and self.cooldown_backoff is not None:
+            # A failed recovery: grow the cool-down (decorrelated jitter)
+            # so a persistently broken engine gets probed less often.
+            self._cooldown_s = decorrelated_jitter(
+                self.cooldown_backoff, self._cooldown_s, self._cooldown_rng)
+        else:
+            self._cooldown_s = self.reset_timeout_s
         self._state = CIRCUIT_OPEN
         self._opened_at = now
         self._trips += 1
@@ -222,6 +253,7 @@ class CircuitBreaker:
             if self._state == CIRCUIT_HALF_OPEN:
                 self._state = CIRCUIT_CLOSED
                 self._probes_in_flight = 0
+                self._cooldown_s = self.reset_timeout_s
 
     def record_failure(self) -> None:
         """An engine call failed — trip after the consecutive threshold."""

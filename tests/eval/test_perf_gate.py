@@ -160,6 +160,10 @@ class TestLoadThresholds:
         serving = spec["BENCH_serving.smoke.json"]
         assert "max" in serving["best.p99_ms"]
         assert "min" in serving["best.requests_per_s"]
+        chaos = spec["BENCH_chaos.smoke.json"]
+        assert "min" in chaos["chaos.goodput_ratio"]
+        assert "max" in chaos["chaos.mean_recovery_s"]
+        assert "min" in chaos["chaos.restarts"]
 
 
 class TestCli:
@@ -184,6 +188,39 @@ class TestCli:
         assert cli.main(["--thresholds", str(thresholds),
                          "--root", str(tmp_path)]) == 1
         assert "FAILED" in capsys.readouterr().out
+
+    def test_only_restricts_the_gate_to_named_artifacts(self, tmp_path,
+                                                        capsys):
+        """--only lets a single-artifact CI job gate just its own bench
+        without the other committed thresholds failing as missing."""
+        cli = self._load_cli()
+        (tmp_path / "present.json").write_text(json.dumps({"metric": 4.0}))
+        thresholds = tmp_path / "thresholds.json"
+        thresholds.write_text(json.dumps({
+            "present.json": {"metric": 3.0},
+            "absent.json": {"metric": 1.0},
+        }))
+        # the unrestricted gate fails on the missing sibling artifact…
+        assert cli.main(["--thresholds", str(thresholds),
+                         "--root", str(tmp_path)]) == 1
+        capsys.readouterr()
+        # …but --only scopes the run to the artifact this job produced
+        assert cli.main(["--thresholds", str(thresholds),
+                         "--root", str(tmp_path),
+                         "--only", "present.json"]) == 0
+        out = capsys.readouterr().out
+        assert "perf gate passed: 1 checks" in out
+        assert "absent.json" not in out
+
+    def test_only_rejects_unknown_artifact_names(self, tmp_path, capsys):
+        """A typo in --only must fail loudly, not silently gate nothing."""
+        cli = self._load_cli()
+        thresholds = tmp_path / "thresholds.json"
+        thresholds.write_text(json.dumps({"bench.json": {"metric": 1.0}}))
+        assert cli.main(["--thresholds", str(thresholds),
+                         "--root", str(tmp_path),
+                         "--only", "typo.json"]) == 2
+        assert "typo.json" in capsys.readouterr().out
 
 
 def test_cli_import_does_not_mutate_sys_path():

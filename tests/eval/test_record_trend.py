@@ -62,6 +62,21 @@ def _write_artifacts(root, *, smoke=False, img_per_s=100.0, serving_rps=900.0):
             os.path.join(root, "BENCH_serving.json"))
 
 
+def _write_chaos_artifact(root, *, smoke=False, goodput_ratio=0.4):
+    suffix = ".smoke.json" if smoke else ".json"
+    chaos = {
+        "smoke": smoke,
+        "benchmark": "chaos_recovery",
+        "chaos": {"goodput_ratio": goodput_ratio, "mean_recovery_s": 0.3,
+                  "max_recovery_s": 0.5, "kills": 5, "restarts": 6},
+        "baseline": {"goodput_tasks_per_s": 25.0},
+    }
+    path = os.path.join(root, f"BENCH_chaos{suffix}")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chaos, handle)
+    return os.path.join(root, "BENCH_chaos.json")
+
+
 class TestExtractMetrics:
     def test_flattens_tracked_and_network_metrics(self, cli, tmp_path):
         _write_artifacts(str(tmp_path))
@@ -88,6 +103,19 @@ class TestExtractMetrics:
         assert metrics["serving_best_p99_ms"] == 4.2
         assert metrics["serving.b8_d2000us.requests_per_s"] == 1200.0
         assert metrics["serving.b1_d500us.p50_ms"] == 2.0
+
+    def test_chaos_metrics_flatten_from_the_chaos_artifact(self, cli,
+                                                           tmp_path):
+        _write_chaos_artifact(str(tmp_path), goodput_ratio=0.37)
+        chaos = json.load(open(tmp_path / "BENCH_chaos.json"))
+        metrics = cli.extract_metrics(None, None, None, chaos)
+        assert metrics["chaos_goodput_ratio"] == 0.37
+        assert metrics["chaos_mean_recovery_s"] == 0.3
+        assert metrics["chaos_max_recovery_s"] == 0.5
+        assert metrics["chaos_restarts"] == 6
+        # no other artifact contributed anything
+        assert "serving_best_rps" not in metrics
+        assert "conv_blas_speedup_vs_loop" not in metrics
 
 
 class TestAppendEntry:
@@ -162,9 +190,40 @@ class TestCliMain:
         assert entries[0]["label"] == "ci" and entries[0]["smoke"] is True
         assert "serving_best_rps" in entries[0]["metrics"]
 
+    def test_chaos_round_trips_through_the_trend_file(self, cli, tmp_path,
+                                                      capsys):
+        """A chaos-only run records an entry and deltas PR-over-PR."""
+        chaos = _write_chaos_artifact(str(tmp_path), goodput_ratio=0.4)
+        trend = str(tmp_path / "trend.json")
+        absent = str(tmp_path / "nope.json")
+        base = ["--sweep", absent, "--inference", absent, "--serving",
+                absent, "--chaos", chaos, "--trend", trend]
+        assert cli.main(base + ["--label", "one"]) == 0
+        entries = cli.load_trend(trend)
+        assert entries[-1]["metrics"]["chaos_goodput_ratio"] == 0.4
+        _write_chaos_artifact(str(tmp_path), goodput_ratio=0.5)
+        assert cli.main(base + ["--label", "two"]) == 0
+        lines = "\n".join(cli.format_delta(cli.load_trend(trend)))
+        assert "chaos_goodput_ratio: 0.500 (+25.0% vs 0.400)" in lines
+
+    def test_smoke_swaps_the_chaos_artifact_suffix(self, cli, tmp_path):
+        """--smoke reads BENCH_chaos.smoke.json, never the full artifact."""
+        _write_chaos_artifact(str(tmp_path), smoke=True, goodput_ratio=0.2)
+        chaos = str(tmp_path / "BENCH_chaos.json")
+        absent = str(tmp_path / "nope.json")
+        trend = str(tmp_path / "trend.json")
+        assert cli.main(["--sweep", absent, "--inference", absent,
+                         "--serving", absent, "--chaos", chaos,
+                         "--smoke", "--trend", trend,
+                         "--label", "ci"]) == 0
+        entries = cli.load_trend(trend)
+        assert entries[0]["smoke"] is True
+        assert entries[0]["metrics"]["chaos_goodput_ratio"] == 0.2
+
     def test_missing_artifacts_fail_cleanly(self, cli, tmp_path, capsys):
         assert cli.main(["--sweep", str(tmp_path / "nope.json"),
                          "--inference", str(tmp_path / "nope2.json"),
                          "--serving", str(tmp_path / "nope3.json"),
+                         "--chaos", str(tmp_path / "nope4.json"),
                          "--trend", str(tmp_path / "trend.json")]) == 1
         assert "no artifacts found" in capsys.readouterr().out

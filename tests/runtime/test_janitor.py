@@ -487,6 +487,93 @@ class TestAutoscaleSignals:
         assert "min_workers" in capsys.readouterr().err
 
 
+class TestScaleDownHysteresis:
+    """Regression tests for boundary oscillation in the scaling policy.
+
+    Without hysteresis a backlog hovering at a ``tasks_per_worker``
+    boundary (8 vs 9 tasks at 4/worker) flips the desired count between
+    2 and 3 every poll, flapping any scaler that obeys the advisory.
+    """
+
+    def test_boundary_backlog_no_longer_flaps(self):
+        # the raw policy oscillates across the 8-task boundary...
+        assert janitor.desired_workers(9, 0, tasks_per_worker=4) == 3
+        assert janitor.desired_workers(8, 0, tasks_per_worker=4) == 2
+        # ...anchored to the current fleet, the dip to 8 holds at 3
+        # (8 + default hysteresis of 2 still ceils to 3 workers)
+        assert janitor.desired_workers(
+            8, 0, tasks_per_worker=4, current_workers=3) == 3
+        assert janitor.desired_workers(
+            9, 0, tasks_per_worker=4, current_workers=3) == 3
+
+    def test_scale_down_happens_once_the_backlog_clearly_falls(self):
+        assert janitor.desired_workers(
+            6, 0, tasks_per_worker=4, current_workers=3) == 2
+
+    def test_scale_up_is_never_delayed(self):
+        # backlog is latency: hysteresis only damps the shrink direction
+        assert janitor.desired_workers(
+            13, 0, tasks_per_worker=4, current_workers=2) == 4
+
+    def test_empty_backlog_still_scales_to_zero(self):
+        assert janitor.desired_workers(
+            0, 0, tasks_per_worker=4, current_workers=3) == 0
+
+    def test_explicit_hysteresis_width(self):
+        # width 0 restores the raw ceil-divide policy
+        assert janitor.desired_workers(
+            8, 0, tasks_per_worker=4, current_workers=3,
+            hysteresis_tasks=0) == 2
+        # a full worker's share holds even a deep dip
+        assert janitor.desired_workers(
+            5, 0, tasks_per_worker=4, current_workers=3,
+            hysteresis_tasks=4) == 3
+        with pytest.raises(ValueError):
+            janitor.desired_workers(1, 0, hysteresis_tasks=-1)
+
+    def test_advisory_anchors_hysteresis_to_supplied_fleet_size(
+            self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(8))
+        # the lease census sees no workers; the supervisor knows better
+        advisory = janitor.autoscale_advisory(
+            root, tasks_per_worker=4, current_workers=3)
+        assert advisory["desired_workers"] == 3
+        assert advisory["action"] == "hold"
+        dropped = janitor.autoscale_advisory(
+            root, tasks_per_worker=4, current_workers=3, hysteresis_tasks=0)
+        assert dropped["desired_workers"] == 2
+        assert dropped["action"] == "scale_down"
+
+    def test_advisory_defaults_anchor_to_live_leases(self, tmp_path):
+        root = str(tmp_path)
+        _enqueue(root, double, range(8))
+        claim_next_task(root, owner="host-a:1", lease_s=60.0)
+        claim_next_task(root, owner="host-b:2", lease_s=60.0)
+        claim_next_task(root, owner="host-c:3", lease_s=60.0)
+        # 8 outstanding over 3 live workers sits just under the 9-task
+        # boundary: the raw policy would flip to 2, hysteresis holds
+        advisory = janitor.autoscale_advisory(root, tasks_per_worker=4)
+        assert advisory["live_workers"] == 3
+        assert advisory["desired_workers"] == 3
+        assert advisory["action"] == "hold"
+
+    def test_autoscale_cli_exposes_the_hysteresis_knob(self, tmp_path,
+                                                       capsys):
+        import json
+
+        from repro.runtime.queue import main
+
+        root = str(tmp_path)
+        _enqueue(root, double, range(8))
+        assert main([root, "autoscale", "--tasks-per-worker", "4",
+                     "--hysteresis-tasks", "0"]) == 0
+        advisory = json.loads(capsys.readouterr().out)
+        assert advisory["desired_workers"] == 2
+        assert main([root, "autoscale", "--hysteresis-tasks", "-1"]) == 2
+        assert "hysteresis_tasks" in capsys.readouterr().err
+
+
 class TestDoubleClaimRaces:
     def test_concurrent_claimants_partition_the_tasks(self, tmp_path):
         root = str(tmp_path)

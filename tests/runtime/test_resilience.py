@@ -1,0 +1,404 @@
+"""Unit tests for the centralised resilience policy and fault injection.
+
+Covers :mod:`repro.runtime.resilience` (outage classification, the
+decorrelated-jitter schedule, the retry driver, the crash-loop budget),
+:mod:`repro.runtime.faults` (the seeded :class:`FaultPlan` schedule and
+its JSON/env forms) and the storage layer's adoption of both: the
+object fake's native plan hooks, the :class:`ObjectStore` per-primitive
+retries, the :class:`FaultInjectingStore` chaos wrapper over the
+directory backend, and the ``REPRO_RUNTIME_FAULTS``-aware
+:func:`resolve_store` cache.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.runtime.faults import (
+    CONDITIONAL_OPS,
+    FAULTS_ENV,
+    FaultInjected,
+    FaultPlan,
+)
+from repro.runtime.resilience import (
+    BackoffPolicy,
+    DETERMINISTIC,
+    RestartBudget,
+    TRANSIENT,
+    classify_outage,
+    decorrelated_jitter,
+    retry_backoff,
+    retry_call,
+)
+from repro.runtime.store import (
+    STORE_ENV,
+    DirStore,
+    FaultInjectingStore,
+    LocalObjectStore,
+    ObjectStore,
+    resolve_store,
+)
+
+
+# --------------------------------------------------------------------------- #
+# classify_outage
+# --------------------------------------------------------------------------- #
+
+class TestClassifyOutage:
+    def test_storage_and_transport_errors_are_transient(self):
+        for error in (OSError("disk"), TimeoutError("slow"),
+                      ConnectionError("reset")):
+            assert classify_outage(error) == TRANSIENT
+
+    def test_task_errors_are_deterministic(self):
+        for error in (ValueError("bad"), RuntimeError("bug"),
+                      KeyError("missing")):
+            assert classify_outage(error) == DETERMINISTIC
+
+    def test_explicit_marker_wins_over_type(self):
+        error = ValueError("flaky dependency")
+        error.outage_class = TRANSIENT
+        assert classify_outage(error) == TRANSIENT
+        error = OSError("corrupt superblock")
+        error.outage_class = DETERMINISTIC
+        assert classify_outage(error) == DETERMINISTIC
+
+    def test_injected_faults_classify_transient(self):
+        assert classify_outage(FaultInjected("get", "k", 7)) == TRANSIENT
+
+
+# --------------------------------------------------------------------------- #
+# BackoffPolicy + decorrelated_jitter
+# --------------------------------------------------------------------------- #
+
+class TestBackoff:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay_s=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay_s=1.0, max_delay_s=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=0)
+
+    def test_jitter_stays_inside_the_envelope(self):
+        policy = BackoffPolicy(base_delay_s=0.1, max_delay_s=1.0,
+                               multiplier=3.0)
+        rng = random.Random(42)
+        delay = None
+        for _ in range(200):
+            delay = decorrelated_jitter(policy, delay, rng)
+            assert 0.1 <= delay <= 1.0
+
+    def test_upper_bound_grows_with_previous_delay(self):
+        policy = BackoffPolicy(base_delay_s=0.1, max_delay_s=100.0,
+                               multiplier=3.0)
+        # first draw is bounded by base * multiplier; a large previous
+        # delay raises the ceiling accordingly
+        rng = random.Random(0)
+        first = [decorrelated_jitter(policy, None, rng) for _ in range(100)]
+        assert max(first) <= 0.1 * 3.0
+        later = [decorrelated_jitter(policy, 10.0, random.Random(i))
+                 for i in range(100)]
+        assert max(later) <= 30.0
+        assert max(later) > 0.3  # the grown ceiling is actually used
+
+    def test_seeded_stream_is_reproducible(self):
+        policy = BackoffPolicy()
+        a = [decorrelated_jitter(policy, None, random.Random(5))
+             for _ in range(3)]
+        b = [decorrelated_jitter(policy, None, random.Random(5))
+             for _ in range(3)]
+        assert a == b
+
+
+# --------------------------------------------------------------------------- #
+# retry_call / retry_backoff
+# --------------------------------------------------------------------------- #
+
+class TestRetryCall:
+    def _flaky(self, failures, error=OSError("blip")):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise error
+            return "ok"
+        return fn, calls
+
+    def test_transient_failures_are_retried(self):
+        fn, calls = self._flaky(2)
+        slept = []
+        result = retry_call(fn, policy=BackoffPolicy(max_attempts=5),
+                            rng=random.Random(0), sleep=slept.append)
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(slept) == 2 and all(s > 0 for s in slept)
+
+    def test_deterministic_failure_raises_immediately(self):
+        fn, calls = self._flaky(5, error=ValueError("bug"))
+        with pytest.raises(ValueError):
+            retry_call(fn, sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_budget_exhaustion_reraises_the_real_error(self):
+        fn, calls = self._flaky(100)
+        with pytest.raises(OSError, match="blip"):
+            retry_call(fn, policy=BackoffPolicy(max_attempts=3),
+                       sleep=lambda s: None)
+        assert calls["n"] == 3
+
+    def test_on_retry_hook_observes_each_retry(self):
+        fn, _ = self._flaky(2)
+        seen = []
+        retry_call(fn, policy=BackoffPolicy(max_attempts=5),
+                   sleep=lambda s: None,
+                   on_retry=lambda attempt, error, delay:
+                       seen.append((attempt, type(error).__name__)))
+        assert seen == [(1, "OSError"), (2, "OSError")]
+
+    def test_decorator_form(self):
+        calls = {"n": 0}
+
+        @retry_backoff(BackoffPolicy(max_attempts=3), sleep=lambda s: None)
+        def flaky(x):
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise TimeoutError("slow")
+            return x * 2
+
+        assert flaky(21) == 42
+        assert calls["n"] == 2
+
+
+# --------------------------------------------------------------------------- #
+# RestartBudget
+# --------------------------------------------------------------------------- #
+
+class TestRestartBudget:
+    def test_benches_after_max_restarts_in_window(self):
+        budget = RestartBudget(max_restarts=3, window_s=60.0)
+        assert budget.record(now=0.0) is True
+        assert budget.record(now=1.0) is True
+        assert budget.record(now=2.0) is False  # third crash: budget spent
+        assert budget.crashes_in_window == 3
+
+    def test_crashes_age_out_of_the_window(self):
+        budget = RestartBudget(max_restarts=2, window_s=10.0)
+        assert budget.record(now=0.0) is True
+        assert budget.record(now=11.0) is True  # first crash aged out
+        assert budget.crashes_in_window == 1
+
+    def test_reset_redeems_the_history(self):
+        budget = RestartBudget(max_restarts=2, window_s=60.0)
+        budget.record(now=0.0)
+        budget.reset()
+        assert budget.crashes_in_window == 0
+        assert budget.record(now=1.0) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RestartBudget(max_restarts=0)
+        with pytest.raises(ValueError):
+            RestartBudget(window_s=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# FaultPlan
+# --------------------------------------------------------------------------- #
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(seed=99,
+                         latency={"rate": 0.1, "min_s": 0.001,
+                                  "max_s": 0.01, "ops": ["get"]},
+                         errors={"rate": 0.2},
+                         conflicts={"rate": 0.3},
+                         kill_interval_s=(0.5, 1.5))
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.to_dict() == plan.to_dict()
+
+    def test_unknown_keys_and_ops_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan keys"):
+            FaultPlan.from_dict({"sede": 1})
+        with pytest.raises(ValueError, match="unknown fault ops"):
+            FaultPlan(errors={"rate": 0.1, "ops": ["teleport"]})
+        with pytest.raises(ValueError, match="rate must be in"):
+            FaultPlan(errors={"rate": 1.5})
+        with pytest.raises(ValueError, match="kill_interval_s"):
+            FaultPlan(kill_interval_s=(0.0, 1.0))
+
+    def test_same_seed_same_schedule(self):
+        def draws(seed):
+            plan = FaultPlan(seed=seed, errors={"rate": 0.5})
+            out = []
+            for i in range(50):
+                try:
+                    plan.check_fault("get", f"k{i}")
+                    out.append(False)
+                except FaultInjected:
+                    out.append(True)
+            return out
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+        assert any(draws(7))  # the schedule actually fires
+
+    def test_injected_fault_message_carries_the_seed(self):
+        plan = FaultPlan(seed=1234, errors={"rate": 1.0})
+        with pytest.raises(FaultInjected) as excinfo:
+            plan.check_fault("put", "some/key")
+        assert "1234" in str(excinfo.value)
+        assert FAULTS_ENV in str(excinfo.value)
+        assert excinfo.value.op == "put"
+        assert excinfo.value.seed == 1234
+
+    def test_op_filters_limit_the_blast_radius(self):
+        plan = FaultPlan(seed=0, errors={"rate": 1.0, "ops": ["put"]})
+        plan.check_fault("get", "k")  # not targeted: no raise
+        with pytest.raises(FaultInjected):
+            plan.check_fault("put", "k")
+
+    def test_forced_conflicts_only_hit_conditional_verbs(self):
+        plan = FaultPlan(seed=0, conflicts={"rate": 1.0})
+        assert plan.forced_conflict("get", "k") is False
+        for op in CONDITIONAL_OPS:
+            assert plan.forced_conflict(op, "k") is True
+
+    def test_kill_cadence_draws_inside_the_interval(self):
+        assert FaultPlan(seed=0).next_kill_delay_s() is None
+        plan = FaultPlan(seed=0, kill_interval_s=(0.5, 1.5))
+        for _ in range(50):
+            assert 0.5 <= plan.next_kill_delay_s() <= 1.5
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(FAULTS_ENV, '{"seed": 3, "errors": {"rate": 0.5}}')
+        plan = FaultPlan.from_env()
+        assert plan.seed == 3 and plan.errors.rate == 0.5
+        monkeypatch.setenv(FAULTS_ENV, "not json")
+        with pytest.raises(ValueError, match="valid JSON"):
+            FaultPlan.from_env()
+
+
+# --------------------------------------------------------------------------- #
+# Storage-layer adoption
+# --------------------------------------------------------------------------- #
+
+class TestObjectStoreFaults:
+    # LocalObjectStore keys are filesystem paths — always root them in
+    # tmp_path, or a test run would scatter objects under the repo cwd
+
+    def test_injected_fault_raises_before_the_verb_takes_effect(self,
+                                                                tmp_path):
+        objects = LocalObjectStore(
+            fault_plan=FaultPlan(seed=0, errors={"rate": 1.0, "ops": ["put"]})
+        )
+        key = str(tmp_path / "bucket" / "key")
+        with pytest.raises(FaultInjected):
+            objects.put(key, b"payload")
+        # fail-fast transport semantics: the failed put left no object
+        assert objects.fault_plan.errors.rate == 1.0
+        objects.fault_plan = None
+        assert objects.get(key) is None
+
+    def test_object_store_retries_mask_a_transient_fault_storm(self,
+                                                               tmp_path):
+        # a 30% error rate across 40 verbs would almost surely surface
+        # without retries; the per-primitive retry policy hides it
+        plan = FaultPlan(seed=11, errors={"rate": 0.3})
+        store = ObjectStore(LocalObjectStore(fault_plan=plan),
+                            retry_rng=random.Random(0))
+        for i in range(20):
+            store.put(str(tmp_path / f"k{i}"), bytes([i]))
+        for i in range(20):
+            assert store.get(str(tmp_path / f"k{i}")) == bytes([i])
+
+    def test_object_store_reraises_once_the_retry_budget_is_spent(self,
+                                                                  tmp_path):
+        plan = FaultPlan(seed=0, errors={"rate": 1.0})
+        store = ObjectStore(
+            LocalObjectStore(fault_plan=plan),
+            retry=BackoffPolicy(base_delay_s=0.001, max_delay_s=0.002,
+                                max_attempts=2),
+            retry_rng=random.Random(0),
+        )
+        with pytest.raises(FaultInjected):
+            store.put(str(tmp_path / "k"), b"v")
+
+    def test_forced_conflicts_surface_as_lost_conditional_puts(self,
+                                                               tmp_path):
+        plan = FaultPlan(seed=0, conflicts={"rate": 1.0})
+        objects = LocalObjectStore(fault_plan=plan)
+        key = str(tmp_path / "k")
+        assert objects.put_if_absent(key, b"v") is False
+        objects.fault_plan = None
+        assert objects.get(key) is None  # the conflict never wrote
+
+
+class TestFaultInjectingStore:
+    def test_wraps_the_directory_backend(self, tmp_path):
+        plan = FaultPlan(seed=0, errors={"rate": 1.0, "ops": ["put"]})
+        store = FaultInjectingStore(DirStore(), plan)
+        assert store.name == "dir"
+        with pytest.raises(FaultInjected):
+            store.put(str(tmp_path / "obj"), b"payload")
+        assert not (tmp_path / "obj").exists()
+
+    def test_forced_conflict_reports_failure_without_touching_substrate(
+            self, tmp_path):
+        plan = FaultPlan(seed=0, conflicts={"rate": 1.0})
+        store = FaultInjectingStore(DirStore(), plan)
+        target = str(tmp_path / "exclusive")
+        assert store.put_if_absent(target, b"v") is False
+        assert store.inner.get(target) is None
+        source = tmp_path / "src"
+        source.write_bytes(b"data")
+        assert store.move(str(source), str(tmp_path / "dst")) is False
+        assert source.exists()  # the losing move never moved anything
+
+    def test_clean_plan_delegates_verbatim(self, tmp_path):
+        store = FaultInjectingStore(DirStore(), FaultPlan(seed=0))
+        path = str(tmp_path / "obj")
+        store.put(path, b"payload")
+        assert store.get(path) == b"payload"
+        assert store.put_if_absent(path, b"other") is False
+        assert store.move(path, str(tmp_path / "moved")) is True
+        assert store.get(str(tmp_path / "moved")) == b"payload"
+
+
+class TestResolveStoreChaosWiring:
+    def test_env_plan_wraps_name_resolved_stores(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        monkeypatch.setenv(FAULTS_ENV, '{"seed": 5, "errors": {"rate": 0.1}}')
+        wrapped_dir = resolve_store("dir")
+        assert isinstance(wrapped_dir, FaultInjectingStore)
+        assert wrapped_dir.plan.seed == 5
+        wrapped_obj = resolve_store("object")
+        # the object fake consults plans natively — injected at source
+        assert isinstance(wrapped_obj, ObjectStore)
+        assert wrapped_obj.objects.fault_plan is not None
+        assert wrapped_obj.objects.fault_plan.seed == 5
+
+    def test_cache_is_keyed_by_the_plan_payload(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        clean = resolve_store("dir")
+        assert resolve_store("dir") is clean  # singleton per key
+        assert not isinstance(clean, FaultInjectingStore)
+        monkeypatch.setenv(FAULTS_ENV, '{"seed": 1}')
+        chaotic = resolve_store("dir")
+        assert chaotic is not clean
+        monkeypatch.setenv(FAULTS_ENV, '{"seed": 2}')
+        assert resolve_store("dir") is not chaotic  # new plan, new store
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert resolve_store("dir") is clean
+
+    def test_explicit_instances_are_never_wrapped(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, '{"seed": 1, "errors": {"rate": 1.0}}')
+        mine = DirStore()
+        assert resolve_store(mine) is mine

@@ -1,0 +1,397 @@
+"""Unit tests for the fleet supervisor's control loop.
+
+Every side effect of :class:`repro.runtime.supervisor.Supervisor` sits
+behind an injectable seam (``spawn``, ``advisory_fn``, ``clock``,
+``emit``), so these tests drive years of fleet weather — scale storms,
+crash loops, advisory outages — through the synchronous :meth:`tick`
+with fake processes and a fake clock, in milliseconds.  The *real*
+subprocess fleet is exercised end-to-end by ``test_chaos_soak.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.runtime.queue import init_queue_dirs, main
+from repro.runtime.resilience import BackoffPolicy
+from repro.runtime.supervisor import Supervisor, open_event_sink
+
+
+class FakeProc:
+    """A Popen-alike whose death the test scripts explicitly."""
+
+    _pids = iter(range(1000, 100000))
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.pid = next(FakeProc._pids)
+        self.returncode = None
+        self.terminated = False
+        self.killed = False
+
+    def poll(self):
+        return self.returncode
+
+    def terminate(self):
+        # fake workers honour SIGTERM instantly (drain is a queue-CLI
+        # contract, not the supervisor's concern)
+        self.terminated = True
+        if self.returncode is None:
+            self.returncode = 0
+
+    def kill(self):
+        self.killed = True
+        self.returncode = -9
+
+    def exit(self, code: int) -> None:
+        self.returncode = code
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+class Harness:
+    """One supervisor wired entirely to fakes, plus its event log."""
+
+    def __init__(self, **overrides) -> None:
+        self.clock = FakeClock()
+        self.events = []
+        self.procs = []
+        self.advisory = {"desired_workers": 0, "queue_depth": 0,
+                         "claimed": 0}
+        self.spawn_error = None
+        kwargs = dict(
+            max_workers=4,
+            cooldown_s=0.0,
+            restart_backoff=BackoffPolicy(base_delay_s=0.1, max_delay_s=0.5,
+                                          multiplier=3.0),
+            seed=7,
+            clock=self.clock,
+        )
+        kwargs.update(overrides)
+        self.supervisor = Supervisor(
+            "/fake/queue-root",
+            spawn=self._spawn,
+            advisory_fn=self._advise,
+            emit=self.events.append,
+            **kwargs,
+        )
+
+    def _spawn(self, name: str):
+        if self.spawn_error is not None:
+            raise self.spawn_error
+        proc = FakeProc(name)
+        self.procs.append(proc)
+        return proc
+
+    def _advise(self, current_workers: int):
+        result = self.advisory
+        if isinstance(result, Exception):
+            raise result
+        return dict(result)
+
+    def want(self, desired: int, queue_depth: int = None) -> None:
+        self.advisory["desired_workers"] = desired
+        self.advisory["queue_depth"] = (
+            desired if queue_depth is None else queue_depth
+        )
+
+    def tick(self) -> None:
+        self.supervisor.tick(self.clock.now)
+
+    def names(self, event: str):
+        return [e for e in self.events if e["event"] == event]
+
+
+class TestScaling:
+    def test_scales_up_to_the_advisory(self):
+        h = Harness()
+        h.want(2)
+        h.tick()
+        assert h.supervisor.capacity() == 2
+        assert len(h.supervisor.worker_pids()) == 2
+        (scale,) = h.names("scale_up")
+        assert scale["desired"] == 2 and scale["spawned"] == ["w0", "w1"]
+        assert len(h.names("spawn")) == 2
+
+    def test_desired_is_clamped_to_the_slot_table(self):
+        h = Harness(max_workers=3)
+        h.want(10)
+        h.tick()
+        assert h.supervisor.capacity() == 3
+
+    def test_min_workers_floor(self):
+        h = Harness(min_workers=1)
+        h.want(0)
+        h.tick()
+        assert h.supervisor.capacity() == 1
+
+    def test_cooldown_damps_flapping(self):
+        h = Harness(cooldown_s=5.0)
+        h.want(2)
+        h.tick()
+        assert h.supervisor.capacity() == 2
+        h.want(0)
+        h.clock.advance(1.0)
+        h.tick()
+        # inside the cooldown the fleet holds its size
+        assert h.supervisor.capacity() == 2
+        assert any(e["reason"] == "cooldown" for e in h.names("hold"))
+        h.clock.advance(5.0)
+        h.tick()
+        assert h.supervisor.capacity() == 0
+        assert len(h.names("scale_down")) == 1
+
+    def test_steady_state_narrates_one_hold_not_a_stream(self):
+        h = Harness()
+        h.want(1)
+        h.tick()
+        for _ in range(5):
+            h.clock.advance(0.5)
+            h.tick()
+        holds = h.names("hold")
+        assert len(holds) == 1
+        assert holds[0]["reason"] == "fleet matches the backlog"
+
+    def test_scale_down_sigterms_newest_first(self):
+        h = Harness()
+        h.want(1)
+        h.tick()
+        h.clock.advance(1.0)
+        h.want(3)
+        h.tick()
+        assert h.supervisor.capacity() == 3
+        h.clock.advance(1.0)
+        h.want(1)
+        h.tick()
+        (down,) = h.names("scale_down")
+        assert sorted(down["retired"]) == ["w1", "w2"]  # the newest pair
+        assert h.procs[0].terminated is False  # the warm elder survives
+        assert h.procs[1].terminated and h.procs[2].terminated
+        # retiring workers are off the chaos menu immediately
+        assert h.supervisor.worker_pids() == [h.procs[0].pid]
+        h.clock.advance(0.1)
+        h.tick()  # reap the retirements
+        assert len(h.names("retired")) == 2
+        assert h.supervisor.capacity() == 1
+
+
+class TestCrashRecovery:
+    def test_crash_is_restarted_after_a_jittered_backoff(self):
+        h = Harness()
+        h.want(1)
+        h.tick()
+        h.clock.advance(1.0)
+        h.procs[0].exit(-9)
+        h.tick()
+        (crash,) = h.names("crash")
+        assert crash["worker"] == "w0" and crash["returncode"] == -9
+        # the respawn is pending (counted as capacity — no double scale-up)
+        assert h.supervisor.capacity() == 1
+        assert h.supervisor.worker_pids() == []
+        assert h.names("restart") == []
+        h.clock.advance(0.6)  # past the 0.1..0.5 backoff envelope
+        h.tick()
+        (restart,) = h.names("restart")
+        assert restart["worker"] == "w0" and restart["delay_s"] > 0
+        assert len(h.supervisor.worker_pids()) == 1
+        assert h.supervisor.summary()["restarts"] == 1
+
+    def test_restarts_are_exempt_from_the_scaling_cooldown(self):
+        h = Harness(cooldown_s=60.0)
+        h.want(1)
+        h.tick()
+        h.clock.advance(1.0)
+        h.procs[0].exit(1)
+        h.tick()
+        h.clock.advance(0.6)
+        h.tick()  # still deep inside the scaling cooldown
+        assert len(h.names("restart")) == 1
+
+    def test_crash_loop_benches_the_slot(self):
+        h = Harness(max_workers=1, max_restarts=2, restart_window_s=60.0)
+        h.want(1)
+        h.tick()
+        for _ in range(2):
+            h.clock.advance(0.6)
+            h.procs[-1].exit(-6)
+            h.tick()
+            h.clock.advance(0.6)
+            h.tick()
+        (bench,) = h.names("bench")
+        assert bench["worker"] == "w0"
+        assert h.supervisor.benched() == ["w0"]
+        assert len(h.names("restart")) == 1  # first crash only
+        # the benched slot is never respawned, and with no free slots
+        # the advisory can only hold
+        h.clock.advance(5.0)
+        h.tick()
+        assert h.supervisor.capacity() == 0
+        assert any(e["reason"] == "no free slots" for e in h.names("hold"))
+
+    def test_a_healthy_window_redeems_the_crash_history(self):
+        h = Harness(max_workers=1, max_restarts=2, restart_window_s=10.0)
+        h.want(1)
+        h.tick()
+        h.clock.advance(1.0)
+        h.procs[-1].exit(-9)
+        h.tick()  # crash 1 of 2: restart allowed
+        h.clock.advance(0.6)
+        h.tick()
+        assert len(h.names("restart")) == 1
+        h.clock.advance(30.0)  # runs healthily for 3 windows
+        h.procs[-1].exit(-9)
+        h.tick()  # history redeemed: this counts as crash 1 again
+        assert h.names("bench") == []
+        h.clock.advance(0.6)
+        h.tick()
+        assert len(h.names("restart")) == 2
+
+    def test_scale_down_sheds_pending_restarts_first(self):
+        h = Harness()
+        h.want(2)
+        h.tick()
+        h.clock.advance(1.0)
+        h.procs[1].exit(-9)
+        h.want(1)
+        h.tick()
+        # the crashed slot's pending respawn is the cheapest capacity
+        # to shed — the running worker is never touched
+        (down,) = h.names("scale_down")
+        assert down["retired"] == ["w1"]
+        assert h.procs[0].terminated is False
+        assert h.supervisor.capacity() == 1
+        h.clock.advance(5.0)
+        h.tick()
+        assert h.names("restart") == []  # the cancelled respawn never fires
+
+    def test_transient_spawn_failure_enters_the_crash_path(self):
+        h = Harness(max_workers=1, max_restarts=3)
+        h.spawn_error = OSError("fork: resource temporarily unavailable")
+        h.want(1)
+        h.tick()
+        (spawn_error,) = h.names("spawn_error")
+        assert spawn_error["worker"] == "w0"
+        assert h.supervisor.capacity() == 1  # pending retry counts
+        h.spawn_error = None
+        h.clock.advance(0.6)
+        h.tick()
+        assert len(h.supervisor.worker_pids()) == 1
+
+    def test_deterministic_spawn_failure_raises(self):
+        h = Harness()
+        h.spawn_error = TypeError("bad argv")
+        h.want(1)
+        with pytest.raises(TypeError):
+            h.tick()
+
+
+class TestAdvisoryOutages:
+    def test_transient_advisory_failure_holds_the_fleet(self):
+        h = Harness()
+        h.want(2)
+        h.tick()
+        h.advisory = TimeoutError("store census timed out")
+        h.clock.advance(1.0)
+        h.tick()
+        (error,) = h.names("advisory_error")
+        assert "timed out" in error["error"]
+        assert h.supervisor.capacity() == 2  # fleet held as-is
+
+    def test_deterministic_advisory_failure_raises(self):
+        h = Harness()
+        h.advisory = ValueError("corrupt layout")
+        with pytest.raises(ValueError):
+            h.tick()
+
+
+class TestLifecycle:
+    def test_shutdown_drains_every_worker(self):
+        h = Harness()
+        h.want(3)
+        h.tick()
+        h.supervisor.shutdown(timeout_s=5.0)
+        (drain,) = h.names("drain")
+        assert sorted(drain["workers"]) == ["w0", "w1", "w2"]
+        assert all(p.terminated for p in h.procs)
+        assert h.supervisor.summary()["running"] == []
+        h.supervisor.shutdown(timeout_s=5.0)  # idempotent
+        assert len(h.names("drain")) == 1
+
+    def test_shutdown_force_kills_a_worker_that_ignores_sigterm(self):
+        h = Harness()
+        h.want(1)
+        h.tick()
+        proc = h.procs[0]
+        proc.terminate = lambda: None  # ignores SIGTERM
+        h.supervisor.shutdown(timeout_s=0.2)
+        assert proc.killed
+        assert len(h.names("killed")) == 1
+
+    def test_idle_clock_runs_only_while_scaled_to_zero_over_empty_queue(self):
+        h = Harness(min_workers=0)
+        h.want(0, queue_depth=0)
+        h.tick()
+        h.clock.advance(3.0)
+        assert h.supervisor.idle_for(h.clock.now) == pytest.approx(3.0)
+        h.want(1, queue_depth=2)  # work arrives: idleness resets
+        h.tick()
+        assert h.supervisor.idle_for(h.clock.now) == 0.0
+
+    def test_run_exits_on_its_own_after_the_idle_grace(self):
+        h = Harness(poll_interval_s=0.01, clock=time.monotonic)
+        h.want(0, queue_depth=0)
+        h.supervisor.run(idle_exit_s=0.05)
+        assert len(h.names("idle_exit")) == 1
+
+    def test_run_stops_when_the_event_is_set(self):
+        h = Harness(poll_interval_s=0.01)
+        h.want(0, queue_depth=0)
+        stop = threading.Event()
+        runner = threading.Thread(target=h.supervisor.run,
+                                  kwargs={"stop": stop})
+        runner.start()
+        stop.set()
+        runner.join(timeout=10.0)
+        assert not runner.is_alive()
+        assert len(h.names("drain")) == 1
+
+
+class TestEventSinkAndCli:
+    def test_open_event_sink_defaults_to_stdout(self):
+        import sys
+
+        assert open_event_sink(None) is sys.stdout
+        assert open_event_sink("-") is sys.stdout
+
+    def test_supervise_cli_idle_exits_over_an_empty_queue(self, tmp_path,
+                                                          capsys):
+        root = str(tmp_path / "queue")
+        init_queue_dirs(root)
+        events_path = str(tmp_path / "events.jsonl")
+        assert main([root, "supervise",
+                     "--idle-exit-seconds", "0.2",
+                     "--poll-interval", "0.05",
+                     "--max-workers", "1",
+                     "--events", events_path]) == 0
+        err = capsys.readouterr().err
+        assert "supervisor drained" in err
+        with open(events_path, encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle]
+        kinds = {e["event"] for e in events}
+        assert "idle_exit" in kinds and "drain" in kinds
+        # an empty queue never scales up
+        assert "scale_up" not in kinds

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+import random
+import threading
+
 import pytest
 from _helpers import FakeClock
+
+from repro.runtime.resilience import BackoffPolicy
 
 from repro.serving.admission import (
     CIRCUIT_CLOSED,
@@ -157,6 +162,134 @@ class TestCircuitBreaker:
             with pytest.raises(ValueError):
                 CircuitBreaker(**kwargs)
 
+    def test_concurrent_half_open_probes_respect_the_budget(self):
+        """The probe budget holds under a thundering herd of admitters."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 half_open_probes=3, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        admitted = []
+        barrier = threading.Barrier(16)
+
+        def prober():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=prober) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 3  # exactly the budget, no over-admission
+        assert breaker.state == CIRCUIT_HALF_OPEN
+
+
+class TestBreakerCooldownBackoff:
+    """Repeated failed recoveries grow the cool-down (resilience policy)."""
+
+    def _breaker(self, clock, **kwargs):
+        kwargs.setdefault("cooldown_backoff",
+                          BackoffPolicy(base_delay_s=1.0, max_delay_s=60.0,
+                                        multiplier=3.0))
+        return CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                              cooldown_rng=random.Random(7), clock=clock,
+                              **kwargs)
+
+    def _fail_probe(self, breaker, clock):
+        # the epsilon absorbs float round-off in clock accumulation
+        clock.advance(breaker.current_cooldown_s + 1e-6)
+        assert breaker.allow()  # half-open probe admitted
+        breaker.record_failure()
+
+    def test_failed_recoveries_grow_the_cooldown(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        breaker.record_failure()  # fresh trip: cool-down at the baseline
+        assert breaker.current_cooldown_s == pytest.approx(1.0)
+        seen = [breaker.current_cooldown_s]
+        for _ in range(4):
+            self._fail_probe(breaker, clock)
+            seen.append(breaker.current_cooldown_s)
+        # each re-trip redraws from a ceiling 3x the previous cool-down;
+        # across a few rounds the schedule must actually have grown
+        assert max(seen) > 1.0
+        assert all(1.0 <= s <= 60.0 for s in seen)
+        # the grown cool-down really gates admission
+        clock.advance(breaker.current_cooldown_s / 2)
+        assert not breaker.allow()
+
+    def test_successful_probe_resets_the_cooldown(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        for _ in range(3):
+            self._fail_probe(breaker, clock)
+        clock.advance(breaker.current_cooldown_s + 1e-6)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CIRCUIT_CLOSED
+        assert breaker.current_cooldown_s == pytest.approx(1.0)
+
+    def test_fresh_outage_starts_from_the_baseline_again(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        for _ in range(3):
+            self._fail_probe(breaker, clock)
+        grown = breaker.current_cooldown_s
+        # recover fully, then hit a brand-new outage: this is a fresh
+        # incident, not a failed recovery — no carried-over penalty
+        clock.advance(grown)
+        assert breaker.allow()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CIRCUIT_OPEN
+        assert breaker.current_cooldown_s == pytest.approx(1.0)
+
+    def test_seeded_schedule_is_reproducible(self):
+        def schedule():
+            clock = FakeClock()
+            breaker = self._breaker(clock)
+            breaker.record_failure()
+            out = []
+            for _ in range(4):
+                self._fail_probe(breaker, clock)
+                out.append(breaker.current_cooldown_s)
+            return out
+
+        assert schedule() == schedule()
+
+    def test_without_a_policy_the_cooldown_stays_fixed(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=2.0,
+                                 clock=clock)
+        breaker.record_failure()
+        for _ in range(3):
+            clock.advance(2.0)
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.current_cooldown_s == pytest.approx(2.0)
+
+    def test_p99_retrip_also_grows_the_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 p99_threshold_ms=50.0,
+                                 cooldown_backoff=BackoffPolicy(
+                                     base_delay_s=1.0, max_delay_s=60.0,
+                                     multiplier=3.0),
+                                 cooldown_rng=random.Random(3), clock=clock)
+        breaker.record_failure()
+        grew = False
+        for _ in range(4):
+            clock.advance(breaker.current_cooldown_s + 1e-6)
+            assert breaker.state == CIRCUIT_HALF_OPEN
+            breaker.record_p99(51.0)  # latency still breached: re-trip
+            assert breaker.state == CIRCUIT_OPEN
+            grew = grew or breaker.current_cooldown_s > 1.0
+        assert grew
+
 
 class TestEstimateWait:
     def test_policy_bound_before_any_throughput(self):
@@ -179,3 +312,32 @@ class TestEstimateWait:
     def test_negative_depth_rejected(self):
         with pytest.raises(ValueError):
             estimate_wait_s(-1, max_batch=8, max_delay_s=0.005, ewma_rps=0.0)
+
+    def test_cold_ewma_still_yields_a_finite_positive_bound(self):
+        """Before the EWMA has observed a single flush (rate 0), the
+        flush-policy floor must keep the estimate finite and non-zero —
+        a cold service neither rejects everything (infinite estimate)
+        nor admits unboundedly (zero estimate)."""
+        for depth in (0, 1, 7, 8, 63, 1024):
+            wait = estimate_wait_s(depth, max_batch=8, max_delay_s=0.004,
+                                   ewma_rps=0.0)
+            batches = depth // 8 + 1
+            assert wait == pytest.approx(batches * 0.004)
+            assert 0.0 < wait < float("inf")
+
+    def test_cold_estimate_grows_monotonically_with_depth(self):
+        waits = [estimate_wait_s(d, max_batch=4, max_delay_s=0.002,
+                                 ewma_rps=0.0) for d in range(64)]
+        assert all(b >= a for a, b in zip(waits, waits[1:]))
+
+    def test_warming_ewma_only_tightens_upward(self):
+        # once throughput data exists it may only *raise* the estimate
+        # above the policy floor, never lower it below
+        cold = estimate_wait_s(32, max_batch=8, max_delay_s=0.004,
+                               ewma_rps=0.0)
+        warm_fast = estimate_wait_s(32, max_batch=8, max_delay_s=0.004,
+                                    ewma_rps=1e6)
+        warm_slow = estimate_wait_s(32, max_batch=8, max_delay_s=0.004,
+                                    ewma_rps=2.0)
+        assert warm_fast == pytest.approx(cold)
+        assert warm_slow == pytest.approx(16.0)  # 32 queued at 2/s
