@@ -39,7 +39,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.eval.reporting import write_json_report
+from repro.eval.reporting import host_info, write_json_report
 from repro.runtime.faults import FAULTS_ENV, FaultPlan
 from repro.runtime.queue import (
     MAX_RETRIES_ENV,
@@ -261,6 +261,7 @@ def run_bench(smoke: bool, seed: int) -> Dict[str, object]:
     return {
         "benchmark": "chaos_recovery",
         "smoke": smoke,
+        "host": host_info(),
         "seed": seed,
         "store": "dir",
         "config": {key: list(value) if isinstance(value, tuple) else value

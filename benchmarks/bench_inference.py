@@ -10,6 +10,11 @@ Two measurements, recorded into ``BENCH_inference.json`` at the repo root
 * multi-worker ``forward_batch`` throughput vs the serial chunk loop (the
   engine's per-chunk parallel seam through the :mod:`repro.runtime` thread
   backend), bit-exactness checked against the serial path;
+* the shared-memory chunk transport (PR 8) vs pickled chunk shipping over
+  the **process** backend — same executor, ``REPRO_RUNTIME_SHM`` toggled
+  between the two timed paths, both bit-exact against the serial oracle;
+* the persistent kernel-autotune cache: cold (measure + persist) vs warm
+  (cache-file hit) parameter resolution against a fresh cache directory;
 * accuracy-vs-read-noise curves produced *through* the packed engine
   (:func:`repro.eval.sweep.run_accuracy_sweep`), i.e. the functional
   scenario the analytical sweeps cannot provide.
@@ -24,14 +29,18 @@ the CI-sized configuration).
 from __future__ import annotations
 
 import os
+import tempfile
+import time
 
 import numpy as np
 
+from repro.bnn import autotune
 from repro.bnn.model import InferenceEngine
 from repro.bnn.networks import build_network
-from repro.eval.reporting import write_json_report
+from repro.eval.reporting import host_info, write_json_report
 from repro.eval.sweep import AccuracySweepGrid, run_accuracy_sweep
-from repro.runtime import ThreadExecutor, measure_pair
+from repro.runtime import ProcessExecutor, ThreadExecutor, measure_pair
+from repro.runtime.shm import SHM_ENV
 from repro.utils.rng import make_rng
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -113,6 +122,91 @@ def _time_parallel_chunks(engine: InferenceEngine, images: np.ndarray, *,
     }
 
 
+def _time_shm_transport(engine: InferenceEngine, images: np.ndarray, *,
+                        workers: int, reps: int) -> dict:
+    """Shared-memory vs pickled chunk transport over the process backend.
+
+    The same :class:`ProcessExecutor` runs both timed paths; only
+    ``REPRO_RUNTIME_SHM`` differs (the engine re-reads the mode on every
+    ``forward_batch`` call).  Shared memory ships each input chunk as a
+    descriptor and writes results into a preallocated output segment, so
+    the delta is exactly the pickle + pipe traffic the transport removes.
+    """
+    total = images.shape[0]
+    chunk = max(1, total // max(workers * 2, 2))
+    serial_ref = engine.forward_batch(images, batch_size=chunk)
+    previous = os.environ.get(SHM_ENV)
+
+    def _run(mode: str, executor: ProcessExecutor) -> np.ndarray:
+        os.environ[SHM_ENV] = mode
+        return engine.forward_batch(images, batch_size=chunk,
+                                    executor=executor)
+
+    try:
+        with ProcessExecutor(workers) as executor:
+            shm_out = _run("auto", executor)
+            pickle_out = _run("off", executor)
+            bit_exact = bool(np.array_equal(serial_ref, shm_out)
+                             and np.array_equal(serial_ref, pickle_out))
+            shm_m, pickle_m, speedup = measure_pair(
+                lambda: _run("auto", executor),
+                lambda: _run("off", executor),
+                reps=reps, label=f"shm-x{workers}",
+            )
+    finally:
+        if previous is None:
+            os.environ.pop(SHM_ENV, None)
+        else:
+            os.environ[SHM_ENV] = previous
+    return {
+        "backend": "process",
+        "workers": workers,
+        "chunk_size": chunk,
+        "bit_exact": bit_exact,
+        "pickle_images_per_s": pickle_m.throughput(total),
+        "shm_images_per_s": shm_m.throughput(total),
+        "speedup_vs_pickle": speedup,
+    }
+
+
+def _autotune_stats() -> dict:
+    """Cold (measure + persist) vs warm (file hit) autotune resolution.
+
+    Points the cache at a fresh directory so the cold path genuinely
+    measures; the warm re-resolve must then come back from the cache
+    file.  The process-wide singleton and the environment are restored
+    afterwards, so the rest of the benchmark keeps its normal params.
+    """
+    previous = os.environ.get(autotune.CACHE_ENV)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-autotune-") as cache:
+        os.environ[autotune.CACHE_ENV] = cache
+        try:
+            start = time.perf_counter()
+            measured = autotune.get_params(refresh=True)
+            cold_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = autotune.get_params(refresh=True)
+            warm_seconds = time.perf_counter() - start
+        finally:
+            if previous is None:
+                os.environ.pop(autotune.CACHE_ENV, None)
+            else:
+                os.environ[autotune.CACHE_ENV] = previous
+            autotune.reset_cached_params()
+    assert measured.source == "measured", measured
+    assert warm == autotune.AutotuneParams(
+        measured.dispatch_macs, measured.conv_block_bytes, "cache")
+    return {
+        "cache_hit": 1.0 if warm.source == "cache" else 0.0,
+        "dispatch_macs": measured.dispatch_macs,
+        "conv_block_bytes": measured.conv_block_bytes,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup_cached_vs_measured":
+            cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+    }
+
+
 def test_inference_engine(benchmark, smoke):
     """Benchmark the packed engine and record throughput + noise curves."""
     if smoke:
@@ -173,6 +267,28 @@ def test_inference_engine(benchmark, smoke):
     )
     assert parallel["bit_exact"]
 
+    # the zero-copy transport: shm vs pickled chunks on the process backend
+    shm = _time_shm_transport(
+        engine, images, workers=2 if smoke else 4, reps=3 if smoke else 5
+    )
+    print(
+        f"forward_batch shm x{shm['workers']} ({shm['backend']}): pickle "
+        f"{shm['pickle_images_per_s']:.1f} img/s, shm "
+        f"{shm['shm_images_per_s']:.1f} img/s "
+        f"({shm['speedup_vs_pickle']:.2f}x, bit-exact {shm['bit_exact']})"
+    )
+    assert shm["bit_exact"]
+
+    tune = _autotune_stats()
+    print(
+        f"autotune: dispatch {tune['dispatch_macs']} MACs, conv block "
+        f"{tune['conv_block_bytes'] // (1 << 20)} MiB; cold "
+        f"{tune['cold_seconds'] * 1e3:.1f} ms, warm "
+        f"{tune['warm_seconds'] * 1e3:.1f} ms "
+        f"(cache hit {tune['cache_hit']:.0f})"
+    )
+    assert tune["cache_hit"] == 1.0
+
     accuracy = run_accuracy_sweep(accuracy_grid)
     print("\n=== accuracy vs read noise (packed engine) ===")
     for record in accuracy.records:
@@ -192,8 +308,11 @@ def test_inference_engine(benchmark, smoke):
     artifact_path = SMOKE_ARTIFACT_PATH if smoke else ARTIFACT_PATH
     write_json_report(artifact_path, {
         "smoke": smoke,
+        "host": host_info(),
         "networks": networks,
         "parallel_forward_batch": parallel,
+        "shm_transport": shm,
+        "autotune": tune,
         "accuracy_sweep": accuracy.to_payload(),
     })
     print(f"wrote {artifact_path}")

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.bnn.model import InferenceEngine
 from repro.bnn.networks import build_network, list_networks
-from repro.eval.reporting import write_json_report
+from repro.eval.reporting import host_info, write_json_report
 from repro.serving import InferenceService, RejectedError
 from repro.utils.rng import make_rng
 
@@ -188,6 +188,7 @@ def run_sweep(*, network: str, clients: int, requests: int,
     best = policies[best_key]
     return {
         "smoke": smoke,
+        "host": host_info(),
         "network": network,
         "clients": clients,
         "requests_per_policy": requests,

@@ -25,6 +25,7 @@ CI-sized configuration).
 from __future__ import annotations
 
 import os
+import statistics
 import time
 
 import numpy as np
@@ -36,7 +37,7 @@ from repro.bnn.xnor_ops import (
     im2col_reference,
 )
 from repro.core.schedule import clear_schedule_cache, schedule_cache_stats
-from repro.eval.reporting import format_sweep_table, write_json_report
+from repro.eval.reporting import format_sweep_table, host_info, write_json_report
 from repro.eval.sweep import SweepGrid, clear_sweep_caches, run_sweep
 from repro.runtime import measure
 from repro.utils.rng import make_rng
@@ -155,6 +156,12 @@ def _queue_fleet_bench(smoke: bool) -> dict:
     overhead-per-task numbers are what a fleet operator pays for
     durability: renames on a shared filesystem vs conditional puts with
     generation tokens.
+
+    Each store is additionally swept over ``tasks_per_claim`` (1 / 4 /
+    16): batched leases (PR 8) amortise the claim/lease/release
+    round-trips over whole batches, and the per-task overhead reduction
+    at 16 vs the classic protocol is the gated win.  ``tasks_per_claim=1``
+    doubles as the store-level backwards-compatible numbers.
     """
     import tempfile
 
@@ -186,32 +193,54 @@ def _queue_fleet_bench(smoke: bool) -> dict:
     chunk = 4
     results = {"grid_points": len(specs), "serial_seconds": serial_seconds,
                "compact_chunk": chunk, "stores": {}}
+    reps = 3  # median-of-reps absorbs fs/scheduler noise on small runs
     for store_name in ("dir", "object"):
         store = make_store(store_name)
-        with tempfile.TemporaryDirectory(
-                prefix=f"repro-bench-queue-{store_name}-") as root:
-            init_queue_dirs(root, store=store)
-            write_shared_fn(root, evaluate_point, store=store)
-            for task in worklist:
-                enqueue_task(root, task, shared_fn=True, store=store)
-            start = time.perf_counter()
-            served = serve(root, compact_threshold=chunk, store=store)
-            status = janitor.status(root, store=store)
-            queue_records = collect_results(
-                root, len(specs), timeout_s=120.0, poll_interval_s=0.01,
-                compact_threshold=chunk, store=store,
-            )
-            queue_seconds = time.perf_counter() - start
-        assert served == len(specs), store_name
-        assert queue_records == serial_records, store_name
-        assert status["done"] == len(specs) and status["failed"] == 0
-        assert status["layouts"]["."]["bundles"] >= 1  # compaction ran
+        batches = {}
+        for tasks_per_claim in (1, 4, 16):
+            timings = []
+            for _ in range(reps):
+                with tempfile.TemporaryDirectory(
+                        prefix=f"repro-bench-queue-{store_name}-") as root:
+                    init_queue_dirs(root, store=store)
+                    write_shared_fn(root, evaluate_point, store=store)
+                    for task in worklist:
+                        enqueue_task(root, task, shared_fn=True, store=store)
+                    start = time.perf_counter()
+                    served = serve(root, compact_threshold=chunk,
+                                   tasks_per_claim=tasks_per_claim,
+                                   store=store)
+                    status = janitor.status(root, store=store)
+                    queue_records = collect_results(
+                        root, len(specs), timeout_s=120.0,
+                        poll_interval_s=0.01, compact_threshold=chunk,
+                        store=store,
+                    )
+                    timings.append(time.perf_counter() - start)
+                assert served == len(specs), (store_name, tasks_per_claim)
+                assert queue_records == serial_records, (store_name,
+                                                         tasks_per_claim)
+                assert status["done"] == len(specs) and status["failed"] == 0
+                assert status["layouts"]["."]["bundles"] >= 1  # compacted
+            queue_seconds = statistics.median(timings)
+            batches[str(tasks_per_claim)] = {
+                "queue_seconds": queue_seconds,
+                "protocol_overhead_ms_per_task":
+                    (queue_seconds - serial_seconds) * 1e3 / len(specs),
+                "bundles": status["layouts"]["."]["bundles"],
+                "reps": reps,
+            }
+        classic = batches["1"]["protocol_overhead_ms_per_task"]
+        batched = batches["16"]["protocol_overhead_ms_per_task"]
         results["stores"][store_name] = {
-            "queue_seconds": queue_seconds,
-            "protocol_overhead_ms_per_task":
-                (queue_seconds - serial_seconds) * 1e3 / len(specs),
-            "bundles": status["layouts"]["."]["bundles"],
-            "status": status,
+            # tasks_per_claim=1 doubles as the store-level classic numbers
+            # (the shape earlier trend entries ingest)
+            "queue_seconds": batches["1"]["queue_seconds"],
+            "protocol_overhead_ms_per_task": classic,
+            "bundles": batches["1"]["bundles"],
+            "tasks_per_claim": batches,
+            "batching_overhead_reduction":
+                classic / batched if batched > 0 else float("inf"),
         }
     return results
 
@@ -280,11 +309,15 @@ def test_sweep_subsystem(benchmark, smoke):
               f"{numbers['protocol_overhead_ms_per_task']:.2f} ms/task "
               f"protocol overhead (queue "
               f"{numbers['queue_seconds'] * 1e3:.0f} ms, "
-              f"{numbers['bundles']} result bundle(s))")
+              f"{numbers['bundles']} result bundle(s)); "
+              f"tasks_per_claim=16 cuts it "
+              f"{numbers['batching_overhead_reduction']:.1f}x to "
+              f"{numbers['tasks_per_claim']['16']['protocol_overhead_ms_per_task']:.2f} ms/task")
 
     artifact_path = SMOKE_ARTIFACT_PATH if smoke else ARTIFACT_PATH
     write_json_report(artifact_path, {
         "smoke": smoke,
+        "host": host_info(),
         "conv_kernel_bench": conv,
         "sweep_grid_points": len(cold.records),
         "sweep_cold_seconds": cold_seconds,

@@ -55,6 +55,16 @@ TREND_METRICS = {
     "queue_overhead_ms_per_task_object": (
         "sweep",
         "queue_fleet_bench.stores.object.protocol_overhead_ms_per_task"),
+    "queue_overhead_ms_per_task_batched_dir": (
+        "sweep",
+        "queue_fleet_bench.stores.dir.tasks_per_claim.16"
+        ".protocol_overhead_ms_per_task"),
+    "queue_overhead_ms_per_task_batched_object": (
+        "sweep",
+        "queue_fleet_bench.stores.object.tasks_per_claim.16"
+        ".protocol_overhead_ms_per_task"),
+    "shm_chunk_speedup": ("inference", "shm_transport.speedup_vs_pickle"),
+    "autotune_cache_hit": ("inference", "autotune.cache_hit"),
     "serving_best_rps": ("serving", "best.requests_per_s"),
     "serving_best_p50_ms": ("serving", "best.p50_ms"),
     "serving_best_p99_ms": ("serving", "best.p99_ms"),

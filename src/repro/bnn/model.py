@@ -43,6 +43,12 @@ from repro.bnn.xnor_ops import (
     SignSpec,
 )
 from repro.runtime.executors import Executor, resolve_executor
+from repro.runtime.shm import (
+    ArrayDescriptor,
+    SharedArrayPool,
+    attach_view,
+    use_shm_transport,
+)
 from repro.utils.rng import derive_seed, make_rng
 
 
@@ -285,6 +291,41 @@ class _ChunkTask:
         return self.engine._run_chunk(chunk, offset)
 
 
+class _ShmChunkTask:
+    """Chunk task whose input/output ride shared memory, not pickle.
+
+    Items are ``(start, stop)`` row ranges; the input batch and the
+    output rows live in the parent's :class:`SharedArrayPool` segments
+    and are referenced by descriptor, so the per-task pickle is the
+    engine (once per worker via the shared-fn path) plus a few dozen
+    bytes.  Workers attach the input read-only, compute the chunk with
+    its true row offset (flip-noise streams derive from it — bit-exact
+    with the serial path), and write the rows into the output segment,
+    returning ``(start, None)``.  If the engine produces rows the
+    preallocated segment cannot hold (shape/dtype drift), the rows fall
+    back to the pickle path as ``(start, rows)`` and the parent patches
+    them in — a slow path, never a wrong one.
+    """
+
+    def __init__(self, engine: "InferenceEngine", input_desc: ArrayDescriptor,
+                 output_desc: ArrayDescriptor) -> None:
+        self.engine = engine
+        self.input_desc = input_desc
+        self.output_desc = output_desc
+
+    def __call__(self, item: Tuple[int, int]
+                 ) -> Tuple[int, Optional[np.ndarray]]:
+        start, stop = item
+        batch = attach_view(self.input_desc, readonly=True)
+        rows = self.engine._run_chunk(batch[start:stop], start)
+        out = attach_view(self.output_desc, readonly=False)
+        target = out[start:stop]
+        if rows.shape == target.shape and rows.dtype == out.dtype:
+            target[...] = rows
+            return (start, None)
+        return (start, rows)
+
+
 class InferenceEngine:
     """Batched end-to-end inference with activations packed between layers.
 
@@ -484,24 +525,57 @@ class InferenceEngine:
         ``REPRO_RUNTIME_BACKEND`` toggle so sweep workers (which may
         themselves be pool processes that cannot spawn children) can call
         engines safely.
+
+        When the executor is a same-host process pool (or a queue
+        executor with ``REPRO_RUNTIME_SHM=on``), chunk inputs and result
+        rows ride shared memory instead of pickle: the batch is shipped
+        once into a :class:`repro.runtime.shm.SharedArrayPool` segment
+        and tasks carry only ``(start, stop)`` plus descriptors — see
+        :mod:`repro.runtime.shm` for the gating and cleanup rules.  The
+        transport never changes results, only the wire format.
         """
         x = np.asarray(x)
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if x.shape[0] == 0:
             raise ValueError("forward_batch needs at least one sample")
-        items = [
-            (start, x[start:start + batch_size])
-            for start in range(0, x.shape[0], batch_size)
-        ]
-        task = _ChunkTask(self)
         if executor is not None:
-            outputs = executor.map(task, items)
-        else:
-            with resolve_executor(backend=backend, workers=workers,
-                                  env=False) as runner:
-                outputs = runner.map(task, items)
+            return self._dispatch_chunks(x, batch_size, executor)
+        with resolve_executor(backend=backend, workers=workers,
+                              env=False) as runner:
+            return self._dispatch_chunks(x, batch_size, runner)
+
+    def _dispatch_chunks(self, x: np.ndarray, batch_size: int,
+                         runner: Executor) -> np.ndarray:
+        starts = range(0, x.shape[0], batch_size)
+        if len(starts) > 1 and use_shm_transport(runner):
+            return self._forward_batch_shm(x, batch_size, runner)
+        items = [(start, x[start:start + batch_size]) for start in starts]
+        outputs = runner.map(_ChunkTask(self), items)
         return np.concatenate(outputs, axis=0)
+
+    def _forward_batch_shm(self, x: np.ndarray, batch_size: int,
+                           runner: Executor) -> np.ndarray:
+        # the first chunk runs in-parent: it reveals the output row shape
+        # and dtype for the preallocated result segment (and is a chunk
+        # that would otherwise wait on pool spin-up anyway)
+        first = self._run_chunk(x[:batch_size], 0)
+        out_shape = (x.shape[0],) + first.shape[1:]
+        with SharedArrayPool() as pool:
+            input_desc = pool.share(x)
+            output_desc = pool.allocate(out_shape, first.dtype)
+            pool.view(output_desc)[:first.shape[0]] = first
+            items = [
+                (start, min(start + batch_size, x.shape[0]))
+                for start in range(batch_size, x.shape[0], batch_size)
+            ]
+            task = _ShmChunkTask(self, input_desc, output_desc)
+            fallbacks = runner.map(task, items)
+            result = pool.read(output_desc)
+        for start, rows in fallbacks:
+            if rows is not None:
+                result[start:start + rows.shape[0]] = rows
+        return result
 
     def predict_batch(self, x: np.ndarray, *, batch_size: int = 256,
                       **runtime_kwargs) -> np.ndarray:

@@ -11,7 +11,11 @@ bound}`` entries; dotted paths are resolved into the artifact's nested
 JSON payload.  A bound is either a bare number — a *minimum*, the
 historical form, right for throughput/speedup floors — or an object with
 ``"min"`` and/or ``"max"`` keys, the latter being how latency ceilings
-(the serving smoke p99) are gated.  :func:`check_artifacts` returns one
+(the serving smoke p99) are gated.  A mapping may additionally carry
+``"min_multicore"``: a floor that replaces ``"min"`` when the artifact's
+``host.effective_cpus`` header reports two or more cores — how
+parallel-speedup floors stay honest on single-core CI runners, where the
+physically correct expectation is ~1x.  :func:`check_artifacts` returns one
 :class:`GateCheck` per threshold (passing and failing alike) — the gate
 passes when every check's ``passed`` is true.  The CLI wrapper lives in
 ``benchmarks/check_perf_regression.py``.
@@ -94,12 +98,29 @@ def resolve_metric(payload: Mapping[str, object], dotted_path: str):
     return float(node)
 
 
+def effective_bounds(bound: object, payload: Mapping[str, object]
+                     ) -> Tuple[float | None, float | None]:
+    """Like :func:`parse_bounds`, with host-conditional floors resolved.
+
+    When a mapping bound carries ``"min_multicore"`` and the artifact's
+    ``host.effective_cpus`` header is two or more, that floor replaces
+    the plain ``"min"``.  An artifact without the header (or a
+    single-core run) keeps the unconditional minimum.
+    """
+    minimum, maximum = parse_bounds(bound)
+    if isinstance(bound, Mapping) and "min_multicore" in bound:
+        cpus = resolve_metric(payload, "host.effective_cpus")
+        if cpus is not None and cpus >= 2:
+            minimum = float(bound["min_multicore"])  # type: ignore[index]
+    return minimum, maximum
+
+
 def check_payload(artifact: str, payload: Mapping[str, object],
                   thresholds: Mapping[str, object]) -> List[GateCheck]:
     """Compare one artifact payload against its metric thresholds."""
     checks = []
     for metric, bound in sorted(thresholds.items()):
-        minimum, maximum = parse_bounds(bound)
+        minimum, maximum = effective_bounds(bound, payload)
         checks.append(GateCheck(
             artifact=artifact,
             metric=metric,
@@ -143,11 +164,11 @@ def _validate_bound(artifact: str, metric: str, bound: object) -> None:
     if isinstance(bound, (int, float)):
         return
     if isinstance(bound, dict):
-        unknown = set(bound) - {"min", "max"}
+        unknown = set(bound) - {"min", "max", "min_multicore"}
         if unknown or not bound:
             raise ValueError(
                 f"bound for {artifact!r}:{metric!r} must carry only "
-                f"'min'/'max' keys (at least one)"
+                f"'min'/'max'/'min_multicore' keys (at least one)"
             )
         for key, value in bound.items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):

@@ -57,6 +57,23 @@ def format_ratio_summary(label: str, values: Dict[str, float]) -> str:
     return f"{label}: {body}"
 
 
+def host_info() -> Dict[str, object]:
+    """Hardware context of a benchmark run: this host's CPU budget.
+
+    Recorded in every ``BENCH_*`` artifact header so performance gates
+    can condition their floors on the cores the measuring run actually
+    had.  ``effective_cpus`` honours the scheduler affinity mask — the
+    number CI containers actually constrain — while ``cpu_count`` is the
+    raw host total.
+    """
+    count = os.cpu_count() or 1
+    try:
+        effective = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        effective = count
+    return {"cpu_count": count, "effective_cpus": effective}
+
+
 def write_json_report(path: str, payload: Mapping[str, object]) -> None:
     """Write ``payload`` to ``path`` as deterministic, human-diffable JSON.
 

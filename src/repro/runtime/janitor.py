@@ -55,6 +55,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.runtime.queue import (
     _ATTEMPTS_DIR,
+    _BATCH_PREFIX,
     _BUNDLE_PREFIX,
     _CLAIMS_DIR,
     _FAILED_DIR,
@@ -209,6 +210,41 @@ def _requeue(root: str, claimed_path: str, index: int, attempts: int, *,
     return True
 
 
+def _batch_lease_map(root: str, names: List[str], *, store: StoreLike
+                     ) -> Dict[str, Dict[str, object]]:
+    """Member claim basename -> batch lease record, for every batch marker.
+
+    Batch members carry no individual sidecars — their lease (owner,
+    deadline, length) lives on the ``claims/batch-*.pkl`` marker's
+    record, whose ``"batch"`` key lists the members.  Records missing
+    the list (a heartbeat raced the write) fall back to the marker
+    payload itself.  Markers that vanished between the listing and the
+    read contribute nothing: their members are either released or — if
+    a janitor died mid-resolution — recovered by the classic per-claim
+    path via the mtime fallback.
+    """
+    backend = resolve_store(store)
+    claims_dir = os.path.join(root, _CLAIMS_DIR)
+    members: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        if not (name.startswith(_BATCH_PREFIX) and name.endswith(".pkl")):
+            continue
+        marker_path = os.path.join(claims_dir, name)
+        lease = backend.read_lease(marker_path)
+        batch = (lease or {}).get("batch")
+        if not batch:
+            data = backend.get(marker_path)
+            if data is None:
+                continue  # released/resolved while scanning
+            try:
+                batch = pickle.loads(data)
+            except (EOFError, pickle.UnpicklingError, ValueError):
+                continue
+        for member in batch:
+            members[str(member)] = lease or {}
+    return members
+
+
 def reap_layout(root: str, *, max_retries: Optional[int] = None,
                 now: Optional[float] = None,
                 store: StoreLike = None) -> ReapReport:
@@ -228,6 +264,17 @@ def reap_layout(root: str, *, max_retries: Optional[int] = None,
       ``ok=False`` result, failing collectors fast instead of letting a
       poison pill crash-loop the fleet forever.
 
+    **Batched leases** (``tasks_per_claim > 1``) resolve as a unit: a
+    member claim covered by a *live* batch marker is never touched, and
+    an expired batch drops its marker first, then resolves every
+    remaining member.  Members whose results are published are
+    released; the **first** unpublished member — deterministically the
+    one in flight when the worker died, because batches execute in
+    order — takes the attempt bump (and, once exhausted, the
+    quarantine); the trailing members never started, so they re-queue
+    with no attempt charged.  At ``tasks_per_claim=1`` no marker exists
+    and this degenerates to exactly the classic protocol.
+
     ``now`` injects a wall-clock for deterministic expiry tests.
     """
     backend = resolve_store(store)
@@ -242,6 +289,7 @@ def reap_layout(root: str, *, max_retries: Optional[int] = None,
     released: List[int] = []
     done_indices: Optional[set] = None
     names_present = set(names)
+    batch_members = _batch_lease_map(root, names, store=backend)
     for name in names:
         if not name.endswith(".pkl"):
             # lease sidecars ride along with their claim — but a sidecar
@@ -257,6 +305,10 @@ def reap_layout(root: str, *, max_retries: Optional[int] = None,
                                                         claim_name)):
                     backend.delete(os.path.join(claims_dir, name))
             continue
+        if name.startswith(_BATCH_PREFIX):
+            continue  # markers resolve whole-batch, below
+        if name in batch_members:
+            continue  # leased through its batch marker, not individually
         claimed_path = os.path.join(claims_dir, name)
         lease = backend.read_lease(claimed_path)
         deadline = backend.lease_deadline(claimed_path, lease,
@@ -288,6 +340,69 @@ def reap_layout(root: str, *, max_retries: Optional[int] = None,
                 released.append(index)
         elif _requeue(root, claimed_path, index, attempts, store=backend):
             requeued.append(index)
+    for name in names:
+        if not (name.startswith(_BATCH_PREFIX) and name.endswith(".pkl")):
+            continue
+        marker_path = os.path.join(claims_dir, name)
+        lease = backend.read_lease(marker_path)
+        deadline = backend.lease_deadline(marker_path, lease,
+                                          default_lease_s=default_lease)
+        if deadline is None or current < deadline:
+            continue  # released meanwhile, or the batch is still live
+        batch = (lease or {}).get("batch")
+        if not batch:
+            data = backend.get(marker_path)
+            if data is None:
+                continue
+            try:
+                batch = pickle.loads(data)
+            except (EOFError, pickle.UnpicklingError, ValueError):
+                batch = []
+        # the batch is dead: drop marker + lease *first* so a stalled
+        # worker's next heartbeat sees the loss and stops touching member
+        # claims that now belong to the reaper
+        backend.delete(marker_path)
+        backend.delete(_lease_path(marker_path))
+        owner = (lease or {}).get("owner")
+        if done_indices is None:
+            done_indices = published_indices(root, store=backend)
+        in_flight_resolved = False
+        for member in batch:
+            member = str(member)
+            claimed_path = os.path.join(claims_dir, member)
+            if not backend.exists(claimed_path):
+                continue  # finished and released, or drained back
+            try:
+                index = _task_index(member)
+            except ValueError:
+                continue  # foreign object named in a corrupt record
+            if index in done_indices:
+                backend.delete(claimed_path)
+                backend.delete(_lease_path(claimed_path))
+                released.append(index)
+                continue
+            if not in_flight_resolved:
+                # batches execute in order, so the first unpublished
+                # member is the one that was in flight at death — only
+                # it is charged an attempt (and, exhausted, quarantined)
+                in_flight_resolved = True
+                attempts = read_attempts(root, index, store=backend) + 1
+                if attempts > max_retries:
+                    outcome = _quarantine(root, claimed_path, index,
+                                          attempts - 1, owner,
+                                          store=backend)
+                    if outcome:
+                        quarantined.append(index)
+                    elif outcome is None:  # completed in the gap
+                        released.append(index)
+                elif _requeue(root, claimed_path, index, attempts,
+                              store=backend):
+                    requeued.append(index)
+                continue
+            # trailing members never started: re-queue without a bump
+            if _move_or_absorb(backend, claimed_path,
+                               os.path.join(root, _TASKS_DIR, member)):
+                requeued.append(index)
     return ReapReport(requeued=tuple(requeued),
                       quarantined=tuple(quarantined),
                       released=tuple(released))
@@ -442,17 +557,23 @@ def _scan_claims(root: str, *, now: float,
     this, so the "last renewal = deadline - lease length" age arithmetic
     lives in exactly one place.  Deliberately touches only the claims
     listing and lease sidecars — O(claims), never the result set.
+    Batch markers are bookkeeping, not tasks: they are not counted, and
+    their members take owner/deadline/age from the batch lease record.
     """
     backend = resolve_store(store)
     default_lease = default_lease_s()
+    names = _list_tasks(root, _CLAIMS_DIR, store=backend)
+    batch_members = _batch_lease_map(root, names, store=backend)
     claimed = 0
     owners: List[str] = []
     live_owners = set()
     oldest_age = 0.0
-    for name in _list_tasks(root, _CLAIMS_DIR, store=backend):
+    for name in names:
+        if name.startswith(_BATCH_PREFIX):
+            continue  # a lease vehicle; its members carry the work
         claimed += 1
         claimed_path = os.path.join(root, _CLAIMS_DIR, name)
-        lease = backend.read_lease(claimed_path)
+        lease = batch_members.get(name) or backend.read_lease(claimed_path)
         owner = (lease or {}).get("owner")
         if owner:
             owners.append(str(owner))

@@ -37,6 +37,15 @@ Protocol (all keys relative to one queue layout root):
     the recorded deadline against their own clock — storage timestamps
     never enter the comparison (legacy sidecars without a deadline fall
     back to the claim mtime on the directory backend).
+``claims/batch-<hex>.pkl`` (+ ``.lease`` sidecar)
+    A **batch-claim marker**: when a worker claims ``tasks_per_claim >
+    1`` tasks in one round-trip (:func:`claim_tasks`), the member claims
+    carry no individual sidecars — one marker records the member list
+    and one lease sidecar (whose record carries the same list under
+    ``"batch"``) covers them all, heartbeated as a unit.  Members still
+    publish results and release their claim files one by one, so crash
+    recovery re-queues only the unfinished remainder of a dead worker's
+    batch.
 ``results/task-NNNNNNN.pkl``
     The finished task: a pickle of ``(index, ok, payload)`` where ``ok``
     is a bool and ``payload`` is the result or the formatted error.
@@ -108,6 +117,7 @@ import threading
 import time
 import traceback
 import uuid
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.runtime.executors import Executor
@@ -139,6 +149,10 @@ _SHARED_FN_FILE = "fn.pkl"
 #: filename prefix of compacted result bundles under ``results/``
 _BUNDLE_PREFIX = "bundle-"
 
+#: filename prefix of batch-claim markers under ``claims/``: the pickled
+#: member list of one multi-task lease (see :func:`claim_tasks`)
+_BATCH_PREFIX = "batch-"
+
 #: environment variable naming the shared queue root the registry backend
 #: uses (``backend="queue"`` / ``REPRO_RUNTIME_BACKEND=queue``); unset
 #: selects the self-contained single-host mode on a private temp dir
@@ -148,10 +162,12 @@ QUEUE_DIR_ENV = "REPRO_RUNTIME_QUEUE_DIR"
 LEASE_ENV = "REPRO_RUNTIME_LEASE_S"
 MAX_RETRIES_ENV = "REPRO_RUNTIME_MAX_RETRIES"
 COMPACT_THRESHOLD_ENV = "REPRO_RUNTIME_COMPACT_THRESHOLD"
+TASKS_PER_CLAIM_ENV = "REPRO_RUNTIME_TASKS_PER_CLAIM"
 
 DEFAULT_LEASE_S = 30.0
 DEFAULT_MAX_RETRIES = 3
 DEFAULT_COMPACT_THRESHOLD = 512
+DEFAULT_TASKS_PER_CLAIM = 1
 
 #: per-process cache of the *current* run's unpickled shared callable,
 #: keyed by fn.pkl path.  Bounded to one entry: a shared callable can be
@@ -201,6 +217,20 @@ def default_compact_threshold() -> int:
             f"{COMPACT_THRESHOLD_ENV} must be >= 0, got {threshold}"
         )
     return int(threshold)
+
+
+def default_tasks_per_claim() -> int:
+    """Tasks claimed under one lease (:data:`TASKS_PER_CLAIM_ENV`, default 1).
+
+    1 is the classic PR-4/5 protocol — one claim, one sidecar, one
+    heartbeat per task.  Larger values amortise the claim/lease/release
+    round-trips over a whole batch, which is where the per-task protocol
+    overhead goes on slow stores (see ``benchmarks/bench_sweep.py``).
+    """
+    n = _env_number(TASKS_PER_CLAIM_ENV, DEFAULT_TASKS_PER_CLAIM, int)
+    if n < 1:
+        raise ValueError(f"{TASKS_PER_CLAIM_ENV} must be >= 1, got {n}")
+    return int(n)
 
 
 def default_owner() -> str:
@@ -330,6 +360,89 @@ def claim_next_task(root: str, *, owner: Optional[str] = None,
     return None
 
 
+@dataclass(frozen=True)
+class BatchClaim:
+    """A worker's hold on one or more tasks under a single lease.
+
+    ``members`` are the claimed task keys (under ``claims/``), in the
+    order they will execute.  For a classic single-task claim
+    (``tasks_per_claim=1``) ``marker`` is ``None`` and the lease lives on
+    the member's own sidecar — byte-identical to the PR-4/5 protocol.
+    For a real batch the lease lives on one ``claims/batch-<hex>.pkl``
+    marker whose record carries the member list (``"batch"``), so a
+    whole batch costs one sidecar write plus one heartbeat stream no
+    matter how many tasks ride it.
+
+    ``payloads`` (aligned with ``members``) are the task bytes the claim
+    moves already read — object-store moves copy the payload anyway, so
+    batched claims prefetch it and the runner skips one read per member.
+    """
+
+    members: Tuple[str, ...]
+    owner: str
+    lease_s: float
+    marker: Optional[str] = None
+    payloads: Optional[Tuple[bytes, ...]] = None
+
+
+def claim_tasks(root: str, n: int, *, owner: Optional[str] = None,
+                lease_s: Optional[float] = None,
+                store: StoreLike = None) -> Optional[BatchClaim]:
+    """Atomically claim up to ``n`` pending tasks under one lease.
+
+    ``n <= 1`` delegates to :func:`claim_next_task` — the classic
+    protocol, unchanged on the wire.  Otherwise the lowest-numbered
+    pending tasks are moved into ``claims/`` one by one (each move wins
+    or loses independently; losses just shrink the batch) and a single
+    batch marker + lease record is published covering all of them.
+    Member claims carry **no** individual sidecars — the reaper resolves
+    them through the batch record (see
+    :func:`repro.runtime.janitor.reap_layout`).  Returns ``None`` when
+    no pending task could be claimed.
+    """
+    backend = resolve_store(store)
+    owner = owner or default_owner()
+    if lease_s is None:
+        lease_s = default_lease_s()
+    if n <= 1:
+        claimed = claim_next_task(root, owner=owner, lease_s=lease_s,
+                                  store=backend)
+        if claimed is None:
+            return None
+        return BatchClaim(members=(claimed,), owner=owner,
+                          lease_s=float(lease_s))
+    tasks_dir = os.path.join(root, _TASKS_DIR)
+    claims_dir = os.path.join(root, _CLAIMS_DIR)
+    members: List[str] = []
+    payloads: List[bytes] = []
+    for filename in sorted(backend.list_dir(tasks_dir)):
+        if not filename.endswith(".pkl"):
+            continue
+        target = os.path.join(claims_dir, filename)
+        data = backend.move_read(os.path.join(tasks_dir, filename), target)
+        if data is None:
+            continue  # another worker won this member
+        members.append(target)
+        payloads.append(data)
+        if len(members) >= n:
+            break
+    if not members:
+        return None
+    basenames = [os.path.basename(path) for path in members]
+    marker = os.path.join(claims_dir,
+                          _BATCH_PREFIX + uuid.uuid4().hex + ".pkl")
+    backend.put(marker, _dumps(basenames))
+    backend.write_lease(marker, {
+        "owner": owner,
+        "lease_s": float(lease_s),
+        "deadline": time.time() + float(lease_s),
+        "batch": basenames,
+    })
+    return BatchClaim(members=tuple(members), owner=owner,
+                      lease_s=float(lease_s), marker=marker,
+                      payloads=tuple(payloads))
+
+
 def heartbeat(claimed_path: str, *, store: StoreLike = None) -> bool:
     """Renew a claim's lease deadline; False when the claim is gone."""
     return resolve_store(store).renew_lease(
@@ -344,7 +457,9 @@ class _LeaseHeartbeat:
     a live worker never loses its claim to the reaper, no matter how
     long the task takes; stops silently if the claim disappears (the
     task finished, or an aggressive reaper re-queued it — the latter is
-    benign because tasks are pure and results idempotent).
+    benign because tasks are pure and results idempotent).  ``lost``
+    records that the lease vanished mid-run, so a batch runner knows to
+    stop deleting member claims that now belong to the reaper.
     """
 
     def __init__(self, claimed_path: str, lease_s: float,
@@ -355,6 +470,7 @@ class _LeaseHeartbeat:
         self._interval_s = max(lease_s / 4.0, 0.01)
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self.lost = False
 
     def __enter__(self) -> "_LeaseHeartbeat":
         self._thread = threading.Thread(target=self._beat, daemon=True)
@@ -383,6 +499,7 @@ class _LeaseHeartbeat:
                     raise
                 continue
             if not renewed:
+                self.lost = True
                 break
 
 
@@ -424,6 +541,72 @@ def run_claimed_task(root: str, claimed_path: str, *,
                   (index, ok, payload), store=backend)
     _release_claim(claimed_path, owner, store=backend)
     return index
+
+
+def run_claimed_batch(root: str, claim: BatchClaim, *,
+                      store: StoreLike = None,
+                      should_stop: Optional[Callable[[], bool]] = None
+                      ) -> int:
+    """Execute a batch claim's members in order; returns tasks executed.
+
+    A ``marker``-less claim (``tasks_per_claim=1``) delegates to
+    :func:`run_claimed_task` — the classic path, bit-identical.  A real
+    batch runs under **one** heartbeat on the batch marker; each member
+    publishes its result and releases its claim individually the moment
+    it finishes, so a crash mid-batch re-queues only the unfinished
+    members (the reaper sees their results missing) and a collector
+    observes progress member by member, not batch by batch.
+
+    ``should_stop`` is polled between members: the in-flight member
+    finishes and publishes, the remaining members move back to
+    ``tasks/`` *without* an attempt bump (a graceful drain is not a
+    failure), and the batch lease is released.
+
+    If the batch lease is lost mid-run (missed heartbeats; the reaper
+    re-queued the batch) finished members still publish — results are
+    idempotent — but member claims are left for their new holder.
+    """
+    backend = resolve_store(store)
+    if claim.marker is None:
+        index = run_claimed_task(root, claim.members[0], store=backend)
+        return 0 if index is None else 1
+    executed = 0
+    remaining = list(claim.members)
+    prefetched = list(claim.payloads) if claim.payloads is not None \
+        else [None] * len(remaining)
+    with _LeaseHeartbeat(claim.marker, claim.lease_s, backend) as beat:
+        while remaining:
+            if should_stop is not None and should_stop():
+                if not beat.lost:
+                    for claimed_path in remaining:
+                        backend.move(
+                            claimed_path,
+                            os.path.join(root, _TASKS_DIR,
+                                         os.path.basename(claimed_path)),
+                        )
+                break
+            claimed_path = remaining.pop(0)
+            data = prefetched.pop(0)
+            if data is None:
+                data = backend.get(claimed_path)
+            if data is None:
+                continue  # resolved by a racing reaper; theirs now
+            index, fn, arg = pickle.loads(data)
+            if fn is None:
+                fn = _load_shared_fn(root, backend)
+            try:
+                payload: object = fn(arg)
+                ok = True
+            except Exception:  # noqa: BLE001 - workers must never die
+                payload = traceback.format_exc()
+                ok = False
+            _atomic_write(root, _RESULTS_DIR, _task_filename(index),
+                          (index, ok, payload), store=backend)
+            if not beat.lost:
+                backend.delete(claimed_path)
+            executed += 1
+    _release_claim(claim.marker, claim.owner, store=backend)
+    return executed
 
 
 def _release_claim(claimed_path: str, owner: Optional[str], *,
@@ -476,27 +659,37 @@ def _layout_roots(root: str, *, store: StoreLike = None) -> List[str]:
 
 
 def _serve_one(root: str, *, owner: Optional[str],
-               lease_s: Optional[float],
-               store: QueueStore) -> Optional[str]:
-    """Claim and run one pending task from any layout under ``root``.
+               lease_s: Optional[float], tasks_per_claim: int,
+               max_n: Optional[int], store: QueueStore,
+               should_stop: Optional[Callable[[], bool]] = None
+               ) -> Tuple[Optional[str], int]:
+    """Claim and run one batch of pending tasks from any layout.
 
-    Returns the layout that supplied the task, or ``None`` when every
-    layout is drained.
+    Returns ``(layout, executed)`` for the first layout that yielded
+    work, or ``(None, 0)`` when every layout is drained.  ``max_n`` caps
+    the batch below ``tasks_per_claim`` so a ``--max-tasks`` budget is
+    never overshot.
     """
+    n = tasks_per_claim if max_n is None else min(tasks_per_claim, max_n)
     for layout in _layout_roots(root, store=store):
-        claimed = claim_next_task(layout, owner=owner, lease_s=lease_s,
-                                  store=store)
-        if claimed is not None:
-            if run_claimed_task(layout, claimed, store=store) is None:
-                continue  # claim vanished under us; try another layout
-            return layout
-    return None
+        claim = claim_tasks(layout, n, owner=owner, lease_s=lease_s,
+                            store=store)
+        if claim is None:
+            continue
+        executed = run_claimed_batch(layout, claim, store=store,
+                                     should_stop=should_stop)
+        if executed:
+            return layout, executed
+        # every member vanished under us (or a drain request emptied the
+        # batch before work started); try another layout
+    return None, 0
 
 
 def serve(root: str, *, max_tasks: Optional[int] = None,
           owner: Optional[str] = None, lease_s: Optional[float] = None,
           should_stop: Optional[Callable[[], bool]] = None,
           compact_threshold: Optional[int] = None,
+          tasks_per_claim: Optional[int] = None,
           store: StoreLike = None) -> int:
     """Drain the queue: claim and run tasks until none remain.
 
@@ -520,6 +713,11 @@ def serve(root: str, *, max_tasks: Optional[int] = None,
         When set and positive, every ``compact_threshold`` tasks served
         from a layout triggers opportunistic result compaction there
         (``None`` resolves :func:`default_compact_threshold`).
+    tasks_per_claim:
+        Tasks claimed under one lease per claim round-trip (``None``
+        resolves :func:`default_tasks_per_claim` / 1, the classic
+        protocol).  Batches amortise the claim/lease/release overhead;
+        crash recovery stays per-member (see :func:`run_claimed_batch`).
     store:
         Queue-storage backend (name, instance, or ``None`` for the
         ``REPRO_RUNTIME_STORE`` toggle / directory default).
@@ -527,19 +725,31 @@ def serve(root: str, *, max_tasks: Optional[int] = None,
     backend = resolve_store(store)
     if compact_threshold is None:
         compact_threshold = default_compact_threshold()
+    if tasks_per_claim is None:
+        tasks_per_claim = default_tasks_per_claim()
+    if tasks_per_claim < 1:
+        raise ValueError(f"tasks_per_claim must be >= 1, got "
+                         f"{tasks_per_claim}")
     executed = 0
     served_per_layout: Dict[str, int] = {}
     while max_tasks is None or executed < max_tasks:
         if should_stop is not None and should_stop():
             break
-        layout = _serve_one(root, owner=owner, lease_s=lease_s,
-                            store=backend)
+        remaining = None if max_tasks is None else max_tasks - executed
+        layout, ran = _serve_one(root, owner=owner, lease_s=lease_s,
+                                 tasks_per_claim=tasks_per_claim,
+                                 max_n=remaining, store=backend,
+                                 should_stop=should_stop)
         if layout is None:
             break
-        executed += 1
-        served_per_layout[layout] = served_per_layout.get(layout, 0) + 1
+        before = served_per_layout.get(layout, 0)
+        executed += ran
+        served_per_layout[layout] = before + ran
+        # a batch can cross (or jump past) the threshold mid-claim, so
+        # compact on boundary *crossings*, not exact multiples
         if compact_threshold and \
-                served_per_layout[layout] % compact_threshold == 0:
+                (before + ran) // compact_threshold > \
+                before // compact_threshold:
             from repro.runtime import janitor
 
             janitor.compact_layout(layout, chunk_size=compact_threshold,
@@ -754,6 +964,13 @@ class QueueExecutor(Executor):
         Loose result files that trigger compaction into bundles, and the
         bundle size; ``0`` disables auto-compaction (``None`` resolves
         ``REPRO_RUNTIME_COMPACT_THRESHOLD`` / 512).
+    tasks_per_claim:
+        Tasks the inline worker claims under one batched lease per
+        round-trip (``None`` resolves ``REPRO_RUNTIME_TASKS_PER_CLAIM``
+        / 1).  Raising it amortises the claim/lease/release protocol
+        overhead per task; a crashed worker re-queues the whole
+        unfinished remainder of its batch, so recovery granularity
+        coarsens with it (see ``docs/runtime.md``).
     store:
         Queue-storage backend: a name (``"dir"`` / ``"object"``), a
         :class:`~repro.runtime.store.QueueStore` instance, or ``None``
@@ -776,6 +993,7 @@ class QueueExecutor(Executor):
                  lease_s: Optional[float] = None,
                  max_retries: Optional[int] = None,
                  compact_threshold: Optional[int] = None,
+                 tasks_per_claim: Optional[int] = None,
                  store: StoreLike = None,
                  autoscale_hook: Optional[
                      Callable[[Dict[str, object]], None]] = None) -> None:
@@ -799,6 +1017,10 @@ class QueueExecutor(Executor):
             default_compact_threshold() if compact_threshold is None
             else int(compact_threshold)
         )
+        self.tasks_per_claim = (
+            default_tasks_per_claim() if tasks_per_claim is None
+            else int(tasks_per_claim)
+        )
         self.store = resolve_store(store)
         self.autoscale_hook = autoscale_hook
         if self.lease_s <= 0:
@@ -807,6 +1029,8 @@ class QueueExecutor(Executor):
             raise ValueError("max_retries must be >= 0")
         if self.compact_threshold < 0:
             raise ValueError("compact_threshold must be >= 0 (0 disables)")
+        if self.tasks_per_claim < 1:
+            raise ValueError("tasks_per_claim must be >= 1")
 
     def _queue_root(self) -> Tuple[str, bool]:
         if self.root is not None:
@@ -839,6 +1063,7 @@ class QueueExecutor(Executor):
                     # drains fresh *and* reaper-re-queued tasks each poll
                     return serve(run_root, owner=owner, lease_s=self.lease_s,
                                  compact_threshold=self.compact_threshold,
+                                 tasks_per_claim=self.tasks_per_claim,
                                  store=self.store)
 
             results = collect_results(
@@ -868,6 +1093,7 @@ class QueueExecutor(Executor):
                 f"inline_worker={self.inline_worker}, "
                 f"lease_s={self.lease_s}, max_retries={self.max_retries}, "
                 f"compact_threshold={self.compact_threshold}, "
+                f"tasks_per_claim={self.tasks_per_claim}, "
                 f"store={self.store.name!r})")
 
 
@@ -897,6 +1123,7 @@ def _serve_command(args: argparse.Namespace) -> int:
                 args.root, max_tasks=remaining, owner=owner,
                 lease_s=args.lease_seconds, should_stop=stop.is_set,
                 compact_threshold=args.compact_threshold,
+                tasks_per_claim=args.tasks_per_claim,
                 store=args.store,
             )
             if stop.is_set() or not args.watch:
@@ -1106,6 +1333,13 @@ def main(argv: Optional[List[str]] = None) -> int:
              f"0 disables)",
     )
     parser.add_argument(
+        "--tasks-per-claim", type=int, default=None,
+        help=f"serve: tasks claimed under one batched lease per round-trip "
+             f"(default: ${TASKS_PER_CLAIM_ENV} or "
+             f"{DEFAULT_TASKS_PER_CLAIM}; batches amortise queue protocol "
+             f"overhead, a dead worker re-queues its whole unfinished batch)",
+    )
+    parser.add_argument(
         "--no-reap", dest="reap", action="store_false",
         help="serve --watch: do not reap orphaned claims between polls",
     )
@@ -1173,6 +1407,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.max_retries = default_max_retries()
     if args.compact_threshold is None:
         args.compact_threshold = default_compact_threshold()
+    if args.tasks_per_claim is None:
+        args.tasks_per_claim = default_tasks_per_claim()
     # the supervisor exports the *name* to worker subprocess environments;
     # everything else wants the resolved instance
     args.store_name = args.store

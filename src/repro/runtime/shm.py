@@ -1,0 +1,282 @@
+"""Shared-memory chunk transport for same-host parallel execution.
+
+The process/queue backends move work by pickle.  For
+:meth:`repro.bnn.model.InferenceEngine.forward_batch` that means every
+chunk task pickles an engine-sized input slice out to the worker and the
+result rows back — pure serialisation tax, since all workers sit on the
+same host.  This module provides the zero-copy alternative:
+
+* the parent copies the batch **once** into a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment and
+  preallocates a second segment for the output rows;
+* tasks carry only an :class:`ArrayDescriptor` — ``(name, dtype, shape,
+  offset)`` — plus the row range to compute, a few dozen bytes of pickle
+  per task;
+* workers :func:`attach_view` read-only to the input, compute, and write
+  their rows straight into the output segment.
+
+**Ownership and cleanup rules** (load-bearing for crash safety):
+
+* The parent — and only the parent — creates and unlinks segments,
+  always through a :class:`SharedArrayPool` used as a context manager.
+  An ``atexit`` hook backstops pools that were never closed, so even an
+  exception-path leak dies with the parent process.
+* Workers only ever *attach*; they never create or unlink.  A SIGKILLed
+  worker therefore cannot leak a segment: the kernel drops its mapping
+  with the process, and the parent's unlink at pool close removes the
+  name.  Worker-side attachments are deregistered from the CPython
+  ``resource_tracker`` (which would otherwise unlink segments it never
+  owned when the worker exits — the Python <= 3.12 over-tracking bug).
+* Descriptors are only meaningful on the host that created them, so the
+  transport is gated by ``REPRO_RUNTIME_SHM``: ``auto`` (default)
+  enables it for process pools, which are same-host by construction;
+  ``on`` additionally enables it for queue executors, an operator
+  assertion that every queue worker on that root is local; ``off``
+  disables it everywhere (remote dir/object queue fleets keep the
+  pickle path).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: environment toggle of the transport: ``auto`` (default) / ``on`` / ``off``
+SHM_ENV = "REPRO_RUNTIME_SHM"
+
+_SHM_MODES = ("auto", "on", "off")
+
+
+def shm_mode() -> str:
+    """The resolved ``REPRO_RUNTIME_SHM`` mode (unset/invalid -> ``auto``)."""
+    raw = os.environ.get(SHM_ENV, "").strip().lower()
+    return raw if raw in _SHM_MODES else "auto"
+
+
+@dataclass(frozen=True)
+class ArrayDescriptor:
+    """Picklable handle to an ndarray living in a shared-memory segment.
+
+    ``name`` is the segment name, ``dtype``/``shape`` describe the array
+    and ``offset`` is the byte offset of its first element inside the
+    segment (pools currently always place arrays at offset 0; the field
+    exists so sub-allocating pools stay wire-compatible).
+    """
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+
+class SharedArrayPool:
+    """Parent-side owner of a set of shared-memory array segments.
+
+    Use as a context manager: every segment created through
+    :meth:`share` / :meth:`allocate` is closed *and unlinked* on exit.
+    Pools that escape their ``with`` (or are never given one) are swept
+    by an ``atexit`` hook, so segments can outlive their pool only if
+    the parent is SIGKILLed — and then the stdlib ``resource_tracker``
+    (which registered the create) unlinks them.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._views: Dict[str, np.ndarray] = {}
+        self._closed = False
+        _live_pools.append(self)
+
+    # -------------------------------------------------------------- #
+    # allocation
+    # -------------------------------------------------------------- #
+    def _create(self, nbytes: int) -> shared_memory.SharedMemory:
+        if self._closed:
+            raise RuntimeError("SharedArrayPool is closed")
+        segment = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        self._segments.append(segment)
+        return segment
+
+    def share(self, array: np.ndarray) -> ArrayDescriptor:
+        """Copy ``array`` into a new segment; returns its descriptor."""
+        array = np.ascontiguousarray(array)
+        segment = self._create(array.nbytes)
+        descriptor = ArrayDescriptor(segment.name, array.dtype.str,
+                                     tuple(array.shape))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        self._views[segment.name] = view
+        return descriptor
+
+    def allocate(self, shape: Tuple[int, ...],
+                 dtype: object) -> ArrayDescriptor:
+        """Preallocate an (uninitialised) output array segment."""
+        dtype = np.dtype(dtype)
+        nbytes = int(dtype.itemsize * int(np.prod(shape)))
+        segment = self._create(nbytes)
+        descriptor = ArrayDescriptor(segment.name, dtype.str, tuple(shape))
+        self._views[segment.name] = np.ndarray(shape, dtype=dtype,
+                                               buffer=segment.buf)
+        return descriptor
+
+    def view(self, descriptor: ArrayDescriptor) -> np.ndarray:
+        """The parent's own (writable) view of a pool-owned segment."""
+        try:
+            return self._views[descriptor.name]
+        except KeyError:
+            raise KeyError(f"segment {descriptor.name!r} is not owned by "
+                           f"this pool") from None
+
+    def read(self, descriptor: ArrayDescriptor) -> np.ndarray:
+        """A private copy of a pool-owned segment's array."""
+        return np.array(self.view(descriptor), copy=True)
+
+    # -------------------------------------------------------------- #
+    # teardown
+    # -------------------------------------------------------------- #
+    def close(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # views hold buffer references — drop them before close() or the
+        # BufferError from an exported pointer would leak the segment
+        self._views.clear()
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+        try:
+            _live_pools.remove(self)
+        except ValueError:
+            pass
+
+    def __enter__(self) -> "SharedArrayPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        self.close()
+
+
+#: pools not yet closed — swept at interpreter exit so an exception path
+#: that skipped ``close()`` cannot leave named segments behind
+_live_pools: List[SharedArrayPool] = []
+
+
+def _sweep_pools() -> None:  # pragma: no cover - exercised via subprocess
+    for pool in list(_live_pools):
+        pool.close()
+
+
+atexit.register(_sweep_pools)
+
+
+# ------------------------------------------------------------------ #
+# worker side: attach-only access
+# ------------------------------------------------------------------ #
+
+#: per-process attachment cache so a worker maps each segment once per
+#: pool lifetime instead of once per task; keyed by segment name.  The
+#: owning pid is tracked because ``fork`` would otherwise hand children
+#: a cache of handles they must not reuse bookkeeping for.
+_attached: Dict[str, shared_memory.SharedMemory] = {}
+_attached_pid: Optional[int] = None
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker tracking.
+
+    CPython <= 3.12 registers every ``SharedMemory(name=...)`` attach
+    with the ``resource_tracker``, which then unlinks the segment when
+    the attaching process exits — destroying a segment the parent still
+    owns (and, under fork pools where parent and child share one tracker
+    process, corrupting the parent's own registration).  3.13 grew
+    ``track=False`` for exactly this; here registration is suppressed
+    for the duration of the attach instead.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(name: str, rtype: str) -> None:  # pragma: no cover - shim
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def attach_view(descriptor: ArrayDescriptor, *,
+                readonly: bool = True) -> np.ndarray:
+    """An ndarray view over an attached segment (worker side).
+
+    The attachment is cached per process; views are read-only unless the
+    caller is writing result rows into an output descriptor.
+    """
+    global _attached_pid
+    if _attached_pid != os.getpid():
+        # forked child: the inherited handles belong to the parent's
+        # bookkeeping; start a fresh cache (mappings are freed at exit)
+        _attached.clear()
+        _attached_pid = os.getpid()
+    segment = _attached.get(descriptor.name)
+    if segment is None:
+        segment = _attach_untracked(descriptor.name)
+        _attached[descriptor.name] = segment
+    view = np.ndarray(descriptor.shape, dtype=np.dtype(descriptor.dtype),
+                      buffer=segment.buf, offset=descriptor.offset)
+    view.flags.writeable = not readonly
+    return view
+
+
+def detach_all() -> None:
+    """Close this process's cached attachments (never unlinks)."""
+    for segment in _attached.values():
+        try:
+            segment.close()
+        except (OSError, BufferError):  # pragma: no cover - exported view
+            pass
+    _attached.clear()
+
+
+# ------------------------------------------------------------------ #
+# transport gating
+# ------------------------------------------------------------------ #
+
+def use_shm_transport(executor: object) -> bool:
+    """Should chunk traffic to ``executor`` ride shared memory?
+
+    ``auto``: process pools only (same host by construction).  ``on``:
+    also queue executors — the operator asserts every worker on that
+    queue root is local.  ``off``: never.  Serial/thread executors
+    always decline (nothing is pickled, so there is nothing to save).
+    """
+    mode = shm_mode()
+    if mode == "off":
+        return False
+    from repro.runtime.executors import ProcessExecutor  # lazy: no cycle
+
+    if isinstance(executor, ProcessExecutor):
+        return True
+    if mode == "on":
+        from repro.runtime.queue import QueueExecutor
+
+        return isinstance(executor, QueueExecutor)
+    return False

@@ -11,9 +11,11 @@ import pytest
 from repro.eval.perf_gate import (
     check_artifacts,
     check_payload,
+    effective_bounds,
     load_thresholds,
     resolve_metric,
 )
+from repro.eval.reporting import host_info
 
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -90,6 +92,70 @@ class TestBoundedThresholds:
     def test_missing_metric_fails_max_only_bounds_too(self):
         check = check_payload("b.json", {}, {"v": {"max": 2.0}})[0]
         assert not check.passed and check.actual is None
+
+
+class TestMulticoreBounds:
+    """Host-conditional floors: "min_multicore" replaces "min" when the
+    artifact's host header reports two or more effective CPUs."""
+
+    BOUND = {"min": 0.95, "min_multicore": 1.3}
+
+    def test_single_core_host_keeps_plain_min(self):
+        payload = {"host": {"effective_cpus": 1}}
+        assert effective_bounds(self.BOUND, payload) == (0.95, None)
+
+    def test_multicore_host_raises_the_floor(self):
+        payload = {"host": {"effective_cpus": 4}}
+        assert effective_bounds(self.BOUND, payload) == (1.3, None)
+
+    def test_missing_host_header_keeps_plain_min(self):
+        # artifacts written before the header existed stay gated leniently
+        assert effective_bounds(self.BOUND, {}) == (0.95, None)
+        assert effective_bounds(self.BOUND, {"host": {}}) == (0.95, None)
+
+    def test_bound_without_min_multicore_ignores_host(self):
+        payload = {"host": {"effective_cpus": 8}}
+        assert effective_bounds({"min": 0.95}, payload) == (0.95, None)
+        assert effective_bounds(2.0, payload) == (2.0, None)
+
+    def test_max_is_preserved_alongside_conditional_min(self):
+        bound = {"min": 0.9, "max": 5.0, "min_multicore": 1.3}
+        payload = {"host": {"effective_cpus": 2}}
+        assert effective_bounds(bound, payload) == (1.3, 5.0)
+
+    def test_check_payload_applies_conditional_floor(self):
+        thresholds = {"parallel.speedup": self.BOUND}
+        single = {"parallel": {"speedup": 1.0},
+                  "host": {"effective_cpus": 1}}
+        multi = {"parallel": {"speedup": 1.0},
+                 "host": {"effective_cpus": 4}}
+        assert check_payload("b.json", single, thresholds)[0].passed
+        assert not check_payload("b.json", multi, thresholds)[0].passed
+
+    def test_min_multicore_accepted_by_validation(self, tmp_path):
+        path = tmp_path / "thresholds.json"
+        spec = {"bench.json": {"a": {"min": 0.9, "min_multicore": 1.3}}}
+        path.write_text(json.dumps(spec))
+        assert load_thresholds(str(path)) == spec
+
+    def test_non_numeric_min_multicore_rejected(self, tmp_path):
+        path = tmp_path / "thresholds.json"
+        path.write_text(json.dumps(
+            {"bench.json": {"a": {"min_multicore": "fast"}}}))
+        with pytest.raises(ValueError):
+            load_thresholds(str(path))
+
+
+class TestHostInfo:
+    def test_reports_positive_cpu_counts(self):
+        info = host_info()
+        assert info["cpu_count"] >= 1
+        assert info["effective_cpus"] >= 1
+        assert info["effective_cpus"] <= info["cpu_count"]
+
+    def test_json_serialisable(self):
+        # the header is embedded verbatim into every BENCH_*.json payload
+        assert json.loads(json.dumps(host_info())) == host_info()
 
 
 class TestCheckArtifacts:

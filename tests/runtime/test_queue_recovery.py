@@ -11,7 +11,11 @@ The whole suite is parameterised over **both queue-storage backends**
 ``queue_store`` fixture exports ``REPRO_RUNTIME_STORE``, which the
 in-process protocol calls and the worker subprocesses resolve alike, so
 every crash scenario exercises rename-based *and* conditional-put-based
-state transitions.
+state transitions.  The recovery scenarios additionally run under both
+lease protocols — classic single-task claims and batched leases
+(``tasks_per_claim=8``, exported the same way through
+``REPRO_RUNTIME_TASKS_PER_CLAIM``) — because PR 8's batching must keep
+every crash-recovery guarantee intact.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ import pytest
 import _fleet_helpers as helpers
 from repro.runtime import janitor
 from repro.runtime.queue import (
+    TASKS_PER_CLAIM_ENV,
     collect_results,
     enqueue_task,
     init_queue_dirs,
@@ -55,6 +60,20 @@ def queue_store(request, monkeypatch):
     moves a real fleet.
     """
     monkeypatch.setenv(STORE_ENV, request.param)
+    return request.param
+
+
+@pytest.fixture(params=[1, 8], ids=["claim1", "claim8"])
+def tasks_per_claim(request, monkeypatch):
+    """Run the test under the classic and the batched lease protocol.
+
+    Exported through the environment for the same reason as the store:
+    worker subprocesses and in-process ``serve`` calls must agree.  At 1
+    no batch marker ever exists (the PR-4/5 wire protocol, unchanged);
+    at 8 a worker claims its tasks in batches under one heartbeated
+    lease and crash recovery must behave identically.
+    """
+    monkeypatch.setenv(TASKS_PER_CLAIM_ENV, str(request.param))
     return request.param
 
 
@@ -103,7 +122,7 @@ def _enqueue_tasks(root, tasks):
 
 class TestKilledWorkerRecovery:
     def test_sigkilled_worker_task_is_requeued_and_completed(
-            self, tmp_path, queue_store):
+            self, tmp_path, queue_store, tasks_per_claim):
         """A worker SIGKILLed mid-task loses its lease; the fleet finishes."""
         root = str(tmp_path / "queue")
         marker = str(tmp_path / "first-attempt.marker")
@@ -135,7 +154,7 @@ class TestKilledWorkerRecovery:
         assert read_attempts(root, 0) == 1  # exactly one re-queue
 
     def test_poison_pill_quarantines_instead_of_crash_looping(
-            self, tmp_path, queue_store):
+            self, tmp_path, queue_store, tasks_per_claim):
         """A task that kills every worker ends up in failed/, not in a loop."""
         root = str(tmp_path / "queue")
         marker = str(tmp_path / "poison.marker")
@@ -160,7 +179,7 @@ class TestKilledWorkerRecovery:
         assert summary["failed"] == 1 and summary["queued"] == 0
 
     def test_heartbeat_outlives_short_lease_no_double_execution(
-            self, tmp_path, queue_store):
+            self, tmp_path, queue_store, tasks_per_claim):
         """A slow-but-live worker keeps its lease; reapers never steal it."""
         root = str(tmp_path / "queue")
         marker = str(tmp_path / "executions.marker")
@@ -189,7 +208,7 @@ class TestKilledWorkerRecovery:
 
 class TestGracefulDrain:
     def test_sigterm_finishes_in_flight_task_and_exits(
-            self, tmp_path, queue_store):
+            self, tmp_path, queue_store, tasks_per_claim):
         root = str(tmp_path / "queue")
         _enqueue_tasks(root, [
             Task(index=i, fn=helpers.slow_double, arg=(i, 0.3))
@@ -207,6 +226,91 @@ class TestGracefulDrain:
         assert summary["claimed"] == 0
         assert summary["queued"] + summary["done"] == 5
         assert summary["done"] >= 1
+
+
+class TestBatchedLeases:
+    """Batch-specific crash semantics (``tasks_per_claim > 1``)."""
+
+    def test_sigkill_mid_batch_requeues_whole_unfinished_batch(
+            self, tmp_path, queue_store):
+        """A dead worker's entire batch re-queues; only the in-flight
+        member is charged an attempt."""
+        root = str(tmp_path / "queue")
+        marker = str(tmp_path / "first-attempt.marker")
+        tasks = [Task(index=0, fn=helpers.die_once_then_double,
+                      arg=(10, marker))]
+        tasks += [Task(index=i, fn=helpers.double, arg=i)
+                  for i in range(1, 6)]
+        _enqueue_tasks(root, tasks)
+        store = resolve_store()
+
+        victim = _start_worker(root, "--tasks-per-claim", "8",
+                               "--lease-seconds", "0.5")
+        victim.communicate(timeout=60)
+        assert victim.returncode == -signal.SIGKILL
+        # the victim died inside member 0 holding a lease on all six
+        claims = sorted(store.list_dir(os.path.join(root, "claims")))
+        assert sum(1 for n in claims if n.startswith("task-")) == 6
+        assert any(n.startswith("batch-") and n.endswith(".pkl")
+                   for n in claims)
+
+        time.sleep(0.8)  # let the batch lease expire
+        report = janitor.reap(root, max_retries=5)
+        assert sorted(report.requeued) == [0, 1, 2, 3, 4, 5]
+        assert store.list_dir(os.path.join(root, "claims")) == []
+        assert sorted(store.list_dir(os.path.join(root, "tasks"))) == [
+            f"task-{i:07d}.pkl" for i in range(6)
+        ]
+        # the in-flight member took the attempt; the five that never
+        # started were re-queued without one
+        assert read_attempts(root, 0) == 1
+        assert [read_attempts(root, i) for i in range(1, 6)] == [0] * 5
+
+        rescuer = _start_worker(root, "--watch", "--poll-interval", "0.1",
+                                "--tasks-per-claim", "8")
+        try:
+            results = collect_results(root, 6, timeout_s=120.0,
+                                      poll_interval_s=0.05, max_retries=5)
+        finally:
+            _stop_worker(rescuer)
+        assert results == [20, 2, 4, 6, 8, 10]
+
+    def test_poison_member_quarantines_alone_innocents_complete(
+            self, tmp_path, queue_store):
+        """A poison pill inside a batch quarantines only itself."""
+        root = str(tmp_path / "queue")
+        marker = str(tmp_path / "poison.marker")
+        tasks = [Task(index=i, fn=helpers.double, arg=i) for i in (0, 1)]
+        tasks += [Task(index=2, fn=helpers.always_kill_worker, arg=marker)]
+        tasks += [Task(index=3, fn=helpers.double, arg=3)]
+        _enqueue_tasks(root, tasks)
+        store = resolve_store()
+
+        for _ in range(2):  # initial attempt + the single allowed retry
+            worker = _start_worker(root, "--tasks-per-claim", "8",
+                                   "--lease-seconds", "0.3")
+            worker.communicate(timeout=60)
+            assert worker.returncode == -signal.SIGKILL
+            time.sleep(0.5)  # let the dead worker's batch lease expire
+            janitor.reap(root, max_retries=1)
+        with open(marker, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 2  # two attempts, then stop
+        # only the poison member sits in failed/; the innocents that rode
+        # its batches all completed (0 and 1 in round one, 3 re-queued
+        # twice without ever being charged an attempt)
+        assert store.get(
+            os.path.join(root, "failed", "task-0000002.pkl")
+        ) is not None
+        assert read_attempts(root, 3) == 0
+        worker = _start_worker(root, "--tasks-per-claim", "8")
+        worker.communicate(timeout=60)
+        with pytest.raises(RuntimeError, match="quarantined after 1"):
+            collect_results(root, 4, timeout_s=5.0, poll_interval_s=0.01,
+                            max_retries=1)
+        assert published_indices(root) == {0, 1, 2, 3}
+        summary = janitor.status(root)
+        assert summary["failed"] == 1 and summary["queued"] == 0
+        assert summary["done"] == 3
 
 
 class TestSweepFleetAcceptance:

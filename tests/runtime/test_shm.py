@@ -1,0 +1,302 @@
+"""Tests for the shared-memory chunk transport (PR 8 tentpole, layer 1).
+
+Three contracts:
+
+* :class:`SharedArrayPool` ownership — the parent creates, the parent
+  unlinks; descriptors are picklable handles; closing is idempotent and
+  leaves nothing under ``/dev/shm``.
+* ``forward_batch`` over a process pool with the transport on stays
+  **bit-exact** with ``SerialExecutor`` — including seeded flip noise,
+  whose streams derive from each chunk's true row offset.
+* Crash safety: a worker SIGKILLed mid-chunk (holding live mappings of
+  both segments) leaks no segment after shutdown, the chunk is
+  re-executed by the surviving fleet, and the recovered bytes match the
+  serial oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+import _fleet_helpers as helpers
+from repro.bnn.model import InferenceEngine
+from repro.bnn.networks import build_network
+from repro.runtime import (
+    ProcessExecutor,
+    QueueExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.runtime.queue import collect_results, enqueue_task, init_queue_dirs
+from repro.runtime.shm import (
+    SHM_ENV,
+    ArrayDescriptor,
+    SharedArrayPool,
+    attach_view,
+    shm_mode,
+    use_shm_transport,
+)
+from repro.runtime.tasks import Task
+
+TESTS_RUNTIME_DIR = os.path.dirname(os.path.abspath(__file__))
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(TESTS_RUNTIME_DIR)), "src"
+)
+
+_DEV_SHM = "/dev/shm"
+
+
+def _segment_names():
+    """Current shared-memory segment names (empty off-Linux)."""
+    try:
+        return {name for name in os.listdir(_DEV_SHM)
+                if name.startswith("psm_")}
+    except OSError:  # pragma: no cover - non-Linux dev box
+        return set()
+
+
+@pytest.fixture
+def leak_check():
+    """Assert the test leaves no new segment behind."""
+    before = _segment_names()
+    yield
+    leaked = _segment_names() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+class TestSharedArrayPool:
+    def test_share_read_roundtrip(self, leak_check):
+        array = np.arange(24, dtype=np.float64).reshape(4, 6)
+        with SharedArrayPool() as pool:
+            descriptor = pool.share(array)
+            assert descriptor.shape == (4, 6)
+            assert np.dtype(descriptor.dtype) == np.float64
+            assert descriptor.nbytes == array.nbytes
+            np.testing.assert_array_equal(pool.read(descriptor), array)
+
+    def test_allocate_then_fill_through_view(self, leak_check):
+        with SharedArrayPool() as pool:
+            descriptor = pool.allocate((3, 2), np.int64)
+            pool.view(descriptor)[...] = 7
+            assert (pool.read(descriptor) == 7).all()
+
+    def test_descriptor_pickles_small(self, leak_check):
+        with SharedArrayPool() as pool:
+            descriptor = pool.share(np.zeros((1000, 1000)))
+            wire = pickle.dumps(descriptor)
+            assert len(wire) < 200  # the point of the transport
+            assert pickle.loads(wire) == descriptor
+
+    def test_attach_view_is_readonly_by_default(self, leak_check):
+        array = np.arange(10.0)
+        with SharedArrayPool() as pool:
+            descriptor = pool.share(array)
+            view = attach_view(descriptor)
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0] = 1.0
+            writable = attach_view(descriptor, readonly=False)
+            writable[0] = 42.0
+            assert pool.read(descriptor)[0] == 42.0
+
+    def test_close_unlinks_and_is_idempotent(self):
+        pool = SharedArrayPool()
+        descriptor = pool.share(np.zeros(8))
+        assert descriptor.name.lstrip("/") in _segment_names() \
+            or not os.path.isdir(_DEV_SHM)
+        pool.close()
+        pool.close()
+        assert descriptor.name.lstrip("/") not in _segment_names()
+        with pytest.raises(RuntimeError):
+            pool.share(np.zeros(4))
+
+    def test_view_of_foreign_descriptor_raises(self, leak_check):
+        with SharedArrayPool() as pool:
+            pool.share(np.zeros(4))
+            foreign = ArrayDescriptor("psm_not_ours", "<f8", (4,))
+            with pytest.raises(KeyError):
+                pool.view(foreign)
+
+
+class TestTransportGating:
+    def test_mode_resolution(self, monkeypatch):
+        monkeypatch.delenv(SHM_ENV, raising=False)
+        assert shm_mode() == "auto"
+        for raw, expected in (("on", "on"), ("OFF", "off"),
+                              ("auto", "auto"), ("bogus", "auto")):
+            monkeypatch.setenv(SHM_ENV, raw)
+            assert shm_mode() == expected
+
+    def test_auto_enables_process_only(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(SHM_ENV, raising=False)
+        assert not use_shm_transport(SerialExecutor())
+        assert not use_shm_transport(ThreadExecutor(workers=2))
+        assert use_shm_transport(ProcessExecutor(workers=2))
+        assert not use_shm_transport(QueueExecutor(str(tmp_path / "q")))
+
+    def test_on_adds_queue_off_disables_all(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SHM_ENV, "on")
+        assert use_shm_transport(QueueExecutor(str(tmp_path / "q")))
+        assert use_shm_transport(ProcessExecutor(workers=2))
+        monkeypatch.setenv(SHM_ENV, "off")
+        assert not use_shm_transport(ProcessExecutor(workers=2))
+        assert not use_shm_transport(QueueExecutor(str(tmp_path / "q")))
+
+
+class TestForwardBatchBitExact:
+    @pytest.mark.parametrize("flip_rate", [0.0, 0.02])
+    def test_process_pool_shm_matches_serial(self, leak_check, monkeypatch,
+                                             flip_rate):
+        """The acceptance bar: multi-worker + shm == serial, bit for bit."""
+        monkeypatch.delenv(SHM_ENV, raising=False)
+        model = build_network("MLP-S", seed=3)
+        engine = InferenceEngine(model, seed=11, flip_rate=flip_rate)
+        x = np.random.default_rng(5).standard_normal((130, 784))
+        serial = engine.forward_batch(x, batch_size=32, backend="serial")
+        with ProcessExecutor(workers=2) as executor:
+            assert use_shm_transport(executor)
+            parallel = engine.forward_batch(x, batch_size=32,
+                                            executor=executor)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_queue_executor_shm_matches_serial(self, leak_check, monkeypatch,
+                                               tmp_path):
+        monkeypatch.setenv(SHM_ENV, "on")
+        model = build_network("MLP-S", seed=3)
+        engine = InferenceEngine(model, seed=11, flip_rate=0.02)
+        x = np.random.default_rng(5).standard_normal((96, 784))
+        serial = engine.forward_batch(x, batch_size=16, backend="serial")
+        with QueueExecutor(str(tmp_path / "queue"),
+                           timeout_s=120.0) as executor:
+            assert use_shm_transport(executor)
+            parallel = engine.forward_batch(x, batch_size=16,
+                                            executor=executor)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_off_mode_pickles_and_still_matches(self, leak_check,
+                                                monkeypatch):
+        monkeypatch.setenv(SHM_ENV, "off")
+        model = build_network("MLP-S", seed=3)
+        engine = InferenceEngine(model, seed=11, flip_rate=0.02)
+        x = np.random.default_rng(5).standard_normal((96, 784))
+        serial = engine.forward_batch(x, batch_size=32, backend="serial")
+        with ProcessExecutor(workers=2) as executor:
+            assert not use_shm_transport(executor)
+            parallel = engine.forward_batch(x, batch_size=32,
+                                            executor=executor)
+        np.testing.assert_array_equal(serial, parallel)
+
+
+def _worker_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC_DIR, TESTS_RUNTIME_DIR, env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    return env
+
+
+def _start_worker(root, *extra_args):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.runtime.queue", root, "serve",
+         *extra_args],
+        env=_worker_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _stop_worker(proc, timeout=30):
+    if proc.poll() is None:
+        proc.terminate()
+    try:
+        return proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:  # pragma: no cover - CI safety net
+        proc.kill()
+        proc.communicate()
+        raise
+
+
+class TestCrashSafety:
+    def test_sigkilled_worker_mid_chunk_leaks_nothing_and_recovers(
+            self, tmp_path, leak_check):
+        """SIGKILL a queue worker holding live segment mappings.
+
+        The dead worker's chunk must be re-executed by the rescuer, the
+        output bytes must match the serial oracle, and closing the pool
+        must leave ``/dev/shm`` clean — the SIGKILLed attach cannot leak
+        because workers never own segments.
+        """
+        root = str(tmp_path / "queue")
+        marker = str(tmp_path / "executions.marker")
+        rows, cols, chunk = 8, 16, 2
+        data = np.random.default_rng(0).standard_normal((rows, cols))
+        with SharedArrayPool() as pool:
+            in_desc = pool.share(data)
+            out_desc = pool.allocate((rows, cols), np.float64)
+            init_queue_dirs(root)
+            for index, start in enumerate(range(0, rows, chunk)):
+                fn = (helpers.shm_square_rows_die_once if index == 0
+                      else helpers.shm_square_rows)
+                enqueue_task(root, Task(
+                    index=index, fn=fn,
+                    arg=(start, start + chunk, in_desc, out_desc, 0.05,
+                         marker),
+                ))
+            victim = _start_worker(root, "--watch", "--lease-seconds", "0.5",
+                                   "--poll-interval", "0.1")
+            try:
+                victim.communicate(timeout=60)
+                assert victim.returncode == -signal.SIGKILL
+                rescuer = _start_worker(root, "--watch",
+                                        "--poll-interval", "0.1")
+                try:
+                    results = collect_results(
+                        root, rows // chunk, timeout_s=120.0,
+                        poll_interval_s=0.05, max_retries=5,
+                    )
+                finally:
+                    _stop_worker(rescuer)
+            finally:
+                _stop_worker(victim)
+            assert results == [(start, None)
+                               for start in range(0, rows, chunk)]
+            recovered = pool.read(out_desc)
+        np.testing.assert_array_equal(recovered, data ** 2)
+        with open(marker, encoding="utf-8") as handle:
+            executions = [int(line) for line in handle.read().split()]
+        # chunk 0 ran twice (the fatal first attempt + the re-queue);
+        # every other chunk exactly once
+        assert sorted(executions) == [0, 0, 2, 4, 6]
+
+    def test_worker_subprocess_attach_does_not_unlink_on_exit(
+            self, tmp_path, leak_check):
+        """An attach-only process exiting must not destroy the segment
+
+        (the Python <= 3.12 resource-tracker over-tracking bug the
+        transport works around)."""
+        with SharedArrayPool() as pool:
+            descriptor = pool.share(np.arange(6.0))
+            script = (
+                "import pickle, sys\n"
+                "from repro.runtime.shm import attach_view\n"
+                "d = pickle.loads(bytes.fromhex(sys.argv[1]))\n"
+                "print(attach_view(d).sum())\n"
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script,
+                 pickle.dumps(descriptor).hex()],
+                env=_worker_env(), capture_output=True, text=True,
+                timeout=60,
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert float(proc.stdout) == 15.0
+            time.sleep(0.1)  # give any (buggy) tracker unlink time to land
+            np.testing.assert_array_equal(pool.read(descriptor),
+                                          np.arange(6.0))

@@ -284,6 +284,33 @@ class TestObjectStoreProtocol:
         assert clean.list_dir(os.path.join(root, "claims")) == []
         assert len(clean.list_dir(os.path.join(root, "tasks"))) == 1
 
+    def test_move_read_returns_the_moved_bytes(self, tmp_path):
+        # the batched claim path reads each member it moves; both
+        # backends must hand back exactly the bytes now under target
+        for store in (DirStore(), ObjectStore(LocalObjectStore())):
+            source = str(tmp_path / store.__class__.__name__ / "a" / "t.pkl")
+            target = str(tmp_path / store.__class__.__name__ / "b" / "t.pkl")
+            store.put(source, b"payload")
+            assert store.move_read(source, target) == b"payload"
+            assert store.get(source) is None
+            assert store.get(target) == b"payload"
+
+    def test_move_read_lost_race_returns_none(self, tmp_path):
+        # a racing mover takes the source first: the prefetch reports
+        # the loss the same way move() does, with nothing half-copied
+        def conflict(op, key):
+            return (op == "put_if_absent"
+                    and os.sep + "claims" + os.sep in key)
+
+        store = ObjectStore(LocalObjectStore(conflict_hook=conflict))
+        source = str(tmp_path / "tasks" / "t.pkl")
+        target = str(tmp_path / "claims" / "t.pkl")
+        store.put(source, b"payload")
+        assert store.move_read(source, target) is None
+        assert store.get(source) == b"payload"
+        assert DirStore().move_read(str(tmp_path / "absent.pkl"),
+                                    str(tmp_path / "b.pkl")) is None
+
     def test_rollback_cannot_destroy_a_later_actors_object(self, tmp_path):
         # the rollback delete is guarded by the generation the mover
         # itself created: if another actor replaced the key meanwhile,
