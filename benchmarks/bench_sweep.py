@@ -13,7 +13,11 @@ artifact CI uploads per PR):
   axes with the ``nodes_required`` / ``node_utilisation`` metrics;
 * the queue-store protocol scenario: per-task fleet-protocol overhead of
   the ``dir`` (POSIX rename) vs ``object`` (S3-style conditional put)
-  storage backends, records checked against the serial oracle.
+  storage backends, records checked against the serial oracle;
+* the sharded-resume scenario: cold :mod:`repro.eval.shard` submission
+  (partition planning, columnar fold, tree aggregation) vs resuming an
+  interrupted sweep, with the re-executed-published-identity count gated
+  at exactly zero.
 
 Repeated kernel timings run through :func:`repro.runtime.measure.measure`,
 the same layer the sweeps execute on.
@@ -245,6 +249,121 @@ def _queue_fleet_bench(smoke: bool) -> dict:
     return results
 
 
+def _identity_log_path():
+    return os.environ.get("REPRO_BENCH_SWEEP_EXEC_LOG")
+
+
+def _logged_evaluate_identified_point(pair):
+    """Shared task callable that ledgers each executed identity.
+
+    Module-level so the queue can pickle it by import path; the ledger
+    file (one identity per line, O_APPEND) is how the sharded-resume
+    scenario *counts* recomputation instead of assuming it away.
+    """
+    from repro.eval.shard import evaluate_identified_point
+
+    identity, _ = pair
+    log_path = _identity_log_path()
+    if log_path:
+        fd = os.open(log_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, (identity + "\n").encode("utf-8"))
+        finally:
+            os.close(fd)
+    return evaluate_identified_point(pair)
+
+
+def _sharded_resume_bench(smoke: bool) -> dict:
+    """Sharded-sweep scenario: cold submit vs resume after interruption.
+
+    Runs one grid cold through :func:`repro.eval.shard.run_sharded_sweep`
+    (plan -> ``part-*`` queues -> columnar fold -> tree aggregation),
+    then stages an interrupted sweep — a *prefix* grid completed into a
+    second root — and resumes the full grid there.  The gated numbers
+    are the per-record cost of each path and ``recomputed``: how many
+    already-published identities the resume executed again, which the
+    content-addressed planner must hold at exactly zero.  The summary
+    block comes from the streaming columnar reader
+    (:func:`repro.eval.reporting.summarise_sweep_stream`), the same path
+    ``record_trend.py --columnar`` ingests.
+    """
+    import tempfile
+
+    from repro.eval import shard
+    from repro.eval.columnar import iter_sweep_rows
+    from repro.eval.reporting import summarise_sweep_stream
+
+    partitions = 8
+    sigmas = tuple(i / 100 for i in range(4 if smoke else 8))
+    thermal = (0.0, 0.05) if smoke else (0.0, 0.05, 0.1)
+    shot = (0.0,) if smoke else (0.0, 0.05)
+
+    def make_grid(noise_sigmas):
+        return SweepGrid(
+            networks=("MLP-S",),
+            designs=("baseline_epcm", "einsteinbarrier"),
+            crossbar_sizes=(128, 256),
+            wdm_capacities=(4, 16),
+            noise_sigmas=noise_sigmas,
+            thermal_sigmas=thermal,
+            shot_factors=shot,
+            noise_trials=1,
+            noise_vector_length=16,
+            noise_num_outputs=4,
+            seed=17,
+        )
+
+    full_grid = make_grid(sigmas)
+    partial_grid = make_grid(sigmas[: len(sigmas) // 2])
+    total = len(full_grid.points())
+    run_sweep(full_grid)  # warm the schedule/model caches
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as root:
+        start = time.perf_counter()
+        cold = shard.run_sharded_sweep(full_grid, root,
+                                       partitions=partitions)
+        cold_seconds = time.perf_counter() - start
+    assert len(cold.records) == total
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-resume-") as root:
+        # the "interrupted" sweep: a prefix of the grid already published
+        shard.run_sharded_sweep(partial_grid, root, partitions=partitions)
+        published = shard.columnar_store(root).published_identities()
+        log_path = os.path.join(root, "resume-executions.log")
+        os.environ["REPRO_BENCH_SWEEP_EXEC_LOG"] = log_path
+        try:
+            start = time.perf_counter()
+            resumed = shard.run_sharded_sweep(
+                full_grid, root, partitions=partitions,
+                point_fn=_logged_evaluate_identified_point,
+            )
+            resume_seconds = time.perf_counter() - start
+        finally:
+            os.environ.pop("REPRO_BENCH_SWEEP_EXEC_LOG", None)
+        with open(log_path, "r", encoding="utf-8") as handle:
+            executed = [line.strip() for line in handle if line.strip()]
+        recomputed = len(published.intersection(executed))
+        summary = summarise_sweep_stream(
+            record.to_dict()
+            for _, record in iter_sweep_rows(shard.columnar_store(root))
+        )
+
+    assert resumed.records == cold.records
+    assert summary["records"] == total
+    return {
+        "grid_points": total,
+        "partitions": partitions,
+        "cold_seconds": cold_seconds,
+        "cold_ms_per_record": cold_seconds * 1e3 / total,
+        "reused": len(published),
+        "resumed_new": len(set(executed)),
+        "recomputed": recomputed,
+        "resume_seconds": resume_seconds,
+        "resume_ms_per_record": resume_seconds * 1e3 / total,
+        "stream_summary": summary,
+    }
+
+
 def test_sweep_subsystem(benchmark, smoke):
     """Benchmark the grid runner and record kernel + sweep numbers as JSON."""
     conv = _time_conv_kernels(smoke)
@@ -314,6 +433,18 @@ def test_sweep_subsystem(benchmark, smoke):
               f"{numbers['batching_overhead_reduction']:.1f}x to "
               f"{numbers['tasks_per_claim']['16']['protocol_overhead_ms_per_task']:.2f} ms/task")
 
+    sharded = _sharded_resume_bench(smoke)
+    print(f"\n=== Sharded resume: {sharded['grid_points']} grid points, "
+          f"{sharded['partitions']} partitions ===")
+    print(f"  cold  {sharded['cold_ms_per_record']:.2f} ms/record "
+          f"({sharded['cold_seconds'] * 1e3:.0f} ms total); "
+          f"resume reused {sharded['reused']} published rows, computed "
+          f"{sharded['resumed_new']} new at "
+          f"{sharded['resume_ms_per_record']:.2f} ms/record, "
+          f"recomputed {sharded['recomputed']}")
+    # the content-addressed planner must never re-execute a published row
+    assert sharded["recomputed"] == 0
+
     artifact_path = SMOKE_ARTIFACT_PATH if smoke else ARTIFACT_PATH
     write_json_report(artifact_path, {
         "smoke": smoke,
@@ -327,5 +458,6 @@ def test_sweep_subsystem(benchmark, smoke):
         "sweep": cold.to_payload(),
         "hierarchy_sweep": hierarchy,
         "queue_fleet_bench": fleet,
+        "sharded_resume": sharded,
     })
     print(f"wrote {artifact_path}")

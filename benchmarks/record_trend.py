@@ -72,6 +72,11 @@ TREND_METRICS = {
     "chaos_mean_recovery_s": ("chaos", "chaos.mean_recovery_s"),
     "chaos_max_recovery_s": ("chaos", "chaos.max_recovery_s"),
     "chaos_restarts": ("chaos", "chaos.restarts"),
+    "sharded_cold_ms_per_record": (
+        "sweep", "sharded_resume.cold_ms_per_record"),
+    "sharded_resume_ms_per_record": (
+        "sweep", "sharded_resume.resume_ms_per_record"),
+    "sharded_resume_recomputed": ("sweep", "sharded_resume.recomputed"),
 }
 
 #: per-network end-to-end metrics pulled from the inference artifact
@@ -132,6 +137,29 @@ def extract_metrics(sweep: Optional[Mapping[str, object]],
                 value = resolve_metric(policies, f"{policy}.{metric}")
                 if value is not None:
                     metrics[f"serving.{policy}.{metric}"] = value
+    return metrics
+
+
+def columnar_metrics(root: str) -> Dict[str, float]:
+    """Stream a sweep's columnar store into trend metrics.
+
+    Consumes the streaming reader (one segment in memory at a time) via
+    :func:`repro.eval.reporting.summarise_sweep_stream`, so recording a
+    trend entry for a 10^7-row sweep never materialises the record set.
+    """
+    from repro.eval.columnar import ColumnarStore, iter_sweep_rows
+    from repro.eval.reporting import summarise_sweep_stream
+
+    store = ColumnarStore(root)
+    summary = summarise_sweep_stream(
+        record.to_dict() for _, record in iter_sweep_rows(store)
+    )
+    metrics = {"columnar.records": float(summary["records"])}
+    for name in ("best_speedup_vs_baseline", "mean_speedup_vs_baseline",
+                 "mean_latency_s"):
+        value = summary.get(name)
+        if isinstance(value, (int, float)):
+            metrics[f"columnar.{name}"] = float(value)
     return metrics
 
 
@@ -222,6 +250,11 @@ def main(argv=None) -> int:
         "--smoke", action="store_true",
         help="read the *.smoke.json artifact siblings instead",
     )
+    parser.add_argument(
+        "--columnar", default=None, metavar="ROOT",
+        help="also stream a sharded sweep's columnar store (the "
+             "<sweep-root>/columnar directory) into columnar.* metrics",
+    )
     args = parser.parse_args(argv)
 
     trend_path = args.trend
@@ -244,6 +277,8 @@ def main(argv=None) -> int:
               f"{serving_path} / {chaos_path}")
         return 1
     metrics = extract_metrics(sweep, inference, serving, chaos)
+    if args.columnar:
+        metrics.update(columnar_metrics(args.columnar))
     if not metrics:
         print("artifacts carried none of the tracked metrics")
         return 1

@@ -31,6 +31,16 @@ over S3-style conditional-put semantics (the in-repo
 ``REPRO_RUNTIME_STORE`` environment toggle exactly as an operator would
 move a real fleet.
 
+``--sharded`` demonstrates the at-scale path (:mod:`repro.eval.shard`):
+it stages an *interrupted* sweep — a prefix of the grid published into a
+sweep root's append-only columnar store — prints the ``--status`` view
+(``python -m repro.eval.shard <root> --status``), then resumes the full
+grid there.  The resume plan skips every published content-addressed
+identity, so only the missing points are queued into ``part-*``
+partitions, and the final artifact is aggregated out of the columnar
+segments by the tree merge.  Combine with ``--store object`` to run the
+partition queues over the object-store backend.
+
 ``--supervise`` upgrades the fleet walk: instead of one hand-launched
 worker, it starts the supervisor daemon
 (``python -m repro.runtime.queue <dir> supervise``) and lets *it* act on
@@ -114,6 +124,45 @@ def _run_on_shared_queue(grid: SweepGrid, store_name: str) -> SweepResult:
     return result
 
 
+def _run_sharded(grid: SweepGrid, store_name, partitions: int) -> SweepResult:
+    """The at-scale path: stage an interrupted sweep, then resume it."""
+    from dataclasses import replace
+
+    from repro.eval import shard
+
+    with tempfile.TemporaryDirectory(prefix="repro-shard-demo-") as root:
+        # phase 1 — "the sweep that got interrupted": only a prefix of the
+        # noise axis ever published into the root's columnar store
+        partial = replace(grid, noise_sigmas=grid.noise_sigmas[:1])
+        print(f"[sharded] sweep root: {root} (partitions: {partitions})")
+        print(f"[sharded] publishing a {len(partial.points())}-point prefix "
+              "of the grid, as if the original submitter died...")
+        shard.run_sharded_sweep(partial, root, partitions=partitions,
+                                store=store_name)
+
+        # phase 2 — resume the *full* grid in the same root; the planner
+        # skips every published content-addressed identity
+        points = shard.identified_points(grid)
+        published = shard.columnar_store(root).published_identities()
+        pending = sum(1 for identity, _ in points
+                      if identity not in published)
+        print(f"[sharded] status before the resume (python -m "
+              f"repro.eval.shard {root} --status): "
+              f"{len(published)} rows published, {pending} of "
+              f"{len(points)} grid points pending")
+        plan = shard.prepare_sweep(grid, root, partitions=partitions,
+                                   store=store_name)
+        print(f"[sharded] resume plan: skipped {plan.skipped} published "
+              f"identities, queued {plan.pending} points into "
+              f"{len(plan.partitions)} part-* partitions")
+        result = shard.drain_and_aggregate(root, plan, store=store_name)
+        columnar = shard.columnar_store(root)
+        print(f"[sharded] columnar store after aggregation: "
+              f"{columnar.rows} rows in {len(columnar.segments())} "
+              "append-only segments, tree-merged into the final artifact")
+    return result
+
+
 def _run_under_supervisor(grid: SweepGrid, store_name: str) -> SweepResult:
     """The supervised fleet: the daemon owns every worker, we only submit."""
     from collections import Counter
@@ -176,17 +225,28 @@ def main() -> None:
                         help="fleet walk under the supervisor daemon: it "
                              "acts on the autoscale advisory and owns every "
                              "worker (implies --backend queue)")
+    parser.add_argument("--sharded", action="store_true",
+                        help="run the at-scale sharded path: stage an "
+                             "interrupted sweep in a root, then resume it — "
+                             "published identities are skipped, only the "
+                             "missing points queue into part-* partitions")
+    parser.add_argument("--partitions", type=int, default=4,
+                        help="partition count for --sharded (default: 4)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="path of the JSON artifact to write")
     args = parser.parse_args()
-    if (args.store is not None or args.supervise) and args.backend is None:
+    if (args.store is not None or args.supervise) and args.backend is None \
+            and not args.sharded:
         reason = "--supervise" if args.supervise else f"--store {args.store}"
         print(f"{reason} implies --backend queue")
         args.backend = "queue"
-    if args.store is not None and args.backend != "queue":
-        parser.error("--store only applies to the queue backend")
+    if args.store is not None and args.backend != "queue" \
+            and not args.sharded:
+        parser.error("--store only applies to the queue backend or --sharded")
     if args.supervise and args.backend != "queue":
         parser.error("--supervise only applies to the queue backend")
+    if args.sharded and args.supervise:
+        parser.error("--sharded and --supervise are separate walks")
 
     grid = SweepGrid(
         networks=("MLP-L", "CNN-L"),
@@ -199,7 +259,9 @@ def main() -> None:
     mode = args.backend or ("serial" if args.workers < 2
                             else f"{args.workers} workers")
     print(f"evaluating {len(grid.points())} grid points ({mode})...")
-    if args.supervise:
+    if args.sharded:
+        result = _run_sharded(grid, args.store, args.partitions)
+    elif args.supervise:
         result = _run_under_supervisor(grid, args.store or "dir")
     elif args.backend == "queue":
         result = _run_on_shared_queue(grid, args.store or "dir")

@@ -1,0 +1,456 @@
+"""Append-only columnar sweep results: ``.npz`` segments + JSON manifest.
+
+The sweep layer historically materialised every record twice — pickle
+result bundles inside the queue namespace, then one monolithic JSON
+artifact — which is fine at 10^4 records and hopeless at the 10^7-record
+design-space studies the crossbar/WDM/noise/hierarchy axes imply.  This
+module owns the at-scale result format:
+
+* **Segments** are immutable ``seg-NNNNNNN-<hash8>.npz`` files, each one
+  structured NumPy array whose first field is the row's
+  **content-addressed identity** (:func:`task_identity`).  A segment is
+  written once (tmp + atomic rename) and never mutated.
+* The **manifest** (``manifest.json``) is the single small mutable
+  object: an ordered list of ``{name, rows, sha256}`` entries plus the
+  record schema version.  It is rewritten atomically on every append, so
+  a reader always sees a consistent prefix of the store.
+* **Integrity is checked, never assumed**: every read verifies the
+  segment's SHA-256 against the manifest before :func:`numpy.load`
+  touches it; a mismatch raises :class:`CorruptSegmentError`, and
+  :meth:`ColumnarStore.scan` (``repair=True``) *quarantines* corrupt or
+  truncated segments into ``quarantine/`` — loudly, in the returned
+  report — instead of silently dropping rows.
+* **Schema bumps force recompute.**  Opening a store whose manifest
+  carries a different ``schema_version`` archives the old manifest and
+  segments into ``superseded-v<N>-<hash>/`` and starts fresh; because
+  :func:`task_identity` hashes the schema version too, every identity
+  changes and a resuming sweep re-evaluates everything rather than
+  silently reusing stale records.
+
+Concurrency contract: **one writer, any number of readers**.  The
+sharded-sweep collector (:mod:`repro.eval.shard`) is the only appender —
+partitions drain through the queue protocol and the submitter folds each
+drained partition into one segment — while streaming readers
+(:func:`iter_sweep_rows`, consumed by ``eval/reporting.py`` and
+``benchmarks/record_trend.py``) never hold more than one segment in
+memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import shutil
+from dataclasses import asdict, dataclass, is_dataclass
+from typing import (
+    Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple,
+)
+
+import numpy as np
+
+from repro.eval.sweep import SweepRecord
+
+#: bump when the meaning/derivation of a sweep record changes; hashed
+#: into every :func:`task_identity`, so a bump invalidates all published
+#: identities and forces recompute instead of silently reusing stale rows
+RECORD_SCHEMA_VERSION = 1
+
+#: manifest file format version (the envelope, not the record schema)
+MANIFEST_FORMAT = "repro-columnar"
+MANIFEST_FORMAT_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".npz"
+_QUARANTINE_DIR = "quarantine"
+_ARRAY_KEY = "records"
+
+#: structured dtype of one sweep record row (field 0 is the identity);
+#: ``U``-fields hold unicode, nullable floats map ``None`` <-> NaN
+SWEEP_RECORD_DTYPE = np.dtype([
+    ("identity", "U64"),
+    ("network", "U32"),
+    ("design", "U32"),
+    ("crossbar_size", "i8"),
+    ("wdm_capacity", "i8"),
+    ("noise_sigma", "f8"),
+    ("latency_s", "f8"),
+    ("energy_j", "f8"),
+    ("speedup_vs_baseline", "f8"),
+    ("energy_ratio_vs_baseline", "f8"),
+    ("popcount_error", "f8"),
+    ("columns_per_adc", "i8"),
+    ("thermal_sigma", "f8"),
+    ("shot_factor", "f8"),
+    ("ir_drop_alpha", "f8"),
+    ("vcores_per_ecore", "i8"),
+    ("ecores_per_tile", "i8"),
+    ("tiles_per_node", "i8"),
+    ("vcores_required", "i8"),
+    ("nodes_required", "i8"),
+    ("node_utilisation", "f8"),
+])
+
+#: SweepRecord fields whose ``None`` is stored as NaN (Optional[float])
+_NULLABLE_FIELDS = ("noise_sigma", "popcount_error")
+
+
+class CorruptSegmentError(RuntimeError):
+    """A segment's bytes do not match the manifest's checksum."""
+
+
+def task_identity(point: object, *,
+                  schema_version: int = RECORD_SCHEMA_VERSION) -> str:
+    """Stable content hash of one (design point, seed, schema) task.
+
+    The identity is the SHA-256 of the canonical JSON of the point's
+    fields plus the record schema version.  Canonical means sorted keys,
+    no whitespace, ASCII-escaped — so the hash is independent of dict
+    insertion order, process, host and Python hash randomisation, and
+    changes whenever any axis value, the seed, or the schema version
+    changes.  Attached to every queued task and every published row,
+    it is what lets an interrupted/extended/re-submitted sweep *resume*
+    by skipping already-published identities.
+    """
+    if is_dataclass(point) and not isinstance(point, type):
+        fields: Mapping[str, object] = asdict(point)
+    elif isinstance(point, Mapping):
+        fields = dict(point)
+    else:
+        raise TypeError(
+            f"point must be a dataclass instance or a mapping, got {point!r}"
+        )
+    payload = {"point": fields, "schema": int(schema_version)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def sweep_records_to_array(
+        rows: Iterable[Tuple[str, SweepRecord]]) -> np.ndarray:
+    """Pack ``(identity, record)`` pairs into one structured array."""
+    rows = list(rows)
+    arr = np.empty(len(rows), dtype=SWEEP_RECORD_DTYPE)
+    for i, (identity, record) in enumerate(rows):
+        values = record.to_dict()
+        values["identity"] = identity
+        for name in _NULLABLE_FIELDS:
+            if values[name] is None:
+                values[name] = np.nan
+        arr[i] = tuple(values[name] for name in SWEEP_RECORD_DTYPE.names)
+    return arr
+
+
+def array_to_sweep_records(
+        arr: np.ndarray) -> List[Tuple[str, SweepRecord]]:
+    """Unpack a structured array back into ``(identity, record)`` pairs.
+
+    Exactly inverts :func:`sweep_records_to_array`: NaN in a nullable
+    field becomes ``None`` again and integer/float fields come back as
+    native Python scalars, so a round-tripped :class:`SweepRecord`
+    compares (and pickles) identical to the original.
+    """
+    pairs: List[Tuple[str, SweepRecord]] = []
+    field_types = {name: SWEEP_RECORD_DTYPE[name].kind
+                   for name in SWEEP_RECORD_DTYPE.names}
+    for row in arr:
+        values: Dict[str, object] = {}
+        for name in SWEEP_RECORD_DTYPE.names:
+            value = row[name]
+            kind = field_types[name]
+            if kind == "U":
+                values[name] = str(value)
+            elif kind == "i":
+                values[name] = int(value)
+            else:
+                values[name] = float(value)
+        for name in _NULLABLE_FIELDS:
+            if isinstance(values[name], float) and np.isnan(values[name]):
+                values[name] = None
+        identity = str(values.pop("identity"))
+        pairs.append((identity, SweepRecord(**values)))
+    return pairs
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One manifest entry: an immutable, checksummed segment."""
+
+    name: str
+    rows: int
+    sha256: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "rows": self.rows, "sha256": self.sha256}
+
+
+@dataclass(frozen=True)
+class ScanReport:
+    """Outcome of a :meth:`ColumnarStore.scan` integrity pass."""
+
+    ok: Tuple[str, ...]
+    corrupt: Tuple[str, ...]
+    orphans: Tuple[str, ...]
+    quarantined: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"ok": list(self.ok), "corrupt": list(self.corrupt),
+                "orphans": list(self.orphans),
+                "quarantined": list(self.quarantined)}
+
+
+class ColumnarStore:
+    """Append-only columnar record store under one directory.
+
+    Generic over any structured dtype whose first field is ``identity``
+    (a unicode content hash); the sweep layer uses it with
+    :data:`SWEEP_RECORD_DTYPE`.  See the module docstring for the
+    durability/concurrency contract.  Storage is plain file I/O on the
+    shared mount — segments are written next to the queue layouts both
+    :class:`~repro.runtime.store.DirStore` and the hermetic object fake
+    keep on a filesystem, and every write is tmp + atomic rename.
+    """
+
+    def __init__(self, root: str, *,
+                 schema_version: int = RECORD_SCHEMA_VERSION) -> None:
+        self.root = root
+        self.schema_version = int(schema_version)
+        os.makedirs(self.root, exist_ok=True)
+        self._supersede_on_schema_bump()
+
+    # -- manifest ---------------------------------------------------------
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, _MANIFEST_NAME)
+
+    def _read_manifest(self) -> Optional[Dict[str, object]]:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
+    def _write_manifest(self, segments: Sequence[SegmentInfo]) -> None:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "schema_version": self.schema_version,
+            "segments": [segment.to_dict() for segment in segments],
+        }
+        blob = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        tmp_path = f"{self.manifest_path}.{os.getpid()}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+        os.replace(tmp_path, self.manifest_path)
+
+    def segments(self) -> List[SegmentInfo]:
+        """Manifest entries, in append order ([] when empty/missing)."""
+        manifest = self._read_manifest()
+        if manifest is None:
+            return []
+        entries = manifest.get("segments")
+        segments: List[SegmentInfo] = []
+        for entry in entries if isinstance(entries, list) else []:
+            if not isinstance(entry, dict):
+                continue
+            segments.append(SegmentInfo(
+                name=str(entry.get("name", "")),
+                rows=int(entry.get("rows", 0)),
+                sha256=str(entry.get("sha256", "")),
+            ))
+        return segments
+
+    @property
+    def rows(self) -> int:
+        """Total published rows (manifest metadata; no segment is read)."""
+        return sum(segment.rows for segment in self.segments())
+
+    def _supersede_on_schema_bump(self) -> None:
+        """Archive segments written under a different record schema.
+
+        The archive directory name carries the old version and a hash of
+        the old manifest, so repeated bumps never collide.  Nothing is
+        deleted — stale records stay inspectable — but the store starts
+        empty, and because the schema version is part of every task
+        identity, a resuming sweep recomputes every point.
+        """
+        manifest = self._read_manifest()
+        if manifest is None:
+            return
+        found = manifest.get("schema_version")
+        if found == self.schema_version:
+            return
+        stamp = hashlib.sha256(
+            json.dumps(manifest, sort_keys=True).encode("utf-8")
+        ).hexdigest()[:8]
+        archive = os.path.join(self.root, f"superseded-v{found}-{stamp}")
+        os.makedirs(archive, exist_ok=True)
+        for segment in self.segments():
+            source = os.path.join(self.root, segment.name)
+            if os.path.exists(source):
+                os.replace(source, os.path.join(archive, segment.name))
+        os.replace(self.manifest_path,
+                   os.path.join(archive, _MANIFEST_NAME))
+
+    # -- segments ---------------------------------------------------------
+    def _segment_files_on_disk(self) -> List[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(name for name in names
+                      if name.startswith(_SEGMENT_PREFIX)
+                      and name.endswith(_SEGMENT_SUFFIX))
+
+    @staticmethod
+    def _parse_sequence(name: str) -> int:
+        try:
+            return int(name[len(_SEGMENT_PREFIX):].split("-", 1)[0])
+        except (ValueError, IndexError):
+            return -1
+
+    def _next_sequence(self) -> int:
+        taken = [self._parse_sequence(segment.name)
+                 for segment in self.segments()]
+        taken += [self._parse_sequence(name)
+                  for name in self._segment_files_on_disk()]
+        return max(taken, default=-1) + 1
+
+    def append(self, arr: np.ndarray) -> Optional[SegmentInfo]:
+        """Durably publish one structured array as a new segment.
+
+        The segment file lands first (tmp + rename, name carrying a
+        content-hash suffix so identical appends are idempotent at the
+        byte level), then the manifest is atomically extended — a crash
+        between the two leaves an *orphan* segment that the next
+        :meth:`scan(repair=True) <scan>` quarantines, never a manifest
+        entry pointing at missing bytes.  Empty arrays are a no-op.
+        """
+        if arr.shape[0] == 0:
+            return None
+        buffer = io.BytesIO()
+        np.savez(buffer, **{_ARRAY_KEY: arr})
+        blob = buffer.getvalue()
+        digest = hashlib.sha256(blob).hexdigest()
+        name = (f"{_SEGMENT_PREFIX}{self._next_sequence():07d}"
+                f"-{digest[:8]}{_SEGMENT_SUFFIX}")
+        path = os.path.join(self.root, name)
+        tmp_path = f"{path}.{os.getpid()}.tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_path, path)
+        segment = SegmentInfo(name=name, rows=int(arr.shape[0]),
+                              sha256=digest)
+        self._write_manifest(self.segments() + [segment])
+        return segment
+
+    def _load_segment(self, segment: SegmentInfo) -> np.ndarray:
+        path = os.path.join(self.root, segment.name)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            raise CorruptSegmentError(
+                f"segment {segment.name} is missing from {self.root}"
+            ) from exc
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != segment.sha256:
+            raise CorruptSegmentError(
+                f"segment {segment.name} fails its checksum "
+                f"(manifest {segment.sha256[:12]}..., found {digest[:12]}...)"
+                " — truncated or corrupted; run scan(repair=True) to"
+                " quarantine it"
+            )
+        with np.load(io.BytesIO(blob)) as archive:
+            return archive[_ARRAY_KEY]
+
+    def iter_segments(self) -> Iterator[np.ndarray]:
+        """Stream segment arrays in append order (one in memory at a time).
+
+        Every segment is checksum-verified before NumPy parses it;
+        corruption raises :class:`CorruptSegmentError` instead of
+        yielding garbage rows.
+        """
+        for segment in self.segments():
+            yield self._load_segment(segment)
+
+    def iter_rows(self) -> Iterator[np.void]:
+        """Stream individual rows across all segments, in append order."""
+        for arr in self.iter_segments():
+            yield from arr
+
+    def published_identities(self) -> Set[str]:
+        """Identities of every published row (streamed, full set returned).
+
+        This is the resume seam: a planner skips any task whose identity
+        is already here.  Only the ``identity`` column of each segment is
+        materialised.
+        """
+        identities: Set[str] = set()
+        for arr in self.iter_segments():
+            identities.update(str(value) for value in arr["identity"])
+        return identities
+
+    # -- integrity --------------------------------------------------------
+    def scan(self, *, repair: bool = False) -> ScanReport:
+        """Verify every segment; optionally quarantine the damage.
+
+        ``corrupt`` lists manifest entries whose bytes are missing or
+        fail their checksum (the torn tail a crash mid-append can
+        leave); ``orphans`` lists on-disk ``seg-*.npz`` files the
+        manifest does not know (the other half of the same crash).  With
+        ``repair=True`` both are *moved* into ``quarantine/`` — loudly
+        reported, never silently dropped — and the manifest is rewritten
+        to the surviving entries; their rows recompute on the next
+        resume because their identities are no longer published.
+        """
+        ok: List[str] = []
+        corrupt: List[str] = []
+        quarantined: List[str] = []
+        survivors: List[SegmentInfo] = []
+        listed = set()
+        for segment in self.segments():
+            listed.add(segment.name)
+            try:
+                self._load_segment(segment)
+            except CorruptSegmentError:
+                corrupt.append(segment.name)
+            else:
+                ok.append(segment.name)
+                survivors.append(segment)
+        orphans = [name for name in self._segment_files_on_disk()
+                   if name not in listed]
+        if repair and (corrupt or orphans):
+            quarantine = os.path.join(self.root, _QUARANTINE_DIR)
+            os.makedirs(quarantine, exist_ok=True)
+            for name in corrupt + orphans:
+                source = os.path.join(self.root, name)
+                if os.path.exists(source):
+                    os.replace(source, os.path.join(quarantine, name))
+                    quarantined.append(name)
+            self._write_manifest(survivors)
+        return ScanReport(ok=tuple(ok), corrupt=tuple(corrupt),
+                          orphans=tuple(orphans),
+                          quarantined=tuple(quarantined))
+
+    def remove(self) -> None:
+        """Delete the store directory and everything under it."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ColumnarStore({self.root!r}, "
+                f"schema_version={self.schema_version})")
+
+
+def iter_sweep_rows(store: ColumnarStore
+                    ) -> Iterator[Tuple[str, SweepRecord]]:
+    """Stream ``(identity, record)`` pairs out of a sweep columnar store.
+
+    One segment is decoded at a time, so reporting over a 10^7-row store
+    never materialises the full record set.
+    """
+    for arr in store.iter_segments():
+        yield from array_to_sweep_records(arr)

@@ -88,6 +88,47 @@ def write_json_report(path: str, payload: Mapping[str, object]) -> None:
         handle.write("\n")
 
 
+def summarise_sweep_stream(records: Iterable[Mapping[str, object]], *,
+                           metric: str = "speedup_vs_baseline"
+                           ) -> Dict[str, object]:
+    """One-pass summary of a *stream* of sweep records.
+
+    Built for the columnar streaming reader
+    (:func:`repro.eval.columnar.iter_sweep_rows` — pass the records as
+    dicts): the stream is consumed exactly once, O(1) memory beyond the
+    running aggregates, so a 10^7-row store summarises without ever
+    materialising the record set.  Returns the record count, the best
+    record (by ``metric``), stream means and the axis values seen —
+    the fields ``benchmarks/record_trend.py`` and the sharded-sweep
+    benchmark publish.
+    """
+    count = 0
+    best: Dict[str, object] = {}
+    latency_sum = 0.0
+    metric_sum = 0.0
+    designs: set = set()
+    networks: set = set()
+    for record in records:
+        count += 1
+        value = float(record[metric])  # type: ignore[arg-type]
+        metric_sum += value
+        latency_sum += float(record["latency_s"])  # type: ignore[arg-type]
+        if not best or value > float(best[metric]):  # type: ignore[arg-type]
+            best = dict(record)
+        designs.add(str(record["design"]))
+        networks.add(str(record["network"]))
+    return {
+        "records": count,
+        "metric": metric,
+        "best": best or None,
+        f"best_{metric}": float(best[metric]) if best else 0.0,
+        f"mean_{metric}": metric_sum / count if count else 0.0,
+        "mean_latency_s": latency_sum / count if count else 0.0,
+        "designs": sorted(designs),
+        "networks": sorted(networks),
+    }
+
+
 def format_sweep_table(records: Iterable[Mapping[str, object]]) -> str:
     """Render sweep records (as dicts) as an aligned plain-text table."""
     headers = [

@@ -520,7 +520,15 @@ class SweepResult:
     def best(self, metric: str = "speedup_vs_baseline") -> SweepRecord:
         """Record maximising ``metric`` across the whole grid."""
         if not self.records:
-            raise ValueError("sweep produced no records")
+            raise ValueError(
+                f"best({metric!r}) on an empty SweepResult: the sweep "
+                f"published no records yet.  A partially-resumed or "
+                f"still-running sharded sweep has its published rows in "
+                f"the root's columnar store (repro.eval.shard."
+                f"aggregate_sweep raises with the resume instruction); "
+                f"an ordinary run_sweep returning empty means the grid "
+                f"expanded to zero points."
+            )
         return max(self.records, key=lambda r: getattr(r, metric))
 
 

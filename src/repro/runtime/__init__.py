@@ -72,7 +72,7 @@ from repro.runtime.measure import (
     percentiles,
 )
 from repro.runtime.faults import FAULTS_ENV, FaultInjected, FaultPlan
-from repro.runtime.queue import QueueExecutor
+from repro.runtime.queue import PART_PREFIX, QueueExecutor, partition_namespace
 from repro.runtime.shm import (
     SHM_ENV,
     ArrayDescriptor,
@@ -121,6 +121,7 @@ __all__ = [
     "LocalObjectStore",
     "Measurement",
     "ObjectStore",
+    "PART_PREFIX",
     "ProcessExecutor",
     "QueueExecutor",
     "QueueStore",
@@ -144,6 +145,7 @@ __all__ = [
     "make_store",
     "measure",
     "measure_pair",
+    "partition_namespace",
     "percentile",
     "percentiles",
     "resolve_executor",

@@ -419,6 +419,20 @@ def reap(root: str, *, max_retries: Optional[int] = None,
     ])
 
 
+def result_entries(root: str, *, store: StoreLike = None
+                   ) -> Dict[int, Tuple[bool, object]]:
+    """All published results of one layout, keyed by task index.
+
+    The public face of the collector's result reader: loose per-task
+    files and compacted bundles alike, duplicate indices collapsed (the
+    payloads are byte-identical by the determinism contract).  This is
+    the seam the sharded-sweep collector (:mod:`repro.eval.shard`) uses
+    to salvage a partition's published results into an append-only
+    columnar segment before retiring the partition namespace.
+    """
+    return _read_result_entries(root, store=store)
+
+
 def _loose_result_files(root: str, *, store: StoreLike = None) -> List[str]:
     """Sorted loose (un-bundled) result names of one layout."""
     backend = resolve_store(store)

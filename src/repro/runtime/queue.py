@@ -143,6 +143,12 @@ _ATTEMPTS_DIR = "attempts"
 #: per-execute namespace directories created under a shared queue root
 _RUN_PREFIX = "run-"
 
+#: sweep-partition namespace directories created under one sweep root by
+#: the sharded-sweep planner (:mod:`repro.eval.shard`) — each partition
+#: is a full, independently-queued layout, and workers/janitors pointed
+#: at the sweep root discover them exactly like ``run-*`` namespaces
+PART_PREFIX = "part-"
+
 #: single shared task callable of one run (written when all tasks agree)
 _SHARED_FN_FILE = "fn.pkl"
 
@@ -648,14 +654,23 @@ def record_attempt(root: str, index: int, attempts: int, *,
                        f"{attempts}\n", store=store)
 
 
+def partition_namespace(root: str, index: int) -> str:
+    """Path of sweep-partition namespace ``index`` under a sweep root."""
+    return os.path.join(root, f"{PART_PREFIX}{index:04d}")
+
+
 def _layout_roots(root: str, *, store: StoreLike = None) -> List[str]:
     """Queue layouts reachable under ``root``.
 
     The root itself counts when it carries a layout (callers driving the
     protocol functions directly), followed by every ``run-*`` namespace
-    an executor created beneath it.
+    an executor created beneath it and every ``part-*`` sweep partition
+    the sharded-sweep planner queued there — one worker pointed at a
+    sweep root therefore drains all of its partitions.
     """
-    return resolve_store(store).list_layouts(root, run_prefix=_RUN_PREFIX)
+    return resolve_store(store).list_layouts(
+        root, run_prefix=(_RUN_PREFIX, PART_PREFIX)
+    )
 
 
 def _serve_one(root: str, *, owner: Optional[str],

@@ -132,8 +132,14 @@ class QueueStore:
         """Whether ``root`` holds a queue layout this store can serve."""
         raise NotImplementedError
 
-    def list_layouts(self, root: str, *, run_prefix: str) -> List[str]:
-        """Layout roots reachable under ``root`` (itself + namespaces)."""
+    def list_layouts(self, root: str, *,
+                     run_prefix: "str | Tuple[str, ...]") -> List[str]:
+        """Layout roots reachable under ``root`` (itself + namespaces).
+
+        ``run_prefix`` is one namespace prefix or a tuple of them (the
+        protocol layer passes ``("run-", "part-")`` so executor run
+        namespaces and sharded-sweep partitions are discovered alike).
+        """
         roots: List[str] = []
         if self.is_layout(root):
             roots.append(root)

@@ -1,0 +1,50 @@
+"""Picklable point callables for the sharded-sweep resume tests.
+
+Queue tasks pickle their callable by import path, so anything a worker
+subprocess executes must live in an importable module — this one rides
+the worker's ``PYTHONPATH`` next to ``src/``.  The wrapper keeps the
+``(identity, spec) -> (identity, record)`` contract of
+:func:`repro.eval.shard.evaluate_identified_point` and adds an
+execution ledger: every call appends its task identity to the file
+named by :data:`EXEC_LOG_ENV`, which is how the kill/resume suite
+proves that already-published identities are *never* re-executed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.eval.shard import evaluate_identified_point
+
+#: file the wrapper appends each executed identity to (one per line);
+#: lines are short, so O_APPEND keeps concurrent workers' writes atomic
+EXEC_LOG_ENV = "REPRO_SWEEP_EXEC_LOG"
+
+#: optional per-point sleep (seconds) so a SIGKILL lands mid-partition
+SLEEP_ENV = "REPRO_SWEEP_EXEC_SLEEP"
+
+
+def read_exec_log(path):
+    """The identities executed so far, in execution order."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return [line.strip() for line in handle if line.strip()]
+    except OSError:
+        return []
+
+
+def logged_evaluate_identified_point(pair):
+    """Log the identity, optionally dawdle, then evaluate the point."""
+    identity, _ = pair
+    log_path = os.environ.get(EXEC_LOG_ENV)
+    if log_path:
+        fd = os.open(log_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, (identity + "\n").encode("utf-8"))
+        finally:
+            os.close(fd)
+    delay = float(os.environ.get(SLEEP_ENV, "0") or "0")
+    if delay > 0:
+        time.sleep(delay)
+    return evaluate_identified_point(pair)

@@ -1,0 +1,234 @@
+"""Round-trip, integrity and schema-bump tests for the columnar store.
+
+The append-only ``.npz``-segment + JSON-manifest format replaces pickle
+bundles and the monolithic sweep JSON at scale, so these tests pin its
+contracts: lossless round-trips (dtypes, NaN/None nullables, unicode
+fields), loud detection and quarantine of torn segments (never a silent
+drop), streaming reads identical to the in-memory payload, and the
+schema-version supersede that forces recompute instead of reusing stale
+rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.eval.columnar import (
+    ColumnarStore,
+    CorruptSegmentError,
+    SWEEP_RECORD_DTYPE,
+    array_to_sweep_records,
+    iter_sweep_rows,
+    sweep_records_to_array,
+    task_identity,
+)
+from repro.eval.sweep import SweepGrid, SweepRecord, run_sweep
+from repro.eval.shard import identified_points
+
+
+def _record(**overrides) -> SweepRecord:
+    values = dict(
+        network="MLP-S",
+        design="einsteinbarrier",
+        crossbar_size=128,
+        wdm_capacity=4,
+        noise_sigma=0.05,
+        latency_s=1.25e-6,
+        energy_j=3.5e-9,
+        speedup_vs_baseline=12.5,
+        energy_ratio_vs_baseline=0.2,
+        popcount_error=0.015625,
+    )
+    values.update(overrides)
+    return SweepRecord(**values)
+
+
+def _pairs(records):
+    return [(task_identity({"row": index}), record)
+            for index, record in enumerate(records)]
+
+
+class TestSweepRoundTrip:
+    def test_append_then_stream_read_is_lossless(self, tmp_path):
+        """dtypes, None-as-NaN nullables and unicode all survive."""
+        records = [
+            _record(),
+            _record(network="MLP-Ünïcødé-网", noise_sigma=None,
+                    popcount_error=None, node_utilisation=0.875),
+            _record(design="baseline_epcm", latency_s=float("inf")),
+        ]
+        pairs = _pairs(records)
+        store = ColumnarStore(str(tmp_path / "columnar"))
+        store.append(sweep_records_to_array(pairs[:2]))
+        store.append(sweep_records_to_array(pairs[2:]))
+
+        assert store.rows == 3
+        assert len(store.segments()) == 2
+        streamed = list(iter_sweep_rows(store))
+        assert [identity for identity, _ in streamed] == \
+            [identity for identity, _ in pairs]
+        for (_, got), (_, want) in zip(streamed, pairs):
+            assert got == want
+            assert pickle.dumps(got) == pickle.dumps(want)
+        # None came back as None, not as NaN
+        assert streamed[1][1].noise_sigma is None
+        assert streamed[1][1].popcount_error is None
+        assert streamed[1][1].network == "MLP-Ünïcødé-网"
+        assert store.published_identities() == \
+            {identity for identity, _ in pairs}
+
+    def test_generic_structured_dtype_round_trips(self, tmp_path):
+        """The store is generic over any identity-first structured dtype."""
+        dtype = np.dtype([
+            ("identity", "U64"), ("label", "U16"),
+            ("value", "f8"), ("count", "i4"),
+        ])
+        arr = np.array([
+            ("a" * 64, "ünïcødé", 1.5, 7),
+            ("b" * 64, "plain", np.nan, -3),
+        ], dtype=dtype)
+        store = ColumnarStore(str(tmp_path / "generic"))
+        store.append(arr)
+        (back,) = list(store.iter_segments())
+        assert back.dtype == dtype
+        assert list(back["label"]) == ["ünïcødé", "plain"]
+        assert back["value"][0] == 1.5 and np.isnan(back["value"][1])
+        assert list(back["count"]) == [7, -3]
+
+    def test_identical_appends_are_byte_idempotent(self, tmp_path):
+        """Same rows -> same segment bytes (the content-hash suffix)."""
+        arr = sweep_records_to_array(_pairs([_record()]))
+        store = ColumnarStore(str(tmp_path / "columnar"))
+        first, second = store.append(arr), store.append(arr)
+        assert first.sha256 == second.sha256
+        assert first.name != second.name  # distinct sequence numbers
+
+    def test_streaming_reader_matches_in_memory_sweep_result(self, tmp_path):
+        """iter_sweep_rows over a real sweep == SweepResult.to_payload."""
+        grid = SweepGrid(
+            networks=("MLP-S",),
+            designs=("baseline_epcm", "einsteinbarrier"),
+            crossbar_sizes=(64,),
+            wdm_capacities=(4, 8),
+            noise_sigmas=(0.0, 0.05),
+            noise_trials=1,
+            noise_vector_length=16,
+            noise_num_outputs=4,
+            seed=5,
+        )
+        result = run_sweep(grid)
+        pairs = list(zip(
+            [identity for identity, _ in identified_points(grid)],
+            result.records,
+        ))
+        store = ColumnarStore(str(tmp_path / "columnar"))
+        # split across segments the way a sharded drain would
+        store.append(sweep_records_to_array(pairs[: len(pairs) // 2]))
+        store.append(sweep_records_to_array(pairs[len(pairs) // 2:]))
+        streamed = [record.to_dict() for _, record in iter_sweep_rows(store)]
+        assert json.dumps(streamed, sort_keys=True) == json.dumps(
+            result.to_payload()["records"], sort_keys=True)
+
+    def test_empty_append_is_a_no_op(self, tmp_path):
+        store = ColumnarStore(str(tmp_path / "columnar"))
+        assert store.append(np.empty(0, dtype=SWEEP_RECORD_DTYPE)) is None
+        assert store.segments() == [] and store.rows == 0
+
+
+class TestIntegrity:
+    def _store_with_two_segments(self, tmp_path):
+        store = ColumnarStore(str(tmp_path / "columnar"))
+        pairs = _pairs([_record(), _record(crossbar_size=256)])
+        store.append(sweep_records_to_array(pairs[:1]))
+        store.append(sweep_records_to_array(pairs[1:]))
+        return store, pairs
+
+    def test_truncated_tail_segment_is_detected_and_quarantined(
+            self, tmp_path):
+        """A torn tail raises on read and quarantines on repair —
+        loudly reported, never silently dropped."""
+        store, pairs = self._store_with_two_segments(tmp_path)
+        tail = store.segments()[-1]
+        tail_path = os.path.join(store.root, tail.name)
+        with open(tail_path, "rb") as handle:
+            blob = handle.read()
+        with open(tail_path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])  # the torn write
+
+        with pytest.raises(CorruptSegmentError, match="checksum"):
+            list(store.iter_segments())
+        report = store.scan()
+        assert report.corrupt == (tail.name,)
+        assert report.quarantined == ()  # scan alone never mutates
+
+        report = store.scan(repair=True)
+        assert report.quarantined == (tail.name,)
+        assert os.path.exists(
+            os.path.join(store.root, "quarantine", tail.name))
+        # the survivor still reads; the torn rows are unpublished again
+        assert [segment.name for segment in store.segments()] == \
+            [report.ok[0]]
+        assert store.published_identities() == {pairs[0][0]}
+        assert store.scan().corrupt == ()
+
+    def test_orphan_segment_is_reported_and_quarantined(self, tmp_path):
+        """A segment file the manifest never adopted (crash between the
+        two append steps) is an orphan, not data."""
+        store, pairs = self._store_with_two_segments(tmp_path)
+        orphan = "seg-0000042-deadbeef.npz"
+        with open(os.path.join(store.root, orphan), "wb") as handle:
+            handle.write(b"half-written garbage")
+        report = store.scan()
+        assert report.orphans == (orphan,)
+        assert store.scan(repair=True).quarantined == (orphan,)
+        assert os.path.exists(
+            os.path.join(store.root, "quarantine", orphan))
+        assert store.published_identities() == \
+            {identity for identity, _ in pairs}
+
+    def test_missing_segment_bytes_raise_not_skip(self, tmp_path):
+        store, _ = self._store_with_two_segments(tmp_path)
+        os.remove(os.path.join(store.root, store.segments()[0].name))
+        with pytest.raises(CorruptSegmentError, match="missing"):
+            list(store.iter_segments())
+
+
+class TestSchemaSupersede:
+    def test_schema_bump_archives_and_forces_recompute(self, tmp_path):
+        root = str(tmp_path / "columnar")
+        pairs = _pairs([_record()])
+        old = ColumnarStore(root, schema_version=1)
+        old.append(sweep_records_to_array(pairs))
+        assert old.published_identities()
+
+        new = ColumnarStore(root, schema_version=2)
+        # the store restarts empty: nothing published, so every point of
+        # a resuming sweep recomputes (identities hash the version too)
+        assert new.rows == 0
+        assert new.published_identities() == set()
+        archives = [name for name in os.listdir(root)
+                    if name.startswith("superseded-v1-")]
+        assert len(archives) == 1
+        archived = os.listdir(os.path.join(root, archives[0]))
+        assert "manifest.json" in archived
+        assert any(name.startswith("seg-") for name in archived)
+
+    def test_reopening_same_schema_keeps_rows(self, tmp_path):
+        root = str(tmp_path / "columnar")
+        ColumnarStore(root).append(
+            sweep_records_to_array(_pairs([_record()])))
+        assert ColumnarStore(root).rows == 1
+
+
+def test_array_round_trip_survives_helper_inverse():
+    """array_to_sweep_records exactly inverts sweep_records_to_array."""
+    pairs = _pairs([
+        _record(noise_sigma=None, popcount_error=None),
+        _record(network="Δ-net", nodes_required=12, node_utilisation=0.5),
+    ])
+    assert array_to_sweep_records(sweep_records_to_array(pairs)) == pairs

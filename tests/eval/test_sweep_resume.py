@@ -1,0 +1,417 @@
+"""Kill/resume equivalence for sharded sweeps: the PR's acceptance bar.
+
+A sharded sweep is submitted into a root, real worker subprocesses
+(``python -m repro.runtime.queue <root> serve``) drain its ``part-*``
+partitions, and the suite SIGKILLs them mid-partition.  Resuming into
+the same root must then (a) never re-execute an identity that was
+already published at resume time — proven through the execution ledger
+of ``_shard_helpers.logged_evaluate_identified_point`` — and (b) finish
+with records byte-identical to an uninterrupted serial oracle, at the
+per-record pickle level and at the JSON-artifact level.
+
+Parameterised over both queue-storage backends, like every fleet test.
+
+The default grid keeps tier-1 fast; the CI ``sweep-scale`` job exports
+``REPRO_SWEEP_SCALE=full`` to run the same scenario at the acceptance
+scale (>= 10^4 grid points across >= 8 partitions).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import time
+
+import pytest
+
+import _shard_helpers as helpers
+from repro.eval import shard
+from repro.eval.columnar import RECORD_SCHEMA_VERSION, task_identity
+from repro.eval.shard import (
+    aggregate_sweep,
+    drain_and_aggregate,
+    identified_points,
+    partition_namespace,
+    prepare_sweep,
+    run_sharded_sweep,
+)
+from repro.eval.sweep import (
+    SweepGrid,
+    SweepResult,
+    evaluate_point,
+    write_sweep_json,
+)
+from repro.runtime import janitor
+from repro.runtime.queue import PART_PREFIX
+from repro.runtime.store import STORE_ENV, resolve_store
+
+TESTS_EVAL_DIR = os.path.dirname(os.path.abspath(__file__))
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(TESTS_EVAL_DIR)), "src"
+)
+
+#: ``REPRO_SWEEP_SCALE=full`` switches to the >= 10^4-point acceptance
+#: grid (the CI sweep-scale job); anything else keeps tier-1 quick
+SCALE = os.environ.get("REPRO_SWEEP_SCALE", "").strip().lower() == "full"
+
+
+@pytest.fixture(params=["dir", "object"])
+def queue_store(request, monkeypatch):
+    """Once per storage backend, fleet-wide via the environment.
+
+    Worker subprocesses inherit ``os.environ``, so exporting
+    ``REPRO_RUNTIME_STORE`` steers the submitter and every external
+    worker onto the same backend — how an operator moves a real fleet.
+    """
+    monkeypatch.setenv(STORE_ENV, request.param)
+    return request.param
+
+
+def _resume_grid() -> SweepGrid:
+    """The kill/resume grid: 48 points by default, 12 000 under SCALE."""
+    if SCALE:
+        return SweepGrid(
+            networks=("MLP-S",),
+            designs=("baseline_epcm", "einsteinbarrier"),
+            crossbar_sizes=(64, 128),
+            wdm_capacities=(4, 8),
+            noise_sigmas=tuple(i / 100 for i in range(10)),
+            thermal_sigmas=tuple(i / 50 for i in range(10)),
+            shot_factors=tuple(i / 20 for i in range(10)),
+            ir_drop_alphas=(0.0, 0.1),
+            noise_trials=1,
+            noise_vector_length=16,
+            noise_num_outputs=4,
+            seed=11,
+        )
+    return SweepGrid(
+        networks=("MLP-S",),
+        designs=("baseline_epcm", "einsteinbarrier"),
+        crossbar_sizes=(64,),
+        wdm_capacities=(4,),
+        noise_sigmas=(0.0, 0.02, 0.04),
+        thermal_sigmas=(0.0, 0.1),
+        shot_factors=(0.0, 0.05),
+        ir_drop_alphas=(0.0, 0.1),
+        noise_trials=1,
+        noise_vector_length=16,
+        noise_num_outputs=4,
+        seed=11,
+    )
+
+
+def _small_grid(crossbar_sizes=(64,)) -> SweepGrid:
+    """A cheap grid for the inline (no-subprocess) resume scenarios."""
+    return SweepGrid(
+        networks=("MLP-S",),
+        designs=("baseline_epcm", "einsteinbarrier"),
+        crossbar_sizes=crossbar_sizes,
+        wdm_capacities=(4, 8),
+        noise_sigmas=(0.0, 0.05),
+        noise_trials=1,
+        noise_vector_length=16,
+        noise_num_outputs=4,
+        seed=3,
+    )
+
+
+def _worker_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC_DIR, TESTS_EVAL_DIR, env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    return env
+
+
+def _start_worker(root, *extra_args):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.runtime.queue", root, "serve",
+         *extra_args],
+        env=_worker_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _wait_for(predicate, timeout_s=120.0, interval_s=0.01):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise AssertionError("condition not reached within timeout")
+
+
+def _published_identities_now(root):
+    """Everything durably published at this instant: columnar rows plus
+    successful results still sitting in leftover partition namespaces
+    (the next ``prepare_sweep`` salvages those without re-executing)."""
+    backend = resolve_store()
+    published = shard.columnar_store(root).published_identities()
+    for layout in backend.list_layouts(root, run_prefix=PART_PREFIX):
+        if os.path.normpath(layout) == os.path.normpath(root):
+            continue
+        for _, (ok, payload) in janitor.result_entries(
+                layout, store=backend).items():
+            if ok:
+                published.add(payload[0])
+    return published
+
+
+def _assert_matches_oracle(result, oracle, tmp_path):
+    """Byte-identity at the record level and the artifact level.
+
+    Per-record pickle bytes (not one list-level pickle: pickle memoises
+    shared strings, so two lists of equal records serialise differently)
+    plus the deterministic JSON artifact — the repo's established
+    equivalence contract.
+    """
+    assert len(result.records) == len(oracle.records)
+    for got, want in zip(result.records, oracle.records):
+        assert pickle.dumps(got) == pickle.dumps(want)
+    got_path = str(tmp_path / "sharded.json")
+    want_path = str(tmp_path / "oracle.json")
+    write_sweep_json(got_path, result)
+    write_sweep_json(want_path, oracle)
+    with open(got_path, "rb") as handle:
+        got_bytes = handle.read()
+    with open(want_path, "rb") as handle:
+        want_bytes = handle.read()
+    assert got_bytes == want_bytes
+
+
+class TestKillResumeEquivalence:
+    def test_sigkilled_fleet_resumes_with_zero_recompute(
+            self, tmp_path, queue_store, monkeypatch):
+        """SIGKILL workers mid-partition; resume recomputes nothing."""
+        grid = _resume_grid()
+        points = identified_points(grid)
+        partitions = 8
+        kill_after = 1500 if SCALE else 8
+        if SCALE:
+            assert len(points) >= 10_000
+
+        oracle = SweepResult(
+            grid=grid,
+            records=[evaluate_point(spec) for spec in grid.points()],
+        )
+
+        root = str(tmp_path / "sweep")
+        phase1_log = str(tmp_path / "phase1.log")
+        phase2_log = str(tmp_path / "phase2.log")
+        monkeypatch.setenv(helpers.EXEC_LOG_ENV, phase1_log)
+        if not SCALE:
+            # slow each point down so the kill lands mid-partition
+            monkeypatch.setenv(helpers.SLEEP_ENV, "0.04")
+
+        plan = prepare_sweep(
+            grid, root, partitions=partitions,
+            point_fn=helpers.logged_evaluate_identified_point,
+        )
+        assert len(plan.partitions) == partitions
+        assert plan.skipped == 0 and plan.pending == len(points)
+
+        workers = [
+            _start_worker(root, "--watch", "--poll-interval", "0.05",
+                          "--lease-seconds", "1.0")
+            for _ in range(2)
+        ]
+        try:
+            _wait_for(lambda: len(helpers.read_exec_log(phase1_log))
+                      >= kill_after)
+            for worker in workers:
+                worker.kill()
+        finally:
+            for worker in workers:
+                worker.communicate(timeout=60)
+
+        published_before = _published_identities_now(root)
+        assert published_before, "the fleet published nothing before dying"
+        assert len(published_before) < len(points), \
+            "the kill landed after the sweep already finished"
+
+        monkeypatch.setenv(helpers.EXEC_LOG_ENV, phase2_log)
+        monkeypatch.delenv(helpers.SLEEP_ENV, raising=False)
+        result = run_sharded_sweep(
+            grid, root, partitions=partitions,
+            point_fn=helpers.logged_evaluate_identified_point,
+            timeout_s=600.0,
+        )
+
+        # zero recomputation: nothing published at resume time executed
+        # again, and the resume covered exactly the unpublished rest
+        executed = set(helpers.read_exec_log(phase2_log))
+        assert executed.isdisjoint(published_before)
+        assert executed == {identity for identity, _ in points
+                            if identity not in published_before}
+
+        _assert_matches_oracle(result, oracle, tmp_path)
+
+        # the partitions retired as they drained and the store is clean
+        backend = resolve_store()
+        leftovers = [
+            layout for layout in
+            backend.list_layouts(root, run_prefix=PART_PREFIX)
+            if os.path.normpath(layout) != os.path.normpath(root)
+        ]
+        assert leftovers == []
+        report = shard.columnar_store(root).scan()
+        assert not report.corrupt and not report.orphans
+
+    def test_resubmitting_a_complete_sweep_enqueues_nothing(
+            self, tmp_path, queue_store, monkeypatch):
+        """Submitting the same grid into a finished root is a no-op."""
+        grid = _small_grid()
+        root = str(tmp_path / "sweep")
+        first = run_sharded_sweep(grid, root, partitions=4)
+
+        log_path = str(tmp_path / "resubmit.log")
+        monkeypatch.setenv(helpers.EXEC_LOG_ENV, log_path)
+        plan = prepare_sweep(
+            grid, root, partitions=4,
+            point_fn=helpers.logged_evaluate_identified_point,
+        )
+        assert plan.pending == 0
+        assert plan.skipped == plan.total_points == len(grid.points())
+        again = drain_and_aggregate(root, plan)
+        assert helpers.read_exec_log(log_path) == []
+        for got, want in zip(again.records, first.records):
+            assert pickle.dumps(got) == pickle.dumps(want)
+
+    def test_extended_grid_computes_only_the_new_points(
+            self, tmp_path, queue_store, monkeypatch):
+        """Growing an axis resumes the sweep instead of restarting it."""
+        root = str(tmp_path / "sweep")
+        run_sharded_sweep(_small_grid(), root, partitions=4)
+        published_before = _published_identities_now(root)
+
+        extended = _small_grid(crossbar_sizes=(64, 128))
+        log_path = str(tmp_path / "extend.log")
+        monkeypatch.setenv(helpers.EXEC_LOG_ENV, log_path)
+        result = run_sharded_sweep(
+            extended, root, partitions=4,
+            point_fn=helpers.logged_evaluate_identified_point,
+        )
+
+        new_identities = {
+            identity for identity, _ in identified_points(extended)
+            if identity not in published_before
+        }
+        assert new_identities, "extending the grid added no points"
+        assert set(helpers.read_exec_log(log_path)) == new_identities
+
+        oracle = SweepResult(
+            grid=extended,
+            records=[evaluate_point(spec) for spec in extended.points()],
+        )
+        _assert_matches_oracle(result, oracle, tmp_path)
+
+    def test_incomplete_sweep_aggregation_names_the_resume_path(
+            self, tmp_path, queue_store):
+        """Partial roots fail loudly with the resume instruction."""
+        grid = _small_grid()
+        root = str(tmp_path / "sweep")
+        pairs = identified_points(grid)
+        store = shard.columnar_store(root)
+        from repro.eval.columnar import sweep_records_to_array
+        store.append(sweep_records_to_array(
+            [(pairs[0][0], evaluate_point(pairs[0][1]))]
+        ))
+        with pytest.raises(RuntimeError,
+                           match="unpublished.*run_sharded_sweep"):
+            aggregate_sweep(root, grid)
+
+
+class TestTaskIdentity:
+    """Property tests for the content-addressed task identity."""
+
+    def _spec(self):
+        return _small_grid().points()[0]
+
+    def test_identity_ignores_mapping_order(self):
+        from dataclasses import asdict
+
+        spec = self._spec()
+        fields = asdict(spec)
+        shuffled = dict(reversed(list(fields.items())))
+        assert list(shuffled) != list(fields)
+        assert task_identity(fields) == task_identity(shuffled)
+        assert task_identity(fields) == task_identity(spec)
+
+    def test_identity_stable_across_processes(self, tmp_path):
+        """Same spec, fresh interpreter, adversarial hash seed: same hash.
+
+        ``PYTHONHASHSEED`` is forced to a different value in the child so
+        any dependence on dict/set iteration order would show up.
+        """
+        spec = self._spec()
+        spec_path = str(tmp_path / "spec.pkl")
+        with open(spec_path, "wb") as handle:
+            pickle.dump(spec, handle)
+        script = (
+            "import pickle, sys\n"
+            "from repro.eval.columnar import task_identity\n"
+            "with open(sys.argv[1], 'rb') as handle:\n"
+            "    spec = pickle.load(handle)\n"
+            "print(task_identity(spec))\n"
+        )
+        env = _worker_env()
+        env["PYTHONHASHSEED"] = "12345"
+        out = subprocess.run(
+            [sys.executable, "-c", script, spec_path],
+            env=env, capture_output=True, text=True, check=True, timeout=60,
+        )
+        assert out.stdout.strip() == task_identity(spec)
+
+    def test_identity_distinct_for_every_changed_axis(self):
+        from dataclasses import asdict
+
+        spec = self._spec()
+        base_fields = asdict(spec)
+        base = task_identity(spec)
+        seen = {base}
+        for name, value in base_fields.items():
+            perturbed = dict(base_fields)
+            if isinstance(value, bool):  # pragma: no cover - no bool axes
+                perturbed[name] = not value
+            elif isinstance(value, int):
+                perturbed[name] = value + 1
+            elif isinstance(value, float):
+                perturbed[name] = value + 0.125
+            elif isinstance(value, str):
+                perturbed[name] = value + "-x"
+            else:  # Optional axes currently at None
+                perturbed[name] = 1
+            changed = task_identity(perturbed)
+            assert changed != base, f"changing {name} kept the identity"
+            assert changed not in seen, f"{name} collided with another axis"
+            seen.add(changed)
+
+    def test_schema_bump_changes_every_identity(self):
+        spec = self._spec()
+        assert task_identity(spec) == task_identity(
+            spec, schema_version=RECORD_SCHEMA_VERSION)
+        assert task_identity(spec) != task_identity(
+            spec, schema_version=RECORD_SCHEMA_VERSION + 1)
+
+    def test_identity_rejects_non_point_values(self):
+        with pytest.raises(TypeError, match="dataclass instance or a map"):
+            task_identity(["not", "a", "point"])
+
+
+class TestSweepResultBest:
+    def test_best_on_empty_records_explains_itself(self):
+        result = SweepResult(grid=_small_grid(), records=[])
+        with pytest.raises(ValueError) as excinfo:
+            result.best()
+        message = str(excinfo.value)
+        assert "empty SweepResult" in message
+        assert "'speedup_vs_baseline'" in message
+        assert "columnar" in message  # points at the sharded-sweep store
+
+
+def test_partition_namespace_layout():
+    assert partition_namespace("/mnt/sweep", 3) == "/mnt/sweep/part-0003"
+    assert os.path.basename(partition_namespace("", 12)).startswith(
+        PART_PREFIX)
