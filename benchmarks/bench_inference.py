@@ -15,6 +15,11 @@ Two measurements, recorded into ``BENCH_inference.json`` at the repo root
   between the two timed paths, both bit-exact against the serial oracle;
 * the persistent kernel-autotune cache: cold (measure + persist) vs warm
   (cache-file hit) parameter resolution against a fresh cache directory;
+* the streaming packed pipeline (PR 10): serial chunk loop vs
+  stage-pipelined execution (:mod:`repro.bnn.pipeline`) at the same
+  chunking, bit-exactness checked, with per-stage occupancy so the
+  bottleneck stage is visible in the artifact, plus a persistence check
+  of the ``auto``-mode profitability decision;
 * accuracy-vs-read-noise curves produced *through* the packed engine
   (:func:`repro.eval.sweep.run_accuracy_sweep`), i.e. the functional
   scenario the analytical sweeps cannot provide.
@@ -37,6 +42,7 @@ import numpy as np
 from repro.bnn import autotune
 from repro.bnn.model import InferenceEngine
 from repro.bnn.networks import build_network
+from repro.bnn.pipeline import StreamingPipeline, plan_signature
 from repro.eval.reporting import host_info, write_json_report
 from repro.eval.sweep import AccuracySweepGrid, run_accuracy_sweep
 from repro.runtime import ProcessExecutor, ThreadExecutor, measure_pair
@@ -169,6 +175,74 @@ def _time_shm_transport(engine: InferenceEngine, images: np.ndarray, *,
     }
 
 
+def _time_streaming_pipeline(name: str, total: int, chunk: int,
+                             reps: int) -> dict:
+    """Serial chunk loop vs the stage-pipelined path at the same chunking.
+
+    Both arms run identical ``total / chunk`` chunk boundaries, so the
+    outputs must be byte-identical; the pipelined arm additionally
+    reports per-stage occupancy (busy seconds / wall) from a final
+    instrumented run, which is how a reader of the artifact finds the
+    bottleneck stage.
+    """
+    model = build_network(name)
+    model.eval()
+    rng = make_rng(0xFACE)
+    images = rng.uniform(-1.0, 1.0, size=(total, *model.input_shape))
+    engine = InferenceEngine(model)
+    pipe = StreamingPipeline(engine)
+    # warm both paths (pack caches, BLAS pools, thread start-up costs)
+    engine.forward_batch(images, batch_size=chunk, pipeline="off")
+    serial_ref = engine.forward_batch(images, batch_size=chunk,
+                                      pipeline="off")
+    piped, _ = pipe.run(images, chunk)
+    bit_exact = bool(serial_ref.tobytes() == piped.tobytes())
+    piped_m, serial_m, speedup = measure_pair(
+        lambda: pipe.run(images, chunk),
+        lambda: engine.forward_batch(images, batch_size=chunk,
+                                     pipeline="off"),
+        reps=reps, label=f"pipeline-{name}",
+    )
+    _, stats = pipe.run(images, chunk)
+    return {
+        "total_images": total,
+        "chunk_size": chunk,
+        "num_chunks": -(-total // chunk),
+        "reps": reps,
+        "bit_exact": bit_exact,
+        "serial_images_per_s": serial_m.throughput(total),
+        "pipelined_images_per_s": piped_m.throughput(total),
+        "speedup_vs_serial": speedup,
+        "stages": [stage.as_dict() for stage in stats],
+        "signature": plan_signature(engine, chunk),
+    }
+
+
+def _pipeline_autotune_hit(signature: str, speedup: float) -> float:
+    """Does a recorded pipeline decision survive a process restart?
+
+    Records the measured verdict into a fresh cache directory, drops the
+    in-process memo (the simulated restart) and reads it back — 1.0 when
+    the read-back came from the cache file.  Environment and singletons
+    are restored afterwards.
+    """
+    previous = os.environ.get(autotune.CACHE_ENV)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-pipeline-") as cache:
+        os.environ[autotune.CACHE_ENV] = cache
+        try:
+            autotune.record_pipeline_decision(signature, speedup)
+            autotune.reset_cached_params()
+            decision = autotune.pipeline_decision(signature)
+        finally:
+            if previous is None:
+                os.environ.pop(autotune.CACHE_ENV, None)
+            else:
+                os.environ[autotune.CACHE_ENV] = previous
+            autotune.reset_cached_params()
+    return 1.0 if decision is not None and decision["source"] == "cache" \
+        else 0.0
+
+
 def _autotune_stats() -> dict:
     """Cold (measure + persist) vs warm (file hit) autotune resolution.
 
@@ -279,6 +353,46 @@ def test_inference_engine(benchmark, smoke):
     )
     assert shm["bit_exact"]
 
+    # the streaming packed pipeline: stage-overlapped vs serial chunk loop
+    if smoke:
+        streaming_configs = [("MLP-S", 64, 16, 3), ("CNN-M", 8, 2, 3)]
+    else:
+        streaming_configs = [("MLP-L", 128, 32, 5), ("CNN-M", 32, 8, 5),
+                             ("CNN-L", 16, 4, 5)]
+    streaming_networks = {}
+    for name, total, chunk, reps in streaming_configs:
+        result = _time_streaming_pipeline(name, total, chunk, reps)
+        streaming_networks[name] = result
+        occupancy = ", ".join(
+            f"{stage['name']} {stage['occupancy']:.2f}"
+            for stage in result["stages"]
+        )
+        print(
+            f"streaming {name}: serial "
+            f"{result['serial_images_per_s']:.1f} img/s, pipelined "
+            f"{result['pipelined_images_per_s']:.1f} img/s "
+            f"({result['speedup_vs_serial']:.2f}x, bit-exact "
+            f"{result['bit_exact']}; occupancy {occupancy})"
+        )
+        assert result["bit_exact"], name
+    best_name = max(streaming_networks,
+                    key=lambda n: streaming_networks[n]["speedup_vs_serial"])
+    best = streaming_networks[best_name]
+    autotune_hit = _pipeline_autotune_hit(
+        best["signature"], best["speedup_vs_serial"])
+    print(
+        f"streaming best: {best_name} "
+        f"{best['speedup_vs_serial']:.2f}x (autotune cache hit "
+        f"{autotune_hit:.0f})"
+    )
+    assert autotune_hit == 1.0
+    streaming = {
+        "networks": streaming_networks,
+        "best_network": best_name,
+        "speedup_vs_serial": best["speedup_vs_serial"],
+        "autotune_hit": autotune_hit,
+    }
+
     tune = _autotune_stats()
     print(
         f"autotune: dispatch {tune['dispatch_macs']} MACs, conv block "
@@ -312,6 +426,7 @@ def test_inference_engine(benchmark, smoke):
         "networks": networks,
         "parallel_forward_batch": parallel,
         "shm_transport": shm,
+        "streaming_pipeline": streaming,
         "autotune": tune,
         "accuracy_sweep": accuracy.to_payload(),
     })

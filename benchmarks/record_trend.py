@@ -65,6 +65,9 @@ TREND_METRICS = {
         ".protocol_overhead_ms_per_task"),
     "shm_chunk_speedup": ("inference", "shm_transport.speedup_vs_pickle"),
     "autotune_cache_hit": ("inference", "autotune.cache_hit"),
+    "streaming_pipeline_speedup": (
+        "inference", "streaming_pipeline.speedup_vs_serial"),
+    "pipeline_autotune_hit": ("inference", "streaming_pipeline.autotune_hit"),
     "serving_best_rps": ("serving", "best.requests_per_s"),
     "serving_best_p50_ms": ("serving", "best.p50_ms"),
     "serving_best_p99_ms": ("serving", "best.p99_ms"),

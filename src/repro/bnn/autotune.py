@@ -137,14 +137,22 @@ def cache_path() -> Optional[str]:
     return os.path.join(directory, name)
 
 
-def _read_cache(path: str) -> Optional[Dict[str, int]]:
-    """Validated params from a cache file (``None`` = absent/stale/corrupt)."""
+def _load_payload(path: str) -> Optional[Dict[str, object]]:
+    """The raw key-validated payload (``None`` = absent/stale/corrupt)."""
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except (OSError, ValueError):
         return None
     if not isinstance(payload, dict) or payload.get("key") != cache_key():
+        return None
+    return payload
+
+
+def _read_cache(path: str) -> Optional[Dict[str, int]]:
+    """Validated params from a cache file (``None`` = absent/stale/corrupt)."""
+    payload = _load_payload(path)
+    if payload is None:
         return None
     params = payload.get("params")
     if not isinstance(params, dict):
@@ -162,9 +170,25 @@ def _read_cache(path: str) -> Optional[Dict[str, int]]:
     return resolved
 
 
-def _write_cache(path: str, params: Dict[str, int]) -> bool:
-    """Persist measured params; returns False when the fs refuses."""
-    payload = {"key": cache_key(), "params": params}
+def _write_cache(path: str, *, params: Optional[Dict[str, int]] = None,
+                 pipeline_updates: Optional[Dict[str, Dict[str, object]]]
+                 = None) -> bool:
+    """Persist params and/or pipeline decisions; False when the fs refuses.
+
+    Merges into the existing key-valid payload so the kernel ``params``
+    section and the streaming-pipeline ``pipeline`` section never clobber
+    each other; a stale-key file is rewritten wholesale (its pipeline
+    decisions belonged to the previous host identity too).
+    """
+    payload = _load_payload(path) or {"key": cache_key()}
+    if params is not None:
+        payload["params"] = params
+    if pipeline_updates:
+        section = payload.get("pipeline")
+        if not isinstance(section, dict):
+            section = {}
+        section.update(pipeline_updates)
+        payload["pipeline"] = section
     tmp = f"{path}.tmp.{os.getpid()}"
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -288,16 +312,17 @@ def get_params(*, refresh: bool = False) -> AutotuneParams:
         _PARAMS = AutotuneParams(DEFAULT_DISPATCH_MACS,
                                  DEFAULT_CONV_BLOCK_BYTES, "defaults")
         return _PARAMS
-    _write_cache(path, measured)
+    _write_cache(path, params=measured)
     _PARAMS = AutotuneParams(measured["dispatch_macs"],
                              measured["conv_block_bytes"], "measured")
     return _PARAMS
 
 
 def reset_cached_params() -> None:
-    """Drop the in-process singleton so the next call re-resolves (tests)."""
+    """Drop the in-process singletons so the next call re-resolves (tests)."""
     global _PARAMS
     _PARAMS = None
+    _PIPELINE_DECISIONS.clear()
 
 
 def dispatch_macs() -> int:
@@ -308,3 +333,75 @@ def dispatch_macs() -> int:
 def conv_block_bytes() -> int:
     """The resolved fused-conv patch-block budget in bytes."""
     return get_params().conv_block_bytes
+
+
+# --------------------------------------------------------------------------- #
+# Streaming-pipeline profitability decisions
+# --------------------------------------------------------------------------- #
+
+#: measured pipelined/serial speedup at or above which the streaming
+#: pipeline is judged profitable for a (plan, batch_size) signature
+PIPELINE_MIN_SPEEDUP = 1.05
+
+#: in-process memo of pipeline decisions, keyed by plan signature; the
+#: persistent copy lives under the ``"pipeline"`` section of the same
+#: per-host cache file as the kernel params
+_PIPELINE_DECISIONS: Dict[str, Dict[str, object]] = {}
+
+
+def _valid_pipeline_entry(entry: object) -> Optional[Dict[str, object]]:
+    if not isinstance(entry, dict):
+        return None
+    speedup = entry.get("speedup")
+    profitable = entry.get("profitable")
+    if isinstance(speedup, bool) or not isinstance(speedup, (int, float)):
+        return None
+    if not isinstance(profitable, bool):
+        return None
+    return {"speedup": float(speedup), "profitable": profitable}
+
+
+def pipeline_decision(signature: str) -> Optional[Dict[str, object]]:
+    """Cached streaming-pipeline verdict for ``signature``, or ``None``.
+
+    Resolution order mirrors :func:`get_params`: in-process memo, then
+    the ``"pipeline"`` section of the key-valid per-host cache file.
+    The returned dict carries ``speedup``/``profitable`` plus a
+    ``source`` of ``"memory"`` or ``"cache"``; ``None`` means unmeasured
+    (the caller measures and records).  With the cache disabled
+    (``REPRO_AUTOTUNE_CACHE=off``) only the in-process memo answers.
+    """
+    entry = _PIPELINE_DECISIONS.get(signature)
+    if entry is not None:
+        return dict(entry, source="memory")
+    path = cache_path()
+    if path is None:
+        return None
+    payload = _load_payload(path)
+    section = payload.get("pipeline") if payload else None
+    if not isinstance(section, dict):
+        return None
+    entry = _valid_pipeline_entry(section.get(signature))
+    if entry is None:
+        return None
+    _PIPELINE_DECISIONS[signature] = entry
+    return dict(entry, source="cache")
+
+
+def record_pipeline_decision(signature: str, speedup: float,
+                             ) -> Dict[str, object]:
+    """Memoise and persist a measured pipeline speedup for ``signature``.
+
+    The verdict is ``speedup >= PIPELINE_MIN_SPEEDUP`` — the overlap
+    must pay for its hand-off overhead.  Persistence failures degrade to
+    the in-process memo (same policy as the kernel params).
+    """
+    entry: Dict[str, object] = {
+        "speedup": round(float(speedup), 4),
+        "profitable": bool(float(speedup) >= PIPELINE_MIN_SPEEDUP),
+    }
+    _PIPELINE_DECISIONS[signature] = entry
+    path = cache_path()
+    if path is not None:
+        _write_cache(path, pipeline_updates={signature: entry})
+    return dict(entry, source="measured")

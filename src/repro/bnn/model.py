@@ -21,6 +21,7 @@ the service and every micro-batch flush runs through
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -385,6 +386,8 @@ class InferenceEngine:
         self._flip_rate = flip_rate
         model.eval()
         self._steps: List[_PlanStep] = []
+        self._probe_cache: Dict[Tuple[Tuple[int, ...], str],
+                                Optional[np.ndarray]] = {}
         self.refresh()
 
     # ------------------------------------------------------------------ #
@@ -401,6 +404,7 @@ class InferenceEngine:
 
     def refresh(self) -> None:
         """Recompile the plan (after weight / batch-norm mutations)."""
+        self._probe_cache.clear()
         layers = self.model.layers
         for layer in layers:
             # direct weight mutations bypass the training-protocol
@@ -468,9 +472,18 @@ class InferenceEngine:
             return None
         return make_rng(derive_seed(self._seed, f"{offset}/{step_index}"))
 
-    def _run_chunk(self, chunk: np.ndarray, offset: int) -> np.ndarray:
-        state: Union[np.ndarray, PackedTensor] = chunk
-        for step_index, step in enumerate(self._steps):
+    def _run_steps(self, state: Union[np.ndarray, PackedTensor], offset: int,
+                   start: int, stop: int) -> Union[np.ndarray, PackedTensor]:
+        """Run plan steps ``[start, stop)`` on ``state`` (possibly packed).
+
+        ``start``/``stop`` are *global* plan indices: the flip-noise stream
+        of a fused step derives from ``(offset, step_index)`` with the
+        step's position in the full plan, so running the plan in slices
+        (the streaming pipeline's stages) draws exactly the same noise as
+        one straight :meth:`_run_chunk` pass — the bit-exactness contract.
+        """
+        for step_index in range(start, stop):
+            step = self._steps[step_index]
             packed = isinstance(state, PackedTensor)
             if step.kind == _STEP_FUSED:
                 if not packed:
@@ -496,14 +509,23 @@ class InferenceEngine:
                 if packed:
                     state = state.to_bipolar().astype(np.float64)
                 state = step.layer.forward(state)
-        if isinstance(state, PackedTensor):
-            state = state.to_bipolar().astype(np.float64)
         return state
+
+    @staticmethod
+    def _finalise(state: Union[np.ndarray, PackedTensor]) -> np.ndarray:
+        if isinstance(state, PackedTensor):
+            return state.to_bipolar().astype(np.float64)
+        return state
+
+    def _run_chunk(self, chunk: np.ndarray, offset: int) -> np.ndarray:
+        return self._finalise(self._run_steps(chunk, offset, 0,
+                                              len(self._steps)))
 
     def forward_batch(self, x: np.ndarray, *, batch_size: int = 256,
                       workers: Optional[int] = None,
                       backend: Optional[str] = None,
-                      executor: Optional[Executor] = None) -> np.ndarray:
+                      executor: Optional[Executor] = None,
+                      pipeline: Optional[str] = None) -> np.ndarray:
         """Logits for a whole image batch through the packed plan.
 
         Each ``batch_size`` chunk is bit-exact with ``model.forward`` on the
@@ -533,12 +555,40 @@ class InferenceEngine:
         and tasks carry only ``(start, stop)`` plus descriptors — see
         :mod:`repro.runtime.shm` for the gating and cleanup rules.  The
         transport never changes results, only the wire format.
+
+        ``pipeline=`` selects the *streaming packed pipeline* on the
+        serial path: the plan is split into stages (dense prefix, packed
+        binary body, dense tail) that run on their own threads connected
+        by bounded queues, so chunk *k+1*'s BLAS prefix overlaps chunk
+        *k*'s XNOR/popcount body.  ``"on"`` forces it, ``"off"`` disables
+        it, ``"auto"`` defers to the per-host autotune cache, and ``None``
+        (the default) reads the ``REPRO_ENGINE_PIPELINE`` env toggle
+        (itself defaulting to ``"auto"``).  The pipeline preserves chunk
+        boundaries and flip-noise seed derivation, so its output is
+        byte-identical to the serial path.  It is a serial-path
+        optimisation: combining an explicit ``pipeline=`` argument with
+        ``executor=``/``backend=``/``workers=`` raises, while an
+        env-provided ``"on"`` silently defers to the chunk-parallel
+        executor.  See :mod:`repro.bnn.pipeline` and ``docs/runtime.md``.
         """
         x = np.asarray(x)
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if x.shape[0] == 0:
             raise ValueError("forward_batch needs at least one sample")
+        parallel = (executor is not None or backend is not None
+                    or bool(workers))
+        if pipeline is not None and parallel:
+            raise ValueError(
+                "pipeline= applies to the serial path only; drop "
+                "executor=/backend=/workers= or pass pipeline=None"
+            )
+        if not parallel:
+            from repro.bnn.pipeline import maybe_stream
+
+            streamed = maybe_stream(self, x, batch_size, pipeline)
+            if streamed is not None:
+                return streamed
         if executor is not None:
             return self._dispatch_chunks(x, batch_size, executor)
         with resolve_executor(backend=backend, workers=workers,
@@ -554,28 +604,86 @@ class InferenceEngine:
         outputs = runner.map(_ChunkTask(self), items)
         return np.concatenate(outputs, axis=0)
 
+    def _probe_rows(self, x: np.ndarray) -> Optional[np.ndarray]:
+        """Zero-row dry run revealing the output row shape and dtype.
+
+        Every kernel on the plan is shape-polymorphic over an empty batch,
+        so this costs microseconds; ``None`` signals the caller to fall
+        back to probing with the first real chunk instead.  Memoised per
+        input signature (``refresh()`` drops the memo) so repeated
+        forward_batch calls pay the dry run once.
+        """
+        key = (x.shape[1:], x.dtype.str)
+        if key not in self._probe_cache:
+            try:
+                self._probe_cache[key] = self._run_chunk(x[:0], 0)
+            except Exception:
+                self._probe_cache[key] = None
+        return self._probe_cache[key]
+
     def _forward_batch_shm(self, x: np.ndarray, batch_size: int,
                            runner: Executor) -> np.ndarray:
-        # the first chunk runs in-parent: it reveals the output row shape
-        # and dtype for the preallocated result segment (and is a chunk
-        # that would otherwise wait on pool spin-up anyway)
-        first = self._run_chunk(x[:batch_size], 0)
-        out_shape = (x.shape[0],) + first.shape[1:]
+        # The first chunk runs in-parent, but the worker chunks must be
+        # submitted *before* it starts or the parent's compute serialises
+        # ahead of pool spin-up instead of overlapping it.  A zero-row dry
+        # run reveals the output row shape/dtype up front; only if that
+        # probe fails does the first real chunk take over the probing role
+        # (the pre-fix ordering, kept as the slow-but-safe path).
+        probe = self._probe_rows(x)
+        first_stop = min(batch_size, x.shape[0])
+        if probe is None:
+            first = self._run_chunk(x[:first_stop], 0)
+            probe, prerun = first, first
+        else:
+            prerun = None
+        out_shape = (x.shape[0],) + probe.shape[1:]
         with SharedArrayPool() as pool:
             input_desc = pool.share(x)
-            output_desc = pool.allocate(out_shape, first.dtype)
-            pool.view(output_desc)[:first.shape[0]] = first
+            output_desc = pool.allocate(out_shape, probe.dtype)
             items = [
                 (start, min(start + batch_size, x.shape[0]))
                 for start in range(batch_size, x.shape[0], batch_size)
             ]
             task = _ShmChunkTask(self, input_desc, output_desc)
-            fallbacks = runner.map(task, items)
-            result = pool.read(output_desc)
+            if prerun is None:
+                # overlap the parent's chunk with the pool: a helper thread
+                # computes chunk 0 (the kernels release the GIL) while the
+                # main thread blocks in runner.map submitting the rest
+                holder: Dict[str, object] = {}
+
+                def _first_chunk() -> None:
+                    try:
+                        holder["rows"] = self._run_chunk(x[:first_stop], 0)
+                    except BaseException as exc:  # re-raised in the parent
+                        holder["error"] = exc
+
+                worker = threading.Thread(target=_first_chunk,
+                                          name="repro-shm-first-chunk")
+                worker.start()
+                try:
+                    fallbacks = runner.map(task, items)
+                finally:
+                    worker.join()
+                if "error" in holder:
+                    raise holder["error"]  # type: ignore[misc]
+                first = holder["rows"]  # type: ignore[assignment]
+            else:
+                fallbacks = runner.map(task, items)
+            if first.shape[1:] == out_shape[1:] and first.dtype == probe.dtype:
+                pool.view(output_desc)[:first.shape[0]] = first
+                result = pool.read(output_desc)
+                for start, rows in fallbacks:
+                    if rows is not None:
+                        result[start:start + rows.shape[0]] = rows
+                return result
+        # the dry run mis-predicted the row shape: the segment is useless
+        # and every worker fell back to pickle rows — reassemble from those
+        parts = {0: first}
         for start, rows in fallbacks:
-            if rows is not None:
-                result[start:start + rows.shape[0]] = rows
-        return result
+            parts[start] = rows
+        return np.concatenate(
+            [parts[start] for start in sorted(parts)], axis=0
+        )
 
     def predict_batch(self, x: np.ndarray, *, batch_size: int = 256,
                       **runtime_kwargs) -> np.ndarray:

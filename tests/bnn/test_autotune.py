@@ -187,3 +187,76 @@ class TestDispatchWiring:
         autotune.reset_cached_params()
         monkeypatch.setenv(autotune.CACHE_ENV, "off")
         assert xnor_ops.choose_matmul_kernel(32, 32, 32) == "blas"
+
+
+class TestPipelineDecisions:
+    """The streaming-pipeline section of the same per-host cache file."""
+
+    def test_record_then_read_back_across_processes(self, cache_dir):
+        sig = "MLP-L|dense,fused,fused,dense|bs32"
+        recorded = autotune.record_pipeline_decision(sig, 1.42)
+        assert recorded == {"speedup": 1.42, "profitable": True,
+                            "source": "measured"}
+        assert autotune.pipeline_decision(sig)["source"] == "memory"
+        # a "new process": drop the memo, keep the file
+        autotune.reset_cached_params()
+        read_back = autotune.pipeline_decision(sig)
+        assert read_back["source"] == "cache"
+        assert read_back["speedup"] == 1.42
+        assert read_back["profitable"] is True
+
+    def test_threshold_separates_verdicts(self, cache_dir):
+        below = autotune.PIPELINE_MIN_SPEEDUP - 0.01
+        assert not autotune.record_pipeline_decision("a", below)["profitable"]
+        assert autotune.record_pipeline_decision(
+            "b", autotune.PIPELINE_MIN_SPEEDUP)["profitable"]
+
+    def test_unknown_signature_is_none(self, cache_dir):
+        assert autotune.pipeline_decision("never-measured") is None
+
+    def test_disabled_cache_keeps_in_process_memo_only(self, monkeypatch):
+        monkeypatch.setenv(autotune.CACHE_ENV, "off")
+        autotune.record_pipeline_decision("sig", 2.0)
+        assert autotune.pipeline_decision("sig")["source"] == "memory"
+        autotune.reset_cached_params()  # "new process": nothing persisted
+        assert autotune.pipeline_decision("sig") is None
+
+    def test_params_rewrite_preserves_pipeline_section(self, cache_dir,
+                                                       monkeypatch):
+        autotune.record_pipeline_decision("sig", 1.3)
+        _fast_measure(monkeypatch, dispatch_macs=1024)
+        autotune.reset_cached_params()
+        assert autotune.get_params().source == "measured"
+        autotune.reset_cached_params()
+        survived = autotune.pipeline_decision("sig")
+        assert survived is not None and survived["source"] == "cache"
+
+    def test_pipeline_write_preserves_params_section(self, cache_dir,
+                                                     monkeypatch):
+        _fast_measure(monkeypatch, dispatch_macs=2048)
+        assert autotune.get_params().source == "measured"
+        autotune.record_pipeline_decision("sig", 1.1)
+        autotune.reset_cached_params()
+        assert autotune.get_params().source == "cache"
+
+    def test_corrupt_pipeline_entry_is_ignored(self, cache_dir):
+        autotune.record_pipeline_decision("sig", 1.3)
+        path = autotune.cache_path()
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["pipeline"]["sig"] = {"speedup": "fast", "profitable": "yes"}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        autotune.reset_cached_params()
+        assert autotune.pipeline_decision("sig") is None
+
+    def test_stale_key_drops_pipeline_decisions_too(self, cache_dir):
+        autotune.record_pipeline_decision("sig", 1.3)
+        path = autotune.cache_path()
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["key"]["numpy"] = "1.0.0"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        autotune.reset_cached_params()
+        assert autotune.pipeline_decision("sig") is None

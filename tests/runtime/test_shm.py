@@ -181,6 +181,36 @@ class TestForwardBatchBitExact:
                                             executor=executor)
         np.testing.assert_array_equal(serial, parallel)
 
+    def test_zero_row_probe_predicts_output_rows(self):
+        # the overlap fix rests on the dry run matching the real rows
+        for name in ("MLP-S", "CNN-S"):
+            model = build_network(name, seed=3)
+            engine = InferenceEngine(model, seed=11, flip_rate=0.02)
+            x = np.random.default_rng(5).standard_normal(
+                (4, *model.input_shape))
+            probe = engine._probe_rows(x)
+            real = engine._run_chunk(x, 0)
+            assert probe is not None
+            assert probe.shape == (0, *real.shape[1:])
+            assert probe.dtype == real.dtype
+
+    def test_failed_probe_falls_back_and_still_matches(self, leak_check,
+                                                       monkeypatch):
+        # with the dry run broken, the first real chunk resumes the
+        # probing role (the pre-fix ordering) — results unchanged
+        monkeypatch.delenv(SHM_ENV, raising=False)
+        model = build_network("MLP-S", seed=3)
+        engine = InferenceEngine(model, seed=11, flip_rate=0.02)
+        monkeypatch.setattr(InferenceEngine, "_probe_rows",
+                            lambda self, x: None)
+        x = np.random.default_rng(5).standard_normal((96, 784))
+        serial = engine.forward_batch(x, batch_size=32, backend="serial")
+        with ProcessExecutor(workers=2) as executor:
+            assert use_shm_transport(executor)
+            parallel = engine.forward_batch(x, batch_size=32,
+                                            executor=executor)
+        np.testing.assert_array_equal(serial, parallel)
+
     def test_off_mode_pickles_and_still_matches(self, leak_check,
                                                 monkeypatch):
         monkeypatch.setenv(SHM_ENV, "off")

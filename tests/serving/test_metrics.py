@@ -52,6 +52,22 @@ class TestServingMetrics:
         assert stats["batches"]["count"] == 1
         assert stats["batches"]["flush_triggers"] == {"deadline": 1}
 
+    def test_flush_trigger_counts_sum_to_total_flushes(self):
+        # the adaptive-flush observable: every flush lands in exactly one
+        # trigger bucket, so the mix always sums to the batch count
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        mix = {"size": 5, "deadline": 3, "drain": 1}
+        for trigger, count in mix.items():
+            for _ in range(count):
+                stamps = metrics.record_enqueue(queue_depth=1)
+                metrics.record_flush([stamps], queue_depth=0,
+                                     trigger=trigger)
+                metrics.record_batch_done([stamps], max_batch=8)
+        stats = metrics.stats()["batches"]
+        assert stats["flush_triggers"] == mix
+        assert sum(stats["flush_triggers"].values()) == stats["count"] == 9
+
     def test_percentiles_match_numpy(self):
         clock = FakeClock()
         metrics = ServingMetrics(clock=clock)
